@@ -1,0 +1,292 @@
+//! Metric binning — the core operation behind every panel of Fig. 1–4.
+//!
+//! The paper's engagement plots are built by bucketing sessions by one
+//! network metric (e.g. mean latency 0–300 ms) and aggregating an engagement
+//! metric (e.g. Mic On %) within each bucket, usually after *filtering* the
+//! other metrics to reference ranges to control confounders. [`Binner`]
+//! implements the bucket-and-aggregate step; the filtering lives in
+//! `usaas::correlate` where the session schema is known.
+
+use crate::descriptive;
+use crate::error::AnalyticsError;
+use serde::{Deserialize, Serialize};
+
+/// Specification of equal-width bins over `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinSpec {
+    /// Lower edge of the first bin.
+    pub lo: f64,
+    /// Upper edge of the last bin.
+    pub hi: f64,
+    /// Number of bins.
+    pub bins: usize,
+}
+
+impl BinSpec {
+    /// Create a spec; `lo < hi`, `bins >= 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<BinSpec, AnalyticsError> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(AnalyticsError::InvalidParameter("bin spec bounds"));
+        }
+        if bins == 0 {
+            return Err(AnalyticsError::InvalidParameter("bin spec needs >= 1 bin"));
+        }
+        Ok(BinSpec { lo, hi, bins })
+    }
+
+    /// Bin index for `x`, or `None` when out of range / NaN. The top edge is
+    /// inclusive (a latency of exactly 300 ms lands in the last bin).
+    pub fn index(&self, x: f64) -> Option<usize> {
+        if x.is_nan() || x < self.lo || x > self.hi {
+            return None;
+        }
+        let width = (self.hi - self.lo) / self.bins as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        Some(idx.min(self.bins - 1))
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn mid(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+}
+
+/// Accumulates `(x, y)` pairs into x-bins, aggregating y per bin.
+///
+/// ```
+/// use analytics::binning::{BinSpec, Binner};
+/// let mut binner = Binner::new(BinSpec::new(0.0, 300.0, 6).unwrap());
+/// binner.record(20.0, 100.0);
+/// binner.record(280.0, 75.0);
+/// let curve = binner.curve_mean(1).normalized_to_max(100.0);
+/// assert_eq!(curve.first_y(), Some(100.0));
+/// assert_eq!(curve.last_y(), Some(75.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Binner {
+    spec: BinSpec,
+    values: Vec<Vec<f64>>,
+    dropped: usize,
+}
+
+impl Binner {
+    /// New binner with the given spec.
+    pub fn new(spec: BinSpec) -> Binner {
+        Binner { spec, values: vec![Vec::new(); spec.bins], dropped: 0 }
+    }
+
+    /// Record one pair; out-of-range x is counted in [`Binner::dropped`].
+    pub fn record(&mut self, x: f64, y: f64) {
+        match self.spec.index(x) {
+            Some(i) => self.values[i].push(y),
+            None => self.dropped += 1,
+        }
+    }
+
+    /// Number of pairs whose x fell outside the spec.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Count of observations in bin `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.values[i].len()
+    }
+
+    /// Build the binned curve using mean-of-y per bin. Bins with fewer than
+    /// `min_count` observations get `None` (the paper's plots are noisy
+    /// exactly where bins go thin; downstream code can interpolate or skip).
+    pub fn curve_mean(&self, min_count: usize) -> BinnedCurve {
+        self.curve_with(min_count, |ys| descriptive::mean(ys).ok())
+    }
+
+    /// Build the binned curve using median-of-y per bin.
+    pub fn curve_median(&self, min_count: usize) -> BinnedCurve {
+        self.curve_with(min_count, |ys| descriptive::median(ys).ok())
+    }
+
+    fn curve_with(
+        &self,
+        min_count: usize,
+        agg: impl Fn(&[f64]) -> Option<f64>,
+    ) -> BinnedCurve {
+        let mut xs = Vec::with_capacity(self.spec.bins);
+        let mut ys = Vec::with_capacity(self.spec.bins);
+        let mut counts = Vec::with_capacity(self.spec.bins);
+        for (i, bucket) in self.values.iter().enumerate() {
+            xs.push(self.spec.mid(i));
+            counts.push(bucket.len());
+            if bucket.len() >= min_count.max(1) {
+                ys.push(agg(bucket));
+            } else {
+                ys.push(None);
+            }
+        }
+        BinnedCurve { xs, ys, counts }
+    }
+}
+
+/// A binned x→y curve: bin midpoints, per-bin aggregate (None when thin), and
+/// per-bin counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinnedCurve {
+    /// Bin midpoints.
+    pub xs: Vec<f64>,
+    /// Aggregated y per bin; `None` where the bin was too thin.
+    pub ys: Vec<Option<f64>>,
+    /// Observation count per bin.
+    pub counts: Vec<usize>,
+}
+
+impl BinnedCurve {
+    /// The populated `(x, y)` points in order.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .filter_map(|(x, y)| y.map(|y| (*x, y)))
+            .collect()
+    }
+
+    /// Normalize y so the *maximum* populated bin equals `scale` (the paper
+    /// normalizes engagement to 100 at the best conditions).
+    pub fn normalized_to_max(&self, scale: f64) -> BinnedCurve {
+        let max = self
+            .ys
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ys = if max.is_finite() && max != 0.0 {
+            self.ys.iter().map(|y| y.map(|y| y / max * scale)).collect()
+        } else {
+            self.ys.clone()
+        };
+        BinnedCurve { xs: self.xs.clone(), ys, counts: self.counts.clone() }
+    }
+
+    /// y at the first populated bin.
+    pub fn first_y(&self) -> Option<f64> {
+        self.ys.iter().flatten().next().copied()
+    }
+
+    /// y at the last populated bin.
+    pub fn last_y(&self) -> Option<f64> {
+        self.ys.iter().flatten().last().copied()
+    }
+
+    /// y of the populated bin whose midpoint is closest to `x`.
+    pub fn y_near(&self, x: f64) -> Option<f64> {
+        self.points()
+            .into_iter()
+            .min_by(|a, b| {
+                (a.0 - x)
+                    .abs()
+                    .partial_cmp(&(b.0 - x).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(_, y)| y)
+    }
+
+    /// Average slope (Δy/Δx) between the populated bins nearest `x0` and `x1`.
+    pub fn slope_between(&self, x0: f64, x1: f64) -> Option<f64> {
+        let y0 = self.y_near(x0)?;
+        let y1 = self.y_near(x1)?;
+        if (x1 - x0).abs() < f64::EPSILON {
+            return None;
+        }
+        Some((y1 - y0) / (x1 - x0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec() -> BinSpec {
+        BinSpec::new(0.0, 300.0, 6).unwrap()
+    }
+
+    #[test]
+    fn index_assignment_with_inclusive_top() {
+        let s = spec();
+        assert_eq!(s.index(0.0), Some(0));
+        assert_eq!(s.index(49.9), Some(0));
+        assert_eq!(s.index(50.0), Some(1));
+        assert_eq!(s.index(300.0), Some(5)); // inclusive top edge
+        assert_eq!(s.index(300.1), None);
+        assert_eq!(s.index(-0.1), None);
+        assert_eq!(s.index(f64::NAN), None);
+        assert_eq!(s.mid(0), 25.0);
+        assert_eq!(s.mid(5), 275.0);
+    }
+
+    #[test]
+    fn mean_curve_aggregates() {
+        let mut b = Binner::new(spec());
+        b.record(10.0, 100.0);
+        b.record(20.0, 90.0);
+        b.record(290.0, 70.0);
+        b.record(500.0, 0.0); // dropped
+        let c = b.curve_mean(1);
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(c.ys[0], Some(95.0));
+        assert_eq!(c.ys[5], Some(70.0));
+        assert_eq!(c.ys[2], None);
+        assert_eq!(c.counts[0], 2);
+        assert_eq!(c.points().len(), 2);
+    }
+
+    #[test]
+    fn median_curve() {
+        let mut b = Binner::new(BinSpec::new(0.0, 10.0, 1).unwrap());
+        for y in [1.0, 2.0, 100.0] {
+            b.record(5.0, y);
+        }
+        let c = b.curve_median(1);
+        assert_eq!(c.ys[0], Some(2.0));
+    }
+
+    #[test]
+    fn min_count_thins_bins() {
+        let mut b = Binner::new(spec());
+        b.record(10.0, 50.0);
+        let c = b.curve_mean(2);
+        assert_eq!(c.ys[0], None);
+        assert_eq!(c.counts[0], 1);
+    }
+
+    #[test]
+    fn normalization_sets_max_to_scale() {
+        let mut b = Binner::new(spec());
+        b.record(10.0, 80.0);
+        b.record(290.0, 40.0);
+        let c = b.curve_mean(1).normalized_to_max(100.0);
+        assert_eq!(c.first_y(), Some(100.0));
+        assert_eq!(c.last_y(), Some(50.0));
+    }
+
+    #[test]
+    fn slope_between_bins() {
+        let mut b = Binner::new(spec());
+        b.record(25.0, 100.0);
+        b.record(275.0, 50.0);
+        let c = b.curve_mean(1);
+        let s = c.slope_between(25.0, 275.0).unwrap();
+        assert!((s - (-0.2)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn every_in_range_x_gets_a_bin(x in 0.0..=300.0f64) {
+            let s = spec();
+            let i = s.index(x).unwrap();
+            prop_assert!(i < s.bins);
+            // Midpoint of the assigned bin is within half a width of x.
+            let width = 300.0 / 6.0;
+            prop_assert!((s.mid(i) - x).abs() <= width / 2.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Change-point detection (CUSUM) for regime shifts in series.
+//!
+//! Fig. 7's story has a regime change — speeds rise until late summer 2021
+//! and then enter a long decline. A USaaS deployment should detect such
+//! shifts automatically rather than eyeball them; this module implements a
+//! mean-shift CUSUM with a single-change binary-segmentation refinement that
+//! `usaas::digest` applies to the monthly speed and sentiment series.
+
+use crate::error::AnalyticsError;
+use serde::{Deserialize, Serialize};
+
+/// One detected change point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangePoint {
+    /// Index in the series where the new regime starts.
+    pub index: usize,
+    /// Mean before the change.
+    pub mean_before: f64,
+    /// Mean after the change.
+    pub mean_after: f64,
+    /// Normalised CUSUM score of the change (higher = sharper).
+    pub score: f64,
+}
+
+impl ChangePoint {
+    /// Signed magnitude of the shift.
+    pub fn shift(&self) -> f64 {
+        self.mean_after - self.mean_before
+    }
+}
+
+/// Find the single most prominent mean-shift in `xs`.
+///
+/// Uses the maximum of the centred CUSUM statistic
+/// `S_k = Σ_{i≤k} (x_i - x̄)`, normalised by `σ·√n`; returns `None` when the
+/// normalised score is below `min_score` (i.e. the series looks stationary).
+pub fn most_prominent_shift(
+    xs: &[f64],
+    min_score: f64,
+) -> Result<Option<ChangePoint>, AnalyticsError> {
+    if xs.len() < 4 {
+        return Err(AnalyticsError::Empty);
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let sd = (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
+    if sd == 0.0 {
+        return Ok(None);
+    }
+    let mut cusum = 0.0;
+    let mut best_k = 0;
+    let mut best_abs = 0.0;
+    for (i, x) in xs.iter().enumerate().take(n - 1) {
+        cusum += x - mean;
+        if cusum.abs() > best_abs {
+            best_abs = cusum.abs();
+            best_k = i;
+        }
+    }
+    let score = best_abs / (sd * (n as f64).sqrt());
+    if score < min_score {
+        return Ok(None);
+    }
+    let split = best_k + 1; // new regime starts after the extremal prefix
+    let before = &xs[..split];
+    let after = &xs[split..];
+    Ok(Some(ChangePoint {
+        index: split,
+        mean_before: before.iter().sum::<f64>() / before.len() as f64,
+        mean_after: after.iter().sum::<f64>() / after.len() as f64,
+        score,
+    }))
+}
+
+/// Recursive binary segmentation: up to `max_changes` change points, each
+/// required to clear `min_score` within its segment. Indices are returned in
+/// ascending order.
+pub fn binary_segmentation(
+    xs: &[f64],
+    min_score: f64,
+    max_changes: usize,
+) -> Result<Vec<ChangePoint>, AnalyticsError> {
+    if xs.len() < 4 {
+        return Err(AnalyticsError::Empty);
+    }
+    let mut out: Vec<ChangePoint> = Vec::new();
+    segment(xs, 0, min_score, max_changes, &mut out);
+    out.sort_by_key(|c| c.index);
+    Ok(out)
+}
+
+fn segment(xs: &[f64], offset: usize, min_score: f64, budget: usize, out: &mut Vec<ChangePoint>) {
+    if budget == 0 || xs.len() < 8 {
+        return;
+    }
+    let Ok(Some(cp)) = most_prominent_shift(xs, min_score) else { return };
+    let split = cp.index;
+    out.push(ChangePoint { index: offset + split, ..cp });
+    let remaining = budget - 1;
+    // Split the budget greedily: left first, then right with what is left.
+    let before_len = out.len();
+    segment(&xs[..split], offset, min_score, remaining, out);
+    let used = out.len() - before_len;
+    segment(&xs[split..], offset + split, min_score, remaining.saturating_sub(used), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_clean_step() {
+        let mut xs = vec![10.0; 30];
+        xs.extend(vec![20.0; 30]);
+        let cp = most_prominent_shift(&xs, 0.5).unwrap().unwrap();
+        assert_eq!(cp.index, 30);
+        assert!((cp.mean_before - 10.0).abs() < 1e-9);
+        assert!((cp.mean_after - 20.0).abs() < 1e-9);
+        assert!((cp.shift() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_series_yields_none() {
+        let xs: Vec<f64> = (0..60).map(|i| 10.0 + (i % 2) as f64 * 0.1).collect();
+        assert!(most_prominent_shift(&xs, 0.8).unwrap().is_none());
+        let constant = vec![5.0; 20];
+        assert!(most_prominent_shift(&constant, 0.5).unwrap().is_none());
+    }
+
+    #[test]
+    fn rise_then_decline_detected_like_fig7() {
+        // A Fig. 7-shaped series: rise to a peak around index 8, then decline.
+        let xs: Vec<f64> = (0..24)
+            .map(|i| {
+                if i <= 8 {
+                    65.0 + 3.0 * i as f64
+                } else {
+                    89.0 - 2.5 * (i - 8) as f64
+                }
+            })
+            .collect();
+        let cps = binary_segmentation(&xs, 0.6, 2).unwrap();
+        assert!(!cps.is_empty());
+        // On a ramp there is no single crisp mean shift; what matters is that
+        // a boundary with a *downward* regime lands around the peak.
+        let decline = cps
+            .iter()
+            .find(|c| c.shift() < 0.0)
+            .expect("a declining regime must be detected");
+        assert!(
+            (8..=18).contains(&decline.index),
+            "decline boundary at {} ({cps:?})",
+            decline.index
+        );
+    }
+
+    #[test]
+    fn two_steps_found_by_segmentation() {
+        let mut xs = vec![0.0; 20];
+        xs.extend(vec![10.0; 20]);
+        xs.extend(vec![-5.0; 20]);
+        let cps = binary_segmentation(&xs, 0.5, 3).unwrap();
+        assert!(cps.len() >= 2, "{cps:?}");
+        assert!(cps.iter().any(|c| (19..=21).contains(&c.index)));
+        assert!(cps.iter().any(|c| (39..=41).contains(&c.index)));
+        assert!(cps.windows(2).all(|w| w[0].index < w[1].index));
+    }
+
+    #[test]
+    fn short_series_errors() {
+        assert!(most_prominent_shift(&[1.0, 2.0], 0.5).is_err());
+        assert!(binary_segmentation(&[1.0, 2.0, 3.0], 0.5, 1).is_err());
+    }
+}

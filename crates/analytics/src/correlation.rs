@@ -1,0 +1,177 @@
+//! Correlation coefficients: Pearson, Spearman (tie-aware), Kendall's tau.
+//!
+//! §3.3 of the paper quantifies how well each engagement metric tracks MOS
+//! ("Presence shows the strongest correlation with MOS"); `usaas::correlate`
+//! ranks metrics by these coefficients.
+
+use crate::error::AnalyticsError;
+
+fn check_pair(xs: &[f64], ys: &[f64]) -> Result<(), AnalyticsError> {
+    if xs.len() != ys.len() {
+        return Err(AnalyticsError::LengthMismatch { left: xs.len(), right: ys.len() });
+    }
+    if xs.len() < 2 {
+        return Err(AnalyticsError::Empty);
+    }
+    Ok(())
+}
+
+/// Pearson product-moment correlation in `[-1, 1]`.
+///
+/// Returns an error for mismatched or <2-element inputs; returns 0 when
+/// either series is constant (zero variance) — a pragmatic convention for
+/// pipeline code that must not crash on degenerate strata.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, AnalyticsError> {
+    check_pair(xs, ys)?;
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Average ranks (1-based), assigning tied values the mean of their ranks.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // ranks i+1 ..= j+1 tie; assign their mean.
+        let rank = (i + 1 + j + 1) as f64 / 2.0;
+        for k in i..=j {
+            out[idx[k]] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (tie-aware: Pearson over average ranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, AnalyticsError> {
+    check_pair(xs, ys)?;
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Kendall's tau-b (tie-corrected), `O(n²)` — fine for the bin-level series
+/// it is used on (tens of points).
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Result<f64, AnalyticsError> {
+    check_pair(xs, ys)?;
+    let n = xs.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                // tied in both; contributes to neither
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_x as f64) * (n0 - ties_y as f64)).sqrt();
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(((concordant - discordant) as f64 / denom).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_linear_relationships() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_perfect_for_rank_measures() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        let p = pearson(&xs, &ys).unwrap();
+        assert!(p < 1.0 - 1e-6);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_gives_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        assert_eq!(pearson(&xs, &ys).unwrap(), 0.0);
+        assert_eq!(spearman(&xs, &ys).unwrap(), 0.0);
+        assert_eq!(kendall_tau(&xs, &ys).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(spearman(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r2 = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r2, vec![2.0, 2.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn coefficients_bounded(xy in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..40)) {
+            let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
+            for f in [pearson, spearman, kendall_tau] {
+                let c = f(&xs, &ys).unwrap();
+                prop_assert!((-1.0..=1.0).contains(&c), "coefficient {c}");
+            }
+        }
+
+        #[test]
+        fn symmetry(xy in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..30)) {
+            let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
+            let a = pearson(&xs, &ys).unwrap();
+            let b = pearson(&ys, &xs).unwrap();
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Descriptive statistics: mean, median, percentiles, variance.
+//!
+//! These mirror what the MS Teams client computes per session (§3.1 of the
+//! paper): *"each client computes the mean, median, and 95th percentile (P95)
+//! value for each of these metrics per session"*. [`Summary`] packages exactly
+//! that triple (plus count/min/max) and is used by `netsim`'s client sampler.
+
+use crate::error::AnalyticsError;
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64, AnalyticsError> {
+    if xs.is_empty() {
+        return Err(AnalyticsError::Empty);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance. Errors on empty input.
+pub fn variance(xs: &[f64]) -> Result<f64, AnalyticsError> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation. Errors on empty input.
+pub fn stddev(xs: &[f64]) -> Result<f64, AnalyticsError> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median (interpolated for even-length inputs). Errors on empty input.
+pub fn median(xs: &[f64]) -> Result<f64, AnalyticsError> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// Uses the "linear" (type 7 / NumPy default) definition: the `p`-th
+/// percentile of a sorted sample `x_0..x_{n-1}` is `x_k + frac * (x_{k+1} -
+/// x_k)` where `k + frac = p/100 * (n - 1)`.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64, AnalyticsError> {
+    if xs.is_empty() {
+        return Err(AnalyticsError::Empty);
+    }
+    if !(0.0..=100.0).contains(&p) || p.is_nan() {
+        return Err(AnalyticsError::InvalidParameter("percentile must be in [0, 100]"));
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(percentile_sorted(&sorted, p))
+}
+
+/// Percentile of an already-sorted slice (no allocation, no validation of
+/// sortedness). `p` must be in `[0, 100]`; the slice must be non-empty.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Winsorize a sample in place: clamp values below the `lo`-th percentile and
+/// above the `hi`-th percentile to those percentile values. Used to tame
+/// heavy-tailed synthetic telemetry before curve fitting.
+pub fn winsorize(xs: &mut [f64], lo: f64, hi: f64) -> Result<(), AnalyticsError> {
+    if xs.is_empty() {
+        return Err(AnalyticsError::Empty);
+    }
+    if lo > hi {
+        return Err(AnalyticsError::InvalidParameter("winsorize: lo > hi"));
+    }
+    let lo_v = percentile(xs, lo)?;
+    let hi_v = percentile(xs, hi)?;
+    for x in xs.iter_mut() {
+        *x = x.clamp(lo_v, hi_v);
+    }
+    Ok(())
+}
+
+/// The per-session aggregate the conferencing client uploads: count, min,
+/// mean, median, P95, max.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations aggregated.
+    pub count: usize,
+    /// Minimum observation.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Aggregate a sample. Errors on empty input.
+    pub fn from_samples(xs: &[f64]) -> Result<Summary, AnalyticsError> {
+        if xs.is_empty() {
+            return Err(AnalyticsError::Empty);
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            mean: mean(xs)?,
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_median_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs).unwrap(), 2.5);
+        assert_eq!(median(&xs).unwrap(), 2.5);
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert_eq!(mean(&[]), Err(AnalyticsError::Empty));
+        assert_eq!(median(&[]), Err(AnalyticsError::Empty));
+        assert_eq!(variance(&[]), Err(AnalyticsError::Empty));
+        assert!(Summary::from_samples(&[]).is_err());
+    }
+
+    #[test]
+    fn percentile_bounds_and_interpolation() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 50.0);
+        assert_eq!(percentile(&xs, 50.0).unwrap(), 30.0);
+        assert_eq!(percentile(&xs, 25.0).unwrap(), 20.0);
+        assert!(percentile(&xs, 101.0).is_err());
+        assert!(percentile(&xs, -0.1).is_err());
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0; 10]).unwrap(), 0.0);
+        assert_eq!(stddev(&[5.0; 10]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_parts() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = Summary::from_samples(&xs).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.mean, mean(&xs).unwrap());
+        assert_eq!(s.median, median(&xs).unwrap());
+        assert_eq!(s.p95, percentile(&xs, 95.0).unwrap());
+    }
+
+    #[test]
+    fn winsorize_clamps_tails() {
+        let mut xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        winsorize(&mut xs, 5.0, 95.0).unwrap();
+        assert_eq!(xs.iter().cloned().fold(f64::INFINITY, f64::min), 5.0);
+        assert_eq!(xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max), 95.0);
+        assert!(winsorize(&mut xs, 90.0, 10.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_monotone_in_p(xs in prop::collection::vec(-1e6..1e6f64, 1..50),
+                                       p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile(&xs, lo).unwrap();
+            let b = percentile(&xs, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn mean_within_min_max(xs in prop::collection::vec(-1e6..1e6f64, 1..50)) {
+            let s = Summary::from_samples(&xs).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.median <= s.p95 + 1e-9 && s.p95 <= s.max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Random-distribution samplers on top of `rand`.
+//!
+//! The approved offline crate set includes `rand` but not `rand_distr`, so the
+//! handful of distributions the simulators need — Normal, LogNormal,
+//! Exponential, Poisson, Pareto, Triangular, Bernoulli mixtures — are
+//! implemented here. All samplers are driven by any [`rand::Rng`], so the
+//! whole workspace stays deterministic under seeded [`rand::rngs::StdRng`].
+
+use crate::error::AnalyticsError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Something that can draw `f64` samples from an RNG.
+pub trait Sampler {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draw `n` samples into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// A parameterised distribution over `f64`.
+///
+/// The enum form (instead of one type per distribution) lets domain crates
+/// store heterogeneous marginals — e.g. `netsim`'s per-access-type latency,
+/// loss, jitter, and bandwidth distributions — in plain config structs that
+/// serialize cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Point mass at a value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Gaussian with the given mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (must be ≥ 0).
+        std: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))` where `mu`/`sigma` act on the log scale.
+    LogNormal {
+        /// Mean of the underlying normal (log scale).
+        mu: f64,
+        /// Std of the underlying normal (log scale).
+        sigma: f64,
+    },
+    /// Exponential with rate `lambda` (mean `1/lambda`).
+    Exponential {
+        /// Rate parameter (must be > 0).
+        lambda: f64,
+    },
+    /// Pareto (heavy tail) with scale `xm > 0` and shape `alpha > 0`.
+    Pareto {
+        /// Scale (minimum value).
+        xm: f64,
+        /// Tail index; smaller = heavier tail.
+        alpha: f64,
+    },
+    /// Triangular on `[lo, hi]` with the given mode.
+    Triangular {
+        /// Lower bound.
+        lo: f64,
+        /// Mode.
+        mode: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl Dist {
+    /// Validate parameters, returning the distribution if they are sane.
+    pub fn validated(self) -> Result<Dist, AnalyticsError> {
+        let ok = match self {
+            Dist::Constant(v) => v.is_finite(),
+            Dist::Uniform { lo, hi } => lo.is_finite() && hi.is_finite() && lo < hi,
+            Dist::Normal { mean, std } => mean.is_finite() && std.is_finite() && std >= 0.0,
+            Dist::LogNormal { mu, sigma } => mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            Dist::Exponential { lambda } => lambda.is_finite() && lambda > 0.0,
+            Dist::Pareto { xm, alpha } => xm > 0.0 && alpha > 0.0,
+            Dist::Triangular { lo, mode, hi } => lo <= mode && mode <= hi && lo < hi,
+        };
+        if ok {
+            Ok(self)
+        } else {
+            Err(AnalyticsError::InvalidParameter("distribution parameters"))
+        }
+    }
+
+    /// A log-normal parameterised by its *actual* median and a multiplicative
+    /// spread factor `sigma_mult` (> 1); e.g. `median=90, sigma_mult=1.4`
+    /// gives a distribution whose log-std is `ln(1.4)`.
+    pub fn log_normal_median(median: f64, sigma_mult: f64) -> Dist {
+        Dist::LogNormal { mu: median.ln(), sigma: sigma_mult.ln() }
+    }
+
+    /// Theoretical mean of the distribution (for sanity checks in tests;
+    /// `Pareto` with `alpha <= 1` has infinite mean and returns `f64::INFINITY`).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Normal { mean, .. } => mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Exponential { lambda } => 1.0 / lambda,
+            Dist::Pareto { xm, alpha } => {
+                if alpha <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    alpha * xm / (alpha - 1.0)
+                }
+            }
+            Dist::Triangular { lo, mode, hi } => (lo + mode + hi) / 3.0,
+        }
+    }
+}
+
+impl Sampler for Dist {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Dist::Normal { mean, std } => mean + std * standard_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            Dist::Exponential { lambda } => {
+                // Inverse CDF; 1 - U avoids ln(0).
+                let u: f64 = rng.gen::<f64>();
+                -(1.0 - u).ln() / lambda
+            }
+            Dist::Pareto { xm, alpha } => {
+                let u: f64 = rng.gen::<f64>();
+                xm / (1.0 - u).powf(1.0 / alpha)
+            }
+            Dist::Triangular { lo, mode, hi } => {
+                let u: f64 = rng.gen::<f64>();
+                let fc = (mode - lo) / (hi - lo);
+                if u < fc {
+                    lo + ((hi - lo) * (mode - lo) * u).sqrt()
+                } else {
+                    hi - ((hi - lo) * (hi - mode) * (1.0 - u)).sqrt()
+                }
+            }
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller (polar form is not needed; the
+/// trig form is branch-free and fine for simulation workloads).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // avoid ln(0)
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Poisson draw with mean `lambda`.
+///
+/// Knuth's product method for `lambda < 30`; normal approximation (rounded,
+/// clamped at zero) above — the simulators only need Poisson counts for
+/// daily post volumes where either regime occurs.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = lambda + lambda.sqrt() * standard_normal(rng);
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Weighted choice over indices: returns `i` with probability
+/// `weights[i] / sum(weights)`. Returns `None` if weights are empty or all zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if *w > 0.0 && w.is_finite() {
+            target -= w;
+            if target <= 0.0 {
+                return Some(i);
+            }
+        }
+    }
+    // Floating-point slack: return the last positive-weight index.
+    weights.iter().rposition(|w| *w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean as sample_mean;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_sample_mean_close() {
+        let mut r = rng();
+        let d = Dist::Normal { mean: 10.0, std: 2.0 };
+        let xs = d.sample_n(&mut r, 20_000);
+        let m = sample_mean(&xs).unwrap();
+        assert!((m - 10.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_median_parameterisation() {
+        let mut r = rng();
+        let d = Dist::log_normal_median(90.0, 1.4);
+        let mut xs = d.sample_n(&mut r, 20_000);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 90.0).abs() / 90.0 < 0.05, "median {med}");
+        assert!(xs.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = rng();
+        let d = Dist::Exponential { lambda: 0.5 };
+        let xs = d.sample_n(&mut r, 20_000);
+        let m = sample_mean(&xs).unwrap();
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut r = rng();
+        let d = Dist::Uniform { lo: 3.0, hi: 4.0 };
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((3.0..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn triangular_within_bounds_and_mode_heavy() {
+        let mut r = rng();
+        let d = Dist::Triangular { lo: 0.0, mode: 1.0, hi: 10.0 };
+        let xs = d.sample_n(&mut r, 10_000);
+        assert!(xs.iter().all(|x| (0.0..=10.0).contains(x)));
+        let m = sample_mean(&xs).unwrap();
+        assert!((m - d.mean()).abs() < 0.2, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn pareto_heavy_tail() {
+        let mut r = rng();
+        let d = Dist::Pareto { xm: 1.0, alpha: 2.0 };
+        let xs = d.sample_n(&mut r, 20_000);
+        assert!(xs.iter().all(|x| *x >= 1.0));
+        let m = sample_mean(&xs).unwrap();
+        assert!((m - 2.0).abs() < 0.3, "mean {m}");
+        assert!(Dist::Pareto { xm: 1.0, alpha: 0.9 }.mean().is_infinite());
+    }
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut r = rng();
+        for lambda in [0.5, 5.0, 53.0] {
+            let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut r, lambda) as f64).collect();
+            let m = sample_mean(&xs).unwrap();
+            assert!((m - lambda).abs() / lambda.max(1.0) < 0.07, "lambda {lambda} mean {m}");
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -3.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut r = rng();
+        let hits = (0..20_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut r, &w).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        assert_eq!(weighted_index(&mut r, &[]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(Dist::Uniform { lo: 2.0, hi: 1.0 }.validated().is_err());
+        assert!(Dist::Normal { mean: 0.0, std: -1.0 }.validated().is_err());
+        assert!(Dist::Exponential { lambda: 0.0 }.validated().is_err());
+        assert!(Dist::Pareto { xm: 0.0, alpha: 1.0 }.validated().is_err());
+        assert!(Dist::Triangular { lo: 0.0, mode: 5.0, hi: 4.0 }.validated().is_err());
+        assert!(Dist::Constant(f64::NAN).validated().is_err());
+        assert!(Dist::Normal { mean: 1.0, std: 0.0 }.validated().is_ok());
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let a = d.sample_n(&mut StdRng::seed_from_u64(7), 100);
+        let b = d.sample_n(&mut StdRng::seed_from_u64(7), 100);
+        assert_eq!(a, b);
+    }
+}

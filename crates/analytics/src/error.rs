@@ -1,0 +1,79 @@
+//! Error type shared by the analytics primitives.
+
+use std::fmt;
+
+/// Errors produced by analytics primitives.
+///
+/// All analytics APIs that can fail (empty inputs, mismatched lengths,
+/// singular systems, …) return `Result<_, AnalyticsError>` rather than
+/// panicking, so callers in long-running pipelines can degrade gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyticsError {
+    /// An operation that requires at least one observation got none.
+    Empty,
+    /// Two paired slices had different lengths.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. percentile > 100).
+    InvalidParameter(&'static str),
+    /// A linear system was singular / not solvable.
+    Singular,
+    /// A date did not correspond to a real calendar day.
+    InvalidDate {
+        /// Requested year.
+        year: i32,
+        /// Requested month (1–12).
+        month: u8,
+        /// Requested day of month.
+        day: u8,
+    },
+    /// Iterative fitting failed to converge.
+    NoConvergence,
+}
+
+impl fmt::Display for AnalyticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticsError::Empty => write!(f, "empty input"),
+            AnalyticsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            AnalyticsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            AnalyticsError::Singular => write!(f, "singular system"),
+            AnalyticsError::InvalidDate { year, month, day } => {
+                write!(f, "invalid date: {year:04}-{month:02}-{day:02}")
+            }
+            AnalyticsError::NoConvergence => write!(f, "iterative fit did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyticsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AnalyticsError::Empty.to_string(), "empty input");
+        assert_eq!(
+            AnalyticsError::LengthMismatch { left: 3, right: 4 }.to_string(),
+            "length mismatch: 3 vs 4"
+        );
+        assert_eq!(
+            AnalyticsError::InvalidDate { year: 2022, month: 2, day: 30 }.to_string(),
+            "invalid date: 2022-02-30"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<AnalyticsError>();
+    }
+}

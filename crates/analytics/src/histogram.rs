@@ -1,0 +1,169 @@
+//! Fixed-width histograms.
+//!
+//! Used for distribution sanity checks in tests and for the word-cloud /
+//! activity summaries in the social pipeline.
+
+use crate::error::AnalyticsError;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin-width histogram over `[lo, hi)` with underflow/overflow
+/// counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Histogram, AnalyticsError> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(AnalyticsError::InvalidParameter("histogram bounds"));
+        }
+        if bins == 0 {
+            return Err(AnalyticsError::InvalidParameter("histogram needs >= 1 bin"));
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 })
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo || x.is_nan() {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Record every observation in a slice.
+    pub fn record_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All in-range bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo` (NaN counts as underflow).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_mid(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_edges(i);
+        (a + b) / 2.0
+    }
+
+    /// Fraction of in-range mass in bin `i` (0 if nothing in range).
+    pub fn fraction(&self, i: usize) -> f64 {
+        let in_range = self.total - self.underflow - self.overflow;
+        if in_range == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / in_range as f64
+        }
+    }
+
+    /// Index of the fullest bin (ties broken toward lower index); `None` if
+    /// no in-range observations.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let max = *self.counts.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.counts.iter().position(|c| *c == max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record(0.0);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn edges_and_mids() {
+        let h = Histogram::new(0.0, 100.0, 4).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 25.0));
+        assert_eq!(h.bin_edges(3), (75.0, 100.0));
+        assert_eq!(h.bin_mid(1), 37.5);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_over_in_range() {
+        let mut h = Histogram::new(0.0, 1.0, 5).unwrap();
+        h.record_all(&[0.1, 0.3, 0.5, 0.7, 0.9, 2.0]);
+        let s: f64 = (0..h.bins()).map(|i| h.fraction(i)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        assert_eq!(h.mode_bin(), None);
+        h.record_all(&[0.5, 1.5, 1.6, 2.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! A small dense-matrix type with Gaussian elimination.
+//!
+//! Just enough linear algebra for the normal equations of
+//! [`crate::regression::LinearModel`]. Row-major, `f64`, partial pivoting.
+
+use crate::error::AnalyticsError;
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from nested rows; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Matrix, AnalyticsError> {
+        if rows.is_empty() {
+            return Err(AnalyticsError::Empty);
+        }
+        let cols = rows[0].len();
+        if cols == 0 || rows.iter().any(|r| r.len() != cols) {
+            return Err(AnalyticsError::InvalidParameter("ragged matrix rows"));
+        }
+        let data = rows.iter().flatten().copied().collect();
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, AnalyticsError> {
+        if self.cols != other.rows {
+            return Err(AnalyticsError::LengthMismatch { left: self.cols, right: other.rows });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, AnalyticsError> {
+        if self.cols != v.len() {
+            return Err(AnalyticsError::LengthMismatch { left: self.cols, right: v.len() });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[i] += self[(i, j)] * v[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solve `self * x = b` by Gaussian elimination with partial pivoting.
+    /// Requires a square, non-singular matrix.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, AnalyticsError> {
+        if self.rows != self.cols {
+            return Err(AnalyticsError::InvalidParameter("solve requires square matrix"));
+        }
+        if b.len() != self.rows {
+            return Err(AnalyticsError::LengthMismatch { left: self.rows, right: b.len() });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = a[row * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = row;
+                }
+            }
+            if best < 1e-12 {
+                return Err(AnalyticsError::Singular);
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate below.
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / a[col * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let id = Matrix::identity(3);
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(id.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(AnalyticsError::Singular));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiply_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let at = a.transpose();
+        assert_eq!(at[(0, 1)], 3.0);
+        let prod = a.mul(&at).unwrap();
+        assert_eq!(prod[(0, 0)], 5.0);
+        assert_eq!(prod[(1, 1)], 25.0);
+        let v = a.mul_vec(&[1.0, 1.0]).unwrap();
+        assert_eq!(v, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(a.solve(&[1.0]).is_err()); // non-square
+        assert!(a.mul_vec(&[1.0]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_recovers_b(
+            diag in prop::collection::vec(1.0..10.0f64, 2..6),
+            off in -0.4..0.4f64,
+            b in prop::collection::vec(-10.0..10.0f64, 2..6),
+        ) {
+            let n = diag.len().min(b.len());
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = if i == j { diag[i] } else { off };
+                }
+            }
+            let bb = &b[..n];
+            let x = a.solve(bb).unwrap();
+            let back = a.mul_vec(&x).unwrap();
+            for (u, v) in back.iter().zip(bb) {
+                prop_assert!((u - v).abs() < 1e-6);
+            }
+        }
+    }
+}

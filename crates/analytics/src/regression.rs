@@ -1,0 +1,300 @@
+//! Linear and logistic regression.
+//!
+//! §5 of the paper mentions *"using AI/ML techniques to predict MOS scores
+//! from user engagement and network conditions"* (omitted for brevity there);
+//! `usaas::predict` builds that predictor on these models. Linear regression
+//! is solved exactly via the normal equations (ridge-stabilised); logistic
+//! regression is fit by batch gradient descent.
+
+use crate::error::AnalyticsError;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Ordinary least squares with optional ridge regularisation.
+///
+/// The model is `y = intercept + w · x`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Intercept term.
+    pub intercept: f64,
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl LinearModel {
+    /// Fit on rows of features `xs[i]` and targets `ys[i]`.
+    ///
+    /// `ridge` (≥ 0) adds `ridge * I` to the normal matrix (intercept
+    /// excluded) — with the small default used by callers this mostly guards
+    /// against collinear synthetic features.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], ridge: f64) -> Result<LinearModel, AnalyticsError> {
+        if xs.is_empty() || ys.is_empty() {
+            return Err(AnalyticsError::Empty);
+        }
+        if xs.len() != ys.len() {
+            return Err(AnalyticsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        }
+        let d = xs[0].len();
+        if d == 0 || xs.iter().any(|r| r.len() != d) {
+            return Err(AnalyticsError::InvalidParameter("ragged feature rows"));
+        }
+        if ridge < 0.0 || !ridge.is_finite() {
+            return Err(AnalyticsError::InvalidParameter("ridge must be >= 0"));
+        }
+        let n = xs.len();
+        let p = d + 1; // +1 for intercept column
+        // Normal equations: (X'X + ridge*I) w = X'y, with X including a ones column.
+        let mut xtx = Matrix::zeros(p, p);
+        let mut xty = vec![0.0; p];
+        for (row, &y) in xs.iter().zip(ys) {
+            // augmented row: [1, x...]
+            for a in 0..p {
+                let xa = if a == 0 { 1.0 } else { row[a - 1] };
+                xty[a] += xa * y;
+                for b in a..p {
+                    let xb = if b == 0 { 1.0 } else { row[b - 1] };
+                    xtx[(a, b)] += xa * xb;
+                }
+            }
+        }
+        // Mirror the upper triangle and apply ridge (not on intercept).
+        for a in 0..p {
+            for b in (a + 1)..p {
+                xtx[(b, a)] = xtx[(a, b)];
+            }
+        }
+        for a in 1..p {
+            xtx[(a, a)] += ridge;
+        }
+        let sol = xtx.solve(&xty)?;
+        let intercept = sol[0];
+        let weights = sol[1..].to_vec();
+
+        // R² on training data.
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (row, &y) in xs.iter().zip(ys) {
+            let pred = intercept + row.iter().zip(&weights).map(|(x, w)| x * w).sum::<f64>();
+            ss_res += (y - pred) * (y - pred);
+            ss_tot += (y - mean_y) * (y - mean_y);
+        }
+        let r_squared = if ss_tot == 0.0 { 0.0 } else { 1.0 - ss_res / ss_tot };
+        Ok(LinearModel { intercept, weights, r_squared })
+    }
+
+    /// Predict for one feature row (rows shorter than the weight vector are
+    /// an error).
+    pub fn predict(&self, x: &[f64]) -> Result<f64, AnalyticsError> {
+        if x.len() != self.weights.len() {
+            return Err(AnalyticsError::LengthMismatch { left: x.len(), right: self.weights.len() });
+        }
+        Ok(self.intercept + x.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>())
+    }
+
+    /// Predict for many rows.
+    pub fn predict_many(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>, AnalyticsError> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Binary logistic regression fit with batch gradient descent.
+///
+/// The model is `P(y=1|x) = sigmoid(intercept + w · x)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticModel {
+    /// Intercept term.
+    pub intercept: f64,
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Gradient-descent iterations actually used.
+    pub iterations: usize,
+}
+
+/// Numerically-stable sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticModel {
+    /// Fit on rows of features and boolean labels.
+    ///
+    /// `lr` is the learning rate (e.g. 0.1), `max_iter` bounds iterations;
+    /// convergence is declared when the max absolute gradient component drops
+    /// below `1e-6`.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        lr: f64,
+        max_iter: usize,
+    ) -> Result<LogisticModel, AnalyticsError> {
+        if xs.is_empty() || ys.is_empty() {
+            return Err(AnalyticsError::Empty);
+        }
+        if xs.len() != ys.len() {
+            return Err(AnalyticsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        }
+        let d = xs[0].len();
+        if d == 0 || xs.iter().any(|r| r.len() != d) {
+            return Err(AnalyticsError::InvalidParameter("ragged feature rows"));
+        }
+        if lr <= 0.0 || !lr.is_finite() {
+            return Err(AnalyticsError::InvalidParameter("learning rate must be > 0"));
+        }
+        let n = xs.len() as f64;
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut iterations = max_iter;
+        for it in 0..max_iter {
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (row, &y) in xs.iter().zip(ys) {
+                let z = b + row.iter().zip(&w).map(|(x, w)| x * w).sum::<f64>();
+                let err = sigmoid(z) - if y { 1.0 } else { 0.0 };
+                gb += err;
+                for (g, x) in gw.iter_mut().zip(row) {
+                    *g += err * x;
+                }
+            }
+            gb /= n;
+            for g in gw.iter_mut() {
+                *g /= n;
+            }
+            b -= lr * gb;
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= lr * g;
+            }
+            let max_g = gw.iter().map(|g| g.abs()).fold(gb.abs(), f64::max);
+            if max_g < 1e-6 {
+                iterations = it + 1;
+                break;
+            }
+        }
+        Ok(LogisticModel { intercept: b, weights: w, iterations })
+    }
+
+    /// Predicted probability for one row.
+    pub fn predict_proba(&self, x: &[f64]) -> Result<f64, AnalyticsError> {
+        if x.len() != self.weights.len() {
+            return Err(AnalyticsError::LengthMismatch { left: x.len(), right: self.weights.len() });
+        }
+        let z = self.intercept + x.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>();
+        Ok(sigmoid(z))
+    }
+
+    /// Hard classification at threshold 0.5.
+    pub fn predict(&self, x: &[f64]) -> Result<bool, AnalyticsError> {
+        Ok(self.predict_proba(x)? >= 0.5)
+    }
+}
+
+/// Mean absolute error between predictions and targets.
+pub fn mae(pred: &[f64], truth: &[f64]) -> Result<f64, AnalyticsError> {
+    if pred.len() != truth.len() {
+        return Err(AnalyticsError::LengthMismatch { left: pred.len(), right: truth.len() });
+    }
+    if pred.is_empty() {
+        return Err(AnalyticsError::Empty);
+    }
+    Ok(pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64)
+}
+
+/// Root-mean-square error between predictions and targets.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> Result<f64, AnalyticsError> {
+    if pred.len() != truth.len() {
+        return Err(AnalyticsError::LengthMismatch { left: pred.len(), right: truth.len() });
+    }
+    if pred.is_empty() {
+        return Err(AnalyticsError::Empty);
+    }
+    let ms = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64;
+    Ok(ms.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn linear_recovers_exact_coefficients() {
+        // y = 3 + 2a - b
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64 * 0.1, (i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let m = LinearModel::fit(&xs, &ys, 0.0).unwrap();
+        assert!((m.intercept - 3.0).abs() < 1e-8, "{}", m.intercept);
+        assert!((m.weights[0] - 2.0).abs() < 1e-8);
+        assert!((m.weights[1] + 1.0).abs() < 1e-8);
+        assert!(m.r_squared > 0.999999);
+        assert!((m.predict(&[1.0, 2.0]).unwrap() - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linear_with_noise_still_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> = (0..500).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| 1.0 + 0.5 * r[0] + 0.05 * crate::dist::standard_normal(&mut rng))
+            .collect();
+        let m = LinearModel::fit(&xs, &ys, 1e-6).unwrap();
+        assert!((m.weights[0] - 0.5).abs() < 0.02, "{}", m.weights[0]);
+        assert!(m.r_squared > 0.95);
+    }
+
+    #[test]
+    fn linear_errors() {
+        assert!(LinearModel::fit(&[], &[], 0.0).is_err());
+        assert!(LinearModel::fit(&[vec![1.0]], &[1.0, 2.0], 0.0).is_err());
+        assert!(LinearModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.0).is_err());
+        assert!(LinearModel::fit(&[vec![1.0]], &[1.0], -1.0).is_err());
+        // Collinear duplicated feature is singular without ridge…
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(LinearModel::fit(&xs, &ys, 0.0), Err(AnalyticsError::Singular));
+        // …but solvable with it.
+        assert!(LinearModel::fit(&xs, &ys, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn logistic_learns_separable_boundary() {
+        // label = x > 2
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 * 0.02]).collect();
+        let ys: Vec<bool> = xs.iter().map(|r| r[0] > 2.0).collect();
+        let m = LogisticModel::fit(&xs, &ys, 0.5, 20_000).unwrap();
+        assert!(!m.predict(&[0.5]).unwrap());
+        assert!(m.predict(&[3.5]).unwrap());
+        assert!(m.predict_proba(&[3.9]).unwrap() > 0.8);
+        assert!(m.predict_proba(&[0.1]).unwrap() < 0.2);
+    }
+
+    #[test]
+    fn sigmoid_stable_and_bounded() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-1e300) >= 0.0);
+        assert!(sigmoid(1e300) <= 1.0);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 1.0, 5.0];
+        assert!((mae(&pred, &truth).unwrap() - 1.0).abs() < 1e-12);
+        let r = rmse(&pred, &truth).unwrap();
+        assert!((r - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(mae(&pred, &truth[..2]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Subsampling and bootstrap utilities.
+//!
+//! Fig. 7 of the paper re-plots monthly median downlink speeds using 95 % and
+//! 90 % of the data "picked uniformly at random" to show the medians are
+//! stable; [`subsample`] implements that draw and [`bootstrap_ci`] gives the
+//! stronger version (a percentile bootstrap confidence interval) used by the
+//! extended analyses.
+
+use crate::descriptive;
+use crate::error::AnalyticsError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draw `fraction` (in `(0, 1]`) of `xs` uniformly at random without
+/// replacement. Always returns at least one element for non-empty input.
+pub fn subsample<R: Rng + ?Sized>(
+    rng: &mut R,
+    xs: &[f64],
+    fraction: f64,
+) -> Result<Vec<f64>, AnalyticsError> {
+    if xs.is_empty() {
+        return Err(AnalyticsError::Empty);
+    }
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(AnalyticsError::InvalidParameter("fraction must be in (0, 1]"));
+    }
+    let k = ((xs.len() as f64 * fraction).round() as usize).clamp(1, xs.len());
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.shuffle(rng);
+    Ok(idx[..k].iter().map(|&i| xs[i]).collect())
+}
+
+/// Percentile-bootstrap confidence interval for a statistic.
+///
+/// Resamples `xs` with replacement `resamples` times, applies `stat`, and
+/// returns the `(lo, hi)` percentile bounds of the resulting distribution at
+/// confidence `conf` (e.g. `0.95` → 2.5th and 97.5th percentiles).
+pub fn bootstrap_ci<R: Rng + ?Sized>(
+    rng: &mut R,
+    xs: &[f64],
+    resamples: usize,
+    conf: f64,
+    stat: impl Fn(&[f64]) -> f64,
+) -> Result<(f64, f64), AnalyticsError> {
+    if xs.is_empty() {
+        return Err(AnalyticsError::Empty);
+    }
+    if resamples == 0 {
+        return Err(AnalyticsError::InvalidParameter("resamples must be > 0"));
+    }
+    if !(conf > 0.0 && conf < 1.0) {
+        return Err(AnalyticsError::InvalidParameter("confidence must be in (0, 1)"));
+    }
+    let n = xs.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.gen_range(0..n)];
+        }
+        stats.push(stat(&buf));
+    }
+    let alpha = (1.0 - conf) / 2.0 * 100.0;
+    let lo = descriptive::percentile(&stats, alpha)?;
+    let hi = descriptive::percentile(&stats, 100.0 - alpha)?;
+    Ok((lo, hi))
+}
+
+/// Reservoir-sample `k` items from an iterator (Algorithm R). Returns fewer
+/// than `k` when the iterator is shorter.
+pub fn reservoir<R: Rng + ?Sized, T>(
+    rng: &mut R,
+    iter: impl Iterator<Item = T>,
+    k: usize,
+) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.enumerate() {
+        if out.len() < k {
+            out.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                out[j] = item;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::median;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn subsample_sizes() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut r = rng();
+        assert_eq!(subsample(&mut r, &xs, 0.95).unwrap().len(), 95);
+        assert_eq!(subsample(&mut r, &xs, 0.90).unwrap().len(), 90);
+        assert_eq!(subsample(&mut r, &xs, 1.0).unwrap().len(), 100);
+        assert_eq!(subsample(&mut r, &xs, 0.001).unwrap().len(), 1);
+        assert!(subsample(&mut r, &xs, 0.0).is_err());
+        assert!(subsample(&mut r, &xs, 1.5).is_err());
+        assert!(subsample(&mut r, &[], 0.5).is_err());
+    }
+
+    #[test]
+    fn subsample_median_is_stable() {
+        // The Fig. 7 stability check: 95 %/90 % subsample medians track the full median.
+        let mut r = rng();
+        let xs: Vec<f64> = (0..1000).map(|i| 50.0 + (i % 60) as f64).collect();
+        let full = median(&xs).unwrap();
+        for frac in [0.95, 0.90] {
+            let sub = subsample(&mut r, &xs, frac).unwrap();
+            let m = median(&sub).unwrap();
+            assert!((m - full).abs() / full < 0.05, "frac {frac}: {m} vs {full}");
+        }
+    }
+
+    #[test]
+    fn subsample_without_replacement() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut r = rng();
+        let mut sub = subsample(&mut r, &xs, 1.0).unwrap();
+        sub.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sub, xs);
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_truth() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..500).map(|i| (i % 100) as f64).collect();
+        let (lo, hi) =
+            bootstrap_ci(&mut r, &xs, 400, 0.95, |s| median(s).unwrap()).unwrap();
+        let true_med = median(&xs).unwrap();
+        assert!(lo <= true_med && true_med <= hi, "[{lo}, {hi}] vs {true_med}");
+        assert!(hi - lo < 20.0, "CI too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bootstrap_validation() {
+        let mut r = rng();
+        assert!(bootstrap_ci(&mut r, &[], 10, 0.9, |_| 0.0).is_err());
+        assert!(bootstrap_ci(&mut r, &[1.0], 0, 0.9, |_| 0.0).is_err());
+        assert!(bootstrap_ci(&mut r, &[1.0], 10, 1.0, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn reservoir_counts() {
+        let mut r = rng();
+        let got = reservoir(&mut r, 0..100, 10);
+        assert_eq!(got.len(), 10);
+        let short = reservoir(&mut r, 0..3, 10);
+        assert_eq!(short.len(), 3);
+        let none: Vec<i32> = reservoir(&mut r, 0..100, 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        let mut r = rng();
+        let mut hits = [0usize; 10];
+        for _ in 0..5000 {
+            for v in reservoir(&mut r, 0..10, 3) {
+                hits[v as usize] += 1;
+            }
+        }
+        // Each of 10 items should appear ~ 5000 * 3/10 = 1500 times.
+        for (i, h) in hits.iter().enumerate() {
+            assert!((1200..1800).contains(h), "item {i} hit {h} times");
+        }
+    }
+}

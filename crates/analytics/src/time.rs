@@ -1,0 +1,366 @@
+//! Civil-date arithmetic without external dependencies.
+//!
+//! The social-media pipelines (§4 of the paper) are organised around calendar
+//! days and months between Jan 2021 and Dec 2022: daily sentiment counts,
+//! monthly median downlink speeds, weekday/business-hour call filters (§3.1).
+//! This module provides a compact proleptic-Gregorian [`Date`] (stored as days
+//! since 1970-01-01) plus month iteration and weekday logic — everything the
+//! workspace needs, and nothing more.
+//!
+//! The day-number conversion follows Howard Hinnant's well-known
+//! `days_from_civil` algorithm (public domain), which is exact over the whole
+//! `i32` year range.
+
+use crate::error::AnalyticsError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Day of the week. `Monday` = 0 … `Sunday` = 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday.
+    Monday,
+    /// Tuesday.
+    Tuesday,
+    /// Wednesday.
+    Wednesday,
+    /// Thursday.
+    Thursday,
+    /// Friday.
+    Friday,
+    /// Saturday.
+    Saturday,
+    /// Sunday.
+    Sunday,
+}
+
+impl Weekday {
+    /// True for Monday–Friday. The paper's §3.1 call dataset keeps weekday
+    /// business-hour calls only.
+    pub fn is_business_day(self) -> bool {
+        !matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    fn from_index(i: u32) -> Weekday {
+        match i {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+}
+
+/// A calendar month, identified by year and month number (1–12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Month {
+    /// Calendar year.
+    pub year: i32,
+    /// Month number, 1 = January … 12 = December.
+    pub month: u8,
+}
+
+impl Month {
+    /// Construct a month; `month` must be 1–12.
+    pub fn new(year: i32, month: u8) -> Result<Month, AnalyticsError> {
+        if !(1..=12).contains(&month) {
+            return Err(AnalyticsError::InvalidDate { year, month, day: 1 });
+        }
+        Ok(Month { year, month })
+    }
+
+    /// First day of this month.
+    pub fn first_day(self) -> Date {
+        Date::from_ymd(self.year, self.month, 1).expect("month is validated")
+    }
+
+    /// Last day of this month.
+    pub fn last_day(self) -> Date {
+        let len = days_in_month(self.year, self.month);
+        Date::from_ymd(self.year, self.month, len).expect("month is validated")
+    }
+
+    /// The month after this one.
+    pub fn next(self) -> Month {
+        if self.month == 12 {
+            Month { year: self.year + 1, month: 1 }
+        } else {
+            Month { year: self.year, month: self.month + 1 }
+        }
+    }
+
+    /// Number of days in this month.
+    pub fn len_days(self) -> u8 {
+        days_in_month(self.year, self.month)
+    }
+
+    /// Iterate months from `self` through `end` inclusive.
+    pub fn iter_through(self, end: Month) -> impl Iterator<Item = Month> {
+        let mut cur = self;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done || cur > end {
+                return None;
+            }
+            let out = cur;
+            if cur == end {
+                done = true;
+            } else {
+                cur = cur.next();
+            }
+            Some(out)
+        })
+    }
+
+    /// Months elapsed since another month (can be negative).
+    pub fn months_since(self, other: Month) -> i32 {
+        (self.year - other.year) * 12 + i32::from(self.month) - i32::from(other.month)
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 12] = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ];
+        write!(f, "{}'{}", NAMES[(self.month - 1) as usize], self.year % 100)
+    }
+}
+
+/// A proleptic-Gregorian calendar date stored as days since 1970-01-01.
+///
+/// Cheap to copy, totally ordered, and supports day arithmetic via
+/// [`Date::offset`] / [`Date::days_since`].
+///
+/// ```
+/// use analytics::time::Date;
+/// let outage = Date::from_ymd(2022, 4, 22).unwrap();
+/// assert_eq!(outage.to_string(), "2022-04-22");
+/// assert_eq!(outage.offset(7).days_since(outage), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date(i32);
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl Date {
+    /// Construct from year/month/day, validating the calendar.
+    pub fn from_ymd(year: i32, month: u8, day: u8) -> Result<Date, AnalyticsError> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(AnalyticsError::InvalidDate { year, month, day });
+        }
+        // Hinnant days_from_civil.
+        let y = i64::from(year) - i64::from(month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = i64::from(month);
+        let d = i64::from(day);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        let days = era * 146_097 + doe - 719_468;
+        Ok(Date(days as i32))
+    }
+
+    /// Construct directly from days since the Unix epoch.
+    pub fn from_days(days: i32) -> Date {
+        Date(days)
+    }
+
+    /// Days since 1970-01-01 (can be negative).
+    pub fn days(self) -> i32 {
+        self.0
+    }
+
+    /// Decompose into (year, month, day). Inverse of [`Date::from_ymd`].
+    pub fn ymd(self) -> (i32, u8, u8) {
+        // Hinnant civil_from_days.
+        let z = i64::from(self.0) + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+        let year = if m <= 2 { y + 1 } else { y };
+        (year as i32, m as u8, d as u8)
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// The month this date falls in.
+    pub fn month(self) -> Month {
+        let (y, m, _) = self.ymd();
+        Month { year: y, month: m }
+    }
+
+    /// Day of month (1–31).
+    pub fn day(self) -> u8 {
+        self.ymd().2
+    }
+
+    /// Weekday of this date (1970-01-01 was a Thursday).
+    pub fn weekday(self) -> Weekday {
+        // days() == 0 => Thursday (index 3 with Monday = 0).
+        let idx = (self.0 + 3).rem_euclid(7) as u32;
+        Weekday::from_index(idx)
+    }
+
+    /// The date `delta` days later (earlier if negative).
+    pub fn offset(self, delta: i32) -> Date {
+        Date(self.0 + delta)
+    }
+
+    /// Signed number of days from `other` to `self`.
+    pub fn days_since(self, other: Date) -> i32 {
+        self.0 - other.0
+    }
+
+    /// Iterate every day from `self` through `end` inclusive.
+    pub fn iter_through(self, end: Date) -> impl Iterator<Item = Date> {
+        (self.0..=end.0).map(Date)
+    }
+}
+
+impl fmt::Display for Date {
+    /// ISO 8601 (`YYYY-MM-DD`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_thursday() {
+        let d = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(d.days(), 0);
+        assert_eq!(d.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        for (y, m, d, days) in [
+            (1970, 1, 1, 0),
+            (1970, 1, 2, 1),
+            (1969, 12, 31, -1),
+            (2000, 3, 1, 11017),
+            (2021, 1, 1, 18628),
+            (2022, 4, 22, 19104),
+            (2022, 12, 31, 19357),
+        ] {
+            let date = Date::from_ymd(y, m, d).unwrap();
+            assert_eq!(date.days(), days, "{y}-{m}-{d}");
+            assert_eq!(date.ymd(), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn paper_peak_dates_have_expected_weekdays() {
+        // 2021-02-09 was a Tuesday, 2021-11-24 a Wednesday, 2022-04-22 a Friday.
+        assert_eq!(Date::from_ymd(2021, 2, 9).unwrap().weekday(), Weekday::Tuesday);
+        assert_eq!(Date::from_ymd(2021, 11, 24).unwrap().weekday(), Weekday::Wednesday);
+        assert_eq!(Date::from_ymd(2022, 4, 22).unwrap().weekday(), Weekday::Friday);
+    }
+
+    #[test]
+    fn rejects_bad_dates() {
+        assert!(Date::from_ymd(2022, 2, 29).is_err());
+        assert!(Date::from_ymd(2020, 2, 29).is_ok()); // leap year
+        assert!(Date::from_ymd(2022, 13, 1).is_err());
+        assert!(Date::from_ymd(2022, 0, 1).is_err());
+        assert!(Date::from_ymd(2022, 4, 31).is_err());
+        assert!(Date::from_ymd(2022, 4, 0).is_err());
+    }
+
+    #[test]
+    fn month_iteration_covers_study_window() {
+        let start = Month::new(2021, 1).unwrap();
+        let end = Month::new(2022, 12).unwrap();
+        let months: Vec<Month> = start.iter_through(end).collect();
+        assert_eq!(months.len(), 24);
+        assert_eq!(months[0].to_string(), "Jan'21");
+        assert_eq!(months[23].to_string(), "Dec'22");
+        assert_eq!(end.months_since(start), 23);
+    }
+
+    #[test]
+    fn month_boundaries() {
+        let feb22 = Month::new(2022, 2).unwrap();
+        assert_eq!(feb22.first_day().to_string(), "2022-02-01");
+        assert_eq!(feb22.last_day().to_string(), "2022-02-28");
+        assert_eq!(feb22.len_days(), 28);
+        assert_eq!(Month::new(2020, 2).unwrap().len_days(), 29);
+        assert_eq!(Month::new(2022, 12).unwrap().next(), Month::new(2023, 1).unwrap());
+    }
+
+    #[test]
+    fn day_iteration_inclusive() {
+        let a = Date::from_ymd(2022, 4, 20).unwrap();
+        let b = Date::from_ymd(2022, 4, 22).unwrap();
+        let days: Vec<Date> = a.iter_through(b).collect();
+        assert_eq!(days.len(), 3);
+        assert_eq!(days[2], b);
+    }
+
+    #[test]
+    fn business_days() {
+        assert!(Weekday::Friday.is_business_day());
+        assert!(!Weekday::Saturday.is_business_day());
+        assert!(!Weekday::Sunday.is_business_day());
+    }
+
+    proptest! {
+        #[test]
+        fn ymd_round_trips(days in -200_000i32..200_000) {
+            let date = Date::from_days(days);
+            let (y, m, d) = date.ymd();
+            let back = Date::from_ymd(y, m, d).unwrap();
+            prop_assert_eq!(back, date);
+        }
+
+        #[test]
+        fn successive_days_advance_weekday(days in -10_000i32..10_000) {
+            let a = Date::from_days(days);
+            let b = a.offset(7);
+            prop_assert_eq!(a.weekday(), b.weekday());
+            prop_assert_eq!(b.days_since(a), 7);
+        }
+
+        #[test]
+        fn month_of_day_contains_day(days in -100_000i32..100_000) {
+            let date = Date::from_days(days);
+            let month = date.month();
+            prop_assert!(month.first_day() <= date);
+            prop_assert!(date <= month.last_day());
+        }
+    }
+}

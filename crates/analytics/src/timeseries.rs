@@ -1,0 +1,309 @@
+//! Daily time-series containers and peak detection.
+//!
+//! Fig. 5a of the paper finds "sentiment peaks" in daily strong-positive /
+//! strong-negative post counts and annotates the top three; Fig. 6 finds
+//! outage-keyword spikes. [`DailySeries`] holds a dense day-indexed series and
+//! [`DailySeries::peaks`] implements a robust (median/MAD) z-score detector
+//! with a refractory window so that one multi-day event registers as one peak.
+
+use crate::descriptive::{median, percentile};
+use crate::error::AnalyticsError;
+use crate::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// A dense series of one value per calendar day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailySeries {
+    start: Date,
+    values: Vec<f64>,
+}
+
+/// A detected peak: the day, its value, and its robust z-score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Day of the (local) maximum.
+    pub date: Date,
+    /// Series value at the peak.
+    pub value: f64,
+    /// Robust z-score of the peak vs. the whole series.
+    pub score: f64,
+}
+
+impl DailySeries {
+    /// A zero-filled series covering `start..=end`.
+    pub fn zeros(start: Date, end: Date) -> Result<DailySeries, AnalyticsError> {
+        if end < start {
+            return Err(AnalyticsError::InvalidParameter("series end before start"));
+        }
+        let len = (end.days_since(start) + 1) as usize;
+        Ok(DailySeries { start, values: vec![0.0; len] })
+    }
+
+    /// Build from explicit values starting at `start`.
+    pub fn from_values(start: Date, values: Vec<f64>) -> Result<DailySeries, AnalyticsError> {
+        if values.is_empty() {
+            return Err(AnalyticsError::Empty);
+        }
+        Ok(DailySeries { start, values })
+    }
+
+    /// First day of the series.
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// Last day of the series.
+    pub fn end(&self) -> Date {
+        self.start.offset(self.values.len() as i32 - 1)
+    }
+
+    /// Number of days covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series is empty (cannot normally happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at `date`, or `None` outside the covered range.
+    pub fn get(&self, date: Date) -> Option<f64> {
+        let off = date.days_since(self.start);
+        if off < 0 {
+            return None;
+        }
+        self.values.get(off as usize).copied()
+    }
+
+    /// Add `amount` at `date`; silently ignores out-of-range dates (callers
+    /// accumulate events into a fixed study window).
+    pub fn add(&mut self, date: Date, amount: f64) {
+        let off = date.days_since(self.start);
+        if off >= 0 {
+            if let Some(v) = self.values.get_mut(off as usize) {
+                *v += amount;
+            }
+        }
+    }
+
+    /// Raw values, one per day from [`DailySeries::start`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterate `(date, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Date, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (self.start.offset(i as i32), *v))
+    }
+
+    /// Centered moving average with the given odd window (edges use the
+    /// available part of the window).
+    pub fn moving_average(&self, window: usize) -> Result<DailySeries, AnalyticsError> {
+        if window == 0 || window.is_multiple_of(2) {
+            return Err(AnalyticsError::InvalidParameter("window must be odd and > 0"));
+        }
+        let half = window / 2;
+        let n = self.values.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let slice = &self.values[lo..hi];
+            out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+        }
+        Ok(DailySeries { start: self.start, values: out })
+    }
+
+    /// Robust peak detection.
+    ///
+    /// A day is a peak candidate when its robust z-score
+    /// `(x - median) / (1.4826 * MAD)` exceeds `min_score` and it is a local
+    /// maximum. Candidates within `refractory_days` of a stronger candidate
+    /// are suppressed, so a three-day outage thread storm yields one peak.
+    /// Peaks are returned strongest-first.
+    pub fn peaks(&self, min_score: f64, refractory_days: i32) -> Vec<Peak> {
+        let med = match median(&self.values) {
+            Ok(m) => m,
+            Err(_) => return Vec::new(),
+        };
+        let abs_dev: Vec<f64> = self.values.iter().map(|v| (v - med).abs()).collect();
+        let mad = median(&abs_dev).unwrap_or(0.0);
+        // Fallback scale when over half the days are identical (MAD = 0):
+        // use the 75th percentile of deviations, then an epsilon.
+        let scale = if mad > 0.0 {
+            1.4826 * mad
+        } else {
+            let p75 = percentile(&abs_dev, 75.0).unwrap_or(0.0);
+            if p75 > 0.0 {
+                p75
+            } else {
+                1.0
+            }
+        };
+        let n = self.values.len();
+        let mut candidates: Vec<Peak> = (0..n)
+            .filter(|&i| {
+                let v = self.values[i];
+                let left = if i == 0 { f64::NEG_INFINITY } else { self.values[i - 1] };
+                let right = if i + 1 == n { f64::NEG_INFINITY } else { self.values[i + 1] };
+                v >= left && v >= right
+            })
+            .map(|i| Peak {
+                date: self.start.offset(i as i32),
+                value: self.values[i],
+                score: (self.values[i] - med) / scale,
+            })
+            .filter(|p| p.score >= min_score)
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut kept: Vec<Peak> = Vec::new();
+        for c in candidates {
+            if kept
+                .iter()
+                .all(|k| (c.date.days_since(k.date)).abs() > refractory_days)
+            {
+                kept.push(c);
+            }
+        }
+        kept
+    }
+
+    /// Sum of values over `lo..=hi` clipped to the covered range.
+    pub fn window_sum(&self, lo: Date, hi: Date) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        lo.iter_through(hi).filter_map(|d| self.get(d)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn base_series() -> DailySeries {
+        let start = d(2022, 1, 1);
+        let end = d(2022, 3, 31);
+        let mut s = DailySeries::zeros(start, end).unwrap();
+        for (i, date) in start.iter_through(end).enumerate() {
+            s.add(date, 10.0 + (i % 3) as f64); // humdrum baseline 10..12
+        }
+        s
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let s = base_series();
+        assert_eq!(s.len(), 90);
+        assert_eq!(s.start(), d(2022, 1, 1));
+        assert_eq!(s.end(), d(2022, 3, 31));
+        assert_eq!(s.get(d(2022, 1, 1)), Some(10.0));
+        assert_eq!(s.get(d(2021, 12, 31)), None);
+        assert_eq!(s.get(d(2022, 4, 1)), None);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn add_out_of_range_is_ignored() {
+        let mut s = base_series();
+        s.add(d(2023, 1, 1), 100.0);
+        s.add(d(2020, 1, 1), 100.0);
+        assert_eq!(s.values().iter().sum::<f64>(), base_series().values().iter().sum::<f64>());
+    }
+
+    #[test]
+    fn single_spike_is_top_peak() {
+        let mut s = base_series();
+        s.add(d(2022, 1, 7), 200.0);
+        let peaks = s.peaks(5.0, 3);
+        assert!(!peaks.is_empty());
+        assert_eq!(peaks[0].date, d(2022, 1, 7));
+        assert!(peaks[0].value > 200.0);
+    }
+
+    #[test]
+    fn refractory_merges_multiday_event() {
+        let mut s = base_series();
+        // A three-day storm.
+        s.add(d(2022, 2, 9), 150.0);
+        s.add(d(2022, 2, 10), 180.0);
+        s.add(d(2022, 2, 11), 120.0);
+        let peaks = s.peaks(5.0, 3);
+        let feb_peaks: Vec<&Peak> = peaks
+            .iter()
+            .filter(|p| p.date.month() == crate::time::Month::new(2022, 2).unwrap())
+            .collect();
+        assert_eq!(feb_peaks.len(), 1, "storm should collapse to one peak: {feb_peaks:?}");
+        assert_eq!(feb_peaks[0].date, d(2022, 2, 10));
+    }
+
+    #[test]
+    fn peaks_ranked_by_score() {
+        let mut s = base_series();
+        s.add(d(2022, 1, 10), 100.0);
+        s.add(d(2022, 2, 10), 300.0);
+        s.add(d(2022, 3, 10), 200.0);
+        let peaks = s.peaks(5.0, 3);
+        assert!(peaks.len() >= 3);
+        assert_eq!(peaks[0].date, d(2022, 2, 10));
+        assert_eq!(peaks[1].date, d(2022, 3, 10));
+        assert_eq!(peaks[2].date, d(2022, 1, 10));
+    }
+
+    #[test]
+    fn quiet_series_has_no_big_peaks() {
+        let s = base_series();
+        assert!(s.peaks(5.0, 3).is_empty());
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut s = base_series();
+        s.add(d(2022, 2, 10), 90.0);
+        let sm = s.moving_average(7).unwrap();
+        let raw = s.get(d(2022, 2, 10)).unwrap();
+        let smoothed = sm.get(d(2022, 2, 10)).unwrap();
+        assert!(smoothed < raw);
+        assert!(smoothed > s.get(d(2022, 2, 1)).unwrap());
+        assert!(s.moving_average(4).is_err());
+        assert!(s.moving_average(0).is_err());
+    }
+
+    #[test]
+    fn window_sum_clips() {
+        let s = base_series();
+        let total: f64 = s.values().iter().sum();
+        assert_eq!(s.window_sum(d(2021, 1, 1), d(2023, 1, 1)), total);
+        assert_eq!(s.window_sum(d(2022, 2, 1), d(2022, 1, 1)), 0.0);
+        let one = s.window_sum(d(2022, 1, 1), d(2022, 1, 1));
+        assert_eq!(one, 10.0);
+    }
+
+    #[test]
+    fn invalid_constructors() {
+        assert!(DailySeries::zeros(d(2022, 1, 2), d(2022, 1, 1)).is_err());
+        assert!(DailySeries::from_values(d(2022, 1, 1), vec![]).is_err());
+    }
+
+    #[test]
+    fn mad_zero_fallback_does_not_panic() {
+        // Constant series with one spike: MAD is 0, fallback kicks in.
+        let start = d(2022, 1, 1);
+        let mut vals = vec![5.0; 60];
+        vals[30] = 500.0;
+        let s = DailySeries::from_values(start, vals).unwrap();
+        let peaks = s.peaks(3.0, 2);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].date, start.offset(30));
+    }
+}

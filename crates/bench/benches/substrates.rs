@@ -1,0 +1,96 @@
+//! Criterion micro-benches for the substrates: path simulation throughput,
+//! the loss chain, client aggregation, analytics primitives, the signal
+//! store, and the ingestion pipeline.
+
+use analytics::time::Date;
+use analytics::timeseries::DailySeries;
+use bench::bench_forum;
+use conference::dataset::{generate, DatasetConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::access::AccessType;
+use netsim::path::NetworkPath;
+use netsim::sampler::ClientSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use usaas::ingest::ingest_all;
+use usaas::store::SignalStore;
+
+fn bench_path_ticks(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let targets = AccessType::Cable.sample_targets(&mut rng);
+    c.bench_function("netsim_path_10k_ticks", |b| {
+        b.iter(|| {
+            let mut path = NetworkPath::from_targets(targets);
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += path.tick(&mut rng).latency_ms;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_client_sampler(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let targets = AccessType::Fiber.sample_targets(&mut rng);
+    let mut path = NetworkPath::from_targets(targets);
+    let samples: Vec<netsim::path::PathSample> = (0..720).map(|_| path.tick(&mut rng)).collect();
+    c.bench_function("client_sampler_session_720_ticks", |b| {
+        b.iter(|| {
+            let mut sampler = ClientSampler::with_capacity(720);
+            for s in &samples {
+                sampler.record(black_box(s));
+            }
+            black_box(sampler.finish().expect("stats"))
+        });
+    });
+}
+
+fn bench_analytics_primitives(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    use rand::Rng;
+    let xs: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x * 0.5 + rng.gen_range(0.0..10.0)).collect();
+    let mut group = c.benchmark_group("analytics");
+    group.bench_function("pearson_10k", |b| {
+        b.iter(|| black_box(analytics::pearson(black_box(&xs), black_box(&ys)).expect("r")));
+    });
+    group.bench_function("spearman_10k", |b| {
+        b.iter(|| black_box(analytics::spearman(black_box(&xs), black_box(&ys)).expect("r")));
+    });
+    group.bench_function("percentile_10k", |b| {
+        b.iter(|| black_box(analytics::percentile(black_box(&xs), 95.0).expect("p95")));
+    });
+    let start = Date::from_ymd(2021, 1, 1).expect("date");
+    let series = DailySeries::from_values(start, xs[..730].to_vec()).expect("series");
+    group.bench_function("peak_detection_730_days", |b| {
+        b.iter(|| black_box(series.peaks(3.0, 3)));
+    });
+    group.finish();
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let dataset = generate(&DatasetConfig::small(150, 4));
+    let forum = bench_forum();
+    let mut group = c.benchmark_group("ingest_pipeline");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let store = SignalStore::new();
+                black_box(ingest_all(&store, &dataset, &forum, workers))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_path_ticks,
+    bench_client_sampler,
+    bench_analytics_primitives,
+    bench_ingestion,
+);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Criterion benches for the §3 (conferencing) pipeline: one benchmark per
+//! figure/analysis plus the mitigation ablation that explains Fig. 1b.
+
+use bench::{figure_dataset, BENCH_CALLS};
+use conference::dataset::{generate_with, DatasetConfig};
+use conference::records::{EngagementMetric, NetworkMetric};
+use conference::CallSimulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::mitigation::Mitigation;
+use std::hint::black_box;
+use usaas::correlate;
+use usaas::predict::{train_and_evaluate, FeatureSet};
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    for calls in [200usize, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(calls), &calls, |b, &calls| {
+            b.iter(|| {
+                let cfg = DatasetConfig::small(calls, 1);
+                black_box(conference::dataset::generate(&cfg).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig1_curves(c: &mut Criterion) {
+    let ds = figure_dataset(BENCH_CALLS);
+    let mut group = c.benchmark_group("fig1_engagement_curves");
+    for (name, sweep) in [
+        ("fig1_latency", NetworkMetric::LatencyMs),
+        ("fig1_loss", NetworkMetric::LossPct),
+        ("fig1_jitter", NetworkMetric::JitterMs),
+        ("fig1_bandwidth", NetworkMetric::BandwidthMbps),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for metric in EngagementMetric::ALL {
+                    let curve = correlate::engagement_curve(
+                        black_box(&ds),
+                        sweep,
+                        metric,
+                        6,
+                        5,
+                    )
+                    .expect("curve");
+                    black_box(curve);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig2_grid(c: &mut Criterion) {
+    let ds = figure_dataset(BENCH_CALLS);
+    c.bench_function("fig2_compounding_grid", |b| {
+        b.iter(|| {
+            black_box(
+                correlate::compounding_grid(black_box(&ds), EngagementMetric::Presence, 5, 3)
+                    .expect("grid"),
+            )
+        });
+    });
+}
+
+fn bench_fig3_platforms(c: &mut Criterion) {
+    let ds = figure_dataset(BENCH_CALLS);
+    c.bench_function("fig3_platform_curves", |b| {
+        b.iter(|| {
+            black_box(
+                correlate::platform_curves(
+                    black_box(&ds),
+                    NetworkMetric::LossPct,
+                    EngagementMetric::Presence,
+                    4,
+                    3,
+                )
+                .expect("curves"),
+            )
+        });
+    });
+}
+
+fn bench_fig4_mos(c: &mut Criterion) {
+    let ds = figure_dataset(BENCH_CALLS);
+    c.bench_function("fig4_mos_correlation", |b| {
+        b.iter(|| {
+            for m in EngagementMetric::ALL {
+                black_box(correlate::mos_by_engagement(black_box(&ds), m, 4, 2).expect("curve"));
+            }
+            black_box(correlate::mos_correlations(&ds).expect("ranking"));
+        });
+    });
+}
+
+fn bench_mos_predictor(c: &mut Criterion) {
+    // Train on a dataset with a raised feedback rate so fits are non-trivial.
+    let mut sim = CallSimulator::default();
+    sim.feedback.rate = 0.1;
+    let ds = generate_with(&DatasetConfig::small(BENCH_CALLS, 5), &sim);
+    c.bench_function("mos_predict_train_eval", |b| {
+        b.iter(|| {
+            black_box(
+                train_and_evaluate(black_box(&ds), FeatureSet::Full, 4).expect("train"),
+            )
+        });
+    });
+}
+
+/// Ablation: how much work the mitigation stack does — the same dataset
+/// generated with and without app-layer safeguards, measuring the Fig. 1b
+/// loss-panel drop. (The timing is incidental; the printed drop difference
+/// is the ablation result.)
+fn bench_mitigation_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigation_ablation");
+    group.sample_size(10);
+    for (name, mitigation) in [("enabled", Mitigation::default()), ("disabled", Mitigation::disabled())]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sim = CallSimulator { mitigation, ..CallSimulator::default() };
+                let ds = generate_with(&DatasetConfig::small(150, 77), &sim);
+                let c = correlate::engagement_curve(
+                    &ds,
+                    NetworkMetric::LossPct,
+                    EngagementMetric::Presence,
+                    5,
+                    2,
+                )
+                .expect("curve");
+                black_box((c.first_y(), c.last_y()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dataset_generation,
+    bench_fig1_curves,
+    bench_fig2_grid,
+    bench_fig3_platforms,
+    bench_fig4_mos,
+    bench_mos_predictor,
+    bench_mitigation_ablation,
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Shared fixtures for the benchmark suite and the figure-regeneration
+//! binary: standard dataset/forum sizes so every bench and figure is
+//! produced from the same corpora.
+
+#![forbid(unsafe_code)]
+
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::CallDataset;
+use social::generator::{generate as gen_forum, ForumConfig};
+use social::post::Forum;
+
+/// The call-dataset size used for figure regeneration.
+pub const FIGURE_CALLS: usize = 30_000;
+
+/// A smaller dataset for timing loops.
+pub const BENCH_CALLS: usize = 1_500;
+
+/// Build the figure-scale call dataset (with the LEO outage calendar wired
+/// in for the cross-network join).
+pub fn figure_dataset(calls: usize) -> CallDataset {
+    let mut cfg = DatasetConfig { calls, seed: 0xF16, ..DatasetConfig::default() };
+    cfg.leo_outage_calendar = starlink::outages::major_outages()
+        .into_iter()
+        .map(|o| (o.date, o.severity))
+        .collect();
+    generate(&cfg)
+}
+
+/// Build the standard two-year forum corpus.
+pub fn figure_forum() -> Forum {
+    gen_forum(&ForumConfig::default())
+}
+
+/// Build a short forum corpus for timing loops.
+pub fn bench_forum() -> Forum {
+    let mut cfg = ForumConfig::default();
+    cfg.end = cfg.start.offset(90);
+    cfg.authors = 2000;
+    gen_forum(&cfg)
+}

@@ -1,0 +1,572 @@
+//! The behavioural user model: impairment → in-session actions.
+//!
+//! This is the mechanistic heart of the §3 reproduction. Each participant is
+//! a small per-tick stochastic state machine over (in-call, mic, camera):
+//!
+//! * **Leaving** — a per-tick hazard with a baseline (people leave meetings
+//!   for non-network reasons) plus a network term driven by overall
+//!   impairment, amplified by a *loss kick* above ~2 % raw loss (the paper:
+//!   at ≥ 3 % loss *"the chance of a user dropping off increases
+//!   significantly"* because quality becomes unacceptable even to FEC) and a
+//!   latency×loss interaction that produces the Fig. 2 compounding dip.
+//! * **Muting** — a two-state Markov chain whose off-pressure follows the
+//!   interactivity impairment: latency's knee-then-plateau shape reappears in
+//!   Mic On (*"users mute themselves … as the means of first resort"*).
+//! * **Camera** — a two-state Markov chain pressured by video impairment
+//!   (jitter, loss, bandwidth deficit) and, more weakly, by interactivity
+//!   (high latency makes people turn video off too).
+//!
+//! Sensitivities are scaled per platform (Fig. 3), per user conditioning
+//! (§6), and per meeting size (§6, weak).
+
+use crate::events::{SessionEvent, SessionTimeline};
+use crate::platform::Platform;
+use crate::user::UserProfile;
+use analytics::dist::bernoulli;
+use netsim::quality::ChannelImpairment;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the behavioural model.
+///
+/// Defaults are calibrated so the population curves match the paper's
+/// reported magnitudes (see crate tests and `tests/figure_shapes.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorParams {
+    /// Baseline per-tick leave hazard (non-network reasons).
+    pub leave_base_per_tick: f64,
+    /// Gain of the network term of the leave hazard.
+    pub leave_net_gain: f64,
+    /// Raw loss fraction where the "unacceptable quality" kick starts.
+    pub loss_kick_threshold: f64,
+    /// Raw loss span over which the kick saturates.
+    pub loss_kick_sat: f64,
+    /// Kick magnitude at saturation (added leave pressure).
+    pub loss_kick_gain: f64,
+    /// Interaction gain between overall impairment and the loss kick
+    /// (drives the Fig. 2 compounding).
+    pub leave_interaction: f64,
+    /// Baseline P(unmute) per tick.
+    pub mic_on_base: f64,
+    /// Baseline P(mute) per tick.
+    pub mic_off_base: f64,
+    /// Network gain on mute pressure.
+    pub mic_off_net_gain: f64,
+    /// Network damping on unmute rate.
+    pub mic_on_net_damp: f64,
+    /// Weight of audio impairment in mic pressure (interactivity weight is 1).
+    pub mic_audio_weight: f64,
+    /// Baseline P(camera on) per tick.
+    pub cam_on_base: f64,
+    /// Baseline P(camera off) per tick.
+    pub cam_off_base: f64,
+    /// Weight of video impairment in camera pressure.
+    pub cam_video_weight: f64,
+    /// Weight of interactivity impairment in camera pressure.
+    pub cam_int_weight: f64,
+    /// Network gain on camera-off pressure.
+    pub cam_off_net_gain: f64,
+    /// Network damping on camera-on rate.
+    pub cam_on_net_damp: f64,
+    /// Per-extra-participant multiplier on staying muted (large meetings).
+    pub meeting_size_mute_gain: f64,
+    /// Per-extra-participant multiplier on the baseline leave hazard (weak).
+    pub meeting_size_leave_gain: f64,
+}
+
+impl Default for BehaviorParams {
+    fn default() -> BehaviorParams {
+        BehaviorParams {
+            leave_base_per_tick: 1.7e-4,
+            leave_net_gain: 1.8e-3,
+            loss_kick_threshold: 0.024,
+            loss_kick_sat: 0.03,
+            loss_kick_gain: 7.0,
+            leave_interaction: 0.7,
+            mic_on_base: 0.06,
+            mic_off_base: 0.02,
+            mic_off_net_gain: 1.1,
+            mic_on_net_damp: 0.7,
+            mic_audio_weight: 0.3,
+            cam_on_base: 0.025,
+            cam_off_base: 0.015,
+            cam_video_weight: 1.6,
+            cam_int_weight: 0.6,
+            cam_off_net_gain: 0.8,
+            cam_on_net_damp: 0.6,
+            meeting_size_mute_gain: 0.04,
+            meeting_size_leave_gain: 0.01,
+        }
+    }
+}
+
+impl BehaviorParams {
+    /// The leave *pressure* (multiplies [`BehaviorParams::leave_net_gain`])
+    /// for one tick, given the channel impairment and the **session-mean**
+    /// raw (pre-FEC) loss fraction so far. Using the running mean — not the
+    /// instantaneous tick — matches the paper's session-mean framing: loss
+    /// bursts inside an otherwise-clean session do not trigger abandonment,
+    /// sustained loss beyond ~2–3 % does.
+    pub fn leave_pressure(&self, imp: &ChannelImpairment, raw_loss_frac: f64) -> f64 {
+        let overall = imp.overall();
+        let kick = if self.loss_kick_sat <= 0.0 {
+            0.0
+        } else {
+            self.loss_kick_gain
+                * ((raw_loss_frac - self.loss_kick_threshold) / self.loss_kick_sat).clamp(0.0, 1.0)
+        };
+        overall + kick + self.leave_interaction * overall * kick
+    }
+
+    /// Mic-toggle pressure for one tick.
+    pub fn mic_pressure(&self, imp: &ChannelImpairment) -> f64 {
+        imp.interactivity + self.mic_audio_weight * imp.audio
+    }
+
+    /// Camera-toggle pressure for one tick.
+    pub fn cam_pressure(&self, imp: &ChannelImpairment) -> f64 {
+        self.cam_video_weight * imp.video + self.cam_int_weight * imp.interactivity
+    }
+}
+
+/// Outcome of a finished (or abandoned) session from the behaviour model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorOutcome {
+    /// Ticks the user stayed in the call.
+    pub attended_ticks: u32,
+    /// Ticks with microphone on.
+    pub mic_on_ticks: u32,
+    /// Ticks with camera on.
+    pub cam_on_ticks: u32,
+    /// Whether the user left before the scheduled end.
+    pub left_early: bool,
+    /// Mean overall impairment experienced while in the call.
+    pub mean_overall_impairment: f64,
+    /// Mean leave pressure experienced while in the call (includes the loss
+    /// kick; feeds the MOS latent quality).
+    pub mean_leave_pressure: f64,
+}
+
+impl BehaviorOutcome {
+    /// Fraction of attended ticks with mic on (0 when nothing attended).
+    pub fn mic_on_fraction(&self) -> f64 {
+        if self.attended_ticks == 0 {
+            0.0
+        } else {
+            self.mic_on_ticks as f64 / self.attended_ticks as f64
+        }
+    }
+
+    /// Fraction of attended ticks with camera on.
+    pub fn cam_on_fraction(&self) -> f64 {
+        if self.attended_ticks == 0 {
+            0.0
+        } else {
+            self.cam_on_ticks as f64 / self.attended_ticks as f64
+        }
+    }
+}
+
+/// Live behavioural state for one participant session.
+#[derive(Debug, Clone)]
+pub struct SessionBehavior {
+    params: BehaviorParams,
+    // Precomputed per-session multipliers.
+    leave_base: f64,
+    leave_sens: f64,
+    toggle_sens: f64,
+    mic_on_rate: f64,
+    mic_off_rate: f64,
+    cam_on_rate: f64,
+    cam_off_rate: f64,
+    // State.
+    mic_on: bool,
+    cam_on: bool,
+    attended: u32,
+    mic_ticks: u32,
+    cam_ticks: u32,
+    overall_sum: f64,
+    pressure_sum: f64,
+    raw_loss_sum: f64,
+    loss_ticks: u32,
+    left: bool,
+    timeline: Option<SessionTimeline>,
+}
+
+impl SessionBehavior {
+    /// Set up the per-session multipliers and draw initial mic/cam states
+    /// from their baseline stationary distribution.
+    pub fn start<R: Rng + ?Sized>(
+        rng: &mut R,
+        params: BehaviorParams,
+        platform: Platform,
+        user: &UserProfile,
+        meeting_size: u16,
+    ) -> SessionBehavior {
+        let extra = (meeting_size.max(3) - 3) as f64;
+        let mute_size_factor = (1.0 + params.meeting_size_mute_gain * extra).min(2.5);
+        let leave_size_factor = 1.0 + params.meeting_size_leave_gain * extra;
+        let mic_on_rate = (params.mic_on_base * user.mic_propensity / mute_size_factor).clamp(1e-4, 0.9);
+        let mic_off_rate = (params.mic_off_base * mute_size_factor).clamp(1e-4, 0.9);
+        let cam_on_rate =
+            (params.cam_on_base * user.cam_propensity * platform.cam_baseline()).clamp(1e-4, 0.9);
+        let cam_off_rate = params.cam_off_base.clamp(1e-4, 0.9);
+        let mic_stationary = mic_on_rate / (mic_on_rate + mic_off_rate);
+        let cam_stationary = cam_on_rate / (cam_on_rate + cam_off_rate);
+        SessionBehavior {
+            params,
+            leave_base: params.leave_base_per_tick * user.impatience * leave_size_factor,
+            leave_sens: platform.leave_sensitivity() * user.network_sensitivity(),
+            toggle_sens: platform.toggle_sensitivity() * user.network_sensitivity(),
+            mic_on_rate,
+            mic_off_rate,
+            cam_on_rate,
+            cam_off_rate,
+            mic_on: bernoulli(rng, mic_stationary),
+            cam_on: bernoulli(rng, cam_stationary),
+            attended: 0,
+            mic_ticks: 0,
+            cam_ticks: 0,
+            overall_sum: 0.0,
+            pressure_sum: 0.0,
+            raw_loss_sum: 0.0,
+            loss_ticks: 0,
+            left: false,
+            timeline: None,
+        }
+    }
+
+    /// Start recording the action timeline (§3.3's "early indication"
+    /// machinery). Records the join and the initial mic/cam states at tick 0.
+    pub fn enable_timeline(&mut self) {
+        let mut t = SessionTimeline::default();
+        t.push(0, SessionEvent::Joined);
+        if self.mic_on {
+            t.push(0, SessionEvent::MicOn);
+        }
+        if self.cam_on {
+            t.push(0, SessionEvent::CamOn);
+        }
+        self.timeline = Some(t);
+    }
+
+    /// Take the recorded timeline (empty if recording was never enabled).
+    pub fn take_timeline(&mut self) -> SessionTimeline {
+        self.timeline.take().unwrap_or_default()
+    }
+
+    /// Whether the user has already left.
+    pub fn has_left(&self) -> bool {
+        self.left
+    }
+
+    /// Advance one tick. Returns `false` once the user has left (the tick is
+    /// not counted).
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        imp: &ChannelImpairment,
+        raw_loss_frac: f64,
+    ) -> bool {
+        if self.left {
+            return false;
+        }
+        // Track the running session-mean raw loss (including this tick).
+        self.raw_loss_sum += raw_loss_frac.clamp(0.0, 1.0);
+        self.loss_ticks += 1;
+        let mean_raw_loss = self.raw_loss_sum / f64::from(self.loss_ticks);
+        let pressure = self.params.leave_pressure(imp, mean_raw_loss);
+        let p_leave = (self.leave_base + self.params.leave_net_gain * self.leave_sens * pressure)
+            .clamp(0.0, 0.5);
+        if bernoulli(rng, p_leave) {
+            self.left = true;
+            if let Some(t) = self.timeline.as_mut() {
+                t.push(self.attended, SessionEvent::Left);
+            }
+            return false;
+        }
+        self.attended += 1;
+        self.overall_sum += imp.overall();
+        self.pressure_sum += pressure;
+
+        // Mic chain.
+        let mic_p = self.toggle_sens * self.params.mic_pressure(imp);
+        if self.mic_on {
+            let p_off = (self.mic_off_rate * (1.0 + self.params.mic_off_net_gain * mic_p)).min(0.95);
+            if bernoulli(rng, p_off) {
+                self.mic_on = false;
+                if let Some(t) = self.timeline.as_mut() {
+                    t.push(self.attended, SessionEvent::MicOff);
+                }
+            }
+        } else {
+            let p_on = self.mic_on_rate / (1.0 + self.params.mic_on_net_damp * mic_p);
+            if bernoulli(rng, p_on) {
+                self.mic_on = true;
+                if let Some(t) = self.timeline.as_mut() {
+                    t.push(self.attended, SessionEvent::MicOn);
+                }
+            }
+        }
+        if self.mic_on {
+            self.mic_ticks += 1;
+        }
+
+        // Camera chain.
+        let cam_p = self.toggle_sens * self.params.cam_pressure(imp);
+        if self.cam_on {
+            let p_off = (self.cam_off_rate * (1.0 + self.params.cam_off_net_gain * cam_p)).min(0.95);
+            if bernoulli(rng, p_off) {
+                self.cam_on = false;
+                if let Some(t) = self.timeline.as_mut() {
+                    t.push(self.attended, SessionEvent::CamOff);
+                }
+            }
+        } else {
+            let p_on = self.cam_on_rate / (1.0 + self.params.cam_on_net_damp * cam_p);
+            if bernoulli(rng, p_on) {
+                self.cam_on = true;
+                if let Some(t) = self.timeline.as_mut() {
+                    t.push(self.attended, SessionEvent::CamOn);
+                }
+            }
+        }
+        if self.cam_on {
+            self.cam_ticks += 1;
+        }
+        true
+    }
+
+    /// Finalize after the scheduled end (or early exit).
+    pub fn finish(&self, scheduled_ticks: u32) -> BehaviorOutcome {
+        let attended = self.attended;
+        BehaviorOutcome {
+            attended_ticks: attended,
+            mic_on_ticks: self.mic_ticks,
+            cam_on_ticks: self.cam_ticks,
+            left_early: self.left && attended < scheduled_ticks,
+            mean_overall_impairment: if attended == 0 {
+                0.0
+            } else {
+                self.overall_sum / attended as f64
+            },
+            mean_leave_pressure: if attended == 0 {
+                0.0
+            } else {
+                self.pressure_sum / attended as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clean() -> ChannelImpairment {
+        ChannelImpairment { interactivity: 0.0, audio: 0.0, video: 0.0 }
+    }
+
+    fn user(rng: &mut StdRng) -> UserProfile {
+        let mut u = UserProfile::sample(rng, 1);
+        // Neutralise heterogeneity for deterministic-ish averages.
+        u.mic_propensity = 1.0;
+        u.cam_propensity = 1.0;
+        u.impatience = 1.0;
+        u.conditioned = false;
+        u
+    }
+
+    /// Run many sessions under constant impairment; return mean
+    /// (attended_fraction, mic_fraction, cam_fraction).
+    fn population(
+        imp: ChannelImpairment,
+        raw_loss: f64,
+        platform: Platform,
+        ticks: u32,
+        n: usize,
+    ) -> (f64, f64, f64) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let params = BehaviorParams::default();
+        let mut att = 0.0;
+        let mut mic = 0.0;
+        let mut cam = 0.0;
+        for _ in 0..n {
+            let u = user(&mut rng);
+            let mut b = SessionBehavior::start(&mut rng, params, platform, &u, 6);
+            for _ in 0..ticks {
+                if !b.step(&mut rng, &imp, raw_loss) {
+                    break;
+                }
+            }
+            let out = b.finish(ticks);
+            att += out.attended_ticks as f64 / ticks as f64;
+            mic += out.mic_on_fraction();
+            cam += out.cam_on_fraction();
+        }
+        (att / n as f64, mic / n as f64, cam / n as f64)
+    }
+
+    #[test]
+    fn clean_conditions_high_attendance() {
+        let (att, mic, cam) = population(clean(), 0.0, Platform::WindowsPc, 360, 400);
+        assert!(att > 0.9, "attendance {att}");
+        assert!((0.6..0.9).contains(&mic), "mic {mic}");
+        assert!((0.45..0.8).contains(&cam), "cam {cam}");
+    }
+
+    #[test]
+    fn latency_impairment_cuts_mic_most() {
+        // Interactivity impairment at the paper's 300 ms point (≈ 0.73).
+        let imp = ChannelImpairment { interactivity: 0.73, audio: 0.0, video: 0.0 };
+        let (att0, mic0, cam0) = population(clean(), 0.0, Platform::WindowsPc, 360, 400);
+        let (att, mic, cam) = population(imp, 0.0, Platform::WindowsPc, 360, 400);
+        let mic_drop = (mic0 - mic) / mic0 * 100.0;
+        let cam_drop = (cam0 - cam) / cam0 * 100.0;
+        let att_drop = (att0 - att) / att0 * 100.0;
+        assert!(mic_drop > 20.0, "mic drop {mic_drop}");
+        assert!((8.0..40.0).contains(&cam_drop), "cam drop {cam_drop}");
+        assert!((8.0..35.0).contains(&att_drop), "attendance drop {att_drop}");
+    }
+
+    #[test]
+    fn loss_kick_drives_abandonment() {
+        let p = BehaviorParams::default();
+        let imp = ChannelImpairment { interactivity: 0.0, audio: 0.2, video: 0.25 };
+        // Below the kick threshold the pressure is just the overall score.
+        let below = p.leave_pressure(&imp, 0.015);
+        assert!((below - imp.overall()).abs() < 1e-9);
+        // At 3 % raw loss the kick adds > 0.9 of pressure.
+        let at3 = p.leave_pressure(&imp, 0.03);
+        assert!(at3 > below + 0.9, "{at3} vs {below}");
+        // Attendance collapses relative to clean.
+        let (att_clean, _, _) = population(clean(), 0.0, Platform::WindowsPc, 360, 300);
+        let (att_lossy, _, _) = population(imp, 0.03, Platform::WindowsPc, 360, 300);
+        assert!(att_lossy < att_clean * 0.8, "{att_lossy} vs {att_clean}");
+    }
+
+    #[test]
+    fn compounding_latency_loss_dips_hard() {
+        // Fig. 2's worst corner: 300 ms latency + 3 % loss.
+        let worst = ChannelImpairment { interactivity: 0.73, audio: 0.215, video: 0.257 };
+        let (att_best, _, _) = population(clean(), 0.0, Platform::WindowsPc, 360, 300);
+        let (att_worst, _, _) = population(worst, 0.03, Platform::WindowsPc, 360, 300);
+        let dip = (att_best - att_worst) / att_best * 100.0;
+        assert!(dip > 35.0, "compounding dip only {dip}%");
+    }
+
+    #[test]
+    fn mobile_drops_sooner_than_pc() {
+        let imp = ChannelImpairment { interactivity: 0.4, audio: 0.15, video: 0.2 };
+        let (att_pc, _, _) = population(imp, 0.015, Platform::WindowsPc, 360, 400);
+        let (att_android, _, _) = population(imp, 0.015, Platform::AndroidMobile, 360, 400);
+        assert!(att_android < att_pc, "{att_android} vs {att_pc}");
+    }
+
+    #[test]
+    fn video_impairment_hits_camera() {
+        // 10 ms raw jitter → ~0.4 video impairment after mitigation.
+        let imp = ChannelImpairment { interactivity: 0.0, audio: 0.05, video: 0.4 };
+        let (_, mic0, cam0) = population(clean(), 0.0, Platform::WindowsPc, 360, 400);
+        let (_, mic, cam) = population(imp, 0.0, Platform::WindowsPc, 360, 400);
+        let cam_drop = (cam0 - cam) / cam0 * 100.0;
+        let mic_drop = (mic0 - mic) / mic0 * 100.0;
+        assert!(cam_drop > 12.0, "cam drop {cam_drop}");
+        assert!(mic_drop < cam_drop, "mic should be less jitter-sensitive");
+    }
+
+    #[test]
+    fn outcome_fractions_safe_on_zero_attendance() {
+        let out = BehaviorOutcome {
+            attended_ticks: 0,
+            mic_on_ticks: 0,
+            cam_on_ticks: 0,
+            left_early: true,
+            mean_overall_impairment: 0.0,
+            mean_leave_pressure: 0.0,
+        };
+        assert_eq!(out.mic_on_fraction(), 0.0);
+        assert_eq!(out.cam_on_fraction(), 0.0);
+    }
+
+    #[test]
+    fn step_after_leave_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = user(&mut rng);
+        let mut b =
+            SessionBehavior::start(&mut rng, BehaviorParams::default(), Platform::WindowsPc, &u, 3);
+        // Force a leave by stepping under extreme pressure.
+        let terrible = ChannelImpairment { interactivity: 1.0, audio: 1.0, video: 1.0 };
+        let mut steps = 0;
+        while b.step(&mut rng, &terrible, 0.2) && steps < 100_000 {
+            steps += 1;
+        }
+        assert!(b.has_left());
+        let attended = b.finish(1_000_000).attended_ticks;
+        assert!(!b.step(&mut rng, &terrible, 0.2));
+        assert_eq!(b.finish(1_000_000).attended_ticks, attended);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn leave_pressure_monotone_in_loss(
+                a in 0.0..0.3f64, b in 0.0..0.3f64, imp in 0.0..1.0f64
+            ) {
+                let p = BehaviorParams::default();
+                let ch = ChannelImpairment { interactivity: imp, audio: 0.0, video: 0.0 };
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert!(p.leave_pressure(&ch, lo) <= p.leave_pressure(&ch, hi) + 1e-12);
+            }
+
+            #[test]
+            fn pressures_non_negative(
+                i in 0.0..1.0f64, au in 0.0..1.0f64, v in 0.0..1.0f64, loss in 0.0..1.0f64
+            ) {
+                let p = BehaviorParams::default();
+                let ch = ChannelImpairment { interactivity: i, audio: au, video: v };
+                prop_assert!(p.leave_pressure(&ch, loss) >= 0.0);
+                prop_assert!(p.mic_pressure(&ch) >= 0.0);
+                prop_assert!(p.cam_pressure(&ch) >= 0.0);
+            }
+
+            #[test]
+            fn mic_pressure_monotone_in_interactivity(a in 0.0..1.0f64, b in 0.0..1.0f64) {
+                let p = BehaviorParams::default();
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let cl = ChannelImpairment { interactivity: lo, audio: 0.1, video: 0.1 };
+                let ch = ChannelImpairment { interactivity: hi, audio: 0.1, video: 0.1 };
+                prop_assert!(p.mic_pressure(&cl) <= p.mic_pressure(&ch) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn conditioned_users_less_reactive() {
+        let imp = ChannelImpairment { interactivity: 0.6, audio: 0.1, video: 0.2 };
+        let mut rng = StdRng::seed_from_u64(123);
+        let params = BehaviorParams::default();
+        let mut att = [0.0f64; 2]; // [unconditioned, conditioned]
+        let n = 500;
+        for conditioned in [false, true] {
+            let mut total = 0.0;
+            for _ in 0..n {
+                let mut u = user(&mut rng);
+                u.conditioned = conditioned;
+                let mut b = SessionBehavior::start(&mut rng, params, Platform::WindowsPc, &u, 6);
+                let mut t = 0;
+                while t < 360 && b.step(&mut rng, &imp, 0.0) {
+                    t += 1;
+                }
+                total += b.finish(360).attended_ticks as f64 / 360.0;
+            }
+            att[conditioned as usize] = total / n as f64;
+        }
+        assert!(att[1] > att[0], "conditioned {} vs unconditioned {}", att[1], att[0]);
+    }
+}

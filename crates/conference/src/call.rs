@@ -1,0 +1,314 @@
+//! Single-call simulation: participants, paths, behaviour, engagement.
+//!
+//! One call holds N participants, each with their own network path, client
+//! platform, and behavioural state machine. The simulator advances all
+//! participants tick-by-tick (5-second ticks, §3.1), lets each client gather
+//! its own telemetry, and finally computes the call-relative engagement
+//! metrics — Presence is defined against the *median* session duration
+//! across the call's participants exactly as §3.1 specifies ("robust to
+//! outliers … capped at 100").
+
+use crate::behavior::{BehaviorParams, SessionBehavior};
+use crate::events::SessionTimeline;
+use crate::feedback::FeedbackModel;
+use crate::platform::Platform;
+use crate::records::SessionRecord;
+use crate::user::UserProfile;
+use analytics::time::Date;
+use netsim::access::AccessType;
+use netsim::mitigation::Mitigation;
+use netsim::path::NetworkPath;
+use netsim::quality::ImpairmentParams;
+use netsim::sampler::ClientSampler;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CallConfig {
+    /// Unique call id.
+    pub call_id: u64,
+    /// Calendar day.
+    pub date: Date,
+    /// Local start hour (24 h).
+    pub start_hour: u8,
+    /// Participant count (≥ 2; the paper's dataset keeps 3+).
+    pub participants: u16,
+    /// Scheduled length in 5-second ticks.
+    pub scheduled_ticks: u32,
+}
+
+/// A session record together with its recorded action timeline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DetailedSession {
+    /// The uploaded per-session record.
+    pub record: SessionRecord,
+    /// The tick-stamped action timeline.
+    pub timeline: SessionTimeline,
+}
+
+/// The per-call simulator: composes path, mitigation, impairment scoring,
+/// behaviour, and feedback models.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct CallSimulator {
+    /// Behavioural constants.
+    pub behavior: BehaviorParams,
+    /// Impairment-curve constants.
+    pub impairment: ImpairmentParams,
+    /// Application-layer mitigation stack.
+    pub mitigation: Mitigation,
+    /// Explicit-feedback model.
+    pub feedback: FeedbackModel,
+}
+
+
+impl CallSimulator {
+    /// Simulate one call, returning one [`SessionRecord`] per participant
+    /// that attended at least one tick. `next_user_id` supplies stable
+    /// pseudonymous user ids.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        config: &CallConfig,
+        next_user_id: &mut u64,
+    ) -> Vec<SessionRecord> {
+        self.simulate_with_outage(rng, config, next_user_id, 0.0)
+    }
+
+    /// Like [`CallSimulator::simulate`], but degrades LEO-satellite
+    /// participants by `leo_outage_severity` (0–1): during a satellite
+    /// outage their paths see inflated loss, latency, and jitter and reduced
+    /// bandwidth. This is how social outage detections become corroborable
+    /// by implicit signals (§5's cross-signal example).
+    pub fn simulate_with_outage<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        config: &CallConfig,
+        next_user_id: &mut u64,
+        leo_outage_severity: f64,
+    ) -> Vec<SessionRecord> {
+        self.run(rng, config, next_user_id, leo_outage_severity, false)
+            .into_iter()
+            .map(|d| d.record)
+            .collect()
+    }
+
+    /// Simulate one call *with action timelines* (§3.3's early-indication
+    /// analyses need the per-tick transitions, not just the aggregates).
+    pub fn simulate_detailed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        config: &CallConfig,
+        next_user_id: &mut u64,
+    ) -> Vec<DetailedSession> {
+        self.run(rng, config, next_user_id, 0.0, true)
+    }
+
+    fn run<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        config: &CallConfig,
+        next_user_id: &mut u64,
+        leo_outage_severity: f64,
+        record_timelines: bool,
+    ) -> Vec<DetailedSession> {
+        let severity = leo_outage_severity.clamp(0.0, 1.0);
+        let n = config.participants.max(2) as usize;
+        let ticks = config.scheduled_ticks.max(1);
+
+        struct Live {
+            user: UserProfile,
+            platform: Platform,
+            access: AccessType,
+            path: NetworkPath,
+            sampler: ClientSampler,
+            behavior: SessionBehavior,
+        }
+
+        let mut live: Vec<Live> = (0..n)
+            .map(|_| {
+                let user_id = *next_user_id;
+                *next_user_id += 1;
+                let user = UserProfile::sample(rng, user_id);
+                let platform = Platform::sample_mixture(rng);
+                let access = AccessType::sample_mixture(rng);
+                let mut targets = access.sample_targets(rng);
+                if access == AccessType::SatelliteLeo && severity > 0.0 {
+                    targets.loss_frac = (targets.loss_frac + 0.08 * severity).min(0.3);
+                    targets.latency_ms = (targets.latency_ms * (1.0 + severity)).min(800.0);
+                    targets.jitter_ms = (targets.jitter_ms * (1.0 + 2.0 * severity)).min(120.0);
+                    targets.bandwidth_mbps = (targets.bandwidth_mbps * (1.0 - 0.7 * severity)).max(0.1);
+                }
+                let mut behavior = SessionBehavior::start(
+                    rng,
+                    self.behavior,
+                    platform,
+                    &user,
+                    config.participants,
+                );
+                if record_timelines {
+                    behavior.enable_timeline();
+                }
+                Live {
+                    user,
+                    platform,
+                    access,
+                    path: NetworkPath::from_targets(targets),
+                    sampler: ClientSampler::with_capacity(ticks as usize),
+                    behavior,
+                }
+            })
+            .collect();
+
+        for _tick in 0..ticks {
+            let mut all_left = true;
+            for p in live.iter_mut() {
+                if p.behavior.has_left() {
+                    continue;
+                }
+                let raw = p.path.tick(rng);
+                let mitigated = self.mitigation.apply(&raw);
+                let imp = self.impairment.score(&mitigated);
+                if p.behavior.step(rng, &imp, raw.loss_frac) {
+                    // Client measures the raw network while the user is in
+                    // the session.
+                    p.sampler.record(&raw);
+                    all_left = false;
+                }
+            }
+            if all_left {
+                break;
+            }
+        }
+
+        // Call-level Presence baseline: median attended duration (§3.1).
+        let mut durations: Vec<f64> = live
+            .iter()
+            .map(|p| p.behavior.finish(ticks).attended_ticks as f64)
+            .filter(|d| *d > 0.0)
+            .collect();
+        if durations.is_empty() {
+            return Vec::new();
+        }
+        durations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median_duration = analytics::descriptive::percentile_sorted(&durations, 50.0).max(1.0);
+
+        let mut records = Vec::with_capacity(live.len());
+        for mut p in live {
+            let outcome = p.behavior.finish(ticks);
+            if outcome.attended_ticks == 0 {
+                continue;
+            }
+            let net = match p.sampler.finish() {
+                Ok(net) => net,
+                Err(_) => continue,
+            };
+            let presence_pct =
+                (outcome.attended_ticks as f64 / median_duration * 100.0).min(100.0);
+            let rating = self.feedback.sample_rating(rng, &outcome);
+            let timeline = p.behavior.take_timeline();
+            records.push(DetailedSession { timeline, record: SessionRecord {
+                call_id: config.call_id,
+                user_id: p.user.user_id,
+                date: config.date,
+                start_hour: config.start_hour,
+                platform: p.platform,
+                access: p.access,
+                meeting_size: config.participants,
+                scheduled_ticks: ticks,
+                attended_ticks: outcome.attended_ticks,
+                net,
+                presence_pct,
+                mic_on_pct: outcome.mic_on_fraction() * 100.0,
+                cam_on_pct: outcome.cam_on_fraction() * 100.0,
+                left_early: outcome.left_early,
+                rating,
+                latent_quality: self.feedback.latent_quality(&outcome),
+                conditioned: p.user.conditioned,
+            }});
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(participants: u16, ticks: u32) -> CallConfig {
+        CallConfig {
+            call_id: 7,
+            date: Date::from_ymd(2022, 2, 15).unwrap(),
+            start_hour: 10,
+            participants,
+            scheduled_ticks: ticks,
+        }
+    }
+
+    #[test]
+    fn produces_one_record_per_attendee() {
+        let sim = CallSimulator::default();
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut uid = 0;
+        let records = sim.simulate(&mut rng, &config(6, 120), &mut uid);
+        assert!(!records.is_empty());
+        assert!(records.len() <= 6);
+        assert_eq!(uid, 6);
+        for r in &records {
+            assert_eq!(r.call_id, 7);
+            assert_eq!(r.meeting_size, 6);
+            assert!((0.0..=100.0).contains(&r.presence_pct));
+            assert!((0.0..=100.0).contains(&r.mic_on_pct));
+            assert!((0.0..=100.0).contains(&r.cam_on_pct));
+            assert!(r.attended_ticks >= 1 && r.attended_ticks <= 120);
+            assert!(r.net.ticks as u32 == r.attended_ticks);
+            assert!((1.0..=5.0).contains(&r.latent_quality));
+        }
+    }
+
+    #[test]
+    fn presence_capped_at_100() {
+        let sim = CallSimulator::default();
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut uid = 0;
+        for _ in 0..20 {
+            for r in sim.simulate(&mut rng, &config(5, 60), &mut uid) {
+                assert!(r.presence_pct <= 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let sim = CallSimulator::default();
+        let mut a_uid = 0;
+        let mut b_uid = 0;
+        let a = sim.simulate(&mut StdRng::seed_from_u64(52), &config(4, 100), &mut a_uid);
+        let b = sim.simulate(&mut StdRng::seed_from_u64(52), &config(4, 100), &mut b_uid);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ratings_are_rare() {
+        let sim = CallSimulator::default();
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut uid = 0;
+        let mut total = 0usize;
+        let mut rated = 0usize;
+        for call in 0..300 {
+            let mut c = config(4, 60);
+            c.call_id = call;
+            for r in sim.simulate(&mut rng, &c, &mut uid) {
+                total += 1;
+                if r.rating.is_some() {
+                    rated += 1;
+                }
+            }
+        }
+        let rate = rated as f64 / total as f64;
+        assert!(rate < 0.05, "feedback rate {rate} too high");
+    }
+}

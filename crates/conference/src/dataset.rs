@@ -1,0 +1,293 @@
+//! Large-scale call-dataset generation.
+//!
+//! §3.1's call dataset: enterprise calls during business hours (9 AM – 8 PM)
+//! on weekdays with 3+ participants. The builder applies those filters at
+//! generation time (dates land on weekdays, start hours inside the window,
+//! participant counts ≥ 3) and shards the work across threads with
+//! `crossbeam::scope` — each shard owns a deterministic `StdRng` derived from
+//! the dataset seed, so the full dataset is reproducible regardless of the
+//! thread count.
+
+use crate::call::{CallConfig, CallSimulator};
+use crate::records::{CallDataset, SessionRecord};
+use analytics::dist::{Dist, Sampler};
+use analytics::time::Date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for dataset generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of calls to simulate.
+    pub calls: usize,
+    /// Master seed; the same seed + config reproduces the dataset exactly
+    /// (including across different `threads` values).
+    pub seed: u64,
+    /// First calendar day of the study window (paper: Jan 2022).
+    pub start: Date,
+    /// Last calendar day of the study window (paper: Apr 2022).
+    pub end: Date,
+    /// Business-hours window `[from, to)` in local hours (paper: 9–20).
+    pub business_hours: (u8, u8),
+    /// Minimum participants per call (paper: 3).
+    pub min_participants: u16,
+    /// Cap on participants per call.
+    pub max_participants: u16,
+    /// Mean of the exponential tail added to `min_participants`.
+    pub mean_extra_participants: f64,
+    /// Distribution of scheduled call length in ticks.
+    pub duration_ticks: Dist,
+    /// Number of worker threads (0 ⇒ available parallelism).
+    pub threads: usize,
+    /// LEO outage calendar `(date, severity 0–1)`: on these days, satellite
+    /// participants see conditions degraded proportionally to severity. This
+    /// is the cross-signal hook — the USaaS "Teams-on-Starlink" query joins
+    /// social outage detections with degraded implicit signals.
+    pub leo_outage_calendar: Vec<(Date, f64)>,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> DatasetConfig {
+        DatasetConfig {
+            calls: 10_000,
+            seed: 0xC0FFEE,
+            start: Date::from_ymd(2022, 1, 3).expect("valid date"),
+            end: Date::from_ymd(2022, 4, 29).expect("valid date"),
+            business_hours: (9, 20),
+            min_participants: 3,
+            max_participants: 20,
+            mean_extra_participants: 3.0,
+            // 5-second ticks: 10 min .. 60 min, mode 30 min.
+            duration_ticks: Dist::Triangular { lo: 120.0, mode: 360.0, hi: 720.0 },
+            threads: 0,
+            leo_outage_calendar: Vec::new(),
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A small config for unit/integration tests.
+    pub fn small(calls: usize, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            calls,
+            seed,
+            duration_ticks: Dist::Triangular { lo: 60.0, mode: 180.0, hi: 360.0 },
+            ..DatasetConfig::default()
+        }
+    }
+
+    /// Severity of any LEO outage on `date` (0 when none).
+    pub fn leo_outage_severity(&self, date: Date) -> f64 {
+        self.leo_outage_calendar
+            .iter()
+            .filter(|(d, _)| *d == date)
+            .map(|(_, s)| *s)
+            .fold(0.0, f64::max)
+    }
+
+    fn sample_call<R: Rng + ?Sized>(&self, rng: &mut R, call_id: u64) -> CallConfig {
+        // Uniform weekday in the window.
+        let span = self.end.days_since(self.start).max(0);
+        let date = loop {
+            let d = self.start.offset(rng.gen_range(0..=span));
+            if d.weekday().is_business_day() {
+                break d;
+            }
+        };
+        let (h_lo, h_hi) = self.business_hours;
+        let start_hour = rng.gen_range(h_lo..h_hi.max(h_lo + 1));
+        let extra = Dist::Exponential { lambda: 1.0 / self.mean_extra_participants.max(0.1) }
+            .sample(rng)
+            .floor() as u16;
+        let participants =
+            (self.min_participants + extra).clamp(self.min_participants, self.max_participants);
+        let scheduled_ticks = self.duration_ticks.sample(rng).round().max(12.0) as u32;
+        CallConfig { call_id, date, start_hour, participants, scheduled_ticks }
+    }
+}
+
+/// Generate a dataset with the default [`CallSimulator`].
+pub fn generate(config: &DatasetConfig) -> CallDataset {
+    generate_with(config, &CallSimulator::default())
+}
+
+/// Generate a dataset with a custom simulator (ablations swap the mitigation
+/// stack or behaviour constants here).
+pub fn generate_with(config: &DatasetConfig, simulator: &CallSimulator) -> CallDataset {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        config.threads
+    }
+    .max(1)
+    .min(config.calls.max(1));
+
+    // Static sharding: shard s simulates calls s, s+threads, s+2*threads, …
+    // Every call derives its own RNG from (seed, call_id), so results are
+    // identical for any thread count.
+    let mut shard_outputs: Vec<Vec<SessionRecord>> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut call_id = shard as u64;
+                    while (call_id as usize) < config.calls {
+                        let mut rng = call_rng(config.seed, call_id);
+                        let call = config.sample_call(&mut rng, call_id);
+                        let severity = config.leo_outage_severity(call.date);
+                        // User ids partitioned per call: 64 slots each.
+                        let mut uid = call_id * 64;
+                        out.extend(simulator.simulate_with_outage(
+                            &mut rng, &call, &mut uid, severity,
+                        ));
+                        call_id += threads as u64;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            shard_outputs.push(h.join().expect("dataset shard panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut sessions: Vec<SessionRecord> = shard_outputs.into_iter().flatten().collect();
+    // Deterministic order regardless of sharding.
+    sessions.sort_by_key(|s| (s.call_id, s.user_id));
+    CallDataset { sessions }
+}
+
+/// Derive the per-call RNG: SplitMix64 over (seed, call_id) gives
+/// well-separated streams without a CSPRNG dependency.
+fn call_rng(seed: u64, call_id: u64) -> StdRng {
+    let mut z = seed ^ call_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_calls() {
+        let ds = generate(&DatasetConfig::small(60, 1));
+        assert_eq!(ds.call_count(), 60);
+        assert!(ds.len() >= 60 * 2, "sessions {}", ds.len());
+    }
+
+    #[test]
+    fn respects_study_filters() {
+        let cfg = DatasetConfig::small(80, 2);
+        let ds = generate(&cfg);
+        for s in &ds.sessions {
+            assert!(s.date >= cfg.start && s.date <= cfg.end);
+            assert!(s.date.weekday().is_business_day(), "weekend call on {}", s.date);
+            assert!((9..20).contains(&s.start_hour));
+            assert!(s.meeting_size >= 3);
+            assert!(s.meeting_size <= cfg.max_participants);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mut one = DatasetConfig::small(40, 3);
+        one.threads = 1;
+        let mut four = DatasetConfig::small(40, 3);
+        four.threads = 4;
+        let a = generate(&one);
+        let b = generate(&four);
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        assert_eq!(a.sessions, b.sessions);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DatasetConfig::small(20, 10));
+        let b = generate(&DatasetConfig::small(20, 11));
+        assert_ne!(a.sessions, b.sessions);
+    }
+
+    #[test]
+    fn some_sessions_carry_ratings_at_scale() {
+        let ds = generate(&DatasetConfig::small(400, 4));
+        let rated = ds.rated_sessions().count();
+        assert!(rated > 0, "expected at least one rated session in {}", ds.len());
+        let rate = rated as f64 / ds.len() as f64;
+        assert!(rate < 0.05, "rating rate {rate} too high");
+    }
+
+    #[test]
+    fn leo_outage_calendar_degrades_satellite_sessions() {
+        use crate::records::NetworkMetric;
+        use netsim::access::AccessType;
+        let outage_day = Date::from_ymd(2022, 2, 15).unwrap(); // a Tuesday
+        let mut cfg = DatasetConfig::small(600, 12);
+        cfg.leo_outage_calendar = vec![(outage_day, 0.9)];
+        let ds = generate(&cfg);
+        let loss = |on_day: bool| {
+            let xs: Vec<f64> = ds
+                .sessions
+                .iter()
+                .filter(|s| s.access == AccessType::SatelliteLeo)
+                .filter(|s| (s.date == outage_day) == on_day)
+                .map(|s| s.network_mean(NetworkMetric::LossPct))
+                .collect();
+            analytics::mean(&xs).unwrap_or(0.0)
+        };
+        let on = loss(true);
+        let off = loss(false);
+        assert!(on > off + 2.0, "outage-day LEO loss {on}% vs normal {off}%");
+        // Terrestrial sessions are untouched.
+        let terr: Vec<f64> = ds
+            .sessions
+            .iter()
+            .filter(|s| s.access != AccessType::SatelliteLeo && s.date == outage_day)
+            .map(|s| s.network_mean(NetworkMetric::LossPct))
+            .collect();
+        if let Ok(m) = analytics::mean(&terr) {
+            assert!(m < 2.0, "terrestrial loss on outage day {m}%");
+        }
+    }
+
+    #[test]
+    fn record_invariants_hold_across_seeds() {
+        for seed in [1u64, 99, 4242] {
+            let ds = generate(&DatasetConfig::small(120, seed));
+            for s in &ds.sessions {
+                assert!((0.0..=100.0).contains(&s.presence_pct), "{s:?}");
+                assert!((0.0..=100.0).contains(&s.mic_on_pct), "{s:?}");
+                assert!((0.0..=100.0).contains(&s.cam_on_pct), "{s:?}");
+                assert!(s.attended_ticks >= 1 && s.attended_ticks <= s.scheduled_ticks);
+                assert_eq!(s.net.ticks as u32, s.attended_ticks);
+                assert!((1.0..=5.0).contains(&s.latent_quality));
+                if let Some(r) = s.rating {
+                    assert!((1..=5).contains(&r));
+                }
+                assert!(s.net.latency_ms.min <= s.net.latency_ms.mean);
+                assert!(s.net.latency_ms.mean <= s.net.latency_ms.max);
+                assert!(s.net.loss_pct.min >= 0.0);
+                assert!(s.net.bandwidth_mbps.min > 0.0);
+                assert_eq!(
+                    s.left_early,
+                    s.attended_ticks < s.scheduled_ticks && s.left_early,
+                    "left_early implies truncated attendance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn call_rng_streams_are_distinct() {
+        let mut a = call_rng(1, 0);
+        let mut b = call_rng(1, 1);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+}

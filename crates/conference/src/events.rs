@@ -1,0 +1,200 @@
+//! In-session action timelines.
+//!
+//! The paper's core advantage claim for implicit signals is that they are
+//! *"available throughout the user session"* (§1) and therefore an *"early
+//! and more readily available indication of call quality"* (§3.3). To make
+//! that claim testable, the simulator can record every state transition —
+//! mute/unmute, camera on/off, leaving — with its 5-second tick timestamp.
+//! The `usaas::early` monitor consumes these timelines to predict quality
+//! from only the first minutes of a call.
+
+use serde::{Deserialize, Serialize};
+
+/// One user-action transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// Joined the call (always the first event, tick 0).
+    Joined,
+    /// Unmuted.
+    MicOn,
+    /// Muted.
+    MicOff,
+    /// Camera turned on.
+    CamOn,
+    /// Camera turned off.
+    CamOff,
+    /// Left the call (always the last event when present).
+    Left,
+}
+
+/// An event with its tick timestamp (5-second ticks from session start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Tick index (0-based).
+    pub tick: u32,
+    /// The transition.
+    pub event: SessionEvent,
+}
+
+/// A session's full action timeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionTimeline {
+    /// Transitions in tick order.
+    pub events: Vec<TimedEvent>,
+}
+
+/// Partial-session engagement reconstructed from a timeline at a horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlySnapshot {
+    /// Ticks observed (min of horizon and attendance).
+    pub observed_ticks: u32,
+    /// Whether the user was still in the call at the horizon.
+    pub still_present: bool,
+    /// Fraction of observed ticks with mic on.
+    pub mic_on_fraction: f64,
+    /// Fraction of observed ticks with camera on.
+    pub cam_on_fraction: f64,
+}
+
+impl SessionTimeline {
+    /// Record one transition.
+    pub fn push(&mut self, tick: u32, event: SessionEvent) {
+        self.events.push(TimedEvent { tick, event });
+    }
+
+    /// True when the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Tick at which the user left, if they did.
+    pub fn left_at(&self) -> Option<u32> {
+        self.events.iter().find(|e| e.event == SessionEvent::Left).map(|e| e.tick)
+    }
+
+    /// Reconstruct partial engagement over the first `horizon` ticks.
+    ///
+    /// Replays the transitions; ticks between transitions inherit the state
+    /// at their start. Returns `None` for an empty timeline.
+    pub fn snapshot_at(&self, horizon: u32) -> Option<EarlySnapshot> {
+        if self.events.is_empty() || horizon == 0 {
+            return None;
+        }
+        let mut mic = false;
+        let mut cam = false;
+        let mut mic_ticks = 0u32;
+        let mut cam_ticks = 0u32;
+        let mut cursor = 0u32;
+        let end = match self.left_at() {
+            Some(t) => t.min(horizon),
+            None => horizon,
+        };
+        for e in &self.events {
+            let upto = e.tick.min(end);
+            if upto > cursor {
+                let span = upto - cursor;
+                if mic {
+                    mic_ticks += span;
+                }
+                if cam {
+                    cam_ticks += span;
+                }
+                cursor = upto;
+            }
+            match e.event {
+                SessionEvent::MicOn => mic = true,
+                SessionEvent::MicOff => mic = false,
+                SessionEvent::CamOn => cam = true,
+                SessionEvent::CamOff => cam = false,
+                SessionEvent::Joined | SessionEvent::Left => {}
+            }
+            if e.tick >= end {
+                break;
+            }
+        }
+        if end > cursor {
+            let span = end - cursor;
+            if mic {
+                mic_ticks += span;
+            }
+            if cam {
+                cam_ticks += span;
+            }
+        }
+        let observed = end.max(1);
+        Some(EarlySnapshot {
+            observed_ticks: end,
+            still_present: self.left_at().is_none_or(|t| t > horizon),
+            mic_on_fraction: f64::from(mic_ticks) / f64::from(observed),
+            cam_on_fraction: f64::from(cam_ticks) / f64::from(observed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(events: &[(u32, SessionEvent)]) -> SessionTimeline {
+        let mut t = SessionTimeline::default();
+        for (tick, e) in events {
+            t.push(*tick, *e);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_timeline_has_no_snapshot() {
+        assert!(SessionTimeline::default().snapshot_at(10).is_none());
+        assert!(timeline(&[(0, SessionEvent::Joined)]).snapshot_at(0).is_none());
+    }
+
+    #[test]
+    fn replay_reconstructs_fractions() {
+        // mic on from tick 2..6, cam on from 4 to horizon.
+        let t = timeline(&[
+            (0, SessionEvent::Joined),
+            (2, SessionEvent::MicOn),
+            (4, SessionEvent::CamOn),
+            (6, SessionEvent::MicOff),
+        ]);
+        let s = t.snapshot_at(10).unwrap();
+        assert_eq!(s.observed_ticks, 10);
+        assert!(s.still_present);
+        assert!((s.mic_on_fraction - 0.4).abs() < 1e-9, "{s:?}");
+        assert!((s.cam_on_fraction - 0.6).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn leaving_truncates_observation() {
+        let t = timeline(&[
+            (0, SessionEvent::Joined),
+            (0, SessionEvent::MicOn),
+            (5, SessionEvent::Left),
+        ]);
+        let s = t.snapshot_at(20).unwrap();
+        assert_eq!(s.observed_ticks, 5);
+        assert!(!s.still_present);
+        assert!((s.mic_on_fraction - 1.0).abs() < 1e-9);
+        assert_eq!(t.left_at(), Some(5));
+    }
+
+    #[test]
+    fn horizon_before_leave_counts_as_present() {
+        let t = timeline(&[(0, SessionEvent::Joined), (50, SessionEvent::Left)]);
+        let s = t.snapshot_at(20).unwrap();
+        assert!(s.still_present);
+        assert_eq!(s.observed_ticks, 20);
+    }
+
+    #[test]
+    fn transitions_after_horizon_ignored() {
+        let t = timeline(&[
+            (0, SessionEvent::Joined),
+            (3, SessionEvent::MicOn),
+            (100, SessionEvent::MicOff),
+        ]);
+        let s = t.snapshot_at(10).unwrap();
+        assert!((s.mic_on_fraction - 0.7).abs() < 1e-9, "{s:?}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Explicit end-of-call feedback (MOS) — §3.1 and §3.3 of the paper.
+//!
+//! *"MS Teams requests a subset of users to submit explicit feedback at the
+//! end of sessions — a rating between 1 (worst) and 5 (best) … Such feedback
+//! is only provided for a small fraction (between 0.1 % and 1 %) of
+//! sessions."*
+//!
+//! The rating model converts the session's experienced impairment into a
+//! latent quality score, adds a per-rating noise term (humans are noisy
+//! raters), and rounds to the 1–5 star scale. Only a sampled sliver of
+//! sessions produces a rating, which is exactly the scarcity the paper
+//! argues implicit signals can compensate for.
+
+use crate::behavior::BehaviorOutcome;
+use analytics::dist::{bernoulli, standard_normal};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the explicit-feedback model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackModel {
+    /// Probability a session is asked for (and provides) feedback. The paper
+    /// bounds this between 0.001 and 0.01.
+    pub rate: f64,
+    /// Std of the human rating noise (stars).
+    pub noise_std: f64,
+    /// Weight of the mean overall impairment in the latent quality.
+    pub impairment_weight: f64,
+    /// Weight of the loss-kick component (leave pressure minus overall).
+    pub kick_weight: f64,
+    /// Stars docked when the rater abandoned the call early — people who
+    /// bailed out rate what drove them away.
+    pub left_early_penalty: f64,
+}
+
+impl Default for FeedbackModel {
+    fn default() -> FeedbackModel {
+        FeedbackModel {
+            rate: 0.004,
+            noise_std: 0.45,
+            impairment_weight: 2.8,
+            kick_weight: 0.45,
+            left_early_penalty: 0.8,
+        }
+    }
+}
+
+impl FeedbackModel {
+    /// Latent call quality on the 1–5 scale, before rating noise.
+    pub fn latent_quality(&self, outcome: &BehaviorOutcome) -> f64 {
+        let kick = (outcome.mean_leave_pressure - outcome.mean_overall_impairment).max(0.0);
+        let abandon = if outcome.left_early { self.left_early_penalty } else { 0.0 };
+        (5.0
+            - self.impairment_weight * outcome.mean_overall_impairment
+            - self.kick_weight * kick
+            - abandon)
+            .clamp(1.0, 5.0)
+    }
+
+    /// Maybe produce a star rating for a session: `None` for the unsampled
+    /// majority.
+    pub fn sample_rating<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        outcome: &BehaviorOutcome,
+    ) -> Option<u8> {
+        if !bernoulli(rng, self.rate) {
+            return None;
+        }
+        Some(self.rate_session(rng, outcome))
+    }
+
+    /// Produce a rating unconditionally (used by tests and by ablations that
+    /// pretend feedback were universal).
+    pub fn rate_session<R: Rng + ?Sized>(&self, rng: &mut R, outcome: &BehaviorOutcome) -> u8 {
+        let q = self.latent_quality(outcome) + self.noise_std * standard_normal(rng);
+        q.round().clamp(1.0, 5.0) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn outcome(imp: f64, pressure: f64) -> BehaviorOutcome {
+        BehaviorOutcome {
+            attended_ticks: 300,
+            mic_on_ticks: 200,
+            cam_on_ticks: 150,
+            left_early: false,
+            mean_overall_impairment: imp,
+            mean_leave_pressure: pressure,
+        }
+    }
+
+    #[test]
+    fn abandonment_docks_stars() {
+        let m = FeedbackModel::default();
+        let mut left = outcome(0.3, 0.3);
+        left.left_early = true;
+        assert!(m.latent_quality(&left) < m.latent_quality(&outcome(0.3, 0.3)));
+    }
+
+    #[test]
+    fn perfect_call_rates_five() {
+        let m = FeedbackModel::default();
+        assert_eq!(m.latent_quality(&outcome(0.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    fn quality_monotone_in_impairment() {
+        let m = FeedbackModel::default();
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let imp = i as f64 / 10.0;
+            let q = m.latent_quality(&outcome(imp, imp));
+            assert!(q <= prev + 1e-12);
+            prev = q;
+        }
+        assert!(m.latent_quality(&outcome(1.0, 3.0)) >= 1.0);
+    }
+
+    #[test]
+    fn loss_kick_lowers_quality_beyond_impairment() {
+        let m = FeedbackModel::default();
+        let without = m.latent_quality(&outcome(0.4, 0.4));
+        let with = m.latent_quality(&outcome(0.4, 1.4));
+        assert!(with < without);
+    }
+
+    #[test]
+    fn sampling_rate_respected() {
+        let m = FeedbackModel::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        let o = outcome(0.2, 0.2);
+        let n = 100_000;
+        let sampled = (0..n).filter(|_| m.sample_rating(&mut rng, &o).is_some()).count();
+        let rate = sampled as f64 / n as f64;
+        assert!((rate - m.rate).abs() < 0.0015, "rate {rate}");
+    }
+
+    #[test]
+    fn ratings_in_star_range_and_track_quality() {
+        let m = FeedbackModel::default();
+        let mut rng = StdRng::seed_from_u64(18);
+        let good: Vec<f64> =
+            (0..2000).map(|_| m.rate_session(&mut rng, &outcome(0.05, 0.05)) as f64).collect();
+        let bad: Vec<f64> =
+            (0..2000).map(|_| m.rate_session(&mut rng, &outcome(0.8, 1.8)) as f64).collect();
+        assert!(good.iter().all(|r| (1.0..=5.0).contains(r)));
+        assert!(bad.iter().all(|r| (1.0..=5.0).contains(r)));
+        let mg = analytics::mean(&good).unwrap();
+        let mb = analytics::mean(&bad).unwrap();
+        assert!(mg > 4.3, "good MOS {mg}");
+        assert!(mb < 2.6, "bad MOS {mb}");
+    }
+}

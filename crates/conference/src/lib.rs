@@ -1,0 +1,42 @@
+//! # conference
+//!
+//! A large-scale video-conferencing-service simulator — the substrate that
+//! stands in for the paper's proprietary MS Teams telemetry (§3).
+//!
+//! The pipeline per call: [`netsim`] paths per participant → application
+//! mitigation → per-channel impairment → the behavioural user model in
+//! [`behavior`] (mute / camera / leave state machines) → client telemetry
+//! aggregation → [`records::SessionRecord`]s, with an explicit 1–5 rating for
+//! a ~0.1–1 % sampled sliver ([`feedback`]).
+//!
+//! The headline invariants this crate is calibrated to (asserted in its
+//! tests and in `tests/figure_shapes.rs`):
+//!
+//! * latency hits Mic On hardest (steep to ~150 ms, plateau after);
+//! * loss ≤ 2 % barely moves engagement (mitigation), ≥ 3 % triggers
+//!   abandonment;
+//! * jitter hits Cam On hardest;
+//! * bandwidth ≥ 1 Mbps is enough; Mic On ignores bandwidth entirely;
+//! * latency × loss compound (Fig. 2); mobile users bail sooner (Fig. 3);
+//! * engagement correlates with the sampled MOS (Fig. 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod call;
+pub mod dataset;
+pub mod events;
+pub mod feedback;
+pub mod platform;
+pub mod records;
+pub mod user;
+
+pub use behavior::{BehaviorOutcome, BehaviorParams, SessionBehavior};
+pub use call::{CallConfig, CallSimulator, DetailedSession};
+pub use dataset::{generate, generate_with, DatasetConfig};
+pub use events::{EarlySnapshot, SessionEvent, SessionTimeline, TimedEvent};
+pub use feedback::FeedbackModel;
+pub use platform::Platform;
+pub use records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
+pub use user::UserProfile;

@@ -1,0 +1,146 @@
+//! Client platforms and their sensitivity profiles.
+//!
+//! Fig. 3 of the paper: *"Different platforms (PC/mobile, operating system,
+//! etc.) have different impacts on user sensitivity to network performance
+//! … users joining calls on their mobile devices tend to drop off sooner at
+//! the same mean network latency than users on PCs."* Each platform carries a
+//! multiplier on the network-driven leave hazard plus baseline engagement
+//! offsets (mobile users keep cameras off more, reflecting both expectations
+//! and client-side resource constraints).
+
+use analytics::dist::weighted_index;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Client platform of a participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Windows desktop client.
+    WindowsPc,
+    /// macOS desktop client.
+    MacPc,
+    /// Android mobile client.
+    AndroidMobile,
+    /// iOS mobile client.
+    IosMobile,
+}
+
+impl Platform {
+    /// All platforms, mixture order.
+    pub const ALL: [Platform; 4] =
+        [Platform::WindowsPc, Platform::MacPc, Platform::AndroidMobile, Platform::IosMobile];
+
+    /// Mixture weight among enterprise business-hour calls.
+    pub fn mixture_weight(self) -> f64 {
+        match self {
+            Platform::WindowsPc => 0.55,
+            Platform::MacPc => 0.22,
+            Platform::AndroidMobile => 0.12,
+            Platform::IosMobile => 0.11,
+        }
+    }
+
+    /// Multiplier on the *network-driven* component of the leave hazard.
+    /// Mobile users bail sooner under the same conditions.
+    pub fn leave_sensitivity(self) -> f64 {
+        match self {
+            Platform::WindowsPc => 1.0,
+            Platform::MacPc => 1.08,
+            Platform::AndroidMobile => 1.9,
+            Platform::IosMobile => 1.7,
+        }
+    }
+
+    /// Multiplier on network-driven mic/cam toggling pressure.
+    pub fn toggle_sensitivity(self) -> f64 {
+        match self {
+            Platform::WindowsPc => 1.0,
+            Platform::MacPc => 1.05,
+            Platform::AndroidMobile => 1.35,
+            Platform::IosMobile => 1.25,
+        }
+    }
+
+    /// Baseline camera-on propensity multiplier (mobile clients and their
+    /// CPU/battery constraints keep video off more).
+    pub fn cam_baseline(self) -> f64 {
+        match self {
+            Platform::WindowsPc => 1.0,
+            Platform::MacPc => 1.0,
+            Platform::AndroidMobile => 0.7,
+            Platform::IosMobile => 0.75,
+        }
+    }
+
+    /// True for phone/tablet clients.
+    pub fn is_mobile(self) -> bool {
+        matches!(self, Platform::AndroidMobile | Platform::IosMobile)
+    }
+
+    /// Draw a platform from the enterprise mixture.
+    pub fn sample_mixture<R: Rng + ?Sized>(rng: &mut R) -> Platform {
+        let weights: Vec<f64> = Platform::ALL.iter().map(|p| p.mixture_weight()).collect();
+        Platform::ALL[weighted_index(rng, &weights).expect("weights positive")]
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::WindowsPc => "Windows PC",
+            Platform::MacPc => "macOS PC",
+            Platform::AndroidMobile => "Android",
+            Platform::IosMobile => "iOS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = Platform::ALL.iter().map(|p| p.mixture_weight()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mobile_more_sensitive_than_pc() {
+        for mobile in [Platform::AndroidMobile, Platform::IosMobile] {
+            for pc in [Platform::WindowsPc, Platform::MacPc] {
+                assert!(mobile.leave_sensitivity() > pc.leave_sensitivity());
+                assert!(mobile.toggle_sensitivity() > pc.toggle_sensitivity());
+                assert!(mobile.cam_baseline() < pc.cam_baseline());
+            }
+        }
+    }
+
+    #[test]
+    fn os_differences_exist_within_class() {
+        assert_ne!(Platform::WindowsPc.leave_sensitivity(), Platform::MacPc.leave_sensitivity());
+        assert_ne!(
+            Platform::AndroidMobile.leave_sensitivity(),
+            Platform::IosMobile.leave_sensitivity()
+        );
+    }
+
+    #[test]
+    fn mixture_hits_all_platforms() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            seen.insert(Platform::sample_mixture(&mut r).label());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn is_mobile_classification() {
+        assert!(!Platform::WindowsPc.is_mobile());
+        assert!(!Platform::MacPc.is_mobile());
+        assert!(Platform::AndroidMobile.is_mobile());
+        assert!(Platform::IosMobile.is_mobile());
+    }
+}

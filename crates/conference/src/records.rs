@@ -1,0 +1,280 @@
+//! Per-session telemetry records — the schema the §3 analyses consume.
+//!
+//! One [`SessionRecord`] is what a conferencing client uploads at session
+//! end: aggregated network stats (§3.1), engagement metrics (Presence /
+//! Cam On / Mic On), platform, meeting size, and — for a sampled sliver of
+//! sessions — an explicit 1–5 rating. The hidden `latent_quality` field is
+//! the simulator's ground truth, kept for validation and never used by the
+//! `usaas` pipelines as an input.
+
+use crate::platform::Platform;
+use analytics::time::Date;
+use netsim::access::AccessType;
+use netsim::sampler::SessionNetworkStats;
+use serde::{Deserialize, Serialize};
+
+/// One participant-session of one call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Call this session belongs to.
+    pub call_id: u64,
+    /// Pseudonymous user id.
+    pub user_id: u64,
+    /// Calendar day of the call.
+    pub date: Date,
+    /// Local start hour (24 h).
+    pub start_hour: u8,
+    /// Client platform.
+    pub platform: Platform,
+    /// Access technology of the user's path.
+    pub access: AccessType,
+    /// Number of participants in the call.
+    pub meeting_size: u16,
+    /// Scheduled call length in 5-second ticks.
+    pub scheduled_ticks: u32,
+    /// Ticks this user actually attended.
+    pub attended_ticks: u32,
+    /// Aggregated network statistics for the session.
+    pub net: SessionNetworkStats,
+    /// Presence: session duration as % of the median session duration across
+    /// the call's participants, capped at 100 (§3.1).
+    pub presence_pct: f64,
+    /// % of the user's session with microphone on.
+    pub mic_on_pct: f64,
+    /// % of the user's session with camera on.
+    pub cam_on_pct: f64,
+    /// Whether the user left before the scheduled end.
+    pub left_early: bool,
+    /// Explicit 1–5 rating, present only for the sampled feedback sliver.
+    pub rating: Option<u8>,
+    /// Simulator ground truth (not uploaded by real clients; excluded from
+    /// pipeline inputs, used only to validate the reproduction).
+    pub latent_quality: f64,
+    /// Whether this user is long-term conditioned to poor networks.
+    pub conditioned: bool,
+}
+
+impl SessionRecord {
+    /// Engagement value by metric (all as %, 0–100).
+    pub fn engagement(&self, metric: EngagementMetric) -> f64 {
+        match metric {
+            EngagementMetric::Presence => self.presence_pct,
+            EngagementMetric::MicOn => self.mic_on_pct,
+            EngagementMetric::CamOn => self.cam_on_pct,
+        }
+    }
+
+    /// Session-mean network value by metric, in the paper's plotting units
+    /// (latency ms, loss %, jitter ms, bandwidth Mbps).
+    pub fn network_mean(&self, metric: NetworkMetric) -> f64 {
+        match metric {
+            NetworkMetric::LatencyMs => self.net.latency_ms.mean,
+            NetworkMetric::LossPct => self.net.loss_pct.mean,
+            NetworkMetric::JitterMs => self.net.jitter_ms.mean,
+            NetworkMetric::BandwidthMbps => self.net.bandwidth_mbps.mean,
+        }
+    }
+
+    /// Session-P95 network value by metric.
+    pub fn network_p95(&self, metric: NetworkMetric) -> f64 {
+        match metric {
+            NetworkMetric::LatencyMs => self.net.latency_ms.p95,
+            NetworkMetric::LossPct => self.net.loss_pct.p95,
+            NetworkMetric::JitterMs => self.net.jitter_ms.p95,
+            NetworkMetric::BandwidthMbps => self.net.bandwidth_mbps.p95,
+        }
+    }
+}
+
+/// The three §3.1 user-engagement metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngagementMetric {
+    /// Session duration relative to the call median (capped at 100 %).
+    Presence,
+    /// Fraction of the session with microphone on.
+    MicOn,
+    /// Fraction of the session with camera on.
+    CamOn,
+}
+
+impl EngagementMetric {
+    /// All metrics, plot order.
+    pub const ALL: [EngagementMetric; 3] =
+        [EngagementMetric::Presence, EngagementMetric::CamOn, EngagementMetric::MicOn];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngagementMetric::Presence => "Presence",
+            EngagementMetric::MicOn => "Mic On",
+            EngagementMetric::CamOn => "Cam On",
+        }
+    }
+}
+
+/// The four §3.1 network-condition metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkMetric {
+    /// Network latency (ms).
+    LatencyMs,
+    /// Packet loss (percent).
+    LossPct,
+    /// Jitter (ms).
+    JitterMs,
+    /// Available bandwidth (Mbps).
+    BandwidthMbps,
+}
+
+impl NetworkMetric {
+    /// All metrics, Fig. 1 panel order.
+    pub const ALL: [NetworkMetric; 4] = [
+        NetworkMetric::LatencyMs,
+        NetworkMetric::LossPct,
+        NetworkMetric::JitterMs,
+        NetworkMetric::BandwidthMbps,
+    ];
+
+    /// Display label with units.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkMetric::LatencyMs => "latency (ms)",
+            NetworkMetric::LossPct => "packet loss (%)",
+            NetworkMetric::JitterMs => "jitter (ms)",
+            NetworkMetric::BandwidthMbps => "bandwidth (Mbps)",
+        }
+    }
+
+    /// The paper's confounder *reference range* for this metric (the band a
+    /// metric is held to while another is being swept): latency 0–40 ms,
+    /// loss 0–0.2 %, jitter 0–5 ms, bandwidth 3–4 Mbps.
+    pub fn reference_range(self) -> (f64, f64) {
+        match self {
+            NetworkMetric::LatencyMs => (0.0, 40.0),
+            NetworkMetric::LossPct => (0.0, 0.2),
+            NetworkMetric::JitterMs => (0.0, 5.0),
+            NetworkMetric::BandwidthMbps => (3.0, 4.0),
+        }
+    }
+
+    /// The sweep range the paper plots for this metric (Fig. 1 axes):
+    /// latency 0–300 ms, loss 0–2 %, jitter 0–12 ms, bandwidth 0.25–4 Mbps.
+    pub fn sweep_range(self) -> (f64, f64) {
+        match self {
+            NetworkMetric::LatencyMs => (0.0, 300.0),
+            NetworkMetric::LossPct => (0.0, 2.0),
+            NetworkMetric::JitterMs => (0.0, 12.0),
+            NetworkMetric::BandwidthMbps => (0.25, 4.0),
+        }
+    }
+}
+
+/// A full call dataset: the unit of analysis for §3.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CallDataset {
+    /// All participant-sessions.
+    pub sessions: Vec<SessionRecord>,
+}
+
+impl CallDataset {
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Number of distinct calls.
+    pub fn call_count(&self) -> usize {
+        let mut ids: Vec<u64> = self.sessions.iter().map(|s| s.call_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Sessions carrying an explicit rating.
+    pub fn rated_sessions(&self) -> impl Iterator<Item = &SessionRecord> {
+        self.sessions.iter().filter(|s| s.rating.is_some())
+    }
+
+    /// Mean opinion score over the rated sliver; `None` if no ratings.
+    pub fn mos(&self) -> Option<f64> {
+        let ratings: Vec<f64> =
+            self.rated_sessions().filter_map(|s| s.rating).map(f64::from).collect();
+        analytics::mean(&ratings).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analytics::Summary;
+
+    fn summary(v: f64) -> Summary {
+        Summary { count: 10, min: v, mean: v, median: v, p95: v, max: v }
+    }
+
+    fn record(rating: Option<u8>) -> SessionRecord {
+        SessionRecord {
+            call_id: 1,
+            user_id: 2,
+            date: Date::from_ymd(2022, 2, 15).unwrap(),
+            start_hour: 10,
+            platform: Platform::WindowsPc,
+            access: AccessType::Cable,
+            meeting_size: 5,
+            scheduled_ticks: 360,
+            attended_ticks: 300,
+            net: SessionNetworkStats {
+                latency_ms: summary(42.0),
+                loss_pct: summary(0.1),
+                jitter_ms: summary(3.0),
+                bandwidth_mbps: summary(3.4),
+                ticks: 300,
+            },
+            presence_pct: 90.0,
+            mic_on_pct: 70.0,
+            cam_on_pct: 55.0,
+            left_early: true,
+            rating,
+            latent_quality: 4.2,
+            conditioned: false,
+        }
+    }
+
+    #[test]
+    fn metric_accessors() {
+        let r = record(None);
+        assert_eq!(r.engagement(EngagementMetric::Presence), 90.0);
+        assert_eq!(r.engagement(EngagementMetric::MicOn), 70.0);
+        assert_eq!(r.engagement(EngagementMetric::CamOn), 55.0);
+        assert_eq!(r.network_mean(NetworkMetric::LatencyMs), 42.0);
+        assert_eq!(r.network_mean(NetworkMetric::LossPct), 0.1);
+        assert_eq!(r.network_p95(NetworkMetric::JitterMs), 3.0);
+        assert_eq!(r.network_mean(NetworkMetric::BandwidthMbps), 3.4);
+    }
+
+    #[test]
+    fn reference_ranges_match_paper() {
+        assert_eq!(NetworkMetric::LatencyMs.reference_range(), (0.0, 40.0));
+        assert_eq!(NetworkMetric::LossPct.reference_range(), (0.0, 0.2));
+        assert_eq!(NetworkMetric::JitterMs.reference_range(), (0.0, 5.0));
+        assert_eq!(NetworkMetric::BandwidthMbps.reference_range(), (3.0, 4.0));
+    }
+
+    #[test]
+    fn dataset_mos_and_counts() {
+        let mut ds = CallDataset::default();
+        assert!(ds.is_empty());
+        assert_eq!(ds.mos(), None);
+        ds.sessions.push(record(Some(4)));
+        ds.sessions.push(record(Some(2)));
+        ds.sessions.push(record(None));
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.call_count(), 1);
+        assert_eq!(ds.rated_sessions().count(), 2);
+        assert_eq!(ds.mos(), Some(3.0));
+    }
+}

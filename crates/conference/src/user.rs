@@ -1,0 +1,113 @@
+//! Per-user heterogeneity: propensities and long-term conditioning.
+//!
+//! Real engagement data is noisy because people differ; the paper's curves
+//! are population averages. [`UserProfile`] injects per-user variation in
+//! baseline mic/cam behaviour and patience, plus the §6 confounder the paper
+//! calls *long-term conditioning*: users habitually exposed to poor networks
+//! have lower expectations and react less to the same impairment.
+
+use analytics::dist::{bernoulli, Dist, Sampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-user behavioural profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Stable pseudo-identity.
+    pub user_id: u64,
+    /// Multiplier on baseline mic-on propensity (log-normal around 1).
+    pub mic_propensity: f64,
+    /// Multiplier on baseline cam-on propensity (log-normal around 1).
+    pub cam_propensity: f64,
+    /// Multiplier on the baseline (non-network) leave hazard: impatient
+    /// people leave meetings early regardless of the network.
+    pub impatience: f64,
+    /// Long-term conditioning flag: `true` means the user is acclimatised to
+    /// poor networks and reacts *less* to impairment.
+    pub conditioned: bool,
+}
+
+/// Fraction of the population acclimatised to poor networks.
+pub const CONDITIONED_FRACTION: f64 = 0.25;
+
+/// How much conditioning attenuates network-driven reactions (multiplier on
+/// network sensitivity, < 1). The paper calls this effect "relatively weaker"
+/// than the platform effect, so the attenuation is mild.
+pub const CONDITIONING_ATTENUATION: f64 = 0.75;
+
+impl UserProfile {
+    /// Draw a user profile.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, user_id: u64) -> UserProfile {
+        let spread = Dist::LogNormal { mu: 0.0, sigma: 0.25 };
+        UserProfile {
+            user_id,
+            mic_propensity: spread.sample(rng).clamp(0.4, 2.5),
+            cam_propensity: spread.sample(rng).clamp(0.4, 2.5),
+            impatience: Dist::LogNormal { mu: 0.0, sigma: 0.4 }.sample(rng).clamp(0.3, 4.0),
+            conditioned: bernoulli(rng, CONDITIONED_FRACTION),
+        }
+    }
+
+    /// Multiplier applied to all network-driven behavioural pressure for
+    /// this user.
+    pub fn network_sensitivity(&self) -> f64 {
+        if self.conditioned {
+            CONDITIONING_ATTENUATION
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profiles_within_bounds() {
+        let mut r = StdRng::seed_from_u64(6);
+        for i in 0..2000 {
+            let u = UserProfile::sample(&mut r, i);
+            assert!((0.4..=2.5).contains(&u.mic_propensity));
+            assert!((0.4..=2.5).contains(&u.cam_propensity));
+            assert!((0.3..=4.0).contains(&u.impatience));
+            assert_eq!(u.user_id, i);
+        }
+    }
+
+    #[test]
+    fn conditioning_rate_near_target() {
+        let mut r = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let conditioned = (0..n).filter(|i| UserProfile::sample(&mut r, *i).conditioned).count();
+        let rate = conditioned as f64 / n as f64;
+        assert!((rate - CONDITIONED_FRACTION).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn conditioned_users_react_less() {
+        let mut r = StdRng::seed_from_u64(8);
+        let mut seen_both = (false, false);
+        for i in 0..1000 {
+            let u = UserProfile::sample(&mut r, i);
+            if u.conditioned {
+                assert!(u.network_sensitivity() < 1.0);
+                seen_both.0 = true;
+            } else {
+                assert_eq!(u.network_sensitivity(), 1.0);
+                seen_both.1 = true;
+            }
+        }
+        assert!(seen_both.0 && seen_both.1);
+    }
+
+    #[test]
+    fn population_mean_propensity_near_one() {
+        let mut r = StdRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..20_000).map(|i| UserProfile::sample(&mut r, i).mic_propensity).collect();
+        let m = analytics::mean(&xs).unwrap();
+        assert!((m - 1.0).abs() < 0.1, "mean {m}");
+    }
+}

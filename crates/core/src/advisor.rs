@@ -1,0 +1,197 @@
+//! The §6 traffic-engineering advisor.
+//!
+//! *"Both service and network providers could proactively act based on USaaS
+//! output. If call latency, for example, is the discerning factor affecting
+//! user experience on MS Teams, could network resource allocation be tuned
+//! online to cater to the demand?"*
+//!
+//! The advisor turns the correlation engine's output into actionable
+//! rankings: for each network metric it measures the *marginal engagement
+//! lift* of improving that metric from its degraded range toward its
+//! reference range (using the same confounder-controlled curves as Fig. 1),
+//! scales by how many sessions actually sit in the degraded range, and ranks
+//! candidate interventions by expected engagement-points recovered.
+
+use crate::correlate::{engagement_curve, in_reference_except};
+use analytics::AnalyticsError;
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric};
+use serde::{Deserialize, Serialize};
+
+/// One candidate intervention, scored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Intervention {
+    /// The network metric to improve.
+    pub metric: NetworkMetric,
+    /// Engagement metric the score is measured in.
+    pub engagement: EngagementMetric,
+    /// Engagement points lost per affected session (curve best minus the
+    /// mean over degraded bins).
+    pub per_session_lift: f64,
+    /// Fraction of sessions sitting in the degraded range.
+    pub affected_fraction: f64,
+    /// Expected engagement points recovered per 100 sessions
+    /// (`per_session_lift × affected_fraction × 100`).
+    pub expected_lift: f64,
+}
+
+/// The advisor.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficAdvisor {
+    /// Bins per curve.
+    pub bins: usize,
+    /// Minimum sessions per bin.
+    pub min_count: usize,
+    /// A session counts as degraded for a metric when its value is beyond
+    /// this fraction of the sweep range (bandwidth: below it).
+    pub degraded_fraction: f64,
+}
+
+impl Default for TrafficAdvisor {
+    fn default() -> TrafficAdvisor {
+        TrafficAdvisor { bins: 6, min_count: 8, degraded_fraction: 0.5 }
+    }
+}
+
+impl TrafficAdvisor {
+    /// Degraded-range test for one metric value.
+    fn is_degraded(&self, metric: NetworkMetric, value: f64) -> bool {
+        let (lo, hi) = metric.sweep_range();
+        match metric {
+            // More bandwidth is better: degraded = the low end.
+            NetworkMetric::BandwidthMbps => value < lo + (hi - lo) * (1.0 - self.degraded_fraction),
+            _ => value > lo + (hi - lo) * self.degraded_fraction,
+        }
+    }
+
+    /// Score one intervention.
+    pub fn score(
+        &self,
+        dataset: &CallDataset,
+        metric: NetworkMetric,
+        engagement: EngagementMetric,
+    ) -> Result<Intervention, AnalyticsError> {
+        let curve = engagement_curve(dataset, metric, engagement, self.bins, self.min_count)?;
+        let points = curve.points();
+        if points.is_empty() {
+            return Err(AnalyticsError::Empty);
+        }
+        let best = points.iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
+        let degraded: Vec<f64> = points
+            .iter()
+            .filter(|(x, _)| self.is_degraded(metric, *x))
+            .map(|(_, y)| *y)
+            .collect();
+        let per_session_lift = if degraded.is_empty() {
+            0.0
+        } else {
+            (best - analytics::mean(&degraded)?).max(0.0)
+        };
+        // Affected fraction over confounder-controlled sessions.
+        let mut affected = 0usize;
+        let mut total = 0usize;
+        for s in &dataset.sessions {
+            if !in_reference_except(s, metric) {
+                continue;
+            }
+            total += 1;
+            if self.is_degraded(metric, s.network_mean(metric)) {
+                affected += 1;
+            }
+        }
+        let affected_fraction = if total == 0 { 0.0 } else { affected as f64 / total as f64 };
+        Ok(Intervention {
+            metric,
+            engagement,
+            per_session_lift,
+            affected_fraction,
+            expected_lift: per_session_lift * affected_fraction * 100.0,
+        })
+    }
+
+    /// Rank all four network metrics by expected lift for one engagement
+    /// metric (highest first).
+    pub fn rank(
+        &self,
+        dataset: &CallDataset,
+        engagement: EngagementMetric,
+    ) -> Result<Vec<Intervention>, AnalyticsError> {
+        let mut out = Vec::new();
+        for metric in NetworkMetric::ALL {
+            out.push(self.score(dataset, metric, engagement)?);
+        }
+        out.sort_by(|a, b| {
+            b.expected_lift.partial_cmp(&a.expected_lift).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conference::dataset::{generate, DatasetConfig};
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static CallDataset {
+        static DS: OnceLock<CallDataset> = OnceLock::new();
+        DS.get_or_init(|| generate(&DatasetConfig::small(6000, 42)))
+    }
+
+    #[test]
+    fn rank_covers_all_metrics_sorted() {
+        let advisor = TrafficAdvisor::default();
+        let ranks = advisor.rank(dataset(), EngagementMetric::MicOn).unwrap();
+        assert_eq!(ranks.len(), 4);
+        assert!(ranks.windows(2).all(|w| w[0].expected_lift >= w[1].expected_lift));
+        for r in &ranks {
+            assert!(r.per_session_lift >= 0.0);
+            assert!((0.0..=1.0).contains(&r.affected_fraction));
+        }
+    }
+
+    #[test]
+    fn latency_is_the_discerning_factor_for_mic_on() {
+        // The paper's own §6 example: latency drives the Mic On experience.
+        let advisor = TrafficAdvisor::default();
+        let ranks = advisor.rank(dataset(), EngagementMetric::MicOn).unwrap();
+        assert_eq!(
+            ranks[0].metric,
+            NetworkMetric::LatencyMs,
+            "expected latency to top the Mic On ranking: {ranks:?}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_is_never_the_top_lever() {
+        // Fig. 1 (right): the app is not bandwidth hungry, so improving
+        // bandwidth cannot be the best intervention.
+        let advisor = TrafficAdvisor::default();
+        for engagement in EngagementMetric::ALL {
+            let ranks = advisor.rank(dataset(), engagement).unwrap();
+            assert_ne!(
+                ranks[0].metric,
+                NetworkMetric::BandwidthMbps,
+                "{engagement:?}: {ranks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_matters_more_for_camera_than_for_mic() {
+        let advisor = TrafficAdvisor::default();
+        let cam = advisor.score(dataset(), NetworkMetric::JitterMs, EngagementMetric::CamOn).unwrap();
+        let mic = advisor.score(dataset(), NetworkMetric::JitterMs, EngagementMetric::MicOn).unwrap();
+        assert!(
+            cam.per_session_lift > mic.per_session_lift,
+            "cam {cam:?} vs mic {mic:?}"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let advisor = TrafficAdvisor::default();
+        assert!(advisor
+            .score(&CallDataset::default(), NetworkMetric::LatencyMs, EngagementMetric::MicOn)
+            .is_err());
+    }
+}

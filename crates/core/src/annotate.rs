@@ -1,0 +1,257 @@
+//! Sentiment-peak detection and annotation (Fig. 5).
+//!
+//! The §4.1 pipeline: score every post, count strong-positive and
+//! strong-negative posts per day, find the peaks; for each peak build a word
+//! cloud from the day's posts, take the top-3 unigrams, and search the news
+//! index ("with the search query appended with 'Starlink', for the custom
+//! date"). Peaks whose search comes back empty are *unreported* events — the
+//! Apr 22 '22 outage being the paper's showcase, corroborated instead by
+//! the number of distinct poster countries.
+
+use analytics::time::Date;
+use analytics::timeseries::DailySeries;
+use analytics::AnalyticsError;
+use sentiment::analyzer::SentimentAnalyzer;
+use sentiment::news::NewsIndex;
+use sentiment::wordcloud::WordCloud;
+use serde::Serialize;
+use social::post::Forum;
+
+/// Daily strong-sentiment counts (the two Fig. 5a series).
+#[derive(Debug, Clone)]
+pub struct SentimentSeries {
+    /// Strong-positive posts per day.
+    pub strong_positive: DailySeries,
+    /// Strong-negative posts per day.
+    pub strong_negative: DailySeries,
+}
+
+impl SentimentSeries {
+    /// Combined (positive + negative) strong-post count per day — the series
+    /// whose peaks Fig. 5a annotates.
+    pub fn combined(&self) -> DailySeries {
+        let values: Vec<f64> = self
+            .strong_positive
+            .values()
+            .iter()
+            .zip(self.strong_negative.values())
+            .map(|(p, n)| p + n)
+            .collect();
+        DailySeries::from_values(self.strong_positive.start(), values)
+            .expect("series are non-empty by construction")
+    }
+}
+
+/// One annotated sentiment peak.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnnotatedPeak {
+    /// Peak day.
+    pub date: Date,
+    /// Strong posts that day (pos + neg).
+    pub strong_posts: f64,
+    /// True when the peak is dominated by positive posts.
+    pub positive_dominated: bool,
+    /// Top word-cloud unigrams of the day.
+    pub top_words: Vec<String>,
+    /// Headlines found for the top words around the date.
+    pub headlines: Vec<String>,
+    /// Distinct countries posting strong-sentiment posts that day (the
+    /// corroboration signal when no news exists).
+    pub countries: usize,
+}
+
+impl AnnotatedPeak {
+    /// True when no news coverage was found — the unreported-event flag.
+    pub fn unreported(&self) -> bool {
+        self.headlines.is_empty()
+    }
+}
+
+/// The Fig. 5 annotator.
+#[derive(Debug, Clone)]
+pub struct PeakAnnotator {
+    /// Sentiment analyzer.
+    pub analyzer: SentimentAnalyzer,
+    /// News index for annotation.
+    pub news: NewsIndex,
+    /// Word-cloud keywords used for the news query.
+    pub query_words: usize,
+    /// Days around the peak searched for coverage.
+    pub news_window_days: i32,
+    /// Robust z-score threshold for peaks.
+    pub min_peak_score: f64,
+    /// Refractory window between peaks (days).
+    pub refractory_days: i32,
+}
+
+impl Default for PeakAnnotator {
+    fn default() -> PeakAnnotator {
+        PeakAnnotator {
+            analyzer: SentimentAnalyzer::default(),
+            news: NewsIndex::builtin(),
+            query_words: 3,
+            news_window_days: 3,
+            min_peak_score: 5.0,
+            refractory_days: 5,
+        }
+    }
+}
+
+impl PeakAnnotator {
+    /// Compute the daily strong-sentiment series.
+    pub fn sentiment_series(&self, forum: &Forum) -> Result<SentimentSeries, AnalyticsError> {
+        let (start, end) = match (forum.posts.first(), forum.posts.last()) {
+            (Some(a), Some(b)) => (a.date, b.date),
+            _ => return Err(AnalyticsError::Empty),
+        };
+        let mut pos = DailySeries::zeros(start, end)?;
+        let mut neg = DailySeries::zeros(start, end)?;
+        for post in &forum.posts {
+            let scores = self.analyzer.score(&post.text());
+            if scores.is_strong_positive() {
+                pos.add(post.date, 1.0);
+            } else if scores.is_strong_negative() {
+                neg.add(post.date, 1.0);
+            }
+        }
+        Ok(SentimentSeries { strong_positive: pos, strong_negative: neg })
+    }
+
+    /// Word cloud over one day's posts.
+    pub fn day_cloud(&self, forum: &Forum, date: Date, max_words: usize) -> WordCloud {
+        let texts: Vec<String> = forum.on(date).map(|p| p.text()).collect();
+        WordCloud::from_documents(texts.iter().map(String::as_str), max_words)
+    }
+
+    /// The full pipeline: top-`k` annotated peaks, strongest first.
+    pub fn annotate(&self, forum: &Forum, k: usize) -> Result<Vec<AnnotatedPeak>, AnalyticsError> {
+        let series = self.sentiment_series(forum)?;
+        let combined = series.combined();
+        let peaks = combined.peaks(self.min_peak_score, self.refractory_days);
+        let mut out = Vec::new();
+        let lexicon = sentiment::lexicon::Lexicon::global();
+        for peak in peaks.into_iter().take(k) {
+            let cloud = self.day_cloud(forum, peak.date, 30);
+            // Query with *topical* words: sentiment-bearing adjectives
+            // ("amazing", "terrible") never make useful search keywords, so
+            // the top unigrams are taken after dropping lexicon words.
+            let top_words: Vec<String> = cloud
+                .words
+                .iter()
+                .map(|w| w.word.clone())
+                .filter(|w| lexicon.valence(w).is_none())
+                .take(self.query_words)
+                .collect();
+            let mut query: Vec<&str> = top_words.iter().map(String::as_str).collect();
+            query.push("starlink"); // the paper appends 'Starlink' to every query
+            let headlines = self
+                .news
+                .search(&query, peak.date, self.news_window_days)
+                .into_iter()
+                .map(|a| a.headline.clone())
+                .collect();
+            let pos = series.strong_positive.get(peak.date).unwrap_or(0.0);
+            let neg = series.strong_negative.get(peak.date).unwrap_or(0.0);
+            let countries: std::collections::HashSet<&str> = forum
+                .on(peak.date)
+                .filter(|p| {
+                    let s = self.analyzer.score(&p.text());
+                    s.is_strong_positive() || s.is_strong_negative()
+                })
+                .map(|p| p.country)
+                .collect();
+            out.push(AnnotatedPeak {
+                date: peak.date,
+                strong_posts: peak.value,
+                positive_dominated: pos >= neg,
+                top_words,
+                headlines,
+                countries: countries.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social::generator::{generate, ForumConfig};
+    use std::sync::OnceLock;
+
+    fn forum() -> &'static Forum {
+        static F: OnceLock<Forum> = OnceLock::new();
+        F.get_or_init(|| generate(&ForumConfig { authors: 4000, ..ForumConfig::default() }))
+    }
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn top_three_peaks_match_paper_dates_and_polarities() {
+        let annotator = PeakAnnotator::default();
+        let peaks = annotator.annotate(forum(), 3).unwrap();
+        assert_eq!(peaks.len(), 3, "expected three annotated peaks");
+        let dates: Vec<Date> = peaks.iter().map(|p| p.date).collect();
+        assert!(dates.contains(&d(2021, 2, 9)), "pre-order peak missing: {dates:?}");
+        assert!(dates.contains(&d(2021, 11, 24)), "delay-email peak missing: {dates:?}");
+        assert!(dates.contains(&d(2022, 4, 22)), "Apr 22 outage peak missing: {dates:?}");
+        for p in &peaks {
+            match (p.date.year(), p.date.month().month) {
+                (2021, 2) => assert!(p.positive_dominated, "pre-orders should be positive"),
+                (2021, 11) => assert!(!p.positive_dominated, "delay e-mail should be negative"),
+                (2022, 4) => assert!(!p.positive_dominated, "outage should be negative"),
+                other => panic!("unexpected peak {other:?}"),
+            }
+        }
+        // The Apr 22 peak is the *third* highest (paper: "the third highest
+        // peak (22nd Apr'22) is driven by negative sentiment").
+        assert_eq!(peaks[2].date, d(2022, 4, 22), "peak order: {dates:?}");
+    }
+
+    #[test]
+    fn reported_peaks_get_headlines_unreported_peak_does_not() {
+        let annotator = PeakAnnotator::default();
+        let peaks = annotator.annotate(forum(), 3).unwrap();
+        for p in &peaks {
+            if p.date == d(2022, 4, 22) {
+                assert!(p.unreported(), "Apr 22 must have no coverage: {:?}", p.headlines);
+                // Corroborated by many countries instead (paper: 14).
+                assert!(p.countries >= 6, "Apr 22 countries {}", p.countries);
+            } else {
+                assert!(!p.unreported(), "{} should have coverage", p.date);
+            }
+        }
+    }
+
+    #[test]
+    fn outage_word_ranks_high_in_apr22_cloud() {
+        let annotator = PeakAnnotator::default();
+        let cloud = annotator.day_cloud(forum(), d(2022, 4, 22), 30);
+        let rank = cloud.rank_of("outage").or_else(|| cloud.rank_of("offline"));
+        assert!(
+            matches!(rank, Some(r) if r < 8),
+            "outage-language should rank high in the Apr 22 cloud: {:?}",
+            cloud.top_words(8)
+        );
+    }
+
+    #[test]
+    fn sentiment_series_counts_are_plausible() {
+        let annotator = PeakAnnotator::default();
+        let series = annotator.sentiment_series(forum()).unwrap();
+        let total_pos: f64 = series.strong_positive.values().iter().sum();
+        let total_neg: f64 = series.strong_negative.values().iter().sum();
+        assert!(total_pos > 500.0, "strong positives {total_pos}");
+        assert!(total_neg > 500.0, "strong negatives {total_neg}");
+        let combined = series.combined();
+        assert_eq!(combined.len(), series.strong_positive.len());
+    }
+
+    #[test]
+    fn empty_forum_errors() {
+        let annotator = PeakAnnotator::default();
+        assert!(annotator.sentiment_series(&Forum::default()).is_err());
+    }
+}

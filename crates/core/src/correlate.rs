@@ -1,0 +1,488 @@
+//! The correlation engine: network conditions ↔ engagement ↔ MOS.
+//!
+//! Implements the paper's §3 analyses with the same confounder discipline:
+//! when sweeping one network metric, all other metrics are held to their
+//! reference ranges (*"latency between 0–40 ms, loss rate between 0–0.2 %,
+//! jitter between 0–5 ms, and bandwidth between 3–4 Mbps"*), and the
+//! resulting per-bin engagement means are normalised so the best bin reads
+//! 100 — exactly how Fig. 1 is drawn.
+
+use analytics::binning::{BinSpec, BinnedCurve, Binner};
+use analytics::correlation::pearson;
+use analytics::AnalyticsError;
+use conference::platform::Platform;
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
+use serde::{Deserialize, Serialize};
+
+/// Whether a session sits in the reference range for every network metric
+/// except `sweep` (the §3.2 confounder filter).
+pub fn in_reference_except(session: &SessionRecord, sweep: NetworkMetric) -> bool {
+    NetworkMetric::ALL.iter().all(|&metric| {
+        if metric == sweep {
+            return true;
+        }
+        let (lo, hi) = metric.reference_range();
+        let v = session.network_mean(metric);
+        v >= lo && v <= hi
+    })
+}
+
+/// Fig. 1: engagement vs one network metric, other metrics held at
+/// reference, engagement normalised to 100 at the best bin.
+pub fn engagement_curve(
+    dataset: &CallDataset,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
+    let (lo, hi) = sweep.sweep_range();
+    let spec = BinSpec::new(lo, hi, bins)?;
+    let mut binner = Binner::new(spec);
+    for s in &dataset.sessions {
+        if in_reference_except(s, sweep) {
+            binner.record(s.network_mean(sweep), s.engagement(engagement));
+        }
+    }
+    Ok(binner.curve_mean(min_count).normalized_to_max(100.0))
+}
+
+/// Same curve computed over session P95s instead of means (the paper notes
+/// "similar trends hold for P95 values as well").
+pub fn engagement_curve_p95(
+    dataset: &CallDataset,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
+    let (lo, hi) = sweep.sweep_range();
+    // P95s run higher than means; stretch the axis.
+    let spec = BinSpec::new(lo, hi * 1.8, bins)?;
+    let mut binner = Binner::new(spec);
+    for s in &dataset.sessions {
+        if in_reference_except(s, sweep) {
+            binner.record(s.network_p95(sweep), s.engagement(engagement));
+        }
+    }
+    Ok(binner.curve_mean(min_count).normalized_to_max(100.0))
+}
+
+/// A 2-D grid of mean engagement over two network metrics (Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid2d {
+    /// X-axis bin spec (e.g. latency).
+    pub x: BinSpec,
+    /// Y-axis bin spec (e.g. loss).
+    pub y: BinSpec,
+    /// `values[yi][xi]`: mean engagement, `None` for thin cells. Normalised
+    /// so the best populated cell reads 100.
+    pub values: Vec<Vec<Option<f64>>>,
+    /// Per-cell observation counts.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl Grid2d {
+    /// The minimum populated cell value.
+    pub fn min_value(&self) -> Option<f64> {
+        self.values.iter().flatten().flatten().cloned().reduce(f64::min)
+    }
+
+    /// The maximum populated cell value (100 after normalisation).
+    pub fn max_value(&self) -> Option<f64> {
+        self.values.iter().flatten().flatten().cloned().reduce(f64::max)
+    }
+
+    /// Value of the cell containing `(x, y)`.
+    pub fn value_at(&self, x: f64, y: f64) -> Option<f64> {
+        let xi = self.x.index(x)?;
+        let yi = self.y.index(y)?;
+        self.values[yi][xi]
+    }
+}
+
+/// Fig. 2: the latency × loss compounding grid on Presence. Loss axis runs
+/// to 3 % (beyond the Fig. 1b sweep) because that is where the compounding
+/// bites. Unlike the Fig. 1 sweeps, the grid does *not* hold the remaining
+/// metrics at reference — the paper's Fig. 2 bins all calls by the two
+/// metrics of interest, and restricting jitter/bandwidth too would starve
+/// the rare high-latency × high-loss corner of data.
+pub fn compounding_grid(
+    dataset: &CallDataset,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+) -> Result<Grid2d, AnalyticsError> {
+    let x = BinSpec::new(0.0, 300.0, bins)?; // latency ms
+    let y = BinSpec::new(0.0, 3.0, bins)?; // loss %
+    let mut sums = vec![vec![0.0f64; bins]; bins];
+    let mut counts = vec![vec![0usize; bins]; bins];
+    for s in &dataset.sessions {
+        let (Some(xi), Some(yi)) = (
+            x.index(s.network_mean(NetworkMetric::LatencyMs)),
+            y.index(s.network_mean(NetworkMetric::LossPct)),
+        ) else {
+            continue;
+        };
+        sums[yi][xi] += s.engagement(engagement);
+        counts[yi][xi] += 1;
+    }
+    let mut values: Vec<Vec<Option<f64>>> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(row_s, row_c)| {
+            row_s
+                .iter()
+                .zip(row_c)
+                .map(|(s, c)| if *c >= min_count.max(1) { Some(s / *c as f64) } else { None })
+                .collect()
+        })
+        .collect();
+    // Normalise to the best cell = 100.
+    let max = values.iter().flatten().flatten().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max.is_finite() && max > 0.0 {
+        for row in values.iter_mut() {
+            for v in row.iter_mut() {
+                if let Some(v) = v.as_mut() {
+                    *v = *v / max * 100.0;
+                }
+            }
+        }
+    }
+    Ok(Grid2d { x, y, values, counts })
+}
+
+/// Fig. 3: per-platform engagement-vs-loss curves (normalised jointly so
+/// platform gaps survive normalisation: each curve is scaled by the global
+/// best bin across platforms).
+pub fn platform_curves(
+    dataset: &CallDataset,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+) -> Result<Vec<(Platform, BinnedCurve)>, AnalyticsError> {
+    let (lo, hi) = sweep.sweep_range();
+    let spec = BinSpec::new(lo, hi, bins)?;
+    let mut binners: Vec<(Platform, Binner)> =
+        Platform::ALL.iter().map(|p| (*p, Binner::new(spec))).collect();
+    for s in &dataset.sessions {
+        if !in_reference_except(s, sweep) {
+            continue;
+        }
+        if let Some((_, binner)) = binners.iter_mut().find(|(p, _)| *p == s.platform) {
+            binner.record(s.network_mean(sweep), s.engagement(engagement));
+        }
+    }
+    let raw: Vec<(Platform, BinnedCurve)> =
+        binners.into_iter().map(|(p, b)| (p, b.curve_mean(min_count))).collect();
+    let global_max = raw
+        .iter()
+        .flat_map(|(_, c)| c.ys.iter().flatten().cloned())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !global_max.is_finite() || global_max <= 0.0 {
+        return Ok(raw);
+    }
+    Ok(raw
+        .into_iter()
+        .map(|(p, c)| {
+            let ys = c.ys.iter().map(|y| y.map(|y| y / global_max * 100.0)).collect();
+            (p, BinnedCurve { xs: c.xs.clone(), ys, counts: c.counts })
+        })
+        .collect())
+}
+
+/// §3.2 text: early drop-off probability vs loss, swept beyond 3 %.
+pub fn dropoff_by_loss(
+    dataset: &CallDataset,
+    bins: usize,
+    min_count: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
+    let spec = BinSpec::new(0.0, 5.0, bins)?;
+    let mut binner = Binner::new(spec);
+    for s in &dataset.sessions {
+        if in_reference_except(s, NetworkMetric::LossPct) {
+            binner.record(
+                s.network_mean(NetworkMetric::LossPct),
+                if s.left_early { 100.0 } else { 0.0 },
+            );
+        }
+    }
+    Ok(binner.curve_mean(min_count))
+}
+
+/// §3.2 causality check: mean latency binned by Cam On. If camera video
+/// congested the network, this curve would rise; in our generator (and the
+/// paper's data) it does not.
+pub fn latency_by_cam_on(
+    dataset: &CallDataset,
+    bins: usize,
+    min_count: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
+    let spec = BinSpec::new(0.0, 100.0, bins)?;
+    let mut binner = Binner::new(spec);
+    for s in &dataset.sessions {
+        binner.record(s.cam_on_pct, s.net.latency_ms.mean);
+    }
+    Ok(binner.curve_mean(min_count))
+}
+
+/// Fig. 4: mean rating binned by an engagement metric (x normalised 0–100).
+pub fn mos_by_engagement(
+    dataset: &CallDataset,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
+    let spec = BinSpec::new(0.0, 100.0, bins)?;
+    let mut binner = Binner::new(spec);
+    for s in dataset.rated_sessions() {
+        let rating = f64::from(s.rating.expect("rated_sessions yields rated"));
+        binner.record(s.engagement(engagement), rating);
+    }
+    Ok(binner.curve_mean(min_count))
+}
+
+/// Fig. 4 ranking: Pearson correlation between each engagement metric and
+/// the rating, over rated sessions. Sorted strongest-first.
+pub fn mos_correlations(
+    dataset: &CallDataset,
+) -> Result<Vec<(EngagementMetric, f64)>, AnalyticsError> {
+    let rated: Vec<&SessionRecord> = dataset.rated_sessions().collect();
+    if rated.len() < 2 {
+        return Err(AnalyticsError::Empty);
+    }
+    let ratings: Vec<f64> =
+        rated.iter().map(|s| f64::from(s.rating.expect("rated"))).collect();
+    let mut out = Vec::new();
+    for metric in EngagementMetric::ALL {
+        let xs: Vec<f64> = rated.iter().map(|s| s.engagement(metric)).collect();
+        out.push((metric, pearson(&xs, &ratings)?));
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(out)
+}
+
+/// §6 confounder comparison: effect sizes (max presence gap, in points of
+/// normalised presence) attributable to network vs platform vs meeting size
+/// vs conditioning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfounderReport {
+    /// Presence swing across the latency sweep (network effect).
+    pub network_effect: f64,
+    /// Presence gap between most and least sensitive platform under
+    /// degraded conditions.
+    pub platform_effect: f64,
+    /// Presence gap between small and large meetings under degraded
+    /// conditions.
+    pub meeting_size_effect: f64,
+    /// Presence gap between conditioned and unconditioned users under
+    /// degraded conditions.
+    pub conditioning_effect: f64,
+}
+
+fn mean_presence<'a>(sessions: impl Iterator<Item = &'a SessionRecord>) -> Option<f64> {
+    let xs: Vec<f64> = sessions.map(|s| s.presence_pct).collect();
+    analytics::mean(&xs).ok()
+}
+
+/// Compute the §6 effect-size comparison. "Degraded" means mean latency
+/// above 120 ms (with loss/jitter/bandwidth unconstrained, to keep strata
+/// populated).
+pub fn confounder_report(dataset: &CallDataset) -> Result<ConfounderReport, AnalyticsError> {
+    let latency_curve =
+        engagement_curve(dataset, NetworkMetric::LatencyMs, EngagementMetric::Presence, 6, 5)?;
+    let network_effect = match (latency_curve.first_y(), latency_curve.last_y()) {
+        (Some(a), Some(b)) => (a - b).abs(),
+        _ => return Err(AnalyticsError::Empty),
+    };
+    let degraded =
+        |s: &&SessionRecord| s.network_mean(NetworkMetric::LatencyMs) > 120.0;
+
+    let mut platform_means = Vec::new();
+    for p in Platform::ALL {
+        if let Some(m) =
+            mean_presence(dataset.sessions.iter().filter(degraded).filter(|s| s.platform == p))
+        {
+            platform_means.push(m);
+        }
+    }
+    let platform_effect = platform_means
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - platform_means.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let small = mean_presence(
+        dataset.sessions.iter().filter(degraded).filter(|s| s.meeting_size <= 5),
+    );
+    let large = mean_presence(
+        dataset.sessions.iter().filter(degraded).filter(|s| s.meeting_size >= 10),
+    );
+    let meeting_size_effect = match (small, large) {
+        (Some(a), Some(b)) => (a - b).abs(),
+        _ => 0.0,
+    };
+
+    let cond =
+        mean_presence(dataset.sessions.iter().filter(degraded).filter(|s| s.conditioned));
+    let uncond =
+        mean_presence(dataset.sessions.iter().filter(degraded).filter(|s| !s.conditioned));
+    let conditioning_effect = match (cond, uncond) {
+        (Some(a), Some(b)) => (a - b).abs(),
+        _ => 0.0,
+    };
+
+    Ok(ConfounderReport {
+        network_effect,
+        platform_effect: platform_effect.max(0.0),
+        meeting_size_effect,
+        conditioning_effect,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conference::dataset::{generate, DatasetConfig};
+    use std::sync::OnceLock;
+
+    /// A moderately-sized shared dataset (generation is the expensive part).
+    fn dataset() -> &'static CallDataset {
+        static DS: OnceLock<CallDataset> = OnceLock::new();
+        DS.get_or_init(|| generate(&DatasetConfig::small(6000, 42)))
+    }
+
+    #[test]
+    fn latency_curve_declines_mic_most() {
+        let ds = dataset();
+        let mic =
+            engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::MicOn, 6, 8).unwrap();
+        let presence =
+            engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::Presence, 6, 8)
+                .unwrap();
+        let mic_drop = mic.first_y().unwrap() - mic.last_y().unwrap();
+        let presence_drop = presence.first_y().unwrap() - presence.last_y().unwrap();
+        assert!(mic_drop > 15.0, "mic drop {mic_drop}");
+        assert!(presence_drop > 5.0, "presence drop {presence_drop}");
+        assert!(mic_drop > presence_drop, "{mic_drop} vs {presence_drop}");
+    }
+
+    #[test]
+    fn loss_curve_is_flat_below_two_percent() {
+        let ds = dataset();
+        // Four half-percent bins with a meaningful floor keep the thin
+        // high-loss aggregates stable at this dataset size.
+        for metric in EngagementMetric::ALL {
+            let c = engagement_curve(ds, NetworkMetric::LossPct, metric, 4, 15).unwrap();
+            let drop = c.first_y().unwrap() - c.last_y().unwrap();
+            assert!(drop < 12.0, "{metric:?} dropped {drop} at 2% loss");
+        }
+    }
+
+    #[test]
+    fn compounding_grid_dips_hard() {
+        let grid =
+            compounding_grid(dataset(), EngagementMetric::Presence, 4, 5).unwrap();
+        let max = grid.max_value().unwrap();
+        let min = grid.min_value().unwrap();
+        assert!((max - 100.0).abs() < 1e-9);
+        assert!(min < 75.0, "compounding min {min}");
+    }
+
+    #[test]
+    fn platform_curves_separate() {
+        let curves = platform_curves(
+            dataset(),
+            NetworkMetric::LossPct,
+            EngagementMetric::Presence,
+            4,
+            5,
+        )
+        .unwrap();
+        assert_eq!(curves.len(), 4);
+        // Every platform produced at least one populated bin.
+        for (p, c) in &curves {
+            assert!(!c.points().is_empty(), "{p:?} curve empty");
+        }
+    }
+
+    #[test]
+    fn mos_curve_increases_with_presence() {
+        let c = mos_by_engagement(dataset(), EngagementMetric::Presence, 4, 3).unwrap();
+        let pts = c.points();
+        assert!(pts.len() >= 2, "need populated MOS bins, got {pts:?}");
+        assert!(
+            pts.last().unwrap().1 > pts.first().unwrap().1,
+            "MOS should rise with presence: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn mos_correlations_rank_presence_first() {
+        let ranks = mos_correlations(dataset()).unwrap();
+        assert_eq!(ranks.len(), 3);
+        assert!(ranks.iter().all(|(_, c)| (-1.0..=1.0).contains(c)));
+        assert_eq!(ranks[0].0, EngagementMetric::Presence, "{ranks:?}");
+        assert!(ranks[0].1 > 0.1, "presence-MOS correlation {:?}", ranks[0]);
+    }
+
+    #[test]
+    fn cam_on_does_not_raise_latency() {
+        let c = latency_by_cam_on(dataset(), 5, 20).unwrap();
+        let slope = c.slope_between(10.0, 90.0).unwrap();
+        assert!(slope <= 0.05, "latency should not rise with CamOn, slope {slope}");
+    }
+
+    #[test]
+    fn confounder_report_orders_effects() {
+        let r = confounder_report(dataset()).unwrap();
+        assert!(r.network_effect > r.meeting_size_effect, "{r:?}");
+        assert!(r.network_effect > r.conditioning_effect, "{r:?}");
+        assert!(r.platform_effect > 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn reference_filter_behaviour() {
+        let ds = dataset();
+        let kept = ds
+            .sessions
+            .iter()
+            .filter(|s| in_reference_except(s, NetworkMetric::LatencyMs))
+            .count();
+        assert!(kept > 0, "reference filter kept nothing");
+        assert!(kept < ds.len(), "reference filter kept everything");
+    }
+
+    #[test]
+    fn dropoff_rises_beyond_three_percent() {
+        let c = dropoff_by_loss(dataset(), 5, 5).unwrap();
+        let low = c.y_near(0.5).unwrap();
+        if let Some(high) = c.y_near(4.5) {
+            assert!(high > low, "drop-off {high} at high loss vs {low}");
+        }
+    }
+
+    #[test]
+    fn p95_trends_match_means() {
+        let mean_curve = engagement_curve(
+            dataset(),
+            NetworkMetric::LatencyMs,
+            EngagementMetric::MicOn,
+            6,
+            8,
+        )
+        .unwrap();
+        let p95_curve = engagement_curve_p95(
+            dataset(),
+            NetworkMetric::LatencyMs,
+            EngagementMetric::MicOn,
+            6,
+            8,
+        )
+        .unwrap();
+        let mean_drop = mean_curve.first_y().unwrap() - mean_curve.last_y().unwrap();
+        let p95_drop = p95_curve.first_y().unwrap() - p95_curve.last_y().unwrap();
+        assert!(mean_drop > 0.0 && p95_drop > 0.0, "both aggregations decline");
+    }
+}

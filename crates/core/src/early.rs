@@ -1,0 +1,188 @@
+//! Early quality indication from partial sessions (§3.3).
+//!
+//! *"While MOS scores are sampled and delayed, these correlations show that
+//! user engagement could be considered as early and more readily available
+//! indication of call quality."*
+//!
+//! This module operationalises "early": from only the first `k` ticks of a
+//! session's action timeline it computes an early engagement score and shows
+//! how its correlation with the session's final latent quality grows with
+//! the horizon — while even a few minutes of signal already carries real
+//! information. An operator could use this to re-route or re-provision
+//! *during* a call rather than after the survey.
+
+use analytics::AnalyticsError;
+use conference::call::DetailedSession;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the early engagement score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlyScoreWeights {
+    /// Weight of still being in the call at the horizon.
+    pub presence: f64,
+    /// Weight of the partial Mic On fraction.
+    pub mic: f64,
+    /// Weight of the partial Cam On fraction.
+    pub cam: f64,
+}
+
+impl Default for EarlyScoreWeights {
+    fn default() -> EarlyScoreWeights {
+        // Presence dominates, mirroring the Fig. 4 correlation ranking.
+        EarlyScoreWeights { presence: 0.6, mic: 0.25, cam: 0.15 }
+    }
+}
+
+/// The early-quality monitor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarlyQualityMonitor {
+    /// Score weights.
+    pub weights: EarlyScoreWeights,
+}
+
+/// Correlation of the early score with final quality at one horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HorizonSkill {
+    /// Horizon in 5-second ticks.
+    pub horizon_ticks: u32,
+    /// Pearson correlation with the final latent quality.
+    pub correlation: f64,
+    /// Sessions that contributed.
+    pub sessions: usize,
+}
+
+impl EarlyQualityMonitor {
+    /// The early engagement score of one session at a horizon, in `[0, 1]`;
+    /// `None` when the timeline is empty or the horizon is zero.
+    pub fn score(&self, session: &DetailedSession, horizon: u32) -> Option<f64> {
+        let snap = session.timeline.snapshot_at(horizon)?;
+        let w = self.weights;
+        let total = w.presence + w.mic + w.cam;
+        if total <= 0.0 {
+            return None;
+        }
+        let presence = if snap.still_present { 1.0 } else { 0.0 };
+        Some(
+            (w.presence * presence + w.mic * snap.mic_on_fraction + w.cam * snap.cam_on_fraction)
+                / total,
+        )
+    }
+
+    /// Correlation of the early score with final latent quality across
+    /// sessions, for each horizon.
+    pub fn skill_by_horizon(
+        &self,
+        sessions: &[DetailedSession],
+        horizons: &[u32],
+    ) -> Result<Vec<HorizonSkill>, AnalyticsError> {
+        if sessions.is_empty() {
+            return Err(AnalyticsError::Empty);
+        }
+        let mut out = Vec::with_capacity(horizons.len());
+        for &h in horizons {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for s in sessions {
+                if let Some(score) = self.score(s, h) {
+                    xs.push(score);
+                    ys.push(s.record.latent_quality);
+                }
+            }
+            if xs.len() < 2 {
+                continue;
+            }
+            out.push(HorizonSkill {
+                horizon_ticks: h,
+                correlation: analytics::pearson(&xs, &ys)?,
+                sessions: xs.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conference::call::{CallConfig, CallSimulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    /// Detailed sessions over a wide mix of conditions.
+    fn sessions() -> &'static Vec<DetailedSession> {
+        static S: OnceLock<Vec<DetailedSession>> = OnceLock::new();
+        S.get_or_init(|| {
+            let sim = CallSimulator::default();
+            let mut rng = StdRng::seed_from_u64(0xEA71);
+            let mut uid = 0;
+            let mut out = Vec::new();
+            for call_id in 0..800 {
+                let config = CallConfig {
+                    call_id,
+                    date: analytics::time::Date::from_ymd(2022, 2, 15).unwrap(),
+                    start_hour: 10,
+                    participants: 5,
+                    scheduled_ticks: 240, // 20 minutes
+                };
+                out.extend(sim.simulate_detailed(&mut rng, &config, &mut uid));
+            }
+            out
+        })
+    }
+
+    #[test]
+    fn timelines_are_recorded() {
+        let s = sessions();
+        assert!(s.len() > 2000);
+        assert!(s.iter().all(|d| !d.timeline.is_empty()));
+        // Sessions that left early carry a Left event at the right tick.
+        let leavers = s.iter().filter(|d| d.record.left_early).count();
+        assert!(leavers > 20, "need some leavers: {leavers}");
+        for d in s.iter().filter(|d| d.record.left_early) {
+            assert_eq!(d.timeline.left_at(), Some(d.record.attended_ticks));
+        }
+    }
+
+    #[test]
+    fn early_score_predicts_final_quality() {
+        let monitor = EarlyQualityMonitor::default();
+        let skills = monitor
+            .skill_by_horizon(sessions(), &[12, 36, 120, 240])
+            .unwrap();
+        assert_eq!(skills.len(), 4);
+        // Even one minute of signal carries information…
+        assert!(
+            skills[0].correlation > 0.05,
+            "1-minute horizon should already correlate: {skills:?}"
+        );
+        // …and the full-session horizon is solidly predictive.
+        let last = skills.last().unwrap();
+        assert!(last.correlation > 0.3, "{skills:?}");
+        // Skill should broadly grow with the horizon.
+        assert!(
+            last.correlation > skills[0].correlation,
+            "longer horizons must know more: {skills:?}"
+        );
+    }
+
+    #[test]
+    fn score_bounds_and_degenerate_weights() {
+        let monitor = EarlyQualityMonitor::default();
+        for d in sessions().iter().take(200) {
+            if let Some(score) = monitor.score(d, 36) {
+                assert!((0.0..=1.0).contains(&score), "score {score}");
+            }
+        }
+        let zero = EarlyQualityMonitor {
+            weights: EarlyScoreWeights { presence: 0.0, mic: 0.0, cam: 0.0 },
+        };
+        assert_eq!(zero.score(&sessions()[0], 36), None);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        let monitor = EarlyQualityMonitor::default();
+        assert!(monitor.skill_by_horizon(&[], &[10]).is_err());
+    }
+}

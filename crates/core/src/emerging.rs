@@ -1,0 +1,216 @@
+//! Emerging-topic mining — the roaming early-detection pipeline (§4.1).
+//!
+//! *"We were also able to detect Redditors discussing the roaming feature of
+//! Starlink almost ~2 weeks before Elon Musk announced it on Twitter … using
+//! a systematic pipeline which mines popular discussions (using upvotes and
+//! comment numbers)."*
+//!
+//! The miner slides a window over the corpus, counts engagement-weighted
+//! unigrams, and flags terms whose current weight is a large multiple of
+//! their historical average — surfacing vocabulary the community suddenly
+//! cares about. It reports the first flag date per term so lead times
+//! against official announcements can be measured.
+
+use analytics::time::Date;
+use analytics::AnalyticsError;
+use sentiment::analyzer::SentimentAnalyzer;
+use sentiment::ngram::NgramCounts;
+use serde::{Deserialize, Serialize};
+use social::post::Forum;
+use std::collections::HashMap;
+
+/// Miner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmergingTopicMiner {
+    /// Length of the current window (days).
+    pub window_days: i32,
+    /// Step between evaluations (days).
+    pub step_days: i32,
+    /// Novelty ratio a term must reach: current weight vs historical daily
+    /// average (+1 smoothing).
+    pub min_novelty: f64,
+    /// Minimum absolute engagement weight in the window (filters one-off
+    /// posts).
+    pub min_weight: f64,
+}
+
+impl Default for EmergingTopicMiner {
+    fn default() -> EmergingTopicMiner {
+        EmergingTopicMiner { window_days: 7, step_days: 1, min_novelty: 8.0, min_weight: 150.0 }
+    }
+}
+
+/// One emerging-topic detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmergingTopic {
+    /// The term.
+    pub term: String,
+    /// First day the term was flagged.
+    pub first_flagged: Date,
+    /// Engagement weight in the triggering window.
+    pub window_weight: f64,
+    /// Novelty ratio at the trigger.
+    pub novelty: f64,
+    /// Mean sentiment polarity of the window's posts containing the term.
+    pub polarity: f64,
+}
+
+impl EmergingTopicMiner {
+    /// Mine the corpus; returns the first detection per term, ordered by
+    /// flag date.
+    pub fn mine(&self, forum: &Forum) -> Result<Vec<EmergingTopic>, AnalyticsError> {
+        let (start, end) = match (forum.posts.first(), forum.posts.last()) {
+            (Some(a), Some(b)) => (a.date, b.date),
+            _ => return Err(AnalyticsError::Empty),
+        };
+        let analyzer = SentimentAnalyzer::default();
+        // Historical cumulative engagement weight per term and in total.
+        // Novelty compares the term's *share* of engagement-weighted counts
+        // now vs historically, so an event that inflates all posting (and
+        // therefore every term's absolute weight) does not flag established
+        // vocabulary.
+        let mut history: HashMap<String, f64> = HashMap::new();
+        let mut history_total = 0.0f64;
+        let mut detected: HashMap<String, EmergingTopic> = HashMap::new();
+        /// Share floor: the share a never-seen term is treated as having had.
+        const SHARE_FLOOR: f64 = 0.002;
+
+        let mut cursor = start.offset(self.window_days);
+        // Pre-load history with the first window.
+        let mut pre = NgramCounts::new();
+        for p in forum.between(start, cursor.offset(-1)) {
+            pre.add_weighted(&p.text(), p.engagement_weight());
+        }
+        for (term, w) in pre.iter() {
+            *history.entry(term.to_string()).or_insert(0.0) += w;
+            history_total += w;
+        }
+
+        while cursor.offset(self.window_days - 1) <= end {
+            let win_start = cursor;
+            let win_end = cursor.offset(self.window_days - 1);
+            let mut counts = NgramCounts::new();
+            let posts: Vec<&social::post::Post> = forum.between(win_start, win_end).collect();
+            for p in &posts {
+                counts.add_weighted(&p.text(), p.engagement_weight());
+            }
+            let window_total: f64 = counts.iter().map(|(_, w)| w).sum::<f64>().max(1.0);
+            for (term, weight) in counts.iter() {
+                if weight < self.min_weight || detected.contains_key(term) {
+                    continue;
+                }
+                let hist_share =
+                    history.get(term).copied().unwrap_or(0.0) / history_total.max(1.0);
+                let window_share = weight / window_total;
+                let novelty = window_share / (hist_share + SHARE_FLOOR);
+                if novelty >= self.min_novelty {
+                    // Sentiment of the posts mentioning the term.
+                    let polarities: Vec<f64> = posts
+                        .iter()
+                        .filter(|p| p.text().to_lowercase().contains(term))
+                        .map(|p| analyzer.score(&p.text()).polarity())
+                        .collect();
+                    let polarity = analytics::mean(&polarities).unwrap_or(0.0);
+                    detected.insert(
+                        term.to_string(),
+                        EmergingTopic {
+                            term: term.to_string(),
+                            first_flagged: win_end,
+                            window_weight: weight,
+                            novelty,
+                            polarity,
+                        },
+                    );
+                }
+            }
+            // Roll the oldest step into history.
+            let mut rolled = NgramCounts::new();
+            for p in forum.between(win_start, win_start.offset(self.step_days - 1)) {
+                rolled.add_weighted(&p.text(), p.engagement_weight());
+            }
+            for (term, w) in rolled.iter() {
+                *history.entry(term.to_string()).or_insert(0.0) += w;
+                history_total += w;
+            }
+            cursor = cursor.offset(self.step_days);
+        }
+        let mut out: Vec<EmergingTopic> = detected.into_values().collect();
+        out.sort_by_key(|t| t.first_flagged);
+        Ok(out)
+    }
+
+    /// Convenience: the first detection of one term, if any.
+    pub fn first_detection(
+        &self,
+        forum: &Forum,
+        term: &str,
+    ) -> Result<Option<EmergingTopic>, AnalyticsError> {
+        Ok(self.mine(forum)?.into_iter().find(|t| t.term == term))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social::generator::{generate, ForumConfig};
+    use std::sync::OnceLock;
+
+    fn forum() -> &'static Forum {
+        static F: OnceLock<Forum> = OnceLock::new();
+        F.get_or_init(|| generate(&ForumConfig { authors: 4000, ..ForumConfig::default() }))
+    }
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn roaming_detected_two_weeks_before_ceo_tweet() {
+        let miner = EmergingTopicMiner::default();
+        let hit = miner
+            .first_detection(forum(), "roaming")
+            .unwrap()
+            .expect("roaming must be flagged");
+        let tweet = d(2022, 3, 3);
+        let lead = tweet.days_since(hit.first_flagged);
+        assert!(
+            lead >= 10,
+            "roaming flagged {} — only {lead} days before the tweet (paper: ~2 weeks)",
+            hit.first_flagged
+        );
+        assert!(hit.first_flagged >= d(2022, 2, 14), "cannot flag before users discover it");
+        assert!(hit.polarity > 0.0, "roaming chatter should be positive: {}", hit.polarity);
+    }
+
+    #[test]
+    fn established_vocabulary_is_not_flagged() {
+        let miner = EmergingTopicMiner::default();
+        let topics = miner.mine(forum()).unwrap();
+        // Words present from day one can never be novel.
+        for term in ["service", "speeds", "dish"] {
+            assert!(
+                topics.iter().all(|t| t.term != term),
+                "{term} wrongly flagged as emerging"
+            );
+        }
+    }
+
+    #[test]
+    fn detections_are_first_occurrences_in_order() {
+        let miner = EmergingTopicMiner::default();
+        let topics = miner.mine(forum()).unwrap();
+        assert!(!topics.is_empty());
+        assert!(topics.windows(2).all(|w| w[0].first_flagged <= w[1].first_flagged));
+        let mut terms: Vec<&str> = topics.iter().map(|t| t.term.as_str()).collect();
+        terms.sort_unstable();
+        let before = terms.len();
+        terms.dedup();
+        assert_eq!(before, terms.len(), "one detection per term");
+    }
+
+    #[test]
+    fn empty_forum_errors() {
+        let miner = EmergingTopicMiner::default();
+        assert!(miner.mine(&Forum::default()).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! The Fig. 7 pipeline: OCR'd speeds, launches, users, and the shifting
+//! fulcrum of user sentiment (§4.2).
+//!
+//! From the forum corpus: find posts sharing speed-test screenshots, run the
+//! OCR extractor over each, compute monthly median downlink speeds (plus the
+//! paper's 95 % / 90 % uniform-subsample stability check), compute the
+//! normalised strong-positive sentiment score *Pos* over the same posts
+//! (*"the ratio of total strong positive posts and total (strong positive
+//! and negative) posts in a month"*), and annotate each month with the
+//! launch count and the latest public subscriber report.
+
+use analytics::sampling::subsample;
+use analytics::time::{Date, Month};
+use analytics::AnalyticsError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentiment::analyzer::SentimentAnalyzer;
+use serde::{Deserialize, Serialize};
+use social::post::Forum;
+use starlink::capacity::SpeedModel;
+use starlink::launches::LaunchSchedule;
+use starlink::subscribers::SubscriberModel;
+
+/// One month of the Fig. 7 series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthlyPoint {
+    /// The month.
+    pub month: Month,
+    /// Speed-test reports whose downlink the OCR pipeline recovered.
+    pub reports: usize,
+    /// Median recovered downlink (Mbps); `None` when under `min_reports`.
+    pub median_down: Option<f64>,
+    /// Median over a 95 % uniform subsample.
+    pub median_down_95: Option<f64>,
+    /// Median over a 90 % uniform subsample.
+    pub median_down_90: Option<f64>,
+    /// Normalised strong-positive score over the month's share posts.
+    pub pos_score: Option<f64>,
+    /// Launches that month.
+    pub launches: usize,
+    /// Latest public subscriber report at month end.
+    pub reported_users: Option<f64>,
+    /// Ground-truth model median (validation only).
+    pub model_median: f64,
+}
+
+/// Fig. 7 analysis configuration.
+#[derive(Debug, Clone)]
+pub struct FulcrumAnalysis {
+    /// Sentiment analyzer for the Pos score.
+    pub analyzer: SentimentAnalyzer,
+    /// Launch schedule for annotation.
+    pub schedule: LaunchSchedule,
+    /// Subscriber model for annotation.
+    pub subscribers: SubscriberModel,
+    /// Ground-truth speed model (validation column).
+    pub model: SpeedModel,
+    /// Minimum recovered reports for a monthly median.
+    pub min_reports: usize,
+    /// Seed for the subsample stability check.
+    pub subsample_seed: u64,
+}
+
+impl Default for FulcrumAnalysis {
+    fn default() -> FulcrumAnalysis {
+        FulcrumAnalysis {
+            analyzer: SentimentAnalyzer::default(),
+            schedule: LaunchSchedule::builtin(),
+            subscribers: SubscriberModel::builtin(),
+            model: SpeedModel::default(),
+            min_reports: 8,
+            subsample_seed: 0xF167,
+        }
+    }
+}
+
+impl FulcrumAnalysis {
+    /// Run the pipeline over `[start, end]` months.
+    pub fn analyze(
+        &self,
+        forum: &Forum,
+        start: Month,
+        end: Month,
+    ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
+        if forum.is_empty() {
+            return Err(AnalyticsError::Empty);
+        }
+        let mut rng = StdRng::seed_from_u64(self.subsample_seed);
+        let mut out = Vec::new();
+        for month in start.iter_through(end) {
+            let from = month.first_day();
+            let to = month.last_day();
+            let mut downs: Vec<f64> = Vec::new();
+            let mut strong_pos = 0usize;
+            let mut strong_neg = 0usize;
+            for post in forum.between(from, to) {
+                let Some(shot) = &post.screenshot else { continue };
+                if let Some(d) = ocr::extract::extract(&shot.ocr_text).downlink_mbps {
+                    downs.push(d);
+                }
+                let s = self.analyzer.score(&post.text());
+                if s.is_strong_positive() {
+                    strong_pos += 1;
+                } else if s.is_strong_negative() {
+                    strong_neg += 1;
+                }
+            }
+            let (median_down, median_down_95, median_down_90) =
+                if downs.len() >= self.min_reports {
+                    let m = analytics::median(&downs)?;
+                    let s95 = analytics::median(&subsample(&mut rng, &downs, 0.95)?)?;
+                    let s90 = analytics::median(&subsample(&mut rng, &downs, 0.90)?)?;
+                    (Some(m), Some(s95), Some(s90))
+                } else {
+                    (None, None, None)
+                };
+            // Pos "filter[s] out edge cases when identifying the sentiment
+            // is hard": only strong posts enter the ratio.
+            let pos_score = if strong_pos + strong_neg > 0 {
+                Some(strong_pos as f64 / (strong_pos + strong_neg) as f64)
+            } else {
+                None
+            };
+            let mid = Date::from_ymd(month.year, month.month, 15).expect("mid-month");
+            out.push(MonthlyPoint {
+                month,
+                reports: downs.len(),
+                median_down,
+                median_down_95,
+                median_down_90,
+                pos_score,
+                launches: self.schedule.launches_in_month(month),
+                reported_users: self.subscribers.latest_report(to).map(|m| m.users),
+                model_median: self.model.median_downlink(mid),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience accessors over the monthly series.
+pub trait Fig7Series {
+    /// Median downlink of one month, if computed.
+    fn median_of(&self, year: i32, month: u8) -> Option<f64>;
+    /// Pos score of one month, if computed.
+    fn pos_of(&self, year: i32, month: u8) -> Option<f64>;
+}
+
+impl Fig7Series for [MonthlyPoint] {
+    fn median_of(&self, year: i32, month: u8) -> Option<f64> {
+        self.iter()
+            .find(|p| p.month.year == year && p.month.month == month)
+            .and_then(|p| p.median_down)
+    }
+
+    fn pos_of(&self, year: i32, month: u8) -> Option<f64> {
+        self.iter()
+            .find(|p| p.month.year == year && p.month.month == month)
+            .and_then(|p| p.pos_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social::generator::{generate, ForumConfig};
+    use std::sync::OnceLock;
+
+    fn forum() -> &'static Forum {
+        static F: OnceLock<Forum> = OnceLock::new();
+        F.get_or_init(|| generate(&ForumConfig { authors: 4000, ..ForumConfig::default() }))
+    }
+
+    fn series() -> &'static Vec<MonthlyPoint> {
+        static S: OnceLock<Vec<MonthlyPoint>> = OnceLock::new();
+        S.get_or_init(|| {
+            FulcrumAnalysis::default()
+                .analyze(
+                    forum(),
+                    Month::new(2021, 1).unwrap(),
+                    Month::new(2022, 12).unwrap(),
+                )
+                .unwrap()
+        })
+    }
+
+    #[test]
+    fn covers_all_months_with_reports() {
+        let s = series();
+        assert_eq!(s.len(), 24);
+        let total: usize = s.iter().map(|p| p.reports).sum();
+        assert!((1000..2600).contains(&total), "recovered reports {total} (paper: ~1750)");
+        assert!(s.iter().filter(|p| p.median_down.is_some()).count() >= 20);
+    }
+
+    #[test]
+    fn extracted_medians_track_ground_truth() {
+        for p in series() {
+            if let Some(m) = p.median_down {
+                let rel = (m - p.model_median).abs() / p.model_median;
+                assert!(rel < 0.30, "{}: extracted {m} vs model {}", p.month, p.model_median);
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_shape_rise_dip_decline() {
+        let s = series().as_slice();
+        let jan21 = s.median_of(2021, 1).unwrap();
+        let may21 = s.median_of(2021, 5).unwrap();
+        let sep21 = s.median_of(2021, 9).unwrap();
+        let dec22 = s.median_of(2022, 12).unwrap();
+        assert!(may21 > jan21 * 1.15, "rise: {jan21} → {may21}");
+        assert!(sep21 > jan21, "Sep'21 {sep21} above Jan'21 {jan21}");
+        assert!(dec22 < sep21 * 0.75, "decline: {sep21} → {dec22}");
+    }
+
+    #[test]
+    fn subsample_medians_are_stable() {
+        // The paper's stability check: 95 %/90 % subsampled medians closely
+        // follow the full median.
+        for p in series() {
+            if let (Some(full), Some(s95), Some(s90)) =
+                (p.median_down, p.median_down_95, p.median_down_90)
+            {
+                assert!((s95 - full).abs() / full < 0.15, "{}: 95% {s95} vs {full}", p.month);
+                assert!((s90 - full).abs() / full < 0.20, "{}: 90% {s90} vs {full}", p.month);
+            }
+        }
+    }
+
+    #[test]
+    fn the_wheel_of_time_dec21_vs_apr21() {
+        // Speeds higher in Dec'21 than Apr'21 but Pos drastically lower.
+        let s = series().as_slice();
+        let apr_med = s.median_of(2021, 4).unwrap();
+        let dec_med = s.median_of(2021, 12).unwrap();
+        let apr_pos = s.pos_of(2021, 4).unwrap();
+        let dec_pos = s.pos_of(2021, 12).unwrap();
+        assert!(dec_med > apr_med * 0.95, "premise: Dec'21 {dec_med} ≳ Apr'21 {apr_med}");
+        assert!(
+            dec_pos < apr_pos - 0.1,
+            "Pos should drop: Apr'21 {apr_pos} vs Dec'21 {dec_pos}"
+        );
+    }
+
+    #[test]
+    fn the_wheel_of_time_2022_recovery() {
+        // Speeds fall Mar'22 → Dec'22 while Pos improves (conditioning).
+        // Quarterly means tame the monthly sampling noise of the Pos ratio.
+        let s = series().as_slice();
+        let mar_med = s.median_of(2022, 3).unwrap();
+        let dec_med = s.median_of(2022, 12).unwrap();
+        assert!(dec_med < mar_med, "premise: speeds fall {mar_med} → {dec_med}");
+        let q_mean = |months: [u8; 3]| {
+            let xs: Vec<f64> = months.iter().filter_map(|m| s.pos_of(2022, *m)).collect();
+            analytics::mean(&xs).unwrap()
+        };
+        let spring = q_mean([2, 3, 4]);
+        let winter = q_mean([10, 11, 12]);
+        assert!(
+            winter > spring + 0.05,
+            "Pos should recover: spring'22 {spring} vs winter'22 {winter}"
+        );
+    }
+
+    #[test]
+    fn annotations_present() {
+        let s = series();
+        let launches: usize = s.iter().map(|p| p.launches).sum();
+        assert!((45..60).contains(&launches), "launches {launches}");
+        assert!(s[0].reported_users.is_none(), "no public report before Feb'21");
+        assert!(s[23].reported_users.unwrap() >= 1_000_000.0);
+    }
+
+    #[test]
+    fn empty_forum_errors() {
+        let a = FulcrumAnalysis::default();
+        assert!(a
+            .analyze(
+                &Forum::default(),
+                Month::new(2021, 1).unwrap(),
+                Month::new(2021, 2).unwrap()
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Parallel ingestion pipeline.
+//!
+//! Sources (conferencing telemetry, forum crawls) produce raw items; a pool
+//! of normalisation workers scores sentiment and converts to [`Signal`]s;
+//! batches land in the shared [`SignalStore`]. Built on `crossbeam` bounded
+//! channels + scoped threads — the workload is CPU-bound batch processing,
+//! so plain threads (not an async runtime) are the right tool.
+
+use crate::signals::Signal;
+use crate::store::SignalStore;
+use conference::records::CallDataset;
+use crossbeam::channel;
+use sentiment::analyzer::SentimentAnalyzer;
+use social::post::Forum;
+
+/// A raw item awaiting normalisation.
+pub enum RawItem {
+    /// One conferencing session record.
+    Session(Box<conference::records::SessionRecord>),
+    /// One forum post.
+    Post(Box<social::post::Post>),
+}
+
+/// Normalise one raw item into signals.
+pub fn normalise(item: &RawItem, analyzer: &SentimentAnalyzer) -> Vec<Signal> {
+    match item {
+        RawItem::Session(s) => Signal::from_session(s),
+        RawItem::Post(p) => vec![Signal::from_post(p, analyzer)],
+    }
+}
+
+/// Ingest a call dataset and a forum corpus into the store using `workers`
+/// normalisation threads. Returns the number of signals stored.
+pub fn ingest_all(
+    store: &SignalStore,
+    dataset: &CallDataset,
+    forum: &Forum,
+    workers: usize,
+) -> usize {
+    let workers = workers.max(1);
+    let (tx, rx) = channel::bounded::<RawItem>(4096);
+    let before = store.len();
+
+    crossbeam::thread::scope(|scope| {
+        // Normalisation workers.
+        for _ in 0..workers {
+            let rx = rx.clone();
+            scope.spawn(move |_| {
+                let analyzer = SentimentAnalyzer::default();
+                let mut batch: Vec<Signal> = Vec::with_capacity(256);
+                for item in rx.iter() {
+                    batch.extend(normalise(&item, &analyzer));
+                    if batch.len() >= 256 {
+                        store.insert_batch(std::mem::take(&mut batch));
+                    }
+                }
+                if !batch.is_empty() {
+                    store.insert_batch(batch);
+                }
+            });
+        }
+        drop(rx);
+
+        // Producer: feed both sources.
+        for s in &dataset.sessions {
+            tx.send(RawItem::Session(Box::new(s.clone()))).expect("workers alive");
+        }
+        for p in &forum.posts {
+            tx.send(RawItem::Post(Box::new(p.clone()))).expect("workers alive");
+        }
+        drop(tx);
+    })
+    .expect("ingest scope");
+
+    store.len() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::SignalKind;
+    use conference::dataset::{generate, DatasetConfig};
+    use social::generator::{generate as gen_forum, ForumConfig};
+
+    fn small_forum() -> Forum {
+        let mut cfg = ForumConfig::default();
+        cfg.end = cfg.start.offset(20);
+        cfg.authors = 500;
+        gen_forum(&cfg)
+    }
+
+    #[test]
+    fn ingests_both_sources() {
+        let store = SignalStore::new();
+        let dataset = generate(&DatasetConfig::small(40, 5));
+        let forum = small_forum();
+        let n = ingest_all(&store, &dataset, &forum, 4);
+        let expected = dataset.len() + dataset.rated_sessions().count() + forum.len();
+        assert_eq!(n, expected);
+        assert_eq!(store.count_kind(SignalKind::Implicit), dataset.len());
+        assert_eq!(store.count_kind(SignalKind::Social), forum.len());
+        assert_eq!(store.count_kind(SignalKind::Explicit), dataset.rated_sessions().count());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_totals() {
+        let dataset = generate(&DatasetConfig::small(25, 6));
+        let forum = small_forum();
+        let one = SignalStore::new();
+        let eight = SignalStore::new();
+        assert_eq!(
+            ingest_all(&one, &dataset, &forum, 1),
+            ingest_all(&eight, &dataset, &forum, 8)
+        );
+        assert_eq!(one.len(), eight.len());
+        assert_eq!(one.date_range(), eight.date_range());
+    }
+
+    #[test]
+    fn empty_sources_ingest_nothing() {
+        let store = SignalStore::new();
+        let n = ingest_all(&store, &CallDataset::default(), &Forum::default(), 2);
+        assert_eq!(n, 0);
+        assert!(store.is_empty());
+    }
+}

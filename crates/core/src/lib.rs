@@ -1,0 +1,44 @@
+//! # usaas — User Signals as-a-Service
+//!
+//! The paper's primary contribution (§5): a framework that ingests implicit
+//! user actions, explicit feedback, and social-media posts; correlates them
+//! with network conditions; and answers operator queries. This crate wires
+//! the substrates together and implements every analysis behind the paper's
+//! figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod annotate;
+pub mod bias;
+pub mod correlate;
+pub mod digest;
+pub mod early;
+pub mod emerging;
+pub mod fulcrum;
+pub mod ingest;
+pub mod outage;
+pub mod predict;
+pub mod report;
+pub mod service;
+pub mod signals;
+pub mod store;
+
+pub use advisor::{Intervention, TrafficAdvisor};
+pub use annotate::{AnnotatedPeak, PeakAnnotator};
+pub use bias::{extremity_bias, geo_corrected_polarity, ExtremityBias};
+pub use correlate::{
+    compounding_grid, confounder_report, engagement_curve, mos_by_engagement, mos_correlations,
+    platform_curves, ConfounderReport, Grid2d,
+};
+pub use digest::{Digest, DigestBuilder, RegimeChange, TestedGap};
+pub use early::{EarlyQualityMonitor, EarlyScoreWeights, HorizonSkill};
+pub use emerging::{EmergingTopic, EmergingTopicMiner};
+pub use fulcrum::{Fig7Series, FulcrumAnalysis, MonthlyPoint};
+pub use ingest::ingest_all;
+pub use outage::{DetectedOutage, DetectionScore, OutageDetector};
+pub use predict::{train_and_evaluate, Evaluation, FeatureSet, MosPredictor};
+pub use service::{Answer, CrossNetworkReport, Query, UsaasError, UsaasService};
+pub use signals::{NetworkHint, Payload, Signal, SignalKind};
+pub use store::SignalStore;

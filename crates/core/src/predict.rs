@@ -1,0 +1,211 @@
+//! The §5 MOS predictor.
+//!
+//! *"We are currently also using AI/ML techniques to predict MOS scores from
+//! user engagement and network conditions for MS Teams (omitted for
+//! brevity)."* — we build it. A ridge-regularised linear model over
+//! engagement (Presence / Cam On / Mic On) and network means (latency, loss,
+//! jitter, bandwidth) is trained on the rated sliver and evaluated against
+//! two baselines: predict-the-mean, and a network-only model — quantifying
+//! exactly the paper's claim that engagement carries signal beyond the raw
+//! network metrics.
+
+use analytics::regression::{mae, rmse, LinearModel};
+use analytics::AnalyticsError;
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
+use serde::{Deserialize, Serialize};
+
+/// Feature sets the predictor can use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// Network means only.
+    NetworkOnly,
+    /// Engagement metrics only.
+    EngagementOnly,
+    /// Both (the paper's proposal).
+    Full,
+}
+
+fn features(session: &SessionRecord, set: FeatureSet) -> Vec<f64> {
+    let mut out = Vec::with_capacity(7);
+    if matches!(set, FeatureSet::EngagementOnly | FeatureSet::Full) {
+        for m in EngagementMetric::ALL {
+            out.push(session.engagement(m) / 100.0);
+        }
+    }
+    if matches!(set, FeatureSet::NetworkOnly | FeatureSet::Full) {
+        // Scale features to comparable magnitudes.
+        out.push(session.network_mean(NetworkMetric::LatencyMs) / 100.0);
+        out.push(session.network_mean(NetworkMetric::LossPct));
+        out.push(session.network_mean(NetworkMetric::JitterMs) / 10.0);
+        out.push(session.network_mean(NetworkMetric::BandwidthMbps));
+    }
+    out
+}
+
+/// Evaluation of one trained predictor on held-out data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Feature set used.
+    pub feature_set: FeatureSet,
+    /// Training rows.
+    pub train_rows: usize,
+    /// Test rows.
+    pub test_rows: usize,
+    /// Mean absolute error (stars).
+    pub mae: f64,
+    /// Root-mean-square error (stars).
+    pub rmse: f64,
+    /// Pearson correlation between prediction and truth.
+    pub correlation: f64,
+    /// MAE of the predict-the-training-mean baseline.
+    pub baseline_mae: f64,
+}
+
+impl Evaluation {
+    /// Skill over the mean baseline: `1 - mae/baseline_mae` (positive =
+    /// better than baseline).
+    pub fn skill(&self) -> f64 {
+        if self.baseline_mae == 0.0 {
+            0.0
+        } else {
+            1.0 - self.mae / self.baseline_mae
+        }
+    }
+}
+
+/// A trained MOS predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MosPredictor {
+    /// Feature set the model was trained with.
+    pub feature_set: FeatureSet,
+    /// Underlying linear model.
+    pub model: LinearModel,
+}
+
+impl MosPredictor {
+    /// Predict the MOS of one (possibly unrated) session.
+    pub fn predict(&self, session: &SessionRecord) -> Result<f64, AnalyticsError> {
+        Ok(self.model.predict(&features(session, self.feature_set))?.clamp(1.0, 5.0))
+    }
+}
+
+/// Train on a deterministic split (every `holdout`-th rated session is held
+/// out) and evaluate. `holdout = 4` → 75 % train / 25 % test.
+pub fn train_and_evaluate(
+    dataset: &CallDataset,
+    set: FeatureSet,
+    holdout: usize,
+) -> Result<(MosPredictor, Evaluation), AnalyticsError> {
+    let holdout = holdout.max(2);
+    let rated: Vec<&SessionRecord> = dataset.rated_sessions().collect();
+    if rated.len() < 2 * holdout {
+        return Err(AnalyticsError::Empty);
+    }
+    let mut train_x = Vec::new();
+    let mut train_y = Vec::new();
+    let mut test: Vec<&SessionRecord> = Vec::new();
+    for (i, s) in rated.iter().enumerate() {
+        if i % holdout == 0 {
+            test.push(s);
+        } else {
+            train_x.push(features(s, set));
+            train_y.push(f64::from(s.rating.expect("rated")));
+        }
+    }
+    let model = LinearModel::fit(&train_x, &train_y, 1e-4)?;
+    let predictor = MosPredictor { feature_set: set, model };
+
+    let truth: Vec<f64> = test.iter().map(|s| f64::from(s.rating.expect("rated"))).collect();
+    let preds: Vec<f64> =
+        test.iter().map(|s| predictor.predict(s)).collect::<Result<_, _>>()?;
+    let train_mean = train_y.iter().sum::<f64>() / train_y.len() as f64;
+    let baseline: Vec<f64> = vec![train_mean; truth.len()];
+    let eval = Evaluation {
+        feature_set: set,
+        train_rows: train_y.len(),
+        test_rows: truth.len(),
+        mae: mae(&preds, &truth)?,
+        rmse: rmse(&preds, &truth)?,
+        correlation: analytics::correlation::pearson(&preds, &truth)?,
+        baseline_mae: mae(&baseline, &truth)?,
+    };
+    Ok((predictor, eval))
+}
+
+/// §3.3's punchline as a service: predict MOS for *every* session (rated or
+/// not) — "user engagement could be considered as early and more readily
+/// available indication of call quality".
+pub fn predict_all(
+    dataset: &CallDataset,
+    predictor: &MosPredictor,
+) -> Result<Vec<f64>, AnalyticsError> {
+    dataset.sessions.iter().map(|s| predictor.predict(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conference::dataset::{generate, DatasetConfig};
+    use conference::CallSimulator;
+    use std::sync::OnceLock;
+
+    /// A dataset with an elevated feedback rate so the predictor has data.
+    fn dataset() -> &'static CallDataset {
+        static DS: OnceLock<CallDataset> = OnceLock::new();
+        DS.get_or_init(|| {
+            let mut sim = CallSimulator::default();
+            sim.feedback.rate = 0.2;
+            conference::dataset::generate_with(&DatasetConfig::small(1500, 9), &sim)
+        })
+    }
+
+    #[test]
+    fn full_model_beats_mean_baseline() {
+        let (_, eval) = train_and_evaluate(dataset(), FeatureSet::Full, 4).unwrap();
+        assert!(eval.skill() > 0.05, "skill {} (mae {} vs {})", eval.skill(), eval.mae, eval.baseline_mae);
+        assert!(eval.correlation > 0.3, "corr {}", eval.correlation);
+        assert!(eval.test_rows > 100);
+    }
+
+    #[test]
+    fn engagement_adds_signal_over_network_only() {
+        let (_, net) = train_and_evaluate(dataset(), FeatureSet::NetworkOnly, 4).unwrap();
+        let (_, full) = train_and_evaluate(dataset(), FeatureSet::Full, 4).unwrap();
+        assert!(
+            full.mae <= net.mae + 0.01,
+            "full-model MAE {} should not lose to network-only {}",
+            full.mae,
+            net.mae
+        );
+        let (_, eng) = train_and_evaluate(dataset(), FeatureSet::EngagementOnly, 4).unwrap();
+        assert!(eng.skill() > 0.0, "engagement alone must beat the mean baseline");
+    }
+
+    #[test]
+    fn predictions_in_star_range() {
+        let (model, _) = train_and_evaluate(dataset(), FeatureSet::Full, 4).unwrap();
+        let preds = predict_all(dataset(), &model).unwrap();
+        assert_eq!(preds.len(), dataset().len());
+        assert!(preds.iter().all(|p| (1.0..=5.0).contains(p)));
+    }
+
+    #[test]
+    fn too_few_ratings_errors() {
+        let ds = generate(&DatasetConfig::small(5, 1));
+        assert!(train_and_evaluate(&ds, FeatureSet::Full, 4).is_err());
+    }
+
+    #[test]
+    fn evaluation_skill_math() {
+        let e = Evaluation {
+            feature_set: FeatureSet::Full,
+            train_rows: 10,
+            test_rows: 10,
+            mae: 0.5,
+            rmse: 0.6,
+            correlation: 0.9,
+            baseline_mae: 1.0,
+        };
+        assert!((e.skill() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,469 @@
+//! The USaaS facade: one service, typed queries, typed answers (§5, Fig. 8).
+//!
+//! *"USaaS collects such user feedback, both online and offline, finds
+//! correlations, and shares useful user-centric insights back. The queries
+//! could take as input the network/service under consideration, network
+//! performance metrics and possible user actions of interest, application
+//! QoE metrics, etc."*
+//!
+//! [`UsaasService::build`] ingests a conferencing dataset and a forum corpus
+//! (through the parallel [`crate::ingest`] pipeline into the
+//! [`crate::store::SignalStore`]) and then answers [`Query`] values — each
+//! one a figure/analysis from the paper, plus the §5 flagship cross-network
+//! query ("how do Starlink users perceive the conferencing service?") and
+//! the §6 deployment-advice loop.
+
+use crate::annotate::{AnnotatedPeak, PeakAnnotator};
+use crate::correlate;
+use crate::emerging::{EmergingTopic, EmergingTopicMiner};
+use crate::fulcrum::{FulcrumAnalysis, MonthlyPoint};
+use crate::outage::{DetectedOutage, OutageDetector};
+use crate::predict::{self, Evaluation, FeatureSet};
+use crate::signals::SignalKind;
+use crate::store::SignalStore;
+use analytics::binning::BinnedCurve;
+use analytics::AnalyticsError;
+use conference::platform::Platform;
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric};
+use netsim::access::AccessType;
+use serde::Serialize;
+use social::post::Forum;
+use starlink::constellation::{DeploymentPlanner, Recommendation, RegionalDemand};
+
+/// Errors from the service layer.
+#[derive(Debug)]
+pub enum UsaasError {
+    /// An underlying analytics step failed.
+    Analytics(AnalyticsError),
+    /// The query needs data the service does not hold.
+    NoData(&'static str),
+}
+
+impl std::fmt::Display for UsaasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UsaasError::Analytics(e) => write!(f, "analytics error: {e}"),
+            UsaasError::NoData(what) => write!(f, "no data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for UsaasError {}
+
+impl From<AnalyticsError> for UsaasError {
+    fn from(e: AnalyticsError) -> UsaasError {
+        UsaasError::Analytics(e)
+    }
+}
+
+/// Typed queries — each maps to a paper artefact.
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Fig. 1: engagement vs a swept network metric.
+    EngagementCurve {
+        /// Metric being swept.
+        sweep: NetworkMetric,
+        /// Engagement metric reported.
+        engagement: EngagementMetric,
+        /// Number of bins.
+        bins: usize,
+    },
+    /// Fig. 2: the latency × loss compounding grid.
+    CompoundingGrid {
+        /// Engagement metric (the paper uses Presence).
+        engagement: EngagementMetric,
+        /// Grid resolution per axis.
+        bins: usize,
+    },
+    /// Fig. 3: per-platform sensitivity curves.
+    PlatformSensitivity {
+        /// Metric being swept.
+        sweep: NetworkMetric,
+        /// Engagement metric reported.
+        engagement: EngagementMetric,
+    },
+    /// Fig. 4: engagement↔MOS curves and correlation ranking.
+    MosCorrelation,
+    /// §5: train and evaluate the MOS predictor.
+    PredictMos {
+        /// Feature set.
+        features: FeatureSet,
+    },
+    /// Fig. 6: social outage detection.
+    OutageTimeline,
+    /// Fig. 5: annotated sentiment peaks.
+    SentimentPeaks {
+        /// How many peaks to annotate.
+        k: usize,
+    },
+    /// Fig. 7: speeds, users, launches, and the Pos score.
+    SpeedTrend,
+    /// §4.1: emerging topics (the roaming detector).
+    EmergingTopics,
+    /// §5 flagship: how users of one access network experience the
+    /// conferencing service, with social corroboration.
+    CrossNetwork {
+        /// Access network of interest.
+        access: AccessType,
+    },
+    /// §6: which LEO shell to deploy next given regional sentiment.
+    DeploymentAdvice,
+}
+
+/// §5 cross-network answer: implicit/explicit signals of the target
+/// network's users, compared against everyone else, with the social-outage
+/// join.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossNetworkReport {
+    /// Sessions on the target access network.
+    pub sessions: usize,
+    /// Mean Presence of target-network users.
+    pub mean_presence: f64,
+    /// Mean Presence of all other users.
+    pub others_presence: f64,
+    /// Mean Mic On of target-network users.
+    pub mean_mic_on: f64,
+    /// Mean Cam On of target-network users.
+    pub mean_cam_on: f64,
+    /// MOS of the target network's rated sessions, if any were sampled.
+    pub mos: Option<f64>,
+    /// Mean Presence of target users on socially-detected outage days.
+    pub outage_day_presence: Option<f64>,
+    /// Number of detected outage days inside the telemetry window.
+    pub outage_days_joined: usize,
+}
+
+/// Typed answers.
+#[derive(Debug)]
+pub enum Answer {
+    /// A binned curve.
+    Curve(BinnedCurve),
+    /// Per-platform curves.
+    PlatformCurves(Vec<(Platform, BinnedCurve)>),
+    /// A 2-D grid.
+    Grid(correlate::Grid2d),
+    /// MOS curves per engagement metric plus the correlation ranking.
+    Mos {
+        /// Curve per engagement metric.
+        curves: Vec<(EngagementMetric, BinnedCurve)>,
+        /// Pearson ranking, strongest first.
+        ranking: Vec<(EngagementMetric, f64)>,
+    },
+    /// Predictor evaluation.
+    Prediction(Evaluation),
+    /// Detected outages.
+    Outages(Vec<DetectedOutage>),
+    /// Annotated sentiment peaks.
+    Peaks(Vec<AnnotatedPeak>),
+    /// Fig. 7 monthly series.
+    Speeds(Vec<MonthlyPoint>),
+    /// Emerging topics.
+    Topics(Vec<EmergingTopic>),
+    /// Cross-network report.
+    CrossNetwork(CrossNetworkReport),
+    /// Deployment recommendations (ranked).
+    Deployment(Vec<Recommendation>),
+}
+
+/// The service.
+pub struct UsaasService {
+    store: SignalStore,
+    dataset: CallDataset,
+    forum: Forum,
+}
+
+impl UsaasService {
+    /// Build the service: ingest both sources into the signal store.
+    pub fn build(dataset: CallDataset, forum: Forum, workers: usize) -> UsaasService {
+        let store = SignalStore::new();
+        crate::ingest::ingest_all(&store, &dataset, &forum, workers);
+        UsaasService { store, dataset, forum }
+    }
+
+    /// Signal counts by family `(implicit, explicit, social)` — the paper's
+    /// point in one tuple: implicit signals dwarf explicit ones.
+    pub fn signal_counts(&self) -> (usize, usize, usize) {
+        (
+            self.store.count_kind(SignalKind::Implicit),
+            self.store.count_kind(SignalKind::Explicit),
+            self.store.count_kind(SignalKind::Social),
+        )
+    }
+
+    /// The underlying store (read access for custom analyses).
+    pub fn store(&self) -> &SignalStore {
+        &self.store
+    }
+
+    /// Answer one query.
+    pub fn query(&self, query: &Query) -> Result<Answer, UsaasError> {
+        match query {
+            Query::EngagementCurve { sweep, engagement, bins } => {
+                Ok(Answer::Curve(correlate::engagement_curve(
+                    &self.dataset,
+                    *sweep,
+                    *engagement,
+                    *bins,
+                    8,
+                )?))
+            }
+            Query::CompoundingGrid { engagement, bins } => Ok(Answer::Grid(
+                correlate::compounding_grid(&self.dataset, *engagement, *bins, 5)?,
+            )),
+            Query::PlatformSensitivity { sweep, engagement } => Ok(Answer::PlatformCurves(
+                correlate::platform_curves(&self.dataset, *sweep, *engagement, 4, 5)?,
+            )),
+            Query::MosCorrelation => {
+                let mut curves = Vec::new();
+                for m in EngagementMetric::ALL {
+                    curves.push((m, correlate::mos_by_engagement(&self.dataset, m, 4, 3)?));
+                }
+                Ok(Answer::Mos { curves, ranking: correlate::mos_correlations(&self.dataset)? })
+            }
+            Query::PredictMos { features } => {
+                let (_, eval) = predict::train_and_evaluate(&self.dataset, *features, 4)?;
+                Ok(Answer::Prediction(eval))
+            }
+            Query::OutageTimeline => {
+                Ok(Answer::Outages(OutageDetector::default().detect(&self.forum)?))
+            }
+            Query::SentimentPeaks { k } => {
+                Ok(Answer::Peaks(PeakAnnotator::default().annotate(&self.forum, *k)?))
+            }
+            Query::SpeedTrend => {
+                let first = self
+                    .forum
+                    .posts
+                    .first()
+                    .ok_or(UsaasError::NoData("empty forum"))?
+                    .date
+                    .month();
+                let last = self
+                    .forum
+                    .posts
+                    .last()
+                    .ok_or(UsaasError::NoData("empty forum"))?
+                    .date
+                    .month();
+                Ok(Answer::Speeds(FulcrumAnalysis::default().analyze(
+                    &self.forum,
+                    first,
+                    last,
+                )?))
+            }
+            Query::EmergingTopics => {
+                Ok(Answer::Topics(EmergingTopicMiner::default().mine(&self.forum)?))
+            }
+            Query::CrossNetwork { access } => self.cross_network(*access).map(Answer::CrossNetwork),
+            Query::DeploymentAdvice => {
+                let demand = self.sentiment_demand()?;
+                Ok(Answer::Deployment(DeploymentPlanner::gen1().rank(&demand)))
+            }
+        }
+    }
+
+    /// §5 flagship query implementation.
+    fn cross_network(&self, access: AccessType) -> Result<CrossNetworkReport, UsaasError> {
+        let target: Vec<&conference::records::SessionRecord> =
+            self.dataset.sessions.iter().filter(|s| s.access == access).collect();
+        if target.is_empty() {
+            return Err(UsaasError::NoData("no sessions on the requested network"));
+        }
+        let others: Vec<f64> = self
+            .dataset
+            .sessions
+            .iter()
+            .filter(|s| s.access != access)
+            .map(|s| s.presence_pct)
+            .collect();
+        let presence: Vec<f64> = target.iter().map(|s| s.presence_pct).collect();
+        let mic: Vec<f64> = target.iter().map(|s| s.mic_on_pct).collect();
+        let cam: Vec<f64> = target.iter().map(|s| s.cam_on_pct).collect();
+        let ratings: Vec<f64> = target
+            .iter()
+            .filter_map(|s| s.rating)
+            .map(f64::from)
+            .collect();
+
+        // Join: socially-detected outage days vs the telemetry. Only strong
+        // spikes (major outages) are joined — transient local outages do not
+        // degrade the whole satellite population.
+        let detections: Vec<DetectedOutage> = OutageDetector::default()
+            .detect(&self.forum)?
+            .into_iter()
+            .filter(|d| d.score >= 10.0)
+            .collect();
+        let outage_presence: Vec<f64> = target
+            .iter()
+            .filter(|s| detections.iter().any(|d| d.date == s.date))
+            .map(|s| s.presence_pct)
+            .collect();
+        let outage_days_joined = detections
+            .iter()
+            .filter(|d| target.iter().any(|s| s.date == d.date))
+            .count();
+
+        Ok(CrossNetworkReport {
+            sessions: target.len(),
+            mean_presence: analytics::mean(&presence)?,
+            others_presence: analytics::mean(&others).unwrap_or(f64::NAN),
+            mean_mic_on: analytics::mean(&mic)?,
+            mean_cam_on: analytics::mean(&cam)?,
+            mos: analytics::mean(&ratings).ok(),
+            outage_day_presence: analytics::mean(&outage_presence).ok(),
+            outage_days_joined,
+        })
+    }
+
+    /// Convert per-country strong-negative social volume into the planner's
+    /// latitude-band demand signal (§6).
+    fn sentiment_demand(&self) -> Result<RegionalDemand, UsaasError> {
+        let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
+        let mut weights = [0.0f64; 9];
+        for post in &self.forum.posts {
+            let s = analyzer.score(&post.text());
+            if !s.is_strong_negative() {
+                continue;
+            }
+            let band = country_lat_band(post.country);
+            weights[band] += 1.0;
+        }
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            return Err(UsaasError::NoData("no strong-negative social signals"));
+        }
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
+        Ok(RegionalDemand { band_weights: weights })
+    }
+}
+
+/// Rough 10°-latitude band of a country's population centre.
+pub fn country_lat_band(country: &str) -> usize {
+    match country {
+        "MX" | "BR" => 2,
+        "US" | "AU" | "CL" | "JP" => 3,
+        "NZ" | "FR" | "IT" | "ES" | "PT" | "CH" | "AT" => 4,
+        "CA" | "UK" | "DE" | "NL" | "BE" | "IE" | "PL" | "DK" => 5,
+        "SE" | "NO" | "FI" => 6,
+        _ => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analytics::time::Date;
+    use conference::dataset::{generate, DatasetConfig};
+    use social::generator::{generate as gen_forum, ForumConfig};
+    use std::sync::OnceLock;
+
+    fn service() -> &'static UsaasService {
+        static S: OnceLock<UsaasService> = OnceLock::new();
+        S.get_or_init(|| {
+            let mut cfg = DatasetConfig::small(2500, 33);
+            // Feed the ground-truth major outages into the telemetry window.
+            cfg.leo_outage_calendar = starlink::outages::major_outages()
+                .into_iter()
+                .map(|o| (o.date, o.severity))
+                .collect();
+            let dataset = generate(&cfg);
+            let forum = gen_forum(&ForumConfig { authors: 3000, ..ForumConfig::default() });
+            UsaasService::build(dataset, forum, 4)
+        })
+    }
+
+    #[test]
+    fn signal_counts_show_the_sampling_gap() {
+        let (implicit, explicit, social) = service().signal_counts();
+        assert!(implicit > 1000);
+        assert!(social > 10_000);
+        assert!(explicit > 0);
+        // The paper's motivation: explicit feedback is orders of magnitude
+        // scarcer than implicit signals.
+        assert!(implicit > 50 * explicit, "implicit {implicit} vs explicit {explicit}");
+    }
+
+    #[test]
+    fn every_query_answers() {
+        let s = service();
+        let queries = [
+            Query::EngagementCurve {
+                sweep: NetworkMetric::LatencyMs,
+                engagement: EngagementMetric::MicOn,
+                bins: 6,
+            },
+            Query::CompoundingGrid { engagement: EngagementMetric::Presence, bins: 4 },
+            Query::PlatformSensitivity {
+                sweep: NetworkMetric::LossPct,
+                engagement: EngagementMetric::Presence,
+            },
+            Query::MosCorrelation,
+            Query::OutageTimeline,
+            Query::SentimentPeaks { k: 3 },
+            Query::SpeedTrend,
+            Query::EmergingTopics,
+            Query::CrossNetwork { access: AccessType::SatelliteLeo },
+            Query::DeploymentAdvice,
+        ];
+        for q in &queries {
+            let answer = s.query(q);
+            assert!(answer.is_ok(), "query {q:?} failed: {:?}", answer.err().map(|e| e.to_string()));
+        }
+    }
+
+    #[test]
+    fn cross_network_join_corroborates_outages() {
+        let s = service();
+        let Answer::CrossNetwork(report) =
+            s.query(&Query::CrossNetwork { access: AccessType::SatelliteLeo }).unwrap()
+        else {
+            panic!("wrong answer type");
+        };
+        assert!(report.sessions > 50, "LEO sessions {}", report.sessions);
+        assert!(report.mean_presence > 0.0);
+        // On socially-detected outage days, LEO users' presence collapses —
+        // the implicit signal corroborates the social one.
+        if let Some(outage_presence) = report.outage_day_presence {
+            assert!(
+                outage_presence < report.mean_presence - 5.0,
+                "outage-day presence {outage_presence} vs overall {}",
+                report.mean_presence
+            );
+        } else {
+            panic!("expected outage days inside the telemetry window");
+        }
+        assert!(report.outage_days_joined >= 1);
+    }
+
+    #[test]
+    fn deployment_advice_is_ranked_and_complete() {
+        let s = service();
+        let Answer::Deployment(recs) = s.query(&Query::DeploymentAdvice).unwrap() else {
+            panic!("wrong answer type");
+        };
+        assert_eq!(recs.len(), 5);
+        assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn cross_network_requires_data() {
+        // A dataset with zero satellite users cannot answer the query.
+        let dataset = conference::records::CallDataset::default();
+        let forum = gen_forum(&ForumConfig {
+            authors: 200,
+            end: Date::from_ymd(2021, 1, 20).unwrap(),
+            ..ForumConfig::default()
+        });
+        let svc = UsaasService::build(dataset, forum, 2);
+        assert!(svc.query(&Query::CrossNetwork { access: AccessType::SatelliteLeo }).is_err());
+    }
+
+    #[test]
+    fn country_bands_cover_the_author_list() {
+        for c in social::authors::COUNTRIES {
+            assert!(country_lat_band(c) < 9);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The unified user-signal model (§5, Fig. 8).
+//!
+//! USaaS consumes three families of signals:
+//!
+//! * **implicit** — in-session user actions from instrumented applications
+//!   (the §3 conferencing telemetry);
+//! * **explicit** — solicited feedback (the sampled 1–5 ratings / MOS);
+//! * **social** — offline posts from public forums (§4), scored for
+//!   sentiment at ingest time.
+//!
+//! Everything is normalised into one [`Signal`] envelope carrying a date, a
+//! network hint (which network the signal pertains to), and the typed
+//! payload, so the correlation engine can join across families.
+
+use analytics::time::Date;
+use conference::records::SessionRecord;
+use netsim::access::AccessType;
+use sentiment::analyzer::SentimentScores;
+use serde::{Deserialize, Serialize};
+use social::post::Post;
+
+/// Which network a signal pertains to (the USaaS join key; the paper's
+/// example query is "how do Starlink users perceive MS Teams?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkHint {
+    /// A terrestrial ISP (any of the non-satellite access types).
+    Terrestrial,
+    /// The LEO satellite network under study.
+    SatelliteLeo,
+    /// Unknown / unattributed.
+    Unknown,
+}
+
+impl NetworkHint {
+    /// Derive the hint from a session's access technology.
+    pub fn from_access(access: AccessType) -> NetworkHint {
+        match access {
+            AccessType::SatelliteLeo => NetworkHint::SatelliteLeo,
+            _ => NetworkHint::Terrestrial,
+        }
+    }
+}
+
+/// An implicit signal: one conferencing session's actions + conditions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImplicitSignal {
+    /// The full session record.
+    pub session: SessionRecord,
+}
+
+/// An explicit signal: one solicited rating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExplicitSignal {
+    /// Star rating, 1–5.
+    pub rating: u8,
+    /// The session it rates.
+    pub call_id: u64,
+    /// The user who rated.
+    pub user_id: u64,
+}
+
+/// A social signal: one post plus its sentiment scores (computed at ingest).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SocialSignal {
+    /// Post text (title + body).
+    pub text: String,
+    /// Upvotes at capture time.
+    pub upvotes: u32,
+    /// Comments at capture time.
+    pub comments: u32,
+    /// Author country.
+    pub country: &'static str,
+    /// Sentiment scores of the text.
+    pub sentiment: SentimentScores,
+    /// OCR text of an attached screenshot, if any.
+    pub screenshot_text: Option<String>,
+}
+
+/// The typed payload of a signal.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Payload {
+    /// In-session user actions.
+    Implicit(Box<ImplicitSignal>),
+    /// Solicited feedback.
+    Explicit(ExplicitSignal),
+    /// Social-media post.
+    Social(SocialSignal),
+}
+
+/// One normalised signal.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Signal {
+    /// Day the signal was produced.
+    pub date: Date,
+    /// Network attribution.
+    pub network: NetworkHint,
+    /// Typed payload.
+    pub payload: Payload,
+}
+
+/// Signal family tags (for counting / filtering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalKind {
+    /// Implicit user actions.
+    Implicit,
+    /// Explicit feedback.
+    Explicit,
+    /// Social posts.
+    Social,
+}
+
+impl Signal {
+    /// The family of this signal.
+    pub fn kind(&self) -> SignalKind {
+        match self.payload {
+            Payload::Implicit(_) => SignalKind::Implicit,
+            Payload::Explicit(_) => SignalKind::Explicit,
+            Payload::Social(_) => SignalKind::Social,
+        }
+    }
+
+    /// Normalise a conferencing session into signals: always one implicit
+    /// signal, plus an explicit signal when the session carried a rating.
+    pub fn from_session(session: &SessionRecord) -> Vec<Signal> {
+        let network = NetworkHint::from_access(session.access);
+        let mut out = vec![Signal {
+            date: session.date,
+            network,
+            payload: Payload::Implicit(Box::new(ImplicitSignal { session: session.clone() })),
+        }];
+        if let Some(rating) = session.rating {
+            out.push(Signal {
+                date: session.date,
+                network,
+                payload: Payload::Explicit(ExplicitSignal {
+                    rating,
+                    call_id: session.call_id,
+                    user_id: session.user_id,
+                }),
+            });
+        }
+        out
+    }
+
+    /// Normalise a forum post into a social signal, scoring sentiment with
+    /// the given analyzer.
+    pub fn from_post(post: &Post, analyzer: &sentiment::analyzer::SentimentAnalyzer) -> Signal {
+        let text = post.text();
+        Signal {
+            date: post.date,
+            // Posts on the Starlink forum pertain to the LEO network.
+            network: NetworkHint::SatelliteLeo,
+            payload: Payload::Social(SocialSignal {
+                sentiment: analyzer.score(&text),
+                text,
+                upvotes: post.upvotes,
+                comments: post.comments,
+                country: post.country,
+                screenshot_text: post.screenshot.as_ref().map(|s| s.ocr_text.clone()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conference::dataset::{generate, DatasetConfig};
+    use sentiment::analyzer::SentimentAnalyzer;
+
+    #[test]
+    fn sessions_become_signals() {
+        let ds = generate(&DatasetConfig::small(30, 77));
+        let mut implicit = 0;
+        let mut explicit = 0;
+        for s in &ds.sessions {
+            for sig in Signal::from_session(s) {
+                match sig.kind() {
+                    SignalKind::Implicit => implicit += 1,
+                    SignalKind::Explicit => explicit += 1,
+                    SignalKind::Social => panic!("no social signals from sessions"),
+                }
+                assert_eq!(sig.date, s.date);
+            }
+        }
+        assert_eq!(implicit, ds.len());
+        assert_eq!(explicit, ds.rated_sessions().count());
+    }
+
+    #[test]
+    fn network_hint_from_access() {
+        assert_eq!(
+            NetworkHint::from_access(AccessType::SatelliteLeo),
+            NetworkHint::SatelliteLeo
+        );
+        assert_eq!(NetworkHint::from_access(AccessType::Cable), NetworkHint::Terrestrial);
+    }
+
+    #[test]
+    fn posts_become_social_signals() {
+        use social::generator::{generate as gen_forum, ForumConfig};
+        let mut cfg = ForumConfig::default();
+        cfg.end = cfg.start.offset(13);
+        cfg.authors = 300;
+        let forum = gen_forum(&cfg);
+        assert!(!forum.is_empty());
+        let analyzer = SentimentAnalyzer::default();
+        let sig = Signal::from_post(&forum.posts[0], &analyzer);
+        assert_eq!(sig.kind(), SignalKind::Social);
+        assert_eq!(sig.network, NetworkHint::SatelliteLeo);
+        if let Payload::Social(s) = &sig.payload {
+            let sum = s.sentiment.positive + s.sentiment.negative + s.sentiment.neutral;
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(!s.text.is_empty());
+        } else {
+            panic!("expected social payload");
+        }
+    }
+}

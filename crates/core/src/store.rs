@@ -1,0 +1,153 @@
+//! The signal store: a thread-safe, time-indexed repository.
+//!
+//! Ingestion workers append concurrently ([`SignalStore::insert_batch`]
+//! behind a `parking_lot::RwLock`), queries read concurrently. Signals are
+//! bucketed per day so window queries and daily aggregations (the Fig. 5/6
+//! series) stay cheap.
+
+use crate::signals::{Signal, SignalKind};
+use analytics::time::Date;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Thread-safe signal repository.
+#[derive(Debug, Default)]
+pub struct SignalStore {
+    inner: RwLock<BTreeMap<Date, Vec<Signal>>>,
+}
+
+impl SignalStore {
+    /// Empty store.
+    pub fn new() -> SignalStore {
+        SignalStore::default()
+    }
+
+    /// Insert one signal.
+    pub fn insert(&self, signal: Signal) {
+        self.inner.write().entry(signal.date).or_default().push(signal);
+    }
+
+    /// Insert a batch under one lock acquisition.
+    pub fn insert_batch(&self, signals: Vec<Signal>) {
+        if signals.is_empty() {
+            return;
+        }
+        let mut guard = self.inner.write();
+        for s in signals {
+            guard.entry(s.date).or_default().push(s);
+        }
+    }
+
+    /// Total signals stored.
+    pub fn len(&self) -> usize {
+        self.inner.read().values().map(Vec::len).sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of signals of one kind.
+    pub fn count_kind(&self, kind: SignalKind) -> usize {
+        self.inner
+            .read()
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|s| s.kind() == kind)
+            .count()
+    }
+
+    /// First and last day with data.
+    pub fn date_range(&self) -> Option<(Date, Date)> {
+        let guard = self.inner.read();
+        let first = *guard.keys().next()?;
+        let last = *guard.keys().next_back()?;
+        Some((first, last))
+    }
+
+    /// Clone out the signals of a day (empty if none).
+    pub fn on(&self, date: Date) -> Vec<Signal> {
+        self.inner.read().get(&date).cloned().unwrap_or_default()
+    }
+
+    /// Visit every signal in `[from, to]` without cloning.
+    pub fn for_each_between<F: FnMut(&Signal)>(&self, from: Date, to: Date, mut f: F) {
+        let guard = self.inner.read();
+        for (_, signals) in guard.range(from..=to) {
+            for s in signals {
+                f(s);
+            }
+        }
+    }
+
+    /// Clone out all signals in `[from, to]`.
+    pub fn between(&self, from: Date, to: Date) -> Vec<Signal> {
+        let mut out = Vec::new();
+        self.for_each_between(from, to, |s| out.push(s.clone()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::{ExplicitSignal, Payload};
+
+    fn d(day: u8) -> Date {
+        Date::from_ymd(2022, 4, day).unwrap()
+    }
+
+    fn signal(day: u8, rating: u8) -> Signal {
+        Signal {
+            date: d(day),
+            network: crate::signals::NetworkHint::Unknown,
+            payload: Payload::Explicit(ExplicitSignal { rating, call_id: 1, user_id: 2 }),
+        }
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let store = SignalStore::new();
+        assert!(store.is_empty());
+        store.insert(signal(10, 5));
+        store.insert_batch(vec![signal(12, 4), signal(12, 3)]);
+        store.insert_batch(vec![]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.on(d(12)).len(), 2);
+        assert_eq!(store.on(d(11)).len(), 0);
+        assert_eq!(store.between(d(10), d(12)).len(), 3);
+        assert_eq!(store.between(d(11), d(11)).len(), 0);
+        assert_eq!(store.date_range(), Some((d(10), d(12))));
+        assert_eq!(store.count_kind(SignalKind::Explicit), 3);
+        assert_eq!(store.count_kind(SignalKind::Social), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        let store = std::sync::Arc::new(SignalStore::new());
+        crossbeam::thread::scope(|scope| {
+            for t in 0..8 {
+                let store = std::sync::Arc::clone(&store);
+                scope.spawn(move |_| {
+                    for i in 0..200 {
+                        store.insert(signal((1 + (t + i) % 28) as u8, 3));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(store.len(), 1600);
+    }
+
+    #[test]
+    fn for_each_visits_in_date_order() {
+        let store = SignalStore::new();
+        store.insert(signal(20, 1));
+        store.insert(signal(5, 2));
+        store.insert(signal(12, 3));
+        let mut dates = Vec::new();
+        store.for_each_between(d(1), d(28), |s| dates.push(s.date));
+        assert_eq!(dates, vec![d(5), d(12), d(20)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Access-technology presets.
+//!
+//! Per-session network conditions in the call dataset are drawn from a
+//! mixture over access technologies. Each technology specifies marginal
+//! distributions for the session-mean latency, loss, jitter, and available
+//! bandwidth. The presets are tuned so the *joint* dataset covers the ranges
+//! the paper plots (latency 0–300 ms, loss 0–3 %+, jitter 0–10 ms+, bandwidth
+//! 0.25–4 Mbps) while keeping plenty of mass inside the paper's confounder
+//! reference ranges (latency 0–40 ms, loss 0–0.2 %, jitter 0–5 ms, bandwidth
+//! 3–4 Mbps) so the filtered Fig. 1 analyses have well-populated bins.
+
+use analytics::dist::{weighted_index, Dist, Sampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Access technology of a participant's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessType {
+    /// FTTH — low latency, clean.
+    Fiber,
+    /// Cable broadband (DOCSIS).
+    Cable,
+    /// DSL.
+    Dsl,
+    /// Home Wi-Fi last hop over any broadband — extra jitter/loss.
+    Wifi,
+    /// Cellular LTE/5G.
+    Lte,
+    /// LEO satellite (e.g. Starlink).
+    SatelliteLeo,
+    /// Long-haul / congested path: high RTT but otherwise clean — this is
+    /// what populates the 150–300 ms latency bins with reference-range loss,
+    /// jitter, and bandwidth.
+    LongHaul,
+}
+
+/// Session-mean target conditions drawn for one participant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetConditions {
+    /// Mean one-way-ish latency (ms) the session should exhibit.
+    pub latency_ms: f64,
+    /// Mean packet-loss fraction in `[0, 1)`.
+    pub loss_frac: f64,
+    /// Mean jitter (ms).
+    pub jitter_ms: f64,
+    /// Mean available bandwidth (Mbps).
+    pub bandwidth_mbps: f64,
+}
+
+/// Marginal distributions for one access type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessProfile {
+    /// Latency marginal (ms).
+    pub latency: Dist,
+    /// Loss-fraction marginal (unitless fraction).
+    pub loss: Dist,
+    /// Jitter marginal (ms).
+    pub jitter: Dist,
+    /// Bandwidth marginal (Mbps).
+    pub bandwidth: Dist,
+}
+
+impl AccessType {
+    /// All access types in mixture order.
+    pub const ALL: [AccessType; 7] = [
+        AccessType::Fiber,
+        AccessType::Cable,
+        AccessType::Dsl,
+        AccessType::Wifi,
+        AccessType::Lte,
+        AccessType::SatelliteLeo,
+        AccessType::LongHaul,
+    ];
+
+    /// Default mixture weight of this access type among enterprise US calls.
+    pub fn mixture_weight(self) -> f64 {
+        match self {
+            AccessType::Fiber => 0.18,
+            AccessType::Cable => 0.28,
+            AccessType::Dsl => 0.10,
+            AccessType::Wifi => 0.16,
+            AccessType::Lte => 0.12,
+            AccessType::SatelliteLeo => 0.05,
+            AccessType::LongHaul => 0.11,
+        }
+    }
+
+    /// The marginal distributions for this access type.
+    ///
+    /// Loss marginals are log-normal with occasional heavy tails; the
+    /// medians sit well below the "rare on the Internet" 2 % mark the paper
+    /// cites from the QUIC deployment study.
+    pub fn profile(self) -> AccessProfile {
+        match self {
+            AccessType::Fiber => AccessProfile {
+                latency: Dist::log_normal_median(12.0, 1.5),
+                loss: Dist::log_normal_median(0.0002, 3.0),
+                jitter: Dist::log_normal_median(1.5, 1.7),
+                bandwidth: Dist::log_normal_median(3.8, 1.25),
+            },
+            AccessType::Cable => AccessProfile {
+                latency: Dist::log_normal_median(24.0, 1.6),
+                loss: Dist::log_normal_median(0.0006, 3.5),
+                jitter: Dist::log_normal_median(3.0, 1.8),
+                bandwidth: Dist::log_normal_median(3.5, 1.35),
+            },
+            AccessType::Dsl => AccessProfile {
+                latency: Dist::log_normal_median(42.0, 1.6),
+                loss: Dist::log_normal_median(0.0012, 3.5),
+                jitter: Dist::log_normal_median(5.0, 1.8),
+                bandwidth: Dist::log_normal_median(2.1, 1.5),
+            },
+            AccessType::Wifi => AccessProfile {
+                latency: Dist::log_normal_median(32.0, 1.8),
+                loss: Dist::log_normal_median(0.004, 3.5),
+                jitter: Dist::log_normal_median(7.0, 1.9),
+                bandwidth: Dist::log_normal_median(3.0, 1.6),
+            },
+            AccessType::Lte => AccessProfile {
+                latency: Dist::log_normal_median(68.0, 1.9),
+                loss: Dist::log_normal_median(0.005, 3.5),
+                jitter: Dist::log_normal_median(9.0, 1.9),
+                bandwidth: Dist::log_normal_median(2.4, 1.8),
+            },
+            AccessType::SatelliteLeo => AccessProfile {
+                latency: Dist::log_normal_median(48.0, 1.7),
+                loss: Dist::log_normal_median(0.006, 3.5),
+                jitter: Dist::log_normal_median(10.0, 1.9),
+                bandwidth: Dist::log_normal_median(2.8, 1.8),
+            },
+            AccessType::LongHaul => AccessProfile {
+                latency: Dist::log_normal_median(170.0, 1.55),
+                loss: Dist::log_normal_median(0.0006, 3.0),
+                jitter: Dist::log_normal_median(3.0, 1.6),
+                bandwidth: Dist::log_normal_median(3.4, 1.3),
+            },
+        }
+    }
+
+    /// Draw one access type from the default mixture.
+    pub fn sample_mixture<R: Rng + ?Sized>(rng: &mut R) -> AccessType {
+        let weights: Vec<f64> = AccessType::ALL.iter().map(|a| a.mixture_weight()).collect();
+        let idx = weighted_index(rng, &weights).expect("mixture weights are positive");
+        AccessType::ALL[idx]
+    }
+
+    /// Draw session-mean target conditions for this access type. Values are
+    /// clamped to physically sensible ranges (loss < 30 %, bandwidth ≥ 0.1
+    /// Mbps, latency ≥ 1 ms).
+    pub fn sample_targets<R: Rng + ?Sized>(self, rng: &mut R) -> TargetConditions {
+        let p = self.profile();
+        TargetConditions {
+            latency_ms: p.latency.sample(rng).clamp(1.0, 800.0),
+            loss_frac: p.loss.sample(rng).clamp(0.0, 0.3),
+            jitter_ms: p.jitter.sample(rng).clamp(0.0, 120.0),
+            bandwidth_mbps: p.bandwidth.sample(rng).clamp(0.1, 20.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn mixture_weights_sum_to_one() {
+        let total: f64 = AccessType::ALL.iter().map(|a| a.mixture_weight()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn targets_within_physical_bounds() {
+        let mut r = rng();
+        for access in AccessType::ALL {
+            for _ in 0..500 {
+                let t = access.sample_targets(&mut r);
+                assert!((1.0..=800.0).contains(&t.latency_ms));
+                assert!((0.0..=0.3).contains(&t.loss_frac));
+                assert!((0.0..=120.0).contains(&t.jitter_ms));
+                assert!((0.1..=20.0).contains(&t.bandwidth_mbps));
+            }
+        }
+    }
+
+    #[test]
+    fn mixture_covers_paper_plot_ranges() {
+        // The joint dataset must populate the extremes of every Fig. 1 axis.
+        let mut r = rng();
+        let mut lat_hi = 0usize; // latency in 250–300 ms
+        let mut loss_hi = 0usize; // loss >= 2 %
+        let mut jit_hi = 0usize; // jitter >= 10 ms
+        let mut bw_lo = 0usize; // bandwidth <= 1 Mbps
+        let n = 60_000;
+        for _ in 0..n {
+            let access = AccessType::sample_mixture(&mut r);
+            let t = access.sample_targets(&mut r);
+            if (250.0..=300.0).contains(&t.latency_ms) {
+                lat_hi += 1;
+            }
+            if t.loss_frac >= 0.02 {
+                loss_hi += 1;
+            }
+            if t.jitter_ms >= 10.0 {
+                jit_hi += 1;
+            }
+            if t.bandwidth_mbps <= 1.0 {
+                bw_lo += 1;
+            }
+        }
+        assert!(lat_hi > n / 400, "high-latency sessions too rare: {lat_hi}");
+        assert!(loss_hi > n / 400, "lossy sessions too rare: {loss_hi}");
+        assert!(jit_hi > n / 200, "jittery sessions too rare: {jit_hi}");
+        assert!(bw_lo > n / 400, "low-bandwidth sessions too rare: {bw_lo}");
+    }
+
+    #[test]
+    fn reference_ranges_are_well_populated() {
+        // The paper's confounder filter needs joint mass: latency 0–40 ms,
+        // loss 0–0.2 %, jitter 0–5 ms, bandwidth 3–4 Mbps.
+        let mut r = rng();
+        let n = 60_000;
+        let mut in_ref = 0usize;
+        for _ in 0..n {
+            let access = AccessType::sample_mixture(&mut r);
+            let t = access.sample_targets(&mut r);
+            if t.latency_ms <= 40.0
+                && t.loss_frac <= 0.002
+                && t.jitter_ms <= 5.0
+                && (3.0..=4.0).contains(&t.bandwidth_mbps)
+            {
+                in_ref += 1;
+            }
+        }
+        assert!(in_ref > n / 50, "reference-range sessions too rare: {in_ref}/{n}");
+    }
+
+    #[test]
+    fn long_haul_is_high_latency_but_clean() {
+        let mut r = rng();
+        let mut lat = Vec::new();
+        let mut loss = Vec::new();
+        for _ in 0..5000 {
+            let t = AccessType::LongHaul.sample_targets(&mut r);
+            lat.push(t.latency_ms);
+            loss.push(t.loss_frac);
+        }
+        assert!(analytics::median(&lat).unwrap() > 120.0);
+        assert!(analytics::median(&loss).unwrap() < 0.002);
+    }
+
+    #[test]
+    fn mixture_sampler_hits_every_type() {
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            seen.insert(format!("{:?}", AccessType::sample_mixture(&mut r)));
+        }
+        assert_eq!(seen.len(), AccessType::ALL.len());
+    }
+}

@@ -1,0 +1,227 @@
+//! Gilbert–Elliott bursty packet-loss model.
+//!
+//! Internet packet loss is bursty, not i.i.d.: losses cluster when a queue
+//! overflows or a radio link fades. The classic two-state Gilbert–Elliott
+//! chain captures this: a *Good* state with low loss probability and a *Bad*
+//! state with high loss probability, with geometric sojourn times. The
+//! conferencing simulator uses per-tick loss fractions derived from this
+//! chain, so sessions exhibit realistic loss bursts rather than a constant
+//! rate — which matters for the paper's observation that the app's loss
+//! mitigation (FEC + retransmission) hides moderate loss from users.
+
+use analytics::dist::bernoulli;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Chain state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossState {
+    /// Low-loss state.
+    Good,
+    /// High-loss (burst) state.
+    Bad,
+}
+
+/// A Gilbert–Elliott loss process.
+///
+/// Parameters:
+/// * `p_gb` — per-step probability of Good → Bad;
+/// * `p_bg` — per-step probability of Bad → Good;
+/// * `loss_good` / `loss_bad` — per-packet loss probability in each state.
+///
+/// One "step" is one 5-second tick of the path simulation; the per-tick loss
+/// *fraction* is obtained by simulating `packets_per_tick` Bernoulli packet
+/// fates within the current state (cheap, and gives natural sampling noise).
+///
+/// ```
+/// use netsim::gilbert::GilbertElliott;
+/// use rand::SeedableRng;
+/// let mut chain = GilbertElliott::with_mean_loss(0.02, 3.0);
+/// assert!((chain.stationary_loss() - 0.02).abs() < 0.002);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let frac = chain.tick(&mut rng, 250);
+/// assert!((0.0..=1.0).contains(&frac));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per tick.
+    pub p_gb: f64,
+    /// P(Bad → Good) per tick.
+    pub p_bg: f64,
+    /// Per-packet loss probability in Good.
+    pub loss_good: f64,
+    /// Per-packet loss probability in Bad.
+    pub loss_bad: f64,
+    state: LossState,
+}
+
+impl GilbertElliott {
+    /// Create a chain starting in the Good state. Probabilities are clamped
+    /// to `[0, 1]`.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> GilbertElliott {
+        GilbertElliott {
+            p_gb: p_gb.clamp(0.0, 1.0),
+            p_bg: p_bg.clamp(0.0, 1.0),
+            loss_good: loss_good.clamp(0.0, 1.0),
+            loss_bad: loss_bad.clamp(0.0, 1.0),
+            state: LossState::Good,
+        }
+    }
+
+    /// A chain tuned to a target *stationary* mean loss rate (fraction in
+    /// `[0, 1)`), with burstiness controlled by the mean burst length in
+    /// ticks (≥ 1). Loss in Good is a tenth of the target; the Bad-state loss
+    /// is solved from the stationary equation.
+    pub fn with_mean_loss(mean_loss: f64, mean_burst_ticks: f64) -> GilbertElliott {
+        let mean_loss = mean_loss.clamp(0.0, 0.95);
+        let burst = mean_burst_ticks.max(1.0);
+        let p_bg = 1.0 / burst;
+        // Keep the chain in Bad ~20 % of the time when lossy at all.
+        let pi_bad: f64 = 0.2;
+        let p_gb = p_bg * pi_bad / (1.0 - pi_bad);
+        let loss_good = mean_loss * 0.1;
+        // mean = pi_good * loss_good + pi_bad * loss_bad  =>  solve loss_bad.
+        let loss_bad = ((mean_loss - (1.0 - pi_bad) * loss_good) / pi_bad).clamp(0.0, 1.0);
+        GilbertElliott::new(p_gb, p_bg, loss_good, loss_bad)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> LossState {
+        self.state
+    }
+
+    /// Stationary probability of being in the Bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            0.0
+        } else {
+            self.p_gb / (self.p_gb + self.p_bg)
+        }
+    }
+
+    /// Stationary mean per-packet loss rate.
+    pub fn stationary_loss(&self) -> f64 {
+        let pb = self.stationary_bad();
+        (1.0 - pb) * self.loss_good + pb * self.loss_bad
+    }
+
+    /// Advance one tick and return the loss *fraction* observed over
+    /// `packets` transmitted packets during the tick.
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R, packets: u32) -> f64 {
+        // State transition first (sojourn starts at entry).
+        self.state = match self.state {
+            LossState::Good if bernoulli(rng, self.p_gb) => LossState::Bad,
+            LossState::Bad if bernoulli(rng, self.p_bg) => LossState::Good,
+            s => s,
+        };
+        if packets == 0 {
+            return 0.0;
+        }
+        let p = match self.state {
+            LossState::Good => self.loss_good,
+            LossState::Bad => self.loss_bad,
+        };
+        if p <= 0.0 {
+            return 0.0;
+        }
+        // Binomial draw via normal approximation for large counts, exact
+        // Bernoulli sum for small ones.
+        let n = packets as f64;
+        let lost = if n * p * (1.0 - p) > 9.0 {
+            let std = (n * p * (1.0 - p)).sqrt();
+            (n * p + std * analytics::dist::standard_normal(rng)).round().clamp(0.0, n)
+        } else {
+            (0..packets).filter(|_| bernoulli(rng, p)).count() as f64
+        };
+        lost / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn stationary_loss_matches_target() {
+        for target in [0.001, 0.005, 0.02, 0.05] {
+            let ge = GilbertElliott::with_mean_loss(target, 3.0);
+            let analytic = ge.stationary_loss();
+            assert!(
+                (analytic - target).abs() / target < 0.05,
+                "target {target}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_loss_converges_to_stationary() {
+        let mut ge = GilbertElliott::with_mean_loss(0.02, 3.0);
+        let mut r = rng();
+        let mut total = 0.0;
+        let ticks = 50_000;
+        for _ in 0..ticks {
+            total += ge.tick(&mut r, 250);
+        }
+        let mean = total / ticks as f64;
+        assert!((mean - 0.02).abs() < 0.004, "mean {mean}");
+    }
+
+    #[test]
+    fn loss_is_bursty() {
+        // Consecutive-tick loss correlation should be clearly positive.
+        let mut ge = GilbertElliott::with_mean_loss(0.03, 5.0);
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| ge.tick(&mut r, 250)).collect();
+        let a = &xs[..xs.len() - 1];
+        let b = &xs[1..];
+        let corr = analytics::correlation::pearson(a, b).unwrap();
+        assert!(corr > 0.3, "lag-1 autocorrelation {corr}");
+    }
+
+    #[test]
+    fn zero_loss_chain_never_loses() {
+        let mut ge = GilbertElliott::with_mean_loss(0.0, 3.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(ge.tick(&mut r, 250), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_packets_is_zero_loss() {
+        let mut ge = GilbertElliott::with_mean_loss(0.5, 3.0);
+        let mut r = rng();
+        assert_eq!(ge.tick(&mut r, 0), 0.0);
+    }
+
+    #[test]
+    fn params_clamped() {
+        let ge = GilbertElliott::new(2.0, -1.0, 1.5, -0.5);
+        assert_eq!(ge.p_gb, 1.0);
+        assert_eq!(ge.p_bg, 0.0);
+        assert_eq!(ge.loss_good, 1.0);
+        assert_eq!(ge.loss_bad, 0.0);
+    }
+
+    #[test]
+    fn stationary_bad_degenerate() {
+        let ge = GilbertElliott::new(0.0, 0.0, 0.0, 1.0);
+        assert_eq!(ge.stationary_bad(), 0.0);
+    }
+
+    #[test]
+    fn loss_fraction_in_unit_interval() {
+        let mut ge = GilbertElliott::with_mean_loss(0.08, 2.0);
+        let mut r = rng();
+        for _ in 0..5000 {
+            let f = ge.tick(&mut r, 250);
+            assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        }
+    }
+}

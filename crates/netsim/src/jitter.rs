@@ -1,0 +1,97 @@
+//! AR(1) delay-variation (jitter) process.
+//!
+//! Jitter on real paths is temporally correlated — a congested queue stays
+//! congested for a while. We model the per-tick mean jitter as the absolute
+//! value of a mean-reverting AR(1) process around a configurable level, which
+//! produces the right mix of calm stretches and jitter storms that drive the
+//! Fig. 1 (middle-right) Cam-On sensitivity.
+
+use analytics::dist::standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Mean-reverting AR(1) jitter process (values in milliseconds).
+///
+/// `x_{t+1} = level + phi * (x_t - level) + sigma * N(0,1)`, reported jitter
+/// is `max(x, 0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ar1Jitter {
+    /// Long-run mean jitter level (ms).
+    pub level: f64,
+    /// Autocorrelation coefficient in `[0, 1)`.
+    pub phi: f64,
+    /// Innovation standard deviation (ms).
+    pub sigma: f64,
+    x: f64,
+}
+
+impl Ar1Jitter {
+    /// Create a process starting at its long-run level. `phi` is clamped to
+    /// `[0, 0.999]`, `level`/`sigma` floored at 0.
+    pub fn new(level: f64, phi: f64, sigma: f64) -> Ar1Jitter {
+        let level = level.max(0.0);
+        Ar1Jitter { level, phi: phi.clamp(0.0, 0.999), sigma: sigma.max(0.0), x: level }
+    }
+
+    /// Advance one tick; returns the jitter (ms, ≥ 0) for the tick.
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.x = self.level + self.phi * (self.x - self.level) + self.sigma * standard_normal(rng);
+        self.x.max(0.0)
+    }
+
+    /// Current (last emitted) value before flooring.
+    pub fn raw(&self) -> f64 {
+        self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_reverts_to_level() {
+        let mut j = Ar1Jitter::new(8.0, 0.8, 1.0);
+        let mut r = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..30_000).map(|_| j.tick(&mut r)).collect();
+        let mean = analytics::mean(&xs).unwrap();
+        assert!((mean - 8.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn non_negative() {
+        let mut j = Ar1Jitter::new(0.5, 0.9, 2.0);
+        let mut r = StdRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            assert!(j.tick(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn temporally_correlated() {
+        let mut j = Ar1Jitter::new(5.0, 0.9, 1.0);
+        let mut r = StdRng::seed_from_u64(13);
+        let xs: Vec<f64> = (0..20_000).map(|_| j.tick(&mut r)).collect();
+        let corr = analytics::correlation::pearson(&xs[..xs.len() - 1], &xs[1..]).unwrap();
+        assert!(corr > 0.7, "lag-1 autocorrelation {corr}");
+    }
+
+    #[test]
+    fn zero_sigma_is_constant_at_level() {
+        let mut j = Ar1Jitter::new(3.0, 0.5, 0.0);
+        let mut r = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            assert_eq!(j.tick(&mut r), 3.0);
+        }
+    }
+
+    #[test]
+    fn parameter_clamping() {
+        let j = Ar1Jitter::new(-5.0, 1.5, -1.0);
+        assert_eq!(j.level, 0.0);
+        assert!(j.phi < 1.0);
+        assert_eq!(j.sigma, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Application-layer safeguards.
+//!
+//! §3.2 of the paper observes that loss barely dents engagement up to ~2 %
+//! because *"MS Teams is able to effectively mitigate the packet loss using
+//! application layer safeguards"*. This module models those safeguards —
+//! forward error correction + selective retransmission for loss, a jitter
+//! buffer for delay variation — and exposes an on/off switch so the
+//! `mitigation_ablation` bench can show Fig. 1b's flat loss response turning
+//! steep without them.
+
+use crate::path::PathSample;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the application-layer mitigation stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mitigation {
+    /// Master switch; `false` passes raw metrics through (ablation).
+    pub enabled: bool,
+    /// FEC/retransmit knee (fraction): residual loss is
+    /// `raw² / (raw + knee)`, i.e. nearly total recovery below the knee and
+    /// diminishing recovery above it.
+    pub fec_knee: f64,
+    /// Jitter-buffer half-absorption point (ms): residual jitter is
+    /// `raw² / (raw + half)`.
+    pub jitter_buffer_half_ms: f64,
+    /// Playout delay added per ms of raw jitter (the cost of buffering).
+    pub buffer_delay_gain: f64,
+    /// Cap on added playout delay (ms).
+    pub max_buffer_delay_ms: f64,
+    /// Extra mean latency per unit raw loss (retransmission round trips),
+    /// expressed as a multiple of the path latency.
+    pub retransmit_latency_gain: f64,
+}
+
+impl Default for Mitigation {
+    fn default() -> Mitigation {
+        Mitigation {
+            enabled: true,
+            fec_knee: 0.04,
+            jitter_buffer_half_ms: 4.0,
+            buffer_delay_gain: 1.5,
+            max_buffer_delay_ms: 60.0,
+            retransmit_latency_gain: 1.0,
+        }
+    }
+}
+
+/// Metrics as the application experiences them after mitigation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigatedSample {
+    /// End-to-end latency including playout buffering and retransmits (ms).
+    pub latency_ms: f64,
+    /// Residual (unrecovered) loss fraction.
+    pub loss_frac: f64,
+    /// Residual jitter after the playout buffer (ms).
+    pub jitter_ms: f64,
+    /// Available bandwidth (unchanged by mitigation) (Mbps).
+    pub bandwidth_mbps: f64,
+}
+
+impl Mitigation {
+    /// Mitigation disabled — raw metrics pass through (for ablations).
+    pub fn disabled() -> Mitigation {
+        Mitigation { enabled: false, ..Mitigation::default() }
+    }
+
+    /// Residual loss fraction after FEC/retransmission.
+    pub fn residual_loss(&self, raw: f64) -> f64 {
+        let raw = raw.clamp(0.0, 1.0);
+        if !self.enabled || raw == 0.0 {
+            return raw;
+        }
+        (raw * raw / (raw + self.fec_knee)).clamp(0.0, raw)
+    }
+
+    /// Residual jitter (ms) after the playout buffer.
+    pub fn residual_jitter(&self, raw_ms: f64) -> f64 {
+        let raw = raw_ms.max(0.0);
+        if !self.enabled || raw == 0.0 {
+            return raw;
+        }
+        (raw * raw / (raw + self.jitter_buffer_half_ms)).clamp(0.0, raw)
+    }
+
+    /// Apply the full stack to one tick's sample.
+    pub fn apply(&self, s: &PathSample) -> MitigatedSample {
+        if !self.enabled {
+            return MitigatedSample {
+                latency_ms: s.latency_ms,
+                loss_frac: s.loss_frac,
+                jitter_ms: s.jitter_ms,
+                bandwidth_mbps: s.bandwidth_mbps,
+            };
+        }
+        let buffer_delay = (self.buffer_delay_gain * s.jitter_ms).min(self.max_buffer_delay_ms);
+        let retransmit_delay = self.retransmit_latency_gain * s.loss_frac * s.latency_ms;
+        MitigatedSample {
+            latency_ms: s.latency_ms + buffer_delay + retransmit_delay,
+            loss_frac: self.residual_loss(s.loss_frac),
+            jitter_ms: self.residual_jitter(s.jitter_ms),
+            bandwidth_mbps: s.bandwidth_mbps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(latency: f64, loss: f64, jitter: f64, bw: f64) -> PathSample {
+        PathSample { latency_ms: latency, loss_frac: loss, jitter_ms: jitter, bandwidth_mbps: bw }
+    }
+
+    #[test]
+    fn low_loss_is_nearly_fully_recovered() {
+        let m = Mitigation::default();
+        // At 0.5 % raw loss the residual is tiny.
+        assert!(m.residual_loss(0.005) < 0.001);
+        // At 2 % (the paper's "rare" mark) residual is under 0.7 %.
+        assert!(m.residual_loss(0.02) < 0.007);
+        // At 5 % recovery has degraded a lot.
+        assert!(m.residual_loss(0.05) > 0.025);
+    }
+
+    #[test]
+    fn residual_never_exceeds_raw() {
+        let m = Mitigation::default();
+        for raw in [0.0, 0.001, 0.01, 0.1, 0.5, 1.0] {
+            assert!(m.residual_loss(raw) <= raw);
+            assert!(m.residual_jitter(raw * 50.0) <= raw * 50.0);
+        }
+    }
+
+    #[test]
+    fn disabled_passes_through() {
+        let m = Mitigation::disabled();
+        let s = sample(100.0, 0.03, 12.0, 2.0);
+        let out = m.apply(&s);
+        assert_eq!(out.latency_ms, 100.0);
+        assert_eq!(out.loss_frac, 0.03);
+        assert_eq!(out.jitter_ms, 12.0);
+    }
+
+    #[test]
+    fn buffering_trades_jitter_for_latency() {
+        let m = Mitigation::default();
+        let s = sample(50.0, 0.0, 10.0, 3.0);
+        let out = m.apply(&s);
+        assert!(out.jitter_ms < 10.0, "jitter should be absorbed");
+        assert!(out.latency_ms > 50.0, "buffering must add delay");
+        assert!(out.latency_ms <= 50.0 + m.max_buffer_delay_ms + 1e-9);
+    }
+
+    #[test]
+    fn buffer_delay_capped() {
+        let m = Mitigation::default();
+        let s = sample(50.0, 0.0, 200.0, 3.0);
+        let out = m.apply(&s);
+        assert!(out.latency_ms <= 50.0 + m.max_buffer_delay_ms + 1e-9);
+    }
+
+    #[test]
+    fn retransmits_add_latency_under_loss() {
+        let m = Mitigation::default();
+        let clean = m.apply(&sample(100.0, 0.0, 0.0, 3.0));
+        let lossy = m.apply(&sample(100.0, 0.05, 0.0, 3.0));
+        assert!(lossy.latency_ms > clean.latency_ms);
+    }
+
+    #[test]
+    fn bandwidth_unchanged() {
+        let m = Mitigation::default();
+        let out = m.apply(&sample(10.0, 0.01, 5.0, 2.5));
+        assert_eq!(out.bandwidth_mbps, 2.5);
+    }
+
+    proptest! {
+        #[test]
+        fn residual_loss_monotone(a in 0.0..0.5f64, b in 0.0..0.5f64) {
+            let m = Mitigation::default();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.residual_loss(lo) <= m.residual_loss(hi) + 1e-12);
+        }
+
+        #[test]
+        fn residual_jitter_monotone(a in 0.0..100.0f64, b in 0.0..100.0f64) {
+            let m = Mitigation::default();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.residual_jitter(lo) <= m.residual_jitter(hi) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! A simulated network path emitting one sample per 5-second tick.
+//!
+//! [`NetworkPath`] composes the loss chain ([`crate::gilbert`]), the jitter
+//! process ([`crate::jitter`]), and a noisy bandwidth share around the
+//! session targets drawn from [`crate::access`]. Latency couples to jitter
+//! (queueing delay variation raises the mean) exactly as on real paths.
+
+use crate::access::TargetConditions;
+use crate::gilbert::GilbertElliott;
+use crate::jitter::Ar1Jitter;
+use analytics::dist::standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Audio+video packet rate assumed per tick for loss sampling (50 pkt/s over
+/// a 5 s tick).
+pub const PACKETS_PER_TICK: u32 = 250;
+
+/// Configuration for a [`NetworkPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathConfig {
+    /// Base propagation+processing latency (ms), before queueing variation.
+    pub base_latency_ms: f64,
+    /// Long-run mean jitter level (ms).
+    pub jitter_level_ms: f64,
+    /// Jitter autocorrelation `[0, 1)`.
+    pub jitter_phi: f64,
+    /// Jitter innovation std (ms).
+    pub jitter_sigma_ms: f64,
+    /// Target stationary mean loss fraction.
+    pub mean_loss_frac: f64,
+    /// Mean loss-burst length in ticks.
+    pub loss_burst_ticks: f64,
+    /// Mean available bandwidth (Mbps).
+    pub bandwidth_mbps: f64,
+    /// Relative bandwidth fluctuation std (fraction of mean).
+    pub bandwidth_rel_std: f64,
+    /// How strongly jitter couples into latency (ms of extra mean latency per
+    /// ms of jitter).
+    pub latency_jitter_coupling: f64,
+}
+
+impl PathConfig {
+    /// Build a config whose session-mean metrics match the drawn targets.
+    ///
+    /// The latency/jitter coupling is subtracted from the base so the
+    /// realised session mean stays near `targets.latency_ms`.
+    pub fn from_targets(targets: TargetConditions) -> PathConfig {
+        let coupling = 0.6;
+        let base = (targets.latency_ms - coupling * targets.jitter_ms).max(1.0);
+        PathConfig {
+            base_latency_ms: base,
+            jitter_level_ms: targets.jitter_ms,
+            jitter_phi: 0.75,
+            jitter_sigma_ms: (targets.jitter_ms * 0.35).max(0.05),
+            mean_loss_frac: targets.loss_frac,
+            loss_burst_ticks: 3.0,
+            bandwidth_mbps: targets.bandwidth_mbps,
+            bandwidth_rel_std: 0.08,
+            latency_jitter_coupling: coupling,
+        }
+    }
+}
+
+/// One 5-second observation of the path, as the conferencing client would
+/// measure it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathSample {
+    /// Mean latency over the tick (ms).
+    pub latency_ms: f64,
+    /// Loss fraction over the tick in `[0, 1]`.
+    pub loss_frac: f64,
+    /// Mean jitter over the tick (ms).
+    pub jitter_ms: f64,
+    /// Available bandwidth over the tick (Mbps).
+    pub bandwidth_mbps: f64,
+}
+
+/// A live path simulation.
+#[derive(Debug, Clone)]
+pub struct NetworkPath {
+    config: PathConfig,
+    loss: GilbertElliott,
+    jitter: Ar1Jitter,
+}
+
+impl NetworkPath {
+    /// Instantiate the stochastic processes for a config.
+    pub fn new(config: PathConfig) -> NetworkPath {
+        NetworkPath {
+            config,
+            loss: GilbertElliott::with_mean_loss(config.mean_loss_frac, config.loss_burst_ticks),
+            jitter: Ar1Jitter::new(config.jitter_level_ms, config.jitter_phi, config.jitter_sigma_ms),
+        }
+    }
+
+    /// Convenience: path straight from drawn targets.
+    pub fn from_targets(targets: TargetConditions) -> NetworkPath {
+        NetworkPath::new(PathConfig::from_targets(targets))
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &PathConfig {
+        &self.config
+    }
+
+    /// Advance one 5-second tick.
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PathSample {
+        let jitter_ms = self.jitter.tick(rng);
+        let loss_frac = self.loss.tick(rng, PACKETS_PER_TICK);
+        let latency_noise = 1.0 + 0.02 * standard_normal(rng);
+        let latency_ms = (self.config.base_latency_ms
+            + self.config.latency_jitter_coupling * jitter_ms)
+            * latency_noise.max(0.5);
+        let bw_noise = 1.0 + self.config.bandwidth_rel_std * standard_normal(rng);
+        let bandwidth_mbps = (self.config.bandwidth_mbps * bw_noise.clamp(0.5, 1.5)).max(0.05);
+        PathSample { latency_ms: latency_ms.max(0.5), loss_frac, jitter_ms, bandwidth_mbps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn targets() -> TargetConditions {
+        TargetConditions { latency_ms: 80.0, loss_frac: 0.01, jitter_ms: 6.0, bandwidth_mbps: 3.0 }
+    }
+
+    #[test]
+    fn session_means_match_targets() {
+        let mut path = NetworkPath::from_targets(targets());
+        let mut r = StdRng::seed_from_u64(31);
+        let n = 40_000;
+        let mut lat = Vec::with_capacity(n);
+        let mut loss = Vec::with_capacity(n);
+        let mut jit = Vec::with_capacity(n);
+        let mut bw = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = path.tick(&mut r);
+            lat.push(s.latency_ms);
+            loss.push(s.loss_frac);
+            jit.push(s.jitter_ms);
+            bw.push(s.bandwidth_mbps);
+        }
+        let t = targets();
+        let ml = analytics::mean(&lat).unwrap();
+        let mo = analytics::mean(&loss).unwrap();
+        let mj = analytics::mean(&jit).unwrap();
+        let mb = analytics::mean(&bw).unwrap();
+        assert!((ml - t.latency_ms).abs() / t.latency_ms < 0.08, "latency {ml}");
+        assert!((mo - t.loss_frac).abs() / t.loss_frac < 0.25, "loss {mo}");
+        assert!((mj - t.jitter_ms).abs() / t.jitter_ms < 0.15, "jitter {mj}");
+        assert!((mb - t.bandwidth_mbps).abs() / t.bandwidth_mbps < 0.05, "bw {mb}");
+    }
+
+    #[test]
+    fn samples_physically_sane() {
+        let mut r = StdRng::seed_from_u64(32);
+        for access in AccessType::ALL {
+            let t = access.sample_targets(&mut r);
+            let mut path = NetworkPath::from_targets(t);
+            for _ in 0..500 {
+                let s = path.tick(&mut r);
+                assert!(s.latency_ms > 0.0 && s.latency_ms < 5_000.0);
+                assert!((0.0..=1.0).contains(&s.loss_frac));
+                assert!(s.jitter_ms >= 0.0);
+                assert!(s.bandwidth_mbps > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_couples_to_jitter() {
+        // Sessions configured with higher jitter see higher realised latency
+        // for the same base, matching queueing behaviour.
+        let mut r = StdRng::seed_from_u64(33);
+        let mut calm = NetworkPath::new(PathConfig {
+            jitter_level_ms: 1.0,
+            ..PathConfig::from_targets(targets())
+        });
+        let mut stormy = NetworkPath::new(PathConfig {
+            jitter_level_ms: 20.0,
+            ..PathConfig::from_targets(targets())
+        });
+        let calm_lat: Vec<f64> = (0..5000).map(|_| calm.tick(&mut r).latency_ms).collect();
+        let stormy_lat: Vec<f64> = (0..5000).map(|_| stormy.tick(&mut r).latency_ms).collect();
+        assert!(
+            analytics::mean(&stormy_lat).unwrap() > analytics::mean(&calm_lat).unwrap() + 5.0
+        );
+    }
+
+    #[test]
+    fn base_latency_never_negative() {
+        let t = TargetConditions { latency_ms: 2.0, loss_frac: 0.0, jitter_ms: 50.0, bandwidth_mbps: 1.0 };
+        let c = PathConfig::from_targets(t);
+        assert!(c.base_latency_ms >= 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = NetworkPath::from_targets(targets());
+        let mut b = NetworkPath::from_targets(targets());
+        let mut ra = StdRng::seed_from_u64(99);
+        let mut rb = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.tick(&mut ra), b.tick(&mut rb));
+        }
+    }
+}

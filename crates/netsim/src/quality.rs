@@ -1,0 +1,229 @@
+//! Impairment curves: effective network metrics → per-channel impairment.
+//!
+//! The behavioural model in `conference` needs to know *how bad the call
+//! feels* on each channel before it can decide whether a user mutes, turns
+//! the camera off, or leaves. This module maps one [`MitigatedSample`] to an
+//! [`ChannelImpairment`] with three scores in `[0, 1]`:
+//!
+//! * **interactivity** — driven by latency; the knee-then-plateau shape
+//!   encodes the paper's observation that muting pressure is steepest up to
+//!   ~150 ms ("the lag hinders the rapid turn-taking called for in an
+//!   interactive dialogue") and plateaus after;
+//! * **audio** — driven by residual loss (audio uses negligible bandwidth,
+//!   matching Fig. 1 right where Mic On is flat across bandwidth);
+//! * **video** — driven by residual jitter (the Fig. 1 middle-right Cam On
+//!   sensitivity), residual loss, and bandwidth deficit below ~1 Mbps
+//!   (Fig. 1 right: all metrics within 5 % of best at ≥ 1 Mbps).
+
+use crate::mitigation::MitigatedSample;
+use serde::{Deserialize, Serialize};
+
+/// Tunable knees and slopes for the impairment curves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImpairmentParams {
+    /// Latency below this feels instantaneous (ms).
+    pub latency_free_ms: f64,
+    /// Knee where the latency response flattens (ms).
+    pub latency_knee_ms: f64,
+    /// Impairment accumulated between free and knee.
+    pub latency_knee_level: f64,
+    /// Additional impairment per ms beyond the knee (much shallower).
+    pub latency_post_knee_per_ms: f64,
+    /// Residual loss fraction that saturates audio impairment.
+    pub audio_loss_sat: f64,
+    /// Residual jitter (ms) that saturates the audio jitter term.
+    pub audio_jitter_sat_ms: f64,
+    /// Residual jitter (ms) that saturates video impairment.
+    pub video_jitter_sat_ms: f64,
+    /// Residual loss fraction that saturates the video loss term.
+    pub video_loss_sat: f64,
+    /// Bandwidth (Mbps) below which video starts degrading.
+    pub video_bw_floor_mbps: f64,
+}
+
+impl Default for ImpairmentParams {
+    fn default() -> ImpairmentParams {
+        ImpairmentParams {
+            latency_free_ms: 40.0,
+            latency_knee_ms: 150.0,
+            latency_knee_level: 0.55,
+            latency_post_knee_per_ms: 0.0012,
+            audio_loss_sat: 0.06,
+            audio_jitter_sat_ms: 45.0,
+            video_jitter_sat_ms: 18.0,
+            video_loss_sat: 0.10,
+            video_bw_floor_mbps: 0.9,
+        }
+    }
+}
+
+/// Per-channel impairment scores, each in `[0, 1]` (0 = perfect, 1 = unusable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelImpairment {
+    /// Conversational-interactivity impairment (latency-driven).
+    pub interactivity: f64,
+    /// Audio-quality impairment.
+    pub audio: f64,
+    /// Video-quality impairment.
+    pub video: f64,
+}
+
+impl ChannelImpairment {
+    /// Overall impairment: probabilistic OR of the three channels
+    /// (`1 - Π(1 - x)`), used for the leave hazard and MOS latent quality.
+    pub fn overall(&self) -> f64 {
+        1.0 - (1.0 - self.interactivity) * (1.0 - self.audio) * (1.0 - self.video)
+    }
+}
+
+/// Combine independent impairment contributions: `1 - Π(1 - x_i)`.
+fn combine(parts: &[f64]) -> f64 {
+    1.0 - parts.iter().fold(1.0, |acc, x| acc * (1.0 - x.clamp(0.0, 1.0)))
+}
+
+/// Saturating-linear ramp: 0 at `x <= 0`, 1 at `x >= sat`.
+fn ramp(x: f64, sat: f64) -> f64 {
+    if sat <= 0.0 {
+        return if x > 0.0 { 1.0 } else { 0.0 };
+    }
+    (x / sat).clamp(0.0, 1.0)
+}
+
+impl ImpairmentParams {
+    /// Latency-driven interactivity impairment: zero up to
+    /// `latency_free_ms`, steep to `latency_knee_level` at `latency_knee_ms`,
+    /// then a shallow linear tail (capped at 1).
+    pub fn interactivity(&self, latency_ms: f64) -> f64 {
+        let l = latency_ms.max(0.0);
+        if l <= self.latency_free_ms {
+            0.0
+        } else if l <= self.latency_knee_ms {
+            self.latency_knee_level * (l - self.latency_free_ms)
+                / (self.latency_knee_ms - self.latency_free_ms)
+        } else {
+            (self.latency_knee_level + self.latency_post_knee_per_ms * (l - self.latency_knee_ms))
+                .min(1.0)
+        }
+    }
+
+    /// Audio impairment from residual loss and jitter.
+    pub fn audio(&self, loss_frac: f64, jitter_ms: f64) -> f64 {
+        combine(&[ramp(loss_frac, self.audio_loss_sat), 0.5 * ramp(jitter_ms, self.audio_jitter_sat_ms)])
+    }
+
+    /// Video impairment from residual jitter, residual loss, and bandwidth
+    /// deficit.
+    pub fn video(&self, loss_frac: f64, jitter_ms: f64, bandwidth_mbps: f64) -> f64 {
+        let bw_deficit = if bandwidth_mbps >= self.video_bw_floor_mbps {
+            0.0
+        } else {
+            ((self.video_bw_floor_mbps - bandwidth_mbps) / self.video_bw_floor_mbps).clamp(0.0, 1.0)
+        };
+        combine(&[
+            ramp(jitter_ms, self.video_jitter_sat_ms),
+            ramp(loss_frac, self.video_loss_sat),
+            bw_deficit,
+        ])
+    }
+
+    /// Score all channels for one mitigated sample.
+    pub fn score(&self, s: &MitigatedSample) -> ChannelImpairment {
+        ChannelImpairment {
+            interactivity: self.interactivity(s.latency_ms),
+            audio: self.audio(s.loss_frac, s.jitter_ms),
+            video: self.video(s.loss_frac, s.jitter_ms, s.bandwidth_mbps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> ImpairmentParams {
+        ImpairmentParams::default()
+    }
+
+    fn ms(latency: f64, loss: f64, jitter: f64, bw: f64) -> MitigatedSample {
+        MitigatedSample { latency_ms: latency, loss_frac: loss, jitter_ms: jitter, bandwidth_mbps: bw }
+    }
+
+    #[test]
+    fn interactivity_knee_shape() {
+        let q = p();
+        assert_eq!(q.interactivity(0.0), 0.0);
+        assert_eq!(q.interactivity(40.0), 0.0);
+        // The slope before the knee is much steeper than after it — the
+        // paper's Mic-On shape.
+        let pre_knee_slope = (q.interactivity(150.0) - q.interactivity(50.0)) / 100.0;
+        let post_knee_slope = (q.interactivity(300.0) - q.interactivity(200.0)) / 100.0;
+        assert!(pre_knee_slope > 3.0 * post_knee_slope, "{pre_knee_slope} vs {post_knee_slope}");
+        assert!(q.interactivity(10_000.0) <= 1.0);
+    }
+
+    #[test]
+    fn audio_ignores_bandwidth() {
+        let q = p();
+        let a = q.score(&ms(50.0, 0.01, 5.0, 0.3)).audio;
+        let b = q.score(&ms(50.0, 0.01, 5.0, 4.0)).audio;
+        assert_eq!(a, b, "audio impairment must not depend on bandwidth");
+    }
+
+    #[test]
+    fn video_most_sensitive_to_jitter() {
+        let q = p();
+        // 10 ms of residual jitter hurts video more than 1 % residual loss.
+        let jitter_only = q.video(0.0, 10.0, 4.0);
+        let loss_only = q.video(0.01, 0.0, 4.0);
+        assert!(jitter_only > loss_only, "{jitter_only} vs {loss_only}");
+    }
+
+    #[test]
+    fn bandwidth_floor_behaviour() {
+        let q = p();
+        // Above ~1 Mbps video is unaffected by bandwidth.
+        assert_eq!(q.video(0.0, 0.0, 1.0), 0.0);
+        assert_eq!(q.video(0.0, 0.0, 4.0), 0.0);
+        // Below the floor it degrades monotonically.
+        let v_half = q.video(0.0, 0.0, 0.45);
+        let v_tenth = q.video(0.0, 0.0, 0.09);
+        assert!(v_half > 0.0 && v_tenth > v_half);
+    }
+
+    #[test]
+    fn overall_combines_channels() {
+        let clean = ChannelImpairment { interactivity: 0.0, audio: 0.0, video: 0.0 };
+        assert_eq!(clean.overall(), 0.0);
+        let one = ChannelImpairment { interactivity: 1.0, audio: 0.0, video: 0.0 };
+        assert_eq!(one.overall(), 1.0);
+        let mixed = ChannelImpairment { interactivity: 0.5, audio: 0.5, video: 0.0 };
+        assert!((mixed.overall() - 0.75).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn scores_bounded(lat in 0.0..2000.0f64, loss in 0.0..1.0f64,
+                          jit in 0.0..200.0f64, bw in 0.05..20.0f64) {
+            let c = p().score(&ms(lat, loss, jit, bw));
+            for v in [c.interactivity, c.audio, c.video, c.overall()] {
+                prop_assert!((0.0..=1.0).contains(&v), "score {v}");
+            }
+        }
+
+        #[test]
+        fn interactivity_monotone(a in 0.0..2000.0f64, b in 0.0..2000.0f64) {
+            let q = p();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.interactivity(lo) <= q.interactivity(hi) + 1e-12);
+        }
+
+        #[test]
+        fn video_monotone_in_each_axis(loss in 0.0..0.2f64, jit in 0.0..50.0f64, bw in 0.1..5.0f64) {
+            let q = p();
+            prop_assert!(q.video(loss, jit, bw) <= q.video(loss + 0.01, jit, bw) + 1e-12);
+            prop_assert!(q.video(loss, jit, bw) <= q.video(loss, jit + 1.0, bw) + 1e-12);
+            prop_assert!(q.video(loss, jit, bw) + 1e-12 >= q.video(loss, jit, bw + 0.1) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Client-side telemetry aggregation (§3.1 of the paper).
+//!
+//! *"The client running on the user-end of MS Teams gathers network latency,
+//! packet loss percent, jitter, and available bandwidth information every 5
+//! seconds. When the user session ends, each client computes the mean,
+//! median, and 95th percentile (P95) value for each of these metrics per
+//! session."*
+//!
+//! [`ClientSampler`] is that client: it accumulates [`PathSample`]s and, at
+//! session end, produces a [`SessionNetworkStats`] with a
+//! [`analytics::Summary`] per metric. The paper reports results on the means;
+//! the P95s are carried too so the `usaas` analyses can reproduce the
+//! "similar trends hold for P95" remark.
+
+use crate::path::PathSample;
+use analytics::{AnalyticsError, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Seconds between client measurements (the paper's cadence).
+pub const TICK_SECONDS: u32 = 5;
+
+/// Per-session aggregated network statistics, one [`Summary`] per metric.
+/// Loss is carried as a *percentage* here (0–100), matching the paper's
+/// plotting units; everything upstream uses fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionNetworkStats {
+    /// Latency (ms).
+    pub latency_ms: Summary,
+    /// Packet loss (percent, 0–100).
+    pub loss_pct: Summary,
+    /// Jitter (ms).
+    pub jitter_ms: Summary,
+    /// Available bandwidth (Mbps).
+    pub bandwidth_mbps: Summary,
+    /// Number of 5-second ticks observed.
+    pub ticks: usize,
+}
+
+impl SessionNetworkStats {
+    /// Session duration in seconds implied by the tick count.
+    pub fn duration_secs(&self) -> u32 {
+        self.ticks as u32 * TICK_SECONDS
+    }
+}
+
+/// Accumulates per-tick samples for one session.
+#[derive(Debug, Clone, Default)]
+pub struct ClientSampler {
+    latency: Vec<f64>,
+    loss: Vec<f64>,
+    jitter: Vec<f64>,
+    bandwidth: Vec<f64>,
+}
+
+impl ClientSampler {
+    /// Fresh sampler.
+    pub fn new() -> ClientSampler {
+        ClientSampler::default()
+    }
+
+    /// Sampler with capacity for an expected number of ticks.
+    pub fn with_capacity(ticks: usize) -> ClientSampler {
+        ClientSampler {
+            latency: Vec::with_capacity(ticks),
+            loss: Vec::with_capacity(ticks),
+            jitter: Vec::with_capacity(ticks),
+            bandwidth: Vec::with_capacity(ticks),
+        }
+    }
+
+    /// Record one 5-second observation.
+    pub fn record(&mut self, sample: &PathSample) {
+        self.latency.push(sample.latency_ms);
+        self.loss.push(sample.loss_frac * 100.0);
+        self.jitter.push(sample.jitter_ms);
+        self.bandwidth.push(sample.bandwidth_mbps);
+    }
+
+    /// Ticks recorded so far.
+    pub fn ticks(&self) -> usize {
+        self.latency.len()
+    }
+
+    /// Finalize into per-session statistics; errors if nothing was recorded.
+    pub fn finish(&self) -> Result<SessionNetworkStats, AnalyticsError> {
+        Ok(SessionNetworkStats {
+            latency_ms: Summary::from_samples(&self.latency)?,
+            loss_pct: Summary::from_samples(&self.loss)?,
+            jitter_ms: Summary::from_samples(&self.jitter)?,
+            bandwidth_mbps: Summary::from_samples(&self.bandwidth)?,
+            ticks: self.latency.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::TargetConditions;
+    use crate::path::NetworkPath;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_sampler_errors() {
+        assert!(ClientSampler::new().finish().is_err());
+    }
+
+    #[test]
+    fn loss_is_reported_in_percent() {
+        let mut s = ClientSampler::new();
+        s.record(&PathSample { latency_ms: 20.0, loss_frac: 0.01, jitter_ms: 2.0, bandwidth_mbps: 3.0 });
+        let stats = s.finish().unwrap();
+        assert!((stats.loss_pct.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_full_session() {
+        let t = TargetConditions { latency_ms: 60.0, loss_frac: 0.005, jitter_ms: 4.0, bandwidth_mbps: 3.5 };
+        let mut path = NetworkPath::from_targets(t);
+        let mut r = StdRng::seed_from_u64(41);
+        let mut sampler = ClientSampler::with_capacity(720);
+        for _ in 0..720 {
+            sampler.record(&path.tick(&mut r));
+        }
+        let stats = sampler.finish().unwrap();
+        assert_eq!(stats.ticks, 720);
+        assert_eq!(stats.duration_secs(), 3600);
+        assert!((stats.latency_ms.mean - 60.0).abs() < 10.0);
+        assert!(stats.latency_ms.median <= stats.latency_ms.p95);
+        assert!((stats.loss_pct.mean - 0.5).abs() < 0.4);
+        assert!((stats.bandwidth_mbps.mean - 3.5).abs() < 0.3);
+        // Loss P95 reflects burstiness: well above the mean.
+        assert!(stats.loss_pct.p95 >= stats.loss_pct.mean);
+    }
+
+    #[test]
+    fn tick_count_tracks_records() {
+        let mut s = ClientSampler::new();
+        assert_eq!(s.ticks(), 0);
+        for i in 0..5 {
+            s.record(&PathSample {
+                latency_ms: 10.0 + i as f64,
+                loss_frac: 0.0,
+                jitter_ms: 1.0,
+                bandwidth_mbps: 4.0,
+            });
+        }
+        assert_eq!(s.ticks(), 5);
+        let stats = s.finish().unwrap();
+        assert_eq!(stats.latency_ms.count, 5);
+        assert_eq!(stats.latency_ms.mean, 12.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Robust field extraction from noisy screenshot text.
+//!
+//! This is the workhorse that replaces Azure OCR's post-processing in the
+//! paper's pipeline. It must survive three realities:
+//!
+//! 1. **Layouts differ per provider** — labels may be on the same line as
+//!    the value (M-Lab) or on the line above (Ookla/Starlink app), and
+//!    Fast.com spells download "Your Internet speed is".
+//! 2. **Glyph confusion** — `105.2` may arrive as `lO5.2`; labels may
+//!    arrive as `D0WNL0AD`. Tokens are therefore canonicalised twice: to
+//!    digit-form for value parsing and letter-form for label matching.
+//! 3. **Decimal-point dropout** — `105.2 Mbps` may arrive as `1052 Mbps`.
+//!    Recovered values outside a plausibility window are rescaled by powers
+//!    of ten until they land inside it.
+
+use crate::report::{ExtractedReport, Provider};
+
+/// Plausibility window for throughputs (Mbps) used for decimal-dropout
+/// recovery.
+const SPEED_RANGE: (f64, f64) = (0.2, 500.0);
+/// Plausibility window for latency (ms).
+const LATENCY_RANGE: (f64, f64) = (5.0, 900.0);
+
+/// Map confusable letters to the digits they usually were (digit-form).
+fn to_digit_form(ch: char) -> char {
+    match ch {
+        'O' | 'o' => '0',
+        'l' | 'I' | 'i' | '|' => '1',
+        'S' | 's' => '5',
+        'B' => '8',
+        'G' => '6',
+        'Z' | 'z' => '2',
+        c => c,
+    }
+}
+
+/// Map confusable digits to the letters they usually were (letter-form).
+fn to_letter_form(ch: char) -> char {
+    match ch {
+        '0' => 'o',
+        '1' => 'l',
+        '5' => 's',
+        '8' => 'b',
+        '6' => 'g',
+        '2' => 'z',
+        c => c.to_ascii_lowercase(),
+    }
+}
+
+/// A token with both canonical forms.
+#[derive(Debug, Clone)]
+struct Token {
+    letter: String,
+    digit: String,
+    line: usize,
+    /// Whether the raw token contained at least one true ASCII digit —
+    /// required before attempting numeric parsing, so that ordinary words
+    /// ("is" → "15") are never mistaken for values.
+    has_digit: bool,
+}
+
+fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        for raw in line
+            .split(|c: char| {
+                c.is_whitespace() || matches!(c, ':' | ',' | '>' | '<' | '(' | ')' | '/')
+            })
+        {
+            if raw.is_empty() {
+                continue;
+            }
+            out.push(Token {
+                letter: raw.chars().map(to_letter_form).collect(),
+                digit: raw.chars().map(to_digit_form).collect(),
+                line: line_no,
+                has_digit: raw.chars().any(|c| c.is_ascii_digit()),
+            });
+        }
+    }
+    out
+}
+
+/// Parse a digit-form token as a number; accepts at most one '.' and
+/// requires everything else to be digits (unit suffixes like `105Mbps` are
+/// split off).
+fn parse_number(digit_form: &str) -> Option<(f64, Option<Unit>)> {
+    let mut num = String::new();
+    let mut rest = String::new();
+    let mut seen_dot = false;
+    for ch in digit_form.chars() {
+        if !rest.is_empty() {
+            rest.push(ch);
+        } else if ch.is_ascii_digit() {
+            num.push(ch);
+        } else if ch == '.' && !seen_dot && !num.is_empty() {
+            seen_dot = true;
+            num.push(ch);
+        } else if num.is_empty() {
+            return None; // leading junk: not a number token
+        } else {
+            rest.push(ch);
+        }
+    }
+    if num.is_empty() || num == "." {
+        return None;
+    }
+    let value: f64 = num.parse().ok()?;
+    let unit = if rest.is_empty() { None } else { parse_unit(&rest) };
+    Some((value, unit))
+}
+
+/// Throughput / time units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Mbps,
+    Kbps,
+    Gbps,
+    Ms,
+}
+
+fn parse_unit(letter_form_fragment: &str) -> Option<Unit> {
+    // Accept digit-contaminated unit text by letter-canonicalising it.
+    let s: String = letter_form_fragment.chars().map(to_letter_form).collect();
+    let s = s.replace('/', "");
+    if s.starts_with("mbps") || s.starts_with("mbs") || s.starts_with("mb") {
+        Some(Unit::Mbps)
+    } else if s.starts_with("kbps") || s.starts_with("kbs") || s.starts_with("kb") {
+        Some(Unit::Kbps)
+    } else if s.starts_with("gbps") || s.starts_with("gb") {
+        Some(Unit::Gbps)
+    } else if s.starts_with("ms") {
+        Some(Unit::Ms)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Download,
+    Upload,
+    Latency,
+}
+
+/// Does a letter-form token announce a field label?
+fn label_of(token: &str) -> Option<Field> {
+    // Fuzzy prefixes tolerate dropped characters at the end.
+    const DOWN: [&str; 3] = ["download", "down", "dl"];
+    const UP: [&str; 3] = ["upload", "up", "ul"];
+    const LAT: [&str; 3] = ["ping", "latency", "idle"];
+    let close = |t: &str, word: &str| {
+        t == word || (word.len() >= 6 && word.starts_with(&t[..t.len().min(word.len())]) && t.len() + 2 >= word.len())
+    };
+    if DOWN.iter().any(|w| close(token, w)) {
+        return Some(Field::Download);
+    }
+    if UP.iter().any(|w| close(token, w)) {
+        return Some(Field::Upload);
+    }
+    if LAT.iter().any(|w| close(token, w)) {
+        return Some(Field::Latency);
+    }
+    None
+}
+
+/// Rescale an implausible value by powers of ten (decimal-point dropout
+/// recovery). Returns `None` when no rescaling lands inside the range.
+fn rescale_into(value: f64, range: (f64, f64)) -> Option<f64> {
+    let mut v = value;
+    for _ in 0..4 {
+        if (range.0..=range.1).contains(&v) {
+            return Some(v);
+        }
+        v /= 10.0;
+    }
+    None
+}
+
+fn normalise_speed(value: f64, unit: Option<Unit>) -> Option<f64> {
+    let mbps = match unit {
+        Some(Unit::Kbps) => value / 1000.0,
+        Some(Unit::Gbps) => value * 1000.0,
+        _ => value,
+    };
+    rescale_into(mbps, SPEED_RANGE)
+}
+
+fn normalise_latency(value: f64, unit: Option<Unit>) -> Option<f64> {
+    if matches!(unit, Some(Unit::Mbps) | Some(Unit::Kbps) | Some(Unit::Gbps)) {
+        return None; // a throughput unit cannot be a latency
+    }
+    rescale_into(value, LATENCY_RANGE)
+}
+
+/// Guess the provider from layout cues.
+fn guess_provider(tokens: &[Token]) -> Option<Provider> {
+    let has = |word: &str| tokens.iter().any(|t| t.letter.contains(word));
+    if has("ookla") || has("speedtest") {
+        Some(Provider::Ookla)
+    } else if has("fast") {
+        Some(Provider::Fast)
+    } else if has("ndt") || has("mlab") || (has("m") && has("lab")) {
+        Some(Provider::MLab)
+    } else if has("starlink") {
+        Some(Provider::StarlinkApp)
+    } else {
+        None
+    }
+}
+
+/// Extract fields from (possibly noisy) screenshot text.
+///
+/// ```
+/// // Glyph confusion ("ll3.4" for 113.4) and split labels are handled.
+/// let e = ocr::extract::extract("Download\nll3.4 Mbps\nUpload\n11.7 Mbps\nLatency\n43 ms\n");
+/// assert_eq!(e.downlink_mbps, Some(113.4));
+/// assert_eq!(e.latency_ms, Some(43.0));
+/// ```
+pub fn extract(text: &str) -> ExtractedReport {
+    let tokens = tokenize(text);
+    let mut out = ExtractedReport { provider: guess_provider(&tokens), ..Default::default() };
+
+    // Fast.com's download label is the phrase "internet speed".
+    let fast_download_anchor = tokens
+        .windows(2)
+        .position(|w| w[0].letter.contains("internet") && w[1].letter.starts_with("speed"))
+        .map(|i| i + 1);
+
+    let mut pending: Vec<(Field, usize)> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if let Some(field) = label_of(&tok.letter) {
+            // "Upload speed" style: label token directly.
+            pending.push((field, i));
+        }
+    }
+    if let Some(anchor) = fast_download_anchor {
+        pending.push((Field::Download, anchor));
+    }
+
+    for (field, label_idx) in pending {
+        // The value is the first parseable number within the next 4 tokens
+        // and 2 lines.
+        let label_line = tokens[label_idx].line;
+        let mut value: Option<(f64, Option<Unit>)> = None;
+        for idx in (label_idx + 1)..tokens.len().min(label_idx + 6) {
+            let tok = &tokens[idx];
+            if tok.line > label_line + 2 {
+                break;
+            }
+            // Skip unit-only tokens between label and number ("DOWNLOAD Mbps\n105")
+            // and plain words that would canonicalise into digits.
+            if !tok.has_digit {
+                continue;
+            }
+            if parse_unit(&tok.letter).is_some() && parse_number(&tok.digit).is_none() {
+                continue;
+            }
+            if let Some((v, mut unit)) = parse_number(&tok.digit) {
+                // Standalone unit token directly after the number.
+                if unit.is_none() {
+                    if let Some(next) = tokens.get(idx + 1) {
+                        unit = parse_unit(&next.letter);
+                    }
+                }
+                value = Some((v, unit));
+                break;
+            }
+        }
+        let Some((v, unit)) = value else { continue };
+        match field {
+            Field::Download => {
+                if out.downlink_mbps.is_none() {
+                    out.downlink_mbps = normalise_speed(v, unit);
+                }
+            }
+            Field::Upload => {
+                if out.uplink_mbps.is_none() {
+                    out.uplink_mbps = normalise_speed(v, unit);
+                }
+            }
+            Field::Latency => {
+                if out.latency_ms.is_none() {
+                    out.latency_ms = normalise_latency(v, unit);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::render::render;
+    use crate::report::SpeedTestReport;
+    use analytics::time::Date;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn report(provider: Provider) -> SpeedTestReport {
+        SpeedTestReport {
+            provider,
+            date: Date::from_ymd(2022, 3, 10).unwrap(),
+            downlink_mbps: 113.4,
+            uplink_mbps: 11.7,
+            latency_ms: 43.0,
+        }
+    }
+
+    #[test]
+    fn clean_round_trip_all_providers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in Provider::ALL {
+            for _ in 0..10 {
+                let text = render(&mut rng, &report(p));
+                let e = extract(&text);
+                let d = e.downlink_mbps.unwrap_or(0.0);
+                assert!((d - 113.4).abs() < 1.0, "{p:?} downlink {d}: {text}");
+                let u = e.uplink_mbps.unwrap_or(0.0);
+                assert!((u - 11.7).abs() < 0.5, "{p:?} uplink {u}: {text}");
+                // One Fast.com layout variant omits latency entirely.
+                match e.latency_ms {
+                    Some(l) => assert!((l - 43.0).abs() < 1.5, "{p:?} latency {l}: {text}"),
+                    None => assert_eq!(p, Provider::Fast, "latency missing: {text}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn provider_identified() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in Provider::ALL {
+            let text = render(&mut rng, &report(p));
+            assert_eq!(extract(&text).provider, Some(p), "{text}");
+        }
+    }
+
+    #[test]
+    fn kbps_normalised() {
+        let e = extract("FAST\nYour Internet speed is\n750 Kbps\nUpload speed 300 Kbps\n");
+        assert!((e.downlink_mbps.unwrap() - 0.75).abs() < 1e-9);
+        assert!((e.uplink_mbps.unwrap() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn glyph_confusion_recovered() {
+        // "113.4" rendered as "ll3.4", "43" as "4З"… digit-form fixes it.
+        let e = extract("Download\nll3.4 Mbps\nUpload\nS.2 Mbps\nLatency\n4l ms\n");
+        assert!((e.downlink_mbps.unwrap() - 113.4).abs() < 1e-9);
+        assert!((e.uplink_mbps.unwrap() - 5.2).abs() < 1e-9);
+        assert!((e.latency_ms.unwrap() - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decimal_dropout_rescued() {
+        // 113.4 -> 1134 should be rescaled into range.
+        let e = extract("DOWNLOAD Mbps\n1134\nUPLOAD Mbps\n117\nPING ms\n43\n");
+        assert!((e.downlink_mbps.unwrap() - 113.4).abs() < 0.01);
+        assert!((e.uplink_mbps.unwrap() - 117.0).abs() < 0.01, "117 is already plausible");
+    }
+
+    #[test]
+    fn garbage_yields_nothing() {
+        let e = extract("cat pictures and weather talk, no numbers to see");
+        assert_eq!(e.fields_recovered(), 0);
+        assert!(extract("").fields_recovered() == 0);
+    }
+
+    #[test]
+    fn light_noise_high_recovery() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = NoiseModel::light();
+        let mut recovered = 0;
+        let n = 300;
+        for i in 0..n {
+            let p = Provider::ALL[i % 4];
+            let text = render(&mut rng, &report(p));
+            let noisy = model.apply(&mut rng, &text);
+            if extract(&noisy).has_downlink() {
+                recovered += 1;
+            }
+        }
+        let rate = recovered as f64 / n as f64;
+        assert!(rate > 0.85, "light-noise downlink recovery {rate}");
+    }
+
+    #[test]
+    fn heavy_noise_degrades_gracefully() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = NoiseModel::heavy();
+        let mut recovered = 0;
+        let mut wild = 0;
+        let n = 300;
+        for i in 0..n {
+            let p = Provider::ALL[i % 4];
+            let truth = report(p);
+            let rendered = render(&mut rng, &truth);
+            let noisy = model.apply(&mut rng, &rendered);
+            if let Some(d) = extract(&noisy).downlink_mbps {
+                recovered += 1;
+                // Recovered values must stay plausible even when wrong.
+                if !(0.2..=500.0).contains(&d) {
+                    wild += 1;
+                }
+            }
+        }
+        assert!(recovered > n / 4, "heavy-noise recovery collapsed: {recovered}/{n}");
+        assert_eq!(wild, 0, "extractor must never emit implausible values");
+    }
+
+    #[test]
+    fn latency_never_takes_throughput_units() {
+        let e = extract("Ping 99 Mbps\n");
+        assert_eq!(e.latency_ms, None);
+    }
+}

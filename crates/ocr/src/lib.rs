@@ -1,0 +1,21 @@
+//! # ocr
+//!
+//! The speed-test screenshot substrate: provider-styled rendering of
+//! [`report::SpeedTestReport`]s, an OCR noise model (glyph confusion,
+//! decimal-point dropout, character loss), and a robust extractor that
+//! recovers downlink / uplink / latency with unit normalisation and
+//! plausibility-window rescue — the stand-in for the paper's Azure OCR step
+//! (§4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod noise;
+pub mod render;
+pub mod report;
+
+pub use extract::extract;
+pub use noise::NoiseModel;
+pub use render::render;
+pub use report::{ExtractedReport, Provider, SpeedTestReport};

@@ -1,0 +1,134 @@
+//! Provider-styled text "screenshots".
+//!
+//! Each provider lays its numbers out differently — different field labels
+//! ("DOWNLOAD Mbps" vs "Your Internet speed is"), different orders, and
+//! different unit quirks (Fast.com switches to Kbps below 1 Mbps; the
+//! Starlink app uses arrows). The extractor has to cope with all of them,
+//! which is the realistic part of the paper's OCR pipeline.
+
+use crate::report::{Provider, SpeedTestReport};
+use rand::Rng;
+
+/// Format a throughput value with provider-typical precision, sometimes in
+/// Kbps for sub-1 Mbps values.
+fn fmt_speed(mbps: f64, allow_kbps: bool) -> String {
+    if allow_kbps && mbps < 1.0 {
+        format!("{:.0} Kbps", mbps * 1000.0)
+    } else if mbps >= 100.0 {
+        format!("{mbps:.0} Mbps")
+    } else {
+        format!("{mbps:.1} Mbps")
+    }
+}
+
+/// Render the clean (noise-free) screenshot text for a report.
+///
+/// The `rng` picks between minor layout variants of the same provider, as
+/// real screenshots differ by app version.
+pub fn render<R: Rng + ?Sized>(rng: &mut R, report: &SpeedTestReport) -> String {
+    let down = report.downlink_mbps;
+    let up = report.uplink_mbps;
+    let ping = report.latency_ms;
+    match report.provider {
+        Provider::Ookla => {
+            if rng.gen_bool(0.5) {
+                format!(
+                    "SPEEDTEST by Ookla\n\
+                     PING ms\n{ping:.0}\n\
+                     DOWNLOAD Mbps\n{down:.2}\n\
+                     UPLOAD Mbps\n{up:.2}\n\
+                     Connections Multi\n"
+                )
+            } else {
+                format!(
+                    "Speedtest\n\
+                     DOWNLOAD {}\nUPLOAD {}\nPing {ping:.0} ms\n\
+                     Provider Starlink\n",
+                    fmt_speed(down, false),
+                    fmt_speed(up, false),
+                )
+            }
+        }
+        Provider::Fast => {
+            let latency_line = if rng.gen_bool(0.6) {
+                format!("Latency unloaded {ping:.0} ms loaded {:.0} ms\n", ping * 2.4)
+            } else {
+                String::new()
+            };
+            format!(
+                "FAST\nYour Internet speed is\n{}\n{}Upload speed {}\n",
+                fmt_speed(down, true),
+                latency_line,
+                fmt_speed(up, true),
+            )
+        }
+        Provider::StarlinkApp => format!(
+            "Starlink\nSPEED TEST\n\
+             Download\n{down:.0} Mbps\n\
+             Upload\n{up:.1} Mbps\n\
+             Latency\n{ping:.0} ms\n\
+             Advanced >\n"
+        ),
+        Provider::MLab => format!(
+            "M-Lab Speed Test (NDT)\n\
+             Download: {down:.2} Mb/s\n\
+             Upload: {up:.2} Mb/s\n\
+             Ping/Latency: {ping:.1} ms\n"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analytics::time::Date;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn report(provider: Provider) -> SpeedTestReport {
+        SpeedTestReport {
+            provider,
+            date: Date::from_ymd(2022, 3, 10).unwrap(),
+            downlink_mbps: 113.42,
+            uplink_mbps: 11.7,
+            latency_ms: 43.0,
+        }
+    }
+
+    #[test]
+    fn every_provider_renders_its_numbers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in Provider::ALL {
+            let text = render(&mut rng, &report(p));
+            assert!(text.contains("113") || text.contains("113.4"), "{p:?}: {text}");
+            assert!(text.to_lowercase().contains("upload") || text.contains("UPLOAD"), "{text}");
+            assert!(!text.is_empty());
+        }
+    }
+
+    #[test]
+    fn fast_uses_kbps_below_one_mbps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = report(Provider::Fast);
+        r.downlink_mbps = 0.75;
+        let text = render(&mut rng, &r);
+        assert!(text.contains("750 Kbps"), "{text}");
+    }
+
+    #[test]
+    fn layout_variants_exist() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = report(Provider::Ookla);
+        let variants: std::collections::HashSet<String> =
+            (0..20).map(|_| render(&mut rng, &r)).collect();
+        assert!(variants.len() >= 2, "expected multiple Ookla layout variants");
+    }
+
+    #[test]
+    fn speed_formatting_rules() {
+        assert_eq!(fmt_speed(113.4, false), "113 Mbps");
+        assert_eq!(fmt_speed(42.37, false), "42.4 Mbps");
+        assert_eq!(fmt_speed(0.5, true), "500 Kbps");
+        assert_eq!(fmt_speed(0.5, false), "0.5 Mbps");
+    }
+}

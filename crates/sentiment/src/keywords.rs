@@ -1,0 +1,163 @@
+//! The outage keyword dictionary (Fig. 6).
+//!
+//! §4.1: *"we first built a dictionary (a manual tedious process at the
+//! moment, scanning such posts and online articles on network outages) with
+//! keywords related to outages and filtered the Reddit threads containing
+//! them."* This module ships that dictionary (unigrams plus a few bigrams)
+//! and a matcher that counts occurrences per text.
+
+use crate::tokenize::tokenize;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Default outage-related unigrams.
+pub const OUTAGE_UNIGRAMS: &[&str] = &[
+    "outage", "outages", "down", "downtime", "offline", "disconnect", "disconnects",
+    "disconnected", "disconnecting", "disconnections", "dropout", "dropouts", "unreachable",
+    "interruption", "interruptions", "blackout", "obstructed", "nosignal", "degraded",
+];
+
+/// Default outage-related bigrams (matched on consecutive content tokens).
+pub const OUTAGE_BIGRAMS: &[(&str, &str)] = &[
+    ("no", "internet"),
+    ("no", "connection"),
+    ("no", "service"),
+    ("no", "signal"),
+    ("lost", "connection"),
+    ("service", "interruption"),
+    ("went", "down"),
+    ("is", "down"),
+    ("completely", "down"),
+    ("keeps", "dropping"),
+    ("cant", "connect"),
+    ("cannot", "connect"),
+    ("connection", "lost"),
+];
+
+/// A keyword dictionary with a match counter.
+///
+/// ```
+/// use sentiment::keywords::KeywordDictionary;
+/// let dict = KeywordDictionary::outages();
+/// assert_eq!(dict.count_matches("another outage, everything went down"), 2);
+/// assert!(!dict.matches("lovely sunny day"));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeywordDictionary {
+    unigrams: HashSet<String>,
+    bigrams: HashSet<(String, String)>,
+}
+
+impl KeywordDictionary {
+    /// The built-in outage dictionary.
+    pub fn outages() -> KeywordDictionary {
+        KeywordDictionary {
+            unigrams: OUTAGE_UNIGRAMS.iter().map(|s| s.to_string()).collect(),
+            bigrams: OUTAGE_BIGRAMS
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+        }
+    }
+
+    /// An empty dictionary to be extended manually.
+    pub fn empty() -> KeywordDictionary {
+        KeywordDictionary { unigrams: HashSet::new(), bigrams: HashSet::new() }
+    }
+
+    /// Add a unigram (lowercased).
+    pub fn add_unigram(&mut self, word: &str) {
+        self.unigrams.insert(word.to_lowercase());
+    }
+
+    /// Add a bigram (lowercased).
+    pub fn add_bigram(&mut self, first: &str, second: &str) {
+        self.bigrams.insert((first.to_lowercase(), second.to_lowercase()));
+    }
+
+    /// Number of entries (unigrams + bigrams).
+    pub fn len(&self) -> usize {
+        self.unigrams.len() + self.bigrams.len()
+    }
+
+    /// True when the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.unigrams.is_empty() && self.bigrams.is_empty()
+    }
+
+    /// Count keyword occurrences in `text`. Bigram matches do not double-count
+    /// their component unigrams (a token participating in a matched bigram is
+    /// consumed).
+    pub fn count_matches(&self, text: &str) -> usize {
+        let tokens = tokenize(text);
+        let mut matches = 0usize;
+        let mut consumed = vec![false; tokens.len()];
+        for i in 0..tokens.len().saturating_sub(1) {
+            let key = (tokens[i].clone(), tokens[i + 1].clone());
+            if self.bigrams.contains(&key) {
+                matches += 1;
+                consumed[i] = true;
+                consumed[i + 1] = true;
+            }
+        }
+        for (i, tok) in tokens.iter().enumerate() {
+            if !consumed[i] && self.unigrams.contains(tok) {
+                matches += 1;
+            }
+        }
+        matches
+    }
+
+    /// True when the text contains at least one keyword.
+    pub fn matches(&self, text: &str) -> bool {
+        self.count_matches(text) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_unigrams() {
+        let d = KeywordDictionary::outages();
+        assert_eq!(d.count_matches("another outage tonight, total outage"), 2);
+        assert_eq!(d.count_matches("lovely sunny day"), 0);
+        assert!(d.matches("service has been offline for hours"));
+    }
+
+    #[test]
+    fn counts_bigrams_without_double_count() {
+        let d = KeywordDictionary::outages();
+        // "went down": one bigram match; "down" must not also count alone.
+        assert_eq!(d.count_matches("everything went down at 9pm"), 1);
+        // A separate "down" still counts.
+        assert_eq!(d.count_matches("went down and still down"), 2);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let d = KeywordDictionary::outages();
+        assert!(d.matches("OUTAGE Confirmed In Seattle"));
+        assert!(d.matches("No Internet since noon"));
+    }
+
+    #[test]
+    fn custom_entries() {
+        let mut d = KeywordDictionary::empty();
+        assert!(d.is_empty());
+        d.add_unigram("Borked");
+        d.add_bigram("Dish", "Dead");
+        assert_eq!(d.len(), 2);
+        assert!(d.matches("everything is borked"));
+        assert!(d.matches("my dish dead again"));
+        assert!(!d.matches("dish is fine"));
+    }
+
+    #[test]
+    fn builtin_dictionary_nonempty() {
+        let d = KeywordDictionary::outages();
+        assert!(d.len() > 20);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # sentiment
+//!
+//! NLP substrate: the stand-in for Azure Cognitive Services sentiment
+//! analysis, NLTK word clouds, the hand-built outage keyword dictionary, and
+//! the web-news search used by the paper's §4 social-media pipeline.
+//!
+//! * [`analyzer`] — {positive, negative, neutral} scores summing to 1, with
+//!   the paper's ≥ 0.7 strong-sentiment rule;
+//! * [`ngram`] / [`wordcloud`] — stop-worded n-gram counting and ranked word
+//!   clouds (Fig. 5b);
+//! * [`keywords`] — the outage dictionary (Fig. 6);
+//! * [`news`] — a dated headline index queried by top word-cloud unigrams
+//!   (Fig. 5a annotations), which deliberately has **no** article for the
+//!   2022-04-22 outage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod keywords;
+pub mod lexicon;
+pub mod news;
+pub mod ngram;
+pub mod tokenize;
+pub mod wordcloud;
+
+pub use analyzer::{SentimentAnalyzer, SentimentScores, STRONG_THRESHOLD};
+pub use keywords::KeywordDictionary;
+pub use lexicon::Lexicon;
+pub use news::{NewsArticle, NewsIndex};
+pub use ngram::NgramCounts;
+pub use wordcloud::{CloudWord, WordCloud};

@@ -1,0 +1,188 @@
+//! A dated news-article index — the substitute for web search.
+//!
+//! §4.1's annotation pipeline searches online for the top word-cloud
+//! unigrams ("with the search query appended with 'Starlink', for the custom
+//! date") and ties sentiment peaks to the news that drove them. We embed an
+//! index of real, dated headlines (all public, most cited by the paper
+//! itself) and query it by keywords + date window.
+//!
+//! Deliberately, the index contains **no article for the 2022-04-22 outage**:
+//! the paper's finding is precisely that Redditors in 14 countries confirmed
+//! that outage while no news coverage existed.
+
+use crate::tokenize::tokenize;
+use analytics::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// One indexed article.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewsArticle {
+    /// Publication date.
+    pub date: Date,
+    /// Headline.
+    pub headline: String,
+    /// Editorial keywords (lowercase).
+    pub keywords: Vec<String>,
+}
+
+/// A searchable article index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NewsIndex {
+    articles: Vec<NewsArticle>,
+}
+
+fn art(y: i32, m: u8, d: u8, headline: &str, keywords: &[&str]) -> NewsArticle {
+    NewsArticle {
+        date: Date::from_ymd(y, m, d).expect("valid embedded date"),
+        headline: headline.to_string(),
+        keywords: keywords.iter().map(|k| k.to_string()).collect(),
+    }
+}
+
+impl NewsIndex {
+    /// The built-in index covering the Jan '21 – Dec '22 study window.
+    pub fn builtin() -> NewsIndex {
+        NewsIndex {
+            articles: vec![
+                art(2021, 2, 9,
+                    "SpaceX begins accepting $99 preorders for its Starlink satellite internet service",
+                    &["starlink", "preorder", "preorders", "order", "deposit", "available"]),
+                art(2021, 8, 3,
+                    "SpaceX says Starlink has about 90,000 users as the internet service gains subscribers",
+                    &["starlink", "users", "subscribers", "growth"]),
+                art(2021, 11, 24,
+                    "Starlink disappoints pre-order customers by pushing back delivery times",
+                    &["starlink", "delay", "delayed", "delivery", "preorder", "terminal", "email"]),
+                art(2022, 1, 7,
+                    "Starlink internet is experiencing worldwide service interruptions",
+                    &["starlink", "outage", "interruption", "down", "worldwide"]),
+                art(2022, 2, 15,
+                    "SpaceX says a geomagnetic storm destroyed up to 40 new Starlink satellites",
+                    &["starlink", "storm", "satellites", "launch", "lost"]),
+                art(2022, 5, 2,
+                    "Starlink becomes movable with new Portability option",
+                    &["starlink", "portability", "roaming", "movable", "travel"]),
+                art(2022, 8, 30,
+                    "SpaceX's Starlink suffers global outage",
+                    &["starlink", "outage", "global", "down"]),
+                art(2022, 9, 19,
+                    "Starlink has 700,000 subscribers worldwide",
+                    &["starlink", "subscribers", "users", "growth"]),
+                art(2022, 12, 19,
+                    "SpaceX beats annual launch record as it preps more Starlink satellites",
+                    &["starlink", "launch", "record", "satellites"]),
+            ],
+        }
+    }
+
+    /// Empty index.
+    pub fn new() -> NewsIndex {
+        NewsIndex::default()
+    }
+
+    /// Add an article.
+    pub fn add(&mut self, article: NewsArticle) {
+        self.articles.push(article);
+    }
+
+    /// Number of indexed articles.
+    pub fn len(&self) -> usize {
+        self.articles.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.articles.is_empty()
+    }
+
+    /// Search: articles within `window_days` of `date` matching at least one
+    /// query keyword (against editorial keywords or headline tokens).
+    /// Results are ordered by date distance, closest first. The query term
+    /// "starlink" alone never matches (the paper always appends it; alone it
+    /// would match everything).
+    pub fn search(&self, keywords: &[&str], date: Date, window_days: i32) -> Vec<&NewsArticle> {
+        let query: Vec<String> = keywords
+            .iter()
+            .map(|k| k.to_lowercase())
+            .filter(|k| k != "starlink" && !k.is_empty())
+            .collect();
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut hits: Vec<&NewsArticle> = self
+            .articles
+            .iter()
+            .filter(|a| (a.date.days_since(date)).abs() <= window_days)
+            .filter(|a| {
+                let headline_tokens = tokenize(&a.headline);
+                query.iter().any(|q| {
+                    a.keywords.iter().any(|k| k == q) || headline_tokens.iter().any(|t| t == q)
+                })
+            })
+            .collect();
+        hits.sort_by_key(|a| (a.date.days_since(date)).abs());
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn builtin_covers_known_events() {
+        let idx = NewsIndex::builtin();
+        assert!(idx.len() >= 8);
+        let preorder = idx.search(&["preorder", "starlink"], d(2021, 2, 9), 3);
+        assert!(!preorder.is_empty());
+        assert!(preorder[0].headline.contains("preorders"));
+        let delay = idx.search(&["delay", "delivery"], d(2021, 11, 24), 3);
+        assert!(!delay.is_empty());
+    }
+
+    #[test]
+    fn april_22_outage_is_unreported() {
+        // The paper's headline finding: no press coverage of the Apr 22 '22
+        // outage even though Redditors confirmed it.
+        let idx = NewsIndex::builtin();
+        let hits = idx.search(&["outage", "down", "starlink"], d(2022, 4, 22), 5);
+        assert!(hits.is_empty(), "expected no coverage, got {hits:?}");
+    }
+
+    #[test]
+    fn large_outages_are_reported() {
+        let idx = NewsIndex::builtin();
+        assert!(!idx.search(&["outage"], d(2022, 1, 7), 3).is_empty());
+        assert!(!idx.search(&["outage"], d(2022, 8, 30), 3).is_empty());
+    }
+
+    #[test]
+    fn window_respected_and_sorted() {
+        let idx = NewsIndex::builtin();
+        let far = idx.search(&["outage"], d(2022, 3, 1), 10);
+        assert!(far.is_empty());
+        let wide = idx.search(&["outage"], d(2022, 1, 15), 30);
+        assert!(!wide.is_empty());
+        assert_eq!(wide[0].date, d(2022, 1, 7));
+    }
+
+    #[test]
+    fn starlink_alone_matches_nothing() {
+        let idx = NewsIndex::builtin();
+        assert!(idx.search(&["starlink"], d(2022, 1, 7), 5).is_empty());
+        assert!(idx.search(&[], d(2022, 1, 7), 5).is_empty());
+    }
+
+    #[test]
+    fn custom_index() {
+        let mut idx = NewsIndex::new();
+        assert!(idx.is_empty());
+        idx.add(art(2022, 6, 1, "Local ISP melts down", &["isp", "meltdown"]));
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.search(&["meltdown"], d(2022, 6, 2), 3).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Tokenization and stop-words.
+//!
+//! The social pipeline (§4) runs three text operations: sentiment scoring,
+//! word-cloud n-gram counting, and keyword matching. All three share this
+//! tokenizer: lowercase, alphanumeric word extraction (apostrophes folded
+//! away, hyphens split), plus an NLTK-style English stop-word list used by
+//! the n-gram counters (the paper generates word clouds "using NLTK").
+
+/// Lowercased word tokens of `text`. Splits on any non-alphanumeric
+/// character except in-word apostrophes, which are dropped ("don't" →
+/// "dont") so negator lookup stays simple.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if ch == '\'' || ch == '’' {
+            // fold apostrophes away
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Split text into rough sentences (`.`, `!`, `?` and newlines).
+pub fn sentences(text: &str) -> Vec<&str> {
+    text.split(['.', '!', '?', '\n'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// English stop-words (NLTK-style core list plus forum filler).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "arent", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "cant", "cannot", "could", "couldnt", "did", "didnt", "do", "does", "doesnt",
+    "doing", "dont", "down", "during", "each", "few", "for", "from", "further", "had", "hadnt",
+    "has", "hasnt", "have", "havent", "having", "he", "hed", "hell", "hes", "her", "here",
+    "heres", "hers", "herself", "him", "himself", "his", "how", "hows", "i", "id", "ill", "im",
+    "ive", "if", "in", "into", "is", "isnt", "it", "its", "itself", "lets", "me", "more", "most",
+    "mustnt", "my", "myself", "no", "nor", "not", "of", "off", "on", "once", "only", "or",
+    "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "same", "shant", "she",
+    "shed", "shell", "shes", "should", "shouldnt", "so", "some", "such", "than", "that", "thats",
+    "the", "their", "theirs", "them", "themselves", "then", "there", "theres", "these", "they",
+    "theyd", "theyll", "theyre", "theyve", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "wasnt", "we", "wed", "well", "were", "weve", "werent", "what",
+    "whats", "when", "whens", "where", "wheres", "which", "while", "who", "whos", "whom", "why",
+    "whys", "with", "wont", "would", "wouldnt", "you", "youd", "youll", "youre", "youve", "your",
+    "yours", "yourself", "yourselves", "just", "got", "get", "also", "really", "one", "will",
+    "can", "like", "even", "still", "much", "now", "today", "day", "week", "month", "time",
+    "thing", "things", "make", "makes", "made", "using", "use", "used", "since", "back", "going",
+    "know", "see", "way", "lot", "anyone", "else", "new", "everyone", "keeps", "talking",
+    "here", "right", "our", "ours",
+];
+
+/// True when `word` (already lowercased) is a stop-word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok() || STOPWORDS.contains(&word)
+}
+
+/// Tokenize and drop stop-words and single characters — the content words
+/// used by n-gram counting and word clouds.
+pub fn content_words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|w| w.len() > 1 && !is_stopword(w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(tokenize("speed-test 42Mbps"), vec!["speed", "test", "42mbps"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("   \t\n "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn apostrophes_folded() {
+        assert_eq!(tokenize("don't can't won’t"), vec!["dont", "cant", "wont"]);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        let toks = tokenize("Starlink über Köln — naïve test");
+        assert!(toks.contains(&"über".to_string()));
+        assert!(toks.contains(&"köln".to_string()));
+        assert!(toks.contains(&"naïve".to_string()));
+    }
+
+    #[test]
+    fn sentences_split() {
+        let s = sentences("Great speeds! But the outage was bad. Right?");
+        assert_eq!(s, vec!["Great speeds", "But the outage was bad", "Right"]);
+        assert!(sentences("").is_empty());
+    }
+
+    #[test]
+    fn stopwords_filtered() {
+        let words = content_words("The outage is really bad and I am not happy about it");
+        assert!(words.contains(&"outage".to_string()));
+        assert!(words.contains(&"bad".to_string()));
+        assert!(words.contains(&"happy".to_string()));
+        assert!(!words.contains(&"the".to_string()));
+        assert!(!words.contains(&"is".to_string()));
+        assert!(!words.contains(&"i".to_string()));
+    }
+
+    #[test]
+    fn single_chars_dropped() {
+        assert!(content_words("a b c outage").contains(&"outage".to_string()));
+        assert_eq!(content_words("a b c").len(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Word clouds (Fig. 5b).
+//!
+//! The paper generates a word cloud per day from all posts and reads off the
+//! top unigrams ("the third most common word … is *outage*"). A
+//! [`WordCloud`] is just a ranked, weight-normalised unigram table with a
+//! plain-text renderer for reports.
+
+use crate::ngram::NgramCounts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One entry of the cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudWord {
+    /// The word.
+    pub word: String,
+    /// Raw weight (document-weighted frequency).
+    pub weight: f64,
+    /// Weight relative to the heaviest word (1.0 for the top word).
+    pub relative: f64,
+}
+
+/// A ranked word cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WordCloud {
+    /// Entries, heaviest first.
+    pub words: Vec<CloudWord>,
+}
+
+impl WordCloud {
+    /// Build a cloud from documents, keeping the `max_words` heaviest words.
+    pub fn from_documents<'a>(
+        docs: impl IntoIterator<Item = &'a str>,
+        max_words: usize,
+    ) -> WordCloud {
+        let mut counts = NgramCounts::new();
+        for d in docs {
+            counts.add_document(d);
+        }
+        WordCloud::from_counts(&counts, max_words)
+    }
+
+    /// Build a cloud from a pre-populated (possibly weighted) table.
+    pub fn from_counts(counts: &NgramCounts, max_words: usize) -> WordCloud {
+        let top = counts.top_k(max_words);
+        let max = top.first().map(|(_, c)| *c).unwrap_or(0.0);
+        let words = top
+            .into_iter()
+            .map(|(word, weight)| CloudWord {
+                relative: if max > 0.0 { weight / max } else { 0.0 },
+                word,
+                weight,
+            })
+            .collect();
+        WordCloud { words }
+    }
+
+    /// The top-`k` words (the paper uses the top 3 as search keywords).
+    pub fn top_words(&self, k: usize) -> Vec<&str> {
+        self.words.iter().take(k).map(|w| w.word.as_str()).collect()
+    }
+
+    /// Rank of a word (0-based), if present.
+    pub fn rank_of(&self, word: &str) -> Option<usize> {
+        self.words.iter().position(|w| w.word == word)
+    }
+
+    /// True when the cloud has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl fmt::Display for WordCloud {
+    /// Plain-text rendering: one word per line, weight bar scaled to 40
+    /// columns.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for w in &self.words {
+            let bar_len = (w.relative * 40.0).round() as usize;
+            writeln!(f, "{:>20} {:>8.1} {}", w.word, w.weight, "█".repeat(bar_len))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_frequency() {
+        let docs = [
+            "outage outage outage reported",
+            "another outage reported tonight",
+            "service restored after outage",
+        ];
+        let cloud = WordCloud::from_documents(docs.iter().copied(), 10);
+        assert_eq!(cloud.top_words(1), vec!["outage"]);
+        assert_eq!(cloud.rank_of("outage"), Some(0));
+        assert_eq!(cloud.words[0].relative, 1.0);
+        assert!(cloud.rank_of("reported").unwrap() <= 2);
+        assert_eq!(cloud.rank_of("nonexistent"), None);
+    }
+
+    #[test]
+    fn max_words_cap() {
+        let cloud = WordCloud::from_documents(["alpha beta gamma delta epsilon"], 3);
+        assert_eq!(cloud.words.len(), 3);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let cloud = WordCloud::from_documents(std::iter::empty(), 10);
+        assert!(cloud.is_empty());
+        assert!(cloud.top_words(3).is_empty());
+        assert_eq!(cloud.to_string(), "");
+    }
+
+    #[test]
+    fn render_contains_words() {
+        let cloud = WordCloud::from_documents(["speed speed rocks"], 5);
+        let s = cloud.to_string();
+        assert!(s.contains("speed"));
+        assert!(s.contains("rocks"));
+    }
+}

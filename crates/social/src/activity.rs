@@ -1,0 +1,136 @@
+//! Posting-rate and engagement (upvote/comment) models.
+//!
+//! §4.1 quotes the subreddit's vital signs: *"372 posts/week (average) …
+//! The number of upvotes and comments … are 8,190 and 5,702 per week
+//! (average)"*. The baseline posting rate grows with the subscriber base
+//! (sub-linearly — most customers never post) and per-post engagement is
+//! heavy-tailed (a few threads go viral), with means calibrated to those
+//! weekly figures.
+
+use analytics::dist::{Dist, Sampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Calibration constants for forum activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityParams {
+    /// Baseline posts/day independent of the subscriber count.
+    pub base_posts_per_day: f64,
+    /// Additional posts/day per sqrt(thousand subscribers).
+    pub posts_per_sqrt_kuser: f64,
+    /// Upvote distribution per ordinary post.
+    pub upvotes: Dist,
+    /// Cap on upvotes (keeps weekly averages finite despite the heavy tail).
+    pub upvote_cap: u32,
+    /// Comment distribution per ordinary post.
+    pub comments: Dist,
+    /// Cap on comments.
+    pub comment_cap: u32,
+    /// Comment distribution for outage megathreads (press-covered outages
+    /// collapse into a few threads with enormous comment counts).
+    pub megathread_comments: Dist,
+    /// Cap on megathread comments.
+    pub megathread_comment_cap: u32,
+}
+
+impl Default for ActivityParams {
+    fn default() -> ActivityParams {
+        ActivityParams {
+            base_posts_per_day: 24.0,
+            posts_per_sqrt_kuser: 1.05,
+            upvotes: Dist::Pareto { xm: 3.4, alpha: 1.16 },
+            upvote_cap: 5000,
+            comments: Dist::Pareto { xm: 2.2, alpha: 1.17 },
+            comment_cap: 800,
+            megathread_comments: Dist::Pareto { xm: 60.0, alpha: 1.2 },
+            megathread_comment_cap: 4000,
+        }
+    }
+}
+
+impl ActivityParams {
+    /// Baseline posting intensity (posts/day) for a subscriber base of
+    /// `users` (absolute count).
+    pub fn baseline_rate(&self, users: f64) -> f64 {
+        self.base_posts_per_day + self.posts_per_sqrt_kuser * (users / 1000.0).max(0.0).sqrt()
+    }
+
+    /// Sample upvotes for a post; `boost` multiplies the draw (event posts
+    /// and trending discoveries attract disproportionate votes).
+    pub fn sample_upvotes<R: Rng + ?Sized>(&self, rng: &mut R, boost: f64) -> u32 {
+        let v = self.upvotes.sample(rng) * boost.max(0.0);
+        v.round().min(f64::from(self.upvote_cap)) as u32
+    }
+
+    /// Sample comments for an ordinary post.
+    pub fn sample_comments<R: Rng + ?Sized>(&self, rng: &mut R, boost: f64) -> u32 {
+        let v = self.comments.sample(rng) * boost.max(0.0);
+        v.round().min(f64::from(self.comment_cap)) as u32
+    }
+
+    /// Sample comments for an outage megathread.
+    pub fn sample_megathread_comments<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let v = self.megathread_comments.sample(rng);
+        v.round().min(f64::from(self.megathread_comment_cap)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baseline_rate_grows_with_users() {
+        let p = ActivityParams::default();
+        assert!(p.baseline_rate(10_000.0) < p.baseline_rate(1_000_000.0));
+        // Roughly 27–60 posts/day across the study's subscriber range.
+        assert!((24.0..35.0).contains(&p.baseline_rate(10_000.0)));
+        assert!((45.0..75.0).contains(&p.baseline_rate(1_000_000.0)));
+    }
+
+    #[test]
+    fn upvote_mean_calibrated_to_weekly_figure() {
+        // 8,190 upvotes over 372 posts ⇒ ≈ 22 upvotes/post.
+        let p = ActivityParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> =
+            (0..60_000).map(|_| f64::from(p.sample_upvotes(&mut rng, 1.0))).collect();
+        let mean = analytics::mean(&xs).unwrap();
+        assert!((14.0..30.0).contains(&mean), "upvotes/post mean {mean}");
+    }
+
+    #[test]
+    fn comment_mean_calibrated_to_weekly_figure() {
+        // 5,702 comments over 372 posts ⇒ ≈ 15 comments/post.
+        let p = ActivityParams::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> =
+            (0..60_000).map(|_| f64::from(p.sample_comments(&mut rng, 1.0))).collect();
+        let mean = analytics::mean(&xs).unwrap();
+        assert!((10.0..21.0).contains(&mean), "comments/post mean {mean}");
+    }
+
+    #[test]
+    fn megathreads_dwarf_ordinary_posts() {
+        let p = ActivityParams::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mega: Vec<f64> =
+            (0..5000).map(|_| f64::from(p.sample_megathread_comments(&mut rng))).collect();
+        let normal: Vec<f64> =
+            (0..5000).map(|_| f64::from(p.sample_comments(&mut rng, 1.0))).collect();
+        assert!(analytics::mean(&mega).unwrap() > 8.0 * analytics::mean(&normal).unwrap());
+    }
+
+    #[test]
+    fn boost_scales_and_caps_hold() {
+        let p = ActivityParams::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            assert!(p.sample_upvotes(&mut rng, 100.0) <= p.upvote_cap);
+            assert!(p.sample_comments(&mut rng, 100.0) <= p.comment_cap);
+            assert_eq!(p.sample_upvotes(&mut rng, 0.0), 0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The author population and its biases.
+//!
+//! §6 of the paper flags *"the social network bias (users reporting only
+//! good/bad things, over-enthusiasm, bias due to socio-demographics)"*. The
+//! author pool models that explicitly: each author has a disposition that
+//! shifts the sentiment of what they write, an extremity bias (people post
+//! when they have something strong to say), and a home country — the
+//! subreddit skews heavily toward the US and other early-coverage markets.
+
+use analytics::dist::{weighted_index, Dist, Sampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Canonical country list (ordered by subreddit share; outage scopes take
+/// prefixes of this list).
+pub const COUNTRIES: &[&str] = &[
+    "US", "CA", "UK", "DE", "AU", "FR", "NZ", "MX", "BR", "CL", "IT", "ES", "NL", "BE", "AT",
+    "PT", "IE", "PL", "SE", "NO", "DK", "FI", "CH", "JP",
+];
+
+/// Share of posts from each country (US-heavy, long tail).
+pub fn country_weights() -> Vec<f64> {
+    let mut w = vec![0.60, 0.10, 0.07];
+    // Long tail splits the remaining 23 % geometrically.
+    let mut rest = 0.23;
+    for _ in 3..COUNTRIES.len() {
+        let share = rest * 0.22;
+        w.push(share);
+        rest -= share;
+    }
+    // Dump the remainder on the last entry.
+    let last = w.len() - 1;
+    w[last] += rest;
+    w
+}
+
+/// One forum author.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Author {
+    /// Stable author id.
+    pub id: u64,
+    /// Home country (index into [`COUNTRIES`]).
+    pub country_idx: usize,
+    /// Disposition in `[-1, 1]`: shifts the sentiment of everything they
+    /// write (fanboys and haters both exist).
+    pub disposition: f64,
+    /// Extremity bias ≥ 0: how much the author amplifies whatever sentiment
+    /// they express.
+    pub extremity: f64,
+}
+
+impl Author {
+    /// Country code.
+    pub fn country(&self) -> &'static str {
+        COUNTRIES[self.country_idx]
+    }
+}
+
+/// A fixed pool of authors sampled once per corpus.
+#[derive(Debug, Clone)]
+pub struct AuthorPool {
+    authors: Vec<Author>,
+}
+
+impl AuthorPool {
+    /// Sample a pool of `n` authors.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, n: usize) -> AuthorPool {
+        let weights = country_weights();
+        let disposition = Dist::Normal { mean: 0.05, std: 0.35 };
+        let extremity = Dist::LogNormal { mu: 0.0, sigma: 0.4 };
+        let authors = (0..n.max(1))
+            .map(|id| Author {
+                id: id as u64,
+                country_idx: weighted_index(rng, &weights).unwrap_or(0),
+                disposition: disposition.sample(rng).clamp(-1.0, 1.0),
+                extremity: extremity.sample(rng).clamp(0.3, 4.0),
+            })
+            .collect();
+        AuthorPool { authors }
+    }
+
+    /// Number of authors.
+    pub fn len(&self) -> usize {
+        self.authors.len()
+    }
+
+    /// True when empty (cannot happen via [`AuthorPool::sample`]).
+    pub fn is_empty(&self) -> bool {
+        self.authors.is_empty()
+    }
+
+    /// Pick a random author.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> &Author {
+        &self.authors[rng.gen_range(0..self.authors.len())]
+    }
+
+    /// Pick a random author from one of the given countries (used for
+    /// outage posts scoped to affected countries). Falls back to any author
+    /// if the pool has nobody there.
+    pub fn pick_from_countries<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        countries: &[&'static str],
+    ) -> &Author {
+        let candidates: Vec<&Author> =
+            self.authors.iter().filter(|a| countries.contains(&a.country())).collect();
+        if candidates.is_empty() {
+            self.pick(rng)
+        } else {
+            candidates[rng.gen_range(0..candidates.len())]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn country_weights_sum_to_one() {
+        let w = country_weights();
+        assert_eq!(w.len(), COUNTRIES.len());
+        let s: f64 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "sum {s}");
+        assert!(w[0] > 0.5, "US-heavy skew expected");
+    }
+
+    #[test]
+    fn pool_covers_many_countries() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = AuthorPool::sample(&mut rng, 5000);
+        assert_eq!(pool.len(), 5000);
+        let distinct: std::collections::HashSet<&str> =
+            (0..2000).map(|_| pool.pick(&mut rng).country()).collect();
+        assert!(distinct.len() >= 10, "only {} countries", distinct.len());
+        let us = (0..5000).filter(|_| pool.pick(&mut rng).country() == "US").count();
+        let share = us as f64 / 5000.0;
+        assert!((0.5..0.7).contains(&share), "US share {share}");
+    }
+
+    #[test]
+    fn scoped_pick_respects_countries() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = AuthorPool::sample(&mut rng, 3000);
+        for _ in 0..200 {
+            let a = pool.pick_from_countries(&mut rng, &["DE", "FR"]);
+            assert!(a.country() == "DE" || a.country() == "FR");
+        }
+        // Impossible scope falls back gracefully.
+        let a = pool.pick_from_countries(&mut rng, &["XX"]);
+        assert!(COUNTRIES.contains(&a.country()));
+    }
+
+    #[test]
+    fn dispositions_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = AuthorPool::sample(&mut rng, 2000);
+        let positive = (0..2000).filter(|_| pool.pick(&mut rng).disposition > 0.0).count();
+        assert!(positive > 600 && positive < 1600, "positive dispositions {positive}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # social
+//!
+//! A Reddit-`r/Starlink`-like forum simulator driven by the ground-truth
+//! event timeline in [`starlink`]. Because every post carries its intended
+//! sentiment, topic, and (for screenshots) the true measurement, the `usaas`
+//! pipelines built on this corpus can be *scored against truth* — precision
+//! and recall of outage detection, recovery of the Fig. 7 speed curve,
+//! lead-time of the roaming discovery — which the paper itself could not do
+//! with real Reddit data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod authors;
+pub mod generator;
+pub mod perception;
+pub mod post;
+pub mod textgen;
+
+pub use activity::ActivityParams;
+pub use authors::{Author, AuthorPool, COUNTRIES};
+pub use generator::{generate, ForumConfig};
+pub use perception::{PerceptionModel, PerceptionParams};
+pub use post::{Forum, Post, PostTopic, Screenshot, SentimentClass};

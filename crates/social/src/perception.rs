@@ -1,0 +1,244 @@
+//! The "shifting fulcrum" perception model (§4.2).
+//!
+//! *"user sentiment is, in general, a reflection of both short-term and
+//! long-term conditioning — users get acclimatized to their current network
+//! conditions and give negative sentiment for any degradation in network
+//! conditions even if such conditions are better than the past."*
+//!
+//! We model the population's *expectation* as an exponentially-weighted
+//! moving average of the network median downlink (time constant ≈ four
+//! months). A user's reaction to a measurement is driven by the *relative
+//! gap* between the measurement and the expectation — not by the absolute
+//! speed. This single mechanism produces both Fig. 7 anomalies:
+//!
+//! * Dec '21 speeds beat Apr '21 absolutely, but sit *below* the
+//!   recently-conditioned expectation (the Sep '21 peak), so sentiment is
+//!   drastically lower;
+//! * Mar → Dec '22 speeds keep falling, but the *decline decelerates*, so
+//!   the gap to the (falling) expectation shrinks and sentiment recovers.
+
+use analytics::time::Date;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use starlink::capacity::SpeedModel;
+
+use crate::post::SentimentClass;
+
+/// Perception-model constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionParams {
+    /// EWMA time constant of the expectation (days).
+    pub conditioning_days: f64,
+    /// Gain converting relative speed gap to reaction score.
+    pub gap_gain: f64,
+    /// Std of per-user reaction noise.
+    pub noise_std: f64,
+    /// Weight of the author's disposition in the reaction score.
+    pub disposition_weight: f64,
+}
+
+impl Default for PerceptionParams {
+    fn default() -> PerceptionParams {
+        PerceptionParams {
+            conditioning_days: 60.0,
+            gap_gain: 3.0,
+            noise_std: 0.30,
+            disposition_weight: 0.25,
+        }
+    }
+}
+
+/// Precomputed daily expectations over a window.
+#[derive(Debug, Clone)]
+pub struct PerceptionModel {
+    start: Date,
+    expectation: Vec<f64>,
+    median: Vec<f64>,
+    params: PerceptionParams,
+}
+
+impl PerceptionModel {
+    /// Build the daily expectation series over `[start, end]` from the
+    /// network speed model.
+    pub fn new(model: &SpeedModel, start: Date, end: Date, params: PerceptionParams) -> PerceptionModel {
+        let mut expectation = Vec::new();
+        let mut median = Vec::new();
+        let mut exp = model.median_downlink(start);
+        for date in start.iter_through(end) {
+            let med = model.median_downlink(date);
+            exp += (med - exp) / params.conditioning_days.max(1.0);
+            expectation.push(exp);
+            median.push(med);
+        }
+        PerceptionModel { start, expectation, median, params }
+    }
+
+    /// The conditioned expectation (Mbps) on `date` (clamped to the window).
+    pub fn expectation(&self, date: Date) -> f64 {
+        let idx = date.days_since(self.start).clamp(0, self.expectation.len() as i32 - 1);
+        self.expectation[idx as usize]
+    }
+
+    /// The network median (Mbps) on `date` (clamped to the window).
+    pub fn network_median(&self, date: Date) -> f64 {
+        let idx = date.days_since(self.start).clamp(0, self.median.len() as i32 - 1);
+        self.median[idx as usize]
+    }
+
+    /// Relative gap between an observed speed and the expectation.
+    pub fn relative_gap(&self, date: Date, observed_mbps: f64) -> f64 {
+        let exp = self.expectation(date).max(1.0);
+        (observed_mbps - exp) / exp
+    }
+
+    /// Deterministic reaction score for an observation (before noise).
+    pub fn reaction_score(&self, date: Date, observed_mbps: f64, disposition: f64) -> f64 {
+        self.params.gap_gain * self.relative_gap(date, observed_mbps)
+            + self.params.disposition_weight * disposition
+    }
+
+    /// Sample the sentiment class of a user reacting to an observed speed.
+    pub fn react<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        date: Date,
+        observed_mbps: f64,
+        disposition: f64,
+    ) -> SentimentClass {
+        let score = self.reaction_score(date, observed_mbps, disposition)
+            + self.params.noise_std * analytics::dist::standard_normal(rng);
+        if score > 0.35 {
+            SentimentClass::StrongPositive
+        } else if score > 0.1 {
+            SentimentClass::MildPositive
+        } else if score > -0.1 {
+            SentimentClass::Neutral
+        } else if score > -0.35 {
+            SentimentClass::MildNegative
+        } else {
+            SentimentClass::StrongNegative
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn model() -> PerceptionModel {
+        PerceptionModel::new(
+            &SpeedModel::default(),
+            d(2021, 1, 1),
+            d(2022, 12, 31),
+            PerceptionParams::default(),
+        )
+    }
+
+    #[test]
+    fn expectation_lags_median() {
+        let m = model();
+        // During the 2021 ramp the expectation trails below the median…
+        let apr = d(2021, 4, 15);
+        assert!(m.expectation(apr) < m.network_median(apr));
+        // …and during the 2022 decline it trails above.
+        let jun = d(2022, 6, 15);
+        assert!(m.expectation(jun) > m.network_median(jun));
+    }
+
+    #[test]
+    fn dec21_feels_worse_than_apr21_despite_faster_network() {
+        let m = model();
+        let apr = d(2021, 4, 15);
+        let dec = d(2021, 12, 15);
+        assert!(m.network_median(dec) > m.network_median(apr), "premise: Dec is faster");
+        let apr_score = m.reaction_score(apr, m.network_median(apr), 0.0);
+        let dec_score = m.reaction_score(dec, m.network_median(dec), 0.0);
+        assert!(
+            dec_score < apr_score - 0.1,
+            "Dec'21 reaction {dec_score} should be well below Apr'21 {apr_score}"
+        );
+    }
+
+    #[test]
+    fn sentiment_recovers_while_speeds_keep_falling_in_2022() {
+        let m = model();
+        let mar = d(2022, 3, 15);
+        let dec = d(2022, 12, 15);
+        assert!(m.network_median(dec) < m.network_median(mar), "premise: speeds fall");
+        let mar_score = m.reaction_score(mar, m.network_median(mar), 0.0);
+        let dec_score = m.reaction_score(dec, m.network_median(dec), 0.0);
+        assert!(
+            dec_score > mar_score,
+            "Dec'22 reaction {dec_score} should beat Mar'22 {mar_score}"
+        );
+    }
+
+    #[test]
+    fn reactions_track_observed_speed() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let date = d(2022, 2, 1);
+        let exp = m.expectation(date);
+        let mut fast_pos = 0;
+        let mut slow_neg = 0;
+        let n = 500;
+        for _ in 0..n {
+            if m.react(&mut rng, date, exp * 1.6, 0.0) == SentimentClass::StrongPositive {
+                fast_pos += 1;
+            }
+            if m.react(&mut rng, date, exp * 0.4, 0.0) == SentimentClass::StrongNegative {
+                slow_neg += 1;
+            }
+        }
+        assert!(fast_pos > n * 6 / 10, "fast observations should thrill: {fast_pos}/{n}");
+        assert!(slow_neg > n * 6 / 10, "slow observations should enrage: {slow_neg}/{n}");
+    }
+
+    #[test]
+    fn disposition_shifts_reactions() {
+        let m = model();
+        let date = d(2022, 2, 1);
+        let exp = m.expectation(date);
+        let fan = m.reaction_score(date, exp, 1.0);
+        let hater = m.reaction_score(date, exp, -1.0);
+        assert!(fan > hater);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn reaction_score_monotone_in_speed(
+                days in 0i32..720, a in 1.0..300.0f64, b in 1.0..300.0f64
+            ) {
+                let m = model();
+                let date = d(2021, 1, 1).offset(days);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert!(
+                    m.reaction_score(date, lo, 0.0) <= m.reaction_score(date, hi, 0.0) + 1e-12
+                );
+            }
+
+            #[test]
+            fn expectation_positive(days in -100i32..1000) {
+                let m = model();
+                prop_assert!(m.expectation(d(2021, 1, 1).offset(days)) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clamps_outside_window() {
+        let m = model();
+        assert!(m.expectation(d(2019, 1, 1)) > 0.0);
+        assert!(m.expectation(d(2024, 1, 1)) > 0.0);
+    }
+}

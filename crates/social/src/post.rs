@@ -1,0 +1,206 @@
+//! Forum post structures — the `r/Starlink` stand-in corpus schema.
+
+use analytics::time::Date;
+use ocr::report::Provider;
+use serde::{Deserialize, Serialize};
+use starlink::speedtest::SpeedTestResult;
+
+/// What a post is about (ground truth used for validation; the `usaas`
+/// pipelines never read it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PostTopic {
+    /// General experience report ("how's your service?").
+    Experience,
+    /// A shared speed-test screenshot.
+    SpeedShare,
+    /// Outage report / outage discussion.
+    Outage,
+    /// Pre-order / availability chatter.
+    Availability,
+    /// Delivery logistics.
+    Delivery,
+    /// Roaming / portability discussion.
+    Roaming,
+    /// Pricing discussion.
+    Pricing,
+    /// Constellation news (launches, storms).
+    Constellation,
+    /// Hardware / setup questions.
+    Hardware,
+    /// Anything else.
+    General,
+}
+
+/// The sentiment class the generator *intends* a post to carry. Ground truth
+/// for calibrating the analyzer; pipelines only ever see the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SentimentClass {
+    /// Clearly, strongly positive (should score ≥ 0.7 positive).
+    StrongPositive,
+    /// Mildly positive.
+    MildPositive,
+    /// Neutral / informational.
+    Neutral,
+    /// Mildly negative.
+    MildNegative,
+    /// Clearly, strongly negative (should score ≥ 0.7 negative).
+    StrongNegative,
+}
+
+impl SentimentClass {
+    /// Scalar polarity of the class.
+    pub fn polarity(self) -> f64 {
+        match self {
+            SentimentClass::StrongPositive => 1.0,
+            SentimentClass::MildPositive => 0.4,
+            SentimentClass::Neutral => 0.0,
+            SentimentClass::MildNegative => -0.4,
+            SentimentClass::StrongNegative => -1.0,
+        }
+    }
+}
+
+/// A speed-test screenshot attached to a post: the noisy rendered text the
+/// OCR pipeline consumes plus the ground-truth measurement behind it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Screenshot {
+    /// The OCR input (noisy provider-styled text).
+    pub ocr_text: String,
+    /// Provider of the test.
+    pub provider: Provider,
+    /// Ground-truth measurement (validation only).
+    pub truth: SpeedTestResult,
+}
+
+/// One forum post.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Post {
+    /// Post id (dense, per-corpus).
+    pub id: u64,
+    /// Posting day.
+    pub date: Date,
+    /// Author id.
+    pub author_id: u64,
+    /// ISO-ish country code of the author.
+    pub country: &'static str,
+    /// Post title.
+    pub title: String,
+    /// Post body.
+    pub body: String,
+    /// Upvote count.
+    pub upvotes: u32,
+    /// Comment count.
+    pub comments: u32,
+    /// Attached screenshot, if any.
+    pub screenshot: Option<Screenshot>,
+    /// Ground-truth topic (validation only).
+    pub topic: PostTopic,
+    /// Ground-truth intended sentiment (validation only).
+    pub intended: SentimentClass,
+}
+
+impl Post {
+    /// Title and body concatenated — the text the NLP pipelines consume.
+    pub fn text(&self) -> String {
+        format!("{}\n{}", self.title, self.body)
+    }
+
+    /// Engagement weight used by the emerging-topic miner (upvotes +
+    /// comments).
+    pub fn engagement_weight(&self) -> f64 {
+        f64::from(self.upvotes) + f64::from(self.comments)
+    }
+}
+
+/// The full simulated corpus.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Forum {
+    /// All posts, sorted by date.
+    pub posts: Vec<Post>,
+}
+
+impl Forum {
+    /// Number of posts.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// Posts on one day.
+    pub fn on(&self, date: Date) -> impl Iterator<Item = &Post> {
+        self.posts.iter().filter(move |p| p.date == date)
+    }
+
+    /// Posts in a closed date range.
+    pub fn between(&self, from: Date, to: Date) -> impl Iterator<Item = &Post> {
+        self.posts.iter().filter(move |p| p.date >= from && p.date <= to)
+    }
+
+    /// Posts carrying screenshots.
+    pub fn speed_shares(&self) -> impl Iterator<Item = &Post> {
+        self.posts.iter().filter(|p| p.screenshot.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(day: u8) -> Post {
+        Post {
+            id: 1,
+            date: Date::from_ymd(2022, 4, day).unwrap(),
+            author_id: 9,
+            country: "US",
+            title: "Outage?".into(),
+            body: "Anyone else down?".into(),
+            upvotes: 10,
+            comments: 5,
+            screenshot: None,
+            topic: PostTopic::Outage,
+            intended: SentimentClass::StrongNegative,
+        }
+    }
+
+    #[test]
+    fn text_concatenates() {
+        let p = post(22);
+        assert_eq!(p.text(), "Outage?\nAnyone else down?");
+        assert_eq!(p.engagement_weight(), 15.0);
+    }
+
+    #[test]
+    fn forum_filters() {
+        let mut forum = Forum::default();
+        forum.posts.push(post(21));
+        forum.posts.push(post(22));
+        forum.posts.push(post(22));
+        assert_eq!(forum.len(), 3);
+        assert_eq!(forum.on(Date::from_ymd(2022, 4, 22).unwrap()).count(), 2);
+        assert_eq!(
+            forum
+                .between(Date::from_ymd(2022, 4, 21).unwrap(), Date::from_ymd(2022, 4, 21).unwrap())
+                .count(),
+            1
+        );
+        assert_eq!(forum.speed_shares().count(), 0);
+    }
+
+    #[test]
+    fn sentiment_class_polarity_ordering() {
+        let ordered = [
+            SentimentClass::StrongNegative,
+            SentimentClass::MildNegative,
+            SentimentClass::Neutral,
+            SentimentClass::MildPositive,
+            SentimentClass::StrongPositive,
+        ];
+        for w in ordered.windows(2) {
+            assert!(w[0].polarity() < w[1].polarity());
+        }
+    }
+}

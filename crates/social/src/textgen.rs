@@ -1,0 +1,296 @@
+//! Template-based post text generation.
+//!
+//! The corpus must be *analyzable*: the sentiment analyzer, keyword matcher,
+//! n-gram counters, and OCR extractor all consume the generated text, so the
+//! generator composes real sentences from phrase banks whose valence is
+//! recoverable by the `sentiment` lexicon. Ground truth (intended class,
+//! topic) is kept alongside each post so the pipelines can be *scored*.
+//!
+//! Outage posts come in two shapes, which is what reconciles Fig. 5a with
+//! Fig. 6: press-covered outages collapse into a few keyword-dense megathread
+//! style posts (heavy Fig. 6 keyword counts), while unreported outages spawn
+//! floods of short, angry "is it down for anyone else?" posts (heavy Fig. 5a
+//! strong-negative counts).
+
+use crate::post::{PostTopic, SentimentClass};
+use rand::Rng;
+
+/// Strongly positive phrases (≥ two strong lexicon words each).
+const STRONG_POS: &[&str] = &[
+    "absolutely love it, amazing speeds tonight",
+    "incredibly fast and totally reliable",
+    "this service is fantastic, flawless streaming all week",
+    "best internet we have ever had, rock solid",
+    "blazing fast downloads, super impressed",
+    "stellar performance, perfect for remote work",
+];
+
+/// Mildly positive phrases.
+const MILD_POS: &[&str] = &[
+    "works fine for our family",
+    "pretty decent speeds overall",
+    "happy with the service so far",
+    "solid enough for video calls",
+    "nice improvement over our old provider",
+    "stable connection most evenings",
+];
+
+/// Neutral filler sentences.
+const NEUTRAL: &[&str] = &[
+    "installed the dish on the north side of the roof",
+    "checking in from our cabin after the firmware update",
+    "router placement took a while to figure out",
+    "the kit arrived in a big cardboard box on tuesday",
+    "curious what everyone else is seeing this month",
+    "posting from the app while the cable run gets finished",
+];
+
+/// Mildly negative phrases.
+const MILD_NEG: &[&str] = &[
+    "bit slow during the evening hours",
+    "somewhat disappointed with the speeds this week",
+    "speeds dipped again around dinner",
+    "a few annoying dropouts here and there",
+    "not great during peak hours lately",
+    "obstruction warnings keep popping up",
+];
+
+/// Strongly negative phrases (≥ two strong lexicon words each).
+const STRONG_NEG: &[&str] = &[
+    "absolutely terrible tonight, completely unusable",
+    "constant disconnects all evening, this is awful",
+    "worst service ever, totally broken again",
+    "horrible lag and endless buffering, unacceptable",
+    "this is a nightmare, everything keeps failing",
+    "garbage performance, extremely frustrating",
+];
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, bank: &[&'a str]) -> &'a str {
+    bank[rng.gen_range(0..bank.len())]
+}
+
+/// Compose body sentences realising the intended sentiment class.
+fn sentiment_sentences<R: Rng + ?Sized>(rng: &mut R, class: SentimentClass) -> Vec<String> {
+    match class {
+        SentimentClass::StrongPositive => vec![
+            pick(rng, STRONG_POS).to_string(),
+            pick(rng, STRONG_POS).to_string(),
+        ],
+        SentimentClass::MildPositive => vec![
+            pick(rng, MILD_POS).to_string(),
+            pick(rng, NEUTRAL).to_string(),
+        ],
+        SentimentClass::Neutral => vec![
+            pick(rng, NEUTRAL).to_string(),
+            pick(rng, NEUTRAL).to_string(),
+        ],
+        SentimentClass::MildNegative => vec![
+            pick(rng, MILD_NEG).to_string(),
+            pick(rng, NEUTRAL).to_string(),
+        ],
+        SentimentClass::StrongNegative => vec![
+            pick(rng, STRONG_NEG).to_string(),
+            pick(rng, STRONG_NEG).to_string(),
+        ],
+    }
+}
+
+/// A generated title/body pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedText {
+    /// Post title.
+    pub title: String,
+    /// Post body.
+    pub body: String,
+}
+
+/// Compose a generic post for a topic, sentiment class, and topic words.
+pub fn compose<R: Rng + ?Sized>(
+    rng: &mut R,
+    topic: PostTopic,
+    class: SentimentClass,
+    topic_words: &[&str],
+) -> GeneratedText {
+    let title = match topic {
+        PostTopic::Experience => "Starlink experience update".to_string(),
+        PostTopic::SpeedShare => "Sharing my speed test results".to_string(),
+        PostTopic::Outage => "Service problems right now?".to_string(),
+        PostTopic::Availability => "Ordering and availability".to_string(),
+        PostTopic::Delivery => "Terminal delivery status".to_string(),
+        PostTopic::Roaming => "Using the dish away from home".to_string(),
+        PostTopic::Pricing => "Subscription pricing thoughts".to_string(),
+        PostTopic::Constellation => "Constellation news".to_string(),
+        PostTopic::Hardware => "Hardware and setup question".to_string(),
+        PostTopic::General => "General discussion".to_string(),
+    };
+    let mut sentences = sentiment_sentences(rng, class);
+    if !topic_words.is_empty() {
+        let a = topic_words[rng.gen_range(0..topic_words.len())];
+        let b = topic_words[rng.gen_range(0..topic_words.len())];
+        sentences.push(format!("everyone here keeps talking about {a} and {b}"));
+    }
+    GeneratedText { title, body: sentences.join(". ") }
+}
+
+/// Compose a megathread-style post for a **press-covered** outage: long,
+/// keyword-dense status updates (this is what dominates Fig. 6).
+pub fn compose_reported_outage<R: Rng + ?Sized>(rng: &mut R) -> GeneratedText {
+    let hour = rng.gen_range(6..23);
+    let title = "Outage megathread: service down worldwide".to_string();
+    let body = format!(
+        "official outage thread. the service went down around {hour}:00 and stayed down for \
+         hours. downdetector shows a massive outage and the dish reports offline with no signal. \
+         many regions are still disconnected and the app keeps showing the network as down. \
+         terrible timing, completely unusable until things are restored. updates below as the \
+         outage develops."
+    );
+    GeneratedText { title, body }
+}
+
+/// Compose a short confused/angry post for an **unreported** outage: the
+/// Apr 22 '22 flood (this is what dominates the Fig. 5a third peak).
+pub fn compose_unreported_outage<R: Rng + ?Sized>(rng: &mut R) -> GeneratedText {
+    let titles = [
+        "Is it down for anyone else??",
+        "Dish says offline, nothing works",
+        "Connection just died",
+        "No internet all of a sudden",
+    ];
+    // NOTE: phrasing deliberately avoids negator words ("nothing", "no",
+    // "without") within three tokens before a sentiment word — the analyzer
+    // would flip the valence, which is correct behaviour but wrong intent.
+    let bodies = [
+        "everything died at once, completely unusable right now. dish went offline and the \
+         whole evening is ruined",
+        "service dropped with zero warning, this is terrible and support is useless. \
+         absolutely furious right now",
+        "dish shows disconnected, horrible timing during my meeting. totally broken",
+        "our connection is offline and support is silent. this is frustrating and totally \
+         unacceptable",
+    ];
+    GeneratedText {
+        title: titles[rng.gen_range(0..titles.len())].to_string(),
+        body: bodies[rng.gen_range(0..bodies.len())].to_string(),
+    }
+}
+
+/// Compose a roaming-discovery post (the §4.1 early-detection target): the
+/// exact phrases the paper observed trending — "roaming" and "roaming
+/// enabled" — with positive sentiment.
+pub fn compose_roaming<R: Rng + ?Sized>(rng: &mut R, class: SentimentClass) -> GeneratedText {
+    let titles = [
+        "Roaming is working!",
+        "Took the dish on the road - roaming enabled?",
+        "Roaming works across the state line",
+        "Mobile roaming seems enabled now",
+    ];
+    let mut sentences = sentiment_sentences(rng, class);
+    sentences.push("roaming enabled on our account and roaming works far from home".to_string());
+    GeneratedText {
+        title: titles[rng.gen_range(0..titles.len())].to_string(),
+        body: sentences.join(". "),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sentiment::analyzer::SentimentAnalyzer;
+    use sentiment::keywords::KeywordDictionary;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn strong_classes_are_recovered_by_analyzer() {
+        let mut r = rng();
+        let analyzer = SentimentAnalyzer::default();
+        let mut pos_hits = 0;
+        let mut neg_hits = 0;
+        let n = 300;
+        for _ in 0..n {
+            let pos = compose(&mut r, PostTopic::Experience, SentimentClass::StrongPositive, &[]);
+            if analyzer.score(&format!("{}\n{}", pos.title, pos.body)).is_strong_positive() {
+                pos_hits += 1;
+            }
+            let neg = compose(&mut r, PostTopic::Experience, SentimentClass::StrongNegative, &[]);
+            if analyzer.score(&format!("{}\n{}", neg.title, neg.body)).is_strong_negative() {
+                neg_hits += 1;
+            }
+        }
+        assert!(pos_hits as f64 / n as f64 > 0.85, "strong-pos recovery {pos_hits}/{n}");
+        assert!(neg_hits as f64 / n as f64 > 0.85, "strong-neg recovery {neg_hits}/{n}");
+    }
+
+    #[test]
+    fn neutral_posts_stay_neutral() {
+        let mut r = rng();
+        let analyzer = SentimentAnalyzer::default();
+        let mut strong = 0;
+        for _ in 0..200 {
+            let t = compose(&mut r, PostTopic::Hardware, SentimentClass::Neutral, &[]);
+            let s = analyzer.score(&t.body);
+            if s.is_strong_positive() || s.is_strong_negative() {
+                strong += 1;
+            }
+        }
+        assert!(strong < 10, "neutral posts misread as strong: {strong}");
+    }
+
+    #[test]
+    fn reported_outage_is_keyword_dense() {
+        let mut r = rng();
+        let dict = KeywordDictionary::outages();
+        let counts: Vec<usize> = (0..50)
+            .map(|_| {
+                let t = compose_reported_outage(&mut r);
+                dict.count_matches(&format!("{}\n{}", t.title, t.body))
+            })
+            .collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(mean >= 6.0, "megathread keyword density {mean}");
+    }
+
+    #[test]
+    fn unreported_outage_fewer_keywords_but_strongly_negative() {
+        let mut r = rng();
+        let dict = KeywordDictionary::outages();
+        let analyzer = SentimentAnalyzer::default();
+        let mut strong = 0;
+        let mut kw_total = 0usize;
+        let n = 100;
+        for _ in 0..n {
+            let t = compose_unreported_outage(&mut r);
+            let text = format!("{}\n{}", t.title, t.body);
+            kw_total += dict.count_matches(&text);
+            if analyzer.score(&text).is_strong_negative() {
+                strong += 1;
+            }
+        }
+        let kw_mean = kw_total as f64 / n as f64;
+        assert!((1.0..=5.0).contains(&kw_mean), "flood-post keyword density {kw_mean}");
+        assert!(strong as f64 / n as f64 > 0.7, "flood posts strong-neg rate {strong}/{n}");
+    }
+
+    #[test]
+    fn roaming_posts_carry_the_trending_bigram() {
+        let mut r = rng();
+        let analyzer = SentimentAnalyzer::default();
+        for _ in 0..50 {
+            let t = compose_roaming(&mut r, SentimentClass::StrongPositive);
+            let text = format!("{} {}", t.title, t.body).to_lowercase();
+            assert!(text.contains("roaming"), "{text}");
+            assert!(analyzer.score(&text).polarity() > 0.0);
+        }
+    }
+
+    #[test]
+    fn topic_words_injected() {
+        let mut r = rng();
+        let t = compose(&mut r, PostTopic::Pricing, SentimentClass::MildNegative, &["price"]);
+        assert!(t.body.contains("price"));
+    }
+}

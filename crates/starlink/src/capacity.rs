@@ -1,0 +1,252 @@
+//! The capacity/demand speed model behind Fig. 7.
+//!
+//! The paper explains the downlink-speed evolution mechanistically: speeds
+//! rose while launches outpaced user growth (Jan–Sep '21), dipped sharply
+//! when ~21 K users joined during the Jun–Aug '21 launch gap, and then
+//! declined steadily as subscribers grew from 90 K to 1 M+ while 37 batches
+//! could not keep up. This module turns exactly those public series
+//! ([`crate::launches`], [`crate::subscribers`]) into a per-user median
+//! downlink:
+//!
+//! ```text
+//! median(t) = maturity(t) · (1 − crunch(t)) · MAX · S(t) / (S(t) + k·D(t))
+//! ```
+//!
+//! * `S(t)` — usable satellites (launches, orbit-raise delay, attrition);
+//! * `D(t)` — subscriber demand (users in thousands);
+//! * `maturity(t)` — early-network ramp (ground stations, coverage,
+//!   scheduler software) saturating in mid-2021;
+//! * `crunch(t)` — a demand-concentration penalty centred on the Jun–Aug '21
+//!   launch gap: new users joined cells that were already subscribed, so
+//!   congestion was worse than the global supply/demand ratio suggests.
+//!   (Documented substitution: the paper observes the dip; we model its
+//!   accepted cause.)
+
+use crate::launches::LaunchSchedule;
+use crate::subscribers::SubscriberModel;
+use analytics::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the speed model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedModelParams {
+    /// Asymptotic uncongested median downlink (Mbps).
+    pub max_speed_mbps: f64,
+    /// Demand weight per thousand users.
+    pub demand_per_kuser: f64,
+    /// Date the maturity ramp starts.
+    pub maturity_start: Date,
+    /// Months for the maturity ramp to saturate.
+    pub maturity_months: f64,
+    /// Maturity floor at ramp start (fraction of full efficiency).
+    pub maturity_floor: f64,
+    /// Centre of the mid-2021 demand-concentration crunch.
+    pub crunch_center: Date,
+    /// Peak depth of the crunch (fraction of speed lost).
+    pub crunch_depth: f64,
+    /// Gaussian width of the crunch (days).
+    pub crunch_width_days: f64,
+    /// Median uplink as a fraction of downlink.
+    pub uplink_fraction: f64,
+    /// Median latency (ms) when uncongested.
+    pub base_latency_ms: f64,
+}
+
+impl Default for SpeedModelParams {
+    fn default() -> SpeedModelParams {
+        SpeedModelParams {
+            max_speed_mbps: 125.0,
+            demand_per_kuser: 5.14,
+            maturity_start: Date::from_ymd(2021, 1, 1).expect("valid date"),
+            maturity_months: 6.5,
+            maturity_floor: 0.55,
+            crunch_center: Date::from_ymd(2021, 7, 20).expect("valid date"),
+            crunch_depth: 0.15,
+            crunch_width_days: 45.0,
+            uplink_fraction: 0.12,
+            base_latency_ms: 40.0,
+        }
+    }
+}
+
+/// The Fig. 7 speed model.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SpeedModel {
+    /// Launch schedule in effect.
+    pub schedule: LaunchSchedule,
+    /// Subscriber model in effect.
+    pub subscribers: SubscriberModel,
+    /// Constants.
+    pub params: SpeedModelParams,
+}
+
+
+impl SpeedModel {
+    /// Maturity factor in `[floor, 1]`.
+    pub fn maturity(&self, date: Date) -> f64 {
+        let p = &self.params;
+        let months = date.days_since(p.maturity_start) as f64 / 30.44;
+        let t = (months / p.maturity_months).clamp(0.0, 1.0);
+        p.maturity_floor + (1.0 - p.maturity_floor) * t
+    }
+
+    /// Crunch penalty in `[0, depth]`.
+    pub fn crunch(&self, date: Date) -> f64 {
+        let p = &self.params;
+        let d = date.days_since(p.crunch_center) as f64 / p.crunch_width_days;
+        p.crunch_depth * (-0.5 * d * d).exp()
+    }
+
+    /// Supply/demand congestion ratio `S/(S + kD)` in `(0, 1]`.
+    pub fn congestion_ratio(&self, date: Date) -> f64 {
+        let supply = self.schedule.usable_by(date).max(1.0);
+        let demand_k = self.subscribers.users_at(date) / 1000.0;
+        supply / (supply + self.params.demand_per_kuser * demand_k)
+    }
+
+    /// The modelled median downlink (Mbps) on `date`.
+    pub fn median_downlink(&self, date: Date) -> f64 {
+        self.maturity(date)
+            * (1.0 - self.crunch(date))
+            * self.params.max_speed_mbps
+            * self.congestion_ratio(date)
+    }
+
+    /// The modelled median uplink (Mbps) on `date`.
+    pub fn median_uplink(&self, date: Date) -> f64 {
+        (self.params.uplink_fraction * self.median_downlink(date)).max(1.0)
+    }
+
+    /// The modelled median latency (ms): rises as congestion grows.
+    pub fn median_latency(&self, date: Date) -> f64 {
+        let ratio = self.congestion_ratio(date);
+        self.params.base_latency_ms * (0.7 + 0.9 * (1.0 - ratio))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analytics::time::Month;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn model() -> SpeedModel {
+        SpeedModel::default()
+    }
+
+    fn monthly_median(m: &SpeedModel, month: Month) -> f64 {
+        m.median_downlink(Date::from_ymd(month.year, month.month, 15).unwrap())
+    }
+
+    #[test]
+    fn speeds_rise_jan_to_mid_2021() {
+        let m = model();
+        let jan = monthly_median(&m, Month::new(2021, 1).unwrap());
+        let may = monthly_median(&m, Month::new(2021, 5).unwrap());
+        assert!((50.0..80.0).contains(&jan), "Jan'21 median {jan}");
+        assert!(may > jan * 1.25, "May'21 {may} vs Jan'21 {jan}");
+    }
+
+    #[test]
+    fn jun_aug_2021_dip() {
+        // Paper: "sharp decrease in median speeds" while 21K users joined
+        // with no launches.
+        let m = model();
+        let may = monthly_median(&m, Month::new(2021, 5).unwrap());
+        let jul = monthly_median(&m, Month::new(2021, 7).unwrap());
+        let sep = monthly_median(&m, Month::new(2021, 9).unwrap());
+        assert!(jul < may * 0.97, "Jul'21 {jul} should dip below May'21 {may}");
+        assert!(sep > jul, "Sep'21 {sep} should recover over Jul'21 {jul}");
+    }
+
+    #[test]
+    fn steady_decline_sep21_to_dec22() {
+        let m = model();
+        let sep21 = monthly_median(&m, Month::new(2021, 9).unwrap());
+        let jun22 = monthly_median(&m, Month::new(2022, 6).unwrap());
+        let dec22 = monthly_median(&m, Month::new(2022, 12).unwrap());
+        assert!(jun22 < sep21, "{jun22} vs {sep21}");
+        assert!(dec22 < jun22, "{dec22} vs {jun22}");
+        assert!(dec22 < sep21 * 0.7, "Dec'22 {dec22} should be well below Sep'21 {sep21}");
+        assert!((35.0..70.0).contains(&dec22), "Dec'22 median {dec22}");
+    }
+
+    #[test]
+    fn dec21_beats_apr21_the_fulcrum_premise() {
+        // §4.2: "downlink speed is higher in Dec'21 than Apr'21".
+        let m = model();
+        let apr21 = monthly_median(&m, Month::new(2021, 4).unwrap());
+        let dec21 = monthly_median(&m, Month::new(2021, 12).unwrap());
+        assert!(dec21 > apr21, "Dec'21 {dec21} vs Apr'21 {apr21}");
+    }
+
+    #[test]
+    fn mar22_to_dec22_decline_premise() {
+        // §4.2: "downlink speeds decrease between Mar'22 and Dec'22".
+        let m = model();
+        let mar22 = monthly_median(&m, Month::new(2022, 3).unwrap());
+        let dec22 = monthly_median(&m, Month::new(2022, 12).unwrap());
+        assert!(dec22 < mar22, "{dec22} vs {mar22}");
+    }
+
+    #[test]
+    fn auxiliary_metrics_sane() {
+        let m = model();
+        for (y, mo) in [(2021, 3), (2021, 10), (2022, 6), (2022, 12)] {
+            let date = d(y, mo, 15);
+            let down = m.median_downlink(date);
+            let up = m.median_uplink(date);
+            let lat = m.median_latency(date);
+            assert!(up < down, "uplink {up} < downlink {down}");
+            assert!(up >= 1.0);
+            assert!((20.0..120.0).contains(&lat), "latency {lat}");
+        }
+    }
+
+    #[test]
+    fn crunch_is_local() {
+        let m = model();
+        assert!(m.crunch(d(2021, 7, 20)) > 0.1);
+        assert!(m.crunch(d(2021, 1, 15)) < 0.01);
+        assert!(m.crunch(d(2022, 6, 15)) < 0.01);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn median_positive_and_bounded(days in 0i32..1095) {
+                let m = SpeedModel::default();
+                let date = Date::from_ymd(2020, 6, 1).unwrap().offset(days);
+                let v = m.median_downlink(date);
+                prop_assert!(v > 0.0 && v <= m.params.max_speed_mbps, "median {v}");
+                prop_assert!(m.median_uplink(date) < v.max(10.0));
+                let ratio = m.congestion_ratio(date);
+                prop_assert!((0.0..=1.0).contains(&ratio));
+            }
+
+            #[test]
+            fn crunch_bounded(days in 0i32..1095) {
+                let m = SpeedModel::default();
+                let date = Date::from_ymd(2020, 6, 1).unwrap().offset(days);
+                let c = m.crunch(date);
+                prop_assert!((0.0..=m.params.crunch_depth).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn maturity_ramp_bounds() {
+        let m = model();
+        assert!((m.maturity(d(2020, 6, 1)) - 0.55).abs() < 1e-9);
+        assert!((m.maturity(d(2022, 1, 1)) - 1.0).abs() < 0.05);
+        let mid = m.maturity(d(2021, 3, 15));
+        assert!(mid > 0.55 && mid < 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Constellation shells, coverage, and the §6 deployment planner.
+//!
+//! §6 of the paper asks: *"could SpaceX change Starlink deployment plans
+//! (which LEO satellite shell to deploy next) given the current deployment,
+//! footprint, and user sentiment?"* This module gives that question concrete
+//! machinery: the Gen-1 shell set, a latitude-band population/coverage
+//! model, and a planner that ranks shells by the marginal demand they would
+//! serve — optionally reweighted by regional user-sentiment scores, which is
+//! exactly the USaaS-in-the-loop scenario the paper sketches.
+
+use serde::{Deserialize, Serialize};
+
+/// One orbital shell of the constellation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Shell {
+    /// Shell label.
+    pub name: &'static str,
+    /// Altitude (km).
+    pub altitude_km: f64,
+    /// Inclination (degrees) — bounds the served latitude band.
+    pub inclination_deg: f64,
+    /// Planned satellites.
+    pub planned: u32,
+    /// Currently deployed satellites.
+    pub deployed: u32,
+}
+
+impl Shell {
+    /// Deployment completion in `[0, 1]`.
+    pub fn completion(&self) -> f64 {
+        if self.planned == 0 {
+            1.0
+        } else {
+            f64::from(self.deployed.min(self.planned)) / f64::from(self.planned)
+        }
+    }
+
+    /// Remaining satellites to deploy.
+    pub fn remaining(&self) -> u32 {
+        self.planned.saturating_sub(self.deployed)
+    }
+}
+
+/// The Starlink Gen-1 shell set, deployment state ≈ late 2022.
+pub fn gen1_shells() -> Vec<Shell> {
+    vec![
+        Shell { name: "Shell 1 (53.0°, 550 km)", altitude_km: 550.0, inclination_deg: 53.0, planned: 1584, deployed: 1584 },
+        Shell { name: "Shell 4 (53.2°, 540 km)", altitude_km: 540.0, inclination_deg: 53.2, planned: 1584, deployed: 1100 },
+        Shell { name: "Shell 2 (70.0°, 570 km)", altitude_km: 570.0, inclination_deg: 70.0, planned: 720, deployed: 250 },
+        Shell { name: "Shell 3 (97.6°, 560 km)", altitude_km: 560.0, inclination_deg: 97.6, planned: 348, deployed: 80 },
+        Shell { name: "Shell 5 (97.6°, 560 km)", altitude_km: 560.0, inclination_deg: 97.6, planned: 172, deployed: 0 },
+    ]
+}
+
+/// Coarse share of world population per 10° latitude band (absolute
+/// latitude, band `i` covers `[10·i, 10·(i+1))`°). Sums to 1.
+pub const POPULATION_BY_LAT_BAND: [f64; 9] =
+    [0.18, 0.21, 0.24, 0.17, 0.12, 0.06, 0.015, 0.005, 0.0];
+
+/// Fraction of the population a shell's inclination can serve: all bands up
+/// to the inclination (a satellite at inclination *i* covers latitudes up to
+/// roughly *i* plus a few degrees of footprint).
+pub fn population_reach(inclination_deg: f64) -> f64 {
+    let reach_deg = (inclination_deg + 5.0).min(90.0);
+    let full_bands = (reach_deg / 10.0).floor() as usize;
+    let partial = (reach_deg / 10.0) - full_bands as f64;
+    let mut total = 0.0;
+    for (i, share) in POPULATION_BY_LAT_BAND.iter().enumerate() {
+        if i < full_bands {
+            total += share;
+        } else if i == full_bands {
+            total += share * partial;
+        }
+    }
+    total.min(1.0)
+}
+
+/// Per-latitude-band demand signal used by the planner. Values are relative
+/// weights; the USaaS pipeline feeds negative-sentiment intensity here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionalDemand {
+    /// Weight per 10° latitude band (same layout as
+    /// [`POPULATION_BY_LAT_BAND`]).
+    pub band_weights: [f64; 9],
+}
+
+impl Default for RegionalDemand {
+    /// Population-proportional demand.
+    fn default() -> RegionalDemand {
+        RegionalDemand { band_weights: POPULATION_BY_LAT_BAND }
+    }
+}
+
+impl RegionalDemand {
+    /// Demand served *per satellite* of a shell with the given inclination.
+    ///
+    /// A satellite on an inclined circular orbit spends its time spread over
+    /// latitudes `[-i, i]` with dwell density `∝ 1/√(1 − (lat/i)²)` (it
+    /// lingers near the turning latitude). We integrate that dwell time per
+    /// 10° band, normalise to 1, and take the demand-weighted sum — so a 53°
+    /// satellite concentrates capacity where people live, while a polar
+    /// satellite thins its time across empty high latitudes but is the only
+    /// way to serve them at all.
+    pub fn served_per_satellite(&self, inclination_deg: f64) -> f64 {
+        let reach = (inclination_deg + 5.0).min(90.0);
+        let total_angle = std::f64::consts::FRAC_PI_2; // asin(1)
+        let mut served = 0.0;
+        for (i, w) in self.band_weights.iter().enumerate() {
+            let lo = (10.0 * i as f64).min(reach) / reach;
+            let hi = (10.0 * (i + 1) as f64).min(reach) / reach;
+            if hi <= lo {
+                continue;
+            }
+            let share = (hi.asin() - lo.asin()) / total_angle;
+            served += w * share;
+        }
+        served
+    }
+}
+
+/// A ranked deployment recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Shell name.
+    pub shell: &'static str,
+    /// Utility score (higher = deploy sooner).
+    pub score: f64,
+    /// Remaining satellites in the shell.
+    pub remaining: u32,
+}
+
+/// The §6 deployment planner.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlanner {
+    shells: Vec<Shell>,
+}
+
+impl DeploymentPlanner {
+    /// Planner over a shell set.
+    pub fn new(shells: Vec<Shell>) -> DeploymentPlanner {
+        DeploymentPlanner { shells }
+    }
+
+    /// Planner over the Gen-1 state.
+    pub fn gen1() -> DeploymentPlanner {
+        DeploymentPlanner::new(gen1_shells())
+    }
+
+    /// The shells under management.
+    pub fn shells(&self) -> &[Shell] {
+        &self.shells
+    }
+
+    /// Rank shells by the total marginal utility of finishing them:
+    /// `demand served per satellite × remaining satellites` — zero for
+    /// completed shells.
+    pub fn rank(&self, demand: &RegionalDemand) -> Vec<Recommendation> {
+        let mut recs: Vec<Recommendation> = self
+            .shells
+            .iter()
+            .map(|s| Recommendation {
+                shell: s.name,
+                score: demand.served_per_satellite(s.inclination_deg)
+                    * f64::from(s.remaining()),
+                remaining: s.remaining(),
+            })
+            .collect();
+        recs.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        recs
+    }
+
+    /// The single best next shell, if any remains incomplete.
+    pub fn recommend_next(&self, demand: &RegionalDemand) -> Option<Recommendation> {
+        self.rank(demand).into_iter().find(|r| r.remaining > 0 && r.score > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_shares_sum_to_one() {
+        let total: f64 = POPULATION_BY_LAT_BAND.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reach_monotone_in_inclination() {
+        let mut prev = 0.0;
+        for inc in [30.0, 53.0, 70.0, 97.6] {
+            let r = population_reach(inc);
+            assert!(r >= prev, "reach not monotone at {inc}");
+            prev = r;
+        }
+        assert!(population_reach(97.6) > 0.99);
+        assert!(population_reach(53.0) > 0.8, "53° serves most of humanity");
+    }
+
+    #[test]
+    fn completed_shells_never_recommended() {
+        let planner = DeploymentPlanner::gen1();
+        let rec = planner.recommend_next(&RegionalDemand::default()).unwrap();
+        assert_ne!(rec.shell, "Shell 1 (53.0°, 550 km)");
+        assert!(rec.remaining > 0);
+    }
+
+    #[test]
+    fn population_demand_prefers_mid_inclination() {
+        // Under population-proportional demand, a mid-inclination shell wins
+        // (53–70° reaches nearly everyone and those shells are incomplete);
+        // the polar shells only win when high-latitude demand dominates.
+        let planner = DeploymentPlanner::gen1();
+        let rec = planner.recommend_next(&RegionalDemand::default()).unwrap();
+        assert!(
+            rec.shell.contains("Shell 4") || rec.shell.contains("Shell 2"),
+            "got {}",
+            rec.shell
+        );
+        assert!(!rec.shell.contains("97.6"), "polar shell should not win: {}", rec.shell);
+    }
+
+    #[test]
+    fn polar_sentiment_shifts_recommendation() {
+        // If USaaS reports intense dissatisfaction at high latitudes, the
+        // planner pivots to the polar shells.
+        let planner = DeploymentPlanner::gen1();
+        let mut demand = RegionalDemand { band_weights: [0.0; 9] };
+        demand.band_weights[6] = 0.5; // 60–70°
+        demand.band_weights[7] = 0.5; // 70–80°
+        let rec = planner.recommend_next(&demand).unwrap();
+        assert!(
+            rec.shell.contains("97.6") || rec.shell.contains("70.0"),
+            "expected high-inclination shell, got {}",
+            rec.shell
+        );
+    }
+
+    #[test]
+    fn rank_is_sorted_and_complete() {
+        let planner = DeploymentPlanner::gen1();
+        let ranks = planner.rank(&RegionalDemand::default());
+        assert_eq!(ranks.len(), planner.shells().len());
+        assert!(ranks.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn shell_accounting() {
+        let s = Shell { name: "t", altitude_km: 550.0, inclination_deg: 53.0, planned: 100, deployed: 25 };
+        assert_eq!(s.completion(), 0.25);
+        assert_eq!(s.remaining(), 75);
+        let done = Shell { name: "d", altitude_km: 550.0, inclination_deg: 53.0, planned: 0, deployed: 0 };
+        assert_eq!(done.completion(), 1.0);
+    }
+}

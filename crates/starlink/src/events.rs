@@ -1,0 +1,249 @@
+//! The ground-truth event timeline driving social activity (Fig. 5a).
+//!
+//! §4.1 ties the three biggest sentiment peaks to dated events: pre-orders
+//! opening (2021-02-09, strongly positive), the delivery-delay e-mail
+//! (2021-11-24, strongly negative), and the unreported 2022-04-22 outage
+//! (negative). The timeline also carries the roaming-discovery thread the
+//! paper's emerging-topic pipeline caught *~2 weeks before* the CEO's tweet,
+//! plus secondary events (price change, storm losses, expansions) that add
+//! realistic texture without dominating the peaks.
+
+use crate::outages::{outage_timeline, Outage, TransientOutageConfig};
+use analytics::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// Kinds of timeline events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Ordering/availability milestone.
+    Availability,
+    /// Hardware delivery logistics.
+    Delivery,
+    /// Service outage (any scale).
+    Outage,
+    /// New feature quietly enabled (users discover it organically).
+    FeatureDiscovery,
+    /// Official feature announcement.
+    FeatureAnnouncement,
+    /// Pricing change.
+    Pricing,
+    /// Constellation news (launches, storm losses).
+    Constellation,
+    /// Coverage/market expansion.
+    Expansion,
+}
+
+/// One ground-truth event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimelineEvent {
+    /// Day of the event.
+    pub date: Date,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Sentiment polarity of typical user reaction, in `[-1, 1]`.
+    pub polarity: f64,
+    /// How much extra posting the event drives (1.0 = doubles the baseline
+    /// at the peak day).
+    pub buzz: f64,
+    /// Days the buzz takes to decay to ~37 %.
+    pub decay_days: f64,
+    /// Topic tokens the generated posts revolve around.
+    pub topics: &'static [&'static str],
+    /// Human-readable description.
+    pub description: &'static str,
+}
+
+fn d(y: i32, m: u8, day: u8) -> Date {
+    Date::from_ymd(y, m, day).expect("valid embedded date")
+}
+
+/// The named (non-outage) ground-truth events of the study window.
+pub fn named_events() -> Vec<TimelineEvent> {
+    vec![
+        TimelineEvent {
+            date: d(2021, 2, 9),
+            kind: EventKind::Availability,
+            polarity: 0.85,
+            buzz: 8.5,
+            decay_days: 2.5,
+            topics: &["preorder", "order", "deposit", "available"],
+            description: "Pre-orders open in the US, Canada, and UK ($99 deposit)",
+        },
+        TimelineEvent {
+            date: d(2021, 11, 24),
+            kind: EventKind::Delivery,
+            polarity: -0.85,
+            buzz: 5.5,
+            decay_days: 2.5,
+            topics: &["delay", "delivery", "email", "terminal", "preorder"],
+            description: "E-mail to pre-order customers: terminal delivery pushed back",
+        },
+        TimelineEvent {
+            date: d(2022, 2, 14),
+            kind: EventKind::FeatureDiscovery,
+            polarity: 0.7,
+            buzz: 0.9,
+            decay_days: 6.0,
+            topics: &["roaming", "enabled", "moved", "travel"],
+            description: "Users discover roaming works outside their home cell",
+        },
+        TimelineEvent {
+            date: d(2022, 3, 3),
+            kind: EventKind::FeatureAnnouncement,
+            polarity: 0.75,
+            buzz: 2.2,
+            decay_days: 2.0,
+            topics: &["roaming", "mobile", "enabled", "announcement"],
+            description: "CEO tweet: 'Mobile roaming enabled'",
+        },
+        TimelineEvent {
+            date: d(2022, 5, 2),
+            kind: EventKind::FeatureAnnouncement,
+            polarity: 0.5,
+            buzz: 1.2,
+            decay_days: 2.0,
+            topics: &["portability", "roaming", "official", "option"],
+            description: "Official Portability option notification",
+        },
+        TimelineEvent {
+            date: d(2022, 2, 8),
+            kind: EventKind::Constellation,
+            polarity: -0.35,
+            buzz: 1.4,
+            decay_days: 2.0,
+            topics: &["storm", "satellites", "lost", "launch"],
+            description: "Geomagnetic storm destroys up to 40 new satellites",
+        },
+        TimelineEvent {
+            date: d(2022, 3, 22),
+            kind: EventKind::Pricing,
+            polarity: -0.5,
+            buzz: 1.6,
+            decay_days: 2.5,
+            topics: &["price", "increase", "monthly", "cost"],
+            description: "Monthly price and hardware cost increase announced",
+        },
+        TimelineEvent {
+            date: d(2021, 8, 3),
+            kind: EventKind::Expansion,
+            polarity: 0.4,
+            buzz: 0.8,
+            decay_days: 2.0,
+            topics: &["users", "growth", "beta"],
+            description: "~90K users milestone reported",
+        },
+        TimelineEvent {
+            date: d(2022, 9, 19),
+            kind: EventKind::Expansion,
+            polarity: 0.3,
+            buzz: 0.7,
+            decay_days: 2.0,
+            topics: &["subscribers", "growth", "milestone"],
+            description: "700K subscribers milestone reported",
+        },
+    ]
+}
+
+/// Convert an outage into its timeline event. Buzz scales with severity and
+/// affected-country count; major outages dominate the Fig. 6 spikes.
+pub fn outage_event(outage: &Outage) -> TimelineEvent {
+    let scale = outage.severity * (1.0 + f64::from(outage.countries) / 15.0);
+    TimelineEvent {
+        date: outage.date,
+        kind: EventKind::Outage,
+        polarity: -0.9,
+        buzz: 4.5 * scale,
+        decay_days: 1.5,
+        topics: &["outage", "down", "offline", "disconnect"],
+        description: "Service outage",
+    }
+}
+
+/// The full ground-truth timeline (named events + outages) over a window.
+pub fn full_timeline(
+    start: Date,
+    end: Date,
+    transient_config: &TransientOutageConfig,
+) -> Vec<TimelineEvent> {
+    let mut events: Vec<TimelineEvent> = named_events()
+        .into_iter()
+        .filter(|e| e.date >= start && e.date <= end)
+        .collect();
+    for outage in outage_timeline(start, end, transient_config) {
+        events.push(outage_event(&outage));
+    }
+    events.sort_by_key(|e| e.date);
+    events
+}
+
+/// Buzz multiplier an event contributes on `date` (exponential decay after
+/// the event day, nothing before it).
+pub fn buzz_on(event: &TimelineEvent, date: Date) -> f64 {
+    let days = date.days_since(event.date);
+    if days < 0 {
+        return 0.0;
+    }
+    event.buzz * (-(days as f64) / event.decay_days.max(0.1)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_named_events_match_paper_dates() {
+        let events = named_events();
+        let pre = events.iter().find(|e| e.kind == EventKind::Availability).unwrap();
+        assert_eq!(pre.date, d(2021, 2, 9));
+        assert!(pre.polarity > 0.7);
+        let delay = events.iter().find(|e| e.kind == EventKind::Delivery).unwrap();
+        assert_eq!(delay.date, d(2021, 11, 24));
+        assert!(delay.polarity < -0.7);
+    }
+
+    #[test]
+    fn roaming_discovery_precedes_tweet_by_two_plus_weeks() {
+        let events = named_events();
+        let discovery =
+            events.iter().find(|e| e.kind == EventKind::FeatureDiscovery).unwrap();
+        let tweet = events
+            .iter()
+            .find(|e| {
+                e.kind == EventKind::FeatureAnnouncement && e.description.contains("CEO")
+            })
+            .unwrap();
+        let lead = tweet.date.days_since(discovery.date);
+        assert!(lead >= 14, "discovery lead {lead} days");
+        assert!(discovery.topics.contains(&"roaming"));
+    }
+
+    #[test]
+    fn full_timeline_sorted_and_windowed() {
+        let tl = full_timeline(d(2022, 1, 1), d(2022, 12, 31), &TransientOutageConfig::default());
+        assert!(tl.windows(2).all(|w| w[0].date <= w[1].date));
+        assert!(tl.iter().all(|e| e.date.year() == 2022));
+        assert!(tl.iter().any(|e| e.kind == EventKind::Outage));
+        assert!(tl.iter().any(|e| e.kind == EventKind::FeatureDiscovery));
+    }
+
+    #[test]
+    fn major_outage_buzz_dominates_transients() {
+        let tl = full_timeline(d(2022, 1, 1), d(2022, 12, 31), &TransientOutageConfig::default());
+        let outages: Vec<&TimelineEvent> =
+            tl.iter().filter(|e| e.kind == EventKind::Outage).collect();
+        let max_buzz = outages.iter().map(|e| e.buzz).fold(0.0, f64::max);
+        let jan7 = outages.iter().find(|e| e.date == d(2022, 1, 7)).unwrap();
+        assert!(jan7.buzz >= max_buzz * 0.9, "Jan 7 should be among the largest spikes");
+    }
+
+    #[test]
+    fn buzz_decays_after_event() {
+        let e = &named_events()[0];
+        assert_eq!(buzz_on(e, e.date.offset(-1)), 0.0);
+        let day0 = buzz_on(e, e.date);
+        let day3 = buzz_on(e, e.date.offset(3));
+        let day10 = buzz_on(e, e.date.offset(10));
+        assert!(day0 > day3 && day3 > day10);
+        assert!(day10 < day0 * 0.1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The Starlink launch schedule (public data).
+//!
+//! Fig. 7 of the paper annotates observed downlink speeds with *"the number
+//! of Starlink launches"*, citing public trackers (satellitemap.space,
+//! Jonathan's Space Pages, Wikipedia). This module embeds the v1.0/v1.5
+//! launch history relevant to the Jan '21 – Dec '22 study window, including
+//! the facts the paper leans on:
+//!
+//! * 14 launches with ~60 satellites each between Jan and Sep 2021;
+//! * **no launches between Jun and Aug 2021** (while ~21 K users joined);
+//! * 37 launch batches between Sep 2021 and Dec 2022.
+//!
+//! Dates/counts are approximate public figures — the analyses only consume
+//! monthly aggregates.
+
+use analytics::time::{Date, Month};
+use serde::{Deserialize, Serialize};
+
+/// One launch batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Launch {
+    /// Launch date.
+    pub date: Date,
+    /// Satellites aboard.
+    pub satellites: u32,
+}
+
+fn l(y: i32, m: u8, d: u8, satellites: u32) -> Launch {
+    Launch { date: Date::from_ymd(y, m, d).expect("valid embedded launch date"), satellites }
+}
+
+/// The embedded launch history (2019-05 through 2022-12).
+pub fn launch_history() -> Vec<Launch> {
+    vec![
+        // 2019–2020 build-out (pre-study; seeds the constellation size).
+        l(2019, 5, 24, 60), l(2019, 11, 11, 60),
+        l(2020, 1, 7, 60), l(2020, 1, 29, 60), l(2020, 2, 17, 60), l(2020, 3, 18, 60),
+        l(2020, 4, 22, 60), l(2020, 6, 4, 60), l(2020, 6, 13, 58), l(2020, 8, 7, 57),
+        l(2020, 8, 18, 58), l(2020, 9, 3, 60), l(2020, 10, 6, 60), l(2020, 10, 18, 60),
+        l(2020, 10, 24, 60), l(2020, 11, 25, 60),
+        // Jan–Sep 2021: 14 launches (note the Jun–Aug gap).
+        l(2021, 1, 20, 60), l(2021, 2, 4, 60), l(2021, 2, 16, 60), l(2021, 3, 4, 60),
+        l(2021, 3, 11, 60), l(2021, 3, 14, 60), l(2021, 3, 24, 60), l(2021, 4, 7, 60),
+        l(2021, 4, 29, 60), l(2021, 5, 4, 60), l(2021, 5, 9, 60), l(2021, 5, 15, 52),
+        l(2021, 5, 26, 60), l(2021, 9, 14, 51),
+        // Sep 2021 – Dec 2022: 37 batches (incl. the Sep 14 one above? No —
+        // counted from after Sep'21 speed peak: the 36 below plus Sep 14).
+        l(2021, 11, 13, 53), l(2021, 12, 2, 48), l(2021, 12, 18, 52),
+        l(2022, 1, 6, 49), l(2022, 1, 19, 49), l(2022, 2, 3, 49), l(2022, 2, 21, 46),
+        l(2022, 2, 25, 50), l(2022, 3, 3, 47), l(2022, 3, 9, 48), l(2022, 3, 19, 53),
+        l(2022, 4, 21, 53), l(2022, 4, 29, 53), l(2022, 5, 6, 53), l(2022, 5, 13, 53),
+        l(2022, 5, 14, 53), l(2022, 5, 18, 53), l(2022, 6, 17, 53), l(2022, 7, 7, 53),
+        l(2022, 7, 11, 46), l(2022, 7, 17, 53), l(2022, 7, 22, 46), l(2022, 7, 24, 53),
+        l(2022, 8, 9, 52), l(2022, 8, 12, 46), l(2022, 8, 19, 53), l(2022, 8, 27, 54),
+        l(2022, 8, 31, 46), l(2022, 9, 4, 51), l(2022, 9, 10, 34), l(2022, 9, 18, 54),
+        l(2022, 9, 24, 52), l(2022, 10, 5, 52), l(2022, 10, 20, 54), l(2022, 10, 28, 53),
+        l(2022, 12, 17, 54),
+    ]
+}
+
+/// Days a freshly-launched batch takes to raise orbit and enter service.
+pub const ORBIT_RAISE_DAYS: i32 = 60;
+
+/// Fraction of launched satellites that never enter (or drop out of)
+/// service — failures, deorbits, the Feb '22 geomagnetic-storm losses.
+pub const ATTRITION: f64 = 0.04;
+
+/// Launch-schedule queries used by the capacity model and Fig. 7 annotation.
+#[derive(Debug, Clone)]
+pub struct LaunchSchedule {
+    launches: Vec<Launch>,
+}
+
+impl Default for LaunchSchedule {
+    fn default() -> LaunchSchedule {
+        LaunchSchedule::builtin()
+    }
+}
+
+impl LaunchSchedule {
+    /// Schedule over the embedded history.
+    pub fn builtin() -> LaunchSchedule {
+        let mut launches = launch_history();
+        launches.sort_by_key(|l| l.date);
+        LaunchSchedule { launches }
+    }
+
+    /// Schedule over a custom launch list (for what-if planning, §6).
+    pub fn custom(mut launches: Vec<Launch>) -> LaunchSchedule {
+        launches.sort_by_key(|l| l.date);
+        LaunchSchedule { launches }
+    }
+
+    /// All launches, sorted by date.
+    pub fn launches(&self) -> &[Launch] {
+        &self.launches
+    }
+
+    /// Launches whose date falls inside `month`.
+    pub fn launches_in_month(&self, month: Month) -> usize {
+        self.launches.iter().filter(|l| l.date.month() == month).count()
+    }
+
+    /// Total satellites launched up to and including `date`.
+    pub fn launched_by(&self, date: Date) -> u32 {
+        self.launches.iter().filter(|l| l.date <= date).map(|l| l.satellites).sum()
+    }
+
+    /// Satellites *in service* on `date`: launched at least
+    /// [`ORBIT_RAISE_DAYS`] earlier, minus attrition.
+    pub fn usable_by(&self, date: Date) -> f64 {
+        let raised: u32 = self
+            .launches
+            .iter()
+            .filter(|l| l.date.offset(ORBIT_RAISE_DAYS) <= date)
+            .map(|l| l.satellites)
+            .sum();
+        f64::from(raised) * (1.0 - ATTRITION)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn fourteen_launches_jan_to_sep_2021() {
+        let s = LaunchSchedule::builtin();
+        let n = s
+            .launches()
+            .iter()
+            .filter(|l| l.date >= d(2021, 1, 1) && l.date <= d(2021, 9, 30))
+            .count();
+        assert_eq!(n, 14, "paper: 14 launches Jan–Sep 2021");
+    }
+
+    #[test]
+    fn no_launches_jun_through_aug_2021() {
+        let s = LaunchSchedule::builtin();
+        let n = s
+            .launches()
+            .iter()
+            .filter(|l| l.date >= d(2021, 6, 1) && l.date <= d(2021, 8, 31))
+            .count();
+        assert_eq!(n, 0, "paper: 21K users joined Jun–Aug 2021 with no launches");
+    }
+
+    #[test]
+    fn thirty_seven_batches_sep21_to_dec22() {
+        let s = LaunchSchedule::builtin();
+        let n = s
+            .launches()
+            .iter()
+            .filter(|l| l.date >= d(2021, 9, 1) && l.date <= d(2022, 12, 31))
+            .count();
+        assert_eq!(n, 37, "paper: 37 batches between Sep'21 and Dec'22");
+    }
+
+    #[test]
+    fn usable_lags_launched() {
+        let s = LaunchSchedule::builtin();
+        let date = d(2021, 1, 1);
+        assert!(s.usable_by(date) < f64::from(s.launched_by(date)));
+        // A launch on 2021-01-20 is not usable on 2021-02-01 but is by May.
+        let before = s.usable_by(d(2021, 2, 1));
+        let after = s.usable_by(d(2021, 5, 1));
+        assert!(after > before + 100.0);
+    }
+
+    #[test]
+    fn constellation_grows_monotonically() {
+        let s = LaunchSchedule::builtin();
+        let mut prev = 0.0;
+        let mut m = Month::new(2021, 1).unwrap();
+        let end = Month::new(2022, 12).unwrap();
+        while m <= end {
+            let u = s.usable_by(m.last_day());
+            assert!(u >= prev, "constellation shrank in {m}");
+            prev = u;
+            m = m.next();
+        }
+        assert!(prev > 2500.0, "end-2022 usable fleet {prev}");
+    }
+
+    #[test]
+    fn monthly_launch_counts() {
+        let s = LaunchSchedule::builtin();
+        assert_eq!(s.launches_in_month(Month::new(2021, 3).unwrap()), 4);
+        assert_eq!(s.launches_in_month(Month::new(2021, 7).unwrap()), 0);
+        assert!(s.launches_in_month(Month::new(2022, 7).unwrap()) >= 4);
+    }
+
+    #[test]
+    fn custom_schedule_sorted() {
+        let s = LaunchSchedule::custom(vec![l(2023, 5, 1, 20), l(2023, 1, 1, 10)]);
+        assert!(s.launches()[0].date < s.launches()[1].date);
+        assert_eq!(s.launched_by(d(2023, 6, 1)), 30);
+    }
+}

@@ -1,0 +1,27 @@
+//! # starlink
+//!
+//! LEO-network substrate for the §4 reproduction: the public data the paper
+//! annotates Fig. 7 with (launch schedule, subscriber milestones), a
+//! capacity/demand model deriving median downlink speeds from them, the
+//! ground-truth outage and event timelines that drive the social simulation,
+//! a speed-test measurement sampler, and the §6 deployment planner
+//! ("which shell to deploy next, given user sentiment").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod constellation;
+pub mod events;
+pub mod launches;
+pub mod outages;
+pub mod speedtest;
+pub mod subscribers;
+
+pub use capacity::{SpeedModel, SpeedModelParams};
+pub use constellation::{DeploymentPlanner, RegionalDemand, Shell};
+pub use events::{buzz_on, full_timeline, named_events, EventKind, TimelineEvent};
+pub use launches::{Launch, LaunchSchedule};
+pub use outages::{major_outages, outage_timeline, Outage, OutageCause, TransientOutageConfig};
+pub use speedtest::{sample_speed_test, SpeedTestResult};
+pub use subscribers::{Milestone, SubscriberModel};

@@ -1,0 +1,207 @@
+//! Ground-truth outage events (Fig. 6).
+//!
+//! Three large outages anchor the study window: the widely-reported
+//! 2022-01-07 and 2022-08-30 incidents, and the 2022-04-22 event that the
+//! paper found confirmed by Redditors in 14 countries but **absent from the
+//! press**. Around them, a seeded Poisson process generates the *"numerous
+//! shorter peaks … local transient outages"* the paper attributes to
+//! satellite/earth geometry, weather, GEO-arc avoidance, and deployment
+//! planning. Because this module is ground truth, the `usaas` outage
+//! detector can be scored for precision/recall — something the paper itself
+//! could not do.
+
+use analytics::dist::{poisson, Dist, Sampler};
+use analytics::time::Date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One outage event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Day the outage occurred.
+    pub date: Date,
+    /// Severity in `(0, 1]`: fraction of affected users who notice.
+    pub severity: f64,
+    /// Number of countries affected.
+    pub countries: u16,
+    /// Approximate duration in hours.
+    pub duration_hours: f64,
+    /// Whether the press covered it (drives the news-index check).
+    pub reported_in_press: bool,
+    /// Cause label for transient events.
+    pub cause: OutageCause,
+}
+
+/// Cause taxonomy for transient outages (§4.1's list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutageCause {
+    /// Global software/ground-segment failure.
+    GroundSegment,
+    /// Satellite/earth geometry gap.
+    Geometry,
+    /// Weather (rain fade, snow on dish).
+    Weather,
+    /// GEO-arc avoidance manoeuvring.
+    GeoArcAvoidance,
+    /// Cell-level deployment/provisioning issue.
+    Deployment,
+}
+
+impl Outage {
+    /// True for the global, multi-country incidents.
+    pub fn is_major(&self) -> bool {
+        self.severity >= 0.5
+    }
+}
+
+/// The three anchor outages.
+pub fn major_outages() -> Vec<Outage> {
+    let d = |y, m, day| Date::from_ymd(y, m, day).expect("valid embedded date");
+    vec![
+        Outage {
+            date: d(2022, 1, 7),
+            severity: 0.9,
+            countries: 30,
+            duration_hours: 4.0,
+            reported_in_press: true,
+            cause: OutageCause::GroundSegment,
+        },
+        Outage {
+            date: d(2022, 4, 22),
+            severity: 0.8,
+            countries: 14,
+            duration_hours: 2.5,
+            reported_in_press: false, // the paper's headline finding
+            cause: OutageCause::GroundSegment,
+        },
+        Outage {
+            date: d(2022, 8, 30),
+            severity: 0.85,
+            countries: 25,
+            duration_hours: 3.0,
+            reported_in_press: true,
+            cause: OutageCause::GroundSegment,
+        },
+    ]
+}
+
+/// Generator configuration for the transient-outage background process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientOutageConfig {
+    /// Mean transient outages per week.
+    pub per_week: f64,
+    /// Severity distribution (clamped to `(0, 0.45]` so transients never
+    /// masquerade as major outages).
+    pub severity: Dist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransientOutageConfig {
+    fn default() -> TransientOutageConfig {
+        TransientOutageConfig {
+            per_week: 1.3,
+            severity: Dist::LogNormal { mu: (0.12f64).ln(), sigma: 0.5 },
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The full outage timeline over `[start, end]`: anchors plus seeded
+/// transients, sorted by date.
+pub fn outage_timeline(start: Date, end: Date, config: &TransientOutageConfig) -> Vec<Outage> {
+    let mut out: Vec<Outage> =
+        major_outages().into_iter().filter(|o| o.date >= start && o.date <= end).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let causes = [
+        OutageCause::Geometry,
+        OutageCause::Weather,
+        OutageCause::GeoArcAvoidance,
+        OutageCause::Deployment,
+    ];
+    for date in start.iter_through(end) {
+        let n = poisson(&mut rng, config.per_week / 7.0);
+        for _ in 0..n {
+            let severity = config.severity.sample(&mut rng).clamp(0.02, 0.45);
+            out.push(Outage {
+                date,
+                severity,
+                countries: rng.gen_range(1..=3),
+                duration_hours: rng.gen_range(0.25..3.0),
+                reported_in_press: false,
+                cause: causes[rng.gen_range(0..causes.len())],
+            });
+        }
+    }
+    out.sort_by_key(|o| o.date);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    fn window() -> (Date, Date) {
+        (d(2021, 1, 1), d(2022, 12, 31))
+    }
+
+    #[test]
+    fn anchors_present_and_classified() {
+        let (s, e) = window();
+        let tl = outage_timeline(s, e, &TransientOutageConfig::default());
+        let majors: Vec<&Outage> = tl.iter().filter(|o| o.is_major()).collect();
+        assert_eq!(majors.len(), 3);
+        assert_eq!(majors[0].date, d(2022, 1, 7));
+        assert_eq!(majors[1].date, d(2022, 4, 22));
+        assert_eq!(majors[2].date, d(2022, 8, 30));
+        assert!(!majors[1].reported_in_press, "Apr 22 must be unreported");
+        assert!(majors[0].reported_in_press && majors[2].reported_in_press);
+        assert_eq!(majors[1].countries, 14, "paper: Redditors from 14 countries");
+    }
+
+    #[test]
+    fn transients_numerous_but_minor() {
+        let (s, e) = window();
+        let tl = outage_timeline(s, e, &TransientOutageConfig::default());
+        let transients: Vec<&Outage> = tl.iter().filter(|o| !o.is_major()).collect();
+        // ~1.3/week over 104 weeks ≈ 135.
+        assert!((80..220).contains(&transients.len()), "transients {}", transients.len());
+        assert!(transients.iter().all(|o| o.severity <= 0.45));
+        assert!(transients.iter().all(|o| !o.reported_in_press));
+        assert!(transients.iter().all(|o| o.countries <= 3));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (s, e) = window();
+        let a = outage_timeline(s, e, &TransientOutageConfig::default());
+        let b = outage_timeline(s, e, &TransientOutageConfig::default());
+        assert_eq!(a, b);
+        let other = TransientOutageConfig { seed: 999, ..TransientOutageConfig::default() };
+        let c = outage_timeline(s, e, &other);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn window_filtering() {
+        let tl = outage_timeline(
+            d(2021, 1, 1),
+            d(2021, 12, 31),
+            &TransientOutageConfig::default(),
+        );
+        assert!(tl.iter().all(|o| o.date.year() == 2021));
+        assert!(tl.iter().all(|o| !o.is_major()), "no major outages in 2021");
+    }
+
+    #[test]
+    fn sorted_by_date() {
+        let (s, e) = window();
+        let tl = outage_timeline(s, e, &TransientOutageConfig::default());
+        assert!(tl.windows(2).all(|w| w[0].date <= w[1].date));
+    }
+}

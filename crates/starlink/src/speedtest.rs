@@ -1,0 +1,94 @@
+//! Individual speed-test measurements.
+//!
+//! Fig. 7's raw material is ~1750 speed-test screenshots shared by
+//! Redditors. One shared result is a noisy draw around the network-wide
+//! median of its day: user terminals differ (obstructions, cell load,
+//! weather), so per-measurement spread is wide while monthly medians stay
+//! stable — which is why the paper's 95 %/90 % subsample check works.
+
+use crate::capacity::SpeedModel;
+use analytics::dist::{Dist, Sampler};
+use analytics::time::Date;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One speed-test result as a user would screenshot it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedTestResult {
+    /// Measurement date.
+    pub date: Date,
+    /// Download speed (Mbps).
+    pub downlink_mbps: f64,
+    /// Upload speed (Mbps).
+    pub uplink_mbps: f64,
+    /// Latency / ping (ms).
+    pub latency_ms: f64,
+}
+
+/// Per-measurement multiplicative spread around the daily median
+/// (log-normal sigma as a multiplier).
+pub const MEASUREMENT_SPREAD: f64 = 1.45;
+
+/// Draw one measurement on `date` from the network model.
+pub fn sample_speed_test<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &SpeedModel,
+    date: Date,
+) -> SpeedTestResult {
+    let down_med = model.median_downlink(date).max(1.0);
+    let up_med = model.median_uplink(date).max(0.5);
+    let lat_med = model.median_latency(date).max(15.0);
+    let down = Dist::log_normal_median(down_med, MEASUREMENT_SPREAD).sample(rng).clamp(0.5, 500.0);
+    let up = Dist::log_normal_median(up_med, 1.35).sample(rng).clamp(0.2, 60.0);
+    let lat = Dist::log_normal_median(lat_med, 1.3).sample(rng).clamp(15.0, 400.0);
+    SpeedTestResult { date, downlink_mbps: down, uplink_mbps: up, latency_ms: lat }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::from_ymd(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn measurements_center_on_model_median() {
+        let model = SpeedModel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let date = d(2021, 9, 15);
+        let mut downs: Vec<f64> =
+            (0..4000).map(|_| sample_speed_test(&mut rng, &model, date).downlink_mbps).collect();
+        downs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = downs[downs.len() / 2];
+        let model_med = model.median_downlink(date);
+        assert!((med - model_med).abs() / model_med < 0.08, "{med} vs {model_med}");
+    }
+
+    #[test]
+    fn physically_sane_values() {
+        let model = SpeedModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let s = sample_speed_test(&mut rng, &model, d(2022, 6, 1));
+            assert!((0.5..=500.0).contains(&s.downlink_mbps));
+            assert!((0.2..=60.0).contains(&s.uplink_mbps));
+            assert!((15.0..=400.0).contains(&s.latency_ms));
+        }
+    }
+
+    #[test]
+    fn spread_is_wide_but_not_crazy() {
+        let model = SpeedModel::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let date = d(2022, 3, 15);
+        let downs: Vec<f64> =
+            (0..4000).map(|_| sample_speed_test(&mut rng, &model, date).downlink_mbps).collect();
+        let p10 = analytics::percentile(&downs, 10.0).unwrap();
+        let p90 = analytics::percentile(&downs, 90.0).unwrap();
+        assert!(p90 / p10 > 1.8, "spread too narrow: {p10}..{p90}");
+        assert!(p90 / p10 < 8.0, "spread too wide: {p10}..{p90}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Starlink subscriber growth (public milestones).
+//!
+//! Fig. 7 annotates speeds with *"the reported number of Starlink users
+//! (whenever public information is available)"*. These are the milestones
+//! the paper cites (FCC filings, CEO tweets, press), log-linearly
+//! interpolated between reports.
+
+use analytics::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// A public subscriber-count report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Milestone {
+    /// Report date.
+    pub date: Date,
+    /// Reported users.
+    pub users: f64,
+    /// Short source label.
+    pub source: &'static str,
+}
+
+fn m(y: i32, mo: u8, d: u8, users: f64, source: &'static str) -> Milestone {
+    Milestone { date: Date::from_ymd(y, mo, d).expect("valid milestone date"), users, source }
+}
+
+/// The embedded milestone list (the paper's citations [24, 33, 50, 52, 63–70]).
+pub fn milestones() -> Vec<Milestone> {
+    vec![
+        m(2021, 2, 4, 10_000.0, "FCC filing: >10,000 users"),
+        m(2021, 6, 25, 69_420.0, "CEO tweet: active users threshold"),
+        m(2021, 8, 3, 90_000.0, "press: ~90,000 users"),
+        m(2022, 1, 15, 145_000.0, "press: >145,000 users"),
+        m(2022, 2, 14, 250_000.0, "CEO tweet: >250k terminals"),
+        m(2022, 5, 1, 400_000.0, "press: 400,000 subscribers"),
+        m(2022, 9, 19, 700_000.0, "press: 700,000 subs"),
+        m(2022, 12, 19, 1_000_000.0, "company: 1,000,000+ active subscribers"),
+    ]
+}
+
+/// Subscriber-count model with log-linear interpolation.
+#[derive(Debug, Clone)]
+pub struct SubscriberModel {
+    points: Vec<Milestone>,
+    /// Monthly growth factor assumed before the first / after the last
+    /// milestone.
+    edge_growth_per_month: f64,
+}
+
+impl Default for SubscriberModel {
+    fn default() -> SubscriberModel {
+        SubscriberModel::builtin()
+    }
+}
+
+impl SubscriberModel {
+    /// Model over the embedded milestones.
+    pub fn builtin() -> SubscriberModel {
+        let mut points = milestones();
+        points.sort_by_key(|p| p.date);
+        SubscriberModel { points, edge_growth_per_month: 1.18 }
+    }
+
+    /// The milestone list.
+    pub fn milestones(&self) -> &[Milestone] {
+        &self.points
+    }
+
+    /// Estimated users on `date` (log-linear between milestones,
+    /// exponential extrapolation at the edges).
+    pub fn users_at(&self, date: Date) -> f64 {
+        let pts = &self.points;
+        debug_assert!(!pts.is_empty());
+        if date <= pts[0].date {
+            let months = pts[0].date.days_since(date) as f64 / 30.44;
+            return (pts[0].users / self.edge_growth_per_month.powf(months)).max(100.0);
+        }
+        if date >= pts[pts.len() - 1].date {
+            let last = pts[pts.len() - 1];
+            let months = date.days_since(last.date) as f64 / 30.44;
+            return last.users * self.edge_growth_per_month.powf(months.min(24.0));
+        }
+        let idx = pts.partition_point(|p| p.date <= date);
+        let a = pts[idx - 1];
+        let b = pts[idx];
+        let span = b.date.days_since(a.date) as f64;
+        let t = date.days_since(a.date) as f64 / span;
+        (a.users.ln() * (1.0 - t) + b.users.ln() * t).exp()
+    }
+
+    /// Users gained in the closed date interval.
+    pub fn gained_between(&self, from: Date, to: Date) -> f64 {
+        (self.users_at(to) - self.users_at(from)).max(0.0)
+    }
+
+    /// The latest milestone at or before `date`, for plot annotation.
+    pub fn latest_report(&self, date: Date) -> Option<&Milestone> {
+        self.points.iter().rev().find(|p| p.date <= date)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, mo: u8, day: u8) -> Date {
+        Date::from_ymd(y, mo, day).unwrap()
+    }
+
+    #[test]
+    fn milestones_exact_at_report_dates() {
+        let m = SubscriberModel::builtin();
+        assert!((m.users_at(d(2021, 2, 4)) - 10_000.0).abs() < 1.0);
+        assert!((m.users_at(d(2022, 12, 19)) - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn growth_is_monotone() {
+        let m = SubscriberModel::builtin();
+        let mut prev = 0.0;
+        let mut date = d(2020, 10, 1);
+        while date <= d(2023, 1, 31) {
+            let u = m.users_at(date);
+            assert!(u >= prev, "users shrank on {date}");
+            prev = u;
+            date = date.offset(7);
+        }
+    }
+
+    #[test]
+    fn paper_quoted_growth_jun_aug_2021() {
+        // "Between Jun and Aug'21, 21K new users started using Starlink" —
+        // i.e. the reported jump from 69,420 (Jun 25) to ~90,000 (Aug 3).
+        let m = SubscriberModel::builtin();
+        let gained = m.gained_between(d(2021, 6, 25), d(2021, 8, 3));
+        assert!((15_000.0..30_000.0).contains(&gained), "gained {gained}");
+    }
+
+    #[test]
+    fn ninety_k_to_one_million() {
+        // "the number of reported Starlink users increased from 90K to 1M+"
+        // between Sep'21 and Dec'22.
+        let m = SubscriberModel::builtin();
+        let sep21 = m.users_at(d(2021, 9, 1));
+        let dec22 = m.users_at(d(2022, 12, 31));
+        assert!((80_000.0..120_000.0).contains(&sep21), "sep21 {sep21}");
+        assert!(dec22 >= 1_000_000.0, "dec22 {dec22}");
+    }
+
+    #[test]
+    fn edge_extrapolation_sane() {
+        let m = SubscriberModel::builtin();
+        let early = m.users_at(d(2020, 6, 1));
+        assert!((100.0..10_000.0).contains(&early), "early {early}");
+        let late = m.users_at(d(2023, 6, 1));
+        assert!(late > 1_000_000.0);
+    }
+
+    #[test]
+    fn latest_report_annotation() {
+        let m = SubscriberModel::builtin();
+        assert!(m.latest_report(d(2021, 1, 1)).is_none());
+        let r = m.latest_report(d(2022, 3, 1)).unwrap();
+        assert_eq!(r.users, 250_000.0);
+    }
+}

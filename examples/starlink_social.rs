@@ -1,0 +1,119 @@
+//! The §4 study end-to-end: simulate two years of `r/Starlink`, then run the
+//! sentiment-peak annotator (Fig. 5), the outage detector (Fig. 6), the
+//! speed/fulcrum pipeline (Fig. 7), and the roaming early-detector.
+//!
+//! ```sh
+//! cargo run --release --example starlink_social
+//! ```
+
+use analytics::time::Date;
+use social::generator::{generate, ForumConfig};
+use starlink::outages::{outage_timeline, TransientOutageConfig};
+use usaas::annotate::PeakAnnotator;
+use usaas::emerging::EmergingTopicMiner;
+use usaas::fulcrum::FulcrumAnalysis;
+use usaas::outage::OutageDetector;
+use usaas::report;
+
+fn main() {
+    println!("simulating r/Starlink, Jan'21–Dec'22…");
+    let forum = generate(&ForumConfig::default());
+    let weeks = 104.4;
+    println!(
+        "  {} posts (~{:.0}/week; paper: 372/week), {} with speed-test screenshots\n",
+        forum.len(),
+        forum.len() as f64 / weeks,
+        forum.speed_shares().count()
+    );
+
+    // Fig. 5a — sentiment peaks with annotations.
+    println!("=== Fig. 5a: top sentiment peaks ===");
+    let annotator = PeakAnnotator::default();
+    match annotator.annotate(&forum, 3) {
+        Ok(peaks) => {
+            for (i, p) in peaks.iter().enumerate() {
+                println!(
+                    "{}. {} — {} strong posts, {}",
+                    i + 1,
+                    p.date,
+                    p.strong_posts,
+                    if p.positive_dominated { "positive" } else { "negative" }
+                );
+                println!("   top words: {:?}", p.top_words);
+                if p.unreported() {
+                    println!(
+                        "   NO news coverage found — corroborated by posters in {} countries",
+                        p.countries
+                    );
+                } else {
+                    for h in &p.headlines {
+                        println!("   news: {h}");
+                    }
+                }
+            }
+        }
+        Err(e) => println!("annotation failed: {e}"),
+    }
+
+    // Fig. 5b — the word cloud of the unreported outage day.
+    let apr22 = Date::from_ymd(2022, 4, 22).expect("valid date");
+    println!("\n=== Fig. 5b: word cloud for {apr22} ===");
+    print!("{}", annotator.day_cloud(&forum, apr22, 12));
+
+    // Fig. 6 — outage detection scored against ground truth.
+    println!("\n=== Fig. 6: outage detection ===");
+    let detector = OutageDetector::default();
+    match detector.detect(&forum) {
+        Ok(detections) => {
+            println!("{} outage days flagged; strongest:", detections.len());
+            for d in detections.iter().take(5) {
+                println!("  {}: {:.0} keyword occurrences (z = {:.1})", d.date, d.occurrences, d.score);
+            }
+            let truth = outage_timeline(
+                Date::from_ymd(2021, 1, 1).expect("date"),
+                Date::from_ymd(2022, 12, 31).expect("date"),
+                &TransientOutageConfig::default(),
+            );
+            let score = detector.score_against(&detections, &truth);
+            println!(
+                "vs ground truth: precision {:.2}, major-outage recall {:.2} ({} majors missed)",
+                score.precision, score.major_recall, score.missed_major
+            );
+        }
+        Err(e) => println!("detection failed: {e}"),
+    }
+
+    // Fig. 7 — speeds + Pos.
+    println!("\n=== Fig. 7: monthly OCR'd downlink medians and Pos ===");
+    let analysis = FulcrumAnalysis::default();
+    match analysis.analyze(
+        &forum,
+        analytics::time::Month::new(2021, 1).expect("month"),
+        analytics::time::Month::new(2022, 12).expect("month"),
+    ) {
+        Ok(series) => print!("{}", report::fig7_table(&series)),
+        Err(e) => println!("fulcrum analysis failed: {e}"),
+    }
+
+    // §4.1 — roaming early detection.
+    println!("\n=== emerging topics (upvote/comment-weighted) ===");
+    match EmergingTopicMiner::default().mine(&forum) {
+        Ok(topics) => {
+            for t in topics.iter().take(8) {
+                println!(
+                    "  {}: '{}' (novelty {:.0}x, polarity {:+.2})",
+                    t.first_flagged, t.term, t.novelty, t.polarity
+                );
+            }
+            if let Some(roaming) = topics.iter().find(|t| t.term == "roaming") {
+                let tweet = Date::from_ymd(2022, 3, 3).expect("date");
+                println!(
+                    "\n'roaming' flagged {} — {} days before the CEO tweet (paper: ~2 weeks)",
+                    roaming.first_flagged,
+                    tweet.days_since(roaming.first_flagged)
+                );
+            }
+        }
+        Err(e) => println!("mining failed: {e}"),
+    }
+}

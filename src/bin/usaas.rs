@@ -1,0 +1,203 @@
+//! `usaas` — the command-line face of the reproduction.
+//!
+//! ```text
+//! usaas simulate-calls  [--calls N] [--seed S] [--out sessions.csv]
+//! usaas simulate-forum  [--seed S] [--out posts.csv]
+//! usaas digest          [--calls N]
+//! usaas early           [--calls N]
+//! usaas help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency budget has no
+//! CLI crate, and the grammar is four subcommands with numeric flags).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::NetworkMetric;
+use social::generator::{generate as gen_forum, ForumConfig};
+use usaas::digest::DigestBuilder;
+use usaas::early::EarlyQualityMonitor;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(format!("unexpected argument '{key}'"));
+        }
+        let value = args.get(i + 1).ok_or_else(|| format!("flag {key} needs a value"))?;
+        out.insert(key.trim_start_matches("--").to_string(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+    }
+}
+
+fn flag_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+    }
+}
+
+fn write_out(flags: &HashMap<String, String>, default_name: &str, content: &str) -> Result<(), String> {
+    let path = flags.get("out").cloned().unwrap_or_else(|| default_name.to_string());
+    std::fs::write(&path, content).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn cmd_simulate_calls(flags: HashMap<String, String>) -> Result<(), String> {
+    let calls = flag_usize(&flags, "calls", 2000)?;
+    let seed = flag_u64(&flags, "seed", 0xC11)?;
+    eprintln!("simulating {calls} calls (seed {seed})…");
+    let ds = generate(&DatasetConfig { calls, seed, ..DatasetConfig::default() });
+    let mut csv = String::from(
+        "call_id,user_id,date,platform,access,meeting_size,latency_ms,loss_pct,jitter_ms,\
+         bandwidth_mbps,presence_pct,mic_on_pct,cam_on_pct,left_early,rating\n",
+    );
+    for s in &ds.sessions {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{:?},{},{:.2},{:.4},{:.2},{:.3},{:.1},{:.1},{:.1},{},{}",
+            s.call_id,
+            s.user_id,
+            s.date,
+            s.platform.label(),
+            s.access,
+            s.meeting_size,
+            s.network_mean(NetworkMetric::LatencyMs),
+            s.network_mean(NetworkMetric::LossPct),
+            s.network_mean(NetworkMetric::JitterMs),
+            s.network_mean(NetworkMetric::BandwidthMbps),
+            s.presence_pct,
+            s.mic_on_pct,
+            s.cam_on_pct,
+            s.left_early,
+            s.rating.map(|r| r.to_string()).unwrap_or_default(),
+        );
+    }
+    eprintln!("{} sessions", ds.len());
+    write_out(&flags, "sessions.csv", &csv)
+}
+
+fn cmd_simulate_forum(flags: HashMap<String, String>) -> Result<(), String> {
+    let seed = flag_u64(&flags, "seed", 0x50C1A1)?;
+    eprintln!("simulating the two-year forum corpus (seed {seed})…");
+    let forum = gen_forum(&ForumConfig { seed, ..ForumConfig::default() });
+    let mut csv =
+        String::from("id,date,author_id,country,upvotes,comments,has_screenshot,title\n");
+    for p in &forum.posts {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},\"{}\"",
+            p.id,
+            p.date,
+            p.author_id,
+            p.country,
+            p.upvotes,
+            p.comments,
+            p.screenshot.is_some(),
+            p.title.replace('"', "'"),
+        );
+    }
+    eprintln!("{} posts", forum.len());
+    write_out(&flags, "posts.csv", &csv)
+}
+
+fn cmd_digest(flags: HashMap<String, String>) -> Result<(), String> {
+    let calls = flag_usize(&flags, "calls", 3000)?;
+    eprintln!("simulating {calls} calls + the forum corpus…");
+    let ds = generate(&DatasetConfig { calls, ..DatasetConfig::default() });
+    let forum = gen_forum(&ForumConfig::default());
+    let digest = DigestBuilder::default()
+        .build(&ds, &forum)
+        .map_err(|e| format!("digest failed: {e}"))?;
+    println!("{digest}");
+    Ok(())
+}
+
+fn cmd_early(flags: HashMap<String, String>) -> Result<(), String> {
+    use conference::call::{CallConfig, CallSimulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let calls = flag_usize(&flags, "calls", 600)? as u64;
+    eprintln!("simulating {calls} detailed calls…");
+    let sim = CallSimulator::default();
+    let mut rng = StdRng::seed_from_u64(flag_u64(&flags, "seed", 0xEA71)?);
+    let mut uid = 0;
+    let mut sessions = Vec::new();
+    for call_id in 0..calls {
+        let config = CallConfig {
+            call_id,
+            date: analytics::time::Date::from_ymd(2022, 2, 15).expect("date"),
+            start_hour: 10,
+            participants: 5,
+            scheduled_ticks: 360,
+        };
+        sessions.extend(sim.simulate_detailed(&mut rng, &config, &mut uid));
+    }
+    let monitor = EarlyQualityMonitor::default();
+    let skills = monitor
+        .skill_by_horizon(&sessions, &[12, 36, 72, 180, 360])
+        .map_err(|e| format!("early analysis failed: {e}"))?;
+    println!("early-indication skill ({} sessions):", sessions.len());
+    println!("{:>12} {:>12} {:>12}", "horizon", "minutes", "corr(final)");
+    for s in skills {
+        println!(
+            "{:>12} {:>12.1} {:>12.3}",
+            s.horizon_ticks,
+            s.horizon_ticks as f64 * 5.0 / 60.0,
+            s.correlation
+        );
+    }
+    Ok(())
+}
+
+const HELP: &str = "\
+usaas — User Signals as-a-Service (reproduction CLI)
+
+USAGE:
+  usaas simulate-calls  [--calls N] [--seed S] [--out sessions.csv]
+  usaas simulate-forum  [--seed S] [--out posts.csv]
+  usaas digest          [--calls N]       print the USaaS insights digest
+  usaas early           [--calls N]       early-quality indication skill
+  usaas help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let rest = args[1..].to_vec();
+    let result = match cmd.as_str() {
+        "simulate-calls" => parse_flags(&rest).and_then(cmd_simulate_calls),
+        "simulate-forum" => parse_flags(&rest).and_then(cmd_simulate_forum),
+        "digest" => parse_flags(&rest).and_then(cmd_digest),
+        "early" => parse_flags(&rest).and_then(cmd_early),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{HELP}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

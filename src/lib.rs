@@ -1,0 +1,19 @@
+//! `user-signals` — umbrella crate re-exporting the full workspace.
+//!
+//! This is a reproduction of *"Don't Forget the User: It's Time to Rethink
+//! Network Measurements"* (HotNets '23). See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the per-figure reproduction record.
+//!
+//! The interesting entry points:
+//! * [`usaas`] — the paper's contribution: User Signals as-a-Service.
+//! * [`conference`] — the MS-Teams-like conferencing simulator (§3 substrate).
+//! * [`social`] / [`starlink`] — the Reddit + Starlink substrates (§4).
+
+pub use analytics;
+pub use conference;
+pub use netsim;
+pub use ocr;
+pub use sentiment;
+pub use social;
+pub use starlink;
+pub use usaas;

@@ -1,0 +1,140 @@
+//! End-to-end service tests: ingestion, every query, the cross-network
+//! corroboration join, and whole-pipeline determinism.
+
+use analytics::time::Date;
+use conference::dataset::{generate, DatasetConfig};
+use netsim::access::AccessType;
+use social::generator::{generate as gen_forum, ForumConfig};
+use std::sync::OnceLock;
+use usaas::service::{Answer, Query, UsaasService};
+
+fn service() -> &'static UsaasService {
+    static S: OnceLock<UsaasService> = OnceLock::new();
+    S.get_or_init(|| {
+        let mut cfg = DatasetConfig::small(4000, 0xE2E);
+        cfg.leo_outage_calendar = starlink::outages::major_outages()
+            .into_iter()
+            .map(|o| (o.date, o.severity))
+            .collect();
+        let dataset = generate(&cfg);
+        let forum = gen_forum(&ForumConfig::default());
+        UsaasService::build(dataset, forum, 4)
+    })
+}
+
+#[test]
+fn signal_families_all_ingested() {
+    let (implicit, explicit, social) = service().signal_counts();
+    assert!(implicit > 10_000, "implicit {implicit}");
+    assert!(explicit > 20, "explicit {explicit}");
+    assert!(social > 20_000, "social {social}");
+    // The sampling-scarcity motivation.
+    assert!(implicit > 50 * explicit);
+}
+
+#[test]
+fn every_query_kind_answers() {
+    use conference::records::{EngagementMetric, NetworkMetric};
+    let s = service();
+    let queries: Vec<Query> = vec![
+        Query::EngagementCurve {
+            sweep: NetworkMetric::JitterMs,
+            engagement: EngagementMetric::CamOn,
+            bins: 6,
+        },
+        Query::CompoundingGrid { engagement: EngagementMetric::Presence, bins: 4 },
+        Query::PlatformSensitivity {
+            sweep: NetworkMetric::LossPct,
+            engagement: EngagementMetric::Presence,
+        },
+        Query::MosCorrelation,
+        Query::PredictMos { features: usaas::predict::FeatureSet::Full },
+        Query::OutageTimeline,
+        Query::SentimentPeaks { k: 3 },
+        Query::SpeedTrend,
+        Query::EmergingTopics,
+        Query::CrossNetwork { access: AccessType::SatelliteLeo },
+        Query::DeploymentAdvice,
+    ];
+    for q in &queries {
+        assert!(s.query(q).is_ok(), "query failed: {q:?}");
+    }
+}
+
+#[test]
+fn cross_network_outage_corroboration() {
+    let s = service();
+    let Answer::CrossNetwork(report) =
+        s.query(&Query::CrossNetwork { access: AccessType::SatelliteLeo }).unwrap()
+    else {
+        panic!("wrong answer kind");
+    };
+    assert!(report.sessions > 100);
+    // Satellite users fare a bit worse than the population overall…
+    assert!(report.mean_presence < report.others_presence + 1.0);
+    // …and collapse on socially-detected major-outage days.
+    let outage_presence = report.outage_day_presence.expect("outage days joined");
+    assert!(
+        outage_presence < report.mean_presence - 5.0,
+        "outage-day presence {outage_presence} vs {}",
+        report.mean_presence
+    );
+    assert!(report.outage_days_joined >= 1);
+}
+
+#[test]
+fn deployment_advice_reflects_complaint_geography() {
+    let s = service();
+    let Answer::Deployment(recs) = s.query(&Query::DeploymentAdvice).unwrap() else {
+        panic!("wrong answer kind");
+    };
+    assert_eq!(recs.len(), 5);
+    assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+    assert!(recs[0].remaining > 0, "top recommendation must be actionable");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    // Same configs → byte-identical corpora and datasets.
+    let cfg = DatasetConfig::small(150, 77);
+    let a = generate(&cfg);
+    let b = generate(&cfg);
+    assert_eq!(a.sessions, b.sessions);
+
+    let fcfg = ForumConfig {
+        end: Date::from_ymd(2021, 3, 31).unwrap(),
+        authors: 1000,
+        ..ForumConfig::default()
+    };
+    let fa = gen_forum(&fcfg);
+    let fb = gen_forum(&fcfg);
+    assert_eq!(fa.posts, fb.posts);
+}
+
+#[test]
+fn ocr_pipeline_round_trips_through_posts() {
+    // Every screenshot in the corpus must be parseable often enough for the
+    // Fig. 7 medians, and recovered values must stay plausible.
+    let forum = gen_forum(&ForumConfig::default());
+    let mut attempted = 0;
+    let mut recovered = 0;
+    let mut accurate = 0;
+    for post in forum.speed_shares() {
+        let shot = post.screenshot.as_ref().unwrap();
+        attempted += 1;
+        if let Some(d) = ocr::extract::extract(&shot.ocr_text).downlink_mbps {
+            recovered += 1;
+            let rel = (d - shot.truth.downlink_mbps).abs() / shot.truth.downlink_mbps;
+            if rel < 0.15 || (d - shot.truth.downlink_mbps).abs() < 2.0 {
+                accurate += 1;
+            }
+        }
+    }
+    assert!(attempted > 1000);
+    let rate = recovered as f64 / attempted as f64;
+    assert!(rate > 0.85, "OCR downlink recovery rate {rate}");
+    // A small fraction of recoveries are silently corrupted by glyph/char
+    // dropout — realistic OCR behaviour that the monthly medians absorb.
+    let accuracy = accurate as f64 / recovered as f64;
+    assert!(accuracy > 0.95, "OCR accuracy among recoveries {accuracy}");
+}

@@ -1,0 +1,166 @@
+//! Falsifiability / failure-injection checks.
+//!
+//! A reproduction that can only confirm is worthless: when the ground truth
+//! is removed or the substrate is broken on purpose, the pipelines must
+//! *stop* finding the paper's results. Each test here breaks one link and
+//! asserts the corresponding detection disappears or degrades.
+
+use analytics::time::Date;
+use conference::dataset::{generate_with, DatasetConfig};
+use conference::records::{EngagementMetric, NetworkMetric};
+use conference::CallSimulator;
+use netsim::mitigation::Mitigation;
+use social::generator::{generate, ForumConfig};
+use social::post::Forum;
+use std::sync::OnceLock;
+use usaas::annotate::PeakAnnotator;
+use usaas::correlate;
+use usaas::emerging::EmergingTopicMiner;
+use usaas::outage::OutageDetector;
+
+/// A corpus with the ground-truth event machinery switched off.
+fn eventless_forum() -> &'static Forum {
+    static F: OnceLock<Forum> = OnceLock::new();
+    F.get_or_init(|| {
+        generate(&ForumConfig { events_enabled: false, authors: 4000, ..ForumConfig::default() })
+    })
+}
+
+#[test]
+fn no_events_no_outage_detections() {
+    let detections = OutageDetector::default().detect(eventless_forum()).unwrap();
+    // Baseline chatter has occasional keyword mentions but no coordinated
+    // spikes; the detector must stay (almost) silent, and whatever noise
+    // peaks survive must be far weaker than real outage spikes (majors score
+    // z in the tens on the real corpus).
+    assert!(
+        detections.len() <= 5,
+        "detector hallucinated {} outages on an event-free corpus",
+        detections.len()
+    );
+    let max_score = detections.iter().map(|d| d.score).fold(0.0, f64::max);
+    assert!(max_score < 15.0, "noise peak scored {max_score} — major-outage scale");
+    for known in [
+        Date::from_ymd(2022, 1, 7).unwrap(),
+        Date::from_ymd(2022, 4, 22).unwrap(),
+        Date::from_ymd(2022, 8, 30).unwrap(),
+    ] {
+        assert!(
+            detections.iter().all(|d| (d.date.days_since(known)).abs() > 1),
+            "detector found the {known} outage in a corpus that does not contain it"
+        );
+    }
+}
+
+#[test]
+fn no_events_no_paper_peaks() {
+    let peaks = PeakAnnotator::default().annotate(eventless_forum(), 3).unwrap();
+    for p in &peaks {
+        for known in ["2021-02-09", "2021-11-24", "2022-04-22"] {
+            assert_ne!(
+                p.date.to_string(),
+                known,
+                "peak annotator found a paper event in an event-free corpus"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_events_no_roaming_detection() {
+    let hit = EmergingTopicMiner::default()
+        .first_detection(eventless_forum(), "roaming")
+        .unwrap();
+    assert!(hit.is_none(), "roaming flagged without the discovery event: {hit:?}");
+}
+
+#[test]
+fn disabling_mitigation_breaks_the_flat_loss_curve() {
+    // The paper attributes Fig. 1b's flatness to app-layer safeguards. With
+    // mitigation disabled, the same loss sweep must hurt engagement several
+    // times harder — the mechanism, not a coincidence, carries the result.
+    let with = CallSimulator::default();
+    let without = CallSimulator { mitigation: Mitigation::disabled(), ..CallSimulator::default() };
+    let cfg = DatasetConfig { calls: 6000, seed: 0xAB1A, ..DatasetConfig::default() };
+    let ds_with = generate_with(&cfg, &with);
+    let ds_without = generate_with(&cfg, &without);
+    let drop = |ds: &conference::records::CallDataset| {
+        let c = correlate::engagement_curve(
+            ds,
+            NetworkMetric::LossPct,
+            EngagementMetric::CamOn,
+            5,
+            8,
+        )
+        .unwrap();
+        c.first_y().unwrap() - c.last_y().unwrap()
+    };
+    let drop_with = drop(&ds_with);
+    let drop_without = drop(&ds_without);
+    assert!(
+        drop_without > drop_with * 1.5,
+        "mitigation ablation: drop {drop_with} with vs {drop_without} without"
+    );
+    // (The strict <10-point check runs at full scale in figure_shapes; this
+    // smaller ablation dataset gets a little slack.)
+    assert!(drop_with < 12.0, "with mitigation the loss panel must stay flat: {drop_with}");
+}
+
+#[test]
+fn conditioning_ablation_flattens_sensitivity_gap() {
+    // §6: long-term conditioning attenuates reactions. Verified indirectly
+    // at the dataset level: conditioned users retain more presence under
+    // degraded conditions than unconditioned ones.
+    let cfg = DatasetConfig { calls: 8000, seed: 0xC0ED, ..DatasetConfig::default() };
+    let ds = generate_with(&cfg, &CallSimulator::default());
+    let presence = |conditioned: bool| {
+        let xs: Vec<f64> = ds
+            .sessions
+            .iter()
+            .filter(|s| s.conditioned == conditioned)
+            .filter(|s| s.network_mean(NetworkMetric::LatencyMs) > 150.0)
+            .map(|s| s.presence_pct)
+            .collect();
+        analytics::mean(&xs).unwrap()
+    };
+    let gap = presence(true) - presence(false);
+    assert!(gap > 0.5, "conditioned users should endure more: gap {gap}");
+}
+
+#[test]
+fn garbage_text_does_not_crash_nlp_pipelines() {
+    use sentiment::analyzer::SentimentAnalyzer;
+    use sentiment::keywords::KeywordDictionary;
+    use sentiment::wordcloud::WordCloud;
+    let garbage = [
+        "",
+        "\u{0}\u{1}\u{2}",
+        "🛰🛰🛰🛰🛰",
+        &"a".repeat(100_000),
+        "......!!!???,,,",
+        "ÆØÅ 北京 рыба مرحبا",
+    ];
+    let analyzer = SentimentAnalyzer::default();
+    let dict = KeywordDictionary::outages();
+    for g in garbage {
+        let s = analyzer.score(g);
+        assert!((s.positive + s.negative + s.neutral - 1.0).abs() < 1e-9);
+        let _ = dict.count_matches(g);
+    }
+    let cloud = WordCloud::from_documents(garbage.iter().copied(), 10);
+    assert!(cloud.words.len() <= 10);
+}
+
+#[test]
+fn ocr_extractor_rejects_adversarial_numbers() {
+    // Numbers embedded in prose (dates, prices) must not be read as speeds.
+    let e = ocr::extract::extract(
+        "ordered on 2022-03-15 for 599 dollars, dish number 48813, awaiting setup",
+    );
+    assert!(!e.has_downlink(), "prose numbers misread as a speed test: {e:?}");
+    // A latency label with an absurd value cannot produce an absurd output.
+    let e2 = ocr::extract::extract("PING ms\n999999999\n");
+    if let Some(l) = e2.latency_ms {
+        assert!((5.0..=900.0).contains(&l));
+    }
+}

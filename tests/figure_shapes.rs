@@ -1,0 +1,227 @@
+//! Integration-scale reproduction checks for the §3 figures (Fig. 1–4).
+//!
+//! These run the *full* pipeline — path simulation → mitigation → behaviour
+//! → client telemetry → correlation engine — at a dataset size large enough
+//! for the confounder-filtered bins to be well populated, and assert the
+//! paper's reported magnitudes (as shapes with tolerances, per DESIGN.md §5).
+
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric};
+use std::sync::OnceLock;
+use usaas::correlate;
+
+fn dataset() -> &'static CallDataset {
+    static DS: OnceLock<CallDataset> = OnceLock::new();
+    DS.get_or_init(|| generate(&DatasetConfig { calls: 15_000, seed: 0xF16, ..DatasetConfig::default() }))
+}
+
+fn drop_pct(curve: &analytics::BinnedCurve) -> f64 {
+    let first = curve.first_y().expect("populated curve");
+    let last = curve.last_y().expect("populated curve");
+    first - last
+}
+
+/// F1a — Fig. 1 (left): latency. Presence and Cam On fall ≈ 20 %, Mic On
+/// more than 25 %, with the Mic On slope steeper before 150 ms.
+#[test]
+fn fig1_latency_panel() {
+    let ds = dataset();
+    let mic = correlate::engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::MicOn, 6, 12)
+        .unwrap();
+    let cam = correlate::engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::CamOn, 6, 12)
+        .unwrap();
+    let presence =
+        correlate::engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::Presence, 6, 12)
+            .unwrap();
+    let mic_drop = drop_pct(&mic);
+    let cam_drop = drop_pct(&cam);
+    let presence_drop = drop_pct(&presence);
+    assert!(mic_drop > 20.0, "Mic On drop {mic_drop} (paper: >25%)");
+    assert!((8.0..40.0).contains(&cam_drop), "Cam On drop {cam_drop} (paper: ~20%)");
+    assert!(
+        (6.0..35.0).contains(&presence_drop),
+        "Presence drop {presence_drop} (paper: ~20%)"
+    );
+    // Mic On is the steepest responder — muting is the means of first resort.
+    assert!(mic_drop >= cam_drop - 2.0 && mic_drop >= presence_drop, "{mic_drop} {cam_drop} {presence_drop}");
+    // Knee: slope up to 150 ms much steeper than beyond.
+    let pre = mic.slope_between(25.0, 125.0).unwrap().abs();
+    let post = mic.slope_between(175.0, 275.0).unwrap().abs();
+    assert!(pre > 1.5 * post, "Mic On knee: pre-150ms slope {pre} vs post {post}");
+}
+
+/// F1b — Fig. 1 (middle-left): loss ≤ 2 % barely moves engagement.
+#[test]
+fn fig1_loss_panel() {
+    let ds = dataset();
+    // Four half-percent bins keep the thin high-loss aggregates stable.
+    for metric in EngagementMetric::ALL {
+        let c = correlate::engagement_curve(ds, NetworkMetric::LossPct, metric, 4, 12).unwrap();
+        let drop = drop_pct(&c);
+        assert!(drop < 10.0, "{}: dropped {drop}% at 2% loss (paper: <10%)", metric.label());
+    }
+}
+
+/// F1c — Fig. 1 (middle-right): jitter hits Cam On hardest (> 15 % at 10 ms).
+#[test]
+fn fig1_jitter_panel() {
+    let ds = dataset();
+    let cam =
+        correlate::engagement_curve(ds, NetworkMetric::JitterMs, EngagementMetric::CamOn, 6, 12)
+            .unwrap();
+    let cam_at_10 = cam.y_near(10.0).expect("populated 10ms bin");
+    let cam_best = cam.first_y().unwrap();
+    let drop_at_10 = cam_best - cam_at_10;
+    assert!(drop_at_10 > 12.0, "Cam On at 10ms jitter dropped {drop_at_10}% (paper: >15%)");
+    let mic =
+        correlate::engagement_curve(ds, NetworkMetric::JitterMs, EngagementMetric::MicOn, 6, 12)
+            .unwrap();
+    let mic_drop = drop_pct(&mic);
+    assert!(drop_pct(&cam) > mic_drop, "Cam On must be the most jitter-sensitive");
+}
+
+/// F1d — Fig. 1 (right): ≥ 1 Mbps is enough; Mic On is bandwidth-blind.
+#[test]
+fn fig1_bandwidth_panel() {
+    let ds = dataset();
+    for metric in EngagementMetric::ALL {
+        let c =
+            correlate::engagement_curve(ds, NetworkMetric::BandwidthMbps, metric, 6, 12).unwrap();
+        let best = c.points().iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
+        let at_1mbps = c.y_near(1.1).expect("populated ~1Mbps bin");
+        assert!(
+            best - at_1mbps < 8.0,
+            "{}: {at_1mbps} at 1 Mbps vs best {best} (paper: within 5%)",
+            metric.label()
+        );
+    }
+    // Mic On flat across the whole bandwidth span.
+    let mic =
+        correlate::engagement_curve(ds, NetworkMetric::BandwidthMbps, EngagementMetric::MicOn, 6, 12)
+            .unwrap();
+    let pts = mic.points();
+    let min = pts.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
+    assert!(min > 93.0, "Mic On should not correlate with bandwidth: min {min}");
+}
+
+/// F2 — Fig. 2: latency × loss compound; worst combination dips toward 50 %.
+#[test]
+fn fig2_compounding() {
+    let grid = correlate::compounding_grid(dataset(), EngagementMetric::Presence, 4, 8).unwrap();
+    let min = grid.min_value().expect("populated grid");
+    assert!(min < 72.0, "worst-cell presence {min} (paper: dips ~50%)");
+    // The clean corner is the best cell…
+    let clean = grid.value_at(30.0, 0.2).expect("clean cell populated");
+    assert!(clean > 97.0, "clean-corner presence {clean}");
+    // …and presence decreases along *each* axis from it (both dimensions
+    // independently contribute; their combination is where the minimum
+    // lives — the far corner itself can be too thin to aggregate).
+    if let Some(high_lat) = grid.value_at(280.0, 0.2) {
+        assert!(high_lat < clean - 5.0, "latency axis: {high_lat} vs {clean}");
+    }
+    if let Some(high_loss) = grid.value_at(30.0, 2.8) {
+        assert!(high_loss < clean - 5.0, "loss axis: {high_loss} vs {clean}");
+    }
+}
+
+/// F3 — Fig. 3: mobile users drop off sooner; OSes differ.
+#[test]
+fn fig3_platform_sensitivity() {
+    use conference::platform::Platform;
+    let ds = dataset();
+    let curves = correlate::platform_curves(
+        ds,
+        NetworkMetric::LossPct,
+        EngagementMetric::Presence,
+        3,
+        10,
+    )
+    .unwrap();
+    let last_y = |p: Platform| {
+        curves
+            .iter()
+            .find(|(q, _)| *q == p)
+            .and_then(|(_, c)| c.last_y())
+            .unwrap_or(f64::NAN)
+    };
+    let windows = last_y(Platform::WindowsPc);
+    let android = last_y(Platform::AndroidMobile);
+    let ios = last_y(Platform::IosMobile);
+    assert!(
+        android < windows,
+        "Android presence {android} should trail Windows {windows} under loss"
+    );
+    assert!(ios < windows, "iOS presence {ios} should trail Windows {windows} under loss");
+}
+
+/// §3.2 text — beyond 3 % loss, the chance of dropping off rises sharply.
+#[test]
+fn loss_above_three_percent_drives_abandonment() {
+    let c = correlate::dropoff_by_loss(dataset(), 5, 10).unwrap();
+    let low = c.y_near(0.5).expect("low-loss bin");
+    let high = c.y_near(4.5).expect("high-loss bin");
+    assert!(
+        high > low + 10.0,
+        "drop-off rate {high}% at >3% loss vs {low}% baseline (paper: +10 points)"
+    );
+}
+
+/// §3.2 text — causality check: latency does not increase with Cam On.
+#[test]
+fn cam_on_does_not_congest_the_network() {
+    let c = correlate::latency_by_cam_on(dataset(), 5, 30).unwrap();
+    let slope = c.slope_between(10.0, 90.0).unwrap();
+    assert!(slope <= 0.05, "latency-vs-CamOn slope {slope} should not be positive");
+}
+
+/// F4 — Fig. 4: engagement correlates with MOS; Presence strongest.
+#[test]
+fn fig4_mos_correlation() {
+    let ds = dataset();
+    for metric in EngagementMetric::ALL {
+        let c = correlate::mos_by_engagement(ds, metric, 4, 5).unwrap();
+        let pts = c.points();
+        assert!(pts.len() >= 2, "{}: too few MOS bins", metric.label());
+        assert!(
+            pts.last().unwrap().1 > pts.first().unwrap().1,
+            "{}: MOS must rise with engagement: {pts:?}",
+            metric.label()
+        );
+    }
+    let ranking = correlate::mos_correlations(ds).unwrap();
+    assert_eq!(
+        ranking[0].0,
+        EngagementMetric::Presence,
+        "Presence shows the strongest correlation with MOS (paper §3.3): {ranking:?}"
+    );
+}
+
+/// S4 — §6: network effect dominates platform, meeting size, conditioning.
+#[test]
+fn confounder_effect_ordering() {
+    let report = correlate::confounder_report(dataset()).unwrap();
+    assert!(
+        report.network_effect > report.meeting_size_effect,
+        "network {:.1} vs meeting size {:.1}",
+        report.network_effect,
+        report.meeting_size_effect
+    );
+    assert!(
+        report.network_effect > report.conditioning_effect,
+        "network {:.1} vs conditioning {:.1}",
+        report.network_effect,
+        report.conditioning_effect
+    );
+    assert!(report.platform_effect > 0.5, "platforms must differ: {report:?}");
+}
+
+/// §3.1 — the explicit-feedback sliver sits in the paper's 0.1–1 % band.
+#[test]
+fn feedback_sampling_rate_in_band() {
+    let ds = dataset();
+    let rate = ds.rated_sessions().count() as f64 / ds.len() as f64;
+    assert!(
+        (0.001..0.01).contains(&rate),
+        "feedback rate {rate} outside the paper's 0.1–1% band"
+    );
+}

@@ -1,0 +1,188 @@
+//! Integration-scale reproduction checks for the §4 figures (Fig. 5–7) and
+//! the in-text statistics (S1, S2 in DESIGN.md).
+
+use analytics::time::{Date, Month};
+use social::generator::{generate, ForumConfig};
+use social::post::Forum;
+use std::sync::OnceLock;
+use usaas::annotate::PeakAnnotator;
+use usaas::emerging::EmergingTopicMiner;
+use usaas::fulcrum::{Fig7Series, FulcrumAnalysis};
+use usaas::outage::OutageDetector;
+
+fn forum() -> &'static Forum {
+    static F: OnceLock<Forum> = OnceLock::new();
+    F.get_or_init(|| generate(&ForumConfig::default()))
+}
+
+fn d(y: i32, m: u8, day: u8) -> Date {
+    Date::from_ymd(y, m, day).unwrap()
+}
+
+/// S1 — §4.1 subreddit vitals: ~372 posts, ~8190 upvotes, ~5702 comments per
+/// week; ~1750 speed-test screenshots over the window.
+#[test]
+fn s1_subreddit_activity() {
+    let f = forum();
+    let weeks = (f.posts.last().unwrap().date.days_since(f.posts.first().unwrap().date) as f64
+        + 1.0)
+        / 7.0;
+    let posts_per_week = f.len() as f64 / weeks;
+    let upvotes_per_week: f64 =
+        f.posts.iter().map(|p| f64::from(p.upvotes)).sum::<f64>() / weeks;
+    let comments_per_week: f64 =
+        f.posts.iter().map(|p| f64::from(p.comments)).sum::<f64>() / weeks;
+    assert!((280.0..470.0).contains(&posts_per_week), "posts/week {posts_per_week} (paper: 372)");
+    assert!(
+        (4000.0..16000.0).contains(&upvotes_per_week),
+        "upvotes/week {upvotes_per_week} (paper: 8190)"
+    );
+    assert!(
+        (2800.0..12000.0).contains(&comments_per_week),
+        "comments/week {comments_per_week} (paper: 5702)"
+    );
+    let shares = f.speed_shares().count();
+    assert!((1300..2400).contains(&shares), "speed-test shares {shares} (paper: ~1750)");
+}
+
+/// F5a — the top-3 sentiment peaks and their annotations.
+#[test]
+fn fig5a_sentiment_peaks() {
+    let peaks = PeakAnnotator::default().annotate(forum(), 3).unwrap();
+    assert_eq!(peaks.len(), 3);
+    // Feb 9 '21 pre-orders (positive), Nov 24 '21 delay e-mail (negative),
+    // Apr 22 '22 unreported outage (negative, third-highest).
+    assert!(peaks.iter().any(|p| p.date == d(2021, 2, 9) && p.positive_dominated));
+    assert!(peaks.iter().any(|p| p.date == d(2021, 11, 24) && !p.positive_dominated));
+    assert_eq!(peaks[2].date, d(2022, 4, 22), "Apr 22 is the third-highest peak");
+    assert!(!peaks[2].positive_dominated);
+    // Annotation: the two event peaks find news; the outage does not, but is
+    // corroborated by posters from many countries (paper: 14, ~190 US).
+    for p in &peaks {
+        if p.date == d(2022, 4, 22) {
+            assert!(p.unreported(), "Apr 22 found coverage: {:?}", p.headlines);
+            assert!(p.countries >= 8, "Apr 22 countries {} (paper: 14)", p.countries);
+        } else {
+            assert!(!p.unreported(), "{}: no coverage found", p.date);
+        }
+    }
+    let us_reports = forum()
+        .on(d(2022, 4, 22))
+        .filter(|p| p.country == "US" && p.topic == social::post::PostTopic::Outage)
+        .count();
+    assert!(us_reports >= 100, "US outage reports {us_reports} (paper: ~190)");
+}
+
+/// F5b — the Apr 22 word cloud surfaces outage language near the top.
+#[test]
+fn fig5b_wordcloud() {
+    let cloud = PeakAnnotator::default().day_cloud(forum(), d(2022, 4, 22), 30);
+    let rank = ["outage", "offline", "disconnected", "down"]
+        .iter()
+        .filter_map(|w| cloud.rank_of(w))
+        .min();
+    assert!(
+        matches!(rank, Some(r) if r <= 3),
+        "outage language should rank in the top unigrams (paper: 3rd); top: {:?}",
+        cloud.top_words(6)
+    );
+}
+
+/// F6 — keyword spikes: Jan 7 & Aug 30 '22 largest; transients numerous; all
+/// majors detected with good precision.
+#[test]
+fn fig6_outage_detection() {
+    let detector = OutageDetector::default();
+    let series = detector.keyword_series(forum()).unwrap();
+    let mut days: Vec<(Date, f64)> = series.iter().collect();
+    days.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top2: Vec<Date> = days[..2].iter().map(|(day, _)| *day).collect();
+    assert!(top2.contains(&d(2022, 1, 7)), "Jan 7 missing from top-2: {top2:?}");
+    assert!(top2.contains(&d(2022, 8, 30)), "Aug 30 missing from top-2: {top2:?}");
+
+    let detections = detector.detect(forum()).unwrap();
+    let truth = starlink::outages::outage_timeline(
+        d(2021, 1, 1),
+        d(2022, 12, 31),
+        &starlink::outages::TransientOutageConfig::default(),
+    );
+    let score = detector.score_against(&detections, &truth);
+    assert_eq!(score.missed_major, 0, "all major outages must be detected");
+    assert!(score.precision > 0.6, "precision {}", score.precision);
+
+    // Transients: many smaller peaks beyond the three majors.
+    let sensitive = OutageDetector { min_peak_score: 2.0, ..OutageDetector::default() };
+    let all = sensitive.detect(forum()).unwrap();
+    assert!(all.len() >= 13, "expected numerous smaller peaks, got {}", all.len());
+}
+
+/// F7 — the full Fig. 7: rise, mid-2021 dip, decline, subsample stability,
+/// and both "wheel of time" sentiment anomalies.
+#[test]
+fn fig7_speeds_and_fulcrum() {
+    let series = FulcrumAnalysis::default()
+        .analyze(forum(), Month::new(2021, 1).unwrap(), Month::new(2022, 12).unwrap())
+        .unwrap();
+    let s = series.as_slice();
+
+    // Shape: rise Jan→mid '21, Sep'21 still high, strong decline to Dec'22.
+    let jan21 = s.median_of(2021, 1).unwrap();
+    let may21 = s.median_of(2021, 5).unwrap();
+    let sep21 = s.median_of(2021, 9).unwrap();
+    let dec22 = s.median_of(2022, 12).unwrap();
+    assert!(may21 > jan21 * 1.15, "Jan'21 {jan21} → May'21 {may21}");
+    assert!(sep21 > jan21, "Sep'21 {sep21} vs Jan'21 {jan21}");
+    assert!(dec22 < sep21 * 0.75, "Sep'21 {sep21} → Dec'22 {dec22}");
+
+    // Stability: 95 %/90 % subsample medians track the full median.
+    for p in &series {
+        if let (Some(full), Some(s95), Some(s90)) =
+            (p.median_down, p.median_down_95, p.median_down_90)
+        {
+            assert!((s95 - full).abs() / full < 0.15, "{}: 95% {s95} vs {full}", p.month);
+            assert!((s90 - full).abs() / full < 0.20, "{}: 90% {s90} vs {full}", p.month);
+        }
+    }
+
+    // Anomaly 1: Dec'21 faster than Apr'21, yet Pos drastically lower.
+    let apr21_pos = s.pos_of(2021, 4).unwrap();
+    let dec21_pos = s.pos_of(2021, 12).unwrap();
+    assert!(
+        dec21_pos < apr21_pos - 0.1,
+        "Pos: Apr'21 {apr21_pos} vs Dec'21 {dec21_pos} (should drop despite faster network)"
+    );
+
+    // Anomaly 2: Mar'22 → Dec'22 speeds fall, Pos recovers (conditioning).
+    // Quarterly means tame the monthly sampling noise of the Pos ratio.
+    let mar22 = s.median_of(2022, 3).unwrap();
+    assert!(dec22 < mar22, "premise: speeds fall {mar22} → {dec22}");
+    let q_mean = |months: [u8; 3]| {
+        let xs: Vec<f64> = months.iter().filter_map(|m| s.pos_of(2022, *m)).collect();
+        analytics::mean(&xs).unwrap()
+    };
+    let spring = q_mean([2, 3, 4]);
+    let winter = q_mean([10, 11, 12]);
+    assert!(
+        winter > spring + 0.05,
+        "Pos should recover while speeds fall: spring'22 {spring} vs winter'22 {winter}"
+    );
+
+    // Total recovered reports near the paper's ~1750.
+    let total: usize = series.iter().map(|p| p.reports).sum();
+    assert!((1000..2600).contains(&total), "recovered reports {total}");
+}
+
+/// S2 — roaming flagged ≥ 10 days before the CEO tweet, positive sentiment.
+#[test]
+fn s2_roaming_early_detection() {
+    let hit = EmergingTopicMiner::default()
+        .first_detection(forum(), "roaming")
+        .unwrap()
+        .expect("roaming must be detected");
+    let tweet = d(2022, 3, 3);
+    let lead = tweet.days_since(hit.first_flagged);
+    assert!(lead >= 10, "lead time {lead} days (paper: ~2 weeks)");
+    assert!(hit.polarity > 0.0, "roaming chatter polarity {}", hit.polarity);
+    // And never before users could have discovered it.
+    assert!(hit.first_flagged >= d(2022, 2, 14));
+}
