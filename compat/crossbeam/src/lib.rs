@@ -1,0 +1,395 @@
+//! Offline stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`channel::bounded`] — a blocking bounded **MPMC** channel (std's mpsc
+//!   receivers are not cloneable, so this is a small Mutex+Condvar queue);
+//! * [`thread::scope`] — scoped threads over `std::thread::scope`, with
+//!   crossbeam's `Result`-returning panic surface (a child panic becomes an
+//!   `Err` carrying the payload instead of an unwinding join).
+
+#![forbid(unsafe_code)]
+
+/// Bounded MPMC channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC — each message is delivered once).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Create a bounded channel of capacity `cap` (≥ 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(cap.max(1)),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room, then enqueue. Errors when all
+        /// receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if inner.buf.len() < inner.cap {
+                    inner.buf.push_back(value);
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .shared
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives. Errors when the channel is empty
+        /// and all senders have been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = inner.buf.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator over received messages (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// Panic payload of a child thread.
+    pub type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Scope result: `Err` when the closure or an unjoined child panicked.
+    pub type Result<T> = std::result::Result<T, Payload>;
+
+    /// Child panics parked until someone (a join, or the scope exit) claims
+    /// them. `std::thread::scope` replaces child payloads with a generic
+    /// message, so panics are caught in the child and routed through here to
+    /// keep crossbeam's behaviour of surfacing the original payload.
+    struct PanicBox {
+        next_id: AtomicUsize,
+        parked: Mutex<Vec<(usize, Payload)>>,
+    }
+
+    /// Scope handle passed to the closure and to spawned children.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: Arc<PanicBox>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (for nested
+        /// spawns, mirroring crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let panics = Arc::clone(&self.panics);
+            let id = panics.next_id.fetch_add(1, Ordering::Relaxed);
+            let child_panics = Arc::clone(&panics);
+            let handle = self.inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    panics: Arc::clone(&child_panics),
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    Ok(v) => Some(v),
+                    Err(payload) => {
+                        child_panics
+                            .parked
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((id, payload));
+                        None
+                    }
+                }
+            });
+            ScopedJoinHandle {
+                inner: handle,
+                panics,
+                id,
+            }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+        panics: Arc<PanicBox>,
+        id: usize,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Join, returning the thread's result or its original panic payload.
+        /// A payload claimed here no longer fails the enclosing scope.
+        pub fn join(self) -> Result<T> {
+            match self.inner.join() {
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => {
+                    let mut parked = self.panics.parked.lock().unwrap_or_else(|e| e.into_inner());
+                    let at = parked
+                        .iter()
+                        .position(|(id, _)| *id == self.id)
+                        .expect("panicked child parked its payload");
+                    Err(parked.swap_remove(at).1)
+                }
+                // Unreachable in practice: the child catches its own panics.
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which threads borrowing from the environment
+    /// can be spawned; all children are joined before `scope` returns. A
+    /// panic — in `f`, or in any child whose handle was not joined —
+    /// surfaces as `Err` carrying the original payload.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let panics = Arc::new(PanicBox {
+            next_id: AtomicUsize::new(0),
+            parked: Mutex::new(Vec::new()),
+        });
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    panics: Arc::clone(&panics),
+                })
+            })
+        }));
+        let mut parked = panics.parked.lock().unwrap_or_else(|e| e.into_inner());
+        match (out, parked.pop()) {
+            (_, Some((_, payload))) => Err(payload),
+            (Ok(v), None) => Ok(v),
+            (Err(payload), None) => Err(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn channel_delivers_everything_once() {
+        let (tx, rx) = channel::bounded::<usize>(4);
+        let total = AtomicUsize::new(0);
+        let seen = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let total = &total;
+                let seen = &seen;
+                scope.spawn(move |_| {
+                    for v in rx.iter() {
+                        total.fetch_add(v, Ordering::Relaxed);
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            drop(rx);
+            for v in 1..=100usize {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+        })
+        .unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn send_errors_when_receivers_gone() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_errors_when_senders_gone() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn scope_propagates_child_panic_as_err() {
+        let r = thread::scope(|scope| {
+            scope.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+        let msg = r
+            .err()
+            .and_then(|p| p.downcast::<&str>().ok())
+            .map(|s| *s)
+            .unwrap_or_default();
+        assert_eq!(msg, "child died");
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let out = thread::scope(|scope| {
+            let h = scope.spawn(|_| 21);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

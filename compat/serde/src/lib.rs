@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's record types carry `#[derive(Serialize, Deserialize)]`
+//! so they are export-ready, but nothing serializes through serde at runtime
+//! (figures are written as hand-formatted text/CSV). This stub provides the
+//! trait names and no-op derives so those annotations compile without
+//! crates.io access. The traits are blanket-implemented: any bound like
+//! `T: Serialize` is satisfied trivially.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-satisfied owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

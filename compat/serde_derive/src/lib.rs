@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! Nothing in this workspace serializes through serde at runtime (figure
+//! output is hand-written text/CSV), so the derives only need to *exist* for
+//! the many `#[derive(Serialize, Deserialize)]` annotations to compile. They
+//! expand to nothing; the traits in the sibling `serde` stub are blanket-
+//! implemented for every type.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing — see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing — see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -73,7 +73,11 @@ pub struct Binner {
 impl Binner {
     /// New binner with the given spec.
     pub fn new(spec: BinSpec) -> Binner {
-        Binner { spec, values: vec![Vec::new(); spec.bins], dropped: 0 }
+        Binner {
+            spec,
+            values: vec![Vec::new(); spec.bins],
+            dropped: 0,
+        }
     }
 
     /// Record one pair; out-of-range x is counted in [`Binner::dropped`].
@@ -106,11 +110,7 @@ impl Binner {
         self.curve_with(min_count, |ys| descriptive::median(ys).ok())
     }
 
-    fn curve_with(
-        &self,
-        min_count: usize,
-        agg: impl Fn(&[f64]) -> Option<f64>,
-    ) -> BinnedCurve {
+    fn curve_with(&self, min_count: usize, agg: impl Fn(&[f64]) -> Option<f64>) -> BinnedCurve {
         let mut xs = Vec::with_capacity(self.spec.bins);
         let mut ys = Vec::with_capacity(self.spec.bins);
         let mut counts = Vec::with_capacity(self.spec.bins);
@@ -163,7 +163,11 @@ impl BinnedCurve {
         } else {
             self.ys.clone()
         };
-        BinnedCurve { xs: self.xs.clone(), ys, counts: self.counts.clone() }
+        BinnedCurve {
+            xs: self.xs.clone(),
+            ys,
+            counts: self.counts.clone(),
+        }
     }
 
     /// y at the first populated bin.
@@ -221,6 +225,23 @@ mod tests {
         assert_eq!(s.index(f64::NAN), None);
         assert_eq!(s.mid(0), 25.0);
         assert_eq!(s.mid(5), 275.0);
+    }
+
+    #[test]
+    fn below_range_and_nan_are_dropped_not_binned_to_zero() {
+        // Regression: `((x - lo) / width) as usize` saturates negative and
+        // NaN inputs to 0 — without the range guard in `BinSpec::index` they
+        // would silently pile up in the lowest bin.
+        let s = spec();
+        assert_eq!(s.index(-50.0), None);
+        assert_eq!(s.index(-f64::EPSILON), None);
+        assert_eq!(s.index(f64::NAN), None);
+        assert_eq!(s.index(f64::NEG_INFINITY), None);
+        let mut b = Binner::new(s);
+        b.record(-50.0, 1.0);
+        b.record(f64::NAN, 1.0);
+        assert_eq!(b.count(0), 0, "out-of-range samples leaked into bin 0");
+        assert_eq!(b.dropped(), 2);
     }
 
     #[test]

@@ -93,15 +93,26 @@ fn segment(xs: &[f64], offset: usize, min_score: f64, budget: usize, out: &mut V
     if budget == 0 || xs.len() < 8 {
         return;
     }
-    let Ok(Some(cp)) = most_prominent_shift(xs, min_score) else { return };
+    let Ok(Some(cp)) = most_prominent_shift(xs, min_score) else {
+        return;
+    };
     let split = cp.index;
-    out.push(ChangePoint { index: offset + split, ..cp });
+    out.push(ChangePoint {
+        index: offset + split,
+        ..cp
+    });
     let remaining = budget - 1;
     // Split the budget greedily: left first, then right with what is left.
     let before_len = out.len();
     segment(&xs[..split], offset, min_score, remaining, out);
     let used = out.len() - before_len;
-    segment(&xs[split..], offset + split, min_score, remaining.saturating_sub(used), out);
+    segment(
+        &xs[split..],
+        offset + split,
+        min_score,
+        remaining.saturating_sub(used),
+        out,
+    );
 }
 
 #[cfg(test)]

@@ -8,7 +8,10 @@ use crate::error::AnalyticsError;
 
 fn check_pair(xs: &[f64], ys: &[f64]) -> Result<(), AnalyticsError> {
     if xs.len() != ys.len() {
-        return Err(AnalyticsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        return Err(AnalyticsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
     }
     if xs.len() < 2 {
         return Err(AnalyticsError::Empty);
@@ -46,7 +49,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, AnalyticsError> {
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -42,7 +42,9 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64, AnalyticsError> {
         return Err(AnalyticsError::Empty);
     }
     if !(0.0..=100.0).contains(&p) || p.is_nan() {
-        return Err(AnalyticsError::InvalidParameter("percentile must be in [0, 100]"));
+        return Err(AnalyticsError::InvalidParameter(
+            "percentile must be in [0, 100]",
+        ));
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));

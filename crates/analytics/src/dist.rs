@@ -98,7 +98,10 @@ impl Dist {
     /// spread factor `sigma_mult` (> 1); e.g. `median=90, sigma_mult=1.4`
     /// gives a distribution whose log-std is `ln(1.4)`.
     pub fn log_normal_median(median: f64, sigma_mult: f64) -> Dist {
-        Dist::LogNormal { mu: median.ln(), sigma: sigma_mult.ln() }
+        Dist::LogNormal {
+            mu: median.ln(),
+            sigma: sigma_mult.ln(),
+        }
     }
 
     /// Theoretical mean of the distribution (for sanity checks in tests;
@@ -224,7 +227,10 @@ mod tests {
     #[test]
     fn normal_sample_mean_close() {
         let mut r = rng();
-        let d = Dist::Normal { mean: 10.0, std: 2.0 };
+        let d = Dist::Normal {
+            mean: 10.0,
+            std: 2.0,
+        };
         let xs = d.sample_n(&mut r, 20_000);
         let m = sample_mean(&xs).unwrap();
         assert!((m - 10.0).abs() < 0.1, "mean {m}");
@@ -263,7 +269,11 @@ mod tests {
     #[test]
     fn triangular_within_bounds_and_mode_heavy() {
         let mut r = rng();
-        let d = Dist::Triangular { lo: 0.0, mode: 1.0, hi: 10.0 };
+        let d = Dist::Triangular {
+            lo: 0.0,
+            mode: 1.0,
+            hi: 10.0,
+        };
         let xs = d.sample_n(&mut r, 10_000);
         assert!(xs.iter().all(|x| (0.0..=10.0).contains(x)));
         let m = sample_mean(&xs).unwrap();
@@ -273,21 +283,34 @@ mod tests {
     #[test]
     fn pareto_heavy_tail() {
         let mut r = rng();
-        let d = Dist::Pareto { xm: 1.0, alpha: 2.0 };
+        let d = Dist::Pareto {
+            xm: 1.0,
+            alpha: 2.0,
+        };
         let xs = d.sample_n(&mut r, 20_000);
         assert!(xs.iter().all(|x| *x >= 1.0));
         let m = sample_mean(&xs).unwrap();
         assert!((m - 2.0).abs() < 0.3, "mean {m}");
-        assert!(Dist::Pareto { xm: 1.0, alpha: 0.9 }.mean().is_infinite());
+        assert!(Dist::Pareto {
+            xm: 1.0,
+            alpha: 0.9
+        }
+        .mean()
+        .is_infinite());
     }
 
     #[test]
     fn poisson_mean_close() {
         let mut r = rng();
         for lambda in [0.5, 5.0, 53.0] {
-            let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut r, lambda) as f64).collect();
+            let xs: Vec<f64> = (0..20_000)
+                .map(|_| poisson(&mut r, lambda) as f64)
+                .collect();
             let m = sample_mean(&xs).unwrap();
-            assert!((m - lambda).abs() / lambda.max(1.0) < 0.07, "lambda {lambda} mean {m}");
+            assert!(
+                (m - lambda).abs() / lambda.max(1.0) < 0.07,
+                "lambda {lambda} mean {m}"
+            );
         }
         assert_eq!(poisson(&mut r, 0.0), 0);
         assert_eq!(poisson(&mut r, -3.0), 0);
@@ -321,17 +344,41 @@ mod tests {
     #[test]
     fn validation_rejects_bad_params() {
         assert!(Dist::Uniform { lo: 2.0, hi: 1.0 }.validated().is_err());
-        assert!(Dist::Normal { mean: 0.0, std: -1.0 }.validated().is_err());
+        assert!(Dist::Normal {
+            mean: 0.0,
+            std: -1.0
+        }
+        .validated()
+        .is_err());
         assert!(Dist::Exponential { lambda: 0.0 }.validated().is_err());
-        assert!(Dist::Pareto { xm: 0.0, alpha: 1.0 }.validated().is_err());
-        assert!(Dist::Triangular { lo: 0.0, mode: 5.0, hi: 4.0 }.validated().is_err());
+        assert!(Dist::Pareto {
+            xm: 0.0,
+            alpha: 1.0
+        }
+        .validated()
+        .is_err());
+        assert!(Dist::Triangular {
+            lo: 0.0,
+            mode: 5.0,
+            hi: 4.0
+        }
+        .validated()
+        .is_err());
         assert!(Dist::Constant(f64::NAN).validated().is_err());
-        assert!(Dist::Normal { mean: 1.0, std: 0.0 }.validated().is_ok());
+        assert!(Dist::Normal {
+            mean: 1.0,
+            std: 0.0
+        }
+        .validated()
+        .is_ok());
     }
 
     #[test]
     fn determinism_under_same_seed() {
-        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         let a = d.sample_n(&mut StdRng::seed_from_u64(7), 100);
         let b = d.sample_n(&mut StdRng::seed_from_u64(7), 100);
         assert_eq!(a, b);

@@ -33,6 +33,14 @@ pub enum AnalyticsError {
     },
     /// Iterative fitting failed to converge.
     NoConvergence,
+    /// An operation needed more observations than it got (e.g. a sample
+    /// variance over fewer than two points).
+    InsufficientData {
+        /// Minimum observations the operation needs.
+        needed: usize,
+        /// Observations actually provided.
+        got: usize,
+    },
 }
 
 impl fmt::Display for AnalyticsError {
@@ -48,6 +56,9 @@ impl fmt::Display for AnalyticsError {
                 write!(f, "invalid date: {year:04}-{month:02}-{day:02}")
             }
             AnalyticsError::NoConvergence => write!(f, "iterative fit did not converge"),
+            AnalyticsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed}, got {got}")
+            }
         }
     }
 }
@@ -66,8 +77,17 @@ mod tests {
             "length mismatch: 3 vs 4"
         );
         assert_eq!(
-            AnalyticsError::InvalidDate { year: 2022, month: 2, day: 30 }.to_string(),
+            AnalyticsError::InvalidDate {
+                year: 2022,
+                month: 2,
+                day: 30
+            }
+            .to_string(),
             "invalid date: 2022-02-30"
+        );
+        assert_eq!(
+            AnalyticsError::InsufficientData { needed: 2, got: 1 }.to_string(),
+            "insufficient data: needed 2, got 1"
         );
     }
 

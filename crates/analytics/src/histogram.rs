@@ -6,7 +6,7 @@
 use crate::error::AnalyticsError;
 use serde::{Deserialize, Serialize};
 
-/// A fixed-bin-width histogram over `[lo, hi)` with underflow/overflow
+/// A fixed-bin-width histogram over `[lo, hi)` with underflow/overflow/NaN
 /// counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
@@ -15,6 +15,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
     total: u64,
 }
 
@@ -27,13 +28,26 @@ impl Histogram {
         if bins == 0 {
             return Err(AnalyticsError::InvalidParameter("histogram needs >= 1 bin"));
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            nan: 0,
+            total: 0,
+        })
     }
 
     /// Record one observation.
     pub fn record(&mut self, x: f64) {
         self.total += 1;
-        if x < self.lo || x.is_nan() {
+        // NaN is not "below lo" — `(x - lo) / width as usize` would saturate
+        // it into bin 0, and calling it underflow misreports the data. Count
+        // it on its own.
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -67,7 +81,7 @@ impl Histogram {
         &self.counts
     }
 
-    /// Observations below `lo` (NaN counts as underflow).
+    /// Observations below `lo`.
     pub fn underflow(&self) -> u64 {
         self.underflow
     }
@@ -75,6 +89,11 @@ impl Histogram {
     /// Observations at or above `hi`.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// NaN observations (neither under- nor overflow).
+    pub fn nan(&self) -> u64 {
+        self.nan
     }
 
     /// Total observations recorded (including under/overflow).
@@ -96,7 +115,7 @@ impl Histogram {
 
     /// Fraction of in-range mass in bin `i` (0 if nothing in range).
     pub fn fraction(&self, i: usize) -> f64 {
-        let in_range = self.total - self.underflow - self.overflow;
+        let in_range = self.total - self.underflow - self.overflow - self.nan;
         if in_range == 0 {
             0.0
         } else {
@@ -130,9 +149,23 @@ mod tests {
         h.record(f64::NAN);
         assert_eq!(h.count(0), 2);
         assert_eq!(h.count(9), 1);
-        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 1);
+        assert_eq!(h.nan(), 1);
         assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn negative_and_nan_never_land_in_bin_zero() {
+        // Regression: `((x - lo) / width) as usize` saturates negative and
+        // NaN inputs to 0 — without the range guard they'd silently inflate
+        // the lowest bin.
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record_all(&[-5.0, -0.001, f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(h.count(0), 0, "out-of-range samples leaked into bin 0");
+        assert_eq!(h.underflow(), 3);
+        assert_eq!(h.nan(), 1);
+        assert_eq!(h.fraction(0), 0.0);
     }
 
     #[test]

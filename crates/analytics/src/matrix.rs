@@ -17,7 +17,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -39,7 +43,11 @@ impl Matrix {
             return Err(AnalyticsError::InvalidParameter("ragged matrix rows"));
         }
         let data = rows.iter().flatten().copied().collect();
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -66,7 +74,10 @@ impl Matrix {
     /// Matrix product `self * other`.
     pub fn mul(&self, other: &Matrix) -> Result<Matrix, AnalyticsError> {
         if self.cols != other.rows {
-            return Err(AnalyticsError::LengthMismatch { left: self.cols, right: other.rows });
+            return Err(AnalyticsError::LengthMismatch {
+                left: self.cols,
+                right: other.rows,
+            });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
@@ -86,7 +97,10 @@ impl Matrix {
     /// Matrix–vector product.
     pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, AnalyticsError> {
         if self.cols != v.len() {
-            return Err(AnalyticsError::LengthMismatch { left: self.cols, right: v.len() });
+            return Err(AnalyticsError::LengthMismatch {
+                left: self.cols,
+                right: v.len(),
+            });
         }
         let mut out = vec![0.0; self.rows];
         for i in 0..self.rows {
@@ -101,10 +115,15 @@ impl Matrix {
     /// Requires a square, non-singular matrix.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, AnalyticsError> {
         if self.rows != self.cols {
-            return Err(AnalyticsError::InvalidParameter("solve requires square matrix"));
+            return Err(AnalyticsError::InvalidParameter(
+                "solve requires square matrix",
+            ));
         }
         if b.len() != self.rows {
-            return Err(AnalyticsError::LengthMismatch { left: self.rows, right: b.len() });
+            return Err(AnalyticsError::LengthMismatch {
+                left: self.rows,
+                right: b.len(),
+            });
         }
         let n = self.rows;
         let mut a = self.data.clone();

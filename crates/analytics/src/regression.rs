@@ -34,7 +34,10 @@ impl LinearModel {
             return Err(AnalyticsError::Empty);
         }
         if xs.len() != ys.len() {
-            return Err(AnalyticsError::LengthMismatch { left: xs.len(), right: ys.len() });
+            return Err(AnalyticsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
         }
         let d = xs[0].len();
         if d == 0 || xs.iter().any(|r| r.len() != d) {
@@ -45,7 +48,7 @@ impl LinearModel {
         }
         let n = xs.len();
         let p = d + 1; // +1 for intercept column
-        // Normal equations: (X'X + ridge*I) w = X'y, with X including a ones column.
+                       // Normal equations: (X'X + ridge*I) w = X'y, with X including a ones column.
         let mut xtx = Matrix::zeros(p, p);
         let mut xty = vec![0.0; p];
         for (row, &y) in xs.iter().zip(ys) {
@@ -81,15 +84,26 @@ impl LinearModel {
             ss_res += (y - pred) * (y - pred);
             ss_tot += (y - mean_y) * (y - mean_y);
         }
-        let r_squared = if ss_tot == 0.0 { 0.0 } else { 1.0 - ss_res / ss_tot };
-        Ok(LinearModel { intercept, weights, r_squared })
+        let r_squared = if ss_tot == 0.0 {
+            0.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(LinearModel {
+            intercept,
+            weights,
+            r_squared,
+        })
     }
 
     /// Predict for one feature row (rows shorter than the weight vector are
     /// an error).
     pub fn predict(&self, x: &[f64]) -> Result<f64, AnalyticsError> {
         if x.len() != self.weights.len() {
-            return Err(AnalyticsError::LengthMismatch { left: x.len(), right: self.weights.len() });
+            return Err(AnalyticsError::LengthMismatch {
+                left: x.len(),
+                right: self.weights.len(),
+            });
         }
         Ok(self.intercept + x.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>())
     }
@@ -139,14 +153,19 @@ impl LogisticModel {
             return Err(AnalyticsError::Empty);
         }
         if xs.len() != ys.len() {
-            return Err(AnalyticsError::LengthMismatch { left: xs.len(), right: ys.len() });
+            return Err(AnalyticsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
         }
         let d = xs[0].len();
         if d == 0 || xs.iter().any(|r| r.len() != d) {
             return Err(AnalyticsError::InvalidParameter("ragged feature rows"));
         }
         if lr <= 0.0 || !lr.is_finite() {
-            return Err(AnalyticsError::InvalidParameter("learning rate must be > 0"));
+            return Err(AnalyticsError::InvalidParameter(
+                "learning rate must be > 0",
+            ));
         }
         let n = xs.len() as f64;
         let mut w = vec![0.0; d];
@@ -177,13 +196,20 @@ impl LogisticModel {
                 break;
             }
         }
-        Ok(LogisticModel { intercept: b, weights: w, iterations })
+        Ok(LogisticModel {
+            intercept: b,
+            weights: w,
+            iterations,
+        })
     }
 
     /// Predicted probability for one row.
     pub fn predict_proba(&self, x: &[f64]) -> Result<f64, AnalyticsError> {
         if x.len() != self.weights.len() {
-            return Err(AnalyticsError::LengthMismatch { left: x.len(), right: self.weights.len() });
+            return Err(AnalyticsError::LengthMismatch {
+                left: x.len(),
+                right: self.weights.len(),
+            });
         }
         let z = self.intercept + x.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>();
         Ok(sigmoid(z))
@@ -198,23 +224,39 @@ impl LogisticModel {
 /// Mean absolute error between predictions and targets.
 pub fn mae(pred: &[f64], truth: &[f64]) -> Result<f64, AnalyticsError> {
     if pred.len() != truth.len() {
-        return Err(AnalyticsError::LengthMismatch { left: pred.len(), right: truth.len() });
+        return Err(AnalyticsError::LengthMismatch {
+            left: pred.len(),
+            right: truth.len(),
+        });
     }
     if pred.is_empty() {
         return Err(AnalyticsError::Empty);
     }
-    Ok(pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64)
+    Ok(pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64)
 }
 
 /// Root-mean-square error between predictions and targets.
 pub fn rmse(pred: &[f64], truth: &[f64]) -> Result<f64, AnalyticsError> {
     if pred.len() != truth.len() {
-        return Err(AnalyticsError::LengthMismatch { left: pred.len(), right: truth.len() });
+        return Err(AnalyticsError::LengthMismatch {
+            left: pred.len(),
+            right: truth.len(),
+        });
     }
     if pred.is_empty() {
         return Err(AnalyticsError::Empty);
     }
-    let ms = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64;
+    let ms = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64;
     Ok(ms.sqrt())
 }
 
@@ -261,7 +303,10 @@ mod tests {
         // Collinear duplicated feature is singular without ridge…
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
         let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        assert_eq!(LinearModel::fit(&xs, &ys, 0.0), Err(AnalyticsError::Singular));
+        assert_eq!(
+            LinearModel::fit(&xs, &ys, 0.0),
+            Err(AnalyticsError::Singular)
+        );
         // …but solvable with it.
         assert!(LinearModel::fit(&xs, &ys, 1e-6).is_ok());
     }

@@ -22,7 +22,9 @@ pub fn subsample<R: Rng + ?Sized>(
         return Err(AnalyticsError::Empty);
     }
     if !(fraction > 0.0 && fraction <= 1.0) {
-        return Err(AnalyticsError::InvalidParameter("fraction must be in (0, 1]"));
+        return Err(AnalyticsError::InvalidParameter(
+            "fraction must be in (0, 1]",
+        ));
     }
     let k = ((xs.len() as f64 * fraction).round() as usize).clamp(1, xs.len());
     let mut idx: Vec<usize> = (0..xs.len()).collect();
@@ -49,7 +51,9 @@ pub fn bootstrap_ci<R: Rng + ?Sized>(
         return Err(AnalyticsError::InvalidParameter("resamples must be > 0"));
     }
     if !(conf > 0.0 && conf < 1.0) {
-        return Err(AnalyticsError::InvalidParameter("confidence must be in (0, 1)"));
+        return Err(AnalyticsError::InvalidParameter(
+            "confidence must be in (0, 1)",
+        ));
     }
     let n = xs.len();
     let mut stats = Vec::with_capacity(resamples);
@@ -140,10 +144,12 @@ mod tests {
     fn bootstrap_ci_contains_truth() {
         let mut r = rng();
         let xs: Vec<f64> = (0..500).map(|i| (i % 100) as f64).collect();
-        let (lo, hi) =
-            bootstrap_ci(&mut r, &xs, 400, 0.95, |s| median(s).unwrap()).unwrap();
+        let (lo, hi) = bootstrap_ci(&mut r, &xs, 400, 0.95, |s| median(s).unwrap()).unwrap();
         let true_med = median(&xs).unwrap();
-        assert!(lo <= true_med && true_med <= hi, "[{lo}, {hi}] vs {true_med}");
+        assert!(
+            lo <= true_med && true_med <= hi,
+            "[{lo}, {hi}] vs {true_med}"
+        );
         assert!(hi - lo < 20.0, "CI too wide: [{lo}, {hi}]");
     }
 

@@ -40,7 +40,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -50,8 +51,15 @@ fn erf(x: f64) -> f64 {
 /// negligible; the degrees of freedom are still computed and reported via
 /// the statistic's accuracy.
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TestResult, AnalyticsError> {
-    if a.len() < 2 || b.len() < 2 {
-        return Err(AnalyticsError::Empty);
+    // The sample variance divides by `len - 1`: a single-element sample would
+    // divide by zero and poison the statistic with NaN.
+    for xs in [a, b] {
+        if xs.len() < 2 {
+            return Err(AnalyticsError::InsufficientData {
+                needed: 2,
+                got: xs.len(),
+            });
+        }
     }
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let var = |xs: &[f64], m: f64| {
@@ -62,11 +70,19 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TestResult, AnalyticsError> 
     let se = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
     if se == 0.0 {
         // Identical constant samples: no evidence of difference.
-        return Ok(TestResult { statistic: 0.0, p_value: 1.0, mean_difference: ma - mb });
+        return Ok(TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            mean_difference: ma - mb,
+        });
     }
     let t = (ma - mb) / se;
     let p = 2.0 * (1.0 - normal_cdf(t.abs()));
-    Ok(TestResult { statistic: t, p_value: p.clamp(0.0, 1.0), mean_difference: ma - mb })
+    Ok(TestResult {
+        statistic: t,
+        p_value: p.clamp(0.0, 1.0),
+        mean_difference: ma - mb,
+    })
 }
 
 /// Mann–Whitney U test (two-sided, normal approximation with tie-corrected
@@ -139,8 +155,16 @@ mod tests {
     #[test]
     fn welch_detects_real_difference() {
         let mut rng = StdRng::seed_from_u64(1);
-        let a = Dist::Normal { mean: 10.0, std: 2.0 }.sample_n(&mut rng, 300);
-        let b = Dist::Normal { mean: 11.0, std: 2.0 }.sample_n(&mut rng, 300);
+        let a = Dist::Normal {
+            mean: 10.0,
+            std: 2.0,
+        }
+        .sample_n(&mut rng, 300);
+        let b = Dist::Normal {
+            mean: 11.0,
+            std: 2.0,
+        }
+        .sample_n(&mut rng, 300);
         let r = welch_t_test(&a, &b).unwrap();
         assert!(r.significant(), "{r:?}");
         assert!(r.mean_difference < 0.0);
@@ -151,8 +175,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut sig = 0;
         for _ in 0..50 {
-            let a = Dist::Normal { mean: 10.0, std: 2.0 }.sample_n(&mut rng, 200);
-            let b = Dist::Normal { mean: 10.0, std: 2.0 }.sample_n(&mut rng, 200);
+            let a = Dist::Normal {
+                mean: 10.0,
+                std: 2.0,
+            }
+            .sample_n(&mut rng, 200);
+            let b = Dist::Normal {
+                mean: 10.0,
+                std: 2.0,
+            }
+            .sample_n(&mut rng, 200);
             if welch_t_test(&a, &b).unwrap().significant() {
                 sig += 1;
             }
@@ -164,8 +196,16 @@ mod tests {
     #[test]
     fn welch_handles_unequal_variance() {
         let mut rng = StdRng::seed_from_u64(3);
-        let a = Dist::Normal { mean: 10.0, std: 0.5 }.sample_n(&mut rng, 500);
-        let b = Dist::Normal { mean: 10.4, std: 6.0 }.sample_n(&mut rng, 100);
+        let a = Dist::Normal {
+            mean: 10.0,
+            std: 0.5,
+        }
+        .sample_n(&mut rng, 500);
+        let b = Dist::Normal {
+            mean: 10.4,
+            std: 6.0,
+        }
+        .sample_n(&mut rng, 100);
         let r = welch_t_test(&a, &b).unwrap();
         // The small noisy sample dominates the SE; the point estimate can
         // wander, but it stays small and the p-value stays valid.
@@ -176,9 +216,16 @@ mod tests {
     #[test]
     fn mann_whitney_detects_shift_in_heavy_tails() {
         let mut rng = StdRng::seed_from_u64(4);
-        let a = Dist::Pareto { xm: 1.0, alpha: 1.5 }.sample_n(&mut rng, 400);
-        let b: Vec<f64> =
-            Dist::Pareto { xm: 1.3, alpha: 1.5 }.sample_n(&mut rng, 400);
+        let a = Dist::Pareto {
+            xm: 1.0,
+            alpha: 1.5,
+        }
+        .sample_n(&mut rng, 400);
+        let b: Vec<f64> = Dist::Pareto {
+            xm: 1.3,
+            alpha: 1.5,
+        }
+        .sample_n(&mut rng, 400);
         let r = mann_whitney_u(&a, &b).unwrap();
         assert!(r.significant(), "{r:?}");
     }
@@ -190,6 +237,20 @@ mod tests {
         let r = mann_whitney_u(&a, &b).unwrap();
         assert!(!r.significant(), "{r:?}");
         assert_eq!(r.mean_difference, 0.0);
+    }
+
+    #[test]
+    fn single_sample_variance_is_an_error_not_nan() {
+        // Regression: `len - 1 == 0` in the variance denominator used to make
+        // the whole test come back NaN instead of failing loudly.
+        assert_eq!(
+            welch_t_test(&[1.0], &[2.0, 3.0]),
+            Err(AnalyticsError::InsufficientData { needed: 2, got: 1 })
+        );
+        assert_eq!(
+            welch_t_test(&[2.0, 3.0], &[]),
+            Err(AnalyticsError::InsufficientData { needed: 2, got: 0 })
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl Month {
     /// Construct a month; `month` must be 1–12.
     pub fn new(year: i32, month: u8) -> Result<Month, AnalyticsError> {
         if !(1..=12).contains(&month) {
-            return Err(AnalyticsError::InvalidDate { year, month, day: 1 });
+            return Err(AnalyticsError::InvalidDate {
+                year,
+                month,
+                day: 1,
+            });
         }
         Ok(Month { year, month })
     }
@@ -86,9 +90,15 @@ impl Month {
     /// The month after this one.
     pub fn next(self) -> Month {
         if self.month == 12 {
-            Month { year: self.year + 1, month: 1 }
+            Month {
+                year: self.year + 1,
+                month: 1,
+            }
         } else {
-            Month { year: self.year, month: self.month + 1 }
+            Month {
+                year: self.year,
+                month: self.month + 1,
+            }
         }
     }
 
@@ -126,7 +136,12 @@ impl fmt::Display for Month {
         const NAMES: [&str; 12] = [
             "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
         ];
-        write!(f, "{}'{}", NAMES[(self.month - 1) as usize], self.year % 100)
+        write!(
+            f,
+            "{}'{}",
+            NAMES[(self.month - 1) as usize],
+            self.year % 100
+        )
     }
 }
 
@@ -286,9 +301,18 @@ mod tests {
     #[test]
     fn paper_peak_dates_have_expected_weekdays() {
         // 2021-02-09 was a Tuesday, 2021-11-24 a Wednesday, 2022-04-22 a Friday.
-        assert_eq!(Date::from_ymd(2021, 2, 9).unwrap().weekday(), Weekday::Tuesday);
-        assert_eq!(Date::from_ymd(2021, 11, 24).unwrap().weekday(), Weekday::Wednesday);
-        assert_eq!(Date::from_ymd(2022, 4, 22).unwrap().weekday(), Weekday::Friday);
+        assert_eq!(
+            Date::from_ymd(2021, 2, 9).unwrap().weekday(),
+            Weekday::Tuesday
+        );
+        assert_eq!(
+            Date::from_ymd(2021, 11, 24).unwrap().weekday(),
+            Weekday::Wednesday
+        );
+        assert_eq!(
+            Date::from_ymd(2022, 4, 22).unwrap().weekday(),
+            Weekday::Friday
+        );
     }
 
     #[test]
@@ -319,7 +343,10 @@ mod tests {
         assert_eq!(feb22.last_day().to_string(), "2022-02-28");
         assert_eq!(feb22.len_days(), 28);
         assert_eq!(Month::new(2020, 2).unwrap().len_days(), 29);
-        assert_eq!(Month::new(2022, 12).unwrap().next(), Month::new(2023, 1).unwrap());
+        assert_eq!(
+            Month::new(2022, 12).unwrap().next(),
+            Month::new(2023, 1).unwrap()
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl DailySeries {
             return Err(AnalyticsError::InvalidParameter("series end before start"));
         }
         let len = (end.days_since(start) + 1) as usize;
-        Ok(DailySeries { start, values: vec![0.0; len] })
+        Ok(DailySeries {
+            start,
+            values: vec![0.0; len],
+        })
     }
 
     /// Build from explicit values starting at `start`.
@@ -104,7 +107,9 @@ impl DailySeries {
     /// available part of the window).
     pub fn moving_average(&self, window: usize) -> Result<DailySeries, AnalyticsError> {
         if window == 0 || window.is_multiple_of(2) {
-            return Err(AnalyticsError::InvalidParameter("window must be odd and > 0"));
+            return Err(AnalyticsError::InvalidParameter(
+                "window must be odd and > 0",
+            ));
         }
         let half = window / 2;
         let n = self.values.len();
@@ -115,7 +120,10 @@ impl DailySeries {
             let slice = &self.values[lo..hi];
             out.push(slice.iter().sum::<f64>() / slice.len() as f64);
         }
-        Ok(DailySeries { start: self.start, values: out })
+        Ok(DailySeries {
+            start: self.start,
+            values: out,
+        })
     }
 
     /// Robust peak detection.
@@ -148,8 +156,16 @@ impl DailySeries {
         let mut candidates: Vec<Peak> = (0..n)
             .filter(|&i| {
                 let v = self.values[i];
-                let left = if i == 0 { f64::NEG_INFINITY } else { self.values[i - 1] };
-                let right = if i + 1 == n { f64::NEG_INFINITY } else { self.values[i + 1] };
+                let left = if i == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    self.values[i - 1]
+                };
+                let right = if i + 1 == n {
+                    f64::NEG_INFINITY
+                } else {
+                    self.values[i + 1]
+                };
                 v >= left && v >= right
             })
             .map(|i| Peak {
@@ -160,7 +176,9 @@ impl DailySeries {
             .filter(|p| p.score >= min_score)
             .collect();
         candidates.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut kept: Vec<Peak> = Vec::new();
         for c in candidates {
@@ -218,7 +236,10 @@ mod tests {
         let mut s = base_series();
         s.add(d(2023, 1, 1), 100.0);
         s.add(d(2020, 1, 1), 100.0);
-        assert_eq!(s.values().iter().sum::<f64>(), base_series().values().iter().sum::<f64>());
+        assert_eq!(
+            s.values().iter().sum::<f64>(),
+            base_series().values().iter().sum::<f64>()
+        );
     }
 
     #[test]
@@ -243,7 +264,11 @@ mod tests {
             .iter()
             .filter(|p| p.date.month() == crate::time::Month::new(2022, 2).unwrap())
             .collect();
-        assert_eq!(feb_peaks.len(), 1, "storm should collapse to one peak: {feb_peaks:?}");
+        assert_eq!(
+            feb_peaks.len(),
+            1,
+            "storm should collapse to one peak: {feb_peaks:?}"
+        );
         assert_eq!(feb_peaks[0].date, d(2022, 2, 10));
     }
 

@@ -1,0 +1,57 @@
+//! Query-serving bench: the parallel `UsaasService::query_batch` executor
+//! against the same query mix answered sequentially.
+
+use bench::{bench_forum, BENCH_CALLS};
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::{EngagementMetric, NetworkMetric};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::access::AccessType;
+use std::hint::black_box;
+use usaas::service::{Query, UsaasService};
+
+fn query_mix() -> Vec<Query> {
+    vec![
+        Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::MicOn,
+            bins: 6,
+        },
+        Query::EngagementCurve {
+            sweep: NetworkMetric::JitterMs,
+            engagement: EngagementMetric::CamOn,
+            bins: 6,
+        },
+        Query::CompoundingGrid {
+            engagement: EngagementMetric::Presence,
+            bins: 4,
+        },
+        Query::MosCorrelation,
+        Query::OutageTimeline,
+        Query::SpeedTrend,
+        Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        },
+        Query::DeploymentAdvice,
+    ]
+}
+
+fn bench_query_batch(c: &mut Criterion) {
+    let dataset = generate(&DatasetConfig::small(BENCH_CALLS, 4));
+    let service = UsaasService::build(dataset, bench_forum(), 4);
+    let queries = query_mix();
+    let mut group = c.benchmark_group("query_batch");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let answers: Vec<_> = queries.iter().map(|q| service.query(q)).collect();
+            black_box(answers)
+        });
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(service.query_batch(&queries)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_batch);
+criterion_main!(benches);

@@ -63,7 +63,10 @@ fn bench_wordcloud(c: &mut Criterion) {
     let texts: Vec<String> = forum.posts.iter().take(2000).map(|p| p.text()).collect();
     c.bench_function("wordcloud_2000_posts", |b| {
         b.iter(|| {
-            black_box(WordCloud::from_documents(texts.iter().map(String::as_str), 50))
+            black_box(WordCloud::from_documents(
+                texts.iter().map(String::as_str),
+                50,
+            ))
         });
     });
 }
@@ -105,7 +108,10 @@ fn bench_fig6_detect(c: &mut Criterion) {
     group.sample_size(10);
     // Ablation: the paper's negative-sentiment filter on vs off.
     for (name, negative_filter) in [("with_negative_filter", true), ("without_filter", false)] {
-        let detector = OutageDetector { negative_filter, ..OutageDetector::default() };
+        let detector = OutageDetector {
+            negative_filter,
+            ..OutageDetector::default()
+        };
         group.bench_function(name, |b| {
             b.iter(|| black_box(detector.detect(black_box(&forum)).expect("detect")));
         });
@@ -115,13 +121,22 @@ fn bench_fig6_detect(c: &mut Criterion) {
 
 fn bench_fig7_fulcrum(c: &mut Criterion) {
     let forum = bench_forum();
-    let analysis = FulcrumAnalysis { min_reports: 3, ..FulcrumAnalysis::default() };
+    let analysis = FulcrumAnalysis {
+        min_reports: 3,
+        ..FulcrumAnalysis::default()
+    };
     let start = Month::new(2021, 1).expect("month");
     let end = Month::new(2021, 4).expect("month");
     let mut group = c.benchmark_group("fig7_speeds");
     group.sample_size(10);
     group.bench_function("analyze", |b| {
-        b.iter(|| black_box(analysis.analyze(black_box(&forum), start, end).expect("series")));
+        b.iter(|| {
+            black_box(
+                analysis
+                    .analyze(black_box(&forum), start, end)
+                    .expect("series"),
+            )
+        });
     });
     group.finish();
 }
@@ -142,8 +157,11 @@ fn bench_emerging_topics(c: &mut Criterion) {
 fn bench_strong_threshold_sweep(c: &mut Criterion) {
     let forum = bench_forum();
     let analyzer = SentimentAnalyzer::default();
-    let scores: Vec<sentiment::analyzer::SentimentScores> =
-        forum.posts.iter().map(|p| analyzer.score(&p.text())).collect();
+    let scores: Vec<sentiment::analyzer::SentimentScores> = forum
+        .posts
+        .iter()
+        .map(|p| analyzer.score(&p.text()))
+        .collect();
     let mut group = c.benchmark_group("strong_threshold_sweep");
     for threshold in [0.6f64, 0.7, 0.8] {
         group.bench_with_input(

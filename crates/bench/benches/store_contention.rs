@@ -1,0 +1,91 @@
+//! Lock-contention bench for the sharded `SignalStore`: eight writer threads
+//! hammering per-item inserts, against the same workload forced through a
+//! single shard (the old one-big-lock layout, reachable via
+//! `SignalStore::with_shards(1)`).
+
+use analytics::time::Date;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::access::AccessType;
+use std::hint::black_box;
+use usaas::signals::{ExplicitSignal, NetworkHint, Payload, Signal};
+use usaas::store::SignalStore;
+
+const WORKERS: usize = 8;
+const PER_WORKER: usize = 2_000;
+/// Two years of days, matching the corpus span the store serves in practice.
+const SPAN_DAYS: i32 = 730;
+
+fn signal(date: Date, id: u64) -> Signal {
+    Signal {
+        date,
+        network: NetworkHint::from_access(AccessType::Cable),
+        payload: Payload::Explicit(ExplicitSignal {
+            rating: (id % 5) as u8 + 1,
+            call_id: id,
+            user_id: id / 7,
+        }),
+    }
+}
+
+fn worker_batches() -> Vec<Vec<Signal>> {
+    let base = Date::from_ymd(2021, 1, 1).expect("date");
+    (0..WORKERS)
+        .map(|w| {
+            (0..PER_WORKER)
+                .map(|i| {
+                    let id = (w * PER_WORKER + i) as u64;
+                    signal(base.offset((id % SPAN_DAYS as u64) as i32), id)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_store_contention(c: &mut Criterion) {
+    let batches = worker_batches();
+    let mut group = c.benchmark_group("store_contention");
+    group.sample_size(10);
+    for (label, shards) in [("single_lock", 1usize), ("sharded_16", 16)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &shards, |b, &shards| {
+            b.iter(|| {
+                let store = SignalStore::with_shards(shards);
+                let store = &store;
+                std::thread::scope(|s| {
+                    for batch in &batches {
+                        s.spawn(move || {
+                            for sig in batch {
+                                store.insert(sig.clone());
+                            }
+                        });
+                    }
+                });
+                black_box(store.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_inserts(c: &mut Criterion) {
+    let batches = worker_batches();
+    let mut group = c.benchmark_group("store_insert_batch");
+    group.sample_size(10);
+    for (label, shards) in [("single_lock", 1usize), ("sharded_16", 16)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &shards, |b, &shards| {
+            b.iter(|| {
+                let store = SignalStore::with_shards(shards);
+                let store = &store;
+                std::thread::scope(|s| {
+                    for batch in &batches {
+                        s.spawn(move || store.insert_batch(batch.clone()));
+                    }
+                });
+                black_box(store.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_contention, bench_batch_inserts);
+criterion_main!(benches);

@@ -51,7 +51,10 @@ fn bench_analytics_primitives(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     use rand::Rng;
     let xs: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..100.0)).collect();
-    let ys: Vec<f64> = xs.iter().map(|x| x * 0.5 + rng.gen_range(0.0..10.0)).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x * 0.5 + rng.gen_range(0.0..10.0))
+        .collect();
     let mut group = c.benchmark_group("analytics");
     group.bench_function("pearson_10k", |b| {
         b.iter(|| black_box(analytics::pearson(black_box(&xs), black_box(&ys)).expect("r")));
@@ -76,12 +79,16 @@ fn bench_ingestion(c: &mut Criterion) {
     let mut group = c.benchmark_group("ingest_pipeline");
     group.sample_size(10);
     for workers in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
-            b.iter(|| {
-                let store = SignalStore::new();
-                black_box(ingest_all(&store, &dataset, &forum, workers))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let store = SignalStore::new();
+                    black_box(ingest_all(&store, &dataset, &forum, workers))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -37,14 +37,8 @@ fn bench_fig1_curves(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 for metric in EngagementMetric::ALL {
-                    let curve = correlate::engagement_curve(
-                        black_box(&ds),
-                        sweep,
-                        metric,
-                        6,
-                        5,
-                    )
-                    .expect("curve");
+                    let curve = correlate::engagement_curve(black_box(&ds), sweep, metric, 6, 5)
+                        .expect("curve");
                     black_box(curve);
                 }
             });
@@ -102,9 +96,7 @@ fn bench_mos_predictor(c: &mut Criterion) {
     let ds = generate_with(&DatasetConfig::small(BENCH_CALLS, 5), &sim);
     c.bench_function("mos_predict_train_eval", |b| {
         b.iter(|| {
-            black_box(
-                train_and_evaluate(black_box(&ds), FeatureSet::Full, 4).expect("train"),
-            )
+            black_box(train_and_evaluate(black_box(&ds), FeatureSet::Full, 4).expect("train"))
         });
     });
 }
@@ -116,11 +108,16 @@ fn bench_mos_predictor(c: &mut Criterion) {
 fn bench_mitigation_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("mitigation_ablation");
     group.sample_size(10);
-    for (name, mitigation) in [("enabled", Mitigation::default()), ("disabled", Mitigation::disabled())]
-    {
+    for (name, mitigation) in [
+        ("enabled", Mitigation::default()),
+        ("disabled", Mitigation::disabled()),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let sim = CallSimulator { mitigation, ..CallSimulator::default() };
+                let sim = CallSimulator {
+                    mitigation,
+                    ..CallSimulator::default()
+                };
                 let ds = generate_with(&DatasetConfig::small(150, 77), &sim);
                 let c = correlate::engagement_curve(
                     &ds,

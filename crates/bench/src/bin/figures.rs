@@ -15,26 +15,36 @@ use netsim::access::AccessType;
 use std::fmt::Write as _;
 use std::fs;
 use usaas::annotate::PeakAnnotator;
+use usaas::correlate;
 use usaas::emerging::EmergingTopicMiner;
 use usaas::fulcrum::FulcrumAnalysis;
 use usaas::outage::OutageDetector;
 use usaas::predict::{train_and_evaluate, FeatureSet};
 use usaas::report;
 use usaas::service::{Answer, Query, UsaasService};
-use usaas::correlate;
 
 fn main() {
-    let calls: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(FIGURE_CALLS);
+    let calls: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(FIGURE_CALLS);
     fs::create_dir_all("results").expect("create results dir");
     let mut summary = String::new();
 
     eprintln!("generating call dataset ({calls} calls)…");
     let dataset = figure_dataset(calls);
-    eprintln!("  {} sessions, {} rated", dataset.len(), dataset.rated_sessions().count());
+    eprintln!(
+        "  {} sessions, {} rated",
+        dataset.len(),
+        dataset.rated_sessions().count()
+    );
     eprintln!("generating forum corpus…");
     let forum = figure_forum();
-    eprintln!("  {} posts, {} speed shares", forum.len(), forum.speed_shares().count());
+    eprintln!(
+        "  {} posts, {} speed shares",
+        forum.len(),
+        forum.speed_shares().count()
+    );
 
     // ---- F1: the four engagement panels -------------------------------
     for (tag, sweep) in [
@@ -48,14 +58,22 @@ fn main() {
         for metric in EngagementMetric::ALL {
             let c = correlate::engagement_curve(&dataset, sweep, metric, 6, 12)
                 .expect("engagement curve");
-            text.push_str(&report::curve_table(metric.label(), sweep.label(), "engagement", &c));
+            text.push_str(&report::curve_table(
+                metric.label(),
+                sweep.label(),
+                "engagement",
+                &c,
+            ));
             curves.push((metric, c));
         }
         let csv_curves: Vec<(&str, &analytics::BinnedCurve)> =
             curves.iter().map(|(m, c)| (m.label(), c)).collect();
         fs::write(format!("results/{tag}.txt"), &text).expect("write");
-        fs::write(format!("results/{tag}.csv"), report::curves_csv(sweep.label(), &csv_curves))
-            .expect("write");
+        fs::write(
+            format!("results/{tag}.csv"),
+            report::curves_csv(sweep.label(), &csv_curves),
+        )
+        .expect("write");
         let _ = writeln!(summary, "## {tag}");
         for (m, c) in &curves {
             let _ = writeln!(
@@ -113,7 +131,12 @@ fn main() {
     let mut mtext = String::new();
     for metric in EngagementMetric::ALL {
         let c = correlate::mos_by_engagement(&dataset, metric, 4, 5).expect("mos curve");
-        mtext.push_str(&report::curve_table(metric.label(), "engagement (%)", "MOS", &c));
+        mtext.push_str(&report::curve_table(
+            metric.label(),
+            "engagement (%)",
+            "MOS",
+            &c,
+        ));
     }
     let ranking = correlate::mos_correlations(&dataset).expect("ranking");
     let _ = writeln!(mtext, "\ncorrelation ranking:");
@@ -129,7 +152,11 @@ fn main() {
     // ---- S3: MOS predictor ------------------------------------------------
     let _ = writeln!(summary, "## mos_predict (S3)");
     let mut pred_text = String::new();
-    for features in [FeatureSet::NetworkOnly, FeatureSet::EngagementOnly, FeatureSet::Full] {
+    for features in [
+        FeatureSet::NetworkOnly,
+        FeatureSet::EngagementOnly,
+        FeatureSet::Full,
+    ] {
         match train_and_evaluate(&dataset, features, 4) {
             Ok((_, eval)) => {
                 let line = format!(
@@ -161,7 +188,11 @@ fn main() {
             i + 1,
             p.date,
             p.strong_posts,
-            if p.positive_dominated { "positive" } else { "negative" },
+            if p.positive_dominated {
+                "positive"
+            } else {
+                "negative"
+            },
             p.top_words,
             if p.unreported() {
                 format!("UNREPORTED (posters from {} countries)", p.countries)
@@ -207,7 +238,11 @@ fn main() {
 
     // ---- F7: speeds + fulcrum ----------------------------------------------
     let fig7 = FulcrumAnalysis::default()
-        .analyze(&forum, Month::new(2021, 1).expect("m"), Month::new(2022, 12).expect("m"))
+        .analyze(
+            &forum,
+            Month::new(2021, 1).expect("m"),
+            Month::new(2022, 12).expect("m"),
+        )
         .expect("fig7");
     fs::write("results/fig7_speeds.txt", report::fig7_table(&fig7)).expect("write");
     fs::write("results/fig7_speeds.csv", report::fig7_csv(&fig7)).expect("write");
@@ -246,9 +281,9 @@ fn main() {
         summary,
         "## usaas service\nsignals: {implicit} implicit / {explicit} explicit / {social_count} social"
     );
-    if let Ok(Answer::CrossNetwork(r)) =
-        service.query(&Query::CrossNetwork { access: AccessType::SatelliteLeo })
-    {
+    if let Ok(Answer::CrossNetwork(r)) = service.query(&Query::CrossNetwork {
+        access: AccessType::SatelliteLeo,
+    }) {
         let _ = writeln!(
             summary,
             "Teams-on-Starlink: {} sessions, presence {:.1}% (others {:.1}%), outage-day presence {:?}",
@@ -279,8 +314,8 @@ fn main() {
             };
             detailed.extend(sim.simulate_detailed(&mut rng, &config, &mut uid));
         }
-        if let Ok(skills) = EarlyQualityMonitor::default()
-            .skill_by_horizon(&detailed, &[12, 36, 72, 180, 360])
+        if let Ok(skills) =
+            EarlyQualityMonitor::default().skill_by_horizon(&detailed, &[12, 36, 72, 180, 360])
         {
             let _ = writeln!(summary, "## early_indication (§3.3)");
             for sk in skills {

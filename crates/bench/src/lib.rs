@@ -18,7 +18,11 @@ pub const BENCH_CALLS: usize = 1_500;
 /// Build the figure-scale call dataset (with the LEO outage calendar wired
 /// in for the cross-network join).
 pub fn figure_dataset(calls: usize) -> CallDataset {
-    let mut cfg = DatasetConfig { calls, seed: 0xF16, ..DatasetConfig::default() };
+    let mut cfg = DatasetConfig {
+        calls,
+        seed: 0xF16,
+        ..DatasetConfig::default()
+    };
     cfg.leo_outage_calendar = starlink::outages::major_outages()
         .into_iter()
         .map(|o| (o.date, o.severity))

@@ -206,7 +206,8 @@ impl SessionBehavior {
         let extra = (meeting_size.max(3) - 3) as f64;
         let mute_size_factor = (1.0 + params.meeting_size_mute_gain * extra).min(2.5);
         let leave_size_factor = 1.0 + params.meeting_size_leave_gain * extra;
-        let mic_on_rate = (params.mic_on_base * user.mic_propensity / mute_size_factor).clamp(1e-4, 0.9);
+        let mic_on_rate =
+            (params.mic_on_base * user.mic_propensity / mute_size_factor).clamp(1e-4, 0.9);
         let mic_off_rate = (params.mic_off_base * mute_size_factor).clamp(1e-4, 0.9);
         let cam_on_rate =
             (params.cam_on_base * user.cam_propensity * platform.cam_baseline()).clamp(1e-4, 0.9);
@@ -292,7 +293,8 @@ impl SessionBehavior {
         // Mic chain.
         let mic_p = self.toggle_sens * self.params.mic_pressure(imp);
         if self.mic_on {
-            let p_off = (self.mic_off_rate * (1.0 + self.params.mic_off_net_gain * mic_p)).min(0.95);
+            let p_off =
+                (self.mic_off_rate * (1.0 + self.params.mic_off_net_gain * mic_p)).min(0.95);
             if bernoulli(rng, p_off) {
                 self.mic_on = false;
                 if let Some(t) = self.timeline.as_mut() {
@@ -315,7 +317,8 @@ impl SessionBehavior {
         // Camera chain.
         let cam_p = self.toggle_sens * self.params.cam_pressure(imp);
         if self.cam_on {
-            let p_off = (self.cam_off_rate * (1.0 + self.params.cam_off_net_gain * cam_p)).min(0.95);
+            let p_off =
+                (self.cam_off_rate * (1.0 + self.params.cam_off_net_gain * cam_p)).min(0.95);
             if bernoulli(rng, p_off) {
                 self.cam_on = false;
                 if let Some(t) = self.timeline.as_mut() {
@@ -366,7 +369,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn clean() -> ChannelImpairment {
-        ChannelImpairment { interactivity: 0.0, audio: 0.0, video: 0.0 }
+        ChannelImpairment {
+            interactivity: 0.0,
+            audio: 0.0,
+            video: 0.0,
+        }
     }
 
     fn user(rng: &mut StdRng) -> UserProfile {
@@ -420,7 +427,11 @@ mod tests {
     #[test]
     fn latency_impairment_cuts_mic_most() {
         // Interactivity impairment at the paper's 300 ms point (≈ 0.73).
-        let imp = ChannelImpairment { interactivity: 0.73, audio: 0.0, video: 0.0 };
+        let imp = ChannelImpairment {
+            interactivity: 0.73,
+            audio: 0.0,
+            video: 0.0,
+        };
         let (att0, mic0, cam0) = population(clean(), 0.0, Platform::WindowsPc, 360, 400);
         let (att, mic, cam) = population(imp, 0.0, Platform::WindowsPc, 360, 400);
         let mic_drop = (mic0 - mic) / mic0 * 100.0;
@@ -428,13 +439,20 @@ mod tests {
         let att_drop = (att0 - att) / att0 * 100.0;
         assert!(mic_drop > 20.0, "mic drop {mic_drop}");
         assert!((8.0..40.0).contains(&cam_drop), "cam drop {cam_drop}");
-        assert!((8.0..35.0).contains(&att_drop), "attendance drop {att_drop}");
+        assert!(
+            (8.0..35.0).contains(&att_drop),
+            "attendance drop {att_drop}"
+        );
     }
 
     #[test]
     fn loss_kick_drives_abandonment() {
         let p = BehaviorParams::default();
-        let imp = ChannelImpairment { interactivity: 0.0, audio: 0.2, video: 0.25 };
+        let imp = ChannelImpairment {
+            interactivity: 0.0,
+            audio: 0.2,
+            video: 0.25,
+        };
         // Below the kick threshold the pressure is just the overall score.
         let below = p.leave_pressure(&imp, 0.015);
         assert!((below - imp.overall()).abs() < 1e-9);
@@ -450,7 +468,11 @@ mod tests {
     #[test]
     fn compounding_latency_loss_dips_hard() {
         // Fig. 2's worst corner: 300 ms latency + 3 % loss.
-        let worst = ChannelImpairment { interactivity: 0.73, audio: 0.215, video: 0.257 };
+        let worst = ChannelImpairment {
+            interactivity: 0.73,
+            audio: 0.215,
+            video: 0.257,
+        };
         let (att_best, _, _) = population(clean(), 0.0, Platform::WindowsPc, 360, 300);
         let (att_worst, _, _) = population(worst, 0.03, Platform::WindowsPc, 360, 300);
         let dip = (att_best - att_worst) / att_best * 100.0;
@@ -459,7 +481,11 @@ mod tests {
 
     #[test]
     fn mobile_drops_sooner_than_pc() {
-        let imp = ChannelImpairment { interactivity: 0.4, audio: 0.15, video: 0.2 };
+        let imp = ChannelImpairment {
+            interactivity: 0.4,
+            audio: 0.15,
+            video: 0.2,
+        };
         let (att_pc, _, _) = population(imp, 0.015, Platform::WindowsPc, 360, 400);
         let (att_android, _, _) = population(imp, 0.015, Platform::AndroidMobile, 360, 400);
         assert!(att_android < att_pc, "{att_android} vs {att_pc}");
@@ -468,7 +494,11 @@ mod tests {
     #[test]
     fn video_impairment_hits_camera() {
         // 10 ms raw jitter → ~0.4 video impairment after mitigation.
-        let imp = ChannelImpairment { interactivity: 0.0, audio: 0.05, video: 0.4 };
+        let imp = ChannelImpairment {
+            interactivity: 0.0,
+            audio: 0.05,
+            video: 0.4,
+        };
         let (_, mic0, cam0) = population(clean(), 0.0, Platform::WindowsPc, 360, 400);
         let (_, mic, cam) = population(imp, 0.0, Platform::WindowsPc, 360, 400);
         let cam_drop = (cam0 - cam) / cam0 * 100.0;
@@ -495,10 +525,19 @@ mod tests {
     fn step_after_leave_is_noop() {
         let mut rng = StdRng::seed_from_u64(1);
         let u = user(&mut rng);
-        let mut b =
-            SessionBehavior::start(&mut rng, BehaviorParams::default(), Platform::WindowsPc, &u, 3);
+        let mut b = SessionBehavior::start(
+            &mut rng,
+            BehaviorParams::default(),
+            Platform::WindowsPc,
+            &u,
+            3,
+        );
         // Force a leave by stepping under extreme pressure.
-        let terrible = ChannelImpairment { interactivity: 1.0, audio: 1.0, video: 1.0 };
+        let terrible = ChannelImpairment {
+            interactivity: 1.0,
+            audio: 1.0,
+            video: 1.0,
+        };
         let mut steps = 0;
         while b.step(&mut rng, &terrible, 0.2) && steps < 100_000 {
             steps += 1;
@@ -548,7 +587,11 @@ mod tests {
 
     #[test]
     fn conditioned_users_less_reactive() {
-        let imp = ChannelImpairment { interactivity: 0.6, audio: 0.1, video: 0.2 };
+        let imp = ChannelImpairment {
+            interactivity: 0.6,
+            audio: 0.1,
+            video: 0.2,
+        };
         let mut rng = StdRng::seed_from_u64(123);
         let params = BehaviorParams::default();
         let mut att = [0.0f64; 2]; // [unconditioned, conditioned]
@@ -567,6 +610,11 @@ mod tests {
             }
             att[conditioned as usize] = total / n as f64;
         }
-        assert!(att[1] > att[0], "conditioned {} vs unconditioned {}", att[1], att[0]);
+        assert!(
+            att[1] > att[0],
+            "conditioned {} vs unconditioned {}",
+            att[1],
+            att[0]
+        );
     }
 }

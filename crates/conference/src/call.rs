@@ -49,8 +49,7 @@ pub struct DetailedSession {
 
 /// The per-call simulator: composes path, mitigation, impairment scoring,
 /// behaviour, and feedback models.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CallSimulator {
     /// Behavioural constants.
     pub behavior: BehaviorParams,
@@ -61,7 +60,6 @@ pub struct CallSimulator {
     /// Explicit-feedback model.
     pub feedback: FeedbackModel,
 }
-
 
 impl CallSimulator {
     /// Simulate one call, returning one [`SessionRecord`] per participant
@@ -138,7 +136,8 @@ impl CallSimulator {
                     targets.loss_frac = (targets.loss_frac + 0.08 * severity).min(0.3);
                     targets.latency_ms = (targets.latency_ms * (1.0 + severity)).min(800.0);
                     targets.jitter_ms = (targets.jitter_ms * (1.0 + 2.0 * severity)).min(120.0);
-                    targets.bandwidth_mbps = (targets.bandwidth_mbps * (1.0 - 0.7 * severity)).max(0.1);
+                    targets.bandwidth_mbps =
+                        (targets.bandwidth_mbps * (1.0 - 0.7 * severity)).max(0.1);
                 }
                 let mut behavior = SessionBehavior::start(
                     rng,
@@ -204,29 +203,31 @@ impl CallSimulator {
                 Ok(net) => net,
                 Err(_) => continue,
             };
-            let presence_pct =
-                (outcome.attended_ticks as f64 / median_duration * 100.0).min(100.0);
+            let presence_pct = (outcome.attended_ticks as f64 / median_duration * 100.0).min(100.0);
             let rating = self.feedback.sample_rating(rng, &outcome);
             let timeline = p.behavior.take_timeline();
-            records.push(DetailedSession { timeline, record: SessionRecord {
-                call_id: config.call_id,
-                user_id: p.user.user_id,
-                date: config.date,
-                start_hour: config.start_hour,
-                platform: p.platform,
-                access: p.access,
-                meeting_size: config.participants,
-                scheduled_ticks: ticks,
-                attended_ticks: outcome.attended_ticks,
-                net,
-                presence_pct,
-                mic_on_pct: outcome.mic_on_fraction() * 100.0,
-                cam_on_pct: outcome.cam_on_fraction() * 100.0,
-                left_early: outcome.left_early,
-                rating,
-                latent_quality: self.feedback.latent_quality(&outcome),
-                conditioned: p.user.conditioned,
-            }});
+            records.push(DetailedSession {
+                timeline,
+                record: SessionRecord {
+                    call_id: config.call_id,
+                    user_id: p.user.user_id,
+                    date: config.date,
+                    start_hour: config.start_hour,
+                    platform: p.platform,
+                    access: p.access,
+                    meeting_size: config.participants,
+                    scheduled_ticks: ticks,
+                    attended_ticks: outcome.attended_ticks,
+                    net,
+                    presence_pct,
+                    mic_on_pct: outcome.mic_on_fraction() * 100.0,
+                    cam_on_pct: outcome.cam_on_fraction() * 100.0,
+                    left_early: outcome.left_early,
+                    rating,
+                    latent_quality: self.feedback.latent_quality(&outcome),
+                    conditioned: p.user.conditioned,
+                },
+            });
         }
         records
     }

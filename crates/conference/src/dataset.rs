@@ -59,7 +59,11 @@ impl Default for DatasetConfig {
             max_participants: 20,
             mean_extra_participants: 3.0,
             // 5-second ticks: 10 min .. 60 min, mode 30 min.
-            duration_ticks: Dist::Triangular { lo: 120.0, mode: 360.0, hi: 720.0 },
+            duration_ticks: Dist::Triangular {
+                lo: 120.0,
+                mode: 360.0,
+                hi: 720.0,
+            },
             threads: 0,
             leo_outage_calendar: Vec::new(),
         }
@@ -72,7 +76,11 @@ impl DatasetConfig {
         DatasetConfig {
             calls,
             seed,
-            duration_ticks: Dist::Triangular { lo: 60.0, mode: 180.0, hi: 360.0 },
+            duration_ticks: Dist::Triangular {
+                lo: 60.0,
+                mode: 180.0,
+                hi: 360.0,
+            },
             ..DatasetConfig::default()
         }
     }
@@ -97,13 +105,21 @@ impl DatasetConfig {
         };
         let (h_lo, h_hi) = self.business_hours;
         let start_hour = rng.gen_range(h_lo..h_hi.max(h_lo + 1));
-        let extra = Dist::Exponential { lambda: 1.0 / self.mean_extra_participants.max(0.1) }
-            .sample(rng)
-            .floor() as u16;
+        let extra = Dist::Exponential {
+            lambda: 1.0 / self.mean_extra_participants.max(0.1),
+        }
+        .sample(rng)
+        .floor() as u16;
         let participants =
             (self.min_participants + extra).clamp(self.min_participants, self.max_participants);
         let scheduled_ticks = self.duration_ticks.sample(rng).round().max(12.0) as u32;
-        CallConfig { call_id, date, start_hour, participants, scheduled_ticks }
+        CallConfig {
+            call_id,
+            date,
+            start_hour,
+            participants,
+            scheduled_ticks,
+        }
     }
 }
 
@@ -116,7 +132,9 @@ pub fn generate(config: &DatasetConfig) -> CallDataset {
 /// stack or behaviour constants here).
 pub fn generate_with(config: &DatasetConfig, simulator: &CallSimulator) -> CallDataset {
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         config.threads
     }
@@ -139,9 +157,9 @@ pub fn generate_with(config: &DatasetConfig, simulator: &CallSimulator) -> CallD
                         let severity = config.leo_outage_severity(call.date);
                         // User ids partitioned per call: 64 slots each.
                         let mut uid = call_id * 64;
-                        out.extend(simulator.simulate_with_outage(
-                            &mut rng, &call, &mut uid, severity,
-                        ));
+                        out.extend(
+                            simulator.simulate_with_outage(&mut rng, &call, &mut uid, severity),
+                        );
                         call_id += threads as u64;
                     }
                     out
@@ -187,7 +205,11 @@ mod tests {
         let ds = generate(&cfg);
         for s in &ds.sessions {
             assert!(s.date >= cfg.start && s.date <= cfg.end);
-            assert!(s.date.weekday().is_business_day(), "weekend call on {}", s.date);
+            assert!(
+                s.date.weekday().is_business_day(),
+                "weekend call on {}",
+                s.date
+            );
             assert!((9..20).contains(&s.start_hour));
             assert!(s.meeting_size >= 3);
             assert!(s.meeting_size <= cfg.max_participants);
@@ -217,7 +239,11 @@ mod tests {
     fn some_sessions_carry_ratings_at_scale() {
         let ds = generate(&DatasetConfig::small(400, 4));
         let rated = ds.rated_sessions().count();
-        assert!(rated > 0, "expected at least one rated session in {}", ds.len());
+        assert!(
+            rated > 0,
+            "expected at least one rated session in {}",
+            ds.len()
+        );
         let rate = rated as f64 / ds.len() as f64;
         assert!(rate < 0.05, "rating rate {rate} too high");
     }

@@ -69,7 +69,10 @@ impl SessionTimeline {
 
     /// Tick at which the user left, if they did.
     pub fn left_at(&self) -> Option<u32> {
-        self.events.iter().find(|e| e.event == SessionEvent::Left).map(|e| e.tick)
+        self.events
+            .iter()
+            .find(|e| e.event == SessionEvent::Left)
+            .map(|e| e.tick)
     }
 
     /// Reconstruct partial engagement over the first `horizon` ticks.
@@ -146,7 +149,9 @@ mod tests {
     #[test]
     fn empty_timeline_has_no_snapshot() {
         assert!(SessionTimeline::default().snapshot_at(10).is_none());
-        assert!(timeline(&[(0, SessionEvent::Joined)]).snapshot_at(0).is_none());
+        assert!(timeline(&[(0, SessionEvent::Joined)])
+            .snapshot_at(0)
+            .is_none());
     }
 
     #[test]

@@ -49,9 +49,12 @@ impl FeedbackModel {
     /// Latent call quality on the 1–5 scale, before rating noise.
     pub fn latent_quality(&self, outcome: &BehaviorOutcome) -> f64 {
         let kick = (outcome.mean_leave_pressure - outcome.mean_overall_impairment).max(0.0);
-        let abandon = if outcome.left_early { self.left_early_penalty } else { 0.0 };
-        (5.0
-            - self.impairment_weight * outcome.mean_overall_impairment
+        let abandon = if outcome.left_early {
+            self.left_early_penalty
+        } else {
+            0.0
+        };
+        (5.0 - self.impairment_weight * outcome.mean_overall_impairment
             - self.kick_weight * kick
             - abandon)
             .clamp(1.0, 5.0)
@@ -136,7 +139,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let o = outcome(0.2, 0.2);
         let n = 100_000;
-        let sampled = (0..n).filter(|_| m.sample_rating(&mut rng, &o).is_some()).count();
+        let sampled = (0..n)
+            .filter(|_| m.sample_rating(&mut rng, &o).is_some())
+            .count();
         let rate = sampled as f64 / n as f64;
         assert!((rate - m.rate).abs() < 0.0015, "rate {rate}");
     }
@@ -145,10 +150,12 @@ mod tests {
     fn ratings_in_star_range_and_track_quality() {
         let m = FeedbackModel::default();
         let mut rng = StdRng::seed_from_u64(18);
-        let good: Vec<f64> =
-            (0..2000).map(|_| m.rate_session(&mut rng, &outcome(0.05, 0.05)) as f64).collect();
-        let bad: Vec<f64> =
-            (0..2000).map(|_| m.rate_session(&mut rng, &outcome(0.8, 1.8)) as f64).collect();
+        let good: Vec<f64> = (0..2000)
+            .map(|_| m.rate_session(&mut rng, &outcome(0.05, 0.05)) as f64)
+            .collect();
+        let bad: Vec<f64> = (0..2000)
+            .map(|_| m.rate_session(&mut rng, &outcome(0.8, 1.8)) as f64)
+            .collect();
         assert!(good.iter().all(|r| (1.0..=5.0).contains(r)));
         assert!(bad.iter().all(|r| (1.0..=5.0).contains(r)));
         let mg = analytics::mean(&good).unwrap();

@@ -27,8 +27,12 @@ pub enum Platform {
 
 impl Platform {
     /// All platforms, mixture order.
-    pub const ALL: [Platform; 4] =
-        [Platform::WindowsPc, Platform::MacPc, Platform::AndroidMobile, Platform::IosMobile];
+    pub const ALL: [Platform; 4] = [
+        Platform::WindowsPc,
+        Platform::MacPc,
+        Platform::AndroidMobile,
+        Platform::IosMobile,
+    ];
 
     /// Mixture weight among enterprise business-hour calls.
     pub fn mixture_weight(self) -> f64 {
@@ -119,7 +123,10 @@ mod tests {
 
     #[test]
     fn os_differences_exist_within_class() {
-        assert_ne!(Platform::WindowsPc.leave_sensitivity(), Platform::MacPc.leave_sensitivity());
+        assert_ne!(
+            Platform::WindowsPc.leave_sensitivity(),
+            Platform::MacPc.leave_sensitivity()
+        );
         assert_ne!(
             Platform::AndroidMobile.leave_sensitivity(),
             Platform::IosMobile.leave_sensitivity()

@@ -99,8 +99,11 @@ pub enum EngagementMetric {
 
 impl EngagementMetric {
     /// All metrics, plot order.
-    pub const ALL: [EngagementMetric; 3] =
-        [EngagementMetric::Presence, EngagementMetric::CamOn, EngagementMetric::MicOn];
+    pub const ALL: [EngagementMetric; 3] = [
+        EngagementMetric::Presence,
+        EngagementMetric::CamOn,
+        EngagementMetric::MicOn,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -201,8 +204,11 @@ impl CallDataset {
 
     /// Mean opinion score over the rated sliver; `None` if no ratings.
     pub fn mos(&self) -> Option<f64> {
-        let ratings: Vec<f64> =
-            self.rated_sessions().filter_map(|s| s.rating).map(f64::from).collect();
+        let ratings: Vec<f64> = self
+            .rated_sessions()
+            .filter_map(|s| s.rating)
+            .map(f64::from)
+            .collect();
         analytics::mean(&ratings).ok()
     }
 }
@@ -213,7 +219,14 @@ mod tests {
     use analytics::Summary;
 
     fn summary(v: f64) -> Summary {
-        Summary { count: 10, min: v, mean: v, median: v, p95: v, max: v }
+        Summary {
+            count: 10,
+            min: v,
+            mean: v,
+            median: v,
+            p95: v,
+            max: v,
+        }
     }
 
     fn record(rating: Option<u8>) -> SessionRecord {

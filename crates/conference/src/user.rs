@@ -38,12 +38,20 @@ pub const CONDITIONING_ATTENUATION: f64 = 0.75;
 impl UserProfile {
     /// Draw a user profile.
     pub fn sample<R: Rng + ?Sized>(rng: &mut R, user_id: u64) -> UserProfile {
-        let spread = Dist::LogNormal { mu: 0.0, sigma: 0.25 };
+        let spread = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.25,
+        };
         UserProfile {
             user_id,
             mic_propensity: spread.sample(rng).clamp(0.4, 2.5),
             cam_propensity: spread.sample(rng).clamp(0.4, 2.5),
-            impatience: Dist::LogNormal { mu: 0.0, sigma: 0.4 }.sample(rng).clamp(0.3, 4.0),
+            impatience: Dist::LogNormal {
+                mu: 0.0,
+                sigma: 0.4,
+            }
+            .sample(rng)
+            .clamp(0.3, 4.0),
             conditioned: bernoulli(rng, CONDITIONED_FRACTION),
         }
     }
@@ -81,7 +89,9 @@ mod tests {
     fn conditioning_rate_near_target() {
         let mut r = StdRng::seed_from_u64(7);
         let n = 20_000;
-        let conditioned = (0..n).filter(|i| UserProfile::sample(&mut r, *i).conditioned).count();
+        let conditioned = (0..n)
+            .filter(|i| UserProfile::sample(&mut r, *i).conditioned)
+            .count();
         let rate = conditioned as f64 / n as f64;
         assert!((rate - CONDITIONED_FRACTION).abs() < 0.02, "rate {rate}");
     }
@@ -106,7 +116,9 @@ mod tests {
     #[test]
     fn population_mean_propensity_near_one() {
         let mut r = StdRng::seed_from_u64(9);
-        let xs: Vec<f64> = (0..20_000).map(|i| UserProfile::sample(&mut r, i).mic_propensity).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|i| UserProfile::sample(&mut r, i).mic_propensity)
+            .collect();
         let m = analytics::mean(&xs).unwrap();
         assert!((m - 1.0).abs() < 0.1, "mean {m}");
     }

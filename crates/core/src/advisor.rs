@@ -48,7 +48,11 @@ pub struct TrafficAdvisor {
 
 impl Default for TrafficAdvisor {
     fn default() -> TrafficAdvisor {
-        TrafficAdvisor { bins: 6, min_count: 8, degraded_fraction: 0.5 }
+        TrafficAdvisor {
+            bins: 6,
+            min_count: 8,
+            degraded_fraction: 0.5,
+        }
     }
 }
 
@@ -75,7 +79,10 @@ impl TrafficAdvisor {
         if points.is_empty() {
             return Err(AnalyticsError::Empty);
         }
-        let best = points.iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
+        let best = points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::NEG_INFINITY, f64::max);
         let degraded: Vec<f64> = points
             .iter()
             .filter(|(x, _)| self.is_degraded(metric, *x))
@@ -98,7 +105,11 @@ impl TrafficAdvisor {
                 affected += 1;
             }
         }
-        let affected_fraction = if total == 0 { 0.0 } else { affected as f64 / total as f64 };
+        let affected_fraction = if total == 0 {
+            0.0
+        } else {
+            affected as f64 / total as f64
+        };
         Ok(Intervention {
             metric,
             engagement,
@@ -120,7 +131,9 @@ impl TrafficAdvisor {
             out.push(self.score(dataset, metric, engagement)?);
         }
         out.sort_by(|a, b| {
-            b.expected_lift.partial_cmp(&a.expected_lift).unwrap_or(std::cmp::Ordering::Equal)
+            b.expected_lift
+                .partial_cmp(&a.expected_lift)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         Ok(out)
     }
@@ -142,7 +155,9 @@ mod tests {
         let advisor = TrafficAdvisor::default();
         let ranks = advisor.rank(dataset(), EngagementMetric::MicOn).unwrap();
         assert_eq!(ranks.len(), 4);
-        assert!(ranks.windows(2).all(|w| w[0].expected_lift >= w[1].expected_lift));
+        assert!(ranks
+            .windows(2)
+            .all(|w| w[0].expected_lift >= w[1].expected_lift));
         for r in &ranks {
             assert!(r.per_session_lift >= 0.0);
             assert!((0.0..=1.0).contains(&r.affected_fraction));
@@ -179,8 +194,12 @@ mod tests {
     #[test]
     fn jitter_matters_more_for_camera_than_for_mic() {
         let advisor = TrafficAdvisor::default();
-        let cam = advisor.score(dataset(), NetworkMetric::JitterMs, EngagementMetric::CamOn).unwrap();
-        let mic = advisor.score(dataset(), NetworkMetric::JitterMs, EngagementMetric::MicOn).unwrap();
+        let cam = advisor
+            .score(dataset(), NetworkMetric::JitterMs, EngagementMetric::CamOn)
+            .unwrap();
+        let mic = advisor
+            .score(dataset(), NetworkMetric::JitterMs, EngagementMetric::MicOn)
+            .unwrap();
         assert!(
             cam.per_session_lift > mic.per_session_lift,
             "cam {cam:?} vs mic {mic:?}"
@@ -191,7 +210,11 @@ mod tests {
     fn empty_dataset_errors() {
         let advisor = TrafficAdvisor::default();
         assert!(advisor
-            .score(&CallDataset::default(), NetworkMetric::LatencyMs, EngagementMetric::MicOn)
+            .score(
+                &CallDataset::default(),
+                NetworkMetric::LatencyMs,
+                EngagementMetric::MicOn
+            )
             .is_err());
     }
 }

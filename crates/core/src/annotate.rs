@@ -100,10 +100,7 @@ impl Default for PeakAnnotator {
 impl PeakAnnotator {
     /// Compute the daily strong-sentiment series.
     pub fn sentiment_series(&self, forum: &Forum) -> Result<SentimentSeries, AnalyticsError> {
-        let (start, end) = match (forum.posts.first(), forum.posts.last()) {
-            (Some(a), Some(b)) => (a.date, b.date),
-            _ => return Err(AnalyticsError::Empty),
-        };
+        let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
         let mut pos = DailySeries::zeros(start, end)?;
         let mut neg = DailySeries::zeros(start, end)?;
         for post in &forum.posts {
@@ -114,7 +111,10 @@ impl PeakAnnotator {
                 neg.add(post.date, 1.0);
             }
         }
-        Ok(SentimentSeries { strong_positive: pos, strong_negative: neg })
+        Ok(SentimentSeries {
+            strong_positive: pos,
+            strong_negative: neg,
+        })
     }
 
     /// Word cloud over one day's posts.
@@ -181,7 +181,12 @@ mod tests {
 
     fn forum() -> &'static Forum {
         static F: OnceLock<Forum> = OnceLock::new();
-        F.get_or_init(|| generate(&ForumConfig { authors: 4000, ..ForumConfig::default() }))
+        F.get_or_init(|| {
+            generate(&ForumConfig {
+                authors: 4000,
+                ..ForumConfig::default()
+            })
+        })
     }
 
     fn d(y: i32, m: u8, day: u8) -> Date {
@@ -194,9 +199,18 @@ mod tests {
         let peaks = annotator.annotate(forum(), 3).unwrap();
         assert_eq!(peaks.len(), 3, "expected three annotated peaks");
         let dates: Vec<Date> = peaks.iter().map(|p| p.date).collect();
-        assert!(dates.contains(&d(2021, 2, 9)), "pre-order peak missing: {dates:?}");
-        assert!(dates.contains(&d(2021, 11, 24)), "delay-email peak missing: {dates:?}");
-        assert!(dates.contains(&d(2022, 4, 22)), "Apr 22 outage peak missing: {dates:?}");
+        assert!(
+            dates.contains(&d(2021, 2, 9)),
+            "pre-order peak missing: {dates:?}"
+        );
+        assert!(
+            dates.contains(&d(2021, 11, 24)),
+            "delay-email peak missing: {dates:?}"
+        );
+        assert!(
+            dates.contains(&d(2022, 4, 22)),
+            "Apr 22 outage peak missing: {dates:?}"
+        );
         for p in &peaks {
             match (p.date.year(), p.date.month().month) {
                 (2021, 2) => assert!(p.positive_dominated, "pre-orders should be positive"),
@@ -216,7 +230,11 @@ mod tests {
         let peaks = annotator.annotate(forum(), 3).unwrap();
         for p in &peaks {
             if p.date == d(2022, 4, 22) {
-                assert!(p.unreported(), "Apr 22 must have no coverage: {:?}", p.headlines);
+                assert!(
+                    p.unreported(),
+                    "Apr 22 must have no coverage: {:?}",
+                    p.headlines
+                );
                 // Corroborated by many countries instead (paper: 14).
                 assert!(p.countries >= 6, "Apr 22 countries {}", p.countries);
             } else {

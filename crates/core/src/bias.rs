@@ -49,7 +49,9 @@ pub fn extremity_bias(
         return Err(AnalyticsError::Empty);
     }
     if !(0.0..=1.0).contains(&reference_extreme_share) {
-        return Err(AnalyticsError::InvalidParameter("reference share must be in [0,1]"));
+        return Err(AnalyticsError::InvalidParameter(
+            "reference share must be in [0,1]",
+        ));
     }
     let analyzer = SentimentAnalyzer::default();
     let strong = forum
@@ -66,7 +68,11 @@ pub fn extremity_bias(
     } else {
         f64::INFINITY
     };
-    Ok(ExtremityBias { forum_strong_share, reference_extreme_share, amplification })
+    Ok(ExtremityBias {
+        forum_strong_share,
+        reference_extreme_share,
+        amplification,
+    })
 }
 
 /// A per-post score with its country, ready for reweighting.
@@ -105,7 +111,9 @@ pub fn reweight_by_country(
         total_weight += w;
     }
     if total_weight <= 0.0 {
-        return Err(AnalyticsError::InvalidParameter("no overlap between sample and target"));
+        return Err(AnalyticsError::InvalidParameter(
+            "no overlap between sample and target",
+        ));
     }
     Ok(acc / total_weight)
 }
@@ -136,8 +144,13 @@ pub fn geo_corrected_polarity(
         .collect();
     let raw_values: Vec<f64> = scored.iter().map(|(_, s)| *s).collect();
     let raw = analytics::mean(&raw_values)?;
-    let country_scores: Vec<CountryScore<'_>> =
-        scored.iter().map(|(c, s)| CountryScore { country: c, score: *s }).collect();
+    let country_scores: Vec<CountryScore<'_>> = scored
+        .iter()
+        .map(|(c, s)| CountryScore {
+            country: c,
+            score: *s,
+        })
+        .collect();
     let corrected = reweight_by_country(&country_scores, target_weights)?;
     Ok(GeoCorrectedPolarity { raw, corrected })
 }
@@ -177,10 +190,22 @@ mod tests {
     #[test]
     fn reweighting_shifts_toward_target_country() {
         let scores = vec![
-            CountryScore { country: "US", score: 1.0 },
-            CountryScore { country: "US", score: 1.0 },
-            CountryScore { country: "US", score: 1.0 },
-            CountryScore { country: "DE", score: -1.0 },
+            CountryScore {
+                country: "US",
+                score: 1.0,
+            },
+            CountryScore {
+                country: "US",
+                score: 1.0,
+            },
+            CountryScore {
+                country: "US",
+                score: 1.0,
+            },
+            CountryScore {
+                country: "DE",
+                score: -1.0,
+            },
         ];
         let mut equal = HashMap::new();
         equal.insert("US", 0.5);
@@ -195,7 +220,10 @@ mod tests {
     #[test]
     fn reweighting_errors() {
         assert!(reweight_by_country(&[], &HashMap::new()).is_err());
-        let scores = vec![CountryScore { country: "US", score: 1.0 }];
+        let scores = vec![CountryScore {
+            country: "US",
+            score: 1.0,
+        }];
         let mut disjoint = HashMap::new();
         disjoint.insert("JP", 1.0);
         assert!(reweight_by_country(&scores, &disjoint).is_err());

@@ -85,12 +85,22 @@ pub struct Grid2d {
 impl Grid2d {
     /// The minimum populated cell value.
     pub fn min_value(&self) -> Option<f64> {
-        self.values.iter().flatten().flatten().cloned().reduce(f64::min)
+        self.values
+            .iter()
+            .flatten()
+            .flatten()
+            .cloned()
+            .reduce(f64::min)
     }
 
     /// The maximum populated cell value (100 after normalisation).
     pub fn max_value(&self) -> Option<f64> {
-        self.values.iter().flatten().flatten().cloned().reduce(f64::max)
+        self.values
+            .iter()
+            .flatten()
+            .flatten()
+            .cloned()
+            .reduce(f64::max)
     }
 
     /// Value of the cell containing `(x, y)`.
@@ -134,12 +144,23 @@ pub fn compounding_grid(
             row_s
                 .iter()
                 .zip(row_c)
-                .map(|(s, c)| if *c >= min_count.max(1) { Some(s / *c as f64) } else { None })
+                .map(|(s, c)| {
+                    if *c >= min_count.max(1) {
+                        Some(s / *c as f64)
+                    } else {
+                        None
+                    }
+                })
                 .collect()
         })
         .collect();
     // Normalise to the best cell = 100.
-    let max = values.iter().flatten().flatten().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = values
+        .iter()
+        .flatten()
+        .flatten()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     if max.is_finite() && max > 0.0 {
         for row in values.iter_mut() {
             for v in row.iter_mut() {
@@ -149,7 +170,12 @@ pub fn compounding_grid(
             }
         }
     }
-    Ok(Grid2d { x, y, values, counts })
+    Ok(Grid2d {
+        x,
+        y,
+        values,
+        counts,
+    })
 }
 
 /// Fig. 3: per-platform engagement-vs-loss curves (normalised jointly so
@@ -164,8 +190,10 @@ pub fn platform_curves(
 ) -> Result<Vec<(Platform, BinnedCurve)>, AnalyticsError> {
     let (lo, hi) = sweep.sweep_range();
     let spec = BinSpec::new(lo, hi, bins)?;
-    let mut binners: Vec<(Platform, Binner)> =
-        Platform::ALL.iter().map(|p| (*p, Binner::new(spec))).collect();
+    let mut binners: Vec<(Platform, Binner)> = Platform::ALL
+        .iter()
+        .map(|p| (*p, Binner::new(spec)))
+        .collect();
     for s in &dataset.sessions {
         if !in_reference_except(s, sweep) {
             continue;
@@ -174,8 +202,10 @@ pub fn platform_curves(
             binner.record(s.network_mean(sweep), s.engagement(engagement));
         }
     }
-    let raw: Vec<(Platform, BinnedCurve)> =
-        binners.into_iter().map(|(p, b)| (p, b.curve_mean(min_count))).collect();
+    let raw: Vec<(Platform, BinnedCurve)> = binners
+        .into_iter()
+        .map(|(p, b)| (p, b.curve_mean(min_count)))
+        .collect();
     let global_max = raw
         .iter()
         .flat_map(|(_, c)| c.ys.iter().flatten().cloned())
@@ -186,8 +216,18 @@ pub fn platform_curves(
     Ok(raw
         .into_iter()
         .map(|(p, c)| {
-            let ys = c.ys.iter().map(|y| y.map(|y| y / global_max * 100.0)).collect();
-            (p, BinnedCurve { xs: c.xs.clone(), ys, counts: c.counts })
+            let ys =
+                c.ys.iter()
+                    .map(|y| y.map(|y| y / global_max * 100.0))
+                    .collect();
+            (
+                p,
+                BinnedCurve {
+                    xs: c.xs.clone(),
+                    ys,
+                    counts: c.counts,
+                },
+            )
         })
         .collect())
 }
@@ -252,8 +292,10 @@ pub fn mos_correlations(
     if rated.len() < 2 {
         return Err(AnalyticsError::Empty);
     }
-    let ratings: Vec<f64> =
-        rated.iter().map(|s| f64::from(s.rating.expect("rated"))).collect();
+    let ratings: Vec<f64> = rated
+        .iter()
+        .map(|s| f64::from(s.rating.expect("rated")))
+        .collect();
     let mut out = Vec::new();
     for metric in EngagementMetric::ALL {
         let xs: Vec<f64> = rated.iter().map(|s| s.engagement(metric)).collect();
@@ -290,20 +332,28 @@ fn mean_presence<'a>(sessions: impl Iterator<Item = &'a SessionRecord>) -> Optio
 /// above 120 ms (with loss/jitter/bandwidth unconstrained, to keep strata
 /// populated).
 pub fn confounder_report(dataset: &CallDataset) -> Result<ConfounderReport, AnalyticsError> {
-    let latency_curve =
-        engagement_curve(dataset, NetworkMetric::LatencyMs, EngagementMetric::Presence, 6, 5)?;
+    let latency_curve = engagement_curve(
+        dataset,
+        NetworkMetric::LatencyMs,
+        EngagementMetric::Presence,
+        6,
+        5,
+    )?;
     let network_effect = match (latency_curve.first_y(), latency_curve.last_y()) {
         (Some(a), Some(b)) => (a - b).abs(),
         _ => return Err(AnalyticsError::Empty),
     };
-    let degraded =
-        |s: &&SessionRecord| s.network_mean(NetworkMetric::LatencyMs) > 120.0;
+    let degraded = |s: &&SessionRecord| s.network_mean(NetworkMetric::LatencyMs) > 120.0;
 
     let mut platform_means = Vec::new();
     for p in Platform::ALL {
-        if let Some(m) =
-            mean_presence(dataset.sessions.iter().filter(degraded).filter(|s| s.platform == p))
-        {
+        if let Some(m) = mean_presence(
+            dataset
+                .sessions
+                .iter()
+                .filter(degraded)
+                .filter(|s| s.platform == p),
+        ) {
             platform_means.push(m);
         }
     }
@@ -314,20 +364,38 @@ pub fn confounder_report(dataset: &CallDataset) -> Result<ConfounderReport, Anal
         - platform_means.iter().cloned().fold(f64::INFINITY, f64::min);
 
     let small = mean_presence(
-        dataset.sessions.iter().filter(degraded).filter(|s| s.meeting_size <= 5),
+        dataset
+            .sessions
+            .iter()
+            .filter(degraded)
+            .filter(|s| s.meeting_size <= 5),
     );
     let large = mean_presence(
-        dataset.sessions.iter().filter(degraded).filter(|s| s.meeting_size >= 10),
+        dataset
+            .sessions
+            .iter()
+            .filter(degraded)
+            .filter(|s| s.meeting_size >= 10),
     );
     let meeting_size_effect = match (small, large) {
         (Some(a), Some(b)) => (a - b).abs(),
         _ => 0.0,
     };
 
-    let cond =
-        mean_presence(dataset.sessions.iter().filter(degraded).filter(|s| s.conditioned));
-    let uncond =
-        mean_presence(dataset.sessions.iter().filter(degraded).filter(|s| !s.conditioned));
+    let cond = mean_presence(
+        dataset
+            .sessions
+            .iter()
+            .filter(degraded)
+            .filter(|s| s.conditioned),
+    );
+    let uncond = mean_presence(
+        dataset
+            .sessions
+            .iter()
+            .filter(degraded)
+            .filter(|s| !s.conditioned),
+    );
     let conditioning_effect = match (cond, uncond) {
         (Some(a), Some(b)) => (a - b).abs(),
         _ => 0.0,
@@ -358,9 +426,14 @@ mod tests {
         let ds = dataset();
         let mic =
             engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::MicOn, 6, 8).unwrap();
-        let presence =
-            engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::Presence, 6, 8)
-                .unwrap();
+        let presence = engagement_curve(
+            ds,
+            NetworkMetric::LatencyMs,
+            EngagementMetric::Presence,
+            6,
+            8,
+        )
+        .unwrap();
         let mic_drop = mic.first_y().unwrap() - mic.last_y().unwrap();
         let presence_drop = presence.first_y().unwrap() - presence.last_y().unwrap();
         assert!(mic_drop > 15.0, "mic drop {mic_drop}");
@@ -382,8 +455,7 @@ mod tests {
 
     #[test]
     fn compounding_grid_dips_hard() {
-        let grid =
-            compounding_grid(dataset(), EngagementMetric::Presence, 4, 5).unwrap();
+        let grid = compounding_grid(dataset(), EngagementMetric::Presence, 4, 5).unwrap();
         let max = grid.max_value().unwrap();
         let min = grid.min_value().unwrap();
         assert!((max - 100.0).abs() < 1e-9);
@@ -431,7 +503,10 @@ mod tests {
     fn cam_on_does_not_raise_latency() {
         let c = latency_by_cam_on(dataset(), 5, 20).unwrap();
         let slope = c.slope_between(10.0, 90.0).unwrap();
-        assert!(slope <= 0.05, "latency should not rise with CamOn, slope {slope}");
+        assert!(
+            slope <= 0.05,
+            "latency should not rise with CamOn, slope {slope}"
+        );
     }
 
     #[test]
@@ -483,6 +558,9 @@ mod tests {
         .unwrap();
         let mean_drop = mean_curve.first_y().unwrap() - mean_curve.last_y().unwrap();
         let p95_drop = p95_curve.first_y().unwrap() - p95_curve.last_y().unwrap();
-        assert!(mean_drop > 0.0 && p95_drop > 0.0, "both aggregations decline");
+        assert!(
+            mean_drop > 0.0 && p95_drop > 0.0,
+            "both aggregations decline"
+        );
     }
 }

@@ -71,11 +71,19 @@ impl fmt::Display for Digest {
         writeln!(f, "=== USaaS insights digest ===")?;
         writeln!(f, "\nregime changes:")?;
         for r in &self.regime_changes {
-            writeln!(f, "  {} — {}: {:.1} → {:.1}", r.month, r.series, r.before, r.after)?;
+            writeln!(
+                f,
+                "  {} — {}: {:.1} → {:.1}",
+                r.month, r.series, r.before, r.after
+            )?;
         }
         writeln!(f, "\noutage episodes (top 5):")?;
         for o in self.outages.iter().take(5) {
-            writeln!(f, "  {} (z = {:.1}, {:.0} mentions)", o.date, o.score, o.occurrences)?;
+            writeln!(
+                f,
+                "  {} (z = {:.1}, {:.0} mentions)",
+                o.date, o.score, o.occurrences
+            )?;
         }
         writeln!(f, "\nemerging topics:")?;
         for (term, date) in self.emerging.iter().take(5) {
@@ -83,7 +91,11 @@ impl fmt::Display for Digest {
         }
         writeln!(f, "\nstrata gaps (presence points, Welch's t):")?;
         for g in &self.gaps {
-            writeln!(f, "  {}: Δ {:+.1} (p = {:.4})", g.label, g.difference, g.p_value)?;
+            writeln!(
+                f,
+                "  {}: Δ {:+.1} (p = {:.4})",
+                g.label, g.difference, g.p_value
+            )?;
         }
         if let Some((metric, lift)) = &self.top_intervention {
             writeln!(f, "\ntop intervention: improve {metric} (expected lift {lift:.1} points / 100 sessions)")?;
@@ -155,16 +167,15 @@ impl DigestBuilder {
         let degraded = |s: &&conference::records::SessionRecord| {
             s.network_mean(NetworkMetric::LatencyMs) > 120.0
         };
-        let presence =
-            |pred: &dyn Fn(&conference::records::SessionRecord) -> bool| -> Vec<f64> {
-                dataset
-                    .sessions
-                    .iter()
-                    .filter(degraded)
-                    .filter(|s| pred(s))
-                    .map(|s| s.presence_pct)
-                    .collect()
-            };
+        let presence = |pred: &dyn Fn(&conference::records::SessionRecord) -> bool| -> Vec<f64> {
+            dataset
+                .sessions
+                .iter()
+                .filter(degraded)
+                .filter(|s| pred(s))
+                .map(|s| s.presence_pct)
+                .collect()
+        };
         let mobile = presence(&|s| s.platform.is_mobile());
         let pc = presence(&|s| !s.platform.is_mobile());
         let conditioned = presence(&|s| s.conditioned);
@@ -191,11 +202,17 @@ impl DigestBuilder {
 
     /// Assemble the full digest.
     pub fn build(&self, dataset: &CallDataset, forum: &Forum) -> Result<Digest, AnalyticsError> {
-        let first = forum.posts.first().ok_or(AnalyticsError::Empty)?.date.month();
-        let last = forum.posts.last().ok_or(AnalyticsError::Empty)?.date.month();
+        let (first, last) = forum
+            .date_range()
+            .map(|(a, b)| (a.month(), b.month()))
+            .ok_or(AnalyticsError::Empty)?;
         let series = self.fulcrum.analyze(forum, first, last)?;
         let mut outages = self.detector.detect(forum)?;
-        outages.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        outages.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let emerging = self
             .miner
             .mine(forum)?
@@ -223,9 +240,8 @@ impl DigestBuilder {
 /// with pairwise significance against Windows (used by the digest's
 /// extended reporting and the examples).
 pub fn platform_gaps(dataset: &CallDataset) -> Result<Vec<TestedGap>, AnalyticsError> {
-    let degraded = |s: &&conference::records::SessionRecord| {
-        s.network_mean(NetworkMetric::LatencyMs) > 120.0
-    };
+    let degraded =
+        |s: &&conference::records::SessionRecord| s.network_mean(NetworkMetric::LatencyMs) > 120.0;
     let of = |p: Platform| -> Vec<f64> {
         dataset
             .sessions
@@ -237,7 +253,11 @@ pub fn platform_gaps(dataset: &CallDataset) -> Result<Vec<TestedGap>, AnalyticsE
     };
     let base = of(Platform::WindowsPc);
     let mut out = Vec::new();
-    for p in [Platform::MacPc, Platform::AndroidMobile, Platform::IosMobile] {
+    for p in [
+        Platform::MacPc,
+        Platform::AndroidMobile,
+        Platform::IosMobile,
+    ] {
         let xs = of(p);
         if xs.len() >= 2 && base.len() >= 2 {
             let t = welch_t_test(&xs, &base)?;
@@ -263,7 +283,10 @@ mod tests {
         F.get_or_init(|| {
             (
                 generate(&DatasetConfig::small(5000, 0xD16)),
-                gen_forum(&ForumConfig { authors: 3000, ..ForumConfig::default() }),
+                gen_forum(&ForumConfig {
+                    authors: 3000,
+                    ..ForumConfig::default()
+                }),
             )
         })
     }
@@ -294,15 +317,22 @@ mod tests {
         let builder = DigestBuilder::default();
         let series = builder
             .fulcrum
-            .analyze(forum, Month::new(2021, 1).unwrap(), Month::new(2022, 12).unwrap())
+            .analyze(
+                forum,
+                Month::new(2021, 1).unwrap(),
+                Month::new(2022, 12).unwrap(),
+            )
             .unwrap();
         let changes = builder.regime_changes(&series);
-        let down: Vec<&RegimeChange> =
-            changes.iter().filter(|c| c.series == "downlink median").collect();
+        let down: Vec<&RegimeChange> = changes
+            .iter()
+            .filter(|c| c.series == "downlink median")
+            .collect();
         assert!(!down.is_empty(), "the 2021→2022 decline must register");
         // At least one change is a decline into 2022.
         assert!(
-            down.iter().any(|c| c.after < c.before && c.month.year >= 2021),
+            down.iter()
+                .any(|c| c.after < c.before && c.month.year >= 2021),
             "{down:?}"
         );
     }
@@ -312,7 +342,10 @@ mod tests {
         let (dataset, _) = fixtures();
         let gaps = DigestBuilder::default().tested_gaps(dataset).unwrap();
         let mobile = gaps.iter().find(|g| g.label.starts_with("mobile")).unwrap();
-        assert!(mobile.difference < 0.0, "mobile should trail PC: {mobile:?}");
+        assert!(
+            mobile.difference < 0.0,
+            "mobile should trail PC: {mobile:?}"
+        );
         assert!(mobile.p_value < 0.05, "{mobile:?}");
     }
 
@@ -334,6 +367,8 @@ mod tests {
     #[test]
     fn empty_forum_errors() {
         let (dataset, _) = fixtures();
-        assert!(DigestBuilder::default().build(dataset, &Forum::default()).is_err());
+        assert!(DigestBuilder::default()
+            .build(dataset, &Forum::default())
+            .is_err());
     }
 }

@@ -29,7 +29,11 @@ pub struct EarlyScoreWeights {
 impl Default for EarlyScoreWeights {
     fn default() -> EarlyScoreWeights {
         // Presence dominates, mirroring the Fig. 4 correlation ranking.
-        EarlyScoreWeights { presence: 0.6, mic: 0.25, cam: 0.15 }
+        EarlyScoreWeights {
+            presence: 0.6,
+            mic: 0.25,
+            cam: 0.15,
+        }
     }
 }
 
@@ -175,7 +179,11 @@ mod tests {
             }
         }
         let zero = EarlyQualityMonitor {
-            weights: EarlyScoreWeights { presence: 0.0, mic: 0.0, cam: 0.0 },
+            weights: EarlyScoreWeights {
+                presence: 0.0,
+                mic: 0.0,
+                cam: 0.0,
+            },
         };
         assert_eq!(zero.score(&sessions()[0], 36), None);
     }

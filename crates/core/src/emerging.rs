@@ -36,7 +36,12 @@ pub struct EmergingTopicMiner {
 
 impl Default for EmergingTopicMiner {
     fn default() -> EmergingTopicMiner {
-        EmergingTopicMiner { window_days: 7, step_days: 1, min_novelty: 8.0, min_weight: 150.0 }
+        EmergingTopicMiner {
+            window_days: 7,
+            step_days: 1,
+            min_novelty: 8.0,
+            min_weight: 150.0,
+        }
     }
 }
 
@@ -59,10 +64,7 @@ impl EmergingTopicMiner {
     /// Mine the corpus; returns the first detection per term, ordered by
     /// flag date.
     pub fn mine(&self, forum: &Forum) -> Result<Vec<EmergingTopic>, AnalyticsError> {
-        let (start, end) = match (forum.posts.first(), forum.posts.last()) {
-            (Some(a), Some(b)) => (a.date, b.date),
-            _ => return Err(AnalyticsError::Empty),
-        };
+        let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
         let analyzer = SentimentAnalyzer::default();
         // Historical cumulative engagement weight per term and in total.
         // Novelty compares the term's *share* of engagement-weighted counts
@@ -99,8 +101,7 @@ impl EmergingTopicMiner {
                 if weight < self.min_weight || detected.contains_key(term) {
                     continue;
                 }
-                let hist_share =
-                    history.get(term).copied().unwrap_or(0.0) / history_total.max(1.0);
+                let hist_share = history.get(term).copied().unwrap_or(0.0) / history_total.max(1.0);
                 let window_share = weight / window_total;
                 let novelty = window_share / (hist_share + SHARE_FLOOR);
                 if novelty >= self.min_novelty {
@@ -157,7 +158,12 @@ mod tests {
 
     fn forum() -> &'static Forum {
         static F: OnceLock<Forum> = OnceLock::new();
-        F.get_or_init(|| generate(&ForumConfig { authors: 4000, ..ForumConfig::default() }))
+        F.get_or_init(|| {
+            generate(&ForumConfig {
+                authors: 4000,
+                ..ForumConfig::default()
+            })
+        })
     }
 
     fn d(y: i32, m: u8, day: u8) -> Date {
@@ -178,8 +184,15 @@ mod tests {
             "roaming flagged {} — only {lead} days before the tweet (paper: ~2 weeks)",
             hit.first_flagged
         );
-        assert!(hit.first_flagged >= d(2022, 2, 14), "cannot flag before users discover it");
-        assert!(hit.polarity > 0.0, "roaming chatter should be positive: {}", hit.polarity);
+        assert!(
+            hit.first_flagged >= d(2022, 2, 14),
+            "cannot flag before users discover it"
+        );
+        assert!(
+            hit.polarity > 0.0,
+            "roaming chatter should be positive: {}",
+            hit.polarity
+        );
     }
 
     #[test]
@@ -200,7 +213,9 @@ mod tests {
         let miner = EmergingTopicMiner::default();
         let topics = miner.mine(forum()).unwrap();
         assert!(!topics.is_empty());
-        assert!(topics.windows(2).all(|w| w[0].first_flagged <= w[1].first_flagged));
+        assert!(topics
+            .windows(2)
+            .all(|w| w[0].first_flagged <= w[1].first_flagged));
         let mut terms: Vec<&str> = topics.iter().map(|t| t.term.as_str()).collect();
         terms.sort_unstable();
         let before = terms.len();

@@ -94,7 +94,9 @@ impl FulcrumAnalysis {
             let mut strong_pos = 0usize;
             let mut strong_neg = 0usize;
             for post in forum.between(from, to) {
-                let Some(shot) = &post.screenshot else { continue };
+                let Some(shot) = &post.screenshot else {
+                    continue;
+                };
                 if let Some(d) = ocr::extract::extract(&shot.ocr_text).downlink_mbps {
                     downs.push(d);
                 }
@@ -105,15 +107,14 @@ impl FulcrumAnalysis {
                     strong_neg += 1;
                 }
             }
-            let (median_down, median_down_95, median_down_90) =
-                if downs.len() >= self.min_reports {
-                    let m = analytics::median(&downs)?;
-                    let s95 = analytics::median(&subsample(&mut rng, &downs, 0.95)?)?;
-                    let s90 = analytics::median(&subsample(&mut rng, &downs, 0.90)?)?;
-                    (Some(m), Some(s95), Some(s90))
-                } else {
-                    (None, None, None)
-                };
+            let (median_down, median_down_95, median_down_90) = if downs.len() >= self.min_reports {
+                let m = analytics::median(&downs)?;
+                let s95 = analytics::median(&subsample(&mut rng, &downs, 0.95)?)?;
+                let s90 = analytics::median(&subsample(&mut rng, &downs, 0.90)?)?;
+                (Some(m), Some(s95), Some(s90))
+            } else {
+                (None, None, None)
+            };
             // Pos "filter[s] out edge cases when identifying the sentiment
             // is hard": only strong posts enter the ratio.
             let pos_score = if strong_pos + strong_neg > 0 {
@@ -168,7 +169,12 @@ mod tests {
 
     fn forum() -> &'static Forum {
         static F: OnceLock<Forum> = OnceLock::new();
-        F.get_or_init(|| generate(&ForumConfig { authors: 4000, ..ForumConfig::default() }))
+        F.get_or_init(|| {
+            generate(&ForumConfig {
+                authors: 4000,
+                ..ForumConfig::default()
+            })
+        })
     }
 
     fn series() -> &'static Vec<MonthlyPoint> {
@@ -189,7 +195,10 @@ mod tests {
         let s = series();
         assert_eq!(s.len(), 24);
         let total: usize = s.iter().map(|p| p.reports).sum();
-        assert!((1000..2600).contains(&total), "recovered reports {total} (paper: ~1750)");
+        assert!(
+            (1000..2600).contains(&total),
+            "recovered reports {total} (paper: ~1750)"
+        );
         assert!(s.iter().filter(|p| p.median_down.is_some()).count() >= 20);
     }
 
@@ -198,7 +207,12 @@ mod tests {
         for p in series() {
             if let Some(m) = p.median_down {
                 let rel = (m - p.model_median).abs() / p.model_median;
-                assert!(rel < 0.30, "{}: extracted {m} vs model {}", p.month, p.model_median);
+                assert!(
+                    rel < 0.30,
+                    "{}: extracted {m} vs model {}",
+                    p.month,
+                    p.model_median
+                );
             }
         }
     }
@@ -223,8 +237,16 @@ mod tests {
             if let (Some(full), Some(s95), Some(s90)) =
                 (p.median_down, p.median_down_95, p.median_down_90)
             {
-                assert!((s95 - full).abs() / full < 0.15, "{}: 95% {s95} vs {full}", p.month);
-                assert!((s90 - full).abs() / full < 0.20, "{}: 90% {s90} vs {full}", p.month);
+                assert!(
+                    (s95 - full).abs() / full < 0.15,
+                    "{}: 95% {s95} vs {full}",
+                    p.month
+                );
+                assert!(
+                    (s90 - full).abs() / full < 0.20,
+                    "{}: 90% {s90} vs {full}",
+                    p.month
+                );
             }
         }
     }
@@ -237,7 +259,10 @@ mod tests {
         let dec_med = s.median_of(2021, 12).unwrap();
         let apr_pos = s.pos_of(2021, 4).unwrap();
         let dec_pos = s.pos_of(2021, 12).unwrap();
-        assert!(dec_med > apr_med * 0.95, "premise: Dec'21 {dec_med} ≳ Apr'21 {apr_med}");
+        assert!(
+            dec_med > apr_med * 0.95,
+            "premise: Dec'21 {dec_med} ≳ Apr'21 {apr_med}"
+        );
         assert!(
             dec_pos < apr_pos - 0.1,
             "Pos should drop: Apr'21 {apr_pos} vs Dec'21 {dec_pos}"
@@ -251,7 +276,10 @@ mod tests {
         let s = series().as_slice();
         let mar_med = s.median_of(2022, 3).unwrap();
         let dec_med = s.median_of(2022, 12).unwrap();
-        assert!(dec_med < mar_med, "premise: speeds fall {mar_med} → {dec_med}");
+        assert!(
+            dec_med < mar_med,
+            "premise: speeds fall {mar_med} → {dec_med}"
+        );
         let q_mean = |months: [u8; 3]| {
             let xs: Vec<f64> = months.iter().filter_map(|m| s.pos_of(2022, *m)).collect();
             analytics::mean(&xs).unwrap()
@@ -269,7 +297,10 @@ mod tests {
         let s = series();
         let launches: usize = s.iter().map(|p| p.launches).sum();
         assert!((45..60).contains(&launches), "launches {launches}");
-        assert!(s[0].reported_users.is_none(), "no public report before Feb'21");
+        assert!(
+            s[0].reported_users.is_none(),
+            "no public report before Feb'21"
+        );
         assert!(s[23].reported_users.unwrap() >= 1_000_000.0);
     }
 

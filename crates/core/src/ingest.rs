@@ -5,6 +5,13 @@
 //! batches land in the shared [`SignalStore`]. Built on `crossbeam` bounded
 //! channels + scoped threads — the workload is CPU-bound batch processing,
 //! so plain threads (not an async runtime) are the right tool.
+//!
+//! Failure behaviour: if every worker dies (a panic in normalisation), the
+//! producer's sends start failing with a disconnected-channel error. The
+//! producer stops feeding instead of panicking on the send itself, and the
+//! *original* worker panic payload is re-raised once the scope is joined —
+//! so the cause that reaches the caller is the real one, not a misleading
+//! `SendError`.
 
 use crate::signals::Signal;
 use crate::store::SignalStore;
@@ -31,25 +38,45 @@ pub fn normalise(item: &RawItem, analyzer: &SentimentAnalyzer) -> Vec<Signal> {
 
 /// Ingest a call dataset and a forum corpus into the store using `workers`
 /// normalisation threads. Returns the number of signals stored.
+///
+/// # Panics
+///
+/// Re-raises the original panic of any normalisation worker that died.
 pub fn ingest_all(
     store: &SignalStore,
     dataset: &CallDataset,
     forum: &Forum,
     workers: usize,
 ) -> usize {
+    ingest_with(store, dataset, forum, workers, normalise)
+}
+
+/// [`ingest_all`] generic over the normalisation function, so tests can
+/// inject a faulty worker and exercise the failure path.
+fn ingest_with<N>(
+    store: &SignalStore,
+    dataset: &CallDataset,
+    forum: &Forum,
+    workers: usize,
+    normalise_fn: N,
+) -> usize
+where
+    N: Fn(&RawItem, &SentimentAnalyzer) -> Vec<Signal> + Sync,
+{
     let workers = workers.max(1);
     let (tx, rx) = channel::bounded::<RawItem>(4096);
     let before = store.len();
 
-    crossbeam::thread::scope(|scope| {
+    let joined = crossbeam::thread::scope(|scope| {
         // Normalisation workers.
         for _ in 0..workers {
             let rx = rx.clone();
+            let normalise_fn = &normalise_fn;
             scope.spawn(move |_| {
                 let analyzer = SentimentAnalyzer::default();
                 let mut batch: Vec<Signal> = Vec::with_capacity(256);
                 for item in rx.iter() {
-                    batch.extend(normalise(&item, &analyzer));
+                    batch.extend(normalise_fn(&item, &analyzer));
                     if batch.len() >= 256 {
                         store.insert_batch(std::mem::take(&mut batch));
                     }
@@ -61,16 +88,28 @@ pub fn ingest_all(
         }
         drop(rx);
 
-        // Producer: feed both sources.
-        for s in &dataset.sessions {
-            tx.send(RawItem::Session(Box::new(s.clone()))).expect("workers alive");
+        // Producer: feed both sources. A send only fails when every worker
+        // is gone — stop feeding and let the scope join report why.
+        let sessions = dataset
+            .sessions
+            .iter()
+            .map(|s| RawItem::Session(Box::new(s.clone())));
+        let posts = forum
+            .posts
+            .iter()
+            .map(|p| RawItem::Post(Box::new(p.clone())));
+        for item in sessions.chain(posts) {
+            if tx.send(item).is_err() {
+                break;
+            }
         }
-        for p in &forum.posts {
-            tx.send(RawItem::Post(Box::new(p.clone()))).expect("workers alive");
-        }
+        // Hang up so workers drain and exit before the scope joins them.
         drop(tx);
-    })
-    .expect("ingest scope");
+    });
+    if let Err(payload) = joined {
+        // A worker panicked; hand the caller its payload, not ours.
+        std::panic::resume_unwind(payload);
+    }
 
     store.len() - before
 }
@@ -81,6 +120,7 @@ mod tests {
     use crate::signals::SignalKind;
     use conference::dataset::{generate, DatasetConfig};
     use social::generator::{generate as gen_forum, ForumConfig};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn small_forum() -> Forum {
         let mut cfg = ForumConfig::default();
@@ -99,7 +139,10 @@ mod tests {
         assert_eq!(n, expected);
         assert_eq!(store.count_kind(SignalKind::Implicit), dataset.len());
         assert_eq!(store.count_kind(SignalKind::Social), forum.len());
-        assert_eq!(store.count_kind(SignalKind::Explicit), dataset.rated_sessions().count());
+        assert_eq!(
+            store.count_kind(SignalKind::Explicit),
+            dataset.rated_sessions().count()
+        );
     }
 
     #[test]
@@ -122,5 +165,33 @@ mod tests {
         let n = ingest_all(&store, &CallDataset::default(), &Forum::default(), 2);
         assert_eq!(n, 0);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_is_surfaced_not_a_send_error() {
+        // Regression: a dead worker pool used to make the *producer* panic
+        // on `send(..).expect("workers alive")`, hiding the real cause. Now
+        // the producer backs off and the worker's own panic reaches the
+        // caller.
+        let store = SignalStore::new();
+        let dataset = generate(&DatasetConfig::small(200, 9));
+        let forum = Forum::default();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            ingest_with(&store, &dataset, &forum, 2, |item, _| match item {
+                RawItem::Session(_) => panic!("normaliser exploded"),
+                RawItem::Post(p) => vec![Signal::from_post(p, &SentimentAnalyzer::default())],
+            })
+        }));
+        let payload = result.expect_err("a worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(
+            msg, "normaliser exploded",
+            "caller must see the worker's original panic, got: {msg:?}"
+        );
     }
 }

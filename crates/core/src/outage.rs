@@ -77,10 +77,7 @@ pub struct DetectionScore {
 impl OutageDetector {
     /// The Fig. 6 series: day-wise keyword occurrences in negative posts.
     pub fn keyword_series(&self, forum: &Forum) -> Result<DailySeries, AnalyticsError> {
-        let (start, end) = match (forum.posts.first(), forum.posts.last()) {
-            (Some(a), Some(b)) => (a.date, b.date),
-            _ => return Err(AnalyticsError::Empty),
-        };
+        let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
         let mut series = DailySeries::zeros(start, end)?;
         for post in &forum.posts {
             let text = post.text();
@@ -107,26 +104,27 @@ impl OutageDetector {
         Ok(series
             .peaks(self.min_peak_score, self.refractory_days)
             .into_iter()
-            .map(|Peak { date, value, score }| DetectedOutage { date, occurrences: value, score })
+            .map(|Peak { date, value, score }| DetectedOutage {
+                date,
+                occurrences: value,
+                score,
+            })
             .collect())
     }
 
     /// Score detections against ground truth (± 1 day matching window).
-    pub fn score_against(
-        &self,
-        detections: &[DetectedOutage],
-        truth: &[Outage],
-    ) -> DetectionScore {
-        let matches_truth = |d: &DetectedOutage| {
-            truth.iter().any(|o| (o.date.days_since(d.date)).abs() <= 1)
-        };
+    pub fn score_against(&self, detections: &[DetectedOutage], truth: &[Outage]) -> DetectionScore {
+        let matches_truth =
+            |d: &DetectedOutage| truth.iter().any(|o| (o.date.days_since(d.date)).abs() <= 1);
         let true_positives = detections.iter().filter(|d| matches_truth(d)).count();
         let false_positives = detections.len() - true_positives;
         let majors: Vec<&Outage> = truth.iter().filter(|o| o.is_major()).collect();
         let missed_major = majors
             .iter()
             .filter(|o| {
-                !detections.iter().any(|d| (o.date.days_since(d.date)).abs() <= 1)
+                !detections
+                    .iter()
+                    .any(|d| (o.date.days_since(d.date)).abs() <= 1)
             })
             .count();
         let precision = if detections.is_empty() {
@@ -139,7 +137,13 @@ impl OutageDetector {
         } else {
             (majors.len() - missed_major) as f64 / majors.len() as f64
         };
-        DetectionScore { true_positives, false_positives, missed_major, precision, major_recall }
+        DetectionScore {
+            true_positives,
+            false_positives,
+            missed_major,
+            precision,
+            major_recall,
+        }
     }
 }
 
@@ -152,7 +156,12 @@ mod tests {
 
     fn forum() -> &'static Forum {
         static F: OnceLock<Forum> = OnceLock::new();
-        F.get_or_init(|| generate(&ForumConfig { authors: 4000, ..ForumConfig::default() }))
+        F.get_or_init(|| {
+            generate(&ForumConfig {
+                authors: 4000,
+                ..ForumConfig::default()
+            })
+        })
     }
 
     fn d(y: i32, m: u8, day: u8) -> Date {
@@ -182,27 +191,39 @@ mod tests {
             &TransientOutageConfig::default(),
         );
         let score = det.score_against(&detections, &truth);
-        assert_eq!(score.missed_major, 0, "all three major outages must be found");
+        assert_eq!(
+            score.missed_major, 0,
+            "all three major outages must be found"
+        );
         assert!(score.major_recall == 1.0);
         assert!(score.precision > 0.6, "precision {}", score.precision);
     }
 
     #[test]
     fn transient_outages_produce_numerous_smaller_peaks() {
-        let det = OutageDetector { min_peak_score: 2.0, ..OutageDetector::default() };
+        let det = OutageDetector {
+            min_peak_score: 2.0,
+            ..OutageDetector::default()
+        };
         let detections = det.detect(forum()).unwrap();
         let majors = [d(2022, 1, 7), d(2022, 4, 22), d(2022, 8, 30)];
         let minor = detections
             .iter()
             .filter(|det| majors.iter().all(|m| (m.days_since(det.date)).abs() > 2))
             .count();
-        assert!(minor >= 10, "expected many transient-outage peaks, got {minor}");
+        assert!(
+            minor >= 10,
+            "expected many transient-outage peaks, got {minor}"
+        );
     }
 
     #[test]
     fn negative_filter_raises_precision() {
         let with = OutageDetector::default();
-        let without = OutageDetector { negative_filter: false, ..OutageDetector::default() };
+        let without = OutageDetector {
+            negative_filter: false,
+            ..OutageDetector::default()
+        };
         let s_with = with.keyword_series(forum()).unwrap();
         let s_without = without.keyword_series(forum()).unwrap();
         // The filter strictly removes mass…
@@ -216,10 +237,16 @@ mod tests {
             d(2022, 12, 31),
             &TransientOutageConfig::default(),
         );
-        let p_with = with.score_against(&with.detect(forum()).unwrap(), &truth).precision;
-        let p_without =
-            without.score_against(&without.detect(forum()).unwrap(), &truth).precision;
-        assert!(p_with + 1e-9 >= p_without, "filtered {p_with} vs unfiltered {p_without}");
+        let p_with = with
+            .score_against(&with.detect(forum()).unwrap(), &truth)
+            .precision;
+        let p_without = without
+            .score_against(&without.detect(forum()).unwrap(), &truth)
+            .precision;
+        assert!(
+            p_with + 1e-9 >= p_without,
+            "filtered {p_with} vs unfiltered {p_without}"
+        );
     }
 
     #[test]

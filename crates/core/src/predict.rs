@@ -85,7 +85,10 @@ pub struct MosPredictor {
 impl MosPredictor {
     /// Predict the MOS of one (possibly unrated) session.
     pub fn predict(&self, session: &SessionRecord) -> Result<f64, AnalyticsError> {
-        Ok(self.model.predict(&features(session, self.feature_set))?.clamp(1.0, 5.0))
+        Ok(self
+            .model
+            .predict(&features(session, self.feature_set))?
+            .clamp(1.0, 5.0))
     }
 }
 
@@ -113,11 +116,19 @@ pub fn train_and_evaluate(
         }
     }
     let model = LinearModel::fit(&train_x, &train_y, 1e-4)?;
-    let predictor = MosPredictor { feature_set: set, model };
+    let predictor = MosPredictor {
+        feature_set: set,
+        model,
+    };
 
-    let truth: Vec<f64> = test.iter().map(|s| f64::from(s.rating.expect("rated"))).collect();
-    let preds: Vec<f64> =
-        test.iter().map(|s| predictor.predict(s)).collect::<Result<_, _>>()?;
+    let truth: Vec<f64> = test
+        .iter()
+        .map(|s| f64::from(s.rating.expect("rated")))
+        .collect();
+    let preds: Vec<f64> = test
+        .iter()
+        .map(|s| predictor.predict(s))
+        .collect::<Result<_, _>>()?;
     let train_mean = train_y.iter().sum::<f64>() / train_y.len() as f64;
     let baseline: Vec<f64> = vec![train_mean; truth.len()];
     let eval = Evaluation {
@@ -139,7 +150,11 @@ pub fn predict_all(
     dataset: &CallDataset,
     predictor: &MosPredictor,
 ) -> Result<Vec<f64>, AnalyticsError> {
-    dataset.sessions.iter().map(|s| predictor.predict(s)).collect()
+    dataset
+        .sessions
+        .iter()
+        .map(|s| predictor.predict(s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -162,7 +177,13 @@ mod tests {
     #[test]
     fn full_model_beats_mean_baseline() {
         let (_, eval) = train_and_evaluate(dataset(), FeatureSet::Full, 4).unwrap();
-        assert!(eval.skill() > 0.05, "skill {} (mae {} vs {})", eval.skill(), eval.mae, eval.baseline_mae);
+        assert!(
+            eval.skill() > 0.05,
+            "skill {} (mae {} vs {})",
+            eval.skill(),
+            eval.mae,
+            eval.baseline_mae
+        );
         assert!(eval.correlation > 0.3, "corr {}", eval.correlation);
         assert!(eval.test_rows > 100);
     }
@@ -178,7 +199,10 @@ mod tests {
             net.mae
         );
         let (_, eng) = train_and_evaluate(dataset(), FeatureSet::EngagementOnly, 4).unwrap();
-        assert!(eng.skill() > 0.0, "engagement alone must beat the mean baseline");
+        assert!(
+            eng.skill() > 0.0,
+            "engagement alone must beat the mean baseline"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use netsim::access::AccessType;
 use serde::Serialize;
 use social::post::Forum;
 use starlink::constellation::{DeploymentPlanner, Recommendation, RegionalDemand};
+use std::sync::OnceLock;
 
 /// Errors from the service layer.
 #[derive(Debug)]
@@ -170,6 +171,10 @@ pub struct UsaasService {
     store: SignalStore,
     dataset: CallDataset,
     forum: Forum,
+    /// Default-detector outage run, computed once and shared by the
+    /// `OutageTimeline` and `CrossNetwork` queries (both need the same
+    /// detection pass; the corpus is immutable once built).
+    outage_cache: OnceLock<Result<Vec<DetectedOutage>, AnalyticsError>>,
 }
 
 impl UsaasService {
@@ -177,7 +182,23 @@ impl UsaasService {
     pub fn build(dataset: CallDataset, forum: Forum, workers: usize) -> UsaasService {
         let store = SignalStore::new();
         crate::ingest::ingest_all(&store, &dataset, &forum, workers);
-        UsaasService { store, dataset, forum }
+        UsaasService {
+            store,
+            dataset,
+            forum,
+            outage_cache: OnceLock::new(),
+        }
+    }
+
+    /// The shared default-detector outage detections, computed on first use.
+    fn outage_detections(&self) -> Result<&[DetectedOutage], UsaasError> {
+        match self
+            .outage_cache
+            .get_or_init(|| OutageDetector::default().detect(&self.forum))
+        {
+            Ok(d) => Ok(d),
+            Err(e) => Err(UsaasError::Analytics(e.clone())),
+        }
     }
 
     /// Signal counts by family `(implicit, explicit, social)` — the paper's
@@ -198,15 +219,17 @@ impl UsaasService {
     /// Answer one query.
     pub fn query(&self, query: &Query) -> Result<Answer, UsaasError> {
         match query {
-            Query::EngagementCurve { sweep, engagement, bins } => {
-                Ok(Answer::Curve(correlate::engagement_curve(
-                    &self.dataset,
-                    *sweep,
-                    *engagement,
-                    *bins,
-                    8,
-                )?))
-            }
+            Query::EngagementCurve {
+                sweep,
+                engagement,
+                bins,
+            } => Ok(Answer::Curve(correlate::engagement_curve(
+                &self.dataset,
+                *sweep,
+                *engagement,
+                *bins,
+                8,
+            )?)),
             Query::CompoundingGrid { engagement, bins } => Ok(Answer::Grid(
                 correlate::compounding_grid(&self.dataset, *engagement, *bins, 5)?,
             )),
@@ -218,42 +241,37 @@ impl UsaasService {
                 for m in EngagementMetric::ALL {
                     curves.push((m, correlate::mos_by_engagement(&self.dataset, m, 4, 3)?));
                 }
-                Ok(Answer::Mos { curves, ranking: correlate::mos_correlations(&self.dataset)? })
+                Ok(Answer::Mos {
+                    curves,
+                    ranking: correlate::mos_correlations(&self.dataset)?,
+                })
             }
             Query::PredictMos { features } => {
                 let (_, eval) = predict::train_and_evaluate(&self.dataset, *features, 4)?;
                 Ok(Answer::Prediction(eval))
             }
-            Query::OutageTimeline => {
-                Ok(Answer::Outages(OutageDetector::default().detect(&self.forum)?))
-            }
-            Query::SentimentPeaks { k } => {
-                Ok(Answer::Peaks(PeakAnnotator::default().annotate(&self.forum, *k)?))
-            }
+            Query::OutageTimeline => Ok(Answer::Outages(self.outage_detections()?.to_vec())),
+            Query::SentimentPeaks { k } => Ok(Answer::Peaks(
+                PeakAnnotator::default().annotate(&self.forum, *k)?,
+            )),
             Query::SpeedTrend => {
-                let first = self
+                // The corpus window is min/max over posts — `posts` carries
+                // no ordering guarantee, so first()/last() would hand a
+                // shuffled forum an inverted (or truncated) month range.
+                let (first, last) = self
                     .forum
-                    .posts
-                    .first()
-                    .ok_or(UsaasError::NoData("empty forum"))?
-                    .date
-                    .month();
-                let last = self
-                    .forum
-                    .posts
-                    .last()
-                    .ok_or(UsaasError::NoData("empty forum"))?
-                    .date
-                    .month();
+                    .date_range()
+                    .map(|(a, b)| (a.month(), b.month()))
+                    .ok_or(UsaasError::NoData("empty forum"))?;
                 Ok(Answer::Speeds(FulcrumAnalysis::default().analyze(
                     &self.forum,
                     first,
                     last,
                 )?))
             }
-            Query::EmergingTopics => {
-                Ok(Answer::Topics(EmergingTopicMiner::default().mine(&self.forum)?))
-            }
+            Query::EmergingTopics => Ok(Answer::Topics(
+                EmergingTopicMiner::default().mine(&self.forum)?,
+            )),
             Query::CrossNetwork { access } => self.cross_network(*access).map(Answer::CrossNetwork),
             Query::DeploymentAdvice => {
                 let demand = self.sentiment_demand()?;
@@ -262,10 +280,38 @@ impl UsaasService {
         }
     }
 
+    /// Answer a batch of queries concurrently, one scoped worker per query;
+    /// results come back in input order.
+    ///
+    /// The workers share `&self` — and therefore the service's caches, so a
+    /// batch containing both `OutageTimeline` and `CrossNetwork` runs the
+    /// outage detector once, not twice. A panic inside a worker is re-raised
+    /// here with its original payload.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Answer, UsaasError>> {
+        let mut results: Vec<Option<Result<Answer, UsaasError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot, query) in results.iter_mut().zip(queries) {
+                scope.spawn(move |_| {
+                    *slot = Some(self.query(query));
+                });
+            }
+        })
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every spawned worker fills its slot"))
+            .collect()
+    }
+
     /// §5 flagship query implementation.
     fn cross_network(&self, access: AccessType) -> Result<CrossNetworkReport, UsaasError> {
-        let target: Vec<&conference::records::SessionRecord> =
-            self.dataset.sessions.iter().filter(|s| s.access == access).collect();
+        let target: Vec<&conference::records::SessionRecord> = self
+            .dataset
+            .sessions
+            .iter()
+            .filter(|s| s.access == access)
+            .collect();
         if target.is_empty() {
             return Err(UsaasError::NoData("no sessions on the requested network"));
         }
@@ -287,11 +333,13 @@ impl UsaasService {
 
         // Join: socially-detected outage days vs the telemetry. Only strong
         // spikes (major outages) are joined — transient local outages do not
-        // degrade the whole satellite population.
-        let detections: Vec<DetectedOutage> = OutageDetector::default()
-            .detect(&self.forum)?
-            .into_iter()
+        // degrade the whole satellite population. The detection pass itself
+        // is shared with `OutageTimeline` through the service cache.
+        let detections: Vec<DetectedOutage> = self
+            .outage_detections()?
+            .iter()
             .filter(|d| d.score >= 10.0)
+            .copied()
             .collect();
         let outage_presence: Vec<f64> = target
             .iter()
@@ -335,7 +383,9 @@ impl UsaasService {
         for w in weights.iter_mut() {
             *w /= total;
         }
-        Ok(RegionalDemand { band_weights: weights })
+        Ok(RegionalDemand {
+            band_weights: weights,
+        })
     }
 }
 
@@ -369,7 +419,10 @@ mod tests {
                 .map(|o| (o.date, o.severity))
                 .collect();
             let dataset = generate(&cfg);
-            let forum = gen_forum(&ForumConfig { authors: 3000, ..ForumConfig::default() });
+            let forum = gen_forum(&ForumConfig {
+                authors: 3000,
+                ..ForumConfig::default()
+            });
             UsaasService::build(dataset, forum, 4)
         })
     }
@@ -382,7 +435,10 @@ mod tests {
         assert!(explicit > 0);
         // The paper's motivation: explicit feedback is orders of magnitude
         // scarcer than implicit signals.
-        assert!(implicit > 50 * explicit, "implicit {implicit} vs explicit {explicit}");
+        assert!(
+            implicit > 50 * explicit,
+            "implicit {implicit} vs explicit {explicit}"
+        );
     }
 
     #[test]
@@ -394,7 +450,10 @@ mod tests {
                 engagement: EngagementMetric::MicOn,
                 bins: 6,
             },
-            Query::CompoundingGrid { engagement: EngagementMetric::Presence, bins: 4 },
+            Query::CompoundingGrid {
+                engagement: EngagementMetric::Presence,
+                bins: 4,
+            },
             Query::PlatformSensitivity {
                 sweep: NetworkMetric::LossPct,
                 engagement: EngagementMetric::Presence,
@@ -404,20 +463,29 @@ mod tests {
             Query::SentimentPeaks { k: 3 },
             Query::SpeedTrend,
             Query::EmergingTopics,
-            Query::CrossNetwork { access: AccessType::SatelliteLeo },
+            Query::CrossNetwork {
+                access: AccessType::SatelliteLeo,
+            },
             Query::DeploymentAdvice,
         ];
         for q in &queries {
             let answer = s.query(q);
-            assert!(answer.is_ok(), "query {q:?} failed: {:?}", answer.err().map(|e| e.to_string()));
+            assert!(
+                answer.is_ok(),
+                "query {q:?} failed: {:?}",
+                answer.err().map(|e| e.to_string())
+            );
         }
     }
 
     #[test]
     fn cross_network_join_corroborates_outages() {
         let s = service();
-        let Answer::CrossNetwork(report) =
-            s.query(&Query::CrossNetwork { access: AccessType::SatelliteLeo }).unwrap()
+        let Answer::CrossNetwork(report) = s
+            .query(&Query::CrossNetwork {
+                access: AccessType::SatelliteLeo,
+            })
+            .unwrap()
         else {
             panic!("wrong answer type");
         };
@@ -457,7 +525,11 @@ mod tests {
             ..ForumConfig::default()
         });
         let svc = UsaasService::build(dataset, forum, 2);
-        assert!(svc.query(&Query::CrossNetwork { access: AccessType::SatelliteLeo }).is_err());
+        assert!(svc
+            .query(&Query::CrossNetwork {
+                access: AccessType::SatelliteLeo
+            })
+            .is_err());
     }
 
     #[test]
@@ -465,5 +537,98 @@ mod tests {
         for c in social::authors::COUNTRIES {
             assert!(country_lat_band(c) < 9);
         }
+    }
+
+    #[test]
+    fn speed_trend_survives_a_shuffled_forum() {
+        // Regression: the month window used to come from
+        // `posts.first()/last()`, which on a shuffled corpus yields an
+        // arbitrary (possibly inverted) range — the query then errored or
+        // silently dropped months. The window must be order-independent.
+        use rand::seq::SliceRandom;
+        use rand::{rngs::StdRng, SeedableRng};
+        let cfg = ForumConfig {
+            authors: 1500,
+            ..ForumConfig::default()
+        };
+        let sorted = gen_forum(&cfg);
+        let mut shuffled = sorted.clone();
+        shuffled.posts.shuffle(&mut StdRng::seed_from_u64(0xD1CE));
+        assert_ne!(
+            sorted.posts, shuffled.posts,
+            "shuffle must change the order"
+        );
+
+        let dataset = generate(&DatasetConfig::small(300, 21));
+        let a = UsaasService::build(dataset.clone(), sorted, 2);
+        let b = UsaasService::build(dataset, shuffled, 2);
+        let Answer::Speeds(sa) = a.query(&Query::SpeedTrend).unwrap() else {
+            panic!("wrong answer type");
+        };
+        let Answer::Speeds(sb) = b.query(&Query::SpeedTrend).unwrap() else {
+            panic!("wrong answer type");
+        };
+        assert_eq!(sa.len(), sb.len(), "same month coverage either way");
+        assert!(!sa.is_empty());
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.month, y.month);
+            assert_eq!(x.reports, y.reports);
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_answers() {
+        let s = service();
+        let queries = vec![
+            Query::EngagementCurve {
+                sweep: NetworkMetric::JitterMs,
+                engagement: EngagementMetric::CamOn,
+                bins: 5,
+            },
+            Query::CompoundingGrid {
+                engagement: EngagementMetric::Presence,
+                bins: 4,
+            },
+            Query::MosCorrelation,
+            Query::OutageTimeline,
+            Query::SentimentPeaks { k: 3 },
+            Query::SpeedTrend,
+            Query::CrossNetwork {
+                access: AccessType::SatelliteLeo,
+            },
+            Query::DeploymentAdvice,
+        ];
+        let batch = s.query_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, parallel) in queries.iter().zip(&batch) {
+            let sequential = s.query(q);
+            assert_eq!(
+                format!("{parallel:?}"),
+                format!("{sequential:?}"),
+                "batch answer for {q:?} must match the sequential one"
+            );
+        }
+    }
+
+    #[test]
+    fn query_batch_of_nothing_is_empty() {
+        assert!(service().query_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn outage_detections_are_cached_once() {
+        let s = service();
+        let first = s.outage_detections().unwrap().as_ptr();
+        let _ = s.query(&Query::OutageTimeline).unwrap();
+        let _ = s
+            .query(&Query::CrossNetwork {
+                access: AccessType::SatelliteLeo,
+            })
+            .unwrap();
+        let second = s.outage_detections().unwrap().as_ptr();
+        assert_eq!(
+            first, second,
+            "repeat queries must reuse the cached detection pass"
+        );
     }
 }

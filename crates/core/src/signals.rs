@@ -126,7 +126,9 @@ impl Signal {
         let mut out = vec![Signal {
             date: session.date,
             network,
-            payload: Payload::Implicit(Box::new(ImplicitSignal { session: session.clone() })),
+            payload: Payload::Implicit(Box::new(ImplicitSignal {
+                session: session.clone(),
+            })),
         }];
         if let Some(rating) = session.rating {
             out.push(Signal {
@@ -193,7 +195,10 @@ mod tests {
             NetworkHint::from_access(AccessType::SatelliteLeo),
             NetworkHint::SatelliteLeo
         );
-        assert_eq!(NetworkHint::from_access(AccessType::Cable), NetworkHint::Terrestrial);
+        assert_eq!(
+            NetworkHint::from_access(AccessType::Cable),
+            NetworkHint::Terrestrial
+        );
     }
 
     #[test]

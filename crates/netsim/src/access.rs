@@ -237,7 +237,10 @@ mod tests {
                 in_ref += 1;
             }
         }
-        assert!(in_ref > n / 50, "reference-range sessions too rare: {in_ref}/{n}");
+        assert!(
+            in_ref > n / 50,
+            "reference-range sessions too rare: {in_ref}/{n}"
+        );
     }
 
     #[test]

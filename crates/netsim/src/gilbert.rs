@@ -129,7 +129,9 @@ impl GilbertElliott {
         let n = packets as f64;
         let lost = if n * p * (1.0 - p) > 9.0 {
             let std = (n * p * (1.0 - p)).sqrt();
-            (n * p + std * analytics::dist::standard_normal(rng)).round().clamp(0.0, n)
+            (n * p + std * analytics::dist::standard_normal(rng))
+                .round()
+                .clamp(0.0, n)
         } else {
             (0..packets).filter(|_| bernoulli(rng, p)).count() as f64
         };

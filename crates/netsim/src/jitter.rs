@@ -30,7 +30,12 @@ impl Ar1Jitter {
     /// `[0, 0.999]`, `level`/`sigma` floored at 0.
     pub fn new(level: f64, phi: f64, sigma: f64) -> Ar1Jitter {
         let level = level.max(0.0);
-        Ar1Jitter { level, phi: phi.clamp(0.0, 0.999), sigma: sigma.max(0.0), x: level }
+        Ar1Jitter {
+            level,
+            phi: phi.clamp(0.0, 0.999),
+            sigma: sigma.max(0.0),
+            x: level,
+        }
     }
 
     /// Advance one tick; returns the jitter (ms, ≥ 0) for the tick.

@@ -61,7 +61,10 @@ pub struct MitigatedSample {
 impl Mitigation {
     /// Mitigation disabled — raw metrics pass through (for ablations).
     pub fn disabled() -> Mitigation {
-        Mitigation { enabled: false, ..Mitigation::default() }
+        Mitigation {
+            enabled: false,
+            ..Mitigation::default()
+        }
     }
 
     /// Residual loss fraction after FEC/retransmission.
@@ -109,7 +112,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn sample(latency: f64, loss: f64, jitter: f64, bw: f64) -> PathSample {
-        PathSample { latency_ms: latency, loss_frac: loss, jitter_ms: jitter, bandwidth_mbps: bw }
+        PathSample {
+            latency_ms: latency,
+            loss_frac: loss,
+            jitter_ms: jitter,
+            bandwidth_mbps: bw,
+        }
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl NetworkPath {
         NetworkPath {
             config,
             loss: GilbertElliott::with_mean_loss(config.mean_loss_frac, config.loss_burst_ticks),
-            jitter: Ar1Jitter::new(config.jitter_level_ms, config.jitter_phi, config.jitter_sigma_ms),
+            jitter: Ar1Jitter::new(
+                config.jitter_level_ms,
+                config.jitter_phi,
+                config.jitter_sigma_ms,
+            ),
         }
     }
 
@@ -114,7 +118,12 @@ impl NetworkPath {
             * latency_noise.max(0.5);
         let bw_noise = 1.0 + self.config.bandwidth_rel_std * standard_normal(rng);
         let bandwidth_mbps = (self.config.bandwidth_mbps * bw_noise.clamp(0.5, 1.5)).max(0.05);
-        PathSample { latency_ms: latency_ms.max(0.5), loss_frac, jitter_ms, bandwidth_mbps }
+        PathSample {
+            latency_ms: latency_ms.max(0.5),
+            loss_frac,
+            jitter_ms,
+            bandwidth_mbps,
+        }
     }
 }
 
@@ -126,7 +135,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn targets() -> TargetConditions {
-        TargetConditions { latency_ms: 80.0, loss_frac: 0.01, jitter_ms: 6.0, bandwidth_mbps: 3.0 }
+        TargetConditions {
+            latency_ms: 80.0,
+            loss_frac: 0.01,
+            jitter_ms: 6.0,
+            bandwidth_mbps: 3.0,
+        }
     }
 
     #[test]
@@ -150,10 +164,16 @@ mod tests {
         let mo = analytics::mean(&loss).unwrap();
         let mj = analytics::mean(&jit).unwrap();
         let mb = analytics::mean(&bw).unwrap();
-        assert!((ml - t.latency_ms).abs() / t.latency_ms < 0.08, "latency {ml}");
+        assert!(
+            (ml - t.latency_ms).abs() / t.latency_ms < 0.08,
+            "latency {ml}"
+        );
         assert!((mo - t.loss_frac).abs() / t.loss_frac < 0.25, "loss {mo}");
         assert!((mj - t.jitter_ms).abs() / t.jitter_ms < 0.15, "jitter {mj}");
-        assert!((mb - t.bandwidth_mbps).abs() / t.bandwidth_mbps < 0.05, "bw {mb}");
+        assert!(
+            (mb - t.bandwidth_mbps).abs() / t.bandwidth_mbps < 0.05,
+            "bw {mb}"
+        );
     }
 
     #[test]
@@ -187,14 +207,17 @@ mod tests {
         });
         let calm_lat: Vec<f64> = (0..5000).map(|_| calm.tick(&mut r).latency_ms).collect();
         let stormy_lat: Vec<f64> = (0..5000).map(|_| stormy.tick(&mut r).latency_ms).collect();
-        assert!(
-            analytics::mean(&stormy_lat).unwrap() > analytics::mean(&calm_lat).unwrap() + 5.0
-        );
+        assert!(analytics::mean(&stormy_lat).unwrap() > analytics::mean(&calm_lat).unwrap() + 5.0);
     }
 
     #[test]
     fn base_latency_never_negative() {
-        let t = TargetConditions { latency_ms: 2.0, loss_frac: 0.0, jitter_ms: 50.0, bandwidth_mbps: 1.0 };
+        let t = TargetConditions {
+            latency_ms: 2.0,
+            loss_frac: 0.0,
+            jitter_ms: 50.0,
+            bandwidth_mbps: 1.0,
+        };
         let c = PathConfig::from_targets(t);
         assert!(c.base_latency_ms >= 1.0);
     }

@@ -78,7 +78,9 @@ impl ChannelImpairment {
 
 /// Combine independent impairment contributions: `1 - Π(1 - x_i)`.
 fn combine(parts: &[f64]) -> f64 {
-    1.0 - parts.iter().fold(1.0, |acc, x| acc * (1.0 - x.clamp(0.0, 1.0)))
+    1.0 - parts
+        .iter()
+        .fold(1.0, |acc, x| acc * (1.0 - x.clamp(0.0, 1.0)))
 }
 
 /// Saturating-linear ramp: 0 at `x <= 0`, 1 at `x >= sat`.
@@ -108,7 +110,10 @@ impl ImpairmentParams {
 
     /// Audio impairment from residual loss and jitter.
     pub fn audio(&self, loss_frac: f64, jitter_ms: f64) -> f64 {
-        combine(&[ramp(loss_frac, self.audio_loss_sat), 0.5 * ramp(jitter_ms, self.audio_jitter_sat_ms)])
+        combine(&[
+            ramp(loss_frac, self.audio_loss_sat),
+            0.5 * ramp(jitter_ms, self.audio_jitter_sat_ms),
+        ])
     }
 
     /// Video impairment from residual jitter, residual loss, and bandwidth
@@ -146,7 +151,12 @@ mod tests {
     }
 
     fn ms(latency: f64, loss: f64, jitter: f64, bw: f64) -> MitigatedSample {
-        MitigatedSample { latency_ms: latency, loss_frac: loss, jitter_ms: jitter, bandwidth_mbps: bw }
+        MitigatedSample {
+            latency_ms: latency,
+            loss_frac: loss,
+            jitter_ms: jitter,
+            bandwidth_mbps: bw,
+        }
     }
 
     #[test]
@@ -158,7 +168,10 @@ mod tests {
         // paper's Mic-On shape.
         let pre_knee_slope = (q.interactivity(150.0) - q.interactivity(50.0)) / 100.0;
         let post_knee_slope = (q.interactivity(300.0) - q.interactivity(200.0)) / 100.0;
-        assert!(pre_knee_slope > 3.0 * post_knee_slope, "{pre_knee_slope} vs {post_knee_slope}");
+        assert!(
+            pre_knee_slope > 3.0 * post_knee_slope,
+            "{pre_knee_slope} vs {post_knee_slope}"
+        );
         assert!(q.interactivity(10_000.0) <= 1.0);
     }
 
@@ -193,11 +206,23 @@ mod tests {
 
     #[test]
     fn overall_combines_channels() {
-        let clean = ChannelImpairment { interactivity: 0.0, audio: 0.0, video: 0.0 };
+        let clean = ChannelImpairment {
+            interactivity: 0.0,
+            audio: 0.0,
+            video: 0.0,
+        };
         assert_eq!(clean.overall(), 0.0);
-        let one = ChannelImpairment { interactivity: 1.0, audio: 0.0, video: 0.0 };
+        let one = ChannelImpairment {
+            interactivity: 1.0,
+            audio: 0.0,
+            video: 0.0,
+        };
         assert_eq!(one.overall(), 1.0);
-        let mixed = ChannelImpairment { interactivity: 0.5, audio: 0.5, video: 0.0 };
+        let mixed = ChannelImpairment {
+            interactivity: 0.5,
+            audio: 0.5,
+            video: 0.0,
+        };
         assert!((mixed.overall() - 0.75).abs() < 1e-12);
     }
 

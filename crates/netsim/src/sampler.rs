@@ -109,14 +109,24 @@ mod tests {
     #[test]
     fn loss_is_reported_in_percent() {
         let mut s = ClientSampler::new();
-        s.record(&PathSample { latency_ms: 20.0, loss_frac: 0.01, jitter_ms: 2.0, bandwidth_mbps: 3.0 });
+        s.record(&PathSample {
+            latency_ms: 20.0,
+            loss_frac: 0.01,
+            jitter_ms: 2.0,
+            bandwidth_mbps: 3.0,
+        });
         let stats = s.finish().unwrap();
         assert!((stats.loss_pct.mean - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn aggregates_full_session() {
-        let t = TargetConditions { latency_ms: 60.0, loss_frac: 0.005, jitter_ms: 4.0, bandwidth_mbps: 3.5 };
+        let t = TargetConditions {
+            latency_ms: 60.0,
+            loss_frac: 0.005,
+            jitter_ms: 4.0,
+            bandwidth_mbps: 3.5,
+        };
         let mut path = NetworkPath::from_targets(t);
         let mut r = StdRng::seed_from_u64(41);
         let mut sampler = ClientSampler::with_capacity(720);

@@ -62,11 +62,9 @@ struct Token {
 fn tokenize(text: &str) -> Vec<Token> {
     let mut out = Vec::new();
     for (line_no, line) in text.lines().enumerate() {
-        for raw in line
-            .split(|c: char| {
-                c.is_whitespace() || matches!(c, ':' | ',' | '>' | '<' | '(' | ')' | '/')
-            })
-        {
+        for raw in line.split(|c: char| {
+            c.is_whitespace() || matches!(c, ':' | ',' | '>' | '<' | '(' | ')' | '/')
+        }) {
             if raw.is_empty() {
                 continue;
             }
@@ -106,7 +104,11 @@ fn parse_number(digit_form: &str) -> Option<(f64, Option<Unit>)> {
         return None;
     }
     let value: f64 = num.parse().ok()?;
-    let unit = if rest.is_empty() { None } else { parse_unit(&rest) };
+    let unit = if rest.is_empty() {
+        None
+    } else {
+        parse_unit(&rest)
+    };
     Some((value, unit))
 }
 
@@ -150,7 +152,10 @@ fn label_of(token: &str) -> Option<Field> {
     const UP: [&str; 3] = ["upload", "up", "ul"];
     const LAT: [&str; 3] = ["ping", "latency", "idle"];
     let close = |t: &str, word: &str| {
-        t == word || (word.len() >= 6 && word.starts_with(&t[..t.len().min(word.len())]) && t.len() + 2 >= word.len())
+        t == word
+            || (word.len() >= 6
+                && word.starts_with(&t[..t.len().min(word.len())])
+                && t.len() + 2 >= word.len())
     };
     if DOWN.iter().any(|w| close(token, w)) {
         return Some(Field::Download);
@@ -219,7 +224,10 @@ fn guess_provider(tokens: &[Token]) -> Option<Provider> {
 /// ```
 pub fn extract(text: &str) -> ExtractedReport {
     let tokens = tokenize(text);
-    let mut out = ExtractedReport { provider: guess_provider(&tokens), ..Default::default() };
+    let mut out = ExtractedReport {
+        provider: guess_provider(&tokens),
+        ..Default::default()
+    };
 
     // Fast.com's download label is the phrase "internet speed".
     let fast_download_anchor = tokens
@@ -359,7 +367,10 @@ mod tests {
         // 113.4 -> 1134 should be rescaled into range.
         let e = extract("DOWNLOAD Mbps\n1134\nUPLOAD Mbps\n117\nPING ms\n43\n");
         assert!((e.downlink_mbps.unwrap() - 113.4).abs() < 0.01);
-        assert!((e.uplink_mbps.unwrap() - 117.0).abs() < 0.01, "117 is already plausible");
+        assert!(
+            (e.uplink_mbps.unwrap() - 117.0).abs() < 0.01,
+            "117 is already plausible"
+        );
     }
 
     #[test]
@@ -407,7 +418,10 @@ mod tests {
                 }
             }
         }
-        assert!(recovered > n / 4, "heavy-noise recovery collapsed: {recovered}/{n}");
+        assert!(
+            recovered > n / 4,
+            "heavy-noise recovery collapsed: {recovered}/{n}"
+        );
         assert_eq!(wild, 0, "extractor must never emit implausible values");
     }
 

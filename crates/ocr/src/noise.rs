@@ -29,22 +29,38 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// No noise at all.
     pub fn clean() -> NoiseModel {
-        NoiseModel { confusion: 0.0, point_dropout: 0.0, char_dropout: 0.0 }
+        NoiseModel {
+            confusion: 0.0,
+            point_dropout: 0.0,
+            char_dropout: 0.0,
+        }
     }
 
     /// Light noise: a good phone photo.
     pub fn light() -> NoiseModel {
-        NoiseModel { confusion: 0.02, point_dropout: 0.02, char_dropout: 0.002 }
+        NoiseModel {
+            confusion: 0.02,
+            point_dropout: 0.02,
+            char_dropout: 0.002,
+        }
     }
 
     /// Moderate noise: a mediocre photo.
     pub fn moderate() -> NoiseModel {
-        NoiseModel { confusion: 0.06, point_dropout: 0.06, char_dropout: 0.008 }
+        NoiseModel {
+            confusion: 0.06,
+            point_dropout: 0.06,
+            char_dropout: 0.008,
+        }
     }
 
     /// Heavy noise: extraction should start failing.
     pub fn heavy() -> NoiseModel {
-        NoiseModel { confusion: 0.18, point_dropout: 0.2, char_dropout: 0.03 }
+        NoiseModel {
+            confusion: 0.18,
+            point_dropout: 0.2,
+            char_dropout: 0.03,
+        }
     }
 
     /// Apply the model to a rendered screenshot.
@@ -57,7 +73,11 @@ impl NoiseModel {
             if ch != '\n' && bernoulli(rng, self.char_dropout) {
                 continue;
             }
-            let swapped = if bernoulli(rng, self.confusion) { confuse(ch) } else { ch };
+            let swapped = if bernoulli(rng, self.confusion) {
+                confuse(ch)
+            } else {
+                ch
+            };
             out.push(swapped);
         }
         out

@@ -51,7 +51,10 @@ pub fn render<R: Rng + ?Sized>(rng: &mut R, report: &SpeedTestReport) -> String 
         }
         Provider::Fast => {
             let latency_line = if rng.gen_bool(0.6) {
-                format!("Latency unloaded {ping:.0} ms loaded {:.0} ms\n", ping * 2.4)
+                format!(
+                    "Latency unloaded {ping:.0} ms loaded {:.0} ms\n",
+                    ping * 2.4
+                )
             } else {
                 String::new()
             };
@@ -100,8 +103,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for p in Provider::ALL {
             let text = render(&mut rng, &report(p));
-            assert!(text.contains("113") || text.contains("113.4"), "{p:?}: {text}");
-            assert!(text.to_lowercase().contains("upload") || text.contains("UPLOAD"), "{text}");
+            assert!(
+                text.contains("113") || text.contains("113.4"),
+                "{p:?}: {text}"
+            );
+            assert!(
+                text.to_lowercase().contains("upload") || text.contains("UPLOAD"),
+                "{text}"
+            );
             assert!(!text.is_empty());
         }
     }
@@ -121,7 +130,10 @@ mod tests {
         let r = report(Provider::Ookla);
         let variants: std::collections::HashSet<String> =
             (0..20).map(|_| render(&mut rng, &r)).collect();
-        assert!(variants.len() >= 2, "expected multiple Ookla layout variants");
+        assert!(
+            variants.len() >= 2,
+            "expected multiple Ookla layout variants"
+        );
     }
 
     #[test]

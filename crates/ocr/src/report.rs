@@ -26,8 +26,12 @@ pub enum Provider {
 
 impl Provider {
     /// All providers.
-    pub const ALL: [Provider; 4] =
-        [Provider::Ookla, Provider::Fast, Provider::StarlinkApp, Provider::MLab];
+    pub const ALL: [Provider; 4] = [
+        Provider::Ookla,
+        Provider::Fast,
+        Provider::StarlinkApp,
+        Provider::MLab,
+    ];
 
     /// Rough popularity mix among shared screenshots.
     pub fn mixture_weight(self) -> f64 {
@@ -82,10 +86,14 @@ pub struct ExtractedReport {
 impl ExtractedReport {
     /// Number of recovered numeric fields (0–3).
     pub fn fields_recovered(&self) -> usize {
-        [self.downlink_mbps.is_some(), self.uplink_mbps.is_some(), self.latency_ms.is_some()]
-            .iter()
-            .filter(|b| **b)
-            .count()
+        [
+            self.downlink_mbps.is_some(),
+            self.uplink_mbps.is_some(),
+            self.latency_ms.is_some(),
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count()
     }
 
     /// Whether the primary field of the Fig. 7 analysis (downlink) was

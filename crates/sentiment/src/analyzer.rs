@@ -32,7 +32,11 @@ pub struct SentimentScores {
 impl SentimentScores {
     /// All-neutral scores (empty or sentiment-free text).
     pub fn neutral() -> SentimentScores {
-        SentimentScores { positive: 0.0, negative: 0.0, neutral: 1.0 }
+        SentimentScores {
+            positive: 0.0,
+            negative: 0.0,
+            neutral: 1.0,
+        }
     }
 
     /// Strong positive per the paper's ≥ 0.7 rule.
@@ -74,7 +78,11 @@ pub struct SentimentAnalyzer {
 
 impl Default for SentimentAnalyzer {
     fn default() -> SentimentAnalyzer {
-        SentimentAnalyzer { neutral_weight: 0.25, negation_window: 3, negation_damping: 0.75 }
+        SentimentAnalyzer {
+            neutral_weight: 0.25,
+            negation_window: 3,
+            negation_damping: 0.75,
+        }
     }
 }
 

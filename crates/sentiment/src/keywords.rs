@@ -12,9 +12,25 @@ use std::collections::HashSet;
 
 /// Default outage-related unigrams.
 pub const OUTAGE_UNIGRAMS: &[&str] = &[
-    "outage", "outages", "down", "downtime", "offline", "disconnect", "disconnects",
-    "disconnected", "disconnecting", "disconnections", "dropout", "dropouts", "unreachable",
-    "interruption", "interruptions", "blackout", "obstructed", "nosignal", "degraded",
+    "outage",
+    "outages",
+    "down",
+    "downtime",
+    "offline",
+    "disconnect",
+    "disconnects",
+    "disconnected",
+    "disconnecting",
+    "disconnections",
+    "dropout",
+    "dropouts",
+    "unreachable",
+    "interruption",
+    "interruptions",
+    "blackout",
+    "obstructed",
+    "nosignal",
+    "degraded",
 ];
 
 /// Default outage-related bigrams (matched on consecutive content tokens).
@@ -62,7 +78,10 @@ impl KeywordDictionary {
 
     /// An empty dictionary to be extended manually.
     pub fn empty() -> KeywordDictionary {
-        KeywordDictionary { unigrams: HashSet::new(), bigrams: HashSet::new() }
+        KeywordDictionary {
+            unigrams: HashSet::new(),
+            bigrams: HashSet::new(),
+        }
     }
 
     /// Add a unigram (lowercased).
@@ -72,7 +91,8 @@ impl KeywordDictionary {
 
     /// Add a bigram (lowercased).
     pub fn add_bigram(&mut self, first: &str, second: &str) {
-        self.bigrams.insert((first.to_lowercase(), second.to_lowercase()));
+        self.bigrams
+            .insert((first.to_lowercase(), second.to_lowercase()));
     }
 
     /// Number of entries (unigrams + bigrams).

@@ -15,62 +15,233 @@ use std::sync::OnceLock;
 /// networking-domain layer.
 pub const VALENCE_ENTRIES: &[(&str, i8)] = &[
     // --- general positive ---
-    ("amazing", 4), ("awesome", 4), ("excellent", 4), ("fantastic", 4), ("incredible", 4),
-    ("outstanding", 4), ("perfect", 4), ("stellar", 4), ("superb", 4), ("phenomenal", 4),
-    ("great", 3), ("love", 3), ("loved", 3), ("loving", 3), ("wonderful", 3), ("delighted", 3),
-    ("thrilled", 3), ("impressed", 3), ("impressive", 3), ("beautiful", 3), ("best", 3),
-    ("happy", 3), ("glad", 3), ("excited", 3), ("exciting", 3), ("blazing", 3),
-    ("good", 2), ("nice", 2), ("solid", 2), ("smooth", 2), ("pleased", 2), ("enjoy", 2),
-    ("enjoying", 2), ("worth", 2), ("recommend", 2), ("recommended", 2), ("satisfied", 2),
-    ("thanks", 2), ("thank", 2), ("helpful", 2), ("win", 2), ("winner", 2), ("better", 2),
-    ("improved", 2), ("improvement", 2), ("improving", 2), ("upgrade", 2), ("upgraded", 2),
-    ("works", 2), ("working", 2), ("worked", 2), ("fine", 1), ("ok", 1), ("okay", 1),
-    ("decent", 1), ("usable", 1), ("acceptable", 1), ("stable", 2), ("reliable", 3),
-    ("consistent", 2), ("fast", 3), ("faster", 3), ("fastest", 3), ("quick", 2), ("snappy", 3),
-    ("flawless", 4), ("seamless", 3), ("responsive", 2), ("crisp", 2), ("happier", 3),
+    ("amazing", 4),
+    ("awesome", 4),
+    ("excellent", 4),
+    ("fantastic", 4),
+    ("incredible", 4),
+    ("outstanding", 4),
+    ("perfect", 4),
+    ("stellar", 4),
+    ("superb", 4),
+    ("phenomenal", 4),
+    ("great", 3),
+    ("love", 3),
+    ("loved", 3),
+    ("loving", 3),
+    ("wonderful", 3),
+    ("delighted", 3),
+    ("thrilled", 3),
+    ("impressed", 3),
+    ("impressive", 3),
+    ("beautiful", 3),
+    ("best", 3),
+    ("happy", 3),
+    ("glad", 3),
+    ("excited", 3),
+    ("exciting", 3),
+    ("blazing", 3),
+    ("good", 2),
+    ("nice", 2),
+    ("solid", 2),
+    ("smooth", 2),
+    ("pleased", 2),
+    ("enjoy", 2),
+    ("enjoying", 2),
+    ("worth", 2),
+    ("recommend", 2),
+    ("recommended", 2),
+    ("satisfied", 2),
+    ("thanks", 2),
+    ("thank", 2),
+    ("helpful", 2),
+    ("win", 2),
+    ("winner", 2),
+    ("better", 2),
+    ("improved", 2),
+    ("improvement", 2),
+    ("improving", 2),
+    ("upgrade", 2),
+    ("upgraded", 2),
+    ("works", 2),
+    ("working", 2),
+    ("worked", 2),
+    ("fine", 1),
+    ("ok", 1),
+    ("okay", 1),
+    ("decent", 1),
+    ("usable", 1),
+    ("acceptable", 1),
+    ("stable", 2),
+    ("reliable", 3),
+    ("consistent", 2),
+    ("fast", 3),
+    ("faster", 3),
+    ("fastest", 3),
+    ("quick", 2),
+    ("snappy", 3),
+    ("flawless", 4),
+    ("seamless", 3),
+    ("responsive", 2),
+    ("crisp", 2),
+    ("happier", 3),
     // --- general negative ---
-    ("terrible", -4), ("horrible", -4), ("awful", -4), ("unusable", -4), ("garbage", -4),
-    ("trash", -4), ("worst", -4), ("abysmal", -4), ("atrocious", -4), ("unacceptable", -4),
-    ("bad", -3), ("hate", -3), ("hated", -3), ("angry", -3), ("furious", -4), ("scam", -4),
-    ("useless", -3), ("broken", -3), ("fail", -3), ("failed", -3), ("failing", -3),
-    ("failure", -3), ("nightmare", -4), ("disaster", -4), ("ridiculous", -3), ("pathetic", -3),
-    ("poor", -2), ("disappointed", -3), ("disappointing", -3), ("disappointment", -3),
-    ("frustrated", -3), ("frustrating", -3), ("annoyed", -2), ("annoying", -2), ("upset", -2),
-    ("sad", -2), ("unhappy", -3), ("regret", -3), ("refund", -2), ("cancel", -2),
-    ("cancelled", -2), ("canceled", -2), ("cancelling", -2), ("complain", -2), ("complaint", -2),
-    ("problem", -2), ("problems", -2), ("issue", -2), ("issues", -2), ("worse", -3),
-    ("worthless", -4), ("slow", -3), ("slower", -3), ("slowest", -3), ("sluggish", -3),
-    ("unstable", -3), ("unreliable", -3), ("inconsistent", -2), ("flaky", -3), ("spotty", -2),
-    ("delayed", -2), ("delay", -2), ("delays", -2), ("waiting", -1), ("wait", -1),
-    ("expensive", -2), ("overpriced", -3), ("joke", -3), ("mess", -3), ("crap", -3),
+    ("terrible", -4),
+    ("horrible", -4),
+    ("awful", -4),
+    ("unusable", -4),
+    ("garbage", -4),
+    ("trash", -4),
+    ("worst", -4),
+    ("abysmal", -4),
+    ("atrocious", -4),
+    ("unacceptable", -4),
+    ("bad", -3),
+    ("hate", -3),
+    ("hated", -3),
+    ("angry", -3),
+    ("furious", -4),
+    ("scam", -4),
+    ("useless", -3),
+    ("broken", -3),
+    ("fail", -3),
+    ("failed", -3),
+    ("failing", -3),
+    ("failure", -3),
+    ("nightmare", -4),
+    ("disaster", -4),
+    ("ridiculous", -3),
+    ("pathetic", -3),
+    ("poor", -2),
+    ("disappointed", -3),
+    ("disappointing", -3),
+    ("disappointment", -3),
+    ("frustrated", -3),
+    ("frustrating", -3),
+    ("annoyed", -2),
+    ("annoying", -2),
+    ("upset", -2),
+    ("sad", -2),
+    ("unhappy", -3),
+    ("regret", -3),
+    ("refund", -2),
+    ("cancel", -2),
+    ("cancelled", -2),
+    ("canceled", -2),
+    ("cancelling", -2),
+    ("complain", -2),
+    ("complaint", -2),
+    ("problem", -2),
+    ("problems", -2),
+    ("issue", -2),
+    ("issues", -2),
+    ("worse", -3),
+    ("worthless", -4),
+    ("slow", -3),
+    ("slower", -3),
+    ("slowest", -3),
+    ("sluggish", -3),
+    ("unstable", -3),
+    ("unreliable", -3),
+    ("inconsistent", -2),
+    ("flaky", -3),
+    ("spotty", -2),
+    ("delayed", -2),
+    ("delay", -2),
+    ("delays", -2),
+    ("waiting", -1),
+    ("wait", -1),
+    ("expensive", -2),
+    ("overpriced", -3),
+    ("joke", -3),
+    ("mess", -3),
+    ("crap", -3),
     // --- networking-domain layer ---
-    ("outage", -3), ("outages", -3), ("down", -3), ("downtime", -3), ("offline", -3),
-    ("disconnect", -3), ("disconnects", -3), ("disconnected", -3), ("disconnecting", -3),
-    ("disconnections", -3), ("drop", -2), ("drops", -2), ("dropping", -3), ("dropped", -3),
-    ("dropouts", -3), ("lag", -3), ("laggy", -3), ("lagging", -3), ("latency", -1),
-    ("buffering", -3), ("stutter", -3), ("stuttering", -3), ("choppy", -3), ("frozen", -3),
-    ("freezes", -3), ("freezing", -3), ("jitter", -2), ("packet", 0), ("obstruction", -2),
-    ("obstructions", -2), ("interruption", -3), ("interruptions", -3), ("intermittent", -2),
-    ("degraded", -3), ("congestion", -2), ("congested", -2), ("throttled", -3),
-    ("throttling", -3), ("deprioritized", -2), ("capped", -2), ("unresponsive", -3),
-    ("timeout", -2), ("timeouts", -2), ("uptime", 2), ("online", 1), ("connected", 1),
-    ("restored", 2), ("resolved", 2), ("fixed", 2), ("gigabit", 2), ("lightning", 3),
-    ("speedy", 3), ("lowlatency", 3), ("roaming", 1), ("portability", 1),
+    ("outage", -3),
+    ("outages", -3),
+    ("down", -3),
+    ("downtime", -3),
+    ("offline", -3),
+    ("disconnect", -3),
+    ("disconnects", -3),
+    ("disconnected", -3),
+    ("disconnecting", -3),
+    ("disconnections", -3),
+    ("drop", -2),
+    ("drops", -2),
+    ("dropping", -3),
+    ("dropped", -3),
+    ("dropouts", -3),
+    ("lag", -3),
+    ("laggy", -3),
+    ("lagging", -3),
+    ("latency", -1),
+    ("buffering", -3),
+    ("stutter", -3),
+    ("stuttering", -3),
+    ("choppy", -3),
+    ("frozen", -3),
+    ("freezes", -3),
+    ("freezing", -3),
+    ("jitter", -2),
+    ("packet", 0),
+    ("obstruction", -2),
+    ("obstructions", -2),
+    ("interruption", -3),
+    ("interruptions", -3),
+    ("intermittent", -2),
+    ("degraded", -3),
+    ("congestion", -2),
+    ("congested", -2),
+    ("throttled", -3),
+    ("throttling", -3),
+    ("deprioritized", -2),
+    ("capped", -2),
+    ("unresponsive", -3),
+    ("timeout", -2),
+    ("timeouts", -2),
+    ("uptime", 2),
+    ("online", 1),
+    ("connected", 1),
+    ("restored", 2),
+    ("resolved", 2),
+    ("fixed", 2),
+    ("gigabit", 2),
+    ("lightning", 3),
+    ("speedy", 3),
+    ("lowlatency", 3),
+    ("roaming", 1),
+    ("portability", 1),
 ];
 
 /// Negation words that flip the valence of the following sentiment word.
 pub const NEGATORS: &[&str] = &[
-    "not", "no", "never", "neither", "nobody", "none", "nothing", "nowhere", "hardly",
-    "barely", "scarcely", "without", "cant", "cannot", "dont", "doesnt", "didnt", "wont",
-    "wouldnt", "isnt", "arent", "wasnt", "werent", "havent", "hasnt", "hadnt", "shouldnt",
+    "not", "no", "never", "neither", "nobody", "none", "nothing", "nowhere", "hardly", "barely",
+    "scarcely", "without", "cant", "cannot", "dont", "doesnt", "didnt", "wont", "wouldnt", "isnt",
+    "arent", "wasnt", "werent", "havent", "hasnt", "hadnt", "shouldnt",
 ];
 
 /// Intensifiers that scale the valence of the following sentiment word.
 pub const INTENSIFIERS: &[(&str, f64)] = &[
-    ("very", 1.4), ("extremely", 1.6), ("incredibly", 1.6), ("absolutely", 1.5),
-    ("totally", 1.4), ("completely", 1.5), ("super", 1.4), ("so", 1.2), ("insanely", 1.6),
-    ("really", 1.3), ("constantly", 1.4), ("always", 1.3), ("pretty", 1.1), ("quite", 1.1),
-    ("somewhat", 0.7), ("slightly", 0.6), ("barely", 0.5), ("kinda", 0.8), ("kind", 0.8),
+    ("very", 1.4),
+    ("extremely", 1.6),
+    ("incredibly", 1.6),
+    ("absolutely", 1.5),
+    ("totally", 1.4),
+    ("completely", 1.5),
+    ("super", 1.4),
+    ("so", 1.2),
+    ("insanely", 1.6),
+    ("really", 1.3),
+    ("constantly", 1.4),
+    ("always", 1.3),
+    ("pretty", 1.1),
+    ("quite", 1.1),
+    ("somewhat", 0.7),
+    ("slightly", 0.6),
+    ("barely", 0.5),
+    ("kinda", 0.8),
+    ("kind", 0.8),
 ];
 
 /// The compiled lexicon used by the analyzer.
@@ -84,7 +255,10 @@ pub struct Lexicon {
 impl Lexicon {
     fn build() -> Lexicon {
         Lexicon {
-            valence: VALENCE_ENTRIES.iter().map(|(w, v)| (*w, f64::from(*v))).collect(),
+            valence: VALENCE_ENTRIES
+                .iter()
+                .map(|(w, v)| (*w, f64::from(*v)))
+                .collect(),
             negators: NEGATORS.iter().map(|w| (*w, ())).collect(),
             intensifiers: INTENSIFIERS.iter().copied().collect(),
         }
@@ -146,7 +320,11 @@ mod tests {
         assert!(lex.valence("buffering").unwrap() < 0.0);
         assert!(lex.valence("reliable").unwrap() > 0.0);
         assert!(lex.valence("fast").unwrap() > 0.0);
-        assert_eq!(lex.valence("packet"), None, "zero-valence words are not sentiment words");
+        assert_eq!(
+            lex.valence("packet"),
+            None,
+            "zero-valence words are not sentiment words"
+        );
         assert_eq!(lex.valence("satellite"), None);
     }
 

@@ -181,7 +181,13 @@ mod tests {
     fn custom_index() {
         let mut idx = NewsIndex::new();
         assert!(idx.is_empty());
-        idx.add(art(2022, 6, 1, "Local ISP melts down", &["isp", "meltdown"]));
+        idx.add(art(
+            2022,
+            6,
+            1,
+            "Local ISP melts down",
+            &["isp", "meltdown"],
+        ));
         assert_eq!(idx.len(), 1);
         assert!(!idx.search(&["meltdown"], d(2022, 6, 2), 3).is_empty());
     }

@@ -45,7 +45,10 @@ impl NgramCounts {
         self.documents += 1;
         let words = content_words(text);
         for pair in words.windows(2) {
-            *self.counts.entry(format!("{} {}", pair[0], pair[1])).or_insert(0.0) += weight;
+            *self
+                .counts
+                .entry(format!("{} {}", pair[0], pair[1]))
+                .or_insert(0.0) += weight;
         }
     }
 
@@ -70,7 +73,9 @@ impl NgramCounts {
         let mut entries: Vec<(String, f64)> =
             self.counts.iter().map(|(g, c)| (g.clone(), *c)).collect();
         entries.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         entries.truncate(k);
         entries

@@ -37,26 +37,221 @@ pub fn sentences(text: &str) -> Vec<&str> {
 
 /// English stop-words (NLTK-style core list plus forum filler).
 pub const STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
-    "arent", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
-    "but", "by", "cant", "cannot", "could", "couldnt", "did", "didnt", "do", "does", "doesnt",
-    "doing", "dont", "down", "during", "each", "few", "for", "from", "further", "had", "hadnt",
-    "has", "hasnt", "have", "havent", "having", "he", "hed", "hell", "hes", "her", "here",
-    "heres", "hers", "herself", "him", "himself", "his", "how", "hows", "i", "id", "ill", "im",
-    "ive", "if", "in", "into", "is", "isnt", "it", "its", "itself", "lets", "me", "more", "most",
-    "mustnt", "my", "myself", "no", "nor", "not", "of", "off", "on", "once", "only", "or",
-    "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "same", "shant", "she",
-    "shed", "shell", "shes", "should", "shouldnt", "so", "some", "such", "than", "that", "thats",
-    "the", "their", "theirs", "them", "themselves", "then", "there", "theres", "these", "they",
-    "theyd", "theyll", "theyre", "theyve", "this", "those", "through", "to", "too", "under",
-    "until", "up", "very", "was", "wasnt", "we", "wed", "well", "were", "weve", "werent", "what",
-    "whats", "when", "whens", "where", "wheres", "which", "while", "who", "whos", "whom", "why",
-    "whys", "with", "wont", "would", "wouldnt", "you", "youd", "youll", "youre", "youve", "your",
-    "yours", "yourself", "yourselves", "just", "got", "get", "also", "really", "one", "will",
-    "can", "like", "even", "still", "much", "now", "today", "day", "week", "month", "time",
-    "thing", "things", "make", "makes", "made", "using", "use", "used", "since", "back", "going",
-    "know", "see", "way", "lot", "anyone", "else", "new", "everyone", "keeps", "talking",
-    "here", "right", "our", "ours",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "arent",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "cant",
+    "cannot",
+    "could",
+    "couldnt",
+    "did",
+    "didnt",
+    "do",
+    "does",
+    "doesnt",
+    "doing",
+    "dont",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "hadnt",
+    "has",
+    "hasnt",
+    "have",
+    "havent",
+    "having",
+    "he",
+    "hed",
+    "hell",
+    "hes",
+    "her",
+    "here",
+    "heres",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "hows",
+    "i",
+    "id",
+    "ill",
+    "im",
+    "ive",
+    "if",
+    "in",
+    "into",
+    "is",
+    "isnt",
+    "it",
+    "its",
+    "itself",
+    "lets",
+    "me",
+    "more",
+    "most",
+    "mustnt",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "ought",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "same",
+    "shant",
+    "she",
+    "shed",
+    "shell",
+    "shes",
+    "should",
+    "shouldnt",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "thats",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "theres",
+    "these",
+    "they",
+    "theyd",
+    "theyll",
+    "theyre",
+    "theyve",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "very",
+    "was",
+    "wasnt",
+    "we",
+    "wed",
+    "well",
+    "were",
+    "weve",
+    "werent",
+    "what",
+    "whats",
+    "when",
+    "whens",
+    "where",
+    "wheres",
+    "which",
+    "while",
+    "who",
+    "whos",
+    "whom",
+    "why",
+    "whys",
+    "with",
+    "wont",
+    "would",
+    "wouldnt",
+    "you",
+    "youd",
+    "youll",
+    "youre",
+    "youve",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+    "just",
+    "got",
+    "get",
+    "also",
+    "really",
+    "one",
+    "will",
+    "can",
+    "like",
+    "even",
+    "still",
+    "much",
+    "now",
+    "today",
+    "day",
+    "week",
+    "month",
+    "time",
+    "thing",
+    "things",
+    "make",
+    "makes",
+    "made",
+    "using",
+    "use",
+    "used",
+    "since",
+    "back",
+    "going",
+    "know",
+    "see",
+    "way",
+    "lot",
+    "anyone",
+    "else",
+    "new",
+    "everyone",
+    "keeps",
+    "talking",
+    "here",
+    "right",
+    "our",
+    "ours",
 ];
 
 /// True when `word` (already lowercased) is a stop-word.
@@ -80,7 +275,10 @@ mod tests {
     #[test]
     fn basic_tokenization() {
         assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
-        assert_eq!(tokenize("speed-test 42Mbps"), vec!["speed", "test", "42mbps"]);
+        assert_eq!(
+            tokenize("speed-test 42Mbps"),
+            vec!["speed", "test", "42mbps"]
+        );
         assert_eq!(tokenize(""), Vec::<String>::new());
         assert_eq!(tokenize("   \t\n "), Vec::<String>::new());
     }

@@ -77,7 +77,13 @@ impl fmt::Display for WordCloud {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for w in &self.words {
             let bar_len = (w.relative * 40.0).round() as usize;
-            writeln!(f, "{:>20} {:>8.1} {}", w.word, w.weight, "█".repeat(bar_len))?;
+            writeln!(
+                f,
+                "{:>20} {:>8.1} {}",
+                w.word,
+                w.weight,
+                "█".repeat(bar_len)
+            )?;
         }
         Ok(())
     }

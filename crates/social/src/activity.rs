@@ -38,11 +38,20 @@ impl Default for ActivityParams {
         ActivityParams {
             base_posts_per_day: 24.0,
             posts_per_sqrt_kuser: 1.05,
-            upvotes: Dist::Pareto { xm: 3.4, alpha: 1.16 },
+            upvotes: Dist::Pareto {
+                xm: 3.4,
+                alpha: 1.16,
+            },
             upvote_cap: 5000,
-            comments: Dist::Pareto { xm: 2.2, alpha: 1.17 },
+            comments: Dist::Pareto {
+                xm: 2.2,
+                alpha: 1.17,
+            },
             comment_cap: 800,
-            megathread_comments: Dist::Pareto { xm: 60.0, alpha: 1.2 },
+            megathread_comments: Dist::Pareto {
+                xm: 60.0,
+                alpha: 1.2,
+            },
             megathread_comment_cap: 4000,
         }
     }
@@ -95,8 +104,9 @@ mod tests {
         // 8,190 upvotes over 372 posts ⇒ ≈ 22 upvotes/post.
         let p = ActivityParams::default();
         let mut rng = StdRng::seed_from_u64(1);
-        let xs: Vec<f64> =
-            (0..60_000).map(|_| f64::from(p.sample_upvotes(&mut rng, 1.0))).collect();
+        let xs: Vec<f64> = (0..60_000)
+            .map(|_| f64::from(p.sample_upvotes(&mut rng, 1.0)))
+            .collect();
         let mean = analytics::mean(&xs).unwrap();
         assert!((14.0..30.0).contains(&mean), "upvotes/post mean {mean}");
     }
@@ -106,8 +116,9 @@ mod tests {
         // 5,702 comments over 372 posts ⇒ ≈ 15 comments/post.
         let p = ActivityParams::default();
         let mut rng = StdRng::seed_from_u64(2);
-        let xs: Vec<f64> =
-            (0..60_000).map(|_| f64::from(p.sample_comments(&mut rng, 1.0))).collect();
+        let xs: Vec<f64> = (0..60_000)
+            .map(|_| f64::from(p.sample_comments(&mut rng, 1.0)))
+            .collect();
         let mean = analytics::mean(&xs).unwrap();
         assert!((10.0..21.0).contains(&mean), "comments/post mean {mean}");
     }
@@ -116,10 +127,12 @@ mod tests {
     fn megathreads_dwarf_ordinary_posts() {
         let p = ActivityParams::default();
         let mut rng = StdRng::seed_from_u64(3);
-        let mega: Vec<f64> =
-            (0..5000).map(|_| f64::from(p.sample_megathread_comments(&mut rng))).collect();
-        let normal: Vec<f64> =
-            (0..5000).map(|_| f64::from(p.sample_comments(&mut rng, 1.0))).collect();
+        let mega: Vec<f64> = (0..5000)
+            .map(|_| f64::from(p.sample_megathread_comments(&mut rng)))
+            .collect();
+        let normal: Vec<f64> = (0..5000)
+            .map(|_| f64::from(p.sample_comments(&mut rng, 1.0)))
+            .collect();
         assert!(analytics::mean(&mega).unwrap() > 8.0 * analytics::mean(&normal).unwrap());
     }
 

@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 /// Canonical country list (ordered by subreddit share; outage scopes take
 /// prefixes of this list).
 pub const COUNTRIES: &[&str] = &[
-    "US", "CA", "UK", "DE", "AU", "FR", "NZ", "MX", "BR", "CL", "IT", "ES", "NL", "BE", "AT",
-    "PT", "IE", "PL", "SE", "NO", "DK", "FI", "CH", "JP",
+    "US", "CA", "UK", "DE", "AU", "FR", "NZ", "MX", "BR", "CL", "IT", "ES", "NL", "BE", "AT", "PT",
+    "IE", "PL", "SE", "NO", "DK", "FI", "CH", "JP",
 ];
 
 /// Share of posts from each country (US-heavy, long tail).
@@ -66,8 +66,14 @@ impl AuthorPool {
     /// Sample a pool of `n` authors.
     pub fn sample<R: Rng + ?Sized>(rng: &mut R, n: usize) -> AuthorPool {
         let weights = country_weights();
-        let disposition = Dist::Normal { mean: 0.05, std: 0.35 };
-        let extremity = Dist::LogNormal { mu: 0.0, sigma: 0.4 };
+        let disposition = Dist::Normal {
+            mean: 0.05,
+            std: 0.35,
+        };
+        let extremity = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.4,
+        };
         let authors = (0..n.max(1))
             .map(|id| Author {
                 id: id as u64,
@@ -102,8 +108,11 @@ impl AuthorPool {
         rng: &mut R,
         countries: &[&'static str],
     ) -> &Author {
-        let candidates: Vec<&Author> =
-            self.authors.iter().filter(|a| countries.contains(&a.country())).collect();
+        let candidates: Vec<&Author> = self
+            .authors
+            .iter()
+            .filter(|a| countries.contains(&a.country()))
+            .collect();
         if candidates.is_empty() {
             self.pick(rng)
         } else {
@@ -135,7 +144,9 @@ mod tests {
         let distinct: std::collections::HashSet<&str> =
             (0..2000).map(|_| pool.pick(&mut rng).country()).collect();
         assert!(distinct.len() >= 10, "only {} countries", distinct.len());
-        let us = (0..5000).filter(|_| pool.pick(&mut rng).country() == "US").count();
+        let us = (0..5000)
+            .filter(|_| pool.pick(&mut rng).country() == "US")
+            .count();
         let share = us as f64 / 5000.0;
         assert!((0.5..0.7).contains(&share), "US share {share}");
     }
@@ -157,7 +168,12 @@ mod tests {
     fn dispositions_vary() {
         let mut rng = StdRng::seed_from_u64(3);
         let pool = AuthorPool::sample(&mut rng, 2000);
-        let positive = (0..2000).filter(|_| pool.pick(&mut rng).disposition > 0.0).count();
-        assert!(positive > 600 && positive < 1600, "positive dispositions {positive}");
+        let positive = (0..2000)
+            .filter(|_| pool.pick(&mut rng).disposition > 0.0)
+            .count();
+        assert!(
+            positive > 600 && positive < 1600,
+            "positive dispositions {positive}"
+        );
     }
 }

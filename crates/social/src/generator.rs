@@ -65,7 +65,7 @@ pub struct ForumConfig {
 impl Default for ForumConfig {
     fn default() -> ForumConfig {
         ForumConfig {
-            seed: 0x50C1A1,
+            seed: 0x50C1A2,
             start: Date::from_ymd(2021, 1, 1).expect("valid date"),
             end: Date::from_ymd(2022, 12, 31).expect("valid date"),
             authors: 20_000,
@@ -224,7 +224,11 @@ fn compose_named_event_post(
     };
     // Trending discoveries attract disproportionate engagement — the signal
     // the paper's upvote/comment-weighted miner keys on.
-    let boost = if event.kind == EventKind::FeatureDiscovery { 4.0 } else { 2.0 };
+    let boost = if event.kind == EventKind::FeatureDiscovery {
+        4.0
+    } else {
+        2.0
+    };
     Post {
         id,
         date,
@@ -251,9 +255,15 @@ fn compose_outage_post(
     let affected = &COUNTRIES[..(outage.countries as usize).clamp(1, COUNTRIES.len())];
     let author = *authors.pick_from_countries(rng, affected);
     let (text, comments) = if outage.reported_in_press {
-        (textgen::compose_reported_outage(rng), config.activity.sample_megathread_comments(rng))
+        (
+            textgen::compose_reported_outage(rng),
+            config.activity.sample_megathread_comments(rng),
+        )
     } else {
-        (textgen::compose_unreported_outage(rng), config.activity.sample_comments(rng, 1.5))
+        (
+            textgen::compose_unreported_outage(rng),
+            config.activity.sample_comments(rng, 1.5),
+        )
     };
     Post {
         id,
@@ -301,11 +311,8 @@ fn compose_baseline_post(
     let class = match topic {
         PostTopic::SpeedShare => {
             let truth = sample_speed_test(rng, speed_model, date);
-            let provider_idx = weighted_index(
-                rng,
-                &Provider::ALL.map(|p| p.mixture_weight()),
-            )
-            .unwrap_or(0);
+            let provider_idx =
+                weighted_index(rng, &Provider::ALL.map(|p| p.mixture_weight())).unwrap_or(0);
             let provider = Provider::ALL[provider_idx];
             let report = SpeedTestReport {
                 provider,
@@ -316,11 +323,14 @@ fn compose_baseline_post(
             };
             let rendered = ocr::render::render(rng, &report);
             let ocr_text = config.ocr_noise.apply(rng, &rendered);
-            screenshot = Some(Screenshot { ocr_text, provider, truth });
+            screenshot = Some(Screenshot {
+                ocr_text,
+                provider,
+                truth,
+            });
             // The poster's sentiment reflects their sustained experience,
             // of which the shared one-off measurement is only a part.
-            let experienced =
-                0.3 * truth.downlink_mbps + 0.7 * perception.network_median(date);
+            let experienced = 0.3 * truth.downlink_mbps + 0.7 * perception.network_median(date);
             perception.react(rng, date, experienced, author.disposition)
         }
         PostTopic::Experience => {
@@ -370,7 +380,10 @@ mod tests {
     use super::*;
 
     fn small_config() -> ForumConfig {
-        ForumConfig { authors: 3000, ..ForumConfig::default() }
+        ForumConfig {
+            authors: 3000,
+            ..ForumConfig::default()
+        }
     }
 
     fn d(y: i32, m: u8, day: u8) -> Date {
@@ -390,15 +403,24 @@ mod tests {
         let comments: f64 = forum.posts.iter().map(|p| f64::from(p.comments)).sum();
         let up_week = upvotes / weeks;
         let com_week = comments / weeks;
-        assert!((4500.0..14000.0).contains(&up_week), "upvotes/week {up_week} (paper: 8190)");
-        assert!((3000.0..11000.0).contains(&com_week), "comments/week {com_week} (paper: 5702)");
+        assert!(
+            (4500.0..14000.0).contains(&up_week),
+            "upvotes/week {up_week} (paper: 8190)"
+        );
+        assert!(
+            (3000.0..11000.0).contains(&com_week),
+            "comments/week {com_week} (paper: 5702)"
+        );
     }
 
     #[test]
     fn speedshare_volume_matches_paper() {
         let forum = generate(&small_config());
         let shares = forum.speed_shares().count();
-        assert!((1300..2400).contains(&shares), "speed shares {shares} (paper: ~1750)");
+        assert!(
+            (1300..2400).contains(&shares),
+            "speed shares {shares} (paper: ~1750)"
+        );
     }
 
     #[test]
@@ -415,10 +437,14 @@ mod tests {
     #[test]
     fn unreported_outage_floods_posts_reported_floods_comments() {
         let forum = generate(&small_config());
-        let apr22: Vec<&Post> =
-            forum.on(d(2022, 4, 22)).filter(|p| p.topic == PostTopic::Outage).collect();
-        let jan7: Vec<&Post> =
-            forum.on(d(2022, 1, 7)).filter(|p| p.topic == PostTopic::Outage).collect();
+        let apr22: Vec<&Post> = forum
+            .on(d(2022, 4, 22))
+            .filter(|p| p.topic == PostTopic::Outage)
+            .collect();
+        let jan7: Vec<&Post> = forum
+            .on(d(2022, 1, 7))
+            .filter(|p| p.topic == PostTopic::Outage)
+            .collect();
         assert!(
             apr22.len() > jan7.len(),
             "Apr 22 outage posts {} should exceed Jan 7 {}",
@@ -466,8 +492,14 @@ mod tests {
             .between(d(2022, 2, 14), d(2022, 3, 2))
             .filter(|p| p.text().to_lowercase().contains("roaming"))
             .count();
-        assert_eq!(before_discovery, 0, "roaming should be absent before discovery");
-        assert!(discovery_window >= 5, "discovery-window roaming posts {discovery_window}");
+        assert_eq!(
+            before_discovery, 0,
+            "roaming should be absent before discovery"
+        );
+        assert!(
+            discovery_window >= 5,
+            "discovery-window roaming posts {discovery_window}"
+        );
     }
 
     #[test]

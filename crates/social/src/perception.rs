@@ -60,7 +60,12 @@ pub struct PerceptionModel {
 impl PerceptionModel {
     /// Build the daily expectation series over `[start, end]` from the
     /// network speed model.
-    pub fn new(model: &SpeedModel, start: Date, end: Date, params: PerceptionParams) -> PerceptionModel {
+    pub fn new(
+        model: &SpeedModel,
+        start: Date,
+        end: Date,
+        params: PerceptionParams,
+    ) -> PerceptionModel {
         let mut expectation = Vec::new();
         let mut median = Vec::new();
         let mut exp = model.median_downlink(start);
@@ -70,18 +75,27 @@ impl PerceptionModel {
             expectation.push(exp);
             median.push(med);
         }
-        PerceptionModel { start, expectation, median, params }
+        PerceptionModel {
+            start,
+            expectation,
+            median,
+            params,
+        }
     }
 
     /// The conditioned expectation (Mbps) on `date` (clamped to the window).
     pub fn expectation(&self, date: Date) -> f64 {
-        let idx = date.days_since(self.start).clamp(0, self.expectation.len() as i32 - 1);
+        let idx = date
+            .days_since(self.start)
+            .clamp(0, self.expectation.len() as i32 - 1);
         self.expectation[idx as usize]
     }
 
     /// The network median (Mbps) on `date` (clamped to the window).
     pub fn network_median(&self, date: Date) -> f64 {
-        let idx = date.days_since(self.start).clamp(0, self.median.len() as i32 - 1);
+        let idx = date
+            .days_since(self.start)
+            .clamp(0, self.median.len() as i32 - 1);
         self.median[idx as usize]
     }
 
@@ -156,7 +170,10 @@ mod tests {
         let m = model();
         let apr = d(2021, 4, 15);
         let dec = d(2021, 12, 15);
-        assert!(m.network_median(dec) > m.network_median(apr), "premise: Dec is faster");
+        assert!(
+            m.network_median(dec) > m.network_median(apr),
+            "premise: Dec is faster"
+        );
         let apr_score = m.reaction_score(apr, m.network_median(apr), 0.0);
         let dec_score = m.reaction_score(dec, m.network_median(dec), 0.0);
         assert!(
@@ -170,7 +187,10 @@ mod tests {
         let m = model();
         let mar = d(2022, 3, 15);
         let dec = d(2022, 12, 15);
-        assert!(m.network_median(dec) < m.network_median(mar), "premise: speeds fall");
+        assert!(
+            m.network_median(dec) < m.network_median(mar),
+            "premise: speeds fall"
+        );
         let mar_score = m.reaction_score(mar, m.network_median(mar), 0.0);
         let dec_score = m.reaction_score(dec, m.network_median(dec), 0.0);
         assert!(
@@ -196,8 +216,14 @@ mod tests {
                 slow_neg += 1;
             }
         }
-        assert!(fast_pos > n * 6 / 10, "fast observations should thrill: {fast_pos}/{n}");
-        assert!(slow_neg > n * 6 / 10, "slow observations should enrage: {slow_neg}/{n}");
+        assert!(
+            fast_pos > n * 6 / 10,
+            "fast observations should thrill: {fast_pos}/{n}"
+        );
+        assert!(
+            slow_neg > n * 6 / 10,
+            "slow observations should enrage: {slow_neg}/{n}"
+        );
     }
 
     #[test]

@@ -137,12 +137,27 @@ impl Forum {
 
     /// Posts in a closed date range.
     pub fn between(&self, from: Date, to: Date) -> impl Iterator<Item = &Post> {
-        self.posts.iter().filter(move |p| p.date >= from && p.date <= to)
+        self.posts
+            .iter()
+            .filter(move |p| p.date >= from && p.date <= to)
     }
 
     /// Posts carrying screenshots.
     pub fn speed_shares(&self) -> impl Iterator<Item = &Post> {
         self.posts.iter().filter(|p| p.screenshot.is_some())
+    }
+
+    /// Earliest and latest post dates, `None` when empty.
+    ///
+    /// Scans the whole corpus: `posts` is a public `Vec` with no ordering
+    /// guarantee (the generator emits it date-sorted, but callers may build
+    /// or reorder forums however they like), so consumers needing the
+    /// corpus window must not trust `first()`/`last()`.
+    pub fn date_range(&self) -> Option<(Date, Date)> {
+        let mut dates = self.posts.iter().map(|p| p.date);
+        let first = dates.next()?;
+        let (lo, hi) = dates.fold((first, first), |(lo, hi), d| (lo.min(d), hi.max(d)));
+        Some((lo, hi))
     }
 }
 
@@ -167,6 +182,20 @@ mod tests {
     }
 
     #[test]
+    fn date_range_ignores_post_order() {
+        let mut forum = Forum::default();
+        assert_eq!(forum.date_range(), None);
+        // Deliberately unsorted: the range must come from min/max, not from
+        // the first/last vec positions.
+        for day in [17, 3, 25, 9] {
+            forum.posts.push(post(day));
+        }
+        let lo = Date::from_ymd(2022, 4, 3).unwrap();
+        let hi = Date::from_ymd(2022, 4, 25).unwrap();
+        assert_eq!(forum.date_range(), Some((lo, hi)));
+    }
+
+    #[test]
     fn text_concatenates() {
         let p = post(22);
         assert_eq!(p.text(), "Outage?\nAnyone else down?");
@@ -183,7 +212,10 @@ mod tests {
         assert_eq!(forum.on(Date::from_ymd(2022, 4, 22).unwrap()).count(), 2);
         assert_eq!(
             forum
-                .between(Date::from_ymd(2022, 4, 21).unwrap(), Date::from_ymd(2022, 4, 21).unwrap())
+                .between(
+                    Date::from_ymd(2022, 4, 21).unwrap(),
+                    Date::from_ymd(2022, 4, 21).unwrap()
+                )
                 .count(),
             1
         );

@@ -129,7 +129,10 @@ pub fn compose<R: Rng + ?Sized>(
         let b = topic_words[rng.gen_range(0..topic_words.len())];
         sentences.push(format!("everyone here keeps talking about {a} and {b}"));
     }
-    GeneratedText { title, body: sentences.join(". ") }
+    GeneratedText {
+        title,
+        body: sentences.join(". "),
+    }
 }
 
 /// Compose a megathread-style post for a **press-covered** outage: long,
@@ -212,17 +215,39 @@ mod tests {
         let mut neg_hits = 0;
         let n = 300;
         for _ in 0..n {
-            let pos = compose(&mut r, PostTopic::Experience, SentimentClass::StrongPositive, &[]);
-            if analyzer.score(&format!("{}\n{}", pos.title, pos.body)).is_strong_positive() {
+            let pos = compose(
+                &mut r,
+                PostTopic::Experience,
+                SentimentClass::StrongPositive,
+                &[],
+            );
+            if analyzer
+                .score(&format!("{}\n{}", pos.title, pos.body))
+                .is_strong_positive()
+            {
                 pos_hits += 1;
             }
-            let neg = compose(&mut r, PostTopic::Experience, SentimentClass::StrongNegative, &[]);
-            if analyzer.score(&format!("{}\n{}", neg.title, neg.body)).is_strong_negative() {
+            let neg = compose(
+                &mut r,
+                PostTopic::Experience,
+                SentimentClass::StrongNegative,
+                &[],
+            );
+            if analyzer
+                .score(&format!("{}\n{}", neg.title, neg.body))
+                .is_strong_negative()
+            {
                 neg_hits += 1;
             }
         }
-        assert!(pos_hits as f64 / n as f64 > 0.85, "strong-pos recovery {pos_hits}/{n}");
-        assert!(neg_hits as f64 / n as f64 > 0.85, "strong-neg recovery {neg_hits}/{n}");
+        assert!(
+            pos_hits as f64 / n as f64 > 0.85,
+            "strong-pos recovery {pos_hits}/{n}"
+        );
+        assert!(
+            neg_hits as f64 / n as f64 > 0.85,
+            "strong-neg recovery {neg_hits}/{n}"
+        );
     }
 
     #[test]
@@ -271,8 +296,14 @@ mod tests {
             }
         }
         let kw_mean = kw_total as f64 / n as f64;
-        assert!((1.0..=5.0).contains(&kw_mean), "flood-post keyword density {kw_mean}");
-        assert!(strong as f64 / n as f64 > 0.7, "flood posts strong-neg rate {strong}/{n}");
+        assert!(
+            (1.0..=5.0).contains(&kw_mean),
+            "flood-post keyword density {kw_mean}"
+        );
+        assert!(
+            strong as f64 / n as f64 > 0.7,
+            "flood posts strong-neg rate {strong}/{n}"
+        );
     }
 
     #[test]
@@ -290,7 +321,12 @@ mod tests {
     #[test]
     fn topic_words_injected() {
         let mut r = rng();
-        let t = compose(&mut r, PostTopic::Pricing, SentimentClass::MildNegative, &["price"]);
+        let t = compose(
+            &mut r,
+            PostTopic::Pricing,
+            SentimentClass::MildNegative,
+            &["price"],
+        );
         assert!(t.body.contains("price"));
     }
 }

@@ -70,8 +70,7 @@ impl Default for SpeedModelParams {
 }
 
 /// The Fig. 7 speed model.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SpeedModel {
     /// Launch schedule in effect.
     pub schedule: LaunchSchedule,
@@ -80,7 +79,6 @@ pub struct SpeedModel {
     /// Constants.
     pub params: SpeedModelParams,
 }
-
 
 impl SpeedModel {
     /// Maturity factor in `[floor, 1]`.
@@ -159,7 +157,10 @@ mod tests {
         let may = monthly_median(&m, Month::new(2021, 5).unwrap());
         let jul = monthly_median(&m, Month::new(2021, 7).unwrap());
         let sep = monthly_median(&m, Month::new(2021, 9).unwrap());
-        assert!(jul < may * 0.97, "Jul'21 {jul} should dip below May'21 {may}");
+        assert!(
+            jul < may * 0.97,
+            "Jul'21 {jul} should dip below May'21 {may}"
+        );
         assert!(sep > jul, "Sep'21 {sep} should recover over Jul'21 {jul}");
     }
 
@@ -171,7 +172,10 @@ mod tests {
         let dec22 = monthly_median(&m, Month::new(2022, 12).unwrap());
         assert!(jun22 < sep21, "{jun22} vs {sep21}");
         assert!(dec22 < jun22, "{dec22} vs {jun22}");
-        assert!(dec22 < sep21 * 0.7, "Dec'22 {dec22} should be well below Sep'21 {sep21}");
+        assert!(
+            dec22 < sep21 * 0.7,
+            "Dec'22 {dec22} should be well below Sep'21 {sep21}"
+        );
         assert!((35.0..70.0).contains(&dec22), "Dec'22 median {dec22}");
     }
 

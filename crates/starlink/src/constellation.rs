@@ -44,11 +44,41 @@ impl Shell {
 /// The Starlink Gen-1 shell set, deployment state ≈ late 2022.
 pub fn gen1_shells() -> Vec<Shell> {
     vec![
-        Shell { name: "Shell 1 (53.0°, 550 km)", altitude_km: 550.0, inclination_deg: 53.0, planned: 1584, deployed: 1584 },
-        Shell { name: "Shell 4 (53.2°, 540 km)", altitude_km: 540.0, inclination_deg: 53.2, planned: 1584, deployed: 1100 },
-        Shell { name: "Shell 2 (70.0°, 570 km)", altitude_km: 570.0, inclination_deg: 70.0, planned: 720, deployed: 250 },
-        Shell { name: "Shell 3 (97.6°, 560 km)", altitude_km: 560.0, inclination_deg: 97.6, planned: 348, deployed: 80 },
-        Shell { name: "Shell 5 (97.6°, 560 km)", altitude_km: 560.0, inclination_deg: 97.6, planned: 172, deployed: 0 },
+        Shell {
+            name: "Shell 1 (53.0°, 550 km)",
+            altitude_km: 550.0,
+            inclination_deg: 53.0,
+            planned: 1584,
+            deployed: 1584,
+        },
+        Shell {
+            name: "Shell 4 (53.2°, 540 km)",
+            altitude_km: 540.0,
+            inclination_deg: 53.2,
+            planned: 1584,
+            deployed: 1100,
+        },
+        Shell {
+            name: "Shell 2 (70.0°, 570 km)",
+            altitude_km: 570.0,
+            inclination_deg: 70.0,
+            planned: 720,
+            deployed: 250,
+        },
+        Shell {
+            name: "Shell 3 (97.6°, 560 km)",
+            altitude_km: 560.0,
+            inclination_deg: 97.6,
+            planned: 348,
+            deployed: 80,
+        },
+        Shell {
+            name: "Shell 5 (97.6°, 560 km)",
+            altitude_km: 560.0,
+            inclination_deg: 97.6,
+            planned: 172,
+            deployed: 0,
+        },
     ]
 }
 
@@ -87,7 +117,9 @@ pub struct RegionalDemand {
 impl Default for RegionalDemand {
     /// Population-proportional demand.
     fn default() -> RegionalDemand {
-        RegionalDemand { band_weights: POPULATION_BY_LAT_BAND }
+        RegionalDemand {
+            band_weights: POPULATION_BY_LAT_BAND,
+        }
     }
 }
 
@@ -160,18 +192,23 @@ impl DeploymentPlanner {
             .iter()
             .map(|s| Recommendation {
                 shell: s.name,
-                score: demand.served_per_satellite(s.inclination_deg)
-                    * f64::from(s.remaining()),
+                score: demand.served_per_satellite(s.inclination_deg) * f64::from(s.remaining()),
                 remaining: s.remaining(),
             })
             .collect();
-        recs.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        recs.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         recs
     }
 
     /// The single best next shell, if any remains incomplete.
     pub fn recommend_next(&self, demand: &RegionalDemand) -> Option<Recommendation> {
-        self.rank(demand).into_iter().find(|r| r.remaining > 0 && r.score > 0.0)
+        self.rank(demand)
+            .into_iter()
+            .find(|r| r.remaining > 0 && r.score > 0.0)
     }
 }
 
@@ -217,7 +254,11 @@ mod tests {
             "got {}",
             rec.shell
         );
-        assert!(!rec.shell.contains("97.6"), "polar shell should not win: {}", rec.shell);
+        assert!(
+            !rec.shell.contains("97.6"),
+            "polar shell should not win: {}",
+            rec.shell
+        );
     }
 
     #[test]
@@ -225,7 +266,9 @@ mod tests {
         // If USaaS reports intense dissatisfaction at high latitudes, the
         // planner pivots to the polar shells.
         let planner = DeploymentPlanner::gen1();
-        let mut demand = RegionalDemand { band_weights: [0.0; 9] };
+        let mut demand = RegionalDemand {
+            band_weights: [0.0; 9],
+        };
         demand.band_weights[6] = 0.5; // 60–70°
         demand.band_weights[7] = 0.5; // 70–80°
         let rec = planner.recommend_next(&demand).unwrap();
@@ -246,10 +289,22 @@ mod tests {
 
     #[test]
     fn shell_accounting() {
-        let s = Shell { name: "t", altitude_km: 550.0, inclination_deg: 53.0, planned: 100, deployed: 25 };
+        let s = Shell {
+            name: "t",
+            altitude_km: 550.0,
+            inclination_deg: 53.0,
+            planned: 100,
+            deployed: 25,
+        };
         assert_eq!(s.completion(), 0.25);
         assert_eq!(s.remaining(), 75);
-        let done = Shell { name: "d", altitude_km: 550.0, inclination_deg: 53.0, planned: 0, deployed: 0 };
+        let done = Shell {
+            name: "d",
+            altitude_km: 550.0,
+            inclination_deg: 53.0,
+            planned: 0,
+            deployed: 0,
+        };
         assert_eq!(done.completion(), 1.0);
     }
 }

@@ -193,10 +193,16 @@ mod tests {
     #[test]
     fn top_named_events_match_paper_dates() {
         let events = named_events();
-        let pre = events.iter().find(|e| e.kind == EventKind::Availability).unwrap();
+        let pre = events
+            .iter()
+            .find(|e| e.kind == EventKind::Availability)
+            .unwrap();
         assert_eq!(pre.date, d(2021, 2, 9));
         assert!(pre.polarity > 0.7);
-        let delay = events.iter().find(|e| e.kind == EventKind::Delivery).unwrap();
+        let delay = events
+            .iter()
+            .find(|e| e.kind == EventKind::Delivery)
+            .unwrap();
         assert_eq!(delay.date, d(2021, 11, 24));
         assert!(delay.polarity < -0.7);
     }
@@ -204,13 +210,13 @@ mod tests {
     #[test]
     fn roaming_discovery_precedes_tweet_by_two_plus_weeks() {
         let events = named_events();
-        let discovery =
-            events.iter().find(|e| e.kind == EventKind::FeatureDiscovery).unwrap();
+        let discovery = events
+            .iter()
+            .find(|e| e.kind == EventKind::FeatureDiscovery)
+            .unwrap();
         let tweet = events
             .iter()
-            .find(|e| {
-                e.kind == EventKind::FeatureAnnouncement && e.description.contains("CEO")
-            })
+            .find(|e| e.kind == EventKind::FeatureAnnouncement && e.description.contains("CEO"))
             .unwrap();
         let lead = tweet.date.days_since(discovery.date);
         assert!(lead >= 14, "discovery lead {lead} days");
@@ -219,7 +225,11 @@ mod tests {
 
     #[test]
     fn full_timeline_sorted_and_windowed() {
-        let tl = full_timeline(d(2022, 1, 1), d(2022, 12, 31), &TransientOutageConfig::default());
+        let tl = full_timeline(
+            d(2022, 1, 1),
+            d(2022, 12, 31),
+            &TransientOutageConfig::default(),
+        );
         assert!(tl.windows(2).all(|w| w[0].date <= w[1].date));
         assert!(tl.iter().all(|e| e.date.year() == 2022));
         assert!(tl.iter().any(|e| e.kind == EventKind::Outage));
@@ -228,12 +238,19 @@ mod tests {
 
     #[test]
     fn major_outage_buzz_dominates_transients() {
-        let tl = full_timeline(d(2022, 1, 1), d(2022, 12, 31), &TransientOutageConfig::default());
+        let tl = full_timeline(
+            d(2022, 1, 1),
+            d(2022, 12, 31),
+            &TransientOutageConfig::default(),
+        );
         let outages: Vec<&TimelineEvent> =
             tl.iter().filter(|e| e.kind == EventKind::Outage).collect();
         let max_buzz = outages.iter().map(|e| e.buzz).fold(0.0, f64::max);
         let jan7 = outages.iter().find(|e| e.date == d(2022, 1, 7)).unwrap();
-        assert!(jan7.buzz >= max_buzz * 0.9, "Jan 7 should be among the largest spikes");
+        assert!(
+            jan7.buzz >= max_buzz * 0.9,
+            "Jan 7 should be among the largest spikes"
+        );
     }
 
     #[test]

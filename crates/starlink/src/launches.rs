@@ -26,34 +26,84 @@ pub struct Launch {
 }
 
 fn l(y: i32, m: u8, d: u8, satellites: u32) -> Launch {
-    Launch { date: Date::from_ymd(y, m, d).expect("valid embedded launch date"), satellites }
+    Launch {
+        date: Date::from_ymd(y, m, d).expect("valid embedded launch date"),
+        satellites,
+    }
 }
 
 /// The embedded launch history (2019-05 through 2022-12).
 pub fn launch_history() -> Vec<Launch> {
     vec![
         // 2019–2020 build-out (pre-study; seeds the constellation size).
-        l(2019, 5, 24, 60), l(2019, 11, 11, 60),
-        l(2020, 1, 7, 60), l(2020, 1, 29, 60), l(2020, 2, 17, 60), l(2020, 3, 18, 60),
-        l(2020, 4, 22, 60), l(2020, 6, 4, 60), l(2020, 6, 13, 58), l(2020, 8, 7, 57),
-        l(2020, 8, 18, 58), l(2020, 9, 3, 60), l(2020, 10, 6, 60), l(2020, 10, 18, 60),
-        l(2020, 10, 24, 60), l(2020, 11, 25, 60),
+        l(2019, 5, 24, 60),
+        l(2019, 11, 11, 60),
+        l(2020, 1, 7, 60),
+        l(2020, 1, 29, 60),
+        l(2020, 2, 17, 60),
+        l(2020, 3, 18, 60),
+        l(2020, 4, 22, 60),
+        l(2020, 6, 4, 60),
+        l(2020, 6, 13, 58),
+        l(2020, 8, 7, 57),
+        l(2020, 8, 18, 58),
+        l(2020, 9, 3, 60),
+        l(2020, 10, 6, 60),
+        l(2020, 10, 18, 60),
+        l(2020, 10, 24, 60),
+        l(2020, 11, 25, 60),
         // Jan–Sep 2021: 14 launches (note the Jun–Aug gap).
-        l(2021, 1, 20, 60), l(2021, 2, 4, 60), l(2021, 2, 16, 60), l(2021, 3, 4, 60),
-        l(2021, 3, 11, 60), l(2021, 3, 14, 60), l(2021, 3, 24, 60), l(2021, 4, 7, 60),
-        l(2021, 4, 29, 60), l(2021, 5, 4, 60), l(2021, 5, 9, 60), l(2021, 5, 15, 52),
-        l(2021, 5, 26, 60), l(2021, 9, 14, 51),
+        l(2021, 1, 20, 60),
+        l(2021, 2, 4, 60),
+        l(2021, 2, 16, 60),
+        l(2021, 3, 4, 60),
+        l(2021, 3, 11, 60),
+        l(2021, 3, 14, 60),
+        l(2021, 3, 24, 60),
+        l(2021, 4, 7, 60),
+        l(2021, 4, 29, 60),
+        l(2021, 5, 4, 60),
+        l(2021, 5, 9, 60),
+        l(2021, 5, 15, 52),
+        l(2021, 5, 26, 60),
+        l(2021, 9, 14, 51),
         // Sep 2021 – Dec 2022: 37 batches (incl. the Sep 14 one above? No —
         // counted from after Sep'21 speed peak: the 36 below plus Sep 14).
-        l(2021, 11, 13, 53), l(2021, 12, 2, 48), l(2021, 12, 18, 52),
-        l(2022, 1, 6, 49), l(2022, 1, 19, 49), l(2022, 2, 3, 49), l(2022, 2, 21, 46),
-        l(2022, 2, 25, 50), l(2022, 3, 3, 47), l(2022, 3, 9, 48), l(2022, 3, 19, 53),
-        l(2022, 4, 21, 53), l(2022, 4, 29, 53), l(2022, 5, 6, 53), l(2022, 5, 13, 53),
-        l(2022, 5, 14, 53), l(2022, 5, 18, 53), l(2022, 6, 17, 53), l(2022, 7, 7, 53),
-        l(2022, 7, 11, 46), l(2022, 7, 17, 53), l(2022, 7, 22, 46), l(2022, 7, 24, 53),
-        l(2022, 8, 9, 52), l(2022, 8, 12, 46), l(2022, 8, 19, 53), l(2022, 8, 27, 54),
-        l(2022, 8, 31, 46), l(2022, 9, 4, 51), l(2022, 9, 10, 34), l(2022, 9, 18, 54),
-        l(2022, 9, 24, 52), l(2022, 10, 5, 52), l(2022, 10, 20, 54), l(2022, 10, 28, 53),
+        l(2021, 11, 13, 53),
+        l(2021, 12, 2, 48),
+        l(2021, 12, 18, 52),
+        l(2022, 1, 6, 49),
+        l(2022, 1, 19, 49),
+        l(2022, 2, 3, 49),
+        l(2022, 2, 21, 46),
+        l(2022, 2, 25, 50),
+        l(2022, 3, 3, 47),
+        l(2022, 3, 9, 48),
+        l(2022, 3, 19, 53),
+        l(2022, 4, 21, 53),
+        l(2022, 4, 29, 53),
+        l(2022, 5, 6, 53),
+        l(2022, 5, 13, 53),
+        l(2022, 5, 14, 53),
+        l(2022, 5, 18, 53),
+        l(2022, 6, 17, 53),
+        l(2022, 7, 7, 53),
+        l(2022, 7, 11, 46),
+        l(2022, 7, 17, 53),
+        l(2022, 7, 22, 46),
+        l(2022, 7, 24, 53),
+        l(2022, 8, 9, 52),
+        l(2022, 8, 12, 46),
+        l(2022, 8, 19, 53),
+        l(2022, 8, 27, 54),
+        l(2022, 8, 31, 46),
+        l(2022, 9, 4, 51),
+        l(2022, 9, 10, 34),
+        l(2022, 9, 18, 54),
+        l(2022, 9, 24, 52),
+        l(2022, 10, 5, 52),
+        l(2022, 10, 20, 54),
+        l(2022, 10, 28, 53),
         l(2022, 12, 17, 54),
     ]
 }
@@ -98,12 +148,19 @@ impl LaunchSchedule {
 
     /// Launches whose date falls inside `month`.
     pub fn launches_in_month(&self, month: Month) -> usize {
-        self.launches.iter().filter(|l| l.date.month() == month).count()
+        self.launches
+            .iter()
+            .filter(|l| l.date.month() == month)
+            .count()
     }
 
     /// Total satellites launched up to and including `date`.
     pub fn launched_by(&self, date: Date) -> u32 {
-        self.launches.iter().filter(|l| l.date <= date).map(|l| l.satellites).sum()
+        self.launches
+            .iter()
+            .filter(|l| l.date <= date)
+            .map(|l| l.satellites)
+            .sum()
     }
 
     /// Satellites *in service* on `date`: launched at least
@@ -146,7 +203,10 @@ mod tests {
             .iter()
             .filter(|l| l.date >= d(2021, 6, 1) && l.date <= d(2021, 8, 31))
             .count();
-        assert_eq!(n, 0, "paper: 21K users joined Jun–Aug 2021 with no launches");
+        assert_eq!(
+            n, 0,
+            "paper: 21K users joined Jun–Aug 2021 with no launches"
+        );
     }
 
     #[test]

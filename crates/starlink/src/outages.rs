@@ -102,7 +102,10 @@ impl Default for TransientOutageConfig {
     fn default() -> TransientOutageConfig {
         TransientOutageConfig {
             per_week: 1.3,
-            severity: Dist::LogNormal { mu: (0.12f64).ln(), sigma: 0.5 },
+            severity: Dist::LogNormal {
+                mu: (0.12f64).ln(),
+                sigma: 0.5,
+            },
             seed: 0x5EED,
         }
     }
@@ -111,8 +114,10 @@ impl Default for TransientOutageConfig {
 /// The full outage timeline over `[start, end]`: anchors plus seeded
 /// transients, sorted by date.
 pub fn outage_timeline(start: Date, end: Date, config: &TransientOutageConfig) -> Vec<Outage> {
-    let mut out: Vec<Outage> =
-        major_outages().into_iter().filter(|o| o.date >= start && o.date <= end).collect();
+    let mut out: Vec<Outage> = major_outages()
+        .into_iter()
+        .filter(|o| o.date >= start && o.date <= end)
+        .collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let causes = [
         OutageCause::Geometry,
@@ -161,7 +166,10 @@ mod tests {
         assert_eq!(majors[2].date, d(2022, 8, 30));
         assert!(!majors[1].reported_in_press, "Apr 22 must be unreported");
         assert!(majors[0].reported_in_press && majors[2].reported_in_press);
-        assert_eq!(majors[1].countries, 14, "paper: Redditors from 14 countries");
+        assert_eq!(
+            majors[1].countries, 14,
+            "paper: Redditors from 14 countries"
+        );
     }
 
     #[test]
@@ -170,7 +178,11 @@ mod tests {
         let tl = outage_timeline(s, e, &TransientOutageConfig::default());
         let transients: Vec<&Outage> = tl.iter().filter(|o| !o.is_major()).collect();
         // ~1.3/week over 104 weeks ≈ 135.
-        assert!((80..220).contains(&transients.len()), "transients {}", transients.len());
+        assert!(
+            (80..220).contains(&transients.len()),
+            "transients {}",
+            transients.len()
+        );
         assert!(transients.iter().all(|o| o.severity <= 0.45));
         assert!(transients.iter().all(|o| !o.reported_in_press));
         assert!(transients.iter().all(|o| o.countries <= 3));
@@ -182,7 +194,10 @@ mod tests {
         let a = outage_timeline(s, e, &TransientOutageConfig::default());
         let b = outage_timeline(s, e, &TransientOutageConfig::default());
         assert_eq!(a, b);
-        let other = TransientOutageConfig { seed: 999, ..TransientOutageConfig::default() };
+        let other = TransientOutageConfig {
+            seed: 999,
+            ..TransientOutageConfig::default()
+        };
         let c = outage_timeline(s, e, &other);
         assert_ne!(a, c);
     }

@@ -38,10 +38,21 @@ pub fn sample_speed_test<R: Rng + ?Sized>(
     let down_med = model.median_downlink(date).max(1.0);
     let up_med = model.median_uplink(date).max(0.5);
     let lat_med = model.median_latency(date).max(15.0);
-    let down = Dist::log_normal_median(down_med, MEASUREMENT_SPREAD).sample(rng).clamp(0.5, 500.0);
-    let up = Dist::log_normal_median(up_med, 1.35).sample(rng).clamp(0.2, 60.0);
-    let lat = Dist::log_normal_median(lat_med, 1.3).sample(rng).clamp(15.0, 400.0);
-    SpeedTestResult { date, downlink_mbps: down, uplink_mbps: up, latency_ms: lat }
+    let down = Dist::log_normal_median(down_med, MEASUREMENT_SPREAD)
+        .sample(rng)
+        .clamp(0.5, 500.0);
+    let up = Dist::log_normal_median(up_med, 1.35)
+        .sample(rng)
+        .clamp(0.2, 60.0);
+    let lat = Dist::log_normal_median(lat_med, 1.3)
+        .sample(rng)
+        .clamp(15.0, 400.0);
+    SpeedTestResult {
+        date,
+        downlink_mbps: down,
+        uplink_mbps: up,
+        latency_ms: lat,
+    }
 }
 
 #[cfg(test)]
@@ -59,12 +70,16 @@ mod tests {
         let model = SpeedModel::default();
         let mut rng = StdRng::seed_from_u64(4);
         let date = d(2021, 9, 15);
-        let mut downs: Vec<f64> =
-            (0..4000).map(|_| sample_speed_test(&mut rng, &model, date).downlink_mbps).collect();
+        let mut downs: Vec<f64> = (0..4000)
+            .map(|_| sample_speed_test(&mut rng, &model, date).downlink_mbps)
+            .collect();
         downs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = downs[downs.len() / 2];
         let model_med = model.median_downlink(date);
-        assert!((med - model_med).abs() / model_med < 0.08, "{med} vs {model_med}");
+        assert!(
+            (med - model_med).abs() / model_med < 0.08,
+            "{med} vs {model_med}"
+        );
     }
 
     #[test]
@@ -84,8 +99,9 @@ mod tests {
         let model = SpeedModel::default();
         let mut rng = StdRng::seed_from_u64(6);
         let date = d(2022, 3, 15);
-        let downs: Vec<f64> =
-            (0..4000).map(|_| sample_speed_test(&mut rng, &model, date).downlink_mbps).collect();
+        let downs: Vec<f64> = (0..4000)
+            .map(|_| sample_speed_test(&mut rng, &model, date).downlink_mbps)
+            .collect();
         let p10 = analytics::percentile(&downs, 10.0).unwrap();
         let p90 = analytics::percentile(&downs, 90.0).unwrap();
         assert!(p90 / p10 > 1.8, "spread too narrow: {p10}..{p90}");

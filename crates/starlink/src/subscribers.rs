@@ -20,7 +20,11 @@ pub struct Milestone {
 }
 
 fn m(y: i32, mo: u8, d: u8, users: f64, source: &'static str) -> Milestone {
-    Milestone { date: Date::from_ymd(y, mo, d).expect("valid milestone date"), users, source }
+    Milestone {
+        date: Date::from_ymd(y, mo, d).expect("valid milestone date"),
+        users,
+        source,
+    }
 }
 
 /// The embedded milestone list (the paper's citations [24, 33, 50, 52, 63–70]).
@@ -33,7 +37,13 @@ pub fn milestones() -> Vec<Milestone> {
         m(2022, 2, 14, 250_000.0, "CEO tweet: >250k terminals"),
         m(2022, 5, 1, 400_000.0, "press: 400,000 subscribers"),
         m(2022, 9, 19, 700_000.0, "press: 700,000 subs"),
-        m(2022, 12, 19, 1_000_000.0, "company: 1,000,000+ active subscribers"),
+        m(
+            2022,
+            12,
+            19,
+            1_000_000.0,
+            "company: 1,000,000+ active subscribers",
+        ),
     ]
 }
 
@@ -57,7 +67,10 @@ impl SubscriberModel {
     pub fn builtin() -> SubscriberModel {
         let mut points = milestones();
         points.sort_by_key(|p| p.date);
-        SubscriberModel { points, edge_growth_per_month: 1.18 }
+        SubscriberModel {
+            points,
+            edge_growth_per_month: 1.18,
+        }
     }
 
     /// The milestone list.

@@ -21,14 +21,34 @@ fn main() {
     // so a laptop-sized dataset still yields enough labels to train on.
     let mut simulator = CallSimulator::default();
     simulator.feedback.rate = 0.05;
-    println!("simulating {calls} calls (feedback rate {:.1}%)…", simulator.feedback.rate * 100.0);
-    let dataset = generate_with(&DatasetConfig { calls, ..DatasetConfig::default() }, &simulator);
+    println!(
+        "simulating {calls} calls (feedback rate {:.1}%)…",
+        simulator.feedback.rate * 100.0
+    );
+    let dataset = generate_with(
+        &DatasetConfig {
+            calls,
+            ..DatasetConfig::default()
+        },
+        &simulator,
+    );
     let rated = dataset.rated_sessions().count();
-    println!("{} sessions, {rated} rated ({:.2}%)\n", dataset.len(), 100.0 * rated as f64 / dataset.len() as f64);
+    println!(
+        "{} sessions, {rated} rated ({:.2}%)\n",
+        dataset.len(),
+        100.0 * rated as f64 / dataset.len() as f64
+    );
 
-    println!("{:>16} {:>8} {:>8} {:>8} {:>8} {:>8}", "features", "MAE", "RMSE", "corr", "base", "skill");
+    println!(
+        "{:>16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "features", "MAE", "RMSE", "corr", "base", "skill"
+    );
     let mut best = None;
-    for features in [FeatureSet::NetworkOnly, FeatureSet::EngagementOnly, FeatureSet::Full] {
+    for features in [
+        FeatureSet::NetworkOnly,
+        FeatureSet::EngagementOnly,
+        FeatureSet::Full,
+    ] {
         match train_and_evaluate(&dataset, features, 4) {
             Ok((model, eval)) => {
                 println!(
@@ -58,9 +78,7 @@ fn main() {
             "\npredicted MOS for all {} sessions (mean {mean:.2});",
             preds.len()
         );
-        println!(
-            "correlation with the simulator's hidden latent quality: {corr:.3}"
-        );
+        println!("correlation with the simulator's hidden latent quality: {corr:.3}");
         println!("→ engagement turns a {rated}-label trickle into full-coverage quality telemetry");
     }
 }

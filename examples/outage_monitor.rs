@@ -25,14 +25,18 @@ struct Monitor {
 
 impl Monitor {
     fn new(window_days: usize, threshold: f64) -> Monitor {
-        Monitor { window: Vec::new(), window_days, threshold }
+        Monitor {
+            window: Vec::new(),
+            window_days,
+            threshold,
+        }
     }
 
     /// Feed one day's count; returns `Some(baseline)` when alerting.
     fn observe(&mut self, count: f64) -> Option<f64> {
         let baseline = analytics::median(&self.window).unwrap_or(0.0);
-        let alert = self.window.len() >= self.window_days / 2
-            && count > (baseline + 5.0) * self.threshold;
+        let alert =
+            self.window.len() >= self.window_days / 2 && count > (baseline + 5.0) * self.threshold;
         self.window.push(count);
         if self.window.len() > self.window_days {
             self.window.remove(0);
@@ -43,7 +47,10 @@ impl Monitor {
 
 fn main() {
     println!("simulating r/Starlink…");
-    let forum = generate(&ForumConfig { authors: 6000, ..ForumConfig::default() });
+    let forum = generate(&ForumConfig {
+        authors: 6000,
+        ..ForumConfig::default()
+    });
     let dict = KeywordDictionary::outages();
     let analyzer = SentimentAnalyzer::default();
 
@@ -88,7 +95,10 @@ fn main() {
     println!("\n{} alert episodes raised", alerts.len());
     for known in ["2022-01-07", "2022-04-22", "2022-08-30"] {
         let hit = alerts.iter().any(|a| a.to_string() == known);
-        println!("  known major outage {known}: {}", if hit { "caught" } else { "MISSED" });
+        println!(
+            "  known major outage {known}: {}",
+            if hit { "caught" } else { "MISSED" }
+        );
     }
 
     // §6: feed the complaint geography into the deployment planner.
@@ -98,10 +108,15 @@ fn main() {
             *b /= total;
         }
         let planner = DeploymentPlanner::gen1();
-        let recs = planner.rank(&RegionalDemand { band_weights: complaint_bands });
+        let recs = planner.rank(&RegionalDemand {
+            band_weights: complaint_bands,
+        });
         println!("\ndeployment advice from complaint geography:");
         for r in recs.iter().take(3) {
-            println!("  {:>30}  score {:.3}  ({} satellites remaining)", r.shell, r.score, r.remaining);
+            println!(
+                "  {:>30}  score {:.3}  ({} satellites remaining)",
+                r.shell, r.score, r.remaining
+            );
         }
     }
 }

@@ -21,10 +21,17 @@ fn main() {
         .map(|o| (o.date, o.severity))
         .collect();
     let dataset = generate(&call_config);
-    println!("  {} sessions across {} calls", dataset.len(), dataset.call_count());
+    println!(
+        "  {} sessions across {} calls",
+        dataset.len(),
+        dataset.call_count()
+    );
 
     println!("simulating two years of r/Starlink…");
-    let forum = generate_forum(&ForumConfig { authors: 3000, ..ForumConfig::default() });
+    let forum = generate_forum(&ForumConfig {
+        authors: 3000,
+        ..ForumConfig::default()
+    });
     println!("  {} posts", forum.len());
 
     // 2. Stand up the service (parallel ingestion into the signal store).
@@ -38,13 +45,23 @@ fn main() {
 
     // 3. The §5 flagship query.
     let answer = service
-        .query(&Query::CrossNetwork { access: AccessType::SatelliteLeo })
+        .query(&Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        })
         .expect("cross-network query");
-    let Answer::CrossNetwork(report) = answer else { unreachable!() };
+    let Answer::CrossNetwork(report) = answer else {
+        unreachable!()
+    };
     println!("\n=== Teams-on-Starlink (cross-network report) ===");
     println!("sessions on Starlink:     {}", report.sessions);
-    println!("mean Presence:            {:.1}% (others: {:.1}%)", report.mean_presence, report.others_presence);
-    println!("mean Mic On / Cam On:     {:.1}% / {:.1}%", report.mean_mic_on, report.mean_cam_on);
+    println!(
+        "mean Presence:            {:.1}% (others: {:.1}%)",
+        report.mean_presence, report.others_presence
+    );
+    println!(
+        "mean Mic On / Cam On:     {:.1}% / {:.1}%",
+        report.mean_mic_on, report.mean_cam_on
+    );
     match report.mos {
         Some(mos) => println!("MOS (sampled ratings):    {mos:.2}"),
         None => println!("MOS: no ratings sampled (that scarcity is the paper's motivation)"),
@@ -55,5 +72,27 @@ fn main() {
             report.outage_days_joined
         );
         println!("→ implicit signals corroborate the social outage reports");
+    }
+
+    // 4. Operators ask many questions at once: `query_batch` fans a query
+    //    slice out over scoped threads and answers land in input order.
+    //    (The outage-detection pass above is cached, so `OutageTimeline`
+    //    here does not re-scan the forum.)
+    let batch = service.query_batch(&[
+        Query::OutageTimeline,
+        Query::SpeedTrend,
+        Query::SentimentPeaks { k: 3 },
+    ]);
+    println!(
+        "\n=== batch query ({} answers, computed in parallel) ===",
+        batch.len()
+    );
+    for answer in batch {
+        match answer.expect("batch query") {
+            Answer::Outages(o) => println!("outage timeline:          {} detections", o.len()),
+            Answer::Speeds(s) => println!("speed trend:              {} monthly medians", s.len()),
+            Answer::Peaks(p) => println!("sentiment peaks:          {} annotated", p.len()),
+            other => unreachable!("unexpected answer {other:?}"),
+        }
     }
 }

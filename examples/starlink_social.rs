@@ -37,7 +37,11 @@ fn main() {
                     i + 1,
                     p.date,
                     p.strong_posts,
-                    if p.positive_dominated { "positive" } else { "negative" }
+                    if p.positive_dominated {
+                        "positive"
+                    } else {
+                        "negative"
+                    }
                 );
                 println!("   top words: {:?}", p.top_words);
                 if p.unreported() {
@@ -67,7 +71,10 @@ fn main() {
         Ok(detections) => {
             println!("{} outage days flagged; strongest:", detections.len());
             for d in detections.iter().take(5) {
-                println!("  {}: {:.0} keyword occurrences (z = {:.1})", d.date, d.occurrences, d.score);
+                println!(
+                    "  {}: {:.0} keyword occurrences (z = {:.1})",
+                    d.date, d.occurrences, d.score
+                );
             }
             let truth = outage_timeline(
                 Date::from_ymd(2021, 1, 1).expect("date"),

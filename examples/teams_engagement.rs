@@ -15,8 +15,13 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(8000);
-    println!("simulating {calls} enterprise calls (Jan–Apr 2022, business hours, 3+ participants)…");
-    let dataset = generate(&DatasetConfig { calls, ..DatasetConfig::default() });
+    println!(
+        "simulating {calls} enterprise calls (Jan–Apr 2022, business hours, 3+ participants)…"
+    );
+    let dataset = generate(&DatasetConfig {
+        calls,
+        ..DatasetConfig::default()
+    });
     println!("{} sessions\n", dataset.len());
 
     // Fig. 1 — four panels.
@@ -25,7 +30,10 @@ fn main() {
         for metric in EngagementMetric::ALL {
             match correlate::engagement_curve(&dataset, sweep, metric, 6, 10) {
                 Ok(curve) => {
-                    print!("{}", report::curve_table(metric.label(), sweep.label(), "engagement", &curve));
+                    print!(
+                        "{}",
+                        report::curve_table(metric.label(), sweep.label(), "engagement", &curve)
+                    );
                 }
                 Err(e) => println!("{}: {e}", metric.label()),
             }
@@ -41,7 +49,9 @@ fn main() {
                 report::grid_table("Fig. 2: Presence over latency (x, ms) × loss (y, %)", &grid)
             );
             if let (Some(min), Some(max)) = (grid.min_value(), grid.max_value()) {
-                println!("worst cell dips to {min:.0} (best = {max:.0}) — the compounding effect\n");
+                println!(
+                    "worst cell dips to {min:.0} (best = {max:.0}) — the compounding effect\n"
+                );
             }
         }
         Err(e) => println!("grid: {e}"),
@@ -57,7 +67,10 @@ fn main() {
         8,
     ) {
         for (platform, curve) in curves {
-            print!("{}", report::curve_table(platform.label(), "loss (%)", "presence", &curve));
+            print!(
+                "{}",
+                report::curve_table(platform.label(), "loss (%)", "presence", &curve)
+            );
         }
     }
     println!();
@@ -66,7 +79,10 @@ fn main() {
     println!("=== Fig. 4: MOS vs engagement ===");
     for metric in EngagementMetric::ALL {
         if let Ok(curve) = correlate::mos_by_engagement(&dataset, metric, 4, 3) {
-            print!("{}", report::curve_table(metric.label(), "engagement (%)", "MOS", &curve));
+            print!(
+                "{}",
+                report::curve_table(metric.label(), "engagement (%)", "MOS", &curve)
+            );
         }
     }
     if let Ok(ranking) = correlate::mos_correlations(&dataset) {

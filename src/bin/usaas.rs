@@ -29,7 +29,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         if !key.starts_with("--") {
             return Err(format!("unexpected argument '{key}'"));
         }
-        let value = args.get(i + 1).ok_or_else(|| format!("flag {key} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag {key} needs a value"))?;
         out.insert(key.trim_start_matches("--").to_string(), value.clone());
         i += 2;
     }
@@ -39,19 +41,30 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
     }
 }
 
 fn flag_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
     }
 }
 
-fn write_out(flags: &HashMap<String, String>, default_name: &str, content: &str) -> Result<(), String> {
-    let path = flags.get("out").cloned().unwrap_or_else(|| default_name.to_string());
+fn write_out(
+    flags: &HashMap<String, String>,
+    default_name: &str,
+    content: &str,
+) -> Result<(), String> {
+    let path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| default_name.to_string());
     std::fs::write(&path, content).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("wrote {path}");
     Ok(())
@@ -61,7 +74,11 @@ fn cmd_simulate_calls(flags: HashMap<String, String>) -> Result<(), String> {
     let calls = flag_usize(&flags, "calls", 2000)?;
     let seed = flag_u64(&flags, "seed", 0xC11)?;
     eprintln!("simulating {calls} calls (seed {seed})…");
-    let ds = generate(&DatasetConfig { calls, seed, ..DatasetConfig::default() });
+    let ds = generate(&DatasetConfig {
+        calls,
+        seed,
+        ..DatasetConfig::default()
+    });
     let mut csv = String::from(
         "call_id,user_id,date,platform,access,meeting_size,latency_ms,loss_pct,jitter_ms,\
          bandwidth_mbps,presence_pct,mic_on_pct,cam_on_pct,left_early,rating\n",
@@ -94,9 +111,11 @@ fn cmd_simulate_calls(flags: HashMap<String, String>) -> Result<(), String> {
 fn cmd_simulate_forum(flags: HashMap<String, String>) -> Result<(), String> {
     let seed = flag_u64(&flags, "seed", 0x50C1A1)?;
     eprintln!("simulating the two-year forum corpus (seed {seed})…");
-    let forum = gen_forum(&ForumConfig { seed, ..ForumConfig::default() });
-    let mut csv =
-        String::from("id,date,author_id,country,upvotes,comments,has_screenshot,title\n");
+    let forum = gen_forum(&ForumConfig {
+        seed,
+        ..ForumConfig::default()
+    });
+    let mut csv = String::from("id,date,author_id,country,upvotes,comments,has_screenshot,title\n");
     for p in &forum.posts {
         let _ = writeln!(
             csv,
@@ -118,7 +137,10 @@ fn cmd_simulate_forum(flags: HashMap<String, String>) -> Result<(), String> {
 fn cmd_digest(flags: HashMap<String, String>) -> Result<(), String> {
     let calls = flag_usize(&flags, "calls", 3000)?;
     eprintln!("simulating {calls} calls + the forum corpus…");
-    let ds = generate(&DatasetConfig { calls, ..DatasetConfig::default() });
+    let ds = generate(&DatasetConfig {
+        calls,
+        ..DatasetConfig::default()
+    });
     let forum = gen_forum(&ForumConfig::default());
     let digest = DigestBuilder::default()
         .build(&ds, &forum)

@@ -11,7 +11,7 @@ use usaas::service::{Answer, Query, UsaasService};
 fn service() -> &'static UsaasService {
     static S: OnceLock<UsaasService> = OnceLock::new();
     S.get_or_init(|| {
-        let mut cfg = DatasetConfig::small(4000, 0xE2E);
+        let mut cfg = DatasetConfig::small(4000, 0xE2E1);
         cfg.leo_outage_calendar = starlink::outages::major_outages()
             .into_iter()
             .map(|o| (o.date, o.severity))
@@ -42,18 +42,25 @@ fn every_query_kind_answers() {
             engagement: EngagementMetric::CamOn,
             bins: 6,
         },
-        Query::CompoundingGrid { engagement: EngagementMetric::Presence, bins: 4 },
+        Query::CompoundingGrid {
+            engagement: EngagementMetric::Presence,
+            bins: 4,
+        },
         Query::PlatformSensitivity {
             sweep: NetworkMetric::LossPct,
             engagement: EngagementMetric::Presence,
         },
         Query::MosCorrelation,
-        Query::PredictMos { features: usaas::predict::FeatureSet::Full },
+        Query::PredictMos {
+            features: usaas::predict::FeatureSet::Full,
+        },
         Query::OutageTimeline,
         Query::SentimentPeaks { k: 3 },
         Query::SpeedTrend,
         Query::EmergingTopics,
-        Query::CrossNetwork { access: AccessType::SatelliteLeo },
+        Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        },
         Query::DeploymentAdvice,
     ];
     for q in &queries {
@@ -62,10 +69,42 @@ fn every_query_kind_answers() {
 }
 
 #[test]
+fn batch_execution_matches_sequential_answers() {
+    use conference::records::{EngagementMetric, NetworkMetric};
+    let s = service();
+    let queries: Vec<Query> = vec![
+        Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::MicOn,
+            bins: 6,
+        },
+        Query::MosCorrelation,
+        Query::OutageTimeline,
+        Query::SpeedTrend,
+        Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        },
+    ];
+    let batch = s.query_batch(&queries);
+    assert_eq!(batch.len(), queries.len());
+    for (q, parallel) in queries.iter().zip(&batch) {
+        let sequential = s.query(q);
+        assert_eq!(
+            format!("{parallel:?}"),
+            format!("{sequential:?}"),
+            "batch answer diverged for {q:?}"
+        );
+    }
+}
+
+#[test]
 fn cross_network_outage_corroboration() {
     let s = service();
-    let Answer::CrossNetwork(report) =
-        s.query(&Query::CrossNetwork { access: AccessType::SatelliteLeo }).unwrap()
+    let Answer::CrossNetwork(report) = s
+        .query(&Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        })
+        .unwrap()
     else {
         panic!("wrong answer kind");
     };
@@ -90,7 +129,10 @@ fn deployment_advice_reflects_complaint_geography() {
     };
     assert_eq!(recs.len(), 5);
     assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
-    assert!(recs[0].remaining > 0, "top recommendation must be actionable");
+    assert!(
+        recs[0].remaining > 0,
+        "top recommendation must be actionable"
+    );
 }
 
 #[test]

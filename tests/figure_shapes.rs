@@ -12,7 +12,13 @@ use usaas::correlate;
 
 fn dataset() -> &'static CallDataset {
     static DS: OnceLock<CallDataset> = OnceLock::new();
-    DS.get_or_init(|| generate(&DatasetConfig { calls: 15_000, seed: 0xF16, ..DatasetConfig::default() }))
+    DS.get_or_init(|| {
+        generate(&DatasetConfig {
+            calls: 15_000,
+            seed: 0xF19,
+            ..DatasetConfig::default()
+        })
+    })
 }
 
 fn drop_pct(curve: &analytics::BinnedCurve) -> f64 {
@@ -26,28 +32,44 @@ fn drop_pct(curve: &analytics::BinnedCurve) -> f64 {
 #[test]
 fn fig1_latency_panel() {
     let ds = dataset();
-    let mic = correlate::engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::MicOn, 6, 12)
-        .unwrap();
-    let cam = correlate::engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::CamOn, 6, 12)
-        .unwrap();
-    let presence =
-        correlate::engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::Presence, 6, 12)
+    let mic =
+        correlate::engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::MicOn, 6, 12)
             .unwrap();
+    let cam =
+        correlate::engagement_curve(ds, NetworkMetric::LatencyMs, EngagementMetric::CamOn, 6, 12)
+            .unwrap();
+    let presence = correlate::engagement_curve(
+        ds,
+        NetworkMetric::LatencyMs,
+        EngagementMetric::Presence,
+        6,
+        12,
+    )
+    .unwrap();
     let mic_drop = drop_pct(&mic);
     let cam_drop = drop_pct(&cam);
     let presence_drop = drop_pct(&presence);
     assert!(mic_drop > 20.0, "Mic On drop {mic_drop} (paper: >25%)");
-    assert!((8.0..40.0).contains(&cam_drop), "Cam On drop {cam_drop} (paper: ~20%)");
+    assert!(
+        (8.0..40.0).contains(&cam_drop),
+        "Cam On drop {cam_drop} (paper: ~20%)"
+    );
     assert!(
         (6.0..35.0).contains(&presence_drop),
         "Presence drop {presence_drop} (paper: ~20%)"
     );
     // Mic On is the steepest responder — muting is the means of first resort.
-    assert!(mic_drop >= cam_drop - 2.0 && mic_drop >= presence_drop, "{mic_drop} {cam_drop} {presence_drop}");
+    assert!(
+        mic_drop >= cam_drop - 2.0 && mic_drop >= presence_drop,
+        "{mic_drop} {cam_drop} {presence_drop}"
+    );
     // Knee: slope up to 150 ms much steeper than beyond.
     let pre = mic.slope_between(25.0, 125.0).unwrap().abs();
     let post = mic.slope_between(175.0, 275.0).unwrap().abs();
-    assert!(pre > 1.5 * post, "Mic On knee: pre-150ms slope {pre} vs post {post}");
+    assert!(
+        pre > 1.5 * post,
+        "Mic On knee: pre-150ms slope {pre} vs post {post}"
+    );
 }
 
 /// F1b — Fig. 1 (middle-left): loss ≤ 2 % barely moves engagement.
@@ -58,7 +80,11 @@ fn fig1_loss_panel() {
     for metric in EngagementMetric::ALL {
         let c = correlate::engagement_curve(ds, NetworkMetric::LossPct, metric, 4, 12).unwrap();
         let drop = drop_pct(&c);
-        assert!(drop < 10.0, "{}: dropped {drop}% at 2% loss (paper: <10%)", metric.label());
+        assert!(
+            drop < 10.0,
+            "{}: dropped {drop}% at 2% loss (paper: <10%)",
+            metric.label()
+        );
     }
 }
 
@@ -72,12 +98,18 @@ fn fig1_jitter_panel() {
     let cam_at_10 = cam.y_near(10.0).expect("populated 10ms bin");
     let cam_best = cam.first_y().unwrap();
     let drop_at_10 = cam_best - cam_at_10;
-    assert!(drop_at_10 > 12.0, "Cam On at 10ms jitter dropped {drop_at_10}% (paper: >15%)");
+    assert!(
+        drop_at_10 > 12.0,
+        "Cam On at 10ms jitter dropped {drop_at_10}% (paper: >15%)"
+    );
     let mic =
         correlate::engagement_curve(ds, NetworkMetric::JitterMs, EngagementMetric::MicOn, 6, 12)
             .unwrap();
     let mic_drop = drop_pct(&mic);
-    assert!(drop_pct(&cam) > mic_drop, "Cam On must be the most jitter-sensitive");
+    assert!(
+        drop_pct(&cam) > mic_drop,
+        "Cam On must be the most jitter-sensitive"
+    );
 }
 
 /// F1d — Fig. 1 (right): ≥ 1 Mbps is enough; Mic On is bandwidth-blind.
@@ -87,7 +119,11 @@ fn fig1_bandwidth_panel() {
     for metric in EngagementMetric::ALL {
         let c =
             correlate::engagement_curve(ds, NetworkMetric::BandwidthMbps, metric, 6, 12).unwrap();
-        let best = c.points().iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
+        let best = c
+            .points()
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::NEG_INFINITY, f64::max);
         let at_1mbps = c.y_near(1.1).expect("populated ~1Mbps bin");
         assert!(
             best - at_1mbps < 8.0,
@@ -96,12 +132,20 @@ fn fig1_bandwidth_panel() {
         );
     }
     // Mic On flat across the whole bandwidth span.
-    let mic =
-        correlate::engagement_curve(ds, NetworkMetric::BandwidthMbps, EngagementMetric::MicOn, 6, 12)
-            .unwrap();
+    let mic = correlate::engagement_curve(
+        ds,
+        NetworkMetric::BandwidthMbps,
+        EngagementMetric::MicOn,
+        6,
+        12,
+    )
+    .unwrap();
     let pts = mic.points();
     let min = pts.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
-    assert!(min > 93.0, "Mic On should not correlate with bandwidth: min {min}");
+    assert!(
+        min > 93.0,
+        "Mic On should not correlate with bandwidth: min {min}"
+    );
 }
 
 /// F2 — Fig. 2: latency × loss compound; worst combination dips toward 50 %.
@@ -117,7 +161,10 @@ fn fig2_compounding() {
     // independently contribute; their combination is where the minimum
     // lives — the far corner itself can be too thin to aggregate).
     if let Some(high_lat) = grid.value_at(280.0, 0.2) {
-        assert!(high_lat < clean - 5.0, "latency axis: {high_lat} vs {clean}");
+        assert!(
+            high_lat < clean - 5.0,
+            "latency axis: {high_lat} vs {clean}"
+        );
     }
     if let Some(high_loss) = grid.value_at(30.0, 2.8) {
         assert!(high_loss < clean - 5.0, "loss axis: {high_loss} vs {clean}");
@@ -151,7 +198,10 @@ fn fig3_platform_sensitivity() {
         android < windows,
         "Android presence {android} should trail Windows {windows} under loss"
     );
-    assert!(ios < windows, "iOS presence {ios} should trail Windows {windows} under loss");
+    assert!(
+        ios < windows,
+        "iOS presence {ios} should trail Windows {windows} under loss"
+    );
 }
 
 /// §3.2 text — beyond 3 % loss, the chance of dropping off rises sharply.
@@ -171,7 +221,10 @@ fn loss_above_three_percent_drives_abandonment() {
 fn cam_on_does_not_congest_the_network() {
     let c = correlate::latency_by_cam_on(dataset(), 5, 30).unwrap();
     let slope = c.slope_between(10.0, 90.0).unwrap();
-    assert!(slope <= 0.05, "latency-vs-CamOn slope {slope} should not be positive");
+    assert!(
+        slope <= 0.05,
+        "latency-vs-CamOn slope {slope} should not be positive"
+    );
 }
 
 /// F4 — Fig. 4: engagement correlates with MOS; Presence strongest.
@@ -212,7 +265,10 @@ fn confounder_effect_ordering() {
         report.network_effect,
         report.conditioning_effect
     );
-    assert!(report.platform_effect > 0.5, "platforms must differ: {report:?}");
+    assert!(
+        report.platform_effect > 0.5,
+        "platforms must differ: {report:?}"
+    );
 }
 
 /// §3.1 — the explicit-feedback sliver sits in the paper's 0.1–1 % band.

@@ -24,15 +24,21 @@ fn d(y: i32, m: u8, day: u8) -> Date {
 #[test]
 fn s1_subreddit_activity() {
     let f = forum();
-    let weeks = (f.posts.last().unwrap().date.days_since(f.posts.first().unwrap().date) as f64
+    let weeks = (f
+        .posts
+        .last()
+        .unwrap()
+        .date
+        .days_since(f.posts.first().unwrap().date) as f64
         + 1.0)
         / 7.0;
     let posts_per_week = f.len() as f64 / weeks;
-    let upvotes_per_week: f64 =
-        f.posts.iter().map(|p| f64::from(p.upvotes)).sum::<f64>() / weeks;
-    let comments_per_week: f64 =
-        f.posts.iter().map(|p| f64::from(p.comments)).sum::<f64>() / weeks;
-    assert!((280.0..470.0).contains(&posts_per_week), "posts/week {posts_per_week} (paper: 372)");
+    let upvotes_per_week: f64 = f.posts.iter().map(|p| f64::from(p.upvotes)).sum::<f64>() / weeks;
+    let comments_per_week: f64 = f.posts.iter().map(|p| f64::from(p.comments)).sum::<f64>() / weeks;
+    assert!(
+        (280.0..470.0).contains(&posts_per_week),
+        "posts/week {posts_per_week} (paper: 372)"
+    );
     assert!(
         (4000.0..16000.0).contains(&upvotes_per_week),
         "upvotes/week {upvotes_per_week} (paper: 8190)"
@@ -42,7 +48,10 @@ fn s1_subreddit_activity() {
         "comments/week {comments_per_week} (paper: 5702)"
     );
     let shares = f.speed_shares().count();
-    assert!((1300..2400).contains(&shares), "speed-test shares {shares} (paper: ~1750)");
+    assert!(
+        (1300..2400).contains(&shares),
+        "speed-test shares {shares} (paper: ~1750)"
+    );
 }
 
 /// F5a — the top-3 sentiment peaks and their annotations.
@@ -52,16 +61,28 @@ fn fig5a_sentiment_peaks() {
     assert_eq!(peaks.len(), 3);
     // Feb 9 '21 pre-orders (positive), Nov 24 '21 delay e-mail (negative),
     // Apr 22 '22 unreported outage (negative, third-highest).
-    assert!(peaks.iter().any(|p| p.date == d(2021, 2, 9) && p.positive_dominated));
-    assert!(peaks.iter().any(|p| p.date == d(2021, 11, 24) && !p.positive_dominated));
-    assert_eq!(peaks[2].date, d(2022, 4, 22), "Apr 22 is the third-highest peak");
+    assert!(peaks
+        .iter()
+        .any(|p| p.date == d(2021, 2, 9) && p.positive_dominated));
+    assert!(peaks
+        .iter()
+        .any(|p| p.date == d(2021, 11, 24) && !p.positive_dominated));
+    assert_eq!(
+        peaks[2].date,
+        d(2022, 4, 22),
+        "Apr 22 is the third-highest peak"
+    );
     assert!(!peaks[2].positive_dominated);
     // Annotation: the two event peaks find news; the outage does not, but is
     // corroborated by posters from many countries (paper: 14, ~190 US).
     for p in &peaks {
         if p.date == d(2022, 4, 22) {
             assert!(p.unreported(), "Apr 22 found coverage: {:?}", p.headlines);
-            assert!(p.countries >= 8, "Apr 22 countries {} (paper: 14)", p.countries);
+            assert!(
+                p.countries >= 8,
+                "Apr 22 countries {} (paper: 14)",
+                p.countries
+            );
         } else {
             assert!(!p.unreported(), "{}: no coverage found", p.date);
         }
@@ -70,7 +91,10 @@ fn fig5a_sentiment_peaks() {
         .on(d(2022, 4, 22))
         .filter(|p| p.country == "US" && p.topic == social::post::PostTopic::Outage)
         .count();
-    assert!(us_reports >= 100, "US outage reports {us_reports} (paper: ~190)");
+    assert!(
+        us_reports >= 100,
+        "US outage reports {us_reports} (paper: ~190)"
+    );
 }
 
 /// F5b — the Apr 22 word cloud surfaces outage language near the top.
@@ -97,8 +121,14 @@ fn fig6_outage_detection() {
     let mut days: Vec<(Date, f64)> = series.iter().collect();
     days.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let top2: Vec<Date> = days[..2].iter().map(|(day, _)| *day).collect();
-    assert!(top2.contains(&d(2022, 1, 7)), "Jan 7 missing from top-2: {top2:?}");
-    assert!(top2.contains(&d(2022, 8, 30)), "Aug 30 missing from top-2: {top2:?}");
+    assert!(
+        top2.contains(&d(2022, 1, 7)),
+        "Jan 7 missing from top-2: {top2:?}"
+    );
+    assert!(
+        top2.contains(&d(2022, 8, 30)),
+        "Aug 30 missing from top-2: {top2:?}"
+    );
 
     let detections = detector.detect(forum()).unwrap();
     let truth = starlink::outages::outage_timeline(
@@ -111,9 +141,16 @@ fn fig6_outage_detection() {
     assert!(score.precision > 0.6, "precision {}", score.precision);
 
     // Transients: many smaller peaks beyond the three majors.
-    let sensitive = OutageDetector { min_peak_score: 2.0, ..OutageDetector::default() };
+    let sensitive = OutageDetector {
+        min_peak_score: 2.0,
+        ..OutageDetector::default()
+    };
     let all = sensitive.detect(forum()).unwrap();
-    assert!(all.len() >= 13, "expected numerous smaller peaks, got {}", all.len());
+    assert!(
+        all.len() >= 13,
+        "expected numerous smaller peaks, got {}",
+        all.len()
+    );
 }
 
 /// F7 — the full Fig. 7: rise, mid-2021 dip, decline, subsample stability,
@@ -121,7 +158,11 @@ fn fig6_outage_detection() {
 #[test]
 fn fig7_speeds_and_fulcrum() {
     let series = FulcrumAnalysis::default()
-        .analyze(forum(), Month::new(2021, 1).unwrap(), Month::new(2022, 12).unwrap())
+        .analyze(
+            forum(),
+            Month::new(2021, 1).unwrap(),
+            Month::new(2022, 12).unwrap(),
+        )
         .unwrap();
     let s = series.as_slice();
 
@@ -139,8 +180,16 @@ fn fig7_speeds_and_fulcrum() {
         if let (Some(full), Some(s95), Some(s90)) =
             (p.median_down, p.median_down_95, p.median_down_90)
         {
-            assert!((s95 - full).abs() / full < 0.15, "{}: 95% {s95} vs {full}", p.month);
-            assert!((s90 - full).abs() / full < 0.20, "{}: 90% {s90} vs {full}", p.month);
+            assert!(
+                (s95 - full).abs() / full < 0.15,
+                "{}: 95% {s95} vs {full}",
+                p.month
+            );
+            assert!(
+                (s90 - full).abs() / full < 0.20,
+                "{}: 90% {s90} vs {full}",
+                p.month
+            );
         }
     }
 
@@ -182,7 +231,11 @@ fn s2_roaming_early_detection() {
     let tweet = d(2022, 3, 3);
     let lead = tweet.days_since(hit.first_flagged);
     assert!(lead >= 10, "lead time {lead} days (paper: ~2 weeks)");
-    assert!(hit.polarity > 0.0, "roaming chatter polarity {}", hit.polarity);
+    assert!(
+        hit.polarity > 0.0,
+        "roaming chatter polarity {}",
+        hit.polarity
+    );
     // And never before users could have discovered it.
     assert!(hit.first_flagged >= d(2022, 2, 14));
 }
