@@ -7,10 +7,17 @@
 //! samples per benchmark, reporting min/median/mean to stdout. No HTML
 //! reports or statistical regression analysis, but plenty to compare two
 //! implementations on the same machine.
+//!
+//! **JSON export**: when the `BENCH_JSON` environment variable names a
+//! file, every benchmark also appends one criterion-style record
+//! (`{"id", "min_ns", "median_ns", "mean_ns", "samples"}`) to the JSON
+//! array in that file, creating it on first write. `scripts/bench_json.sh`
+//! drives this to publish medians under `results/`.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -173,6 +180,59 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
         fmt_duration(mean),
         sorted.len(),
     );
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if !path.is_empty() {
+            let entry = json_entry(name, min, median, mean, sorted.len());
+            if let Err(e) = append_entry(Path::new(&path), &entry) {
+                eprintln!("BENCH_JSON: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// One benchmark record as a JSON object literal. The id is the only string
+/// field; it contains no exotic characters in practice, but quotes and
+/// backslashes are escaped anyway.
+fn json_entry(id: &str, min: Duration, median: Duration, mean: Duration, samples: usize) -> String {
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!(
+        "{{\"id\": \"{escaped}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {samples}}}",
+        min.as_nanos(),
+        median.as_nanos(),
+        mean.as_nanos(),
+    )
+}
+
+/// Append one record to the JSON array in `path`, keeping the file a valid
+/// JSON document after every write: a missing or empty file becomes
+/// `[entry]`; an existing array gets `, entry` spliced before the closing
+/// bracket.
+fn append_entry(path: &Path, entry: &str) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let trimmed = existing.trim_end();
+    let next = match trimmed.strip_suffix(']') {
+        Some(head) => {
+            let head = head.trim_end().trim_end_matches(',');
+            if head.is_empty() || head.ends_with('[') {
+                format!("[\n  {entry}\n]\n")
+            } else {
+                format!("{head},\n  {entry}\n]\n")
+            }
+        }
+        None => format!("[\n  {entry}\n]\n"),
+    };
+    std::fs::write(path, next)
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -224,6 +284,34 @@ mod tests {
             })
         });
         assert_eq!(runs, DEFAULT_SAMPLES + 1);
+    }
+
+    #[test]
+    fn json_entries_accumulate_into_a_valid_array() {
+        let dir = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        let d = Duration::from_nanos(1500);
+        append_entry(&path, &json_entry("scan/aos", d, d, d, 10)).unwrap();
+        append_entry(&path, &json_entry("scan/columnar", d, d, d, 10)).unwrap();
+        append_entry(&path, &json_entry("scan/parallel", d, d, d, 10)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("\"id\"").count(), 3);
+        assert_eq!(text.matches("\"median_ns\": 1500").count(), 3);
+        // Exactly two separating commas at entry level: every entry line
+        // but the last ends with one.
+        assert_eq!(text.matches("},\n").count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_entry_escapes_quotes() {
+        let d = Duration::from_nanos(1);
+        let s = json_entry("we\"ird\\id", d, d, d, 1);
+        assert!(s.contains("we\\\"ird\\\\id"));
     }
 
     #[test]

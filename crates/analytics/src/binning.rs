@@ -93,6 +93,28 @@ impl Binner {
         self.dropped
     }
 
+    /// The spec this binner was created with.
+    pub fn spec(&self) -> BinSpec {
+        self.spec
+    }
+
+    /// Absorb another binner over the same spec, appending its per-bin
+    /// observations *after* this one's. Parallel partition stages use this
+    /// to merge chunk-local binners: when each chunk covers a contiguous
+    /// slice of the input and chunks are merged in slice order, every bin's
+    /// observation sequence — and therefore every aggregate's floating-point
+    /// result — is identical to a sequential pass. Errors on spec mismatch.
+    pub fn merge(&mut self, other: Binner) -> Result<(), AnalyticsError> {
+        if other.spec != self.spec {
+            return Err(AnalyticsError::InvalidParameter("binner spec mismatch"));
+        }
+        for (mine, theirs) in self.values.iter_mut().zip(other.values) {
+            mine.extend(theirs);
+        }
+        self.dropped += other.dropped;
+        Ok(())
+    }
+
     /// Count of observations in bin `i`.
     pub fn count(&self, i: usize) -> usize {
         self.values[i].len()
@@ -268,6 +290,37 @@ mod tests {
         }
         let c = b.curve_median(1);
         assert_eq!(c.ys[0], Some(2.0));
+    }
+
+    #[test]
+    fn merge_preserves_sequential_order() {
+        // One binner fed sequentially vs two chunk-local binners merged in
+        // chunk order: identical curves (the frame-parity contract).
+        let xs = [10.0f64, 60.0, 20.0, 290.0, 70.0, 500.0];
+        let ys = [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut seq = Binner::new(spec());
+        for (x, y) in xs.iter().zip(&ys) {
+            seq.record(*x, *y);
+        }
+        let mut lo = Binner::new(spec());
+        let mut hi = Binner::new(spec());
+        for i in 0..3 {
+            lo.record(xs[i], ys[i]);
+        }
+        for i in 3..6 {
+            hi.record(xs[i], ys[i]);
+        }
+        lo.merge(hi).unwrap();
+        assert_eq!(lo.curve_mean(1), seq.curve_mean(1));
+        assert_eq!(lo.dropped(), seq.dropped());
+        assert_eq!(lo.spec(), seq.spec());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_specs() {
+        let mut a = Binner::new(spec());
+        let b = Binner::new(BinSpec::new(0.0, 10.0, 2).unwrap());
+        assert!(a.merge(b).is_err());
     }
 
     #[test]

@@ -42,3 +42,13 @@ pub fn bench_forum() -> Forum {
     cfg.authors = 2000;
     gen_forum(&cfg)
 }
+
+/// Calls in the frame-scan corpus: large enough that the aggregation cost
+/// dominates thread-spawn overhead, so the layout/fan-out comparison is
+/// about memory traffic rather than setup.
+pub const FRAME_CALLS: usize = 24_000;
+
+/// The seeded dataset the `frame_scan` bench aggregates over.
+pub fn frame_dataset() -> CallDataset {
+    generate(&DatasetConfig::small(FRAME_CALLS, 0xF4A))
+}

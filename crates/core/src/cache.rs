@@ -1,0 +1,175 @@
+//! A lock-striped memoization cache for query answers.
+//!
+//! [`super::service::UsaasService::query_batch`] fans a batch out across
+//! scoped workers; multi-tenant deployments replay the same figure mix for
+//! every dashboard refresh. Both patterns repeat identical queries, and
+//! every aggregate the service computes is a pure function of the immutable
+//! dataset — so each distinct query needs computing exactly once per
+//! service lifetime.
+//!
+//! [`MemoCache`] generalises the service's existing outage `OnceLock` to
+//! arbitrary keys: a fixed array of shards, each an `RwLock` over a map
+//! from key to `Arc<OnceLock<V>>`. Insertion of the cell takes a brief
+//! write lock; the (possibly long) compute runs *outside* any shard lock,
+//! inside the cell's own `OnceLock`, so two workers racing on the same key
+//! compute once and everyone else blocks only on that key — never on the
+//! shard. Striping keeps unrelated keys from contending on a single map
+//! lock under `query_batch` fan-out.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of independent shard locks. Small power of two: enough to spread
+/// a batch of concurrent distinct keys, cheap enough to iterate for `len`.
+const SHARDS: usize = 8;
+
+/// A compute-once cache from `K` to `V` with observable hit/miss counters.
+pub struct MemoCache<K, V> {
+    shards: [RwLock<HashMap<K, Arc<OnceLock<V>>>>; SHARDS],
+    hasher: RandomState,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K, V> Default for MemoCache<K, V> {
+    fn default() -> MemoCache<K, V> {
+        MemoCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hasher: RandomState::new(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+    fn shard_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) % SHARDS
+    }
+
+    /// Return the cached value for `key`, computing it with `f` on first
+    /// use. Concurrent callers with the same key run `f` once; the rest
+    /// wait on that key's cell only. A lookup that finds an existing cell
+    /// counts as a hit even if the value is still being computed — the
+    /// compute was shared either way.
+    pub fn get_or_compute<F: FnOnce() -> V>(&self, key: K, f: F) -> V {
+        let shard = &self.shards[self.shard_of(&key)];
+        let cell = {
+            let map = shard.read();
+            map.get(&key).cloned()
+        };
+        let cell = match cell {
+            Some(cell) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cell
+            }
+            None => {
+                let mut map = shard.write();
+                // Re-check under the write lock: another worker may have
+                // inserted the cell between our read and write.
+                if let Some(cell) = map.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    cell.clone()
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let cell = Arc::new(OnceLock::new());
+                    map.insert(key, cell.clone());
+                    cell
+                }
+            }
+        };
+        cell.get_or_init(f).clone()
+    }
+
+    /// Lookups that found an existing entry.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that created the entry (distinct keys seen).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no key has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_once_per_key() {
+        let cache: MemoCache<u32, u32> = MemoCache::default();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_compute(7, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                49
+            });
+            assert_eq!(v, 49);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share() {
+        let cache: MemoCache<(u8, u8), u16> = MemoCache::default();
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let v = cache.get_or_compute((a, b), || u16::from(a) * 10 + u16::from(b));
+                assert_eq!(v, u16::from(a) * 10 + u16::from(b));
+            }
+        }
+        assert_eq!(cache.misses(), 16);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 16);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let cache: MemoCache<u8, usize> = MemoCache::default();
+        let calls = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    let v = cache.get_or_compute(1, || {
+                        // Widen the race window so contending workers
+                        // really do find the cell mid-compute.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        calls.fetch_add(1, Ordering::SeqCst) + 100
+                    });
+                    assert_eq!(v, 100);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.misses() + cache.hits(), 8);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn empty_cache_reports_empty() {
+        let cache: MemoCache<u64, u64> = MemoCache::default();
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+}

@@ -7,6 +7,7 @@
 //! resulting per-bin engagement means are normalised so the best bin reads
 //! 100 — exactly how Fig. 1 is drawn.
 
+use crate::frame::{par_map_ranges, SessionFrame};
 use analytics::binning::{BinSpec, BinnedCurve, Binner};
 use analytics::correlation::pearson;
 use analytics::AnalyticsError;
@@ -29,6 +30,11 @@ pub fn in_reference_except(session: &SessionRecord, sweep: NetworkMetric) -> boo
 
 /// Fig. 1: engagement vs one network metric, other metrics held at
 /// reference, engagement normalised to 100 at the best bin.
+///
+/// This is the array-of-structs *reference implementation*; the service's
+/// hot path is [`engagement_curve_frame`], which aggregates the same
+/// quantities over [`SessionFrame`] columns and is asserted bit-identical
+/// to this function by the parity suite.
 pub fn engagement_curve(
     dataset: &CallDataset,
     sweep: NetworkMetric,
@@ -43,6 +49,41 @@ pub fn engagement_curve(
         if in_reference_except(s, sweep) {
             binner.record(s.network_mean(sweep), s.engagement(engagement));
         }
+    }
+    Ok(binner.curve_mean(min_count).normalized_to_max(100.0))
+}
+
+/// [`engagement_curve`] over frame columns: the sweep metric's mean column
+/// and the engagement column stream contiguously, the confounder filter is
+/// one precomputed mask compare, and chunks of the columns are binned on
+/// `workers` scoped threads. Chunk-local binners are merged in chunk order,
+/// so per-bin observation sequences — and the resulting curve — are
+/// bit-identical to the per-record reference.
+pub fn engagement_curve_frame(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+    workers: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
+    let (lo, hi) = sweep.sweep_range();
+    let spec = BinSpec::new(lo, hi, bins)?;
+    let xs = frame.net_mean(sweep);
+    let ys = frame.engagement(engagement);
+    let parts = par_map_ranges(frame.len(), workers, |range| {
+        let mut binner = Binner::new(spec);
+        for i in range {
+            if frame.in_reference_except(i, sweep) {
+                binner.record(xs[i], ys[i]);
+            }
+        }
+        binner
+    });
+    let mut iter = parts.into_iter();
+    let mut binner = iter.next().expect("at least one chunk");
+    for part in iter {
+        binner.merge(part)?;
     }
     Ok(binner.curve_mean(min_count).normalized_to_max(100.0))
 }
@@ -137,6 +178,65 @@ pub fn compounding_grid(
         sums[yi][xi] += s.engagement(engagement);
         counts[yi][xi] += 1;
     }
+    Ok(finish_grid(x, y, sums, counts, min_count))
+}
+
+/// [`compounding_grid`] over frame columns, the cell partition fanned out
+/// across `workers` scoped threads. Each chunk collects per-cell observation
+/// lists; merged in chunk order and summed sequentially they reproduce the
+/// reference pass's accumulation order exactly, so the grid is bit-identical.
+pub fn compounding_grid_frame(
+    frame: &SessionFrame,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+    workers: usize,
+) -> Result<Grid2d, AnalyticsError> {
+    let x = BinSpec::new(0.0, 300.0, bins)?; // latency ms
+    let y = BinSpec::new(0.0, 3.0, bins)?; // loss %
+    let lat = frame.net_mean(NetworkMetric::LatencyMs);
+    let loss = frame.net_mean(NetworkMetric::LossPct);
+    let eng = frame.engagement(engagement);
+    let parts = par_map_ranges(frame.len(), workers, |range| {
+        let mut cells: Vec<Vec<f64>> = vec![Vec::new(); bins * bins];
+        for i in range {
+            let (Some(xi), Some(yi)) = (x.index(lat[i]), y.index(loss[i])) else {
+                continue;
+            };
+            cells[yi * bins + xi].push(eng[i]);
+        }
+        cells
+    });
+    let mut cells: Vec<Vec<f64>> = vec![Vec::new(); bins * bins];
+    for part in parts {
+        for (cell, chunk) in cells.iter_mut().zip(part) {
+            cell.extend(chunk);
+        }
+    }
+    let mut sums = vec![vec![0.0f64; bins]; bins];
+    let mut counts = vec![vec![0usize; bins]; bins];
+    for yi in 0..bins {
+        for xi in 0..bins {
+            let cell = &cells[yi * bins + xi];
+            for v in cell {
+                sums[yi][xi] += v;
+            }
+            counts[yi][xi] = cell.len();
+        }
+    }
+    Ok(finish_grid(x, y, sums, counts, min_count))
+}
+
+/// Shared Fig. 2 finishing pass: thin-cell suppression and best-cell = 100
+/// normalisation. Both the per-record and the columnar grid builders feed
+/// their (sum, count) accumulators through this one code path.
+fn finish_grid(
+    x: BinSpec,
+    y: BinSpec,
+    sums: Vec<Vec<f64>>,
+    counts: Vec<Vec<usize>>,
+    min_count: usize,
+) -> Grid2d {
     let mut values: Vec<Vec<Option<f64>>> = sums
         .iter()
         .zip(&counts)
@@ -170,12 +270,12 @@ pub fn compounding_grid(
             }
         }
     }
-    Ok(Grid2d {
+    Grid2d {
         x,
         y,
         values,
         counts,
-    })
+    }
 }
 
 /// Fig. 3: per-platform engagement-vs-loss curves (normalised jointly so
@@ -206,15 +306,64 @@ pub fn platform_curves(
         .into_iter()
         .map(|(p, b)| (p, b.curve_mean(min_count)))
         .collect();
+    Ok(normalize_platforms_jointly(raw))
+}
+
+/// [`platform_curves`] over frame columns: each chunk keeps one binner per
+/// platform, merged per platform in chunk order, then normalised through the
+/// same joint pass as the per-record reference — bit-identical output.
+pub fn platform_curves_frame(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+    workers: usize,
+) -> Result<Vec<(Platform, BinnedCurve)>, AnalyticsError> {
+    let (lo, hi) = sweep.sweep_range();
+    let spec = BinSpec::new(lo, hi, bins)?;
+    let xs = frame.net_mean(sweep);
+    let ys = frame.engagement(engagement);
+    let platforms = frame.platform();
+    let parts = par_map_ranges(frame.len(), workers, |range| {
+        let mut binners: Vec<Binner> = Platform::ALL.iter().map(|_| Binner::new(spec)).collect();
+        for i in range {
+            if !frame.in_reference_except(i, sweep) {
+                continue;
+            }
+            if let Some(slot) = Platform::ALL.iter().position(|p| *p == platforms[i]) {
+                binners[slot].record(xs[i], ys[i]);
+            }
+        }
+        binners
+    });
+    let mut iter = parts.into_iter();
+    let mut merged = iter.next().expect("at least one chunk");
+    for part in iter {
+        for (mine, theirs) in merged.iter_mut().zip(part) {
+            mine.merge(theirs)?;
+        }
+    }
+    let raw: Vec<(Platform, BinnedCurve)> = Platform::ALL
+        .iter()
+        .zip(merged)
+        .map(|(p, b)| (*p, b.curve_mean(min_count)))
+        .collect();
+    Ok(normalize_platforms_jointly(raw))
+}
+
+/// Fig. 3 joint normalisation: every curve is scaled by the global best bin
+/// across platforms so platform gaps survive normalisation. Shared by the
+/// per-record and columnar builders.
+fn normalize_platforms_jointly(raw: Vec<(Platform, BinnedCurve)>) -> Vec<(Platform, BinnedCurve)> {
     let global_max = raw
         .iter()
         .flat_map(|(_, c)| c.ys.iter().flatten().cloned())
         .fold(f64::NEG_INFINITY, f64::max);
     if !global_max.is_finite() || global_max <= 0.0 {
-        return Ok(raw);
+        return raw;
     }
-    Ok(raw
-        .into_iter()
+    raw.into_iter()
         .map(|(p, c)| {
             let ys =
                 c.ys.iter()
@@ -229,7 +378,7 @@ pub fn platform_curves(
                 },
             )
         })
-        .collect())
+        .collect()
 }
 
 /// §3.2 text: early drop-off probability vs loss, swept beyond 3 %.
@@ -299,6 +448,50 @@ pub fn mos_correlations(
     let mut out = Vec::new();
     for metric in EngagementMetric::ALL {
         let xs: Vec<f64> = rated.iter().map(|s| s.engagement(metric)).collect();
+        out.push((metric, pearson(&xs, &ratings)?));
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(out)
+}
+
+/// [`mos_by_engagement`] over frame columns. The rated sliver is orders of
+/// magnitude smaller than the dataset, so this stays single-threaded — the
+/// win is reading two dense columns instead of walking full records.
+pub fn mos_by_engagement_frame(
+    frame: &SessionFrame,
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
+    let spec = BinSpec::new(0.0, 100.0, bins)?;
+    let mut binner = Binner::new(spec);
+    let eng = frame.engagement(engagement);
+    for (i, rating) in frame.rating().iter().enumerate() {
+        if let Some(r) = rating {
+            binner.record(eng[i], f64::from(*r));
+        }
+    }
+    Ok(binner.curve_mean(min_count))
+}
+
+/// [`mos_correlations`] over frame columns: the rated engagement vectors are
+/// gathered from dense columns in session order, so every Pearson input —
+/// and the ranking — is bit-identical to the per-record reference.
+pub fn mos_correlations_frame(
+    frame: &SessionFrame,
+) -> Result<Vec<(EngagementMetric, f64)>, AnalyticsError> {
+    let rated = frame.rated_indices();
+    if rated.len() < 2 {
+        return Err(AnalyticsError::Empty);
+    }
+    let ratings: Vec<f64> = rated
+        .iter()
+        .map(|&i| f64::from(frame.rating()[i].expect("rated index carries a rating")))
+        .collect();
+    let mut out = Vec::new();
+    for metric in EngagementMetric::ALL {
+        let col = frame.engagement(metric);
+        let xs: Vec<f64> = rated.iter().map(|&i| col[i]).collect();
         out.push((metric, pearson(&xs, &ratings)?));
     }
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));

@@ -1,0 +1,368 @@
+//! Columnar session index — the struct-of-arrays mirror of a
+//! [`CallDataset`].
+//!
+//! Every §3 analysis query used to re-walk `dataset.sessions` as an array
+//! of full [`SessionRecord`] structs, paying a `network_mean()` /
+//! `engagement()` match and a four-range confounder check per session per
+//! query. At the paper's ~200 M-call scale that per-record walk is the
+//! dominant cost. The [`SessionFrame`] materialises the hot fields **once**
+//! (at service build time) into dense per-metric `Vec<f64>` columns plus a
+//! precomputed reference-range bitmask, so the correlation engine streams
+//! cache-friendly contiguous memory instead of striding through ~250-byte
+//! records — and fans chunks of the columns out across scoped worker
+//! threads.
+//!
+//! Column `i` always describes `dataset.sessions[i]`: the frame is built by
+//! contiguous chunks concatenated in order, so frame-based aggregates visit
+//! sessions in exactly the per-record order and their floating-point results
+//! are bit-identical to the array-of-structs reference implementations
+//! (asserted by the `frame_parity` suite).
+
+use analytics::time::Date;
+use conference::platform::Platform;
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
+use netsim::access::AccessType;
+use std::ops::Range;
+
+/// Column slot of a network metric.
+pub const fn net_index(metric: NetworkMetric) -> usize {
+    match metric {
+        NetworkMetric::LatencyMs => 0,
+        NetworkMetric::LossPct => 1,
+        NetworkMetric::JitterMs => 2,
+        NetworkMetric::BandwidthMbps => 3,
+    }
+}
+
+/// Column slot of an engagement metric.
+pub const fn eng_index(metric: EngagementMetric) -> usize {
+    match metric {
+        EngagementMetric::Presence => 0,
+        EngagementMetric::MicOn => 1,
+        EngagementMetric::CamOn => 2,
+    }
+}
+
+/// Bitmask with every network metric's reference bit set.
+const ALL_IN_REFERENCE: u8 = 0b1111;
+
+/// Struct-of-arrays index over a call dataset: one dense column per
+/// network-metric mean and P95, per engagement metric, plus the
+/// platform/access/rating/date columns the service queries consume.
+#[derive(Debug, Clone, Default)]
+pub struct SessionFrame {
+    len: usize,
+    net_mean: [Vec<f64>; 4],
+    net_p95: [Vec<f64>; 4],
+    engagement: [Vec<f64>; 3],
+    platform: Vec<Platform>,
+    access: Vec<AccessType>,
+    date: Vec<Date>,
+    rating: Vec<Option<u8>>,
+    /// Bit [`net_index`]`(m)` is set iff the session's mean of `m` lies in
+    /// the paper's reference range — the §3.2 confounder filter reduced to
+    /// one mask compare per session.
+    ref_mask: Vec<u8>,
+}
+
+impl SessionFrame {
+    /// Materialise the frame from a dataset, building contiguous chunks on
+    /// `workers` scoped threads. Column order always matches
+    /// `dataset.sessions` order regardless of the worker count.
+    pub fn from_dataset(dataset: &CallDataset, workers: usize) -> SessionFrame {
+        let sessions = &dataset.sessions;
+        let parts = par_map_ranges(sessions.len(), workers, |range| {
+            let mut part = SessionFrame::with_capacity(range.len());
+            for s in &sessions[range] {
+                part.push(s);
+            }
+            part
+        });
+        let mut iter = parts.into_iter();
+        let mut frame = iter.next().unwrap_or_default();
+        for part in iter {
+            frame.append(part);
+        }
+        frame
+    }
+
+    /// Empty frame with per-column capacity reserved.
+    fn with_capacity(n: usize) -> SessionFrame {
+        SessionFrame {
+            len: 0,
+            net_mean: std::array::from_fn(|_| Vec::with_capacity(n)),
+            net_p95: std::array::from_fn(|_| Vec::with_capacity(n)),
+            engagement: std::array::from_fn(|_| Vec::with_capacity(n)),
+            platform: Vec::with_capacity(n),
+            access: Vec::with_capacity(n),
+            date: Vec::with_capacity(n),
+            rating: Vec::with_capacity(n),
+            ref_mask: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one session to every column.
+    fn push(&mut self, s: &SessionRecord) {
+        let mut mask = 0u8;
+        for metric in NetworkMetric::ALL {
+            let slot = net_index(metric);
+            let mean = s.network_mean(metric);
+            self.net_mean[slot].push(mean);
+            self.net_p95[slot].push(s.network_p95(metric));
+            let (lo, hi) = metric.reference_range();
+            if mean >= lo && mean <= hi {
+                mask |= 1 << slot;
+            }
+        }
+        for metric in EngagementMetric::ALL {
+            self.engagement[eng_index(metric)].push(s.engagement(metric));
+        }
+        self.platform.push(s.platform);
+        self.access.push(s.access);
+        self.date.push(s.date);
+        self.rating.push(s.rating);
+        self.ref_mask.push(mask);
+        self.len += 1;
+    }
+
+    /// Concatenate another frame's columns after this one's.
+    fn append(&mut self, other: SessionFrame) {
+        for (mine, theirs) in self.net_mean.iter_mut().zip(other.net_mean) {
+            mine.extend(theirs);
+        }
+        for (mine, theirs) in self.net_p95.iter_mut().zip(other.net_p95) {
+            mine.extend(theirs);
+        }
+        for (mine, theirs) in self.engagement.iter_mut().zip(other.engagement) {
+            mine.extend(theirs);
+        }
+        self.platform.extend(other.platform);
+        self.access.extend(other.access);
+        self.date.extend(other.date);
+        self.rating.extend(other.rating);
+        self.ref_mask.extend(other.ref_mask);
+        self.len += other.len;
+    }
+
+    /// Number of sessions indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no sessions are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Session-mean column of one network metric.
+    pub fn net_mean(&self, metric: NetworkMetric) -> &[f64] {
+        &self.net_mean[net_index(metric)]
+    }
+
+    /// Session-P95 column of one network metric.
+    pub fn net_p95(&self, metric: NetworkMetric) -> &[f64] {
+        &self.net_p95[net_index(metric)]
+    }
+
+    /// Column of one engagement metric.
+    pub fn engagement(&self, metric: EngagementMetric) -> &[f64] {
+        &self.engagement[eng_index(metric)]
+    }
+
+    /// Platform column.
+    pub fn platform(&self) -> &[Platform] {
+        &self.platform
+    }
+
+    /// Access-technology column.
+    pub fn access(&self) -> &[AccessType] {
+        &self.access
+    }
+
+    /// Calendar-day column.
+    pub fn date(&self) -> &[Date] {
+        &self.date
+    }
+
+    /// Explicit-rating column (`None` for the unsampled majority).
+    pub fn rating(&self) -> &[Option<u8>] {
+        &self.rating
+    }
+
+    /// Whether session `i` sits in the reference range for every network
+    /// metric except `sweep` — the §3.2 confounder filter as a single mask
+    /// compare against the precomputed reference bits.
+    #[inline]
+    pub fn in_reference_except(&self, i: usize, sweep: NetworkMetric) -> bool {
+        self.ref_mask[i] | (1 << net_index(sweep)) == ALL_IN_REFERENCE
+    }
+
+    /// Indices of the rated sessions, ascending.
+    pub fn rated_indices(&self) -> Vec<usize> {
+        (0..self.len)
+            .filter(|&i| self.rating[i].is_some())
+            .collect()
+    }
+}
+
+/// Split `[0, len)` into up to `workers` contiguous near-equal ranges (always
+/// at least one range, possibly empty, so aggregation loops need no special
+/// empty-input case).
+pub fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let chunks = workers.max(1).min(len.max(1));
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Map `f` over the chunk ranges of `[0, len)` on scoped worker threads,
+/// returning the per-chunk results **in chunk order** (so order-sensitive
+/// merges reproduce the sequential visit order). A single chunk runs inline
+/// on the caller's thread — no spawn cost for small inputs or `workers <= 1`.
+///
+/// # Panics
+///
+/// Re-raises the original panic of any worker that died.
+pub fn par_map_ranges<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(len, workers);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, range) in slots.iter_mut().zip(ranges) {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(range));
+            });
+        }
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk worker fills its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conference::dataset::{generate, DatasetConfig};
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static CallDataset {
+        static DS: OnceLock<CallDataset> = OnceLock::new();
+        DS.get_or_init(|| generate(&DatasetConfig::small(400, 77)))
+    }
+
+    #[test]
+    fn columns_mirror_the_records() {
+        let ds = dataset();
+        let frame = SessionFrame::from_dataset(ds, 4);
+        assert_eq!(frame.len(), ds.len());
+        assert!(!frame.is_empty());
+        for (i, s) in ds.sessions.iter().enumerate() {
+            for m in NetworkMetric::ALL {
+                assert_eq!(frame.net_mean(m)[i], s.network_mean(m));
+                assert_eq!(frame.net_p95(m)[i], s.network_p95(m));
+            }
+            for m in EngagementMetric::ALL {
+                assert_eq!(frame.engagement(m)[i], s.engagement(m));
+            }
+            assert_eq!(frame.platform()[i], s.platform);
+            assert_eq!(frame.access()[i], s.access);
+            assert_eq!(frame.date()[i], s.date);
+            assert_eq!(frame.rating()[i], s.rating);
+        }
+    }
+
+    #[test]
+    fn reference_mask_matches_the_filter() {
+        let ds = dataset();
+        let frame = SessionFrame::from_dataset(ds, 3);
+        for (i, s) in ds.sessions.iter().enumerate() {
+            for sweep in NetworkMetric::ALL {
+                assert_eq!(
+                    frame.in_reference_except(i, sweep),
+                    crate::correlate::in_reference_except(s, sweep),
+                    "session {i} sweep {sweep:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_columns() {
+        let ds = dataset();
+        let one = SessionFrame::from_dataset(ds, 1);
+        let eight = SessionFrame::from_dataset(ds, 8);
+        assert_eq!(one.len(), eight.len());
+        for m in NetworkMetric::ALL {
+            assert_eq!(one.net_mean(m), eight.net_mean(m));
+            assert_eq!(one.net_p95(m), eight.net_p95(m));
+        }
+        for m in EngagementMetric::ALL {
+            assert_eq!(one.engagement(m), eight.engagement(m));
+        }
+        assert_eq!(one.rated_indices(), eight.rated_indices());
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_frame() {
+        let frame = SessionFrame::from_dataset(&CallDataset::default(), 4);
+        assert_eq!(frame.len(), 0);
+        assert!(frame.is_empty());
+        assert!(frame.rated_indices().is_empty());
+        assert!(frame.net_mean(NetworkMetric::LatencyMs).is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, workers) in [(0, 4), (1, 4), (7, 3), (100, 8), (5, 1), (3, 9)] {
+            let ranges = chunk_ranges(len, workers);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= workers.max(1));
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous: {ranges:?}");
+            }
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_chunk_order() {
+        let parts = par_map_ranges(100, 7, |r| r.clone());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_ranges(10, 4, |r| {
+                if r.start == 0 {
+                    panic!("chunk worker exploded");
+                }
+                r.len()
+            })
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "chunk worker exploded");
+    }
+}

@@ -12,10 +12,12 @@
 pub mod advisor;
 pub mod annotate;
 pub mod bias;
+pub mod cache;
 pub mod correlate;
 pub mod digest;
 pub mod early;
 pub mod emerging;
+pub mod frame;
 pub mod fulcrum;
 pub mod ingest;
 pub mod outage;
@@ -27,18 +29,23 @@ pub mod store;
 
 pub use advisor::{Intervention, TrafficAdvisor};
 pub use annotate::{AnnotatedPeak, PeakAnnotator};
-pub use bias::{extremity_bias, geo_corrected_polarity, ExtremityBias};
+pub use bias::{extremity_bias, extremity_bias_signals, geo_corrected_polarity, ExtremityBias};
+pub use cache::MemoCache;
 pub use correlate::{
-    compounding_grid, confounder_report, engagement_curve, mos_by_engagement, mos_correlations,
-    platform_curves, ConfounderReport, Grid2d,
+    compounding_grid, compounding_grid_frame, confounder_report, engagement_curve,
+    engagement_curve_frame, mos_by_engagement, mos_by_engagement_frame, mos_correlations,
+    mos_correlations_frame, platform_curves, platform_curves_frame, ConfounderReport, Grid2d,
 };
 pub use digest::{Digest, DigestBuilder, RegimeChange, TestedGap};
 pub use early::{EarlyQualityMonitor, EarlyScoreWeights, HorizonSkill};
 pub use emerging::{EmergingTopic, EmergingTopicMiner};
+pub use frame::{chunk_ranges, par_map_ranges, SessionFrame};
 pub use fulcrum::{Fig7Series, FulcrumAnalysis, MonthlyPoint};
 pub use ingest::ingest_all;
 pub use outage::{DetectedOutage, DetectionScore, OutageDetector};
-pub use predict::{train_and_evaluate, Evaluation, FeatureSet, MosPredictor};
+pub use predict::{
+    train_and_evaluate, train_and_evaluate_frame, Evaluation, FeatureSet, MosPredictor,
+};
 pub use service::{Answer, CrossNetworkReport, Query, UsaasError, UsaasService};
 pub use signals::{NetworkHint, Payload, Signal, SignalKind};
 pub use store::SignalStore;

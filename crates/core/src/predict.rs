@@ -9,6 +9,7 @@
 //! exactly the paper's claim that engagement carries signal beyond the raw
 //! network metrics.
 
+use crate::frame::SessionFrame;
 use analytics::regression::{mae, rmse, LinearModel};
 use analytics::AnalyticsError;
 use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
@@ -38,6 +39,25 @@ fn features(session: &SessionRecord, set: FeatureSet) -> Vec<f64> {
         out.push(session.network_mean(NetworkMetric::LossPct));
         out.push(session.network_mean(NetworkMetric::JitterMs) / 10.0);
         out.push(session.network_mean(NetworkMetric::BandwidthMbps));
+    }
+    out
+}
+
+/// [`features`] read from frame columns — same values, same order, same
+/// scaling, so frame-trained models are bit-identical to record-trained
+/// ones.
+fn features_at(frame: &SessionFrame, i: usize, set: FeatureSet) -> Vec<f64> {
+    let mut out = Vec::with_capacity(7);
+    if matches!(set, FeatureSet::EngagementOnly | FeatureSet::Full) {
+        for m in EngagementMetric::ALL {
+            out.push(frame.engagement(m)[i] / 100.0);
+        }
+    }
+    if matches!(set, FeatureSet::NetworkOnly | FeatureSet::Full) {
+        out.push(frame.net_mean(NetworkMetric::LatencyMs)[i] / 100.0);
+        out.push(frame.net_mean(NetworkMetric::LossPct)[i]);
+        out.push(frame.net_mean(NetworkMetric::JitterMs)[i] / 10.0);
+        out.push(frame.net_mean(NetworkMetric::BandwidthMbps)[i]);
     }
     out
 }
@@ -128,6 +148,65 @@ pub fn train_and_evaluate(
     let preds: Vec<f64> = test
         .iter()
         .map(|s| predictor.predict(s))
+        .collect::<Result<_, _>>()?;
+    let train_mean = train_y.iter().sum::<f64>() / train_y.len() as f64;
+    let baseline: Vec<f64> = vec![train_mean; truth.len()];
+    let eval = Evaluation {
+        feature_set: set,
+        train_rows: train_y.len(),
+        test_rows: truth.len(),
+        mae: mae(&preds, &truth)?,
+        rmse: rmse(&preds, &truth)?,
+        correlation: analytics::correlation::pearson(&preds, &truth)?,
+        baseline_mae: mae(&baseline, &truth)?,
+    };
+    Ok((predictor, eval))
+}
+
+/// [`train_and_evaluate`] over frame columns: the same deterministic
+/// holdout split over the rated sliver, features gathered from dense
+/// columns. Model weights and every evaluation statistic are bit-identical
+/// to the per-record reference (asserted by the parity suite).
+pub fn train_and_evaluate_frame(
+    frame: &SessionFrame,
+    set: FeatureSet,
+    holdout: usize,
+) -> Result<(MosPredictor, Evaluation), AnalyticsError> {
+    let holdout = holdout.max(2);
+    let rated = frame.rated_indices();
+    if rated.len() < 2 * holdout {
+        return Err(AnalyticsError::Empty);
+    }
+    let ratings = frame.rating();
+    let mut train_x = Vec::new();
+    let mut train_y = Vec::new();
+    let mut test: Vec<usize> = Vec::new();
+    for (k, &i) in rated.iter().enumerate() {
+        if k % holdout == 0 {
+            test.push(i);
+        } else {
+            train_x.push(features_at(frame, i, set));
+            train_y.push(f64::from(ratings[i].expect("rated")));
+        }
+    }
+    let model = LinearModel::fit(&train_x, &train_y, 1e-4)?;
+    let predictor = MosPredictor {
+        feature_set: set,
+        model,
+    };
+
+    let truth: Vec<f64> = test
+        .iter()
+        .map(|&i| f64::from(ratings[i].expect("rated")))
+        .collect();
+    let preds: Vec<f64> = test
+        .iter()
+        .map(|&i| {
+            predictor
+                .model
+                .predict(&features_at(frame, i, set))
+                .map(|p| p.clamp(1.0, 5.0))
+        })
         .collect::<Result<_, _>>()?;
     let train_mean = train_y.iter().sum::<f64>() / train_y.len() as f64;
     let baseline: Vec<f64> = vec![train_mean; truth.len()];

@@ -14,8 +14,10 @@
 //! the §6 deployment-advice loop.
 
 use crate::annotate::{AnnotatedPeak, PeakAnnotator};
+use crate::cache::MemoCache;
 use crate::correlate;
 use crate::emerging::{EmergingTopic, EmergingTopicMiner};
+use crate::frame::SessionFrame;
 use crate::fulcrum::{FulcrumAnalysis, MonthlyPoint};
 use crate::outage::{DetectedOutage, OutageDetector};
 use crate::predict::{self, Evaluation, FeatureSet};
@@ -32,7 +34,7 @@ use starlink::constellation::{DeploymentPlanner, Recommendation, RegionalDemand}
 use std::sync::OnceLock;
 
 /// Errors from the service layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum UsaasError {
     /// An underlying analytics step failed.
     Analytics(AnalyticsError),
@@ -135,7 +137,7 @@ pub struct CrossNetworkReport {
 }
 
 /// Typed answers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Answer {
     /// A binned curve.
     Curve(BinnedCurve),
@@ -166,27 +168,113 @@ pub enum Answer {
     Deployment(Vec<Recommendation>),
 }
 
+/// Memoization key of a [`Query`]: same variants, but `Eq + Hash` (the
+/// parameter types all hash; `FeatureSet` is folded to its variant tag).
+/// Private on purpose — callers keep the ergonomic `Query` surface and the
+/// cache keying stays an implementation detail.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum QueryKey {
+    EngagementCurve {
+        sweep: NetworkMetric,
+        engagement: EngagementMetric,
+        bins: usize,
+    },
+    CompoundingGrid {
+        engagement: EngagementMetric,
+        bins: usize,
+    },
+    PlatformSensitivity {
+        sweep: NetworkMetric,
+        engagement: EngagementMetric,
+    },
+    MosCorrelation,
+    PredictMos {
+        features: u8,
+    },
+    OutageTimeline,
+    SentimentPeaks {
+        k: usize,
+    },
+    SpeedTrend,
+    EmergingTopics,
+    CrossNetwork {
+        access: AccessType,
+    },
+    DeploymentAdvice,
+}
+
+impl QueryKey {
+    fn of(query: &Query) -> QueryKey {
+        match *query {
+            Query::EngagementCurve {
+                sweep,
+                engagement,
+                bins,
+            } => QueryKey::EngagementCurve {
+                sweep,
+                engagement,
+                bins,
+            },
+            Query::CompoundingGrid { engagement, bins } => {
+                QueryKey::CompoundingGrid { engagement, bins }
+            }
+            Query::PlatformSensitivity { sweep, engagement } => {
+                QueryKey::PlatformSensitivity { sweep, engagement }
+            }
+            Query::MosCorrelation => QueryKey::MosCorrelation,
+            Query::PredictMos { features } => QueryKey::PredictMos {
+                features: match features {
+                    FeatureSet::NetworkOnly => 0,
+                    FeatureSet::EngagementOnly => 1,
+                    FeatureSet::Full => 2,
+                },
+            },
+            Query::OutageTimeline => QueryKey::OutageTimeline,
+            Query::SentimentPeaks { k } => QueryKey::SentimentPeaks { k },
+            Query::SpeedTrend => QueryKey::SpeedTrend,
+            Query::EmergingTopics => QueryKey::EmergingTopics,
+            Query::CrossNetwork { access } => QueryKey::CrossNetwork { access },
+            Query::DeploymentAdvice => QueryKey::DeploymentAdvice,
+        }
+    }
+}
+
 /// The service.
 pub struct UsaasService {
     store: SignalStore,
     dataset: CallDataset,
     forum: Forum,
+    /// Columnar mirror of `dataset.sessions`, materialised once at build
+    /// time; the §3 correlation queries aggregate over its columns.
+    frame: SessionFrame,
+    /// Worker-thread budget the service was built with; frame aggregation
+    /// reuses it.
+    workers: usize,
     /// Default-detector outage run, computed once and shared by the
     /// `OutageTimeline` and `CrossNetwork` queries (both need the same
     /// detection pass; the corpus is immutable once built).
     outage_cache: OnceLock<Result<Vec<DetectedOutage>, AnalyticsError>>,
+    /// Memoized answers: every aggregate is a pure function of the
+    /// immutable corpus, so each distinct query computes once per service
+    /// lifetime and repeats are cloned from the cache.
+    answers: MemoCache<QueryKey, Result<Answer, UsaasError>>,
 }
 
 impl UsaasService {
-    /// Build the service: ingest both sources into the signal store.
+    /// Build the service: ingest both sources into the signal store and
+    /// materialise the columnar session frame, both on `workers` threads.
     pub fn build(dataset: CallDataset, forum: Forum, workers: usize) -> UsaasService {
         let store = SignalStore::new();
         crate::ingest::ingest_all(&store, &dataset, &forum, workers);
+        let frame = SessionFrame::from_dataset(&dataset, workers);
         UsaasService {
             store,
             dataset,
             forum,
+            frame,
+            workers,
             outage_cache: OnceLock::new(),
+            answers: MemoCache::default(),
         }
     }
 
@@ -216,38 +304,81 @@ impl UsaasService {
         &self.store
     }
 
-    /// Answer one query.
+    /// The columnar session frame (read access for custom analyses).
+    pub fn frame(&self) -> &SessionFrame {
+        &self.frame
+    }
+
+    /// The raw per-record dataset the frame mirrors (read access for
+    /// analyses that need full [`conference::records::SessionRecord`]s).
+    pub fn dataset(&self) -> &CallDataset {
+        &self.dataset
+    }
+
+    /// Answer-cache lookups that found an existing entry.
+    pub fn cache_hits(&self) -> usize {
+        self.answers.hits()
+    }
+
+    /// Answer-cache lookups that had to compute (distinct queries seen).
+    pub fn cache_misses(&self) -> usize {
+        self.answers.misses()
+    }
+
+    /// Answer one query. Answers are memoized by the query's parameters:
+    /// the first occurrence computes, repeats — sequential or racing inside
+    /// a [`UsaasService::query_batch`] — clone the cached answer.
     pub fn query(&self, query: &Query) -> Result<Answer, UsaasError> {
+        self.answers
+            .get_or_compute(QueryKey::of(query), || self.answer_uncached(query))
+    }
+
+    /// The actual per-query compute, bypassing the answer cache.
+    fn answer_uncached(&self, query: &Query) -> Result<Answer, UsaasError> {
         match query {
             Query::EngagementCurve {
                 sweep,
                 engagement,
                 bins,
-            } => Ok(Answer::Curve(correlate::engagement_curve(
-                &self.dataset,
+            } => Ok(Answer::Curve(correlate::engagement_curve_frame(
+                &self.frame,
                 *sweep,
                 *engagement,
                 *bins,
                 8,
+                self.workers,
             )?)),
-            Query::CompoundingGrid { engagement, bins } => Ok(Answer::Grid(
-                correlate::compounding_grid(&self.dataset, *engagement, *bins, 5)?,
-            )),
-            Query::PlatformSensitivity { sweep, engagement } => Ok(Answer::PlatformCurves(
-                correlate::platform_curves(&self.dataset, *sweep, *engagement, 4, 5)?,
-            )),
+            Query::CompoundingGrid { engagement, bins } => {
+                Ok(Answer::Grid(correlate::compounding_grid_frame(
+                    &self.frame,
+                    *engagement,
+                    *bins,
+                    5,
+                    self.workers,
+                )?))
+            }
+            Query::PlatformSensitivity { sweep, engagement } => {
+                Ok(Answer::PlatformCurves(correlate::platform_curves_frame(
+                    &self.frame,
+                    *sweep,
+                    *engagement,
+                    4,
+                    5,
+                    self.workers,
+                )?))
+            }
             Query::MosCorrelation => {
                 let mut curves = Vec::new();
                 for m in EngagementMetric::ALL {
-                    curves.push((m, correlate::mos_by_engagement(&self.dataset, m, 4, 3)?));
+                    curves.push((m, correlate::mos_by_engagement_frame(&self.frame, m, 4, 3)?));
                 }
                 Ok(Answer::Mos {
                     curves,
-                    ranking: correlate::mos_correlations(&self.dataset)?,
+                    ranking: correlate::mos_correlations_frame(&self.frame)?,
                 })
             }
             Query::PredictMos { features } => {
-                let (_, eval) = predict::train_and_evaluate(&self.dataset, *features, 4)?;
+                let (_, eval) = predict::train_and_evaluate_frame(&self.frame, *features, 4)?;
                 Ok(Answer::Prediction(eval))
             }
             Query::OutageTimeline => Ok(Answer::Outages(self.outage_detections()?.to_vec())),
@@ -304,30 +435,30 @@ impl UsaasService {
             .collect()
     }
 
-    /// §5 flagship query implementation.
+    /// §5 flagship query implementation, aggregated over frame columns:
+    /// one pass over the access column selects target indices, then each
+    /// statistic gathers from the relevant dense column in session order
+    /// (identical values and order to the per-record walk it replaced).
     fn cross_network(&self, access: AccessType) -> Result<CrossNetworkReport, UsaasError> {
-        let target: Vec<&conference::records::SessionRecord> = self
-            .dataset
-            .sessions
-            .iter()
-            .filter(|s| s.access == access)
+        let target: Vec<usize> = (0..self.frame.len())
+            .filter(|&i| self.frame.access()[i] == access)
             .collect();
         if target.is_empty() {
             return Err(UsaasError::NoData("no sessions on the requested network"));
         }
-        let others: Vec<f64> = self
-            .dataset
-            .sessions
-            .iter()
-            .filter(|s| s.access != access)
-            .map(|s| s.presence_pct)
+        let presence_col = self.frame.engagement(EngagementMetric::Presence);
+        let others: Vec<f64> = (0..self.frame.len())
+            .filter(|&i| self.frame.access()[i] != access)
+            .map(|i| presence_col[i])
             .collect();
-        let presence: Vec<f64> = target.iter().map(|s| s.presence_pct).collect();
-        let mic: Vec<f64> = target.iter().map(|s| s.mic_on_pct).collect();
-        let cam: Vec<f64> = target.iter().map(|s| s.cam_on_pct).collect();
+        let presence: Vec<f64> = target.iter().map(|&i| presence_col[i]).collect();
+        let mic_col = self.frame.engagement(EngagementMetric::MicOn);
+        let mic: Vec<f64> = target.iter().map(|&i| mic_col[i]).collect();
+        let cam_col = self.frame.engagement(EngagementMetric::CamOn);
+        let cam: Vec<f64> = target.iter().map(|&i| cam_col[i]).collect();
         let ratings: Vec<f64> = target
             .iter()
-            .filter_map(|s| s.rating)
+            .filter_map(|&i| self.frame.rating()[i])
             .map(f64::from)
             .collect();
 
@@ -341,14 +472,15 @@ impl UsaasService {
             .filter(|d| d.score >= 10.0)
             .copied()
             .collect();
+        let dates = self.frame.date();
         let outage_presence: Vec<f64> = target
             .iter()
-            .filter(|s| detections.iter().any(|d| d.date == s.date))
-            .map(|s| s.presence_pct)
+            .filter(|&&i| detections.iter().any(|d| d.date == dates[i]))
+            .map(|&i| presence_col[i])
             .collect();
         let outage_days_joined = detections
             .iter()
-            .filter(|d| target.iter().any(|s| s.date == d.date))
+            .filter(|d| target.iter().any(|&i| dates[i] == d.date))
             .count();
 
         Ok(CrossNetworkReport {
@@ -613,6 +745,101 @@ mod tests {
     #[test]
     fn query_batch_of_nothing_is_empty() {
         assert!(service().query_batch(&[]).is_empty());
+    }
+
+    /// A small service built fresh, so cache counters start at zero.
+    fn fresh_service() -> UsaasService {
+        let dataset = generate(&DatasetConfig::small(600, 11));
+        let forum = gen_forum(&ForumConfig {
+            authors: 400,
+            ..ForumConfig::default()
+        });
+        UsaasService::build(dataset, forum, 2)
+    }
+
+    #[test]
+    fn repeated_queries_in_a_batch_hit_the_cache() {
+        let s = fresh_service();
+        let q = Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            bins: 6,
+        };
+        let batch = s.query_batch(&[q.clone(), q.clone()]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            s.cache_misses(),
+            1,
+            "two identical queries must compute once"
+        );
+        assert_eq!(s.cache_hits(), 1, "the repeat must be served from cache");
+        let (Ok(Answer::Curve(a)), Ok(Answer::Curve(b))) = (&batch[0], &batch[1]) else {
+            panic!("wrong answer types");
+        };
+        assert_eq!(a, b, "cached repeat must equal the computed answer");
+        // A third, sequential repeat also hits.
+        let _ = s.query(&q).unwrap();
+        assert_eq!(s.cache_misses(), 1);
+        assert_eq!(s.cache_hits(), 2);
+    }
+
+    #[test]
+    fn differing_parameters_do_not_false_share() {
+        let s = fresh_service();
+        let coarse = Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            bins: 4,
+        };
+        let fine = Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            bins: 8,
+        };
+        let swept = Query::EngagementCurve {
+            sweep: NetworkMetric::LossPct,
+            engagement: EngagementMetric::Presence,
+            bins: 4,
+        };
+        let Answer::Curve(a) = s.query(&coarse).unwrap() else {
+            panic!("wrong answer type");
+        };
+        let Answer::Curve(b) = s.query(&fine).unwrap() else {
+            panic!("wrong answer type");
+        };
+        let Answer::Curve(c) = s.query(&swept).unwrap() else {
+            panic!("wrong answer type");
+        };
+        assert_eq!(s.cache_misses(), 3, "three distinct keys, three computes");
+        assert_eq!(s.cache_hits(), 0);
+        assert_ne!(a.xs.len(), b.xs.len(), "bin counts must differ");
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{c:?}"),
+            "different sweeps must not share an answer"
+        );
+    }
+
+    #[test]
+    fn errors_are_cached_like_answers() {
+        // Zero sessions → CrossNetwork errors; the error itself is memoized
+        // so the repeat does not recompute.
+        let svc = UsaasService::build(
+            conference::records::CallDataset::default(),
+            gen_forum(&ForumConfig {
+                authors: 150,
+                end: Date::from_ymd(2021, 1, 15).unwrap(),
+                ..ForumConfig::default()
+            }),
+            2,
+        );
+        let q = Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        };
+        assert!(svc.query(&q).is_err());
+        assert!(svc.query(&q).is_err());
+        assert_eq!(svc.cache_misses(), 1);
+        assert_eq!(svc.cache_hits(), 1);
     }
 
     #[test]

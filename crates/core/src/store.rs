@@ -176,7 +176,17 @@ impl SignalStore {
         }
     }
 
-    /// Clone out all signals in `[from, to]`.
+    /// Clone out all signals in `[from, to]` — the **allocating
+    /// convenience path**, which deep-copies every signal in the window
+    /// (including boxed session records and post text).
+    ///
+    /// Use it when the caller needs owned signals that outlive the store
+    /// borrow. Analyses that only *read* the window should use
+    /// [`SignalStore::for_each_between`] instead, which visits the same
+    /// signals in the same date order with zero copies — the in-crate
+    /// consumers ([`crate::bias::extremity_bias_signals`],
+    /// [`crate::digest::DigestBuilder::tested_gaps_signals`]) all go
+    /// through the visitor.
     pub fn between(&self, from: Date, to: Date) -> Vec<Signal> {
         let mut out = Vec::new();
         self.for_each_between(from, to, |s| out.push(s.clone()));

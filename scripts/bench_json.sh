@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the frame_scan bench and export criterion-style medians as JSON.
+#
+# The offline criterion harness appends one record per benchmark to the
+# file named by BENCH_JSON (see compat/criterion). This script pins that
+# file to results/BENCH_frame.json, starting from a clean slate so the
+# array holds exactly one run.
+#
+# Usage: scripts/bench_json.sh [extra `cargo bench` args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="results/BENCH_frame.json"
+mkdir -p results
+rm -f "$out"
+
+# Absolute path: cargo runs the bench binary from the bench package root,
+# not the workspace root.
+BENCH_JSON="$(pwd)/$out" cargo bench -p bench --bench frame_scan "$@"
+
+echo
+echo "wrote $out:"
+cat "$out"
