@@ -5,9 +5,11 @@ use analytics::time::Month;
 use bench::bench_forum;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sentiment::analyzer::SentimentAnalyzer;
+use sentiment::corpus::CompiledDict;
 use sentiment::keywords::KeywordDictionary;
 use sentiment::wordcloud::WordCloud;
 use social::generator::{generate, ForumConfig};
+use social::post::Forum;
 use std::hint::black_box;
 use usaas::annotate::PeakAnnotator;
 use usaas::emerging::EmergingTopicMiner;
@@ -30,24 +32,77 @@ fn bench_forum_generation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sentiment_analyzer(c: &mut Criterion) {
+/// The first 2000 posts of the bench forum as their own corpus, so the
+/// string and interned variants sweep exactly the same documents.
+fn sub_forum_2000() -> Forum {
     let forum = bench_forum();
-    let texts: Vec<String> = forum.posts.iter().take(2000).map(|p| p.text()).collect();
+    Forum {
+        posts: forum.posts.into_iter().take(2000).collect(),
+    }
+}
+
+/// How the `interned` variants read their input: the corpus is built once
+/// outside the timing loop — the tokenize-once contract — exactly as
+/// `UsaasService` memoizes it across queries.
+fn bench_corpus_build(c: &mut Criterion) {
+    let forum = sub_forum_2000();
+    let texts: Vec<String> = forum.posts.iter().map(|p| p.text()).collect();
+    let mut group = c.benchmark_group("corpus_build_2000_posts");
+    group.sample_size(20);
+    // Baseline: what every string-path consumer pays per pass (tokenize
+    // each document, no interning).
+    group.bench_function("string_tokenize", |b| {
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for t in &texts {
+                tokens += sentiment::tokenize::tokenize(black_box(t)).len();
+            }
+            black_box(tokens)
+        });
+    });
+    for workers in [1usize, 4] {
+        group.bench_function(format!("interned_{workers}w"), |b| {
+            b.iter(|| black_box(forum.token_corpus(workers).total_tokens()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sentiment_analyzer(c: &mut Criterion) {
+    let forum = sub_forum_2000();
+    let texts: Vec<String> = forum.posts.iter().map(|p| p.text()).collect();
+    let corpus = forum.token_corpus(4);
     let analyzer = SentimentAnalyzer::default();
-    c.bench_function("sentiment_score_2000_posts", |b| {
+    let mut group = c.benchmark_group("sentiment_score_2000_posts");
+    group.bench_function("string", |b| {
         b.iter(|| {
             for t in &texts {
                 black_box(analyzer.score(black_box(t)));
             }
         });
     });
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            let vocab = corpus.vocab();
+            for i in 0..corpus.docs() {
+                black_box(analyzer.score_ids(black_box(corpus.doc(i)), vocab));
+            }
+        });
+    });
+    group.bench_function("interned_par4", |b| {
+        b.iter(|| black_box(analyzer.score_corpus(black_box(&corpus), 4)));
+    });
+    group.finish();
 }
 
 fn bench_keyword_matcher(c: &mut Criterion) {
-    let forum = bench_forum();
-    let texts: Vec<String> = forum.posts.iter().take(2000).map(|p| p.text()).collect();
+    let forum = sub_forum_2000();
+    let texts: Vec<String> = forum.posts.iter().map(|p| p.text()).collect();
+    let corpus = forum.token_corpus(4);
     let dict = KeywordDictionary::outages();
-    c.bench_function("keyword_match_2000_posts", |b| {
+    let compiled = CompiledDict::compile(&dict, corpus.vocab());
+    let mut group = c.benchmark_group("keyword_match_2000_posts");
+    group.bench_function("string", |b| {
         b.iter(|| {
             let mut total = 0usize;
             for t in &texts {
@@ -56,12 +111,28 @@ fn bench_keyword_matcher(c: &mut Criterion) {
             black_box(total)
         });
     });
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut scratch = Vec::new();
+            for i in 0..corpus.docs() {
+                total += compiled.count_ids_with(black_box(corpus.doc(i)), &mut scratch);
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("interned_par4", |b| {
+        b.iter(|| black_box(compiled.count_corpus(black_box(&corpus), 4)));
+    });
+    group.finish();
 }
 
 fn bench_wordcloud(c: &mut Criterion) {
-    let forum = bench_forum();
-    let texts: Vec<String> = forum.posts.iter().take(2000).map(|p| p.text()).collect();
-    c.bench_function("wordcloud_2000_posts", |b| {
+    let forum = sub_forum_2000();
+    let texts: Vec<String> = forum.posts.iter().map(|p| p.text()).collect();
+    let corpus = forum.token_corpus(4);
+    let mut group = c.benchmark_group("wordcloud_2000_posts");
+    group.bench_function("string", |b| {
         b.iter(|| {
             black_box(WordCloud::from_documents(
                 texts.iter().map(String::as_str),
@@ -69,6 +140,10 @@ fn bench_wordcloud(c: &mut Criterion) {
             ))
         });
     });
+    group.bench_function("interned", |b| {
+        b.iter(|| black_box(WordCloud::from_corpus_docs(&corpus, 0..corpus.docs(), 50)));
+    });
+    group.finish();
 }
 
 fn bench_ocr_extract(c: &mut Criterion) {
@@ -157,11 +232,8 @@ fn bench_emerging_topics(c: &mut Criterion) {
 fn bench_strong_threshold_sweep(c: &mut Criterion) {
     let forum = bench_forum();
     let analyzer = SentimentAnalyzer::default();
-    let scores: Vec<sentiment::analyzer::SentimentScores> = forum
-        .posts
-        .iter()
-        .map(|p| analyzer.score(&p.text()))
-        .collect();
+    let corpus = forum.token_corpus(4);
+    let scores: Vec<sentiment::analyzer::SentimentScores> = analyzer.score_corpus(&corpus, 4);
     let mut group = c.benchmark_group("strong_threshold_sweep");
     for threshold in [0.6f64, 0.7, 0.8] {
         group.bench_with_input(
@@ -184,6 +256,7 @@ fn bench_strong_threshold_sweep(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_forum_generation,
+    bench_corpus_build,
     bench_sentiment_analyzer,
     bench_keyword_matcher,
     bench_wordcloud,

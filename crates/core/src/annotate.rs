@@ -11,11 +11,15 @@
 use analytics::time::Date;
 use analytics::timeseries::DailySeries;
 use analytics::AnalyticsError;
-use sentiment::analyzer::SentimentAnalyzer;
+use sentiment::analyzer::{SentimentAnalyzer, SentimentScores};
+use sentiment::corpus::TokenCorpus;
 use sentiment::news::NewsIndex;
 use sentiment::wordcloud::WordCloud;
 use serde::Serialize;
-use social::post::Forum;
+use social::post::{Forum, Post};
+
+/// Word-cloud size used when annotating a peak day.
+const CLOUD_WORDS: usize = 30;
 
 /// Daily strong-sentiment counts (the two Fig. 5a series).
 #[derive(Debug, Clone)]
@@ -117,21 +121,136 @@ impl PeakAnnotator {
         })
     }
 
+    /// [`PeakAnnotator::sentiment_series`] over a pre-tokenized corpus:
+    /// every post is scored once by interned ids (chunk-parallel over
+    /// `workers` threads), then binned in post order. Additions are 1.0 per
+    /// post, so the series is identical for every worker count.
+    pub fn sentiment_series_interned(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+        workers: usize,
+    ) -> Result<SentimentSeries, AnalyticsError> {
+        let scores = self.score_posts(forum, corpus, workers);
+        self.series_from_scores(forum, &scores)
+    }
+
+    /// Score every post of the forum by interned ids.
+    fn score_posts(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+        workers: usize,
+    ) -> Vec<SentimentScores> {
+        assert_eq!(
+            corpus.docs(),
+            forum.len(),
+            "corpus must tokenize exactly this forum"
+        );
+        self.analyzer.score_corpus(corpus, workers)
+    }
+
+    fn series_from_scores(
+        &self,
+        forum: &Forum,
+        scores: &[SentimentScores],
+    ) -> Result<SentimentSeries, AnalyticsError> {
+        let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
+        let mut pos = DailySeries::zeros(start, end)?;
+        let mut neg = DailySeries::zeros(start, end)?;
+        for (post, s) in forum.posts.iter().zip(scores) {
+            if s.is_strong_positive() {
+                pos.add(post.date, 1.0);
+            } else if s.is_strong_negative() {
+                neg.add(post.date, 1.0);
+            }
+        }
+        Ok(SentimentSeries {
+            strong_positive: pos,
+            strong_negative: neg,
+        })
+    }
+
     /// Word cloud over one day's posts.
     pub fn day_cloud(&self, forum: &Forum, date: Date, max_words: usize) -> WordCloud {
         let texts: Vec<String> = forum.on(date).map(|p| p.text()).collect();
         WordCloud::from_documents(texts.iter().map(String::as_str), max_words)
     }
 
+    /// [`PeakAnnotator::day_cloud`] over a pre-tokenized corpus — counts
+    /// the day's unigrams by interned id without re-reading any post text.
+    pub fn day_cloud_interned(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+        date: Date,
+        max_words: usize,
+    ) -> WordCloud {
+        let docs = forum
+            .posts
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.date == date)
+            .map(|(i, _)| i);
+        WordCloud::from_corpus_docs(corpus, docs, max_words)
+    }
+
     /// The full pipeline: top-`k` annotated peaks, strongest first.
     pub fn annotate(&self, forum: &Forum, k: usize) -> Result<Vec<AnnotatedPeak>, AnalyticsError> {
         let series = self.sentiment_series(forum)?;
+        let score_day = |date: Date| -> Vec<(&Post, SentimentScores)> {
+            forum
+                .on(date)
+                .map(|p| (p, self.analyzer.score(&p.text())))
+                .collect()
+        };
+        let cloud_day = |date: Date| self.day_cloud(forum, date, CLOUD_WORDS);
+        self.annotate_with(forum, k, series, cloud_day, score_day)
+    }
+
+    /// [`PeakAnnotator::annotate`] over a pre-tokenized corpus. Every post
+    /// is scored exactly once (`score_corpus`), and that one pass feeds both
+    /// the peak series and the per-peak country corroboration; day clouds
+    /// count interned ids. Output is identical to the string path.
+    pub fn annotate_interned(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+        k: usize,
+        workers: usize,
+    ) -> Result<Vec<AnnotatedPeak>, AnalyticsError> {
+        let scores = self.score_posts(forum, corpus, workers);
+        let series = self.series_from_scores(forum, &scores)?;
+        let score_day = |date: Date| -> Vec<(&Post, SentimentScores)> {
+            forum
+                .posts
+                .iter()
+                .zip(&scores)
+                .filter(|(p, _)| p.date == date)
+                .map(|(p, s)| (p, *s))
+                .collect()
+        };
+        let cloud_day = |date: Date| self.day_cloud_interned(forum, corpus, date, CLOUD_WORDS);
+        self.annotate_with(forum, k, series, cloud_day, score_day)
+    }
+
+    /// Shared annotation tail: peak finding, cloud/news/country assembly.
+    /// `cloud_day` and `score_day` abstract over string vs interned access
+    /// so both paths run literally the same logic.
+    fn annotate_with<'f>(
+        &self,
+        _forum: &'f Forum,
+        k: usize,
+        series: SentimentSeries,
+        cloud_day: impl Fn(Date) -> WordCloud,
+        score_day: impl Fn(Date) -> Vec<(&'f Post, SentimentScores)>,
+    ) -> Result<Vec<AnnotatedPeak>, AnalyticsError> {
         let combined = series.combined();
         let peaks = combined.peaks(self.min_peak_score, self.refractory_days);
         let mut out = Vec::new();
         let lexicon = sentiment::lexicon::Lexicon::global();
         for peak in peaks.into_iter().take(k) {
-            let cloud = self.day_cloud(forum, peak.date, 30);
+            let cloud = cloud_day(peak.date);
             // Query with *topical* words: sentiment-bearing adjectives
             // ("amazing", "terrible") never make useful search keywords, so
             // the top unigrams are taken after dropping lexicon words.
@@ -152,13 +271,10 @@ impl PeakAnnotator {
                 .collect();
             let pos = series.strong_positive.get(peak.date).unwrap_or(0.0);
             let neg = series.strong_negative.get(peak.date).unwrap_or(0.0);
-            let countries: std::collections::HashSet<&str> = forum
-                .on(peak.date)
-                .filter(|p| {
-                    let s = self.analyzer.score(&p.text());
-                    s.is_strong_positive() || s.is_strong_negative()
-                })
-                .map(|p| p.country)
+            let countries: std::collections::HashSet<&str> = score_day(peak.date)
+                .into_iter()
+                .filter(|(_, s)| s.is_strong_positive() || s.is_strong_negative())
+                .map(|(p, _)| p.country)
                 .collect();
             out.push(AnnotatedPeak {
                 date: peak.date,

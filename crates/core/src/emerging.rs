@@ -14,9 +14,10 @@
 use analytics::time::Date;
 use analytics::AnalyticsError;
 use sentiment::analyzer::SentimentAnalyzer;
+use sentiment::corpus::{IdNgramCounts, TokenCorpus};
 use sentiment::ngram::NgramCounts;
 use serde::{Deserialize, Serialize};
-use social::post::Forum;
+use social::post::{Forum, Post};
 use std::collections::HashMap;
 
 /// Miner configuration.
@@ -131,6 +132,111 @@ impl EmergingTopicMiner {
             }
             for (term, w) in rolled.iter() {
                 *history.entry(term.to_string()).or_insert(0.0) += w;
+                history_total += w;
+            }
+            cursor = cursor.offset(self.step_days);
+        }
+        let mut out: Vec<EmergingTopic> = detected.into_values().collect();
+        out.sort_by_key(|t| t.first_flagged);
+        Ok(out)
+    }
+
+    /// [`EmergingTopicMiner::mine`] over a pre-tokenized corpus: windows
+    /// count engagement-weighted unigrams by interned id, history is a
+    /// `HashMap<u32, f64>`, and polarity scoring runs on token ids. All
+    /// window/history weights are sums of integer-valued engagement
+    /// weights, so every share and novelty ratio is computed on exactly
+    /// the same values as the string path; detections are identical up to
+    /// the (already unspecified) order of same-day flags.
+    pub fn mine_interned(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+    ) -> Result<Vec<EmergingTopic>, AnalyticsError> {
+        assert_eq!(
+            corpus.docs(),
+            forum.len(),
+            "corpus must tokenize exactly this forum"
+        );
+        let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
+        let analyzer = SentimentAnalyzer::default();
+        let vocab = corpus.vocab();
+        let mut history: HashMap<u32, f64> = HashMap::new();
+        let mut history_total = 0.0f64;
+        let mut detected: HashMap<u32, EmergingTopic> = HashMap::new();
+        /// Share floor: the share a never-seen term is treated as having had.
+        const SHARE_FLOOR: f64 = 0.002;
+
+        // `Forum::between` by document index, so windows address the corpus.
+        let between = |from: Date, to: Date| {
+            forum
+                .posts
+                .iter()
+                .enumerate()
+                .filter(move |(_, p)| p.date >= from && p.date <= to)
+        };
+
+        let mut cursor = start.offset(self.window_days);
+        // Pre-load history with the first window.
+        let mut pre = IdNgramCounts::new();
+        for (i, p) in between(start, cursor.offset(-1)) {
+            pre.add_unigrams(corpus, i, p.engagement_weight());
+        }
+        for (id, w) in pre.iter_unigrams() {
+            *history.entry(id).or_insert(0.0) += w;
+            history_total += w;
+        }
+
+        while cursor.offset(self.window_days - 1) <= end {
+            let win_start = cursor;
+            let win_end = cursor.offset(self.window_days - 1);
+            let mut counts = IdNgramCounts::new();
+            let posts: Vec<(usize, &Post)> = between(win_start, win_end).collect();
+            for &(i, p) in &posts {
+                counts.add_unigrams(corpus, i, p.engagement_weight());
+            }
+            let window_total: f64 = counts.iter_unigrams().map(|(_, w)| w).sum::<f64>().max(1.0);
+            for (id, weight) in counts.iter_unigrams() {
+                if weight < self.min_weight || detected.contains_key(&id) {
+                    continue;
+                }
+                let hist_share = history.get(&id).copied().unwrap_or(0.0) / history_total.max(1.0);
+                let window_share = weight / window_total;
+                let novelty = window_share / (hist_share + SHARE_FLOOR);
+                if novelty >= self.min_novelty {
+                    // Sentiment of the posts mentioning the term. The
+                    // string path substring-matches the lowercased full
+                    // text; terms never contain the title/body joiner, so
+                    // checking the parts separately is equivalent.
+                    let term = vocab.word(id);
+                    let polarities: Vec<f64> = posts
+                        .iter()
+                        .filter(|(_, p)| {
+                            p.title.to_lowercase().contains(term)
+                                || p.body.to_lowercase().contains(term)
+                        })
+                        .map(|&(i, _)| analyzer.score_ids(corpus.doc(i), vocab).polarity())
+                        .collect();
+                    let polarity = analytics::mean(&polarities).unwrap_or(0.0);
+                    detected.insert(
+                        id,
+                        EmergingTopic {
+                            term: term.to_string(),
+                            first_flagged: win_end,
+                            window_weight: weight,
+                            novelty,
+                            polarity,
+                        },
+                    );
+                }
+            }
+            // Roll the oldest step into history.
+            let mut rolled = IdNgramCounts::new();
+            for (i, p) in between(win_start, win_start.offset(self.step_days - 1)) {
+                rolled.add_unigrams(corpus, i, p.engagement_weight());
+            }
+            for (id, w) in rolled.iter_unigrams() {
+                *history.entry(id).or_insert(0.0) += w;
                 history_total += w;
             }
             cursor = cursor.offset(self.step_days);

@@ -82,6 +82,41 @@ impl FulcrumAnalysis {
         start: Month,
         end: Month,
     ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
+        self.analyze_with(forum, start, end, |_, post| {
+            self.analyzer.score(&post.text())
+        })
+    }
+
+    /// [`FulcrumAnalysis::analyze`] over a pre-tokenized corpus (document
+    /// `i` = post `i`): the monthly Pos score reads interned token ids
+    /// instead of re-tokenizing each screenshot post. The OCR extraction,
+    /// RNG stream, and month loop are shared with the string path, so the
+    /// series is identical.
+    pub fn analyze_interned(
+        &self,
+        forum: &Forum,
+        corpus: &sentiment::corpus::TokenCorpus,
+        start: Month,
+        end: Month,
+    ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
+        assert_eq!(
+            corpus.docs(),
+            forum.len(),
+            "corpus must tokenize exactly this forum"
+        );
+        let vocab = corpus.vocab();
+        self.analyze_with(forum, start, end, |i, _| {
+            self.analyzer.score_ids(corpus.doc(i), vocab)
+        })
+    }
+
+    fn analyze_with(
+        &self,
+        forum: &Forum,
+        start: Month,
+        end: Month,
+        score: impl Fn(usize, &social::post::Post) -> sentiment::SentimentScores,
+    ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
         if forum.is_empty() {
             return Err(AnalyticsError::Empty);
         }
@@ -93,14 +128,19 @@ impl FulcrumAnalysis {
             let mut downs: Vec<f64> = Vec::new();
             let mut strong_pos = 0usize;
             let mut strong_neg = 0usize;
-            for post in forum.between(from, to) {
+            for (i, post) in forum
+                .posts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.date >= from && p.date <= to)
+            {
                 let Some(shot) = &post.screenshot else {
                     continue;
                 };
                 if let Some(d) = ocr::extract::extract(&shot.ocr_text).downlink_mbps {
                     downs.push(d);
                 }
-                let s = self.analyzer.score(&post.text());
+                let s = score(i, post);
                 if s.is_strong_positive() {
                     strong_pos += 1;
                 } else if s.is_strong_negative() {

@@ -15,6 +15,7 @@ use analytics::time::Date;
 use analytics::timeseries::{DailySeries, Peak};
 use analytics::AnalyticsError;
 use sentiment::analyzer::SentimentAnalyzer;
+use sentiment::corpus::{CompiledDict, TokenCorpus};
 use sentiment::keywords::KeywordDictionary;
 use serde::{Deserialize, Serialize};
 use social::post::Forum;
@@ -98,18 +99,88 @@ impl OutageDetector {
         Ok(series)
     }
 
+    /// [`OutageDetector::keyword_series`] over a pre-tokenized corpus
+    /// (document `i` = post `i`): the dictionary is compiled to id space
+    /// once, matching and the negative-sentiment filter run as integer/
+    /// vector-index loops fanned out over up to `workers` threads, and the
+    /// per-day sums are accumulated in post order — identical output to the
+    /// string path for every worker count (per-day additions are
+    /// integer-valued, and the filter decisions are per-post).
+    pub fn keyword_series_interned(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+        workers: usize,
+    ) -> Result<DailySeries, AnalyticsError> {
+        assert_eq!(
+            corpus.docs(),
+            forum.len(),
+            "corpus must tokenize exactly this forum"
+        );
+        let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
+        let mut series = DailySeries::zeros(start, end)?;
+        let dict = CompiledDict::compile(&self.dictionary, corpus.vocab());
+        let vocab = corpus.vocab();
+        let parts = sentiment::corpus::par_map_ranges(corpus.docs(), workers, |range| {
+            let mut scratch = Vec::new();
+            range
+                .map(|doc| {
+                    let ids = corpus.doc(doc);
+                    let hits = dict.count_ids_with(ids, &mut scratch);
+                    if hits == 0 {
+                        return 0;
+                    }
+                    if self.negative_filter {
+                        let scores = self.analyzer.score_ids(ids, vocab);
+                        // "Threads with positive or neutral sentiments have
+                        // been filtered out."
+                        if scores.negative <= scores.positive || scores.negative <= scores.neutral {
+                            return 0;
+                        }
+                    }
+                    hits
+                })
+                .collect::<Vec<usize>>()
+        });
+        let hits_per_post = sentiment::corpus::flatten_chunks(parts);
+        for (post, hits) in forum.posts.iter().zip(hits_per_post) {
+            if hits > 0 {
+                series.add(post.date, hits as f64);
+            }
+        }
+        Ok(series)
+    }
+
     /// Detect outage days: spikes of the keyword series.
     pub fn detect(&self, forum: &Forum) -> Result<Vec<DetectedOutage>, AnalyticsError> {
         let series = self.keyword_series(forum)?;
-        Ok(series
-            .peaks(self.min_peak_score, self.refractory_days)
+        Ok(Self::peaks_to_detections(
+            series.peaks(self.min_peak_score, self.refractory_days),
+        ))
+    }
+
+    /// [`OutageDetector::detect`] over a pre-tokenized corpus.
+    pub fn detect_interned(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+        workers: usize,
+    ) -> Result<Vec<DetectedOutage>, AnalyticsError> {
+        let series = self.keyword_series_interned(forum, corpus, workers)?;
+        Ok(Self::peaks_to_detections(
+            series.peaks(self.min_peak_score, self.refractory_days),
+        ))
+    }
+
+    fn peaks_to_detections(peaks: Vec<Peak>) -> Vec<DetectedOutage> {
+        peaks
             .into_iter()
             .map(|Peak { date, value, score }| DetectedOutage {
                 date,
                 occurrences: value,
                 score,
             })
-            .collect())
+            .collect()
     }
 
     /// Score detections against ground truth (± 1 day matching window).

@@ -28,6 +28,7 @@ use analytics::AnalyticsError;
 use conference::platform::Platform;
 use conference::records::{CallDataset, EngagementMetric, NetworkMetric};
 use netsim::access::AccessType;
+use sentiment::corpus::TokenCorpus;
 use serde::Serialize;
 use social::post::Forum;
 use starlink::constellation::{DeploymentPlanner, Recommendation, RegionalDemand};
@@ -250,6 +251,11 @@ pub struct UsaasService {
     /// Worker-thread budget the service was built with; frame aggregation
     /// reuses it.
     workers: usize,
+    /// Tokenize-once interned mirror of the forum, built lazily on the
+    /// first §4 text query (chunk-parallel over `workers`) and shared by
+    /// every sentiment/keyword/n-gram consumer — no query re-tokenizes a
+    /// post, ever.
+    social_corpus: OnceLock<TokenCorpus>,
     /// Default-detector outage run, computed once and shared by the
     /// `OutageTimeline` and `CrossNetwork` queries (both need the same
     /// detection pass; the corpus is immutable once built).
@@ -273,17 +279,29 @@ impl UsaasService {
             forum,
             frame,
             workers,
+            social_corpus: OnceLock::new(),
             outage_cache: OnceLock::new(),
             answers: MemoCache::default(),
         }
     }
 
+    /// The forum's interned token corpus, built once on first use and
+    /// memoized alongside the session frame. Identical for every worker
+    /// count, so lazily building it never perturbs query results.
+    pub fn social_corpus(&self) -> &TokenCorpus {
+        self.social_corpus
+            .get_or_init(|| self.forum.token_corpus(self.workers))
+    }
+
     /// The shared default-detector outage detections, computed on first use.
     fn outage_detections(&self) -> Result<&[DetectedOutage], UsaasError> {
-        match self
-            .outage_cache
-            .get_or_init(|| OutageDetector::default().detect(&self.forum))
-        {
+        match self.outage_cache.get_or_init(|| {
+            OutageDetector::default().detect_interned(
+                &self.forum,
+                self.social_corpus(),
+                self.workers,
+            )
+        }) {
             Ok(d) => Ok(d),
             Err(e) => Err(UsaasError::Analytics(e.clone())),
         }
@@ -313,6 +331,12 @@ impl UsaasService {
     /// analyses that need full [`conference::records::SessionRecord`]s).
     pub fn dataset(&self) -> &CallDataset {
         &self.dataset
+    }
+
+    /// The forum corpus the service was built over (read access for custom
+    /// analyses and parity checks).
+    pub fn forum(&self) -> &Forum {
+        &self.forum
     }
 
     /// Answer-cache lookups that found an existing entry.
@@ -382,9 +406,14 @@ impl UsaasService {
                 Ok(Answer::Prediction(eval))
             }
             Query::OutageTimeline => Ok(Answer::Outages(self.outage_detections()?.to_vec())),
-            Query::SentimentPeaks { k } => Ok(Answer::Peaks(
-                PeakAnnotator::default().annotate(&self.forum, *k)?,
-            )),
+            Query::SentimentPeaks { k } => {
+                Ok(Answer::Peaks(PeakAnnotator::default().annotate_interned(
+                    &self.forum,
+                    self.social_corpus(),
+                    *k,
+                    self.workers,
+                )?))
+            }
             Query::SpeedTrend => {
                 // The corpus window is min/max over posts — `posts` carries
                 // no ordering guarantee, so first()/last() would hand a
@@ -394,14 +423,17 @@ impl UsaasService {
                     .date_range()
                     .map(|(a, b)| (a.month(), b.month()))
                     .ok_or(UsaasError::NoData("empty forum"))?;
-                Ok(Answer::Speeds(FulcrumAnalysis::default().analyze(
-                    &self.forum,
-                    first,
-                    last,
-                )?))
+                Ok(Answer::Speeds(
+                    FulcrumAnalysis::default().analyze_interned(
+                        &self.forum,
+                        self.social_corpus(),
+                        first,
+                        last,
+                    )?,
+                ))
             }
             Query::EmergingTopics => Ok(Answer::Topics(
-                EmergingTopicMiner::default().mine(&self.forum)?,
+                EmergingTopicMiner::default().mine_interned(&self.forum, self.social_corpus())?,
             )),
             Query::CrossNetwork { access } => self.cross_network(*access).map(Answer::CrossNetwork),
             Query::DeploymentAdvice => {
@@ -496,12 +528,15 @@ impl UsaasService {
     }
 
     /// Convert per-country strong-negative social volume into the planner's
-    /// latitude-band demand signal (§6).
+    /// latitude-band demand signal (§6). Scores every post once over the
+    /// interned corpus (chunk-parallel), then bins by country band in post
+    /// order — band weights are integer counts, so the demand vector is
+    /// identical to the per-post string walk it replaced.
     fn sentiment_demand(&self) -> Result<RegionalDemand, UsaasError> {
         let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
+        let scores = analyzer.score_corpus(self.social_corpus(), self.workers);
         let mut weights = [0.0f64; 9];
-        for post in &self.forum.posts {
-            let s = analyzer.score(&post.text());
+        for (post, s) in self.forum.posts.iter().zip(scores) {
             if !s.is_strong_negative() {
                 continue;
             }

@@ -11,6 +11,7 @@
 //! positive / negative / neutral mass normalisation so the three scores sum
 //! to exactly 1.
 
+use crate::corpus::{TokenCorpus, Vocab};
 use crate::lexicon::Lexicon;
 use crate::tokenize::tokenize;
 use serde::{Deserialize, Serialize};
@@ -130,6 +131,69 @@ impl SentimentAnalyzer {
             negative: neg_mass / total,
             neutral: neutral_mass / total,
         }
+    }
+
+    /// Score an already-tokenized document by interned ids — the zero-
+    /// allocation mirror of [`SentimentAnalyzer::score`]. Every lexicon
+    /// lookup becomes a vector index into the [`Vocab`]'s ID-space tables,
+    /// and the accumulation order is identical token for token, so the
+    /// result is bit-identical to scoring the original text.
+    pub fn score_ids(&self, ids: &[u32], vocab: &Vocab) -> SentimentScores {
+        if ids.is_empty() {
+            return SentimentScores::neutral();
+        }
+        let mut pos_mass = 0.0;
+        let mut neg_mass = 0.0;
+        let mut neutral_tokens = 0usize;
+        for (i, &id) in ids.iter().enumerate() {
+            let base = vocab.valence(id);
+            if base == 0.0 {
+                neutral_tokens += 1;
+                continue;
+            }
+            // Intensifier directly before the word (NaN = none).
+            let mut v = base;
+            if i >= 1 {
+                let mult = vocab.intensity(ids[i - 1]);
+                if !mult.is_nan() {
+                    v *= mult;
+                }
+            }
+            // Negator within the window before the word.
+            let window_start = i.saturating_sub(self.negation_window);
+            if ids[window_start..i].iter().any(|&t| vocab.is_negator(t)) {
+                v = -v * self.negation_damping;
+            }
+            if v >= 0.0 {
+                pos_mass += v;
+            } else {
+                neg_mass += -v;
+            }
+        }
+        let neutral_mass = neutral_tokens as f64 * self.neutral_weight;
+        let total = pos_mass + neg_mass + neutral_mass;
+        if total <= 0.0 {
+            return SentimentScores::neutral();
+        }
+        SentimentScores {
+            positive: pos_mass / total,
+            negative: neg_mass / total,
+            neutral: neutral_mass / total,
+        }
+    }
+
+    /// Score every document of a corpus, fanning contiguous document
+    /// chunks out over up to `workers` scoped threads. Each document is
+    /// scored independently, so the result vector is identical for every
+    /// worker count.
+    pub fn score_corpus(&self, corpus: &TokenCorpus, workers: usize) -> Vec<SentimentScores> {
+        let vocab = corpus.vocab();
+        let parts = crate::corpus::par_map_ranges(corpus.docs(), workers, |range| {
+            range
+                .map(|doc| self.score_ids(corpus.doc(doc), vocab))
+                .collect::<Vec<SentimentScores>>()
+        });
+        crate::corpus::flatten_chunks(parts)
     }
 }
 

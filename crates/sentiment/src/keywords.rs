@@ -105,6 +105,18 @@ impl KeywordDictionary {
         self.unigrams.is_empty() && self.bigrams.is_empty()
     }
 
+    /// Iterate the unigram entries (unordered) — used by
+    /// [`crate::corpus::CompiledDict::compile`] to lower the dictionary
+    /// into id space.
+    pub fn unigrams(&self) -> impl Iterator<Item = &str> {
+        self.unigrams.iter().map(String::as_str)
+    }
+
+    /// Iterate the bigram entries (unordered).
+    pub fn bigrams(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.bigrams.iter().map(|(a, b)| (a.as_str(), b.as_str()))
+    }
+
     /// Count keyword occurrences in `text`. Bigram matches do not double-count
     /// their component unigrams (a token participating in a matched bigram is
     /// consumed).

@@ -8,6 +8,8 @@
 //!   the paper's ≥ 0.7 strong-sentiment rule;
 //! * [`ngram`] / [`wordcloud`] — stop-worded n-gram counting and ranked word
 //!   clouds (Fig. 5b);
+//! * [`corpus`] — the tokenize-once interned substrate ([`TokenCorpus`],
+//!   [`Vocab`], ID-space lexicon/dictionary tables) the hot paths run on;
 //! * [`keywords`] — the outage dictionary (Fig. 6);
 //! * [`news`] — a dated headline index queried by top word-cloud unigrams
 //!   (Fig. 5a annotations), which deliberately has **no** article for the
@@ -17,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod corpus;
 pub mod keywords;
 pub mod lexicon;
 pub mod news;
@@ -25,6 +28,7 @@ pub mod tokenize;
 pub mod wordcloud;
 
 pub use analyzer::{SentimentAnalyzer, SentimentScores, STRONG_THRESHOLD};
+pub use corpus::{CompiledDict, IdNgramCounts, TokenCorpus, Vocab};
 pub use keywords::KeywordDictionary;
 pub use lexicon::Lexicon;
 pub use news::{NewsArticle, NewsIndex};

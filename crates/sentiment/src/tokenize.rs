@@ -6,24 +6,49 @@
 //! away, hyphens split), plus an NLTK-style English stop-word list used by
 //! the n-gram counters (the paper generates word clouds "using NLTK").
 
+/// Streaming tokenizer core: calls `emit` once per lowercased word token of
+/// `text`, reusing one scratch buffer — no per-token allocation. The
+/// allocating [`tokenize`] and the interned [`crate::corpus`] builder both
+/// sit on top of this, so they can never drift apart.
+///
+/// ASCII characters (the overwhelming majority of forum text) take a
+/// single-byte `to_ascii_lowercase` push; only non-ASCII alphanumerics pay
+/// for the full `char::to_lowercase` expansion (which may emit several
+/// chars, e.g. 'İ' → "i̇"), keeping unicode behaviour identical to the
+/// original char-by-char loop.
+pub fn for_each_token(text: &str, mut emit: impl FnMut(&str)) {
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii() {
+            if ch.is_ascii_alphanumeric() {
+                current.push(ch.to_ascii_lowercase());
+            } else if ch == '\'' {
+                // fold apostrophes away
+            } else if !current.is_empty() {
+                emit(&current);
+                current.clear();
+            }
+        } else if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if ch == '’' {
+            // fold apostrophes away
+        } else if !current.is_empty() {
+            emit(&current);
+            current.clear();
+        }
+    }
+    if !current.is_empty() {
+        emit(&current);
+    }
+}
+
 /// Lowercased word tokens of `text`. Splits on any non-alphanumeric
 /// character except in-word apostrophes, which are dropped ("don't" →
 /// "dont") so negator lookup stays simple.
 pub fn tokenize(text: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let mut current = String::new();
-    for ch in text.chars() {
-        if ch.is_alphanumeric() {
-            current.extend(ch.to_lowercase());
-        } else if ch == '\'' || ch == '’' {
-            // fold apostrophes away
-        } else if !current.is_empty() {
-            tokens.push(std::mem::take(&mut current));
-        }
-    }
-    if !current.is_empty() {
-        tokens.push(current);
-    }
+    // English forum prose averages ~6 bytes per word incl. separator.
+    let mut tokens = Vec::with_capacity(text.len() / 6 + 1);
+    for_each_token(text, |tok| tokens.push(tok.to_string()));
     tokens
 }
 
@@ -294,6 +319,45 @@ mod tests {
         assert!(toks.contains(&"über".to_string()));
         assert!(toks.contains(&"köln".to_string()));
         assert!(toks.contains(&"naïve".to_string()));
+    }
+
+    /// The pre-fast-path tokenizer: `char::to_lowercase` for every
+    /// character. The ASCII fast path must be behaviourally invisible.
+    fn reference_tokenize(text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                current.extend(ch.to_lowercase());
+            } else if ch == '\'' || ch == '’' {
+            } else if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            tokens.push(current);
+        }
+        tokens
+    }
+
+    #[test]
+    fn ascii_fast_path_matches_reference_on_mixed_case_unicode() {
+        // Includes multi-char lowercase expansions ('İ' → "i̇", 'ẞ' → "ß"),
+        // combining sequences, non-Latin scripts, emoji separators, and
+        // mixed ASCII/unicode words.
+        for text in [
+            "İstanbul ÜBER Köln STRAẞE Große",
+            "ΣΊΣΥΦΟΣ ΤΕΛΟΣ Άλφα",
+            "МОСКВА Скорость ОТЛИЧНО",
+            "Starlink İİ naïve-Test ÇOK İYİ",
+            "mixed42ÜNITS 100Mbps ÄØÅ",
+            "emoji🚀SPLIT Ünicode’s APOSTROPHE'S",
+            "ＦＵＬＬＷＩＤＴＨ １２３ ﬀ ﬁ",
+            "",
+            "   \t\n ",
+        ] {
+            assert_eq!(tokenize(text), reference_tokenize(text), "input {text:?}");
+        }
     }
 
     #[test]

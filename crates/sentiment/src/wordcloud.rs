@@ -5,6 +5,7 @@
 //! [`WordCloud`] is just a ranked, weight-normalised unigram table with a
 //! plain-text renderer for reports.
 
+use crate::corpus::{IdNgramCounts, TokenCorpus};
 use crate::ngram::NgramCounts;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -42,7 +43,28 @@ impl WordCloud {
 
     /// Build a cloud from a pre-populated (possibly weighted) table.
     pub fn from_counts(counts: &NgramCounts, max_words: usize) -> WordCloud {
-        let top = counts.top_k(max_words);
+        WordCloud::from_ranked(counts.top_k(max_words))
+    }
+
+    /// Build a cloud from a subset of corpus documents without touching the
+    /// document strings: unigrams are counted by interned id and resolved
+    /// back to words only for the final ranked table. Identical to
+    /// [`WordCloud::from_documents`] over the same documents' text.
+    pub fn from_corpus_docs(
+        corpus: &TokenCorpus,
+        docs: impl IntoIterator<Item = usize>,
+        max_words: usize,
+    ) -> WordCloud {
+        let mut counts = IdNgramCounts::new();
+        for doc in docs {
+            counts.add_unigrams(corpus, doc, 1.0);
+        }
+        WordCloud::from_ranked(counts.top_k(corpus.vocab(), max_words))
+    }
+
+    /// Shared ranked-table → cloud construction (weights normalised to the
+    /// heaviest entry).
+    fn from_ranked(top: Vec<(String, f64)>) -> WordCloud {
         let max = top.first().map(|(_, c)| *c).unwrap_or(0.0);
         let words = top
             .into_iter()

@@ -2,6 +2,7 @@
 
 use analytics::time::Date;
 use ocr::report::Provider;
+use sentiment::corpus::TokenCorpus;
 use serde::{Deserialize, Serialize};
 use starlink::speedtest::SpeedTestResult;
 
@@ -101,8 +102,21 @@ pub struct Post {
 
 impl Post {
     /// Title and body concatenated — the text the NLP pipelines consume.
+    ///
+    /// This **allocates a fresh `String` per call**; hot loops should use
+    /// [`Post::text_parts`] (borrowed) or, better, run on the tokenize-once
+    /// [`Forum::token_corpus`] instead of re-reading post text at all.
     pub fn text(&self) -> String {
         format!("{}\n{}", self.title, self.body)
+    }
+
+    /// The post's text as borrowed parts, `[title, body]`, in the order
+    /// [`Post::text`] concatenates them. Tokenizing the parts back to back
+    /// yields exactly the tokens of `text()` — the `"\n"` joiner is a word
+    /// boundary, and so is any title/body seam — without materialising the
+    /// concatenated `String`.
+    pub fn text_parts(&self) -> [&str; 2] {
+        [&self.title, &self.body]
     }
 
     /// Engagement weight used by the emerging-topic miner (upvotes +
@@ -145,6 +159,20 @@ impl Forum {
     /// Posts carrying screenshots.
     pub fn speed_shares(&self) -> impl Iterator<Item = &Post> {
         self.posts.iter().filter(|p| p.screenshot.is_some())
+    }
+
+    /// Tokenize the whole forum exactly once into an interned
+    /// [`TokenCorpus`] (document `i` = post `i`, title then body), fanning
+    /// construction out over up to `workers` threads. The corpus — ids,
+    /// offsets, and vocabulary — is identical for every worker count, and
+    /// each document's token sequence equals `tokenize(&post.text())`
+    /// without allocating any of the intermediate `String`s.
+    pub fn token_corpus(&self, workers: usize) -> TokenCorpus {
+        TokenCorpus::build_with(self.posts.len(), workers, |i, emit| {
+            let [title, body] = self.posts[i].text_parts();
+            emit(title);
+            emit(body);
+        })
     }
 
     /// Earliest and latest post dates, `None` when empty.
@@ -199,7 +227,30 @@ mod tests {
     fn text_concatenates() {
         let p = post(22);
         assert_eq!(p.text(), "Outage?\nAnyone else down?");
+        assert_eq!(p.text_parts(), ["Outage?", "Anyone else down?"]);
         assert_eq!(p.engagement_weight(), 15.0);
+    }
+
+    #[test]
+    fn token_corpus_matches_text_tokenization() {
+        let mut forum = Forum::default();
+        for day in [21, 22, 23] {
+            forum.posts.push(post(day));
+        }
+        forum.posts[1].title = String::new();
+        forum.posts[2].body = "Köln résumé DON'T".into();
+        for workers in [1, 4] {
+            let corpus = forum.token_corpus(workers);
+            assert_eq!(corpus.docs(), forum.len());
+            for (i, p) in forum.posts.iter().enumerate() {
+                assert_eq!(
+                    corpus.doc_words(i),
+                    sentiment::tokenize::tokenize(&p.text()),
+                    "post {i} workers {workers}"
+                );
+            }
+        }
+        assert!(Forum::default().token_corpus(4).is_empty());
     }
 
     #[test]

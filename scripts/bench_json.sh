@@ -1,24 +1,35 @@
 #!/usr/bin/env bash
-# Run the frame_scan bench and export criterion-style medians as JSON.
+# Run the JSON-exporting benches and publish criterion-style medians.
 #
 # The offline criterion harness appends one record per benchmark to the
 # file named by BENCH_JSON (see compat/criterion). This script pins that
-# file to results/BENCH_frame.json, starting from a clean slate so the
-# array holds exactly one run.
+# file per bench target, starting each from a clean slate so every array
+# holds exactly one run:
+#
+#   frame_scan      -> results/BENCH_frame.json
+#   social_pipeline -> results/BENCH_social.json   (string vs interned vs
+#                      interned_par4 groups for the §4 text substrate)
 #
 # Usage: scripts/bench_json.sh [extra `cargo bench` args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="results/BENCH_frame.json"
 mkdir -p results
-rm -f "$out"
 
-# Absolute path: cargo runs the bench binary from the bench package root,
-# not the workspace root.
-BENCH_JSON="$(pwd)/$out" cargo bench -p bench --bench frame_scan "$@"
+# run_bench <bench target> <output json> [extra args...]
+run_bench() {
+    local bench="$1" out="$2"
+    shift 2
+    rm -f "$out"
+    # Absolute path: cargo runs the bench binary from the bench package
+    # root, not the workspace root.
+    BENCH_JSON="$(pwd)/$out" cargo bench -p bench --bench "$bench" "$@"
+    echo
+    echo "wrote $out:"
+    cat "$out"
+    echo
+}
 
-echo
-echo "wrote $out:"
-cat "$out"
+run_bench frame_scan results/BENCH_frame.json "$@"
+run_bench social_pipeline results/BENCH_social.json "$@"
