@@ -1,0 +1,88 @@
+//! Resilient-ingestion throughput bench: what fault handling costs.
+//!
+//! Three regimes over the same session feed, all on a virtual clock (a
+//! breaker cooldown costs one atomic add, not wall time):
+//!
+//! * `healthy` — a clean source straight through the streaming engine;
+//!   the price of the retry/breaker/quarantine machinery when nothing
+//!   goes wrong.
+//! * `fault1pct` — ~1% drops plus ~1% single-shot transient failures:
+//!   the retry path and fault hashing are exercised on a realistic
+//!   flakiness level.
+//! * `breaker_open` — the tail quarter of the feed hard-fails: the retry
+//!   budget drains per item, the breaker trips and cycles through its
+//!   cooldown, and the dead letters are quarantined.
+//!
+//! Run with `BENCH_JSON=results/BENCH_ingest.json` (or via
+//! `scripts/bench_json.sh`) to export the medians.
+
+use conference::dataset::{generate, DatasetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use usaas::{
+    ingest_stream, BreakerConfig, Clock, FaultInjector, FaultPlan, IngestConfig, ItemSource,
+    RawItem, SignalStore, VirtualClock,
+};
+
+/// Feed size per iteration.
+const N: usize = 4_000;
+/// Normalisation workers.
+const WORKERS: usize = 4;
+
+fn session_items() -> Vec<RawItem> {
+    generate(&DatasetConfig::small(N, 17))
+        .sessions
+        .into_iter()
+        .map(|s| RawItem::Session(Box::new(s)))
+        .collect()
+}
+
+/// One full ingestion run over a fresh store; returns stored signals so
+/// the optimiser cannot elide the work.
+fn run(items: &[RawItem], plan: Option<&FaultPlan>) -> usize {
+    let store = SignalStore::new();
+    let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+    let cfg = IngestConfig {
+        workers: WORKERS,
+        breaker: BreakerConfig {
+            failure_threshold: 5,
+            cooldown_ms: 1_000,
+            half_open_successes: 1,
+        },
+        clock: Arc::clone(&clock),
+        ..IngestConfig::default()
+    };
+    let src = ItemSource::new("bench-feed", items.to_vec());
+    let report = match plan {
+        Some(plan) => ingest_stream(
+            &store,
+            vec![Box::new(FaultInjector::new(src, plan.clone(), clock))],
+            &cfg,
+        ),
+        None => ingest_stream(&store, vec![Box::new(src)], &cfg),
+    };
+    report.stored
+}
+
+fn bench_ingest_resilience(c: &mut Criterion) {
+    let items = session_items();
+    let fault1pct = FaultPlan::seeded(23)
+        .with_drops(0.01)
+        .with_transient(0.01, 1);
+    let breaker_open = FaultPlan::seeded(23).with_burst((3 * N / 4)..N);
+
+    let mut group = c.benchmark_group("ingest_resilience");
+    group.sample_size(10);
+    group.bench_function("healthy", |b| b.iter(|| black_box(run(&items, None))));
+    group.bench_function("fault1pct", |b| {
+        b.iter(|| black_box(run(&items, Some(&fault1pct))))
+    });
+    group.bench_function("breaker_open", |b| {
+        b.iter(|| black_box(run(&items, Some(&breaker_open))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_resilience);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! Per-source circuit breaker and retry policy.
+//!
+//! Ingestion treats every source as unreliable. Transient failures are
+//! retried with exponential backoff plus deterministic jitter; a run of
+//! consecutive failures trips a closed → open → half-open circuit breaker
+//! so a hard-down source stops being hammered and the rest of the pipeline
+//! keeps flowing. All timing runs against the [`crate::fault::Clock`]
+//! abstraction, so the full state machine is testable on a virtual clock
+//! with zero wall-time sleeps.
+
+use crate::fault::{mix, u01};
+
+/// Circuit-breaker states (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// Tripped: calls are refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: probe calls are allowed through; a success quota
+    /// re-closes the breaker, any failure re-opens it.
+    HalfOpen,
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker.
+    pub failure_threshold: usize,
+    /// How long the breaker stays open before allowing probes, in clock
+    /// milliseconds.
+    pub cooldown_ms: u64,
+    /// Consecutive probe successes (while half-open) that re-close it.
+    pub half_open_successes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_ms: 30_000,
+            half_open_successes: 1,
+        }
+    }
+}
+
+/// One source's circuit breaker. Time is always supplied by the caller
+/// (`now` in clock milliseconds) — the breaker itself never reads a clock,
+/// which keeps it trivially deterministic.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    consecutive_failures: usize,
+    half_open_successes: usize,
+    /// Set while the breaker is open (or half-open, which is "open long
+    /// enough ago").
+    opened_at_ms: Option<u64>,
+    trips: usize,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            consecutive_failures: 0,
+            half_open_successes: 0,
+            opened_at_ms: None,
+            trips: 0,
+        }
+    }
+
+    /// Current state at time `now`.
+    pub fn state(&self, now_ms: u64) -> BreakerState {
+        match self.opened_at_ms {
+            None => BreakerState::Closed,
+            Some(at) if now_ms >= at.saturating_add(self.cfg.cooldown_ms) => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Milliseconds until the open breaker starts admitting probes (zero
+    /// when closed or already half-open).
+    pub fn remaining_open_ms(&self, now_ms: u64) -> u64 {
+        match self.opened_at_ms {
+            None => 0,
+            Some(at) => at
+                .saturating_add(self.cfg.cooldown_ms)
+                .saturating_sub(now_ms),
+        }
+    }
+
+    /// Record a successful call at time `now`.
+    pub fn record_success(&mut self, now_ms: u64) {
+        match self.state(now_ms) {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.half_open_successes += 1;
+                if self.half_open_successes >= self.cfg.half_open_successes {
+                    self.opened_at_ms = None;
+                    self.half_open_successes = 0;
+                    self.consecutive_failures = 0;
+                }
+            }
+            // A success while open (caller raced the cooldown) is ignored:
+            // the breaker only re-closes through the half-open probe path.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed call at time `now`.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        match self.state(now_ms) {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(now_ms);
+                }
+            }
+            // A failed probe re-opens immediately — one bad call proves the
+            // source is still down.
+            BreakerState::HalfOpen => self.trip(now_ms),
+            // Failures while open just refresh the cooldown window.
+            BreakerState::Open => self.opened_at_ms = Some(now_ms),
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.opened_at_ms = Some(now_ms);
+        self.consecutive_failures = 0;
+        self.half_open_successes = 0;
+        self.trips += 1;
+    }
+
+    /// How many times the breaker has tripped closed → open (or re-opened
+    /// from half-open) over its lifetime.
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+}
+
+/// Retry policy: bounded attempts with exponential backoff and
+/// deterministic jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt before the item is
+    /// dead-lettered.
+    pub max_retries: u32,
+    /// Backoff before retry 1, in clock milliseconds; doubles per retry.
+    pub base_ms: u64,
+    /// Backoff ceiling.
+    pub max_ms: u64,
+    /// Jitter fraction in `[0, 1]`: retry `n` sleeps
+    /// `backoff * (1 + jitter * u)` with `u` drawn from `hash(seed, salt,
+    /// n)` — deterministic, but decorrelated across items and sources.
+    pub jitter: f64,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_ms: 100,
+            max_ms: 5_000,
+            jitter: 0.2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (1-based) of the work unit identified
+    /// by `salt`. Pure in `(self, attempt, salt)`.
+    pub fn backoff_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let attempt = attempt.max(1);
+        let doublings = (attempt - 1).min(20);
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << doublings)
+            .min(self.max_ms)
+            .max(1);
+        let jitter_draw = u01(mix(self.seed, salt, u64::from(attempt)));
+        let extra = (exp as f64 * self.jitter.clamp(0.0, 1.0) * jitter_draw) as u64;
+        exp.saturating_add(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 1_000,
+            half_open_successes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(1), BreakerState::Closed);
+        b.record_failure(2);
+        assert_eq!(b.state(2), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.remaining_open_ms(2), 1_000);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_failure(0);
+        b.record_failure(1);
+        b.record_success(2);
+        b.record_failure(3);
+        b.record_failure(4);
+        assert_eq!(b.state(4), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn cooldown_admits_probes_and_successes_reclose() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(10), BreakerState::Open);
+        assert_eq!(b.state(1_001), BreakerState::Open, "tripped at t=2");
+        assert_eq!(b.state(1_002), BreakerState::HalfOpen);
+        b.record_success(1_002);
+        assert_eq!(b.state(1_002), BreakerState::HalfOpen, "quota is 2");
+        b.record_success(1_003);
+        assert_eq!(b.state(1_003), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(1_500), BreakerState::HalfOpen);
+        b.record_failure(1_500);
+        assert_eq!(b.state(1_500), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.remaining_open_ms(1_500), 1_000, "cooldown restarts");
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_ms: 100,
+            max_ms: 1_000,
+            jitter: 0.0,
+            seed: 1,
+        };
+        assert_eq!(p.backoff_ms(1, 0), 100);
+        assert_eq!(p.backoff_ms(2, 0), 200);
+        assert_eq!(p.backoff_ms(3, 0), 400);
+        assert_eq!(p.backoff_ms(9, 0), 1_000, "capped at max_ms");
+        let jittered = RetryPolicy { jitter: 0.5, ..p };
+        assert_eq!(jittered.backoff_ms(2, 7), jittered.backoff_ms(2, 7));
+        let lo = jittered.backoff_ms(2, 7);
+        assert!((200..=300).contains(&lo), "jitter stays in [0, 50%]: {lo}");
+    }
+}

@@ -19,7 +19,7 @@ use crate::fulcrum::{FulcrumAnalysis, MonthlyPoint};
 use crate::outage::{DetectedOutage, OutageDetector};
 use crate::signals::Payload;
 use crate::store::SignalStore;
-use analytics::changepoint::{binary_segmentation, ChangePoint};
+use analytics::changepoint::binary_segmentation;
 use analytics::stats_tests::welch_t_test;
 use analytics::time::Month;
 use analytics::AnalyticsError;
@@ -137,29 +137,38 @@ impl DigestBuilder {
     /// Regime changes over a monthly Fig. 7 series.
     pub fn regime_changes(&self, series: &[MonthlyPoint]) -> Vec<RegimeChange> {
         let mut out = Vec::new();
-        let to_change = |tag: &'static str, months: &[Month], cp: &ChangePoint| RegimeChange {
-            series: tag,
-            month: months[cp.index.min(months.len() - 1)],
-            before: cp.mean_before,
-            after: cp.mean_after,
+        // Keep each value paired with its month: the change-point index is
+        // in filtered-series space, so indexing the unfiltered month list
+        // (as an earlier version did) mislabels changes whenever a month
+        // lacks the metric — and underflows when the series is empty.
+        let mut push_changes = |tag: &'static str, pairs: &[(Month, f64)]| {
+            if pairs.len() < 8 {
+                return;
+            }
+            let values: Vec<f64> = pairs.iter().map(|&(_, v)| v).collect();
+            if let Ok(cps) = binary_segmentation(&values, self.regime_min_score, 2) {
+                for cp in &cps {
+                    if let Some(&(month, _)) = pairs.get(cp.index) {
+                        out.push(RegimeChange {
+                            series: tag,
+                            month,
+                            before: cp.mean_before,
+                            after: cp.mean_after,
+                        });
+                    }
+                }
+            }
         };
-        let months: Vec<Month> = series.iter().map(|p| p.month).collect();
-        let medians: Vec<f64> = series.iter().filter_map(|p| p.median_down).collect();
-        if medians.len() >= 8 {
-            if let Ok(cps) = binary_segmentation(&medians, self.regime_min_score, 2) {
-                for cp in &cps {
-                    out.push(to_change("downlink median", &months, cp));
-                }
-            }
-        }
-        let pos: Vec<f64> = series.iter().filter_map(|p| p.pos_score).collect();
-        if pos.len() >= 8 {
-            if let Ok(cps) = binary_segmentation(&pos, self.regime_min_score, 2) {
-                for cp in &cps {
-                    out.push(to_change("Pos score", &months, cp));
-                }
-            }
-        }
+        let down: Vec<(Month, f64)> = series
+            .iter()
+            .filter_map(|p| p.median_down.map(|v| (p.month, v)))
+            .collect();
+        push_changes("downlink median", &down);
+        let pos: Vec<(Month, f64)> = series
+            .iter()
+            .filter_map(|p| p.pos_score.map(|v| (p.month, v)))
+            .collect();
+        push_changes("Pos score", &pos);
         out
     }
 

@@ -1,0 +1,522 @@
+//! Deterministic fault injection on a virtual clock.
+//!
+//! The paper's §5 service is fed by inherently flaky sources — conferencing
+//! telemetry exports, forum crawls, OCR'd screenshots. To test how the
+//! ingestion pipeline behaves under that flakiness *deterministically*, this
+//! module provides:
+//!
+//! * a [`Clock`] abstraction with a [`VirtualClock`] implementation whose
+//!   `sleep_ms` advances an atomic counter instead of blocking, so
+//!   backoff/cooldown logic is exercised without a single wall-clock sleep;
+//! * a seeded [`FaultPlan`] that decides, purely from `hash(seed, item
+//!   index)`, which fault (if any) strikes each item a source yields; and
+//! * a [`FaultInjector`] that wraps any [`Source`] and applies the plan.
+//!
+//! Because every fault is a pure function of `(seed, index)` and faults are
+//! decided in the single-threaded producer, an injected run is bit-identical
+//! across worker counts — the property `tests/ingest_resilience.rs` pins.
+
+use crate::source::{RawItem, Source, SourceError};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A time source the ingestion pipeline sleeps against. Implementations
+/// must be cheap and thread-safe; the pipeline only ever needs monotonic
+/// milliseconds.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds since an arbitrary epoch.
+    fn now_ms(&self) -> u64;
+    /// Advance time by `ms`. A real clock blocks; the virtual clock just
+    /// bumps its counter.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// A virtual clock: `sleep_ms` advances an atomic counter and returns
+/// immediately. All retry/backoff/breaker tests run on this — they never
+/// touch wall time.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// A clock starting at `ms`.
+    pub fn at(ms: u64) -> VirtualClock {
+        VirtualClock {
+            now: AtomicU64::new(ms),
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+/// A wall clock for production use: `now_ms` reads a process-monotonic
+/// instant and `sleep_ms` actually blocks the calling thread.
+#[derive(Debug)]
+pub struct WallClock {
+    start: std::time::Instant,
+}
+
+impl WallClock {
+    /// A clock anchored at construction time.
+    pub fn new() -> WallClock {
+        WallClock {
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// The fault chosen for one item index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The item silently never arrives (a lost export, a deleted post).
+    Drop,
+    /// The item arrives after a delay (slow crawl); the injector advances
+    /// the clock, then yields it.
+    Delay,
+    /// The item arrives mangled — a permanent, non-retryable error carrying
+    /// the corrupt payload for the dead-letter queue.
+    Corrupt,
+    /// The fetch fails transiently a bounded number of times, then succeeds
+    /// (a flaky endpoint that recovers under retry).
+    Transient,
+    /// The item sits inside a hard outage window: every fetch attempt fails
+    /// until the caller gives up.
+    Burst,
+    /// The item is replaced by a poison pill that panics the normaliser.
+    Poison,
+}
+
+/// A seeded, declarative description of which faults strike a stream.
+///
+/// Each rate is an independent probability in `[0, 1]` evaluated per item
+/// index from `hash(seed, index)` — no RNG state is threaded through the
+/// stream, so the decision for item `i` never depends on what happened to
+/// items `0..i`. Explicit index-pinned faults (poison pills, the burst
+/// window, the disconnect point) take precedence over the sampled rates.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the per-index fault draws.
+    pub seed: u64,
+    /// Probability an item is silently dropped.
+    pub drop_rate: f64,
+    /// Probability an item fails transiently before succeeding.
+    pub transient_rate: f64,
+    /// How many times a transient-faulted item fails before it succeeds.
+    pub transient_failures: u32,
+    /// Probability an item is delayed by [`FaultPlan::delay_ms`].
+    pub delay_rate: f64,
+    /// Delay applied to delayed items, in clock milliseconds.
+    pub delay_ms: u64,
+    /// Probability an item arrives corrupt (permanent error).
+    pub corrupt_rate: f64,
+    /// Item indices replaced by poison pills.
+    pub poison_indices: Vec<usize>,
+    /// A hard outage window: every fetch of an item in this index range
+    /// fails, on every attempt, until the caller exhausts its retries.
+    pub burst: Option<Range<usize>>,
+    /// Index at which the stream disconnects mid-flight; everything from
+    /// this index on is lost.
+    pub disconnect_at: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn healthy() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An empty plan with the given seed; chain the `with_*` builders to
+    /// add faults.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_failures: 1,
+            delay_ms: 50,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Set the silent-drop probability.
+    pub fn with_drops(mut self, rate: f64) -> FaultPlan {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Set the transient-failure probability and per-item failure count.
+    pub fn with_transient(mut self, rate: f64, failures: u32) -> FaultPlan {
+        self.transient_rate = rate;
+        self.transient_failures = failures;
+        self
+    }
+
+    /// Set the delay probability and per-item delay.
+    pub fn with_delays(mut self, rate: f64, delay_ms: u64) -> FaultPlan {
+        self.delay_rate = rate;
+        self.delay_ms = delay_ms;
+        self
+    }
+
+    /// Set the corruption probability.
+    pub fn with_corruption(mut self, rate: f64) -> FaultPlan {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Replace the item at `index` with a poison pill.
+    pub fn with_poison(mut self, index: usize) -> FaultPlan {
+        self.poison_indices.push(index);
+        self
+    }
+
+    /// Declare a hard outage window over an index range.
+    pub fn with_burst(mut self, window: Range<usize>) -> FaultPlan {
+        self.burst = Some(window);
+        self
+    }
+
+    /// Disconnect the stream at `index`.
+    pub fn with_disconnect(mut self, index: usize) -> FaultPlan {
+        self.disconnect_at = Some(index);
+        self
+    }
+
+    /// The fault (if any) striking item `index`. Pure in `(self, index)`.
+    /// The disconnect point is handled by the injector, not here, because
+    /// it ends the stream rather than afflicting one item.
+    pub fn fault_for(&self, index: usize) -> Option<Fault> {
+        if self.poison_indices.contains(&index) {
+            return Some(Fault::Poison);
+        }
+        if let Some(burst) = &self.burst {
+            if burst.contains(&index) {
+                return Some(Fault::Burst);
+            }
+        }
+        let i = index as u64;
+        if u01(mix(self.seed, i, 0x01)) < self.drop_rate {
+            return Some(Fault::Drop);
+        }
+        if u01(mix(self.seed, i, 0x02)) < self.corrupt_rate {
+            return Some(Fault::Corrupt);
+        }
+        if u01(mix(self.seed, i, 0x03)) < self.transient_rate {
+            return Some(Fault::Transient);
+        }
+        if u01(mix(self.seed, i, 0x04)) < self.delay_rate {
+            return Some(Fault::Delay);
+        }
+        None
+    }
+}
+
+/// SplitMix64-style avalanche of `(seed, index, salt)` — the whole
+/// deterministic-fault story rests on this being a pure function.
+pub(crate) fn mix(seed: u64, index: u64, salt: u64) -> u64 {
+    let mut z =
+        seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform draw in `[0, 1)`.
+pub(crate) fn u01(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// An item the injector has faulted and is holding back until its failure
+/// budget is spent (or forever, inside a burst window).
+struct Held {
+    item: RawItem,
+    failures_left: u32,
+    always_fail: bool,
+}
+
+/// A [`Source`] wrapper that applies a [`FaultPlan`] to the stream of an
+/// inner source. Delay faults advance the supplied [`Clock`].
+pub struct FaultInjector<S> {
+    inner: S,
+    plan: FaultPlan,
+    clock: Arc<dyn Clock>,
+    /// Items pulled from the inner source so far — the index the plan's
+    /// draws key on.
+    index: usize,
+    held: Option<Held>,
+    dropped: usize,
+    disconnected: bool,
+}
+
+impl<S: Source> FaultInjector<S> {
+    /// Wrap `inner` with `plan`, sleeping delays against `clock`.
+    pub fn new(inner: S, plan: FaultPlan, clock: Arc<dyn Clock>) -> FaultInjector<S> {
+        FaultInjector {
+            inner,
+            plan,
+            clock,
+            index: 0,
+            held: None,
+            dropped: 0,
+            disconnected: false,
+        }
+    }
+}
+
+impl<S: Source> Source for FaultInjector<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn next_item(&mut self) -> Option<Result<RawItem, SourceError>> {
+        if self.disconnected {
+            return None;
+        }
+        // A held item fails until its budget is spent, then succeeds. Burst
+        // items never recover — the caller's retry bound is the way out.
+        if let Some(held) = &mut self.held {
+            if held.always_fail {
+                return Some(Err(SourceError::Transient {
+                    reason: "burst outage window",
+                }));
+            }
+            if held.failures_left > 0 {
+                held.failures_left -= 1;
+                return Some(Err(SourceError::Transient {
+                    reason: "transient fetch failure",
+                }));
+            }
+            let held = self.held.take().expect("held item present");
+            return Some(Ok(held.item));
+        }
+        loop {
+            if self.plan.disconnect_at == Some(self.index) {
+                self.disconnected = true;
+                return Some(Err(SourceError::Disconnected));
+            }
+            let item = match self.inner.next_item() {
+                None => return None,
+                // Faults of an already-faulty inner source pass through.
+                Some(Err(e)) => return Some(Err(e)),
+                Some(Ok(item)) => item,
+            };
+            let i = self.index;
+            self.index += 1;
+            match self.plan.fault_for(i) {
+                None => return Some(Ok(item)),
+                Some(Fault::Drop) => {
+                    self.dropped += 1;
+                    continue;
+                }
+                Some(Fault::Delay) => {
+                    self.clock.sleep_ms(self.plan.delay_ms);
+                    return Some(Ok(item));
+                }
+                Some(Fault::Poison) => {
+                    return Some(Ok(RawItem::Poison("injected poison pill")));
+                }
+                Some(Fault::Corrupt) => {
+                    return Some(Err(SourceError::Permanent {
+                        reason: "corrupt payload",
+                        item: Some(Box::new(item)),
+                    }));
+                }
+                Some(Fault::Transient) => {
+                    // First attempt fails now; `transient_failures - 1`
+                    // more fail on subsequent calls, then the item arrives.
+                    self.held = Some(Held {
+                        item,
+                        failures_left: self.plan.transient_failures.saturating_sub(1),
+                        always_fail: false,
+                    });
+                    return Some(Err(SourceError::Transient {
+                        reason: "transient fetch failure",
+                    }));
+                }
+                Some(Fault::Burst) => {
+                    self.held = Some(Held {
+                        item,
+                        failures_left: 0,
+                        always_fail: true,
+                    });
+                    return Some(Err(SourceError::Transient {
+                        reason: "burst outage window",
+                    }));
+                }
+            }
+        }
+    }
+
+    fn take_pending(&mut self) -> Option<RawItem> {
+        self.held.take().map(|h| h.item)
+    }
+
+    fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    fn remaining_hint(&self) -> usize {
+        self.inner.remaining_hint() + usize::from(self.held.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ItemSource;
+    use conference::dataset::{generate, DatasetConfig};
+
+    fn items(n: usize) -> Vec<RawItem> {
+        let dataset = generate(&DatasetConfig::small(n.max(8), 9));
+        assert!(dataset.len() >= n, "generator yields one session per seat");
+        dataset
+            .sessions
+            .into_iter()
+            .take(n)
+            .map(|s| RawItem::Session(Box::new(s)))
+            .collect()
+    }
+
+    #[test]
+    fn virtual_clock_advances_without_sleeping() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        clock.sleep_ms(250);
+        clock.sleep_ms(50);
+        assert_eq!(clock.now_ms(), 300);
+    }
+
+    #[test]
+    fn fault_draws_are_pure_in_seed_and_index() {
+        let plan = FaultPlan::seeded(42)
+            .with_drops(0.2)
+            .with_transient(0.2, 2)
+            .with_corruption(0.1);
+        for i in 0..500 {
+            assert_eq!(plan.fault_for(i), plan.fault_for(i), "index {i}");
+        }
+        let other = FaultPlan {
+            seed: 43,
+            ..plan.clone()
+        };
+        assert!(
+            (0..500).any(|i| plan.fault_for(i) != other.fault_for(i)),
+            "different seeds must produce different fault patterns"
+        );
+    }
+
+    #[test]
+    fn healthy_plan_passes_everything_through() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let mut src =
+            FaultInjector::new(ItemSource::new("t", items(20)), FaultPlan::healthy(), clock);
+        let mut n = 0;
+        while let Some(next) = src.next_item() {
+            assert!(next.is_ok());
+            n += 1;
+        }
+        assert_eq!(n, 20);
+        assert_eq!(src.dropped(), 0);
+    }
+
+    #[test]
+    fn transient_item_recovers_after_its_failure_budget() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let plan = FaultPlan {
+            seed: 7,
+            transient_rate: 1.0,
+            transient_failures: 3,
+            ..FaultPlan::default()
+        };
+        let mut src = FaultInjector::new(ItemSource::new("t", items(1)), plan, clock);
+        for attempt in 0..3 {
+            match src.next_item() {
+                Some(Err(SourceError::Transient { .. })) => {}
+                other => panic!("attempt {attempt}: expected transient, got {other:?}"),
+            }
+        }
+        assert!(matches!(src.next_item(), Some(Ok(_))));
+        assert!(src.next_item().is_none());
+    }
+
+    #[test]
+    fn burst_item_never_recovers_but_can_be_taken() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let plan = FaultPlan::seeded(7).with_burst(0..1);
+        let mut src = FaultInjector::new(ItemSource::new("t", items(2)), plan, clock);
+        for _ in 0..10 {
+            assert!(matches!(
+                src.next_item(),
+                Some(Err(SourceError::Transient { .. }))
+            ));
+        }
+        assert!(
+            src.take_pending().is_some(),
+            "burst item is dead-letterable"
+        );
+        assert!(matches!(src.next_item(), Some(Ok(_))), "stream continues");
+        assert!(src.next_item().is_none());
+    }
+
+    #[test]
+    fn disconnect_truncates_the_stream() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let plan = FaultPlan::seeded(7).with_disconnect(3);
+        let mut src = FaultInjector::new(ItemSource::new("t", items(10)), plan, clock);
+        for _ in 0..3 {
+            assert!(matches!(src.next_item(), Some(Ok(_))));
+        }
+        assert!(matches!(
+            src.next_item(),
+            Some(Err(SourceError::Disconnected))
+        ));
+        assert!(src.next_item().is_none(), "disconnected source stays dead");
+    }
+
+    #[test]
+    fn delay_advances_the_virtual_clock() {
+        let clock = Arc::new(VirtualClock::new());
+        let plan = FaultPlan {
+            seed: 7,
+            delay_rate: 1.0,
+            delay_ms: 40,
+            ..FaultPlan::default()
+        };
+        let dyn_clock: Arc<dyn Clock> = clock.clone();
+        let mut src = FaultInjector::new(ItemSource::new("t", items(5)), plan, dyn_clock);
+        while let Some(next) = src.next_item() {
+            assert!(next.is_ok());
+        }
+        assert_eq!(clock.now_ms(), 5 * 40);
+    }
+}

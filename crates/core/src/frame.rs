@@ -70,7 +70,21 @@ impl SessionFrame {
     /// `workers` scoped threads. Column order always matches
     /// `dataset.sessions` order regardless of the worker count.
     pub fn from_dataset(dataset: &CallDataset, workers: usize) -> SessionFrame {
-        let sessions = &dataset.sessions;
+        let mut frame = SessionFrame::default();
+        frame.extend_from_sessions(&dataset.sessions, workers);
+        frame
+    }
+
+    /// Append `sessions` to every column — the incremental-ingest path.
+    /// The delta columns are built in contiguous chunks on `workers`
+    /// scoped threads and concatenated in order, and the existing columns
+    /// are untouched, so extending a frame equals rebuilding it from the
+    /// concatenated dataset (asserted by the frame tests) without paying
+    /// the full re-materialisation.
+    pub fn extend_from_sessions(&mut self, sessions: &[SessionRecord], workers: usize) {
+        if sessions.is_empty() {
+            return;
+        }
         let parts = par_map_ranges(sessions.len(), workers, |range| {
             let mut part = SessionFrame::with_capacity(range.len());
             for s in &sessions[range] {
@@ -78,12 +92,9 @@ impl SessionFrame {
             }
             part
         });
-        let mut iter = parts.into_iter();
-        let mut frame = iter.next().unwrap_or_default();
-        for part in iter {
-            frame.append(part);
+        for part in parts {
+            self.append(part);
         }
-        frame
     }
 
     /// Empty frame with per-column capacity reserved.
@@ -317,6 +328,30 @@ mod tests {
             assert_eq!(one.engagement(m), eight.engagement(m));
         }
         assert_eq!(one.rated_indices(), eight.rated_indices());
+    }
+
+    #[test]
+    fn extending_a_frame_equals_rebuilding_it() {
+        let ds = dataset();
+        let split = ds.len() / 3;
+        let mut incremental = SessionFrame::default();
+        incremental.extend_from_sessions(&ds.sessions[..split], 4);
+        incremental.extend_from_sessions(&ds.sessions[split..], 4);
+        incremental.extend_from_sessions(&[], 4);
+        let rebuilt = SessionFrame::from_dataset(ds, 4);
+        assert_eq!(incremental.len(), rebuilt.len());
+        for m in NetworkMetric::ALL {
+            assert_eq!(incremental.net_mean(m), rebuilt.net_mean(m));
+            assert_eq!(incremental.net_p95(m), rebuilt.net_p95(m));
+        }
+        for m in EngagementMetric::ALL {
+            assert_eq!(incremental.engagement(m), rebuilt.engagement(m));
+        }
+        assert_eq!(incremental.platform(), rebuilt.platform());
+        assert_eq!(incremental.access(), rebuilt.access());
+        assert_eq!(incremental.date(), rebuilt.date());
+        assert_eq!(incremental.rating(), rebuilt.rating());
+        assert_eq!(incremental.rated_indices(), rebuilt.rated_indices());
     }
 
     #[test]

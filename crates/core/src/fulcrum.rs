@@ -99,11 +99,15 @@ impl FulcrumAnalysis {
         start: Month,
         end: Month,
     ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
-        assert_eq!(
-            corpus.docs(),
-            forum.len(),
-            "corpus must tokenize exactly this forum"
-        );
+        // A corpus/forum mismatch used to assert; ingestion feeds this from
+        // flaky sources now, so it surfaces as a typed error instead of a
+        // panic.
+        if corpus.docs() != forum.len() {
+            return Err(AnalyticsError::LengthMismatch {
+                left: corpus.docs(),
+                right: forum.len(),
+            });
+        }
         let vocab = corpus.vocab();
         self.analyze_with(forum, start, end, |i, _| {
             self.analyzer.score_ids(corpus.doc(i), vocab)
@@ -162,7 +166,7 @@ impl FulcrumAnalysis {
             } else {
                 None
             };
-            let mid = Date::from_ymd(month.year, month.month, 15).expect("mid-month");
+            let mid = Date::from_ymd(month.year, month.month, 15)?;
             out.push(MonthlyPoint {
                 month,
                 reports: downs.len(),

@@ -12,11 +12,13 @@
 pub mod advisor;
 pub mod annotate;
 pub mod bias;
+pub mod breaker;
 pub mod cache;
 pub mod correlate;
 pub mod digest;
 pub mod early;
 pub mod emerging;
+pub mod fault;
 pub mod frame;
 pub mod fulcrum;
 pub mod ingest;
@@ -25,11 +27,13 @@ pub mod predict;
 pub mod report;
 pub mod service;
 pub mod signals;
+pub mod source;
 pub mod store;
 
 pub use advisor::{Intervention, TrafficAdvisor};
 pub use annotate::{AnnotatedPeak, PeakAnnotator};
 pub use bias::{extremity_bias, extremity_bias_signals, geo_corrected_polarity, ExtremityBias};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use cache::MemoCache;
 pub use correlate::{
     compounding_grid, compounding_grid_frame, confounder_report, engagement_curve,
@@ -39,13 +43,20 @@ pub use correlate::{
 pub use digest::{Digest, DigestBuilder, RegimeChange, TestedGap};
 pub use early::{EarlyQualityMonitor, EarlyScoreWeights, HorizonSkill};
 pub use emerging::{EmergingTopic, EmergingTopicMiner};
+pub use fault::{Clock, Fault, FaultInjector, FaultPlan, VirtualClock, WallClock};
 pub use frame::{chunk_ranges, par_map_ranges, SessionFrame};
 pub use fulcrum::{Fig7Series, FulcrumAnalysis, MonthlyPoint};
-pub use ingest::ingest_all;
+pub use ingest::{
+    ingest_all, ingest_stream, IngestConfig, IngestReport, PanicPolicy, QuarantineEntry,
+    QuarantineReason, SourceHealth,
+};
 pub use outage::{DetectedOutage, DetectionScore, OutageDetector};
 pub use predict::{
     train_and_evaluate, train_and_evaluate_frame, Evaluation, FeatureSet, MosPredictor,
 };
-pub use service::{Answer, CrossNetworkReport, Query, UsaasError, UsaasService};
+pub use service::{
+    Answer, CrossNetworkReport, Generation, Query, ServiceHealth, UsaasError, UsaasService,
+};
 pub use signals::{NetworkHint, Payload, Signal, SignalKind};
+pub use source::{ItemSource, PostSource, RawItem, SessionSource, Source, SourceError};
 pub use store::SignalStore;

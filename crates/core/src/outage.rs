@@ -112,11 +112,15 @@ impl OutageDetector {
         corpus: &TokenCorpus,
         workers: usize,
     ) -> Result<DailySeries, AnalyticsError> {
-        assert_eq!(
-            corpus.docs(),
-            forum.len(),
-            "corpus must tokenize exactly this forum"
-        );
+        // A corpus/forum mismatch used to assert; ingestion feeds this from
+        // flaky sources now, so it surfaces as a typed error instead of a
+        // panic.
+        if corpus.docs() != forum.len() {
+            return Err(AnalyticsError::LengthMismatch {
+                left: corpus.docs(),
+                right: forum.len(),
+            });
+        }
         let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
         let mut series = DailySeries::zeros(start, end)?;
         let dict = CompiledDict::compile(&self.dictionary, corpus.vocab());

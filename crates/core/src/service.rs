@@ -19,20 +19,23 @@ use crate::correlate;
 use crate::emerging::{EmergingTopic, EmergingTopicMiner};
 use crate::frame::SessionFrame;
 use crate::fulcrum::{FulcrumAnalysis, MonthlyPoint};
+use crate::ingest::{self, IngestConfig, IngestReport};
 use crate::outage::{DetectedOutage, OutageDetector};
 use crate::predict::{self, Evaluation, FeatureSet};
 use crate::signals::SignalKind;
+use crate::source::{ItemSource, RawItem, Source};
 use crate::store::SignalStore;
 use analytics::binning::BinnedCurve;
 use analytics::AnalyticsError;
 use conference::platform::Platform;
-use conference::records::{CallDataset, EngagementMetric, NetworkMetric};
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
 use netsim::access::AccessType;
+use parking_lot::{Mutex, RwLock};
 use sentiment::corpus::TokenCorpus;
 use serde::Serialize;
-use social::post::Forum;
+use social::post::{Forum, Post};
 use starlink::constellation::{DeploymentPlanner, Recommendation, RegionalDemand};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Errors from the service layer.
 #[derive(Debug, Clone)]
@@ -240,54 +243,89 @@ impl QueryKey {
     }
 }
 
-/// The service.
-pub struct UsaasService {
-    store: SignalStore,
+/// One immutable epoch of the service's materialised state: the dataset
+/// and forum as of the last committed append, the columnar frame and
+/// interned corpus mirroring them, and the answer cache for exactly this
+/// epoch.
+///
+/// Queries pin an `Arc<Generation>` via [`UsaasService::snapshot`] and
+/// compute against it, so an append committing mid-query swaps the
+/// service's current generation without disturbing anything the in-flight
+/// query reads. Each new generation starts with a fresh [`MemoCache`] —
+/// epoch-based cache invalidation — so post-append queries recompute over
+/// the extended data while pre-append answers die with their generation.
+pub struct Generation {
+    /// 0 for the build-time generation; +1 per committed append.
+    epoch: u64,
     dataset: CallDataset,
     forum: Forum,
-    /// Columnar mirror of `dataset.sessions`, materialised once at build
-    /// time; the §3 correlation queries aggregate over its columns.
+    /// Columnar mirror of `dataset.sessions`; appends extend it with delta
+    /// columns instead of re-materialising from scratch.
     frame: SessionFrame,
-    /// Worker-thread budget the service was built with; frame aggregation
-    /// reuses it.
+    /// Worker-thread budget; frame aggregation and corpus builds reuse it.
     workers: usize,
     /// Tokenize-once interned mirror of the forum, built lazily on the
     /// first §4 text query (chunk-parallel over `workers`) and shared by
-    /// every sentiment/keyword/n-gram consumer — no query re-tokenizes a
-    /// post, ever.
+    /// every sentiment/keyword/n-gram consumer. Appends grow it
+    /// incrementally (existing ids never move) when it was already built.
     social_corpus: OnceLock<TokenCorpus>,
     /// Default-detector outage run, computed once and shared by the
     /// `OutageTimeline` and `CrossNetwork` queries (both need the same
-    /// detection pass; the corpus is immutable once built).
+    /// detection pass; the corpus is immutable within a generation).
     outage_cache: OnceLock<Result<Vec<DetectedOutage>, AnalyticsError>>,
-    /// Memoized answers: every aggregate is a pure function of the
-    /// immutable corpus, so each distinct query computes once per service
-    /// lifetime and repeats are cloned from the cache.
+    /// Memoized answers: every aggregate is a pure function of this
+    /// generation's immutable corpus, so each distinct query computes once
+    /// per epoch and repeats are cloned from the cache.
     answers: MemoCache<QueryKey, Result<Answer, UsaasError>>,
 }
 
-impl UsaasService {
-    /// Build the service: ingest both sources into the signal store and
-    /// materialise the columnar session frame, both on `workers` threads.
-    pub fn build(dataset: CallDataset, forum: Forum, workers: usize) -> UsaasService {
-        let store = SignalStore::new();
-        crate::ingest::ingest_all(&store, &dataset, &forum, workers);
-        let frame = SessionFrame::from_dataset(&dataset, workers);
-        UsaasService {
-            store,
+impl Generation {
+    fn new(
+        epoch: u64,
+        dataset: CallDataset,
+        forum: Forum,
+        frame: SessionFrame,
+        workers: usize,
+        social_corpus: OnceLock<TokenCorpus>,
+    ) -> Generation {
+        Generation {
+            epoch,
             dataset,
             forum,
             frame,
             workers,
-            social_corpus: OnceLock::new(),
+            social_corpus,
             outage_cache: OnceLock::new(),
             answers: MemoCache::default(),
         }
     }
 
-    /// The forum's interned token corpus, built once on first use and
-    /// memoized alongside the session frame. Identical for every worker
-    /// count, so lazily building it never perturbs query results.
+    /// Epoch number: 0 at build time, incremented by every committed
+    /// append.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The columnar session frame (read access for custom analyses).
+    pub fn frame(&self) -> &SessionFrame {
+        &self.frame
+    }
+
+    /// The raw per-record dataset the frame mirrors (read access for
+    /// analyses that need full [`conference::records::SessionRecord`]s).
+    pub fn dataset(&self) -> &CallDataset {
+        &self.dataset
+    }
+
+    /// The forum corpus of this generation (read access for custom
+    /// analyses and parity checks).
+    pub fn forum(&self) -> &Forum {
+        &self.forum
+    }
+
+    /// The forum's interned token corpus, built once per generation on
+    /// first use. Identical for every worker count, so lazily building it
+    /// never perturbs query results.
     pub fn social_corpus(&self) -> &TokenCorpus {
         self.social_corpus
             .get_or_init(|| self.forum.token_corpus(self.workers))
@@ -307,51 +345,20 @@ impl UsaasService {
         }
     }
 
-    /// Signal counts by family `(implicit, explicit, social)` — the paper's
-    /// point in one tuple: implicit signals dwarf explicit ones.
-    pub fn signal_counts(&self) -> (usize, usize, usize) {
-        (
-            self.store.count_kind(SignalKind::Implicit),
-            self.store.count_kind(SignalKind::Explicit),
-            self.store.count_kind(SignalKind::Social),
-        )
-    }
-
-    /// The underlying store (read access for custom analyses).
-    pub fn store(&self) -> &SignalStore {
-        &self.store
-    }
-
-    /// The columnar session frame (read access for custom analyses).
-    pub fn frame(&self) -> &SessionFrame {
-        &self.frame
-    }
-
-    /// The raw per-record dataset the frame mirrors (read access for
-    /// analyses that need full [`conference::records::SessionRecord`]s).
-    pub fn dataset(&self) -> &CallDataset {
-        &self.dataset
-    }
-
-    /// The forum corpus the service was built over (read access for custom
-    /// analyses and parity checks).
-    pub fn forum(&self) -> &Forum {
-        &self.forum
-    }
-
-    /// Answer-cache lookups that found an existing entry.
+    /// Answer-cache lookups that found an existing entry (this epoch).
     pub fn cache_hits(&self) -> usize {
         self.answers.hits()
     }
 
-    /// Answer-cache lookups that had to compute (distinct queries seen).
+    /// Answer-cache lookups that had to compute (this epoch).
     pub fn cache_misses(&self) -> usize {
         self.answers.misses()
     }
 
-    /// Answer one query. Answers are memoized by the query's parameters:
-    /// the first occurrence computes, repeats — sequential or racing inside
-    /// a [`UsaasService::query_batch`] — clone the cached answer.
+    /// Answer one query against this generation. Answers are memoized by
+    /// the query's parameters: the first occurrence computes, repeats —
+    /// sequential or racing inside a [`UsaasService::query_batch`] — clone
+    /// the cached answer.
     pub fn query(&self, query: &Query) -> Result<Answer, UsaasError> {
         self.answers
             .get_or_compute(QueryKey::of(query), || self.answer_uncached(query))
@@ -443,30 +450,6 @@ impl UsaasService {
         }
     }
 
-    /// Answer a batch of queries concurrently, one scoped worker per query;
-    /// results come back in input order.
-    ///
-    /// The workers share `&self` — and therefore the service's caches, so a
-    /// batch containing both `OutageTimeline` and `CrossNetwork` runs the
-    /// outage detector once, not twice. A panic inside a worker is re-raised
-    /// here with its original payload.
-    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Answer, UsaasError>> {
-        let mut results: Vec<Option<Result<Answer, UsaasError>>> = Vec::new();
-        results.resize_with(queries.len(), || None);
-        crossbeam::thread::scope(|scope| {
-            for (slot, query) in results.iter_mut().zip(queries) {
-                scope.spawn(move |_| {
-                    *slot = Some(self.query(query));
-                });
-            }
-        })
-        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        results
-            .into_iter()
-            .map(|slot| slot.expect("every spawned worker fills its slot"))
-            .collect()
-    }
-
     /// §5 flagship query implementation, aggregated over frame columns:
     /// one pass over the access column selects target indices, then each
     /// statistic gathers from the relevant dense column in session order
@@ -553,6 +536,280 @@ impl UsaasService {
         Ok(RegionalDemand {
             band_weights: weights,
         })
+    }
+}
+
+/// Running health totals accumulated across ingestion runs.
+#[derive(Debug, Default)]
+struct HealthTotals {
+    quarantined: usize,
+    unfed: usize,
+    breaker_trips: usize,
+    /// Sources whose breaker ended the *most recent* run open.
+    open_breakers: Vec<String>,
+}
+
+/// The service's health/staleness annotation, returned alongside answers
+/// so operators can tell a fresh answer from one served while a source is
+/// down.
+#[derive(Debug, Clone)]
+pub struct ServiceHealth {
+    /// Epoch of the generation currently serving queries.
+    pub epoch: u64,
+    /// Sources whose circuit breaker ended the last ingestion run open —
+    /// their items are missing until the source recovers.
+    pub open_breakers: Vec<String>,
+    /// Items dead-lettered across all ingestion runs.
+    pub quarantined_total: usize,
+    /// Items that never reached the worker pool across all runs.
+    pub unfed_total: usize,
+    /// Breaker trips across all ingestion runs.
+    pub breaker_trips_total: usize,
+}
+
+impl ServiceHealth {
+    /// True when answers may be stale: an open breaker means a source is
+    /// failing and its items have not been ingested, so queries are served
+    /// from already-ingested signals only.
+    pub fn is_stale(&self) -> bool {
+        !self.open_breakers.is_empty()
+    }
+
+    /// True when anything has degraded ingestion: open breakers,
+    /// quarantined items, or unfed items.
+    pub fn is_degraded(&self) -> bool {
+        self.is_stale() || self.quarantined_total > 0 || self.unfed_total > 0
+    }
+}
+
+/// The service: a shared append-only [`SignalStore`] plus a swappable
+/// current [`Generation`]. Queries serve from a snapshot; committed
+/// appends bump the epoch.
+pub struct UsaasService {
+    /// Append-only signal ledger, shared by every generation — ingestion
+    /// writes here while queries keep serving.
+    store: Arc<SignalStore>,
+    /// The generation queries snapshot. Swapped atomically by commits.
+    current: RwLock<Arc<Generation>>,
+    /// Worker-thread budget the service was built with.
+    workers: usize,
+    /// Serialises appends; queries never take this.
+    append_lock: Mutex<()>,
+    health: Mutex<HealthTotals>,
+}
+
+impl UsaasService {
+    /// Build the service: ingest both sources into the signal store and
+    /// materialise the columnar session frame, both on `workers` threads.
+    pub fn build(dataset: CallDataset, forum: Forum, workers: usize) -> UsaasService {
+        let store = SignalStore::new();
+        crate::ingest::ingest_all(&store, &dataset, &forum, workers);
+        let frame = SessionFrame::from_dataset(&dataset, workers);
+        let generation = Generation::new(0, dataset, forum, frame, workers, OnceLock::new());
+        UsaasService {
+            store: Arc::new(store),
+            current: RwLock::new(Arc::new(generation)),
+            workers,
+            append_lock: Mutex::new(()),
+            health: Mutex::new(HealthTotals::default()),
+        }
+    }
+
+    /// Pin the current generation — a cheap `Arc` clone. Hold it to read a
+    /// consistent dataset/forum/frame/corpus view across concurrent
+    /// appends.
+    pub fn snapshot(&self) -> Arc<Generation> {
+        self.current.read().clone()
+    }
+
+    /// Epoch of the generation currently serving queries.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Signal counts by family `(implicit, explicit, social)` — the paper's
+    /// point in one tuple: implicit signals dwarf explicit ones.
+    pub fn signal_counts(&self) -> (usize, usize, usize) {
+        (
+            self.store.count_kind(SignalKind::Implicit),
+            self.store.count_kind(SignalKind::Explicit),
+            self.store.count_kind(SignalKind::Social),
+        )
+    }
+
+    /// The underlying store (read access for custom analyses).
+    pub fn store(&self) -> &SignalStore {
+        &self.store
+    }
+
+    /// Answer-cache hits of the current generation.
+    pub fn cache_hits(&self) -> usize {
+        self.snapshot().cache_hits()
+    }
+
+    /// Answer-cache misses of the current generation (distinct queries
+    /// seen this epoch).
+    pub fn cache_misses(&self) -> usize {
+        self.snapshot().cache_misses()
+    }
+
+    /// Answer one query against the current generation. An append
+    /// committing mid-query does not disturb the computation — the query
+    /// holds its generation snapshot; the *next* query sees the new epoch.
+    pub fn query(&self, query: &Query) -> Result<Answer, UsaasError> {
+        self.snapshot().query(query)
+    }
+
+    /// Answer one query and annotate it with the service's health — the
+    /// degraded-serving contract: while a source's breaker is open the
+    /// answer is still served (from already-ingested signals), and the
+    /// annotation says it may be stale.
+    pub fn query_with_health(&self, query: &Query) -> (Result<Answer, UsaasError>, ServiceHealth) {
+        (self.query(query), self.health())
+    }
+
+    /// Current health/staleness annotation.
+    pub fn health(&self) -> ServiceHealth {
+        let epoch = self.epoch();
+        let totals = self.health.lock();
+        ServiceHealth {
+            epoch,
+            open_breakers: totals.open_breakers.clone(),
+            quarantined_total: totals.quarantined,
+            unfed_total: totals.unfed,
+            breaker_trips_total: totals.breaker_trips,
+        }
+    }
+
+    /// Answer a batch of queries concurrently, one scoped worker per query;
+    /// results come back in input order.
+    ///
+    /// The whole batch pins **one** generation snapshot, so its answers are
+    /// mutually consistent even if an append commits mid-batch, and the
+    /// workers share that generation's caches — a batch containing both
+    /// `OutageTimeline` and `CrossNetwork` runs the outage detector once,
+    /// not twice. A panic inside a worker is re-raised here with its
+    /// original payload.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Answer, UsaasError>> {
+        let generation = self.snapshot();
+        let mut results: Vec<Option<Result<Answer, UsaasError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot, query) in results.iter_mut().zip(queries) {
+                let generation = &generation;
+                scope.spawn(move |_| {
+                    *slot = Some(generation.query(query));
+                });
+            }
+        })
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every spawned worker fills its slot"))
+            .collect()
+    }
+
+    /// Ingest `sources` through the resilient streaming engine
+    /// (retry/backoff, circuit breakers, quarantine) and commit every
+    /// accepted item as a new generation — append-while-serving.
+    ///
+    /// Signals stream into the shared store as workers process them;
+    /// queries racing the append keep serving their pinned snapshot. Once
+    /// the run finishes, accepted items are folded into a successor
+    /// generation (frame extended with delta columns, corpus grown
+    /// incrementally when already built) whose fresh answer cache makes
+    /// subsequent queries see the appended data. Quarantined or unfed
+    /// items and open breakers are accumulated into [`UsaasService::health`].
+    pub fn ingest_append(
+        &self,
+        sources: Vec<Box<dyn Source + '_>>,
+        cfg: &IngestConfig,
+    ) -> IngestReport {
+        let (report, accepted) = ingest::ingest_stream_collect(&self.store, sources, cfg);
+        let mut sessions: Vec<SessionRecord> = Vec::new();
+        let mut posts: Vec<Post> = Vec::new();
+        for item in accepted {
+            match item {
+                RawItem::Session(s) => sessions.push(*s),
+                RawItem::Post(p) => posts.push(*p),
+                // Poison pills are quarantined by the engine, never
+                // accepted.
+                RawItem::Poison(_) => {}
+            }
+        }
+        if !sessions.is_empty() || !posts.is_empty() {
+            self.commit(sessions, posts);
+        }
+        self.note_report(&report);
+        report
+    }
+
+    /// Append trusted in-memory batches — the convenience path over
+    /// [`UsaasService::ingest_append`] with default resilience settings.
+    pub fn append_batch(&self, sessions: Vec<SessionRecord>, posts: Vec<Post>) -> IngestReport {
+        let cfg = IngestConfig::with_workers(self.workers);
+        let mut sources: Vec<Box<dyn Source>> = Vec::new();
+        if !sessions.is_empty() {
+            let items: Vec<RawItem> = sessions
+                .into_iter()
+                .map(|s| RawItem::Session(Box::new(s)))
+                .collect();
+            sources.push(Box::new(ItemSource::new("append-sessions", items)));
+        }
+        if !posts.is_empty() {
+            let items: Vec<RawItem> = posts
+                .into_iter()
+                .map(|p| RawItem::Post(Box::new(p)))
+                .collect();
+            sources.push(Box::new(ItemSource::new("append-posts", items)));
+        }
+        self.ingest_append(sources, &cfg)
+    }
+
+    /// Fold accepted items into a successor generation and swap it in.
+    fn commit(&self, sessions: Vec<SessionRecord>, posts: Vec<Post>) {
+        // Appends are serialised so two racing commits cannot both clone
+        // the same base generation and lose one delta. Queries never take
+        // this lock; they read `current` for the instant of the swap only.
+        let _appending = self.append_lock.lock();
+        let base = self.snapshot();
+        let mut frame = base.frame.clone();
+        frame.extend_from_sessions(&sessions, self.workers);
+        // Re-materialise the corpus only if this generation ever built
+        // one; extension preserves existing ids, so it is bit-identical to
+        // rebuilding over the grown forum.
+        let corpus_cell = OnceLock::new();
+        if let Some(existing) = base.social_corpus.get() {
+            let mut corpus = existing.clone();
+            corpus.extend_with(posts.len(), self.workers, |i, emit| {
+                for part in posts[i].text_parts() {
+                    emit(part);
+                }
+            });
+            let _ = corpus_cell.set(corpus);
+        }
+        let mut dataset = base.dataset.clone();
+        dataset.sessions.extend(sessions);
+        let mut forum = base.forum.clone();
+        forum.posts.extend(posts);
+        let next = Generation::new(
+            base.epoch + 1,
+            dataset,
+            forum,
+            frame,
+            self.workers,
+            corpus_cell,
+        );
+        *self.current.write() = Arc::new(next);
+    }
+
+    /// Accumulate one run's degradation into the health totals.
+    fn note_report(&self, report: &IngestReport) {
+        let mut totals = self.health.lock();
+        totals.quarantined += report.quarantined.len();
+        totals.unfed += report.unfed;
+        totals.breaker_trips += report.breaker_trips;
+        totals.open_breakers = report.open_breakers();
     }
 }
 
@@ -880,17 +1137,47 @@ mod tests {
     #[test]
     fn outage_detections_are_cached_once() {
         let s = service();
-        let first = s.outage_detections().unwrap().as_ptr();
+        let generation = s.snapshot();
+        let first = generation.outage_detections().unwrap().as_ptr();
         let _ = s.query(&Query::OutageTimeline).unwrap();
         let _ = s
             .query(&Query::CrossNetwork {
                 access: AccessType::SatelliteLeo,
             })
             .unwrap();
-        let second = s.outage_detections().unwrap().as_ptr();
+        let second = generation.outage_detections().unwrap().as_ptr();
         assert_eq!(
             first, second,
             "repeat queries must reuse the cached detection pass"
         );
+    }
+
+    #[test]
+    fn append_bumps_the_epoch_and_serves_new_data() {
+        let s = fresh_service();
+        let baseline_sessions = s.snapshot().dataset().len();
+        let q = Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            bins: 6,
+        };
+        let before = s.query(&q).unwrap();
+        assert_eq!(s.epoch(), 0);
+        let delta = generate(&DatasetConfig::small(150, 77));
+        let added = delta.len();
+        let report = s.append_batch(delta.sessions, Vec::new());
+        assert_eq!(report.fed, added);
+        assert!(!report.is_degraded());
+        assert_eq!(s.epoch(), 1, "a committed append bumps the epoch");
+        let generation = s.snapshot();
+        assert_eq!(generation.dataset().len(), baseline_sessions + added);
+        assert_eq!(generation.frame().len(), baseline_sessions + added);
+        let after = s.query(&q).unwrap();
+        assert_ne!(
+            format!("{before:?}"),
+            format!("{after:?}"),
+            "the appended sessions must change the answer"
+        );
+        assert!(!s.health().is_degraded());
     }
 }

@@ -1,0 +1,248 @@
+//! Streaming sources with a transient-vs-permanent error taxonomy.
+//!
+//! The §5 service ingests from feeds that fail in qualitatively different
+//! ways: a forum crawl times out (retry it), an OCR'd screenshot decodes to
+//! garbage (dead-letter it), a telemetry export cuts off mid-stream (mark
+//! the source degraded and move on). A [`Source`] yields
+//! `Result<RawItem, SourceError>` so the ingestion engine can tell those
+//! apart and apply retry/backoff, circuit breaking, or quarantine —
+//! per item, instead of all-or-nothing.
+
+use conference::records::SessionRecord;
+use social::post::Post;
+
+/// A raw item awaiting normalisation.
+#[derive(Debug, Clone)]
+pub enum RawItem {
+    /// One conferencing session record.
+    Session(Box<SessionRecord>),
+    /// One forum post.
+    Post(Box<Post>),
+    /// A poison pill: an item whose normalisation panics. Real pipelines
+    /// meet these as malformed inputs that trip a bug in a worker; the
+    /// fault injector produces them on purpose so tests can prove one bad
+    /// item cannot kill the pool.
+    Poison(&'static str),
+}
+
+impl RawItem {
+    /// A short human-readable description for quarantine records.
+    pub fn describe(&self) -> String {
+        match self {
+            RawItem::Session(s) => {
+                format!("session call={} user={} {}", s.call_id, s.user_id, s.date)
+            }
+            RawItem::Post(p) => format!("post id={} {} {}", p.id, p.date, p.country),
+            RawItem::Poison(msg) => format!("poison pill: {msg}"),
+        }
+    }
+}
+
+/// Why a source failed to yield an item.
+#[derive(Debug)]
+pub enum SourceError {
+    /// The fetch failed but retrying may succeed (timeout, throttle, flaky
+    /// endpoint). The failed item stays pending inside the source and is
+    /// re-offered on the next call.
+    Transient {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// The item can never be fetched intact (corrupt payload, undecodable
+    /// OCR). Retrying is pointless; the item goes straight to quarantine.
+    Permanent {
+        /// What went wrong.
+        reason: &'static str,
+        /// The damaged item, when the source can still produce it — kept in
+        /// the quarantine record for offline inspection.
+        item: Option<Box<RawItem>>,
+    },
+    /// The stream ended abnormally mid-flight; everything not yet yielded
+    /// is lost and the source is done.
+    Disconnected,
+}
+
+impl SourceError {
+    /// Whether retrying the same fetch can possibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SourceError::Transient { .. })
+    }
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Transient { reason } => write!(f, "transient: {reason}"),
+            SourceError::Permanent { reason, .. } => write!(f, "permanent: {reason}"),
+            SourceError::Disconnected => write!(f, "disconnected mid-stream"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A pull-based stream of raw items. Implementations are driven by the
+/// single-threaded ingestion producer, so `&mut self` methods need no
+/// internal synchronisation.
+pub trait Source: Send {
+    /// Stable name for health reporting and quarantine records.
+    fn name(&self) -> &str;
+
+    /// Yield the next item, a fetch error, or `None` when exhausted.
+    ///
+    /// After a [`SourceError::Transient`], the *same* item must be retried
+    /// by calling `next_item` again; the source holds it pending until the
+    /// fetch succeeds or the caller abandons it via
+    /// [`Source::take_pending`].
+    fn next_item(&mut self) -> Option<Result<RawItem, SourceError>>;
+
+    /// Surrender the item currently stuck behind transient failures, if
+    /// any, so the caller can dead-letter it and move on. The default is
+    /// for sources that never fail.
+    fn take_pending(&mut self) -> Option<RawItem> {
+        None
+    }
+
+    /// Items the source silently lost (dropped by the fault layer).
+    fn dropped(&self) -> usize {
+        0
+    }
+
+    /// Best-effort count of items not yet yielded, used to account for
+    /// work lost to disconnects and aborts.
+    fn remaining_hint(&self) -> usize {
+        0
+    }
+}
+
+/// A source over a borrowed slice of session records (the conferencing
+/// telemetry feed).
+pub struct SessionSource<'a> {
+    name: String,
+    records: &'a [SessionRecord],
+    cursor: usize,
+}
+
+impl<'a> SessionSource<'a> {
+    /// A named source yielding `records` in order.
+    pub fn new(name: impl Into<String>, records: &'a [SessionRecord]) -> SessionSource<'a> {
+        SessionSource {
+            name: name.into(),
+            records,
+            cursor: 0,
+        }
+    }
+}
+
+impl Source for SessionSource<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_item(&mut self) -> Option<Result<RawItem, SourceError>> {
+        let record = self.records.get(self.cursor)?;
+        self.cursor += 1;
+        Some(Ok(RawItem::Session(Box::new(record.clone()))))
+    }
+
+    fn remaining_hint(&self) -> usize {
+        self.records.len() - self.cursor
+    }
+}
+
+/// A source over a borrowed slice of forum posts (the social crawl feed).
+pub struct PostSource<'a> {
+    name: String,
+    posts: &'a [Post],
+    cursor: usize,
+}
+
+impl<'a> PostSource<'a> {
+    /// A named source yielding `posts` in order.
+    pub fn new(name: impl Into<String>, posts: &'a [Post]) -> PostSource<'a> {
+        PostSource {
+            name: name.into(),
+            posts,
+            cursor: 0,
+        }
+    }
+}
+
+impl Source for PostSource<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_item(&mut self) -> Option<Result<RawItem, SourceError>> {
+        let post = self.posts.get(self.cursor)?;
+        self.cursor += 1;
+        Some(Ok(RawItem::Post(Box::new(post.clone()))))
+    }
+
+    fn remaining_hint(&self) -> usize {
+        self.posts.len() - self.cursor
+    }
+}
+
+/// An owned in-memory source — the workhorse for tests and appends where
+/// the items were assembled on the fly.
+pub struct ItemSource {
+    name: String,
+    items: std::collections::VecDeque<RawItem>,
+}
+
+impl ItemSource {
+    /// A named source yielding `items` in order.
+    pub fn new(name: impl Into<String>, items: Vec<RawItem>) -> ItemSource {
+        ItemSource {
+            name: name.into(),
+            items: items.into(),
+        }
+    }
+}
+
+impl Source for ItemSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_item(&mut self) -> Option<Result<RawItem, SourceError>> {
+        self.items.pop_front().map(Ok)
+    }
+
+    fn remaining_hint(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conference::dataset::{generate, DatasetConfig};
+
+    #[test]
+    fn session_source_yields_in_order_and_counts_down() {
+        let dataset = generate(&DatasetConfig::small(10, 3));
+        let mut src = SessionSource::new("telemetry", &dataset.sessions);
+        assert_eq!(src.remaining_hint(), dataset.len());
+        let mut seen = 0;
+        while let Some(item) = src.next_item() {
+            match item {
+                Ok(RawItem::Session(s)) => assert_eq!(*s, dataset.sessions[seen]),
+                other => panic!("unexpected item: {other:?}"),
+            }
+            seen += 1;
+        }
+        assert_eq!(seen, dataset.len());
+        assert_eq!(src.remaining_hint(), 0);
+        assert!(src.take_pending().is_none());
+    }
+
+    #[test]
+    fn describe_names_the_item() {
+        let dataset = generate(&DatasetConfig::small(4, 3));
+        let item = RawItem::Session(Box::new(dataset.sessions[0].clone()));
+        assert!(item.describe().starts_with("session call="));
+        assert!(RawItem::Poison("boom").describe().contains("boom"));
+    }
+}

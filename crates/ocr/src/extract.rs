@@ -152,10 +152,18 @@ fn label_of(token: &str) -> Option<Field> {
     const UP: [&str; 3] = ["upload", "up", "ul"];
     const LAT: [&str; 3] = ["ping", "latency", "idle"];
     let close = |t: &str, word: &str| {
-        t == word
-            || (word.len() >= 6
-                && word.starts_with(&t[..t.len().min(word.len())])
-                && t.len() + 2 >= word.len())
+        if t == word {
+            return true;
+        }
+        if word.len() < 6 || t.len() + 2 < word.len() {
+            return false;
+        }
+        // Compare char-wise: byte-slicing `t` could split a multi-byte
+        // glyph the noise model injected and panic.
+        let mut wc = word.chars();
+        t.chars()
+            .take(word.chars().count())
+            .all(|c| wc.next() == Some(c))
     };
     if DOWN.iter().any(|w| close(token, w)) {
         return Some(Field::Download);
@@ -423,6 +431,14 @@ mod tests {
             "heavy-noise recovery collapsed: {recovered}/{n}"
         );
         assert_eq!(wild, 0, "extractor must never emit implausible values");
+    }
+
+    #[test]
+    fn multibyte_noise_in_labels_does_not_panic() {
+        // Glyph noise can substitute multi-byte lookalikes (e.g. Cyrillic
+        // 'З'); label matching must not byte-slice mid-character.
+        let e = extract("DownloaЗ\n113.4 Mbps\nUpload\n11.7 Mbps\nLatencЗ\n43 ms\n");
+        assert!((e.uplink_mbps.unwrap() - 11.7).abs() < 1e-9);
     }
 
     #[test]

@@ -264,6 +264,45 @@ impl TokenCorpus {
         TokenCorpus::build_with(texts.len(), workers, |i, emit| emit(texts[i].as_ref()))
     }
 
+    /// Append `new_docs` documents to the corpus — the incremental-ingest
+    /// path. `parts_of` indexes the *new* documents from zero, with the
+    /// same contract as [`TokenCorpus::build_with`].
+    ///
+    /// New words are interned in first-appearance order after the existing
+    /// vocabulary, and existing ids never move — so extending a corpus is
+    /// **bit-identical** to rebuilding it from scratch over the
+    /// concatenated document list (vocab, tokens, and offsets alike), for
+    /// every worker count. Consumers holding ids from the old epoch keep
+    /// resolving them unchanged.
+    pub fn extend_with<F>(&mut self, new_docs: usize, workers: usize, parts_of: F)
+    where
+        F: Fn(usize, &mut dyn FnMut(&str)) + Sync,
+    {
+        if new_docs == 0 {
+            return;
+        }
+        if self.offsets.is_empty() {
+            // A default-constructed corpus has no leading sentinel yet.
+            self.offsets.push(0);
+        }
+        let chunks = par_map_ranges(new_docs, workers, |range| Chunk::build(range, &parts_of));
+        for chunk in chunks {
+            // Same merge as `build_with`: remap chunk-local ids through the
+            // (now non-empty) global vocab, preserving first-appearance
+            // order for genuinely new words.
+            let remap: Vec<u32> = chunk
+                .words
+                .into_iter()
+                .map(|w| self.vocab.intern_owned(w))
+                .collect();
+            let base = u32::try_from(self.tokens.len()).expect("corpus exceeds u32 token offsets");
+            self.tokens
+                .extend(chunk.tokens.iter().map(|&t| remap[t as usize]));
+            self.offsets
+                .extend(chunk.offsets[1..].iter().map(|&o| base + o));
+        }
+    }
+
     /// Number of documents.
     pub fn docs(&self) -> usize {
         self.offsets.len() - 1
@@ -554,6 +593,37 @@ mod tests {
             corpus.total_tokens(),
             texts.iter().map(|t| tokenize(t).len()).sum()
         );
+    }
+
+    #[test]
+    fn extending_a_corpus_is_bit_identical_to_rebuilding() {
+        let texts: Vec<String> = (0..83)
+            .map(|i| format!("outage {i} slow speeds down again überlastet {}", i % 5))
+            .collect();
+        let split = 31;
+        for workers in [1, 4] {
+            let mut extended = TokenCorpus::from_texts(&texts[..split], workers);
+            extended.extend_with(texts.len() - split, workers, |i, emit| {
+                emit(texts[split + i].as_ref())
+            });
+            extended.extend_with(0, workers, |_, _| {});
+            let rebuilt = TokenCorpus::from_texts(&texts, workers);
+            assert_eq!(extended.docs(), rebuilt.docs(), "workers {workers}");
+            assert_eq!(extended.tokens, rebuilt.tokens, "workers {workers}");
+            assert_eq!(extended.offsets, rebuilt.offsets, "workers {workers}");
+            assert_eq!(
+                extended.vocab.words, rebuilt.vocab.words,
+                "workers {workers}"
+            );
+        }
+        // Growing a default-constructed corpus also works (the append path
+        // seeds the CSR sentinel itself).
+        let mut from_empty = TokenCorpus::default();
+        from_empty.extend_with(texts.len(), 2, |i, emit| emit(texts[i].as_ref()));
+        let rebuilt = TokenCorpus::from_texts(&texts, 2);
+        assert_eq!(from_empty.tokens, rebuilt.tokens);
+        assert_eq!(from_empty.offsets, rebuilt.offsets);
+        assert_eq!(from_empty.vocab.words, rebuilt.vocab.words);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 # file per bench target, starting each from a clean slate so every array
 # holds exactly one run:
 #
-#   frame_scan      -> results/BENCH_frame.json
-#   social_pipeline -> results/BENCH_social.json   (string vs interned vs
-#                      interned_par4 groups for the §4 text substrate)
+#   frame_scan        -> results/BENCH_frame.json
+#   social_pipeline   -> results/BENCH_social.json (string vs interned vs
+#                        interned_par4 groups for the §4 text substrate)
+#   ingest_resilience -> results/BENCH_ingest.json (healthy vs 1%-fault vs
+#                        breaker-open streaming ingestion)
 #
 # Usage: scripts/bench_json.sh [extra `cargo bench` args...]
 set -euo pipefail
@@ -33,3 +35,4 @@ run_bench() {
 
 run_bench frame_scan results/BENCH_frame.json "$@"
 run_bench social_pipeline results/BENCH_social.json "$@"
+run_bench ingest_resilience results/BENCH_ingest.json "$@"

@@ -447,7 +447,8 @@ mod service_level {
     #[test]
     fn service_social_answers_match_string_paths() {
         let svc = small_service();
-        let forum = svc.forum();
+        let snap = svc.snapshot();
+        let forum = snap.forum();
 
         let Answer::Outages(outages) = svc.query(&Query::OutageTimeline).unwrap() else {
             panic!("wrong answer type");
@@ -484,18 +485,20 @@ mod service_level {
     #[test]
     fn service_corpus_is_memoized_and_worker_invariant() {
         let svc = small_service();
-        let a = svc.social_corpus() as *const TokenCorpus;
+        let snap = svc.snapshot();
+        let a = snap.social_corpus() as *const TokenCorpus;
         let _ = svc.query(&Query::OutageTimeline);
-        let b = svc.social_corpus() as *const TokenCorpus;
-        assert_eq!(a, b, "corpus must build once per service");
+        let b = snap.social_corpus() as *const TokenCorpus;
+        assert_eq!(a, b, "corpus must build once per generation");
         // A service built with a different worker budget holds the same
         // corpus content.
         let single = UsaasService::build(
             generate(&DatasetConfig::small(50, 21)),
-            svc.forum().clone(),
+            snap.forum().clone(),
             1,
         );
-        let (c1, c4) = (single.social_corpus(), svc.social_corpus());
+        let single_snap = single.snapshot();
+        let (c1, c4) = (single_snap.social_corpus(), snap.social_corpus());
         assert_eq!(c1.docs(), c4.docs());
         assert_eq!(c1.total_tokens(), c4.total_tokens());
         for i in 0..c1.docs() {
