@@ -6,10 +6,19 @@
 //! trait names and no-op derives so those annotations compile without
 //! crates.io access. The traits are blanket-implemented: any bound like
 //! `T: Serialize` is satisfied trivially.
+//!
+//! The [`bin`] module is a real (not stubbed) little-endian binary codec
+//! used by the `usaas::persist` durable-snapshot/journal subsystem: a
+//! bounds-checked [`bin::Writer`]/[`bin::Reader`] pair over plain byte
+//! buffers plus the CRC-32 the on-disk records are checksummed with. It is
+//! additive — the marker traits above are untouched, so existing
+//! `#[derive(Serialize)]` annotations keep compiling unchanged.
 
 #![forbid(unsafe_code)]
 
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod bin;
 
 /// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
 pub trait Serialize {}

@@ -8,6 +8,26 @@
 use crate::error::AnalyticsError;
 use serde::{Deserialize, Serialize};
 
+/// Total-order comparator for **descending** rankings with NaNs sorted
+/// last.
+///
+/// `partial_cmp(..).unwrap_or(Ordering::Equal)` is the classic NaN trap:
+/// it is not a total order (NaN compares "equal" to everything), so a
+/// single NaN score makes `sort_by` order-dependent — the same inputs can
+/// rank differently across runs or slice layouts. This comparator is a
+/// genuine total order built on [`f64::total_cmp`]: finite values (and
+/// infinities) sort descending, every NaN — any payload, either sign —
+/// sorts after all non-NaN values, and NaNs tie among themselves, so
+/// rankings are deterministic regardless of NaN inputs.
+pub fn desc_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
 /// Arithmetic mean. Errors on empty input.
 pub fn mean(xs: &[f64]) -> Result<f64, AnalyticsError> {
     if xs.is_empty() {
@@ -169,6 +189,49 @@ mod tests {
         assert_eq!(s.mean, mean(&xs).unwrap());
         assert_eq!(s.median, median(&xs).unwrap());
         assert_eq!(s.p95, percentile(&xs, 95.0).unwrap());
+    }
+
+    #[test]
+    fn desc_nan_last_is_total_and_sorts_nans_last() {
+        let qnan = f64::NAN;
+        let neg_nan = f64::from_bits(0xFFF8_0000_0000_0001);
+        let payload_nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut xs = vec![
+            1.0,
+            qnan,
+            3.0,
+            neg_nan,
+            f64::INFINITY,
+            -0.0,
+            payload_nan,
+            -2.0,
+        ];
+        xs.sort_by(|a, b| desc_nan_last(*a, *b));
+        // Non-NaN prefix is strictly descending; every NaN is at the tail.
+        let non_nan: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        assert_eq!(non_nan, vec![f64::INFINITY, 3.0, 1.0, -0.0, -2.0]);
+        assert!(
+            xs[5..].iter().all(|x| x.is_nan()),
+            "NaNs must sort last: {xs:?}"
+        );
+        // Deterministic regardless of initial order (the partial_cmp trap).
+        let mut ys = [
+            neg_nan,
+            -2.0,
+            payload_nan,
+            -0.0,
+            f64::INFINITY,
+            3.0,
+            qnan,
+            1.0,
+        ];
+        ys.sort_by(|a, b| desc_nan_last(*a, *b));
+        assert_eq!(
+            xs.iter().map(|x| x.is_nan()).collect::<Vec<_>>(),
+            ys.iter().map(|x| x.is_nan()).collect::<Vec<_>>()
+        );
+        let ys_non_nan: Vec<f64> = ys.iter().copied().filter(|x| !x.is_nan()).collect();
+        assert_eq!(non_nan, ys_non_nan);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod timeseries;
 pub use binning::{BinSpec, BinnedCurve, Binner};
 pub use changepoint::{binary_segmentation, most_prominent_shift, ChangePoint};
 pub use correlation::{kendall_tau, pearson, spearman};
-pub use descriptive::{mean, median, percentile, stddev, variance, Summary};
+pub use descriptive::{desc_nan_last, mean, median, percentile, stddev, variance, Summary};
 pub use dist::{Dist, Sampler};
 pub use error::AnalyticsError;
 pub use histogram::Histogram;

@@ -1,0 +1,85 @@
+//! Persistence round-trip bench: what durability costs.
+//!
+//! Three phases over the same persisted service directory:
+//!
+//! * `checkpoint` — encode + checksum + atomic-rename a full snapshot of
+//!   the service (dataset, forum, frame, store, health).
+//! * `recover_snapshot` — `open_or_recover` of a directory whose journal
+//!   is fully covered by the snapshot: pure snapshot decode + validation.
+//! * `recover_replay` — `open_or_recover` of a directory holding only the
+//!   epoch-0 snapshot plus a journaled append: decode plus the journal
+//!   replay path (re-normalise, extend the frame, commit).
+//!
+//! Run with `BENCH_JSON=results/BENCH_persist.json` (or via
+//! `scripts/bench_json.sh`) to export the medians.
+
+use analytics::time::Date;
+use conference::dataset::{generate, DatasetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use social::generator::{generate as gen_forum, ForumConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use usaas::UsaasService;
+
+/// Calls in the base dataset per service.
+const N: usize = 800;
+/// Worker threads for builds and recovery.
+const WORKERS: usize = 4;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("usaas-bench-persist-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A persisted service with one journaled append on top of the epoch-0
+/// snapshot; `checkpointed` controls whether a second snapshot covers it.
+fn persisted_dir(tag: &str, checkpointed: bool) -> PathBuf {
+    let dir = scratch(tag);
+    let dataset = generate(&DatasetConfig::small(N, 17));
+    let forum = gen_forum(&ForumConfig {
+        authors: 400,
+        end: Date::from_ymd(2021, 6, 30).unwrap(),
+        ..ForumConfig::default()
+    });
+    let svc = UsaasService::build_persistent(dataset, forum, WORKERS, &dir).unwrap();
+    let delta = generate(&DatasetConfig::small(N / 4, 99));
+    svc.append_batch(delta.sessions, Vec::new());
+    if checkpointed {
+        svc.checkpoint().unwrap();
+    }
+    dir
+}
+
+fn bench_persist_roundtrip(c: &mut Criterion) {
+    let snap_dir = persisted_dir("snap", true);
+    let replay_dir = persisted_dir("replay", false);
+    let svc = UsaasService::open_or_recover(&snap_dir, WORKERS).unwrap();
+
+    let mut group = c.benchmark_group("persist_roundtrip");
+    group.sample_size(10);
+    group.bench_function("checkpoint", |b| {
+        b.iter(|| black_box(svc.checkpoint().unwrap()))
+    });
+    group.bench_function("recover_snapshot", |b| {
+        b.iter(|| {
+            let recovered = UsaasService::open_or_recover(&snap_dir, WORKERS).unwrap();
+            black_box(recovered.epoch())
+        })
+    });
+    group.bench_function("recover_replay", |b| {
+        b.iter(|| {
+            let recovered = UsaasService::open_or_recover(&replay_dir, WORKERS).unwrap();
+            black_box(recovered.epoch())
+        })
+    });
+    group.finish();
+
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let _ = std::fs::remove_dir_all(&replay_dir);
+}
+
+criterion_group!(benches, bench_persist_roundtrip);
+criterion_main!(benches);

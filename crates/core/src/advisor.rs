@@ -130,11 +130,7 @@ impl TrafficAdvisor {
         for metric in NetworkMetric::ALL {
             out.push(self.score(dataset, metric, engagement)?);
         }
-        out.sort_by(|a, b| {
-            b.expected_lift
-                .partial_cmp(&a.expected_lift)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        out.sort_by(|a, b| analytics::desc_nan_last(a.expected_lift, b.expected_lift));
         Ok(out)
     }
 }
@@ -216,5 +212,35 @@ mod tests {
                 EngagementMetric::MicOn
             )
             .is_err());
+    }
+
+    /// Regression for the intervention ranking sort: a NaN expected lift
+    /// (e.g. an empty degraded range making the lift 0/0) must rank last
+    /// with the finite entries still descending — the old
+    /// `partial_cmp(..).unwrap_or(Equal)` comparator made the order
+    /// depend on input position.
+    #[test]
+    fn intervention_ranking_is_nan_safe() {
+        let mk = |expected_lift: f64| Intervention {
+            metric: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            per_session_lift: 0.0,
+            affected_fraction: 0.0,
+            expected_lift,
+        };
+        let mut out = [mk(2.0), mk(f64::NAN), mk(7.0), mk(0.5)];
+        out.sort_by(|a, b| analytics::desc_nan_last(a.expected_lift, b.expected_lift));
+        let lifts: Vec<f64> = out.iter().map(|i| i.expected_lift).collect();
+        assert_eq!(&lifts[..3], &[7.0, 2.0, 0.5]);
+        assert!(lifts[3].is_nan());
+        // Determinism: reversed input gives the same ranking.
+        let mut rev = [mk(0.5), mk(7.0), mk(f64::NAN), mk(2.0)];
+        rev.sort_by(|a, b| analytics::desc_nan_last(a.expected_lift, b.expected_lift));
+        assert_eq!(
+            rev.iter()
+                .map(|i| i.expected_lift.to_bits())
+                .collect::<Vec<_>>(),
+            lifts.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+        );
     }
 }

@@ -316,4 +316,25 @@ mod tests {
         // The corrected value differs (the skew was real).
         assert!((g.raw - g.corrected).abs() > 1e-6, "{g:?}");
     }
+
+    /// Empty inputs must surface as typed errors, never as a division by
+    /// `forum.len() == 0` (the share computation divides by the post
+    /// count, so the `is_empty` guard is what keeps NaN out).
+    #[test]
+    fn empty_inputs_are_typed_errors_not_nan() {
+        let empty = Forum { posts: Vec::new() };
+        assert_eq!(
+            extremity_bias(&empty, 0.10).unwrap_err(),
+            AnalyticsError::Empty
+        );
+        let store = SignalStore::new();
+        assert_eq!(
+            extremity_bias_signals(&store, 0.10).unwrap_err(),
+            AnalyticsError::Empty
+        );
+        // And a zero reference share is the documented INFINITY, not NaN.
+        let bias = extremity_bias(forum(), 0.0).unwrap();
+        assert!(bias.amplification.is_infinite());
+        assert!(bias.forum_strong_share.is_finite());
+    }
 }

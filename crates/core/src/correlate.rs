@@ -450,7 +450,7 @@ pub fn mos_correlations(
         let xs: Vec<f64> = rated.iter().map(|s| s.engagement(metric)).collect();
         out.push((metric, pearson(&xs, &ratings)?));
     }
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| analytics::desc_nan_last(a.1, b.1));
     Ok(out)
 }
 
@@ -494,7 +494,7 @@ pub fn mos_correlations_frame(
         let xs: Vec<f64> = rated.iter().map(|&i| col[i]).collect();
         out.push((metric, pearson(&xs, &ratings)?));
     }
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| analytics::desc_nan_last(a.1, b.1));
     Ok(out)
 }
 
@@ -754,6 +754,34 @@ mod tests {
         assert!(
             mean_drop > 0.0 && p95_drop > 0.0,
             "both aggregations decline"
+        );
+    }
+
+    /// Regression for the correlation ranking sorts (`mos_correlations` and
+    /// its frame twin): a NaN coefficient must sort after every real one
+    /// and the result must not depend on where the NaN sat in the input —
+    /// the old `partial_cmp(..).unwrap_or(Equal)` comparator was not a
+    /// total order, so `sort_by` could leave a NaN anywhere.
+    #[test]
+    fn correlation_ranking_is_nan_safe() {
+        let mut out: Vec<(EngagementMetric, f64)> = vec![
+            (EngagementMetric::Presence, f64::NAN),
+            (EngagementMetric::MicOn, 0.9),
+            (EngagementMetric::CamOn, -0.2),
+        ];
+        out.sort_by(|a, b| analytics::desc_nan_last(a.1, b.1));
+        assert_eq!(out[0].0, EngagementMetric::MicOn);
+        assert_eq!(out[1].0, EngagementMetric::CamOn);
+        assert!(out[2].1.is_nan());
+        let mut rev: Vec<(EngagementMetric, f64)> = vec![
+            (EngagementMetric::CamOn, -0.2),
+            (EngagementMetric::Presence, f64::NAN),
+            (EngagementMetric::MicOn, 0.9),
+        ];
+        rev.sort_by(|a, b| analytics::desc_nan_last(a.1, b.1));
+        assert_eq!(
+            out.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+            rev.iter().map(|(m, _)| *m).collect::<Vec<_>>()
         );
     }
 }

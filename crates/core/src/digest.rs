@@ -276,11 +276,7 @@ impl DigestBuilder {
             .ok_or(AnalyticsError::Empty)?;
         let series = self.fulcrum.analyze(forum, first, last)?;
         let mut outages = self.detector.detect(forum)?;
-        outages.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        outages.sort_by(|a, b| analytics::desc_nan_last(a.score, b.score));
         let emerging = self
             .miner
             .mine(forum)?
@@ -342,6 +338,7 @@ pub fn platform_gaps(dataset: &CallDataset) -> Result<Vec<TestedGap>, AnalyticsE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use analytics::time::Date;
     use conference::dataset::{generate, DatasetConfig};
     use social::generator::{generate as gen_forum, ForumConfig};
     use std::sync::OnceLock;
@@ -463,5 +460,24 @@ mod tests {
         assert!(DigestBuilder::default()
             .build(dataset, &Forum::default())
             .is_err());
+    }
+
+    /// Regression for the outage ranking sort: a NaN score (e.g. from a
+    /// degenerate z-score) must sort last and leave the finite ranking
+    /// deterministic, instead of silently scrambling it the way the old
+    /// `partial_cmp(..).unwrap_or(Equal)` comparator could.
+    #[test]
+    fn outage_ranking_is_nan_safe() {
+        let day = Date::from_ymd(2022, 1, 7).unwrap();
+        let mk = |score: f64| DetectedOutage {
+            date: day,
+            occurrences: 1.0,
+            score,
+        };
+        let mut outages = [mk(f64::NAN), mk(3.0), mk(f64::NAN), mk(9.0), mk(1.0)];
+        outages.sort_by(|a, b| analytics::desc_nan_last(a.score, b.score));
+        let scores: Vec<f64> = outages.iter().map(|o| o.score).collect();
+        assert_eq!(&scores[..3], &[9.0, 3.0, 1.0]);
+        assert!(scores[3..].iter().all(|s| s.is_nan()));
     }
 }

@@ -214,6 +214,99 @@ impl SessionFrame {
             .filter(|&i| self.rating[i].is_some())
             .collect()
     }
+
+    /// Serialise every column into `w` (snapshot format). Floats are
+    /// written as raw IEEE-754 bits, so a decoded frame is bit-identical —
+    /// the property the recovery invariant rests on.
+    pub(crate) fn encode_bin(&self, w: &mut serde::bin::Writer) {
+        w.put_u64(self.len as u64);
+        for col in &self.net_mean {
+            for &v in col {
+                w.put_f64(v);
+            }
+        }
+        for col in &self.net_p95 {
+            for &v in col {
+                w.put_f64(v);
+            }
+        }
+        for col in &self.engagement {
+            for &v in col {
+                w.put_f64(v);
+            }
+        }
+        for &p in &self.platform {
+            w.put_u8(crate::persist::platform_tag(p));
+        }
+        for &a in &self.access {
+            w.put_u8(crate::persist::access_tag(a));
+        }
+        for &d in &self.date {
+            w.put_i32(d.days());
+        }
+        for &rating in &self.rating {
+            match rating {
+                None => w.put_u8(0xFF),
+                Some(x) => w.put_u8(x),
+            }
+        }
+        w.put_bytes(&self.ref_mask);
+    }
+
+    /// Decode a frame previously written by [`SessionFrame::encode_bin`],
+    /// validating every enum tag and the column lengths.
+    pub(crate) fn decode_bin(
+        r: &mut serde::bin::Reader<'_>,
+    ) -> Result<SessionFrame, serde::bin::Error> {
+        let len = r.get_u64()? as usize;
+        let mut frame = SessionFrame::with_capacity(len);
+        frame.len = len;
+        for col in &mut frame.net_mean {
+            for _ in 0..len {
+                col.push(r.get_f64()?);
+            }
+        }
+        for col in &mut frame.net_p95 {
+            for _ in 0..len {
+                col.push(r.get_f64()?);
+            }
+        }
+        for col in &mut frame.engagement {
+            for _ in 0..len {
+                col.push(r.get_f64()?);
+            }
+        }
+        for _ in 0..len {
+            frame
+                .platform
+                .push(crate::persist::platform_from_tag(r.get_u8()?)?);
+        }
+        for _ in 0..len {
+            frame
+                .access
+                .push(crate::persist::access_from_tag(r.get_u8()?)?);
+        }
+        for _ in 0..len {
+            frame.date.push(Date::from_days(r.get_i32()?));
+        }
+        for _ in 0..len {
+            frame.rating.push(match r.get_u8()? {
+                0xFF => None,
+                x => Some(x),
+            });
+        }
+        let masks = r.get_bytes()?;
+        if masks.len() != len {
+            return Err(serde::bin::Error::Corrupt(
+                "ref-mask column length disagrees with frame length",
+            ));
+        }
+        if masks.iter().any(|m| *m > ALL_IN_REFERENCE) {
+            return Err(serde::bin::Error::Corrupt("ref-mask has unknown bits set"));
+        }
+        frame.ref_mask = masks.to_vec();
+        Ok(frame)
+    }
 }
 
 /// Split `[0, len)` into up to `workers` contiguous near-equal ranges (always
@@ -377,6 +470,50 @@ mod tests {
             let total: usize = ranges.iter().map(|r| r.len()).sum();
             assert_eq!(total, len);
         }
+    }
+
+    #[test]
+    fn frame_round_trips_bit_identically() {
+        let ds = dataset();
+        let frame = SessionFrame::from_dataset(ds, 4);
+        let mut w = serde::bin::Writer::new();
+        frame.encode_bin(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = serde::bin::Reader::new(&bytes);
+        let back = SessionFrame::decode_bin(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.len(), frame.len());
+        for m in NetworkMetric::ALL {
+            let (a, b) = (frame.net_mean(m), back.net_mean(m));
+            assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+            let (a, b) = (frame.net_p95(m), back.net_p95(m));
+            assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+        for m in EngagementMetric::ALL {
+            let (a, b) = (frame.engagement(m), back.engagement(m));
+            assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+        assert_eq!(back.platform(), frame.platform());
+        assert_eq!(back.access(), frame.access());
+        assert_eq!(back.date(), frame.date());
+        assert_eq!(back.rating(), frame.rating());
+        assert_eq!(back.ref_mask, frame.ref_mask);
+
+        // Corrupt tag bytes must surface as decode errors, not panics.
+        let mut broken = bytes.clone();
+        let platform_col = 8 + frame.len() * 8 * 11;
+        broken[platform_col] = 0x7F;
+        assert!(SessionFrame::decode_bin(&mut serde::bin::Reader::new(&broken)).is_err());
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let frame = SessionFrame::default();
+        let mut w = serde::bin::Writer::new();
+        frame.encode_bin(&mut w);
+        let bytes = w.into_bytes();
+        let back = SessionFrame::decode_bin(&mut serde::bin::Reader::new(&bytes)).unwrap();
+        assert!(back.is_empty());
     }
 
     #[test]

@@ -131,8 +131,36 @@ pub enum QuarantineReason {
     PoisonPill,
 }
 
+impl QuarantineReason {
+    /// Stable on-disk tag of the reason — part of the persist layer's
+    /// journal format, so the mapping must never be reordered (append new
+    /// variants with new tags instead).
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            QuarantineReason::RetriesExhausted => 0,
+            QuarantineReason::PermanentError => 1,
+            QuarantineReason::PoisonPill => 2,
+        }
+    }
+
+    /// Inverse of [`QuarantineReason::tag`]; `None` on an unknown tag
+    /// (corrupt journal).
+    pub(crate) fn from_tag(tag: u8) -> Option<QuarantineReason> {
+        match tag {
+            0 => Some(QuarantineReason::RetriesExhausted),
+            1 => Some(QuarantineReason::PermanentError),
+            2 => Some(QuarantineReason::PoisonPill),
+            _ => None,
+        }
+    }
+}
+
 /// One dead-lettered item: where it came from, why it was dropped, and a
 /// description of the payload for offline inspection.
+///
+/// Dead letters are durable: the service's journal records each run's
+/// quarantine set alongside the accepted items, so they survive a restart
+/// and remain inspectable after [`crate::service::UsaasService::open_or_recover`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuarantineEntry {
     /// Index of the source in the ingestion run.

@@ -23,6 +23,7 @@ pub mod frame;
 pub mod fulcrum;
 pub mod ingest;
 pub mod outage;
+pub mod persist;
 pub mod predict;
 pub mod report;
 pub mod service;
@@ -51,6 +52,7 @@ pub use ingest::{
     QuarantineReason, SourceHealth,
 };
 pub use outage::{DetectedOutage, DetectionScore, OutageDetector};
+pub use persist::{journal_record_offsets, PersistError, JOURNAL_FILE};
 pub use predict::{
     train_and_evaluate, train_and_evaluate_frame, Evaluation, FeatureSet, MosPredictor,
 };

@@ -188,6 +188,13 @@ impl OutageDetector {
     }
 
     /// Score detections against ground truth (± 1 day matching window).
+    ///
+    /// Empty-input conventions (documented so the 0/0 cases are policy,
+    /// not accident): with no `detections`, precision is **0.0** — an
+    /// empty detector earns no credit rather than a NaN; with no major
+    /// outages in `truth`, major recall is **1.0** — there was nothing to
+    /// miss. Both branches are guarded below, so neither ratio ever
+    /// divides by zero.
     pub fn score_against(&self, detections: &[DetectedOutage], truth: &[Outage]) -> DetectionScore {
         let matches_truth =
             |d: &DetectedOutage| truth.iter().any(|o| (o.date.days_since(d.date)).abs() <= 1);
@@ -248,7 +255,7 @@ mod tests {
         let det = OutageDetector::default();
         let series = det.keyword_series(forum()).unwrap();
         let mut days: Vec<(Date, f64)> = series.iter().collect();
-        days.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        days.sort_by(|a, b| analytics::desc_nan_last(a.1, b.1));
         let top2: Vec<Date> = days[..2].iter().map(|(d, _)| *d).collect();
         assert!(
             top2.contains(&d(2022, 1, 7)) && top2.contains(&d(2022, 8, 30)),
@@ -341,5 +348,45 @@ mod tests {
         let s = det.score_against(&[], &truth);
         assert_eq!(s.precision, 0.0);
         assert_eq!(s.missed_major, 3);
+    }
+
+    /// The empty-input conventions of [`OutageDetector::score_against`]
+    /// are policy: no detections ⇒ precision 0.0 (no credit), no major
+    /// outages ⇒ recall 1.0 (nothing to miss). Neither path may produce
+    /// NaN from a 0/0.
+    #[test]
+    fn score_against_empty_inputs_are_finite() {
+        use starlink::outages::OutageCause;
+        let det = OutageDetector::default();
+        let truth = vec![Outage {
+            date: d(2022, 1, 7),
+            severity: 0.9,
+            countries: 20,
+            duration_hours: 5.0,
+            reported_in_press: true,
+            cause: OutageCause::GroundSegment,
+        }];
+        // No detections against real truth: precision is 0.0, not NaN.
+        let s = det.score_against(&[], &truth);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.major_recall, 0.0); // the one major outage was missed
+        assert_eq!(s.missed_major, 1);
+        // Detections against truth with no majors: recall is 1.0, not NaN.
+        let minor = vec![Outage {
+            severity: 0.1,
+            ..truth[0]
+        }];
+        let dets = vec![DetectedOutage {
+            date: d(2022, 1, 7),
+            occurrences: 3.0,
+            score: 4.0,
+        }];
+        let s = det.score_against(&dets, &minor);
+        assert_eq!(s.major_recall, 1.0);
+        assert!(s.precision.is_finite());
+        // Both empty: every field finite, nothing panics.
+        let s = det.score_against(&[], &[]);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.major_recall, 1.0);
     }
 }

@@ -1,0 +1,1351 @@
+//! Durable snapshot + journal persistence for the USaaS service.
+//!
+//! The paper's §5 vision is a *long-running* service accumulating user
+//! signals over months — which is only real if a restart keeps them. This
+//! module gives [`crate::service::UsaasService`] a crash-safe on-disk
+//! life:
+//!
+//! * **Snapshots** (`snapshot-<seq>.snap`): a versioned, checksummed dump
+//!   of the full service state — the dataset and forum, the columnar
+//!   [`crate::frame::SessionFrame`], the interned
+//!   [`sentiment::corpus::TokenCorpus`] (when built), the
+//!   [`crate::store::SignalStore`] day by day, the accumulated health
+//!   totals, and the dead-letter quarantine. Written with the classic
+//!   atomic protocol: encode to `snapshot.tmp`, `fsync`, rename into
+//!   place, `fsync` the directory. A reader never observes a
+//!   half-written snapshot; a crash mid-write leaves the previous
+//!   snapshot untouched.
+//! * **Journal** (`journal.log`): an append-only log of committed ingest
+//!   batches. Every [`crate::service::UsaasService::ingest_append`] run
+//!   writes one framed record — accepted sessions/posts plus the run's
+//!   quarantine and health deltas — *before* the in-memory commit, so
+//!   recovery is `latest valid snapshot + replay of the journal tail`.
+//!
+//! Every snapshot and every journal record carries a CRC-32 over its
+//! payload. Corruption degrades instead of panicking: a torn or corrupt
+//! journal tail is truncated back to the last valid record, a corrupt
+//! snapshot falls back to the previous one, and each repair is reported
+//! as a warning through `ServiceHealth::recovery_warnings`.
+//!
+//! The byte-level conventions live in [`serde::bin`] (little-endian fixed
+//! width, `f64` as IEEE-754 bits, `u64`-length-prefixed strings), chosen
+//! so floats — NaN payloads and signed zeros included — survive the disk
+//! **bit-identically**. That is what makes the recovery invariant
+//! checkable: a recovered service answers every query byte-for-byte like
+//! the service that never crashed (pinned by `tests/persist_recovery.rs`).
+
+use crate::frame::SessionFrame;
+use crate::ingest::{QuarantineEntry, QuarantineReason};
+use crate::signals::{ExplicitSignal, ImplicitSignal, NetworkHint, Payload, Signal, SocialSignal};
+use crate::store::SignalStore;
+use analytics::time::Date;
+use conference::platform::Platform;
+use conference::records::SessionRecord;
+use netsim::access::AccessType;
+use netsim::sampler::SessionNetworkStats;
+use ocr::report::Provider;
+use sentiment::analyzer::SentimentScores;
+use sentiment::corpus::TokenCorpus;
+use serde::bin::{self, Reader, Writer};
+use social::post::{Post, PostTopic, Screenshot, SentimentClass};
+use starlink::speedtest::SpeedTestResult;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File-name prefix of snapshot files; the number is the journal sequence
+/// the snapshot includes (`snapshot-<seq>.snap`).
+const SNAPSHOT_PREFIX: &str = "snapshot-";
+/// Snapshot file extension.
+const SNAPSHOT_SUFFIX: &str = ".snap";
+/// Temp name a snapshot is encoded under before the atomic rename.
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+/// Journal file name inside a persist directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+/// How many snapshots to keep; older ones are pruned after a checkpoint.
+const SNAPSHOTS_KEPT: usize = 2;
+
+/// Magic leading every snapshot file.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"USAASNP\x01";
+/// Snapshot format version.
+const SNAPSHOT_VERSION: u32 = 1;
+/// Magic leading every journal record frame ("UJRL", little-endian).
+const RECORD_MAGIC: u32 = 0x4C52_4A55;
+/// Bytes of a journal record frame header: magic u32 + len u64 + crc u32.
+const RECORD_HEADER: u64 = 16;
+
+/// Persistence failure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A file failed structural validation (bad magic/version/checksum or
+    /// a corrupt field); names the file and the violation.
+    Corrupt {
+        /// File that failed to decode.
+        file: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// No loadable snapshot exists in the directory.
+    NoSnapshot,
+    /// The service was built without persistence attached.
+    NotPersistent,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist I/O error: {e}"),
+            PersistError::Corrupt { file, detail } => write!(f, "corrupt {file}: {detail}"),
+            PersistError::NoSnapshot => write!(f, "no loadable snapshot in the persist directory"),
+            PersistError::NotPersistent => write!(f, "service has no persistence attached"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags: the stable on-disk numbering of every enum in the format.
+// Append-only — never reorder or reuse a tag.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn platform_tag(p: Platform) -> u8 {
+    match p {
+        Platform::WindowsPc => 0,
+        Platform::MacPc => 1,
+        Platform::AndroidMobile => 2,
+        Platform::IosMobile => 3,
+    }
+}
+
+pub(crate) fn platform_from_tag(tag: u8) -> Result<Platform, bin::Error> {
+    Ok(match tag {
+        0 => Platform::WindowsPc,
+        1 => Platform::MacPc,
+        2 => Platform::AndroidMobile,
+        3 => Platform::IosMobile,
+        _ => return Err(bin::Error::Corrupt("unknown platform tag")),
+    })
+}
+
+pub(crate) fn access_tag(a: AccessType) -> u8 {
+    match a {
+        AccessType::Fiber => 0,
+        AccessType::Cable => 1,
+        AccessType::Dsl => 2,
+        AccessType::Wifi => 3,
+        AccessType::Lte => 4,
+        AccessType::SatelliteLeo => 5,
+        AccessType::LongHaul => 6,
+    }
+}
+
+pub(crate) fn access_from_tag(tag: u8) -> Result<AccessType, bin::Error> {
+    Ok(match tag {
+        0 => AccessType::Fiber,
+        1 => AccessType::Cable,
+        2 => AccessType::Dsl,
+        3 => AccessType::Wifi,
+        4 => AccessType::Lte,
+        5 => AccessType::SatelliteLeo,
+        6 => AccessType::LongHaul,
+        _ => return Err(bin::Error::Corrupt("unknown access tag")),
+    })
+}
+
+fn provider_tag(p: Provider) -> u8 {
+    match p {
+        Provider::Ookla => 0,
+        Provider::Fast => 1,
+        Provider::StarlinkApp => 2,
+        Provider::MLab => 3,
+    }
+}
+
+fn provider_from_tag(tag: u8) -> Result<Provider, bin::Error> {
+    Ok(match tag {
+        0 => Provider::Ookla,
+        1 => Provider::Fast,
+        2 => Provider::StarlinkApp,
+        3 => Provider::MLab,
+        _ => return Err(bin::Error::Corrupt("unknown provider tag")),
+    })
+}
+
+fn topic_tag(t: PostTopic) -> u8 {
+    match t {
+        PostTopic::Experience => 0,
+        PostTopic::SpeedShare => 1,
+        PostTopic::Outage => 2,
+        PostTopic::Availability => 3,
+        PostTopic::Delivery => 4,
+        PostTopic::Roaming => 5,
+        PostTopic::Pricing => 6,
+        PostTopic::Constellation => 7,
+        PostTopic::Hardware => 8,
+        PostTopic::General => 9,
+    }
+}
+
+fn topic_from_tag(tag: u8) -> Result<PostTopic, bin::Error> {
+    Ok(match tag {
+        0 => PostTopic::Experience,
+        1 => PostTopic::SpeedShare,
+        2 => PostTopic::Outage,
+        3 => PostTopic::Availability,
+        4 => PostTopic::Delivery,
+        5 => PostTopic::Roaming,
+        6 => PostTopic::Pricing,
+        7 => PostTopic::Constellation,
+        8 => PostTopic::Hardware,
+        9 => PostTopic::General,
+        _ => return Err(bin::Error::Corrupt("unknown topic tag")),
+    })
+}
+
+fn sentiment_class_tag(c: SentimentClass) -> u8 {
+    match c {
+        SentimentClass::StrongPositive => 0,
+        SentimentClass::MildPositive => 1,
+        SentimentClass::Neutral => 2,
+        SentimentClass::MildNegative => 3,
+        SentimentClass::StrongNegative => 4,
+    }
+}
+
+fn sentiment_class_from_tag(tag: u8) -> Result<SentimentClass, bin::Error> {
+    Ok(match tag {
+        0 => SentimentClass::StrongPositive,
+        1 => SentimentClass::MildPositive,
+        2 => SentimentClass::Neutral,
+        3 => SentimentClass::MildNegative,
+        4 => SentimentClass::StrongNegative,
+        _ => return Err(bin::Error::Corrupt("unknown sentiment-class tag")),
+    })
+}
+
+fn network_hint_tag(h: NetworkHint) -> u8 {
+    match h {
+        NetworkHint::Terrestrial => 0,
+        NetworkHint::SatelliteLeo => 1,
+        NetworkHint::Unknown => 2,
+    }
+}
+
+fn network_hint_from_tag(tag: u8) -> Result<NetworkHint, bin::Error> {
+    Ok(match tag {
+        0 => NetworkHint::Terrestrial,
+        1 => NetworkHint::SatelliteLeo,
+        2 => NetworkHint::Unknown,
+        _ => return Err(bin::Error::Corrupt("unknown network-hint tag")),
+    })
+}
+
+/// Resolve a decoded country code back to the `&'static str` the domain
+/// types carry: interned against the generator's country list, leaked as
+/// a one-off static for codes outside it (bounded by the distinct codes
+/// in a snapshot, not by signal count).
+fn intern_country(code: &str) -> &'static str {
+    social::authors::COUNTRIES
+        .iter()
+        .find(|c| **c == code)
+        .copied()
+        .unwrap_or_else(|| Box::leak(code.to_string().into_boxed_str()))
+}
+
+// ---------------------------------------------------------------------------
+// Domain-type codecs.
+// ---------------------------------------------------------------------------
+
+fn put_date(w: &mut Writer, d: Date) {
+    w.put_i32(d.days());
+}
+
+fn get_date(r: &mut Reader<'_>) -> Result<Date, bin::Error> {
+    Ok(Date::from_days(r.get_i32()?))
+}
+
+fn put_summary(w: &mut Writer, s: &analytics::Summary) {
+    w.put_usize(s.count);
+    w.put_f64(s.min);
+    w.put_f64(s.mean);
+    w.put_f64(s.median);
+    w.put_f64(s.p95);
+    w.put_f64(s.max);
+}
+
+fn get_summary(r: &mut Reader<'_>) -> Result<analytics::Summary, bin::Error> {
+    Ok(analytics::Summary {
+        count: r.get_usize()?,
+        min: r.get_f64()?,
+        mean: r.get_f64()?,
+        median: r.get_f64()?,
+        p95: r.get_f64()?,
+        max: r.get_f64()?,
+    })
+}
+
+fn put_net_stats(w: &mut Writer, n: &SessionNetworkStats) {
+    put_summary(w, &n.latency_ms);
+    put_summary(w, &n.loss_pct);
+    put_summary(w, &n.jitter_ms);
+    put_summary(w, &n.bandwidth_mbps);
+    w.put_usize(n.ticks);
+}
+
+fn get_net_stats(r: &mut Reader<'_>) -> Result<SessionNetworkStats, bin::Error> {
+    Ok(SessionNetworkStats {
+        latency_ms: get_summary(r)?,
+        loss_pct: get_summary(r)?,
+        jitter_ms: get_summary(r)?,
+        bandwidth_mbps: get_summary(r)?,
+        ticks: r.get_usize()?,
+    })
+}
+
+fn put_option_u8(w: &mut Writer, v: Option<u8>) {
+    match v {
+        None => w.put_u8(0),
+        Some(x) => {
+            w.put_u8(1);
+            w.put_u8(x);
+        }
+    }
+}
+
+fn get_option_u8(r: &mut Reader<'_>) -> Result<Option<u8>, bin::Error> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.get_u8()?)),
+        _ => Err(bin::Error::Corrupt("option tag not 0/1")),
+    }
+}
+
+pub(crate) fn put_session(w: &mut Writer, s: &SessionRecord) {
+    w.put_u64(s.call_id);
+    w.put_u64(s.user_id);
+    put_date(w, s.date);
+    w.put_u8(s.start_hour);
+    w.put_u8(platform_tag(s.platform));
+    w.put_u8(access_tag(s.access));
+    w.put_u16(s.meeting_size);
+    w.put_u32(s.scheduled_ticks);
+    w.put_u32(s.attended_ticks);
+    put_net_stats(w, &s.net);
+    w.put_f64(s.presence_pct);
+    w.put_f64(s.mic_on_pct);
+    w.put_f64(s.cam_on_pct);
+    w.put_bool(s.left_early);
+    put_option_u8(w, s.rating);
+    w.put_f64(s.latent_quality);
+    w.put_bool(s.conditioned);
+}
+
+pub(crate) fn get_session(r: &mut Reader<'_>) -> Result<SessionRecord, bin::Error> {
+    Ok(SessionRecord {
+        call_id: r.get_u64()?,
+        user_id: r.get_u64()?,
+        date: get_date(r)?,
+        start_hour: r.get_u8()?,
+        platform: platform_from_tag(r.get_u8()?)?,
+        access: access_from_tag(r.get_u8()?)?,
+        meeting_size: r.get_u16()?,
+        scheduled_ticks: r.get_u32()?,
+        attended_ticks: r.get_u32()?,
+        net: get_net_stats(r)?,
+        presence_pct: r.get_f64()?,
+        mic_on_pct: r.get_f64()?,
+        cam_on_pct: r.get_f64()?,
+        left_early: r.get_bool()?,
+        rating: get_option_u8(r)?,
+        latent_quality: r.get_f64()?,
+        conditioned: r.get_bool()?,
+    })
+}
+
+fn put_speedtest(w: &mut Writer, t: &SpeedTestResult) {
+    put_date(w, t.date);
+    w.put_f64(t.downlink_mbps);
+    w.put_f64(t.uplink_mbps);
+    w.put_f64(t.latency_ms);
+}
+
+fn get_speedtest(r: &mut Reader<'_>) -> Result<SpeedTestResult, bin::Error> {
+    Ok(SpeedTestResult {
+        date: get_date(r)?,
+        downlink_mbps: r.get_f64()?,
+        uplink_mbps: r.get_f64()?,
+        latency_ms: r.get_f64()?,
+    })
+}
+
+pub(crate) fn put_post(w: &mut Writer, p: &Post) {
+    w.put_u64(p.id);
+    put_date(w, p.date);
+    w.put_u64(p.author_id);
+    w.put_str(p.country);
+    w.put_str(&p.title);
+    w.put_str(&p.body);
+    w.put_u32(p.upvotes);
+    w.put_u32(p.comments);
+    match &p.screenshot {
+        None => w.put_u8(0),
+        Some(shot) => {
+            w.put_u8(1);
+            w.put_str(&shot.ocr_text);
+            w.put_u8(provider_tag(shot.provider));
+            put_speedtest(w, &shot.truth);
+        }
+    }
+    w.put_u8(topic_tag(p.topic));
+    w.put_u8(sentiment_class_tag(p.intended));
+}
+
+pub(crate) fn get_post(r: &mut Reader<'_>) -> Result<Post, bin::Error> {
+    Ok(Post {
+        id: r.get_u64()?,
+        date: get_date(r)?,
+        author_id: r.get_u64()?,
+        country: intern_country(r.get_str()?),
+        title: r.get_str()?.to_string(),
+        body: r.get_str()?.to_string(),
+        upvotes: r.get_u32()?,
+        comments: r.get_u32()?,
+        screenshot: match r.get_u8()? {
+            0 => None,
+            1 => Some(Screenshot {
+                ocr_text: r.get_str()?.to_string(),
+                provider: provider_from_tag(r.get_u8()?)?,
+                truth: get_speedtest(r)?,
+            }),
+            _ => return Err(bin::Error::Corrupt("screenshot option tag not 0/1")),
+        },
+        topic: topic_from_tag(r.get_u8()?)?,
+        intended: sentiment_class_from_tag(r.get_u8()?)?,
+    })
+}
+
+fn put_scores(w: &mut Writer, s: &SentimentScores) {
+    w.put_f64(s.positive);
+    w.put_f64(s.negative);
+    w.put_f64(s.neutral);
+}
+
+fn get_scores(r: &mut Reader<'_>) -> Result<SentimentScores, bin::Error> {
+    Ok(SentimentScores {
+        positive: r.get_f64()?,
+        negative: r.get_f64()?,
+        neutral: r.get_f64()?,
+    })
+}
+
+fn put_signal(w: &mut Writer, s: &Signal) {
+    put_date(w, s.date);
+    w.put_u8(network_hint_tag(s.network));
+    match &s.payload {
+        Payload::Implicit(i) => {
+            w.put_u8(0);
+            put_session(w, &i.session);
+        }
+        Payload::Explicit(e) => {
+            w.put_u8(1);
+            w.put_u8(e.rating);
+            w.put_u64(e.call_id);
+            w.put_u64(e.user_id);
+        }
+        Payload::Social(s) => {
+            w.put_u8(2);
+            w.put_str(&s.text);
+            w.put_u32(s.upvotes);
+            w.put_u32(s.comments);
+            w.put_str(s.country);
+            put_scores(w, &s.sentiment);
+            match &s.screenshot_text {
+                None => w.put_u8(0),
+                Some(t) => {
+                    w.put_u8(1);
+                    w.put_str(t);
+                }
+            }
+        }
+    }
+}
+
+fn get_signal(r: &mut Reader<'_>) -> Result<Signal, bin::Error> {
+    let date = get_date(r)?;
+    let network = network_hint_from_tag(r.get_u8()?)?;
+    let payload = match r.get_u8()? {
+        0 => Payload::Implicit(Box::new(ImplicitSignal {
+            session: get_session(r)?,
+        })),
+        1 => Payload::Explicit(ExplicitSignal {
+            rating: r.get_u8()?,
+            call_id: r.get_u64()?,
+            user_id: r.get_u64()?,
+        }),
+        2 => Payload::Social(SocialSignal {
+            text: r.get_str()?.to_string(),
+            upvotes: r.get_u32()?,
+            comments: r.get_u32()?,
+            country: intern_country(r.get_str()?),
+            sentiment: get_scores(r)?,
+            screenshot_text: match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_str()?.to_string()),
+                _ => return Err(bin::Error::Corrupt("screenshot-text option tag not 0/1")),
+            },
+        }),
+        _ => return Err(bin::Error::Corrupt("unknown payload tag")),
+    };
+    Ok(Signal {
+        date,
+        network,
+        payload,
+    })
+}
+
+fn put_quarantine_entry(w: &mut Writer, q: &QuarantineEntry) {
+    w.put_usize(q.source_id);
+    w.put_str(&q.source);
+    w.put_usize(q.seq);
+    w.put_u8(q.reason.tag());
+    w.put_str(&q.detail);
+    w.put_str(&q.item);
+}
+
+fn get_quarantine_entry(r: &mut Reader<'_>) -> Result<QuarantineEntry, bin::Error> {
+    Ok(QuarantineEntry {
+        source_id: r.get_usize()?,
+        source: r.get_str()?.to_string(),
+        seq: r.get_usize()?,
+        reason: QuarantineReason::from_tag(r.get_u8()?)
+            .ok_or(bin::Error::Corrupt("unknown quarantine-reason tag"))?,
+        detail: r.get_str()?.to_string(),
+        item: r.get_str()?.to_string(),
+    })
+}
+
+fn put_string_list(w: &mut Writer, xs: &[String]) {
+    w.put_u64(xs.len() as u64);
+    for x in xs {
+        w.put_str(x);
+    }
+}
+
+fn get_string_list(r: &mut Reader<'_>) -> Result<Vec<String>, bin::Error> {
+    let n = r.get_len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_str()?.to_string());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot state + file I/O.
+// ---------------------------------------------------------------------------
+
+/// The service's accumulated health as persisted: the counters behind
+/// `ServiceHealth` plus the durable dead-letter quarantine.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PersistedHealth {
+    pub(crate) quarantined: usize,
+    pub(crate) unfed: usize,
+    pub(crate) breaker_trips: usize,
+    pub(crate) open_breakers: Vec<String>,
+    pub(crate) dead_letters: Vec<QuarantineEntry>,
+}
+
+impl PersistedHealth {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.quarantined);
+        w.put_usize(self.unfed);
+        w.put_usize(self.breaker_trips);
+        put_string_list(w, &self.open_breakers);
+        w.put_u64(self.dead_letters.len() as u64);
+        for q in &self.dead_letters {
+            put_quarantine_entry(w, q);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<PersistedHealth, bin::Error> {
+        let quarantined = r.get_usize()?;
+        let unfed = r.get_usize()?;
+        let breaker_trips = r.get_usize()?;
+        let open_breakers = get_string_list(r)?;
+        let n = r.get_len()?;
+        let mut dead_letters = Vec::with_capacity(n);
+        for _ in 0..n {
+            dead_letters.push(get_quarantine_entry(r)?);
+        }
+        Ok(PersistedHealth {
+            quarantined,
+            unfed,
+            breaker_trips,
+            open_breakers,
+            dead_letters,
+        })
+    }
+}
+
+/// Borrowed view of everything a snapshot freezes — encode-side twin of
+/// [`SnapshotState`], so `checkpoint` serialises straight out of the live
+/// service without cloning the dataset.
+pub(crate) struct SnapshotContents<'a> {
+    pub(crate) epoch: u64,
+    /// Journal sequence of the last record already folded into this
+    /// snapshot; replay skips records with `seq <=` this.
+    pub(crate) journal_seq: u64,
+    pub(crate) sessions: &'a [SessionRecord],
+    pub(crate) posts: &'a [Post],
+    pub(crate) frame: &'a SessionFrame,
+    pub(crate) corpus: Option<&'a TokenCorpus>,
+    pub(crate) store: &'a SignalStore,
+    pub(crate) health: &'a PersistedHealth,
+}
+
+/// Owned, decoded snapshot — what recovery starts from.
+pub(crate) struct SnapshotState {
+    pub(crate) epoch: u64,
+    pub(crate) journal_seq: u64,
+    pub(crate) sessions: Vec<SessionRecord>,
+    pub(crate) posts: Vec<Post>,
+    pub(crate) frame: SessionFrame,
+    pub(crate) corpus: Option<TokenCorpus>,
+    pub(crate) store: SignalStore,
+    pub(crate) health: PersistedHealth,
+}
+
+fn encode_snapshot(c: &SnapshotContents<'_>) -> Vec<u8> {
+    let mut w = Writer::with_capacity(1 << 20);
+    w.put_u64(c.epoch);
+    w.put_u64(c.journal_seq);
+    c.health.encode(&mut w);
+    w.put_u64(c.sessions.len() as u64);
+    for s in c.sessions {
+        put_session(&mut w, s);
+    }
+    w.put_u64(c.posts.len() as u64);
+    for p in c.posts {
+        put_post(&mut w, p);
+    }
+    c.frame.encode_bin(&mut w);
+    match c.corpus {
+        None => w.put_u8(0),
+        Some(corpus) => {
+            w.put_u8(1);
+            corpus.encode_bin(&mut w);
+        }
+    }
+    w.put_u64(c.store.day_count() as u64);
+    c.store.for_each_day(|date, signals| {
+        put_date(&mut w, date);
+        w.put_u64(signals.len() as u64);
+        for s in signals {
+            put_signal(&mut w, s);
+        }
+    });
+    w.into_bytes()
+}
+
+fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, bin::Error> {
+    let mut r = Reader::new(payload);
+    let epoch = r.get_u64()?;
+    let journal_seq = r.get_u64()?;
+    let health = PersistedHealth::decode(&mut r)?;
+    let n_sessions = r.get_len()?;
+    let mut sessions = Vec::with_capacity(n_sessions);
+    for _ in 0..n_sessions {
+        sessions.push(get_session(&mut r)?);
+    }
+    let n_posts = r.get_len()?;
+    let mut posts = Vec::with_capacity(n_posts);
+    for _ in 0..n_posts {
+        posts.push(get_post(&mut r)?);
+    }
+    let frame = SessionFrame::decode_bin(&mut r)?;
+    if frame.len() != sessions.len() {
+        return Err(bin::Error::Corrupt("frame length disagrees with sessions"));
+    }
+    let corpus = match r.get_u8()? {
+        0 => None,
+        1 => Some(TokenCorpus::decode_bin(&mut r)?),
+        _ => return Err(bin::Error::Corrupt("corpus option tag not 0/1")),
+    };
+    let store = SignalStore::new();
+    let n_days = r.get_len()?;
+    for _ in 0..n_days {
+        let _date = get_date(&mut r)?;
+        let n_signals = r.get_len()?;
+        let mut batch = Vec::with_capacity(n_signals);
+        for _ in 0..n_signals {
+            batch.push(get_signal(&mut r)?);
+        }
+        store.insert_batch(batch);
+    }
+    if !r.is_exhausted() {
+        return Err(bin::Error::Corrupt("trailing bytes after snapshot"));
+    }
+    Ok(SnapshotState {
+        epoch,
+        journal_seq,
+        sessions,
+        posts,
+        frame,
+        corpus,
+        store,
+        health,
+    })
+}
+
+/// Path of the snapshot covering journal sequence `seq`.
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{SNAPSHOT_PREFIX}{seq}{SNAPSHOT_SUFFIX}"))
+}
+
+/// Journal sequences of every snapshot present, descending (newest first).
+pub(crate) fn snapshot_seqs(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(mid) = name
+            .strip_prefix(SNAPSHOT_PREFIX)
+            .and_then(|rest| rest.strip_suffix(SNAPSHOT_SUFFIX))
+        {
+            if let Ok(seq) = mid.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(seqs)
+}
+
+/// Write a snapshot with the atomic tmp → fsync → rename → fsync-dir
+/// protocol, then prune snapshots beyond the retention count. Returns the
+/// final path.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    contents: &SnapshotContents<'_>,
+) -> Result<PathBuf, PersistError> {
+    let payload = encode_snapshot(contents);
+    let mut file_bytes = Vec::with_capacity(payload.len() + 24);
+    file_bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    file_bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    file_bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file_bytes.extend_from_slice(&bin::crc32(&payload).to_le_bytes());
+    file_bytes.extend_from_slice(&payload);
+
+    let tmp = dir.join(SNAPSHOT_TMP);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&file_bytes)?;
+        f.sync_all()?;
+    }
+    let path = snapshot_path(dir, contents.journal_seq);
+    fs::rename(&tmp, &path)?;
+    sync_dir(dir)?;
+
+    for stale in snapshot_seqs(dir)?.into_iter().skip(SNAPSHOTS_KEPT) {
+        let _ = fs::remove_file(snapshot_path(dir, stale));
+    }
+    Ok(path)
+}
+
+/// Decode one snapshot file.
+fn load_snapshot(path: &Path) -> Result<SnapshotState, PersistError> {
+    let corrupt = |detail: String| PersistError::Corrupt {
+        file: path.display().to_string(),
+        detail,
+    };
+    let bytes = fs::read(path)?;
+    if bytes.len() < 24 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic or truncated header".to_string()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let payload = &bytes[24..];
+    if payload.len() != len {
+        return Err(corrupt(format!(
+            "payload length {} disagrees with header {len}",
+            payload.len()
+        )));
+    }
+    if bin::crc32(payload) != crc {
+        return Err(corrupt("checksum mismatch".to_string()));
+    }
+    decode_snapshot(payload).map_err(|e| corrupt(e.to_string()))
+}
+
+/// Load the newest valid snapshot, falling back to older ones on
+/// corruption; every skipped snapshot becomes a warning. Errors only when
+/// no snapshot loads at all.
+pub(crate) fn load_latest_snapshot(
+    dir: &Path,
+    warnings: &mut Vec<String>,
+) -> Result<SnapshotState, PersistError> {
+    let seqs = snapshot_seqs(dir)?;
+    if seqs.is_empty() {
+        return Err(PersistError::NoSnapshot);
+    }
+    for seq in seqs {
+        match load_snapshot(&snapshot_path(dir, seq)) {
+            Ok(state) => return Ok(state),
+            Err(e) => warnings.push(format!(
+                "snapshot seq {seq} unusable, falling back to the previous one: {e}"
+            )),
+        }
+    }
+    Err(PersistError::NoSnapshot)
+}
+
+// ---------------------------------------------------------------------------
+// Journal.
+// ---------------------------------------------------------------------------
+
+/// One committed ingest run as journaled: what was accepted, what was
+/// dead-lettered, and the health deltas to fold in.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct JournalRecord {
+    /// Monotonic sequence, 1-based; independent of the epoch because a
+    /// fully-quarantined run journals without committing a generation.
+    pub(crate) seq: u64,
+    /// Service epoch after applying this record (unchanged when the run
+    /// accepted nothing).
+    pub(crate) epoch_after: u64,
+    pub(crate) sessions: Vec<SessionRecord>,
+    pub(crate) posts: Vec<Post>,
+    pub(crate) quarantined: Vec<QuarantineEntry>,
+    pub(crate) unfed: usize,
+    pub(crate) breaker_trips: usize,
+    pub(crate) open_breakers: Vec<String>,
+}
+
+impl JournalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.seq);
+        w.put_u64(self.epoch_after);
+        w.put_u64(self.sessions.len() as u64);
+        for s in &self.sessions {
+            put_session(&mut w, s);
+        }
+        w.put_u64(self.posts.len() as u64);
+        for p in &self.posts {
+            put_post(&mut w, p);
+        }
+        w.put_u64(self.quarantined.len() as u64);
+        for q in &self.quarantined {
+            put_quarantine_entry(&mut w, q);
+        }
+        w.put_usize(self.unfed);
+        w.put_usize(self.breaker_trips);
+        put_string_list(&mut w, &self.open_breakers);
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<JournalRecord, bin::Error> {
+        let mut r = Reader::new(payload);
+        let seq = r.get_u64()?;
+        let epoch_after = r.get_u64()?;
+        let n_sessions = r.get_len()?;
+        let mut sessions = Vec::with_capacity(n_sessions);
+        for _ in 0..n_sessions {
+            sessions.push(get_session(&mut r)?);
+        }
+        let n_posts = r.get_len()?;
+        let mut posts = Vec::with_capacity(n_posts);
+        for _ in 0..n_posts {
+            posts.push(get_post(&mut r)?);
+        }
+        let n_quarantined = r.get_len()?;
+        let mut quarantined = Vec::with_capacity(n_quarantined);
+        for _ in 0..n_quarantined {
+            quarantined.push(get_quarantine_entry(&mut r)?);
+        }
+        let unfed = r.get_usize()?;
+        let breaker_trips = r.get_usize()?;
+        let open_breakers = get_string_list(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(bin::Error::Corrupt("trailing bytes after journal record"));
+        }
+        Ok(JournalRecord {
+            seq,
+            epoch_after,
+            sessions,
+            posts,
+            quarantined,
+            unfed,
+            breaker_trips,
+            open_breakers,
+        })
+    }
+}
+
+/// Append handle on the journal file. Each [`Journal::append`] writes one
+/// framed record and fsyncs, so a record is either fully durable or —
+/// after a crash mid-write — a torn tail the next recovery truncates.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    file: fs::File,
+}
+
+impl Journal {
+    /// Open (creating if needed) the journal for appending.
+    pub(crate) fn open_append(path: &Path) -> std::io::Result<Journal> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Journal { file })
+    }
+
+    /// Append one record durably.
+    pub(crate) fn append(&mut self, record: &JournalRecord) -> std::io::Result<()> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(payload.len() + RECORD_HEADER as usize);
+        frame.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&bin::crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_all()
+    }
+}
+
+/// Read every valid journal record and repair the file: a torn or corrupt
+/// tail (truncated frame, bad magic, checksum or decode failure) is cut
+/// back to the last valid record boundary with `set_len`, and the repair
+/// is reported as a warning. Returns the surviving records in file order.
+pub(crate) fn read_and_repair_journal(
+    path: &Path,
+    warnings: &mut Vec<String>,
+) -> Result<Vec<JournalRecord>, PersistError> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let bytes = fs::read(path)?;
+    let (records, valid_len, complaint) = scan_journal(&bytes);
+    if let Some(complaint) = complaint {
+        warnings.push(format!(
+            "journal {}: {complaint}; truncated to the last valid record ({} of {} bytes kept)",
+            path.display(),
+            valid_len,
+            bytes.len()
+        ));
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(valid_len)?;
+        f.sync_all()?;
+    }
+    Ok(records)
+}
+
+/// Walk the journal byte stream, returning `(records, valid_len,
+/// complaint)` where `valid_len` is the byte length of the valid prefix
+/// and `complaint` describes why the scan stopped early (None when the
+/// whole file is valid).
+fn scan_journal(bytes: &[u8]) -> (Vec<JournalRecord>, u64, Option<String>) {
+    let mut records = Vec::new();
+    let mut pos: usize = 0;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return (records, pos as u64, None);
+        }
+        if remaining < RECORD_HEADER as usize {
+            return (records, pos as u64, Some("torn record header".to_string()));
+        }
+        let magic = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if magic != RECORD_MAGIC {
+            return (records, pos as u64, Some("bad record magic".to_string()));
+        }
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4 bytes"));
+        let body_start = pos + RECORD_HEADER as usize;
+        let Some(body_end) = (len as usize)
+            .checked_add(body_start)
+            .filter(|end| *end <= bytes.len())
+        else {
+            return (records, pos as u64, Some("torn record payload".to_string()));
+        };
+        let payload = &bytes[body_start..body_end];
+        if bin::crc32(payload) != crc {
+            return (
+                records,
+                pos as u64,
+                Some("record checksum mismatch".to_string()),
+            );
+        }
+        match JournalRecord::decode(payload) {
+            Ok(rec) => records.push(rec),
+            Err(e) => {
+                return (
+                    records,
+                    pos as u64,
+                    Some(format!("record undecodable: {e}")),
+                );
+            }
+        }
+        pos = body_end;
+    }
+}
+
+/// Byte offsets of the record boundaries in a journal file: `offsets[0] ==
+/// 0` and `offsets[k]` is the end of the `k`-th valid record. Exposed so
+/// crash-recovery tests (and operators) can cut a journal at exact commit
+/// boundaries.
+pub fn journal_record_offsets(path: &Path) -> Result<Vec<u64>, PersistError> {
+    let bytes = fs::read(path)?;
+    let mut offsets = vec![0u64];
+    let mut pos: usize = 0;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining < RECORD_HEADER as usize {
+            return Ok(offsets);
+        }
+        let magic = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if magic != RECORD_MAGIC {
+            return Ok(offsets);
+        }
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4 bytes"));
+        let body_start = pos + RECORD_HEADER as usize;
+        let Some(body_end) = (len as usize)
+            .checked_add(body_start)
+            .filter(|end| *end <= bytes.len())
+        else {
+            return Ok(offsets);
+        };
+        if bin::crc32(&bytes[body_start..body_end]) != crc {
+            return Ok(offsets);
+        }
+        offsets.push(body_end as u64);
+        pos = body_end;
+    }
+}
+
+/// `fsync` a directory so a completed rename is durable (no-op where the
+/// platform won't open directories).
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    match fs::File::open(dir) {
+        Ok(f) => f.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Corrupt-at-rest helper for tests: flip one byte of `path` at `offset`.
+#[cfg(test)]
+pub(crate) fn flip_byte(path: &Path, offset: u64) -> std::io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    bytes[offset as usize] ^= 0x40;
+    fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conference::dataset::{generate, DatasetConfig};
+    use social::generator::{generate as gen_forum, ForumConfig};
+
+    fn tmp_dir(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("usaas-persist-{}-{test}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_sessions(n: usize) -> Vec<SessionRecord> {
+        let mut sessions = generate(&DatasetConfig::small(n.max(4), 7)).sessions;
+        assert!(sessions.len() >= n, "generator under-produced");
+        sessions.truncate(n);
+        sessions
+    }
+
+    fn sample_posts() -> Vec<Post> {
+        let mut cfg = ForumConfig::default();
+        cfg.end = cfg.start.offset(15);
+        cfg.authors = 200;
+        gen_forum(&cfg).posts
+    }
+
+    #[test]
+    fn sessions_and_posts_round_trip_bitwise() {
+        let sessions = sample_sessions(40);
+        let posts = sample_posts();
+        assert!(posts.iter().any(|p| p.screenshot.is_some()));
+        let mut w = Writer::new();
+        for s in &sessions {
+            put_session(&mut w, s);
+        }
+        for p in &posts {
+            put_post(&mut w, p);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for s in &sessions {
+            let back = get_session(&mut r).unwrap();
+            assert_eq!(&back, s);
+            assert_eq!(back.presence_pct.to_bits(), s.presence_pct.to_bits());
+        }
+        for p in &posts {
+            let back = get_post(&mut r).unwrap();
+            assert_eq!(&back, p);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn signals_round_trip_including_nan_payloads() {
+        let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
+        let mut signals: Vec<Signal> = Vec::new();
+        for s in sample_sessions(10) {
+            signals.extend(Signal::from_session(&s));
+        }
+        for p in sample_posts().iter().take(10) {
+            signals.push(Signal::from_post(p, &analyzer));
+        }
+        // A hand-made signal with a NaN-payload float must survive bitwise.
+        let mut weird = signals[0].clone();
+        if let Payload::Implicit(i) = &mut weird.payload {
+            i.session.latent_quality = f64::from_bits(0x7FF8_0000_0000_BEEF);
+        }
+        signals.push(weird);
+        let mut w = Writer::new();
+        for s in &signals {
+            put_signal(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for s in &signals {
+            let back = get_signal(&mut r).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{s:?}"));
+        }
+        let Payload::Implicit(i) = &signals[signals.len() - 1].payload else {
+            panic!("expected implicit");
+        };
+        assert_eq!(i.session.latent_quality.to_bits(), 0x7FF8_0000_0000_BEEF);
+    }
+
+    #[test]
+    fn journal_append_scan_and_offsets_agree() {
+        let dir = tmp_dir("journal-roundtrip");
+        let path = dir.join(JOURNAL_FILE);
+        let sessions = sample_sessions(12);
+        let mut journal = Journal::open_append(&path).unwrap();
+        for (i, chunk) in sessions.chunks(4).enumerate() {
+            journal
+                .append(&JournalRecord {
+                    seq: i as u64 + 1,
+                    epoch_after: i as u64 + 1,
+                    sessions: chunk.to_vec(),
+                    ..JournalRecord::default()
+                })
+                .unwrap();
+        }
+        let mut warnings = Vec::new();
+        let records = read_and_repair_journal(&path, &mut warnings).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].seq, 3);
+        assert_eq!(records[0].sessions, sessions[..4].to_vec());
+        let offsets = journal_record_offsets(&path).unwrap();
+        assert_eq!(offsets.len(), 4);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(
+            *offsets.last().unwrap(),
+            fs::metadata(&path).unwrap().len(),
+            "last boundary is the file end"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_with_a_warning() {
+        let dir = tmp_dir("journal-torn");
+        let path = dir.join(JOURNAL_FILE);
+        let sessions = sample_sessions(8);
+        let mut journal = Journal::open_append(&path).unwrap();
+        for (i, chunk) in sessions.chunks(4).enumerate() {
+            journal
+                .append(&JournalRecord {
+                    seq: i as u64 + 1,
+                    epoch_after: i as u64 + 1,
+                    sessions: chunk.to_vec(),
+                    ..JournalRecord::default()
+                })
+                .unwrap();
+        }
+        let offsets = journal_record_offsets(&path).unwrap();
+        // Cut mid-way through the second record: a torn write.
+        let cut = (offsets[1] + offsets[2]) / 2;
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let mut warnings = Vec::new();
+        let records = read_and_repair_journal(&path, &mut warnings).unwrap();
+        assert_eq!(records.len(), 1, "only the intact record survives");
+        assert_eq!(warnings.len(), 1, "the repair is reported");
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            offsets[1],
+            "the file is truncated back to the last valid boundary"
+        );
+        // A second read is clean: the repair is durable.
+        let mut again = Vec::new();
+        assert_eq!(read_and_repair_journal(&path, &mut again).unwrap().len(), 1);
+        assert!(again.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_journal_byte_truncates_from_the_bad_record() {
+        let dir = tmp_dir("journal-flip");
+        let path = dir.join(JOURNAL_FILE);
+        let sessions = sample_sessions(8);
+        let mut journal = Journal::open_append(&path).unwrap();
+        for (i, chunk) in sessions.chunks(2).enumerate() {
+            journal
+                .append(&JournalRecord {
+                    seq: i as u64 + 1,
+                    epoch_after: i as u64 + 1,
+                    sessions: chunk.to_vec(),
+                    ..JournalRecord::default()
+                })
+                .unwrap();
+        }
+        let offsets = journal_record_offsets(&path).unwrap();
+        assert_eq!(offsets.len(), 5);
+        // Flip one payload byte inside record 3.
+        flip_byte(&path, offsets[2] + RECORD_HEADER + 9).unwrap();
+        let mut warnings = Vec::new();
+        let records = read_and_repair_journal(&path, &mut warnings).unwrap();
+        assert_eq!(records.len(), 2, "records before the flip survive");
+        assert!(warnings[0].contains("checksum"), "{warnings:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_survives_fallback() {
+        let dir = tmp_dir("snapshot-roundtrip");
+        let sessions = sample_sessions(30);
+        let posts = sample_posts();
+        let frame = SessionFrame::from_dataset(
+            &conference::records::CallDataset {
+                sessions: sessions.clone(),
+            },
+            2,
+        );
+        let store = SignalStore::new();
+        let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
+        for s in &sessions {
+            store.insert_batch(Signal::from_session(s));
+        }
+        store.insert_batch(
+            posts
+                .iter()
+                .map(|p| Signal::from_post(p, &analyzer))
+                .collect(),
+        );
+        let health = PersistedHealth {
+            quarantined: 2,
+            unfed: 1,
+            breaker_trips: 3,
+            open_breakers: vec!["flaky-feed".to_string()],
+            dead_letters: vec![QuarantineEntry {
+                source_id: 0,
+                source: "flaky-feed".to_string(),
+                seq: 17,
+                reason: QuarantineReason::PoisonPill,
+                detail: "poison pill: boom".to_string(),
+                item: "session 17".to_string(),
+            }],
+        };
+        let contents = SnapshotContents {
+            epoch: 4,
+            journal_seq: 9,
+            sessions: &sessions,
+            posts: &posts,
+            frame: &frame,
+            corpus: None,
+            store: &store,
+            health: &health,
+        };
+        let path = write_snapshot(&dir, &contents).unwrap();
+        assert!(path.ends_with("snapshot-9.snap"));
+        let mut warnings = Vec::new();
+        let state = load_latest_snapshot(&dir, &mut warnings).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(state.epoch, 4);
+        assert_eq!(state.journal_seq, 9);
+        assert_eq!(state.sessions, sessions);
+        assert_eq!(state.posts, posts);
+        assert_eq!(state.frame.len(), frame.len());
+        assert_eq!(state.store.len(), store.len());
+        assert_eq!(state.health.dead_letters, health.dead_letters);
+        assert_eq!(state.health.open_breakers, health.open_breakers);
+
+        // Write a second snapshot, corrupt it, and watch recovery fall
+        // back to the first with a warning instead of dying.
+        let newer = SnapshotContents {
+            epoch: 5,
+            journal_seq: 11,
+            ..contents
+        };
+        let newer_path = write_snapshot(&dir, &newer).unwrap();
+        flip_byte(&newer_path, 200).unwrap();
+        let mut warnings = Vec::new();
+        let state = load_latest_snapshot(&dir, &mut warnings).unwrap();
+        assert_eq!(state.journal_seq, 9, "fell back to the older snapshot");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("seq 11"), "{warnings:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_retention_keeps_the_last_two() {
+        let dir = tmp_dir("snapshot-retention");
+        let sessions = sample_sessions(5);
+        let frame = SessionFrame::from_dataset(
+            &conference::records::CallDataset {
+                sessions: sessions.clone(),
+            },
+            1,
+        );
+        let store = SignalStore::new();
+        let health = PersistedHealth::default();
+        for seq in [1u64, 2, 3, 4] {
+            write_snapshot(
+                &dir,
+                &SnapshotContents {
+                    epoch: seq,
+                    journal_seq: seq,
+                    sessions: &sessions,
+                    posts: &[],
+                    frame: &frame,
+                    corpus: None,
+                    store: &store,
+                    health: &health,
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(snapshot_seqs(&dir).unwrap(), vec![4, 3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

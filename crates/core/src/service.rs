@@ -19,10 +19,13 @@ use crate::correlate;
 use crate::emerging::{EmergingTopic, EmergingTopicMiner};
 use crate::frame::SessionFrame;
 use crate::fulcrum::{FulcrumAnalysis, MonthlyPoint};
-use crate::ingest::{self, IngestConfig, IngestReport};
+use crate::ingest::{self, IngestConfig, IngestReport, QuarantineEntry};
 use crate::outage::{DetectedOutage, OutageDetector};
+use crate::persist::{
+    self, Journal, JournalRecord, PersistError, PersistedHealth, SnapshotContents, JOURNAL_FILE,
+};
 use crate::predict::{self, Evaluation, FeatureSet};
-use crate::signals::SignalKind;
+use crate::signals::{Signal, SignalKind};
 use crate::source::{ItemSource, RawItem, Source};
 use crate::store::SignalStore;
 use analytics::binning::BinnedCurve;
@@ -35,6 +38,7 @@ use sentiment::corpus::TokenCorpus;
 use serde::Serialize;
 use social::post::{Forum, Post};
 use starlink::constellation::{DeploymentPlanner, Recommendation, RegionalDemand};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
 /// Errors from the service layer.
@@ -547,6 +551,13 @@ struct HealthTotals {
     breaker_trips: usize,
     /// Sources whose breaker ended the *most recent* run open.
     open_breakers: Vec<String>,
+    /// Every quarantined item across all runs — the durable dead-letter
+    /// queue, journaled and snapshotted so it survives restarts.
+    dead_letters: Vec<QuarantineEntry>,
+    /// What recovery had to repair or skip (truncated journal tail,
+    /// corrupt snapshot fallback, journal-write failures). Empty on a
+    /// clean open.
+    recovery_warnings: Vec<String>,
 }
 
 /// The service's health/staleness annotation, returned alongside answers
@@ -565,6 +576,11 @@ pub struct ServiceHealth {
     pub unfed_total: usize,
     /// Breaker trips across all ingestion runs.
     pub breaker_trips_total: usize,
+    /// What persistence had to repair or could not do: journal tails
+    /// truncated after a torn write, snapshot fallbacks after a checksum
+    /// mismatch, journal appends that failed. Empty for a service that
+    /// opened clean (or was never persisted).
+    pub recovery_warnings: Vec<String>,
 }
 
 impl ServiceHealth {
@@ -575,11 +591,26 @@ impl ServiceHealth {
         !self.open_breakers.is_empty()
     }
 
-    /// True when anything has degraded ingestion: open breakers,
-    /// quarantined items, or unfed items.
+    /// True when anything has degraded ingestion or durability: open
+    /// breakers, quarantined items, unfed items, or a recovery that had to
+    /// repair corruption.
     pub fn is_degraded(&self) -> bool {
-        self.is_stale() || self.quarantined_total > 0 || self.unfed_total > 0
+        self.is_stale()
+            || self.quarantined_total > 0
+            || self.unfed_total > 0
+            || !self.recovery_warnings.is_empty()
     }
+}
+
+/// Mutable persistence state: where the service lives on disk, the open
+/// journal handle, and the last journal sequence durably written.
+struct PersistState {
+    dir: PathBuf,
+    journal: Journal,
+    /// Sequence of the newest record in the journal (0 before the first
+    /// append). Monotonic and independent of the epoch: a run that
+    /// quarantined everything journals without committing a generation.
+    last_seq: u64,
 }
 
 /// The service: a shared append-only [`SignalStore`] plus a swappable
@@ -596,6 +627,10 @@ pub struct UsaasService {
     /// Serialises appends; queries never take this.
     append_lock: Mutex<()>,
     health: Mutex<HealthTotals>,
+    /// On-disk durability, attached by [`UsaasService::build_persistent`]
+    /// or [`UsaasService::open_or_recover`]; `None` for a purely
+    /// in-memory service.
+    persist: Option<Mutex<PersistState>>,
 }
 
 impl UsaasService {
@@ -612,7 +647,190 @@ impl UsaasService {
             workers,
             append_lock: Mutex::new(()),
             health: Mutex::new(HealthTotals::default()),
+            persist: None,
         }
+    }
+
+    /// Build a *durable* service in `dir`: ingest exactly as
+    /// [`UsaasService::build`], then write the epoch-0 snapshot and open
+    /// the journal, so every subsequent committed append survives a crash.
+    /// Refuses a directory that already holds a persisted service — that
+    /// is what [`UsaasService::open_or_recover`] is for.
+    pub fn build_persistent(
+        dataset: CallDataset,
+        forum: Forum,
+        workers: usize,
+        dir: &Path,
+    ) -> Result<UsaasService, PersistError> {
+        std::fs::create_dir_all(dir)?;
+        if dir.join(JOURNAL_FILE).exists() || !persist::snapshot_seqs(dir)?.is_empty() {
+            return Err(PersistError::Corrupt {
+                file: dir.display().to_string(),
+                detail: "directory already holds a persisted service; open_or_recover it instead"
+                    .to_string(),
+            });
+        }
+        let mut svc = UsaasService::build(dataset, forum, workers);
+        let journal = Journal::open_append(&dir.join(JOURNAL_FILE))?;
+        svc.persist = Some(Mutex::new(PersistState {
+            dir: dir.to_path_buf(),
+            journal,
+            last_seq: 0,
+        }));
+        svc.checkpoint()?;
+        Ok(svc)
+    }
+
+    /// Reopen a persisted service: load the newest valid snapshot, replay
+    /// the journal tail, and resume appending. Every repair along the way
+    /// — a corrupt snapshot skipped, a torn journal tail truncated — lands
+    /// in `ServiceHealth::recovery_warnings` instead of failing the open;
+    /// the open only errors when no snapshot loads at all.
+    ///
+    /// The recovery invariant (pinned by `tests/persist_recovery.rs`): the
+    /// recovered service answers every query **bit-identically** to a
+    /// service that lived through the same appends without crashing, for
+    /// any worker count.
+    pub fn open_or_recover(dir: &Path, workers: usize) -> Result<UsaasService, PersistError> {
+        let mut warnings = Vec::new();
+        let state = persist::load_latest_snapshot(dir, &mut warnings)?;
+        let records = persist::read_and_repair_journal(&dir.join(JOURNAL_FILE), &mut warnings)?;
+
+        let dataset = CallDataset {
+            sessions: state.sessions,
+        };
+        let forum = Forum { posts: state.posts };
+        let corpus_cell = OnceLock::new();
+        if let Some(corpus) = state.corpus {
+            let _ = corpus_cell.set(corpus);
+        }
+        let generation = Generation::new(
+            state.epoch,
+            dataset,
+            forum,
+            state.frame,
+            workers,
+            corpus_cell,
+        );
+        let svc = UsaasService {
+            store: Arc::new(state.store),
+            current: RwLock::new(Arc::new(generation)),
+            workers,
+            append_lock: Mutex::new(()),
+            health: Mutex::new(HealthTotals {
+                quarantined: state.health.quarantined,
+                unfed: state.health.unfed,
+                breaker_trips: state.health.breaker_trips,
+                open_breakers: state.health.open_breakers,
+                dead_letters: state.health.dead_letters,
+                recovery_warnings: Vec::new(),
+            }),
+            persist: None,
+        };
+
+        // Replay the tail: every journaled batch newer than the snapshot,
+        // re-normalised and committed exactly as the original append was.
+        let mut last_seq = state.journal_seq;
+        let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
+        for record in records {
+            if record.seq <= state.journal_seq {
+                continue;
+            }
+            if record.seq != last_seq + 1 {
+                warnings.push(format!(
+                    "journal gap: expected seq {}, found {}",
+                    last_seq + 1,
+                    record.seq
+                ));
+            }
+            let mut signals: Vec<Signal> = Vec::new();
+            for s in &record.sessions {
+                signals.extend(Signal::from_session(s));
+            }
+            for p in &record.posts {
+                signals.push(Signal::from_post(p, &analyzer));
+            }
+            if !signals.is_empty() {
+                svc.store.insert_batch(signals);
+            }
+            if !record.sessions.is_empty() || !record.posts.is_empty() {
+                let _appending = svc.append_lock.lock();
+                svc.commit_locked(record.sessions, record.posts);
+            }
+            let epoch_now = svc.snapshot().epoch;
+            if epoch_now != record.epoch_after {
+                warnings.push(format!(
+                    "replayed seq {} landed on epoch {epoch_now}, journal recorded {}",
+                    record.seq, record.epoch_after
+                ));
+            }
+            {
+                let mut totals = svc.health.lock();
+                totals.quarantined += record.quarantined.len();
+                totals.unfed += record.unfed;
+                totals.breaker_trips += record.breaker_trips;
+                totals.open_breakers = record.open_breakers;
+                totals.dead_letters.extend(record.quarantined);
+            }
+            last_seq = record.seq;
+        }
+
+        let journal = Journal::open_append(&dir.join(JOURNAL_FILE))?;
+        svc.health.lock().recovery_warnings = warnings;
+        let mut svc = svc;
+        svc.persist = Some(Mutex::new(PersistState {
+            dir: dir.to_path_buf(),
+            journal,
+            last_seq,
+        }));
+        Ok(svc)
+    }
+
+    /// Write a snapshot of the current state (atomic tmp → fsync → rename)
+    /// covering everything journaled so far, then prune old snapshots down
+    /// to the retention count. Returns the snapshot's path. Errors with
+    /// [`PersistError::NotPersistent`] on an in-memory service.
+    ///
+    /// The journal is deliberately **not** truncated here: recovery may
+    /// still fall back to the previous snapshot if this one is later
+    /// damaged, and that fallback needs the older journal tail intact.
+    pub fn checkpoint(&self) -> Result<PathBuf, PersistError> {
+        let Some(persist) = &self.persist else {
+            return Err(PersistError::NotPersistent);
+        };
+        // Holding the append lock freezes epoch/journal-seq/store together.
+        let _appending = self.append_lock.lock();
+        let generation = self.snapshot();
+        let health = {
+            let totals = self.health.lock();
+            PersistedHealth {
+                quarantined: totals.quarantined,
+                unfed: totals.unfed,
+                breaker_trips: totals.breaker_trips,
+                open_breakers: totals.open_breakers.clone(),
+                dead_letters: totals.dead_letters.clone(),
+            }
+        };
+        let state = persist.lock();
+        persist::write_snapshot(
+            &state.dir,
+            &SnapshotContents {
+                epoch: generation.epoch,
+                journal_seq: state.last_seq,
+                sessions: &generation.dataset.sessions,
+                posts: &generation.forum.posts,
+                frame: &generation.frame,
+                corpus: generation.social_corpus.get(),
+                store: &self.store,
+                health: &health,
+            },
+        )
+    }
+
+    /// The durable dead-letter queue: every quarantined item across all
+    /// ingestion runs, surviving restarts on a persisted service.
+    pub fn dead_letters(&self) -> Vec<QuarantineEntry> {
+        self.health.lock().dead_letters.clone()
     }
 
     /// Pin the current generation — a cheap `Arc` clone. Hold it to read a
@@ -678,6 +896,7 @@ impl UsaasService {
             quarantined_total: totals.quarantined,
             unfed_total: totals.unfed,
             breaker_trips_total: totals.breaker_trips,
+            recovery_warnings: totals.recovery_warnings.clone(),
         }
     }
 
@@ -720,11 +939,21 @@ impl UsaasService {
     /// incrementally when already built) whose fresh answer cache makes
     /// subsequent queries see the appended data. Quarantined or unfed
     /// items and open breakers are accumulated into [`UsaasService::health`].
+    /// On a persisted service, the run is journaled **before** the
+    /// in-memory commit — one durable record carrying the accepted items,
+    /// the quarantined dead-letters, and the health deltas — so a crash at
+    /// any later point replays the batch on the next open. A journal-write
+    /// failure does not block serving: the batch still commits in memory
+    /// and the failure is reported through
+    /// `ServiceHealth::recovery_warnings`.
     pub fn ingest_append(
         &self,
         sources: Vec<Box<dyn Source + '_>>,
         cfg: &IngestConfig,
     ) -> IngestReport {
+        // Appends are serialised end-to-end so the journal order equals
+        // the commit order. Queries never take this lock.
+        let _appending = self.append_lock.lock();
         let (report, accepted) = ingest::ingest_stream_collect(&self.store, sources, cfg);
         let mut sessions: Vec<SessionRecord> = Vec::new();
         let mut posts: Vec<Post> = Vec::new();
@@ -737,8 +966,31 @@ impl UsaasService {
                 RawItem::Poison(_) => {}
             }
         }
-        if !sessions.is_empty() || !posts.is_empty() {
-            self.commit(sessions, posts);
+        let will_commit = !sessions.is_empty() || !posts.is_empty();
+        if let Some(persist) = &self.persist {
+            let mut state = persist.lock();
+            let record = JournalRecord {
+                seq: state.last_seq + 1,
+                epoch_after: self.snapshot().epoch + u64::from(will_commit),
+                sessions,
+                posts,
+                quarantined: report.quarantined.clone(),
+                unfed: report.unfed,
+                breaker_trips: report.breaker_trips,
+                open_breakers: report.open_breakers(),
+            };
+            match state.journal.append(&record) {
+                Ok(()) => state.last_seq = record.seq,
+                Err(e) => self.health.lock().recovery_warnings.push(format!(
+                    "journal append for seq {} failed; this batch will not survive a restart: {e}",
+                    record.seq
+                )),
+            }
+            sessions = record.sessions;
+            posts = record.posts;
+        }
+        if will_commit {
+            self.commit_locked(sessions, posts);
         }
         self.note_report(&report);
         report
@@ -767,11 +1019,10 @@ impl UsaasService {
     }
 
     /// Fold accepted items into a successor generation and swap it in.
-    fn commit(&self, sessions: Vec<SessionRecord>, posts: Vec<Post>) {
-        // Appends are serialised so two racing commits cannot both clone
-        // the same base generation and lose one delta. Queries never take
-        // this lock; they read `current` for the instant of the swap only.
-        let _appending = self.append_lock.lock();
+    /// The caller must hold `append_lock`: serialised appends mean two
+    /// racing commits cannot both clone the same base generation and lose
+    /// one delta, and the journal order matches the commit order.
+    fn commit_locked(&self, sessions: Vec<SessionRecord>, posts: Vec<Post>) {
         let base = self.snapshot();
         let mut frame = base.frame.clone();
         frame.extend_from_sessions(&sessions, self.workers);
@@ -810,6 +1061,9 @@ impl UsaasService {
         totals.unfed += report.unfed;
         totals.breaker_trips += report.breaker_trips;
         totals.open_breakers = report.open_breakers();
+        totals
+            .dead_letters
+            .extend(report.quarantined.iter().cloned());
     }
 }
 

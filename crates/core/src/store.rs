@@ -176,6 +176,25 @@ impl SignalStore {
         }
     }
 
+    /// Visit every non-empty day in date order, handing each day's full
+    /// signal bucket to `f` — the snapshot-export path of the persist
+    /// layer. Like [`SignalStore::for_each_between`], all shard read
+    /// guards are held for the duration so the export is a consistent
+    /// point-in-time view of completed inserts.
+    pub fn for_each_day<F: FnMut(Date, &[Signal])>(&self, mut f: F) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut days: Vec<(&Date, &Vec<Signal>)> = guards.iter().flat_map(|g| g.iter()).collect();
+        days.sort_by_key(|(date, _)| **date);
+        for (date, signals) in days {
+            f(*date, signals);
+        }
+    }
+
+    /// Number of distinct days holding at least one signal.
+    pub fn day_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
     /// Clone out all signals in `[from, to]` — the **allocating
     /// convenience path**, which deep-copies every signal in the window
     /// (including boxed session records and post text).
@@ -314,6 +333,20 @@ mod tests {
         assert_eq!(store.len(), 8 * 125);
         assert_eq!(store.count_kind(SignalKind::Social), 8 * 25);
         assert_eq!(store.between(d(1), d(28)).len(), 8 * 125);
+    }
+
+    #[test]
+    fn day_export_covers_every_signal_in_order() {
+        let store = SignalStore::new();
+        store.insert(signal(20, 1));
+        store.insert_batch(vec![signal(5, 2), social(5), signal(12, 3)]);
+        assert_eq!(store.day_count(), 3);
+        let mut seen = Vec::new();
+        store.for_each_day(|date, signals| seen.push((date, signals.len())));
+        assert_eq!(seen, vec![(d(5), 2), (d(12), 1), (d(20), 1)]);
+        let empty = SignalStore::new();
+        assert_eq!(empty.day_count(), 0);
+        empty.for_each_day(|_, _| panic!("no days to visit"));
     }
 
     #[test]

@@ -333,6 +333,77 @@ impl TokenCorpus {
     pub fn doc_words(&self, i: usize) -> Vec<&str> {
         self.doc(i).iter().map(|&id| self.vocab.word(id)).collect()
     }
+
+    /// Serialise the corpus into the persist layer's binary codec.
+    ///
+    /// Only the words (in id order), the token stream, and the CSR offsets
+    /// are written — the vocab's lexicon side tables (valence, intensity,
+    /// flags) are **recompiled** at decode time by re-interning the words
+    /// in order against the global [`Lexicon`], which reproduces them
+    /// bit-identically (interning is deterministic in word order), so the
+    /// snapshot stays smaller and can never disagree with the lexicon the
+    /// binary ships.
+    pub fn encode_bin(&self, w: &mut serde::bin::Writer) {
+        w.put_u64(self.vocab.words.len() as u64);
+        for word in &self.vocab.words {
+            w.put_str(word);
+        }
+        w.put_u64(self.tokens.len() as u64);
+        for &t in &self.tokens {
+            w.put_u32(t);
+        }
+        w.put_u64(self.offsets.len() as u64);
+        for &o in &self.offsets {
+            w.put_u32(o);
+        }
+    }
+
+    /// Decode a corpus written by [`TokenCorpus::encode_bin`], validating
+    /// every structural invariant (ids in range, offsets monotone and
+    /// covering the token stream) so corrupt input surfaces as an
+    /// [`serde::bin::Error`] instead of a later panic.
+    pub fn decode_bin(r: &mut serde::bin::Reader<'_>) -> Result<TokenCorpus, serde::bin::Error> {
+        use serde::bin::Error;
+        let n_words = r.get_len()?;
+        let mut vocab = Vocab::new();
+        for _ in 0..n_words {
+            vocab.intern_owned(r.get_str()?.to_string());
+        }
+        if vocab.len() != n_words {
+            return Err(Error::Corrupt("corpus words are not distinct"));
+        }
+        let n_tokens = r.get_len()?;
+        let mut tokens = Vec::with_capacity(n_tokens);
+        for _ in 0..n_tokens {
+            let t = r.get_u32()?;
+            if t as usize >= n_words {
+                return Err(Error::Corrupt("token id out of vocab range"));
+            }
+            tokens.push(t);
+        }
+        let n_offsets = r.get_len()?;
+        let mut offsets = Vec::with_capacity(n_offsets);
+        for _ in 0..n_offsets {
+            offsets.push(r.get_u32()?);
+        }
+        if n_offsets == 0 {
+            if n_tokens != 0 {
+                return Err(Error::Corrupt("tokens without CSR offsets"));
+            }
+        } else {
+            if offsets[0] != 0 || *offsets.last().expect("non-empty") as usize != n_tokens {
+                return Err(Error::Corrupt("CSR offsets do not cover the token stream"));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(Error::Corrupt("CSR offsets are not monotone"));
+            }
+        }
+        Ok(TokenCorpus {
+            vocab,
+            tokens,
+            offsets,
+        })
+    }
 }
 
 /// A [`KeywordDictionary`] compiled to id space: sorted unigram ids and
@@ -782,6 +853,75 @@ mod tests {
             .map(|&id| vocab.word(id))
             .collect();
         assert_eq!(filtered, content_words(text));
+    }
+
+    #[test]
+    fn corpus_round_trips_bit_identically() {
+        let texts: Vec<String> = (0..61)
+            .map(|i| format!("outage {i} slow speeds down again überlastet {}", i % 5))
+            .collect();
+        let corpus = TokenCorpus::from_texts(&texts, 3);
+        let mut w = serde::bin::Writer::new();
+        corpus.encode_bin(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = serde::bin::Reader::new(&bytes);
+        let decoded = TokenCorpus::decode_bin(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(decoded.tokens, corpus.tokens);
+        assert_eq!(decoded.offsets, corpus.offsets);
+        assert_eq!(decoded.vocab.words, corpus.vocab.words);
+        // The recompiled side tables equal the originals bit-for-bit
+        // (NaN intensity sentinels included).
+        assert_eq!(decoded.vocab.valence, corpus.vocab.valence);
+        assert_eq!(
+            decoded
+                .vocab
+                .intensity
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            corpus
+                .vocab
+                .intensity
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(decoded.vocab.flags, corpus.vocab.flags);
+        // The empty corpus round-trips too.
+        let mut w = serde::bin::Writer::new();
+        TokenCorpus::default().encode_bin(&mut w);
+        let bytes = w.into_bytes();
+        let empty = TokenCorpus::decode_bin(&mut serde::bin::Reader::new(&bytes)).unwrap();
+        // (`docs()` needs the CSR sentinel a default corpus lacks, so
+        // compare fields directly.)
+        assert!(empty.tokens.is_empty() && empty.offsets.is_empty() && empty.vocab.is_empty());
+    }
+
+    #[test]
+    fn corrupt_corpus_bytes_are_rejected() {
+        let corpus = TokenCorpus::from_texts(&["outage down again", "down once more"], 1);
+        let mut w = serde::bin::Writer::new();
+        corpus.encode_bin(&mut w);
+        let good = w.into_bytes();
+        // Any truncation errors instead of panicking.
+        for cut in [0, 3, good.len() / 2, good.len() - 1] {
+            assert!(
+                TokenCorpus::decode_bin(&mut serde::bin::Reader::new(&good[..cut])).is_err(),
+                "cut {cut}"
+            );
+        }
+        // An out-of-range token id is structural corruption.
+        let mut w = serde::bin::Writer::new();
+        w.put_u64(1);
+        w.put_str("word");
+        w.put_u64(1);
+        w.put_u32(7); // id 7 in a 1-word vocab
+        w.put_u64(2);
+        w.put_u32(0);
+        w.put_u32(1);
+        let bad = w.into_bytes();
+        assert!(TokenCorpus::decode_bin(&mut serde::bin::Reader::new(&bad)).is_err());
     }
 
     #[test]

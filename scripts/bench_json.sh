@@ -11,6 +11,8 @@
 #                        interned_par4 groups for the §4 text substrate)
 #   ingest_resilience -> results/BENCH_ingest.json (healthy vs 1%-fault vs
 #                        breaker-open streaming ingestion)
+#   persist_roundtrip -> results/BENCH_persist.json (checkpoint write vs
+#                        snapshot-only recovery vs journal-replay recovery)
 #
 # Usage: scripts/bench_json.sh [extra `cargo bench` args...]
 set -euo pipefail
@@ -36,3 +38,4 @@ run_bench() {
 run_bench frame_scan results/BENCH_frame.json "$@"
 run_bench social_pipeline results/BENCH_social.json "$@"
 run_bench ingest_resilience results/BENCH_ingest.json "$@"
+run_bench persist_roundtrip results/BENCH_persist.json "$@"
