@@ -149,6 +149,83 @@ impl Binner {
     }
 }
 
+/// Compressed companion to [`Binner`]: per-bin running `(sum, count)` pairs
+/// instead of observation lists, so the accumulator is O(bins) regardless of
+/// how many observations it has absorbed.
+///
+/// Because [`descriptive::mean`] is a plain sequential left fold
+/// (`xs.iter().sum::<f64>() / len`), feeding the same observations through
+/// [`SumBinner::record`] *in the same order* reproduces every bin mean to
+/// the bit — the running sum performs the identical sequence of additions.
+/// The price is order-sensitivity: unlike [`Binner::merge`], partial sums
+/// from disjoint chunks cannot be combined (float addition is not
+/// associative), so there is deliberately no `merge`. Rebuilds must fold
+/// rows sequentially in row order, which also makes the result trivially
+/// independent of any worker count.
+#[derive(Debug, Clone)]
+pub struct SumBinner {
+    spec: BinSpec,
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+    dropped: usize,
+}
+
+impl SumBinner {
+    /// New accumulator with the given spec.
+    pub fn new(spec: BinSpec) -> SumBinner {
+        SumBinner {
+            spec,
+            sums: vec![0.0; spec.bins],
+            counts: vec![0; spec.bins],
+            dropped: 0,
+        }
+    }
+
+    /// Record one pair; out-of-range x is counted in [`SumBinner::dropped`].
+    pub fn record(&mut self, x: f64, y: f64) {
+        match self.spec.index(x) {
+            Some(i) => {
+                self.sums[i] += y;
+                self.counts[i] += 1;
+            }
+            None => self.dropped += 1,
+        }
+    }
+
+    /// Number of pairs whose x fell outside the spec.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// The spec this accumulator was created with.
+    pub fn spec(&self) -> BinSpec {
+        self.spec
+    }
+
+    /// Count of observations in bin `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.counts[i]
+    }
+
+    /// Build the mean-per-bin curve — bit-identical to
+    /// [`Binner::curve_mean`] fed the same observations in the same order.
+    pub fn curve_mean(&self, min_count: usize) -> BinnedCurve {
+        let mut xs = Vec::with_capacity(self.spec.bins);
+        let mut ys = Vec::with_capacity(self.spec.bins);
+        let mut counts = Vec::with_capacity(self.spec.bins);
+        for i in 0..self.spec.bins {
+            xs.push(self.spec.mid(i));
+            counts.push(self.counts[i]);
+            if self.counts[i] >= min_count.max(1) {
+                ys.push(Some(self.sums[i] / self.counts[i] as f64));
+            } else {
+                ys.push(None);
+            }
+        }
+        BinnedCurve { xs, ys, counts }
+    }
+}
+
 /// A binned x→y curve: bin midpoints, per-bin aggregate (None when thin), and
 /// per-bin counts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -321,6 +398,36 @@ mod tests {
         let mut a = Binner::new(spec());
         let b = Binner::new(BinSpec::new(0.0, 10.0, 2).unwrap());
         assert!(a.merge(b).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn sum_binner_matches_binner_to_the_bit(
+            pairs in prop::collection::vec((-50.0f64..350.0, 0.0f64..100.0), 0..200),
+            min_count in 0usize..4,
+        ) {
+            // The compressed accumulator's running sum performs the exact
+            // addition sequence `descriptive::mean` performs at finish, so
+            // the curves must be bit-equal for any observation sequence.
+            let mut lists = Binner::new(spec());
+            let mut sums = SumBinner::new(spec());
+            for (x, y) in &pairs {
+                lists.record(*x, *y);
+                sums.record(*x, *y);
+            }
+            prop_assert_eq!(sums.dropped(), lists.dropped());
+            let a = lists.curve_mean(min_count);
+            let b = sums.curve_mean(min_count);
+            prop_assert_eq!(&a.counts, &b.counts);
+            prop_assert_eq!(&a.xs, &b.xs);
+            for (ya, yb) in a.ys.iter().zip(&b.ys) {
+                prop_assert_eq!(
+                    ya.map(f64::to_bits),
+                    yb.map(f64::to_bits),
+                    "bin means diverged: {:?} vs {:?}", ya, yb
+                );
+            }
+        }
     }
 
     #[test]

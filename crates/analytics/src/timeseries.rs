@@ -192,6 +192,27 @@ impl DailySeries {
         kept
     }
 
+    /// Zero-padded copy of the series covering the wider window
+    /// `start..=end` — the range-extension step of incremental view
+    /// maintenance, where appended posts can widen the forum's date range.
+    ///
+    /// Requires `start <= self.start()` and `end >= self.end()`. Per-day
+    /// values are copied verbatim (each day's accumulated sum is
+    /// independent of the window width), so embedding then continuing to
+    /// [`DailySeries::add`] in post order is bit-identical to building the
+    /// wide series from scratch over the same events.
+    pub fn embedded(&self, start: Date, end: Date) -> Result<DailySeries, AnalyticsError> {
+        if start > self.start || end < self.end() {
+            return Err(AnalyticsError::InvalidParameter(
+                "embedded window must contain the series range",
+            ));
+        }
+        let mut out = DailySeries::zeros(start, end)?;
+        let off = self.start.days_since(start) as usize;
+        out.values[off..off + self.values.len()].copy_from_slice(&self.values);
+        Ok(out)
+    }
+
     /// Sum of values over `lo..=hi` clipped to the covered range.
     pub fn window_sum(&self, lo: Date, hi: Date) -> f64 {
         if hi < lo {
@@ -318,6 +339,24 @@ mod tests {
     fn invalid_constructors() {
         assert!(DailySeries::zeros(d(2022, 1, 2), d(2022, 1, 1)).is_err());
         assert!(DailySeries::from_values(d(2022, 1, 1), vec![]).is_err());
+    }
+
+    #[test]
+    fn embedded_zero_pads_and_preserves_values() {
+        let s = base_series();
+        let wide = s.embedded(d(2021, 12, 25), d(2022, 4, 5)).unwrap();
+        assert_eq!(wide.start(), d(2021, 12, 25));
+        assert_eq!(wide.end(), d(2022, 4, 5));
+        assert_eq!(wide.get(d(2021, 12, 31)), Some(0.0));
+        assert_eq!(wide.get(d(2022, 4, 1)), Some(0.0));
+        for (date, v) in s.iter() {
+            assert_eq!(wide.get(date), Some(v));
+        }
+        // Same-range embed is the identity.
+        assert_eq!(s.embedded(s.start(), s.end()).unwrap(), s);
+        // A window that does not contain the series range is rejected.
+        assert!(s.embedded(d(2022, 1, 2), d(2022, 4, 5)).is_err());
+        assert!(s.embedded(d(2021, 12, 25), d(2022, 3, 30)).is_err());
     }
 
     #[test]

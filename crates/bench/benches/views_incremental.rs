@@ -1,0 +1,141 @@
+//! Materialized-view steady-state bench: the cost of absorbing a small
+//! append and re-serving the hot dashboard mix, two ways —
+//!
+//! * `fresh` — the pre-view world: every epoch invalidates everything, so
+//!   each hot answer is recomputed from the full corpus
+//!   ([`usaas::Generation::answer_fresh`]);
+//! * `incremental` — the view-backed path: [`usaas::ViewSet`] carries each
+//!   accumulator across the epoch roll, `append_batch` advances it by the
+//!   delta, and the query pays only the cheap finishing pass.
+//!
+//! Both arms do identical work per iteration — append one fixed 100-call
+//! batch, then answer the full hot set — at corpora of 1k/10k/100k calls.
+//! The view answers are bit-identical to the fresh ones (pinned by
+//! `tests/views_parity.rs`); this bench prices the maintenance strategy
+//! only. The fresh arm's cost grows with the corpus; the incremental
+//! arm's tracks the batch, so the gap widens with corpus size.
+//!
+//! Run with `BENCH_JSON=results/BENCH_views.json` (or via
+//! `scripts/bench_json.sh`) to export the medians.
+
+use bench::bench_forum;
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::{EngagementMetric, NetworkMetric, SessionRecord};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usaas::{Query, UsaasService};
+
+/// Worker count for both arms.
+const WORKERS: usize = 4;
+
+/// Sessions in the per-iteration append.
+const BATCH: usize = 100;
+
+/// Corpus sizes (calls) swept by the comparison.
+const SIZES: [(usize, &str); 3] = [(1_000, "1k"), (10_000, "10k"), (100_000, "100k")];
+
+/// The hot dashboard mix: every figure the paper's operator dashboard
+/// re-requests after each ingest — the correlation-bin sweeps across all
+/// four network metrics, the compounding grids, platform sensitivity, the
+/// MOS aggregates, the sentiment day-series, the outage timeline, and the
+/// deployment ranking.
+fn hot_queries() -> Vec<Query> {
+    let mut queries = Vec::new();
+    for sweep in NetworkMetric::ALL {
+        queries.push(Query::EngagementCurve {
+            sweep,
+            engagement: EngagementMetric::Presence,
+            bins: 8,
+        });
+    }
+    queries.push(Query::EngagementCurve {
+        sweep: NetworkMetric::LossPct,
+        engagement: EngagementMetric::MicOn,
+        bins: 8,
+    });
+    queries.push(Query::EngagementCurve {
+        sweep: NetworkMetric::LatencyMs,
+        engagement: EngagementMetric::CamOn,
+        bins: 8,
+    });
+    for engagement in EngagementMetric::ALL {
+        queries.push(Query::CompoundingGrid {
+            engagement,
+            bins: 5,
+        });
+    }
+    queries.push(Query::PlatformSensitivity {
+        sweep: NetworkMetric::LatencyMs,
+        engagement: EngagementMetric::Presence,
+    });
+    queries.push(Query::PlatformSensitivity {
+        sweep: NetworkMetric::LossPct,
+        engagement: EngagementMetric::Presence,
+    });
+    queries.push(Query::MosCorrelation);
+    queries.push(Query::SentimentPeaks { k: 3 });
+    queries.push(Query::OutageTimeline);
+    queries.push(Query::DeploymentAdvice);
+    queries
+}
+
+/// The fixed append absorbed every iteration.
+fn batch() -> Vec<SessionRecord> {
+    generate(&DatasetConfig::small(BATCH, 0xBEE)).sessions
+}
+
+fn bench_views_incremental(c: &mut Criterion) {
+    let forum = bench_forum();
+    let queries = hot_queries();
+    let delta = batch();
+
+    let mut group = c.benchmark_group("views_incremental");
+    group.sample_size(10);
+
+    for (calls, label) in SIZES {
+        let dataset = generate(&DatasetConfig::small(calls, 0xA11));
+
+        // Fresh arm: no views ever installed; each iteration recomputes
+        // the whole mix from the post-append corpus, as every epoch did
+        // before the view layer existed.
+        let fresh = UsaasService::build(dataset.clone(), forum.clone(), WORKERS);
+        // Prime the shared token corpus so neither arm pays first-touch
+        // tokenization inside the timing loop.
+        let _ = fresh
+            .snapshot()
+            .answer_fresh(&Query::SentimentPeaks { k: 3 });
+        group.bench_function(format!("fresh_{label}"), |b| {
+            b.iter(|| {
+                black_box(fresh.append_batch(delta.clone(), Vec::new()));
+                let generation = fresh.snapshot();
+                for q in &queries {
+                    black_box(generation.answer_fresh(q)).ok();
+                }
+            })
+        });
+
+        // Incremental arm: install the views once, then each iteration's
+        // append advances them by the delta and the queries pay only the
+        // finishing pass.
+        let svc = UsaasService::build(dataset, forum.clone(), WORKERS);
+        for q in &queries {
+            let _ = svc.query(q);
+        }
+        assert!(
+            !svc.snapshot().views().is_empty(),
+            "hot queries must install views before the timing loop"
+        );
+        group.bench_function(format!("incremental_{label}"), |b| {
+            b.iter(|| {
+                black_box(svc.append_batch(delta.clone(), Vec::new()));
+                for q in &queries {
+                    black_box(svc.query(q)).ok();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_views_incremental);
+criterion_main!(benches);

@@ -136,7 +136,7 @@ impl PeakAnnotator {
     }
 
     /// Score every post of the forum by interned ids.
-    fn score_posts(
+    pub(crate) fn score_posts(
         &self,
         forum: &Forum,
         corpus: &TokenCorpus,
@@ -150,7 +150,7 @@ impl PeakAnnotator {
         self.analyzer.score_corpus(corpus, workers)
     }
 
-    fn series_from_scores(
+    pub(crate) fn series_from_scores(
         &self,
         forum: &Forum,
         scores: &[SentimentScores],
@@ -221,11 +221,25 @@ impl PeakAnnotator {
     ) -> Result<Vec<AnnotatedPeak>, AnalyticsError> {
         let scores = self.score_posts(forum, corpus, workers);
         let series = self.series_from_scores(forum, &scores)?;
+        self.annotate_from_scores(forum, corpus, k, &scores, series)
+    }
+
+    /// The annotation tail over precomputed per-post scores and the daily
+    /// series — the incremental sentiment view carries both across epochs
+    /// and calls this directly, skipping the scoring pass entirely.
+    pub(crate) fn annotate_from_scores(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+        k: usize,
+        scores: &[SentimentScores],
+        series: SentimentSeries,
+    ) -> Result<Vec<AnnotatedPeak>, AnalyticsError> {
         let score_day = |date: Date| -> Vec<(&Post, SentimentScores)> {
             forum
                 .posts
                 .iter()
-                .zip(&scores)
+                .zip(scores)
                 .filter(|(p, _)| p.date == date)
                 .map(|(p, s)| (p, *s))
                 .collect()

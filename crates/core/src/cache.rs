@@ -15,6 +15,19 @@
 //! compute once and everyone else blocks only on that key — never on the
 //! shard. Striping keeps unrelated keys from contending on a single map
 //! lock under `query_batch` fan-out.
+//!
+//! ## Two-tier answer path
+//!
+//! Since the materialized-view layer ([`crate::views`]) landed, the cache
+//! is the *outer* of two tiers. A query first consults `MemoCache` — the
+//! per-epoch answer table, invalidated wholesale when a new generation is
+//! published. On a miss, the service routes view-backed queries through
+//! [`crate::views::ViewSet`]: carried accumulators that survive epoch
+//! rollover and absorb each ingested batch as an O(delta) update, so a
+//! post-append miss pays only a cheap finishing pass instead of a full
+//! recompute. Queries with no view key fall through to the cold path. The
+//! division of labour: `MemoCache` deduplicates *within* an epoch, views
+//! carry work *across* epochs.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;

@@ -8,7 +8,7 @@
 //! 100 — exactly how Fig. 1 is drawn.
 
 use crate::frame::{par_map_ranges, SessionFrame};
-use analytics::binning::{BinSpec, BinnedCurve, Binner};
+use analytics::binning::{BinSpec, BinnedCurve, Binner, SumBinner};
 use analytics::correlation::pearson;
 use analytics::AnalyticsError;
 use conference::platform::Platform;
@@ -67,17 +67,26 @@ pub fn engagement_curve_frame(
     min_count: usize,
     workers: usize,
 ) -> Result<BinnedCurve, AnalyticsError> {
+    let binner = engagement_binner_frame(frame, sweep, engagement, bins, workers)?;
+    Ok(binner.curve_mean(min_count).normalized_to_max(100.0))
+}
+
+/// The accumulation stage of [`engagement_curve_frame`]: the fully-fed
+/// binner before the finishing pass. (The incremental curve view carries
+/// the compressed [`SumBinner`] twin instead, fed through
+/// [`record_curve_sums`] — same rows, same order, O(bins) state.)
+pub(crate) fn engagement_binner_frame(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    bins: usize,
+    workers: usize,
+) -> Result<Binner, AnalyticsError> {
     let (lo, hi) = sweep.sweep_range();
     let spec = BinSpec::new(lo, hi, bins)?;
-    let xs = frame.net_mean(sweep);
-    let ys = frame.engagement(engagement);
     let parts = par_map_ranges(frame.len(), workers, |range| {
         let mut binner = Binner::new(spec);
-        for i in range {
-            if frame.in_reference_except(i, sweep) {
-                binner.record(xs[i], ys[i]);
-            }
-        }
+        record_curve_rows(frame, sweep, engagement, &mut binner, range);
         binner
     });
     let mut iter = parts.into_iter();
@@ -85,7 +94,74 @@ pub fn engagement_curve_frame(
     for part in iter {
         binner.merge(part)?;
     }
-    Ok(binner.curve_mean(min_count).normalized_to_max(100.0))
+    Ok(binner)
+}
+
+/// The Fig. 1 row walk — the single predicate/column path every curve
+/// recorder funnels through, so observation sequences cannot diverge
+/// between the chunked rebuild, the list-based delta, and the compressed
+/// incremental view.
+fn for_curve_rows(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    rows: std::ops::Range<usize>,
+    mut record: impl FnMut(f64, f64),
+) {
+    let xs = frame.net_mean(sweep);
+    let ys = frame.engagement(engagement);
+    for i in rows {
+        if frame.in_reference_except(i, sweep) {
+            record(xs[i], ys[i]);
+        }
+    }
+}
+
+/// Record one contiguous row range of the Fig. 1 sweep into `binner` —
+/// used by the chunked cold rebuild, whose chunk-local binners merge in
+/// chunk order.
+pub(crate) fn record_curve_rows(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    binner: &mut Binner,
+    rows: std::ops::Range<usize>,
+) {
+    for_curve_rows(frame, sweep, engagement, rows, |x, y| binner.record(x, y));
+}
+
+/// Record one contiguous row range of the Fig. 1 sweep into the compressed
+/// accumulator the incremental curve view carries. Must be fed rows in row
+/// order — [`SumBinner`]'s running sums replay `mean`'s addition sequence,
+/// which is what makes the finished curve bit-identical to the list path.
+pub(crate) fn record_curve_sums(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    binner: &mut SumBinner,
+    rows: std::ops::Range<usize>,
+) {
+    for_curve_rows(frame, sweep, engagement, rows, |x, y| binner.record(x, y));
+}
+
+/// [`record_curve_sums`] fed raw session records instead of frame rows —
+/// the O(delta) append path, which lets a commit advance the curve view
+/// without materialising the successor frame. A record's frame row stores
+/// its values verbatim ([`SessionFrame`]'s `push`) and the reference mask
+/// mirrors [`in_reference_except`], so recording records in batch order
+/// produces the same observation sequence the row walk would over the
+/// materialised rows.
+pub(crate) fn record_curve_sums_records(
+    sessions: &[SessionRecord],
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    binner: &mut SumBinner,
+) {
+    for s in sessions {
+        if in_reference_except(s, sweep) {
+            binner.record(s.network_mean(sweep), s.engagement(engagement));
+        }
+    }
 }
 
 /// Same curve computed over session P95s instead of means (the paper notes
@@ -192,19 +268,32 @@ pub fn compounding_grid_frame(
     min_count: usize,
     workers: usize,
 ) -> Result<Grid2d, AnalyticsError> {
-    let x = BinSpec::new(0.0, 300.0, bins)?; // latency ms
-    let y = BinSpec::new(0.0, 3.0, bins)?; // loss %
-    let lat = frame.net_mean(NetworkMetric::LatencyMs);
-    let loss = frame.net_mean(NetworkMetric::LossPct);
-    let eng = frame.engagement(engagement);
+    let (x, y, cells) = grid_cells_frame(frame, engagement, bins, workers)?;
+    Ok(grid_from_cells(x, y, bins, &cells, min_count))
+}
+
+/// The Fig. 2 axis specs: latency ms × loss %.
+pub(crate) fn grid_specs(bins: usize) -> Result<(BinSpec, BinSpec), AnalyticsError> {
+    Ok((
+        BinSpec::new(0.0, 300.0, bins)?,
+        BinSpec::new(0.0, 3.0, bins)?,
+    ))
+}
+
+/// The accumulation stage of [`compounding_grid_frame`]: per-cell
+/// observation lists (`cells[yi * bins + xi]`), merged in chunk order. (The
+/// incremental grid view carries the compressed per-cell `(sum, count)`
+/// twin instead, fed through [`record_grid_sums`].)
+pub(crate) fn grid_cells_frame(
+    frame: &SessionFrame,
+    engagement: EngagementMetric,
+    bins: usize,
+    workers: usize,
+) -> Result<(BinSpec, BinSpec, Vec<Vec<f64>>), AnalyticsError> {
+    let (x, y) = grid_specs(bins)?;
     let parts = par_map_ranges(frame.len(), workers, |range| {
         let mut cells: Vec<Vec<f64>> = vec![Vec::new(); bins * bins];
-        for i in range {
-            let (Some(xi), Some(yi)) = (x.index(lat[i]), y.index(loss[i])) else {
-                continue;
-            };
-            cells[yi * bins + xi].push(eng[i]);
-        }
+        record_grid_rows(frame, engagement, x, y, bins, range, &mut cells);
         cells
     });
     let mut cells: Vec<Vec<f64>> = vec![Vec::new(); bins * bins];
@@ -213,6 +302,104 @@ pub fn compounding_grid_frame(
             cell.extend(chunk);
         }
     }
+    Ok((x, y, cells))
+}
+
+/// The Fig. 2 row walk — the single cell-indexing path every grid recorder
+/// funnels through; `record` receives the flat cell index and the
+/// engagement value.
+fn for_grid_rows(
+    frame: &SessionFrame,
+    engagement: EngagementMetric,
+    x: BinSpec,
+    y: BinSpec,
+    bins: usize,
+    rows: std::ops::Range<usize>,
+    mut record: impl FnMut(usize, f64),
+) {
+    let lat = frame.net_mean(NetworkMetric::LatencyMs);
+    let loss = frame.net_mean(NetworkMetric::LossPct);
+    let eng = frame.engagement(engagement);
+    for i in rows {
+        let (Some(xi), Some(yi)) = (x.index(lat[i]), y.index(loss[i])) else {
+            continue;
+        };
+        record(yi * bins + xi, eng[i]);
+    }
+}
+
+/// Record one contiguous row range into the grid's per-cell observation
+/// lists — used by the chunked cold rebuild.
+pub(crate) fn record_grid_rows(
+    frame: &SessionFrame,
+    engagement: EngagementMetric,
+    x: BinSpec,
+    y: BinSpec,
+    bins: usize,
+    rows: std::ops::Range<usize>,
+    cells: &mut [Vec<f64>],
+) {
+    for_grid_rows(frame, engagement, x, y, bins, rows, |cell, v| {
+        cells[cell].push(v)
+    });
+}
+
+/// Record one contiguous row range into the compressed per-cell
+/// `(sum, count)` accumulators the incremental grid view carries. Must be
+/// fed rows in row order: [`grid_from_cells`] (and the per-record
+/// [`compounding_grid`]) sum each cell's observations sequentially from
+/// zero, and these running sums replay that exact addition sequence.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_grid_sums(
+    frame: &SessionFrame,
+    engagement: EngagementMetric,
+    x: BinSpec,
+    y: BinSpec,
+    bins: usize,
+    rows: std::ops::Range<usize>,
+    sums: &mut [f64],
+    counts: &mut [usize],
+) {
+    for_grid_rows(frame, engagement, x, y, bins, rows, |cell, v| {
+        sums[cell] += v;
+        counts[cell] += 1;
+    });
+}
+
+/// [`record_grid_sums`] fed raw session records — the O(delta) append path.
+/// The cell index comes from the same per-record reads the frame columns
+/// store verbatim, so the accumulation sequence matches the row walk.
+pub(crate) fn record_grid_sums_records(
+    sessions: &[SessionRecord],
+    engagement: EngagementMetric,
+    x: BinSpec,
+    y: BinSpec,
+    bins: usize,
+    sums: &mut [f64],
+    counts: &mut [usize],
+) {
+    for s in sessions {
+        let (Some(xi), Some(yi)) = (
+            x.index(s.network_mean(NetworkMetric::LatencyMs)),
+            y.index(s.network_mean(NetworkMetric::LossPct)),
+        ) else {
+            continue;
+        };
+        sums[yi * bins + xi] += s.engagement(engagement);
+        counts[yi * bins + xi] += 1;
+    }
+}
+
+/// Finishing pass from per-cell observation lists: sequential per-cell sums
+/// (the reference accumulation order), then [`finish_grid`]'s thin-cell
+/// suppression and best-cell normalisation.
+pub(crate) fn grid_from_cells(
+    x: BinSpec,
+    y: BinSpec,
+    bins: usize,
+    cells: &[Vec<f64>],
+    min_count: usize,
+) -> Grid2d {
     let mut sums = vec![vec![0.0f64; bins]; bins];
     let mut counts = vec![vec![0usize; bins]; bins];
     for yi in 0..bins {
@@ -224,7 +411,24 @@ pub fn compounding_grid_frame(
             counts[yi][xi] = cell.len();
         }
     }
-    Ok(finish_grid(x, y, sums, counts, min_count))
+    finish_grid(x, y, sums, counts, min_count)
+}
+
+/// Finishing pass from the compressed flat `(sum, count)` accumulators the
+/// incremental grid view carries — un-flattens and feeds the same
+/// [`finish_grid`] the list path feeds, so identical sums give an
+/// identical grid.
+pub(crate) fn grid_from_sums(
+    x: BinSpec,
+    y: BinSpec,
+    bins: usize,
+    sums: &[f64],
+    counts: &[usize],
+    min_count: usize,
+) -> Grid2d {
+    let sums2d: Vec<Vec<f64>> = sums.chunks(bins).map(<[f64]>::to_vec).collect();
+    let counts2d: Vec<Vec<usize>> = counts.chunks(bins).map(<[usize]>::to_vec).collect();
+    finish_grid(x, y, sums2d, counts2d, min_count)
 }
 
 /// Shared Fig. 2 finishing pass: thin-cell suppression and best-cell = 100
@@ -320,21 +524,26 @@ pub fn platform_curves_frame(
     min_count: usize,
     workers: usize,
 ) -> Result<Vec<(Platform, BinnedCurve)>, AnalyticsError> {
+    let binners = platform_binners_frame(frame, sweep, engagement, bins, workers)?;
+    Ok(platform_curves_from_binners(binners, min_count))
+}
+
+/// The accumulation stage of [`platform_curves_frame`]: one fully-fed
+/// binner per `Platform::ALL` slot. (The incremental platform view carries
+/// one compressed [`SumBinner`] per slot instead, fed through
+/// [`record_platform_sums`].)
+pub(crate) fn platform_binners_frame(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    bins: usize,
+    workers: usize,
+) -> Result<Vec<Binner>, AnalyticsError> {
     let (lo, hi) = sweep.sweep_range();
     let spec = BinSpec::new(lo, hi, bins)?;
-    let xs = frame.net_mean(sweep);
-    let ys = frame.engagement(engagement);
-    let platforms = frame.platform();
     let parts = par_map_ranges(frame.len(), workers, |range| {
         let mut binners: Vec<Binner> = Platform::ALL.iter().map(|_| Binner::new(spec)).collect();
-        for i in range {
-            if !frame.in_reference_except(i, sweep) {
-                continue;
-            }
-            if let Some(slot) = Platform::ALL.iter().position(|p| *p == platforms[i]) {
-                binners[slot].record(xs[i], ys[i]);
-            }
-        }
+        record_platform_rows(frame, sweep, engagement, &mut binners, range);
         binners
     });
     let mut iter = parts.into_iter();
@@ -344,12 +553,107 @@ pub fn platform_curves_frame(
             mine.merge(theirs)?;
         }
     }
+    Ok(merged)
+}
+
+/// The Fig. 3 row walk — the single platform-partition path every platform
+/// recorder funnels through; `record` receives the `Platform::ALL` slot and
+/// the `(x, y)` pair.
+fn for_platform_rows(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    rows: std::ops::Range<usize>,
+    mut record: impl FnMut(usize, f64, f64),
+) {
+    let xs = frame.net_mean(sweep);
+    let ys = frame.engagement(engagement);
+    let platforms = frame.platform();
+    for i in rows {
+        if !frame.in_reference_except(i, sweep) {
+            continue;
+        }
+        if let Some(slot) = Platform::ALL.iter().position(|p| *p == platforms[i]) {
+            record(slot, xs[i], ys[i]);
+        }
+    }
+}
+
+/// Record one contiguous row range into the per-platform binners — used by
+/// the chunked cold rebuild.
+pub(crate) fn record_platform_rows(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    binners: &mut [Binner],
+    rows: std::ops::Range<usize>,
+) {
+    for_platform_rows(frame, sweep, engagement, rows, |slot, x, y| {
+        binners[slot].record(x, y)
+    });
+}
+
+/// Record one contiguous row range into the compressed per-platform
+/// accumulators the incremental platform view carries. Row-order feeding
+/// required, as for [`record_curve_sums`].
+pub(crate) fn record_platform_sums(
+    frame: &SessionFrame,
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    binners: &mut [SumBinner],
+    rows: std::ops::Range<usize>,
+) {
+    for_platform_rows(frame, sweep, engagement, rows, |slot, x, y| {
+        binners[slot].record(x, y)
+    });
+}
+
+/// [`record_platform_sums`] fed raw session records — the O(delta) append
+/// path, same reference-filter and platform-slot logic as the row walk.
+pub(crate) fn record_platform_sums_records(
+    sessions: &[SessionRecord],
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    binners: &mut [SumBinner],
+) {
+    for s in sessions {
+        if !in_reference_except(s, sweep) {
+            continue;
+        }
+        if let Some(slot) = Platform::ALL.iter().position(|p| *p == s.platform) {
+            binners[slot].record(s.network_mean(sweep), s.engagement(engagement));
+        }
+    }
+}
+
+/// Finishing pass from per-platform binners: per-platform mean curves, then
+/// the joint normalisation.
+pub(crate) fn platform_curves_from_binners(
+    binners: Vec<Binner>,
+    min_count: usize,
+) -> Vec<(Platform, BinnedCurve)> {
     let raw: Vec<(Platform, BinnedCurve)> = Platform::ALL
         .iter()
-        .zip(merged)
+        .zip(binners)
         .map(|(p, b)| (*p, b.curve_mean(min_count)))
         .collect();
-    Ok(normalize_platforms_jointly(raw))
+    normalize_platforms_jointly(raw)
+}
+
+/// [`platform_curves_from_binners`] for the compressed per-platform
+/// accumulators: per-platform mean curves (bit-identical to the list path
+/// when fed the same rows in the same order), then the same joint
+/// normalisation.
+pub(crate) fn platform_curves_from_sums(
+    binners: &[SumBinner],
+    min_count: usize,
+) -> Vec<(Platform, BinnedCurve)> {
+    let raw: Vec<(Platform, BinnedCurve)> = Platform::ALL
+        .iter()
+        .zip(binners)
+        .map(|(p, b)| (*p, b.curve_mean(min_count)))
+        .collect();
+    normalize_platforms_jointly(raw)
 }
 
 /// Fig. 3 joint normalisation: every curve is scaled by the global best bin
@@ -463,15 +767,50 @@ pub fn mos_by_engagement_frame(
     bins: usize,
     min_count: usize,
 ) -> Result<BinnedCurve, AnalyticsError> {
+    mos_by_engagement_on(frame, &frame.rated_indices(), engagement, bins, min_count)
+}
+
+/// [`mos_by_engagement_frame`] over a caller-supplied rated-index list (in
+/// ascending session order). Recording rated rows in index order is the
+/// same observation sequence as the full-column scan, so the curve is
+/// bit-identical; the incremental MOS view carries the list across epochs.
+pub(crate) fn mos_by_engagement_on(
+    frame: &SessionFrame,
+    rated: &[usize],
+    engagement: EngagementMetric,
+    bins: usize,
+    min_count: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
+    let col = frame.engagement(engagement);
+    let eng: Vec<f64> = rated.iter().map(|&i| col[i]).collect();
+    let ratings = gather_ratings(frame, rated);
+    mos_curve_from_vals(&eng, &ratings, bins, min_count)
+}
+
+/// Fig. 4 curve from pre-gathered rated-row values (engagement and rating
+/// vectors in rated-row order) — the incremental MOS view's finishing pass.
+/// Recording the pairs in order replays the exact observation sequence the
+/// index-gather path records, so the curve is bit-identical.
+pub(crate) fn mos_curve_from_vals(
+    eng: &[f64],
+    ratings: &[f64],
+    bins: usize,
+    min_count: usize,
+) -> Result<BinnedCurve, AnalyticsError> {
     let spec = BinSpec::new(0.0, 100.0, bins)?;
     let mut binner = Binner::new(spec);
-    let eng = frame.engagement(engagement);
-    for (i, rating) in frame.rating().iter().enumerate() {
-        if let Some(r) = rating {
-            binner.record(eng[i], f64::from(*r));
-        }
+    for (&x, &r) in eng.iter().zip(ratings) {
+        binner.record(x, r);
     }
     Ok(binner.curve_mean(min_count))
+}
+
+/// Gather rated rows' ratings as `f64` in rated-row order.
+fn gather_ratings(frame: &SessionFrame, rated: &[usize]) -> Vec<f64> {
+    rated
+        .iter()
+        .map(|&i| f64::from(frame.rating()[i].expect("rated index carries a rating")))
+        .collect()
 }
 
 /// [`mos_correlations`] over frame columns: the rated engagement vectors are
@@ -480,19 +819,38 @@ pub fn mos_by_engagement_frame(
 pub fn mos_correlations_frame(
     frame: &SessionFrame,
 ) -> Result<Vec<(EngagementMetric, f64)>, AnalyticsError> {
-    let rated = frame.rated_indices();
-    if rated.len() < 2 {
+    mos_correlations_on(frame, &frame.rated_indices())
+}
+
+/// [`mos_correlations_frame`] over a caller-supplied rated-index list (in
+/// ascending session order) — the incremental MOS view's finishing pass.
+pub(crate) fn mos_correlations_on(
+    frame: &SessionFrame,
+    rated: &[usize],
+) -> Result<Vec<(EngagementMetric, f64)>, AnalyticsError> {
+    let eng: Vec<Vec<f64>> = EngagementMetric::ALL
+        .iter()
+        .map(|&m| {
+            let col = frame.engagement(m);
+            rated.iter().map(|&i| col[i]).collect()
+        })
+        .collect();
+    mos_correlations_vals(&eng, &gather_ratings(frame, rated))
+}
+
+/// Fig. 4 ranking from pre-gathered rated-row values: `eng[k]` holds
+/// `EngagementMetric::ALL[k]`'s values in rated-row order. Identical Pearson
+/// inputs to the index-gather path, so the ranking is bit-identical.
+pub(crate) fn mos_correlations_vals(
+    eng: &[Vec<f64>],
+    ratings: &[f64],
+) -> Result<Vec<(EngagementMetric, f64)>, AnalyticsError> {
+    if ratings.len() < 2 {
         return Err(AnalyticsError::Empty);
     }
-    let ratings: Vec<f64> = rated
-        .iter()
-        .map(|&i| f64::from(frame.rating()[i].expect("rated index carries a rating")))
-        .collect();
     let mut out = Vec::new();
-    for metric in EngagementMetric::ALL {
-        let col = frame.engagement(metric);
-        let xs: Vec<f64> = rated.iter().map(|&i| col[i]).collect();
-        out.push((metric, pearson(&xs, &ratings)?));
+    for (k, &metric) in EngagementMetric::ALL.iter().enumerate() {
+        out.push((metric, pearson(&eng[k], ratings)?));
     }
     out.sort_by(|a, b| analytics::desc_nan_last(a.1, b.1));
     Ok(out)

@@ -97,8 +97,36 @@ impl SessionFrame {
         }
     }
 
+    /// A new frame holding this frame's rows followed by `sessions` — the
+    /// epoch-rollover path. Every column is copied exactly once into
+    /// storage sized for the final row count (clone-then-extend would copy
+    /// the prefix twice: once in the clone and again when the extend's
+    /// realloc moves it), then the delta rows are appended in order, so
+    /// the result is bit-identical to rebuilding from the concatenated
+    /// dataset (asserted by the frame tests).
+    pub fn extended_by(&self, sessions: &[SessionRecord], workers: usize) -> SessionFrame {
+        let mut out = SessionFrame::with_capacity(self.len + sessions.len());
+        for (dst, src) in out.net_mean.iter_mut().zip(&self.net_mean) {
+            dst.extend_from_slice(src);
+        }
+        for (dst, src) in out.net_p95.iter_mut().zip(&self.net_p95) {
+            dst.extend_from_slice(src);
+        }
+        for (dst, src) in out.engagement.iter_mut().zip(&self.engagement) {
+            dst.extend_from_slice(src);
+        }
+        out.platform.extend_from_slice(&self.platform);
+        out.access.extend_from_slice(&self.access);
+        out.date.extend_from_slice(&self.date);
+        out.rating.extend_from_slice(&self.rating);
+        out.ref_mask.extend_from_slice(&self.ref_mask);
+        out.len = self.len;
+        out.extend_from_sessions(sessions, workers);
+        out
+    }
+
     /// Empty frame with per-column capacity reserved.
-    fn with_capacity(n: usize) -> SessionFrame {
+    pub(crate) fn with_capacity(n: usize) -> SessionFrame {
         SessionFrame {
             len: 0,
             net_mean: std::array::from_fn(|_| Vec::with_capacity(n)),
@@ -326,10 +354,47 @@ pub fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Map `f` over the chunk ranges of `[0, len)` on scoped worker threads,
-/// returning the per-chunk results **in chunk order** (so order-sensitive
-/// merges reproduce the sequential visit order). A single chunk runs inline
-/// on the caller's thread — no spawn cost for small inputs or `workers <= 1`.
+/// Fewest elements a chunk must hold before a thread spawn pays for
+/// itself; columnar work is tens of nanoseconds per element, so anything
+/// smaller loses more to spawn/join than the fan-out wins.
+const MIN_CHUNK_ELEMENTS: usize = 4096;
+
+/// Chunks handed to each available core. Every chunk runs on its own
+/// scoped thread, so more than one per core only adds scheduler churn.
+const CHUNKS_PER_CORE: usize = 1;
+
+/// Cores the OS will actually run us on, probed once.
+fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Adaptive work-splitting: the requested `workers` capped to what the
+/// machine can run (`cores × CHUNKS_PER_CORE`) and to what the input can
+/// feed (`len / MIN_CHUNK_ELEMENTS`), never below one. Because chunks are
+/// contiguous and merged in chunk order everywhere, *any* chunk count
+/// yields bit-identical results — this only decides how much spawn cost is
+/// worth paying.
+fn adaptive_chunks(len: usize, workers: usize) -> usize {
+    workers
+        .min(available_cores() * CHUNKS_PER_CORE)
+        .min(len / MIN_CHUNK_ELEMENTS)
+        .max(1)
+}
+
+/// Map `f` over adaptively-sized chunk ranges of `[0, len)` on scoped
+/// worker threads, returning the per-chunk results **in chunk order** (so
+/// order-sensitive merges reproduce the sequential visit order). `workers`
+/// is an upper bound: the split falls back to fewer chunks — down to a
+/// single inline one, paying no spawn cost — when the input is too small
+/// to amortise thread spawns or the machine has fewer cores (see
+/// [`chunk_ranges`] for the range arithmetic). The chunk-order merge
+/// discipline makes any chunk count bit-identical, so the adaptation never
+/// changes results.
 ///
 /// # Panics
 ///
@@ -339,7 +404,17 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let ranges = chunk_ranges(len, workers);
+    par_map_on(chunk_ranges(len, adaptive_chunks(len, workers)), f)
+}
+
+/// The spawn machinery behind [`par_map_ranges`], over explicit ranges —
+/// split out so tests can pin the multi-chunk path regardless of how many
+/// cores the test machine has.
+fn par_map_on<T, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
     if ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
     }
@@ -448,6 +523,34 @@ mod tests {
     }
 
     #[test]
+    fn extended_by_equals_rebuilding() {
+        let ds = dataset();
+        let split = ds.len() / 4;
+        let mut base = SessionFrame::default();
+        base.extend_from_sessions(&ds.sessions[..split], 4);
+        let extended = base.extended_by(&ds.sessions[split..], 4);
+        let rebuilt = SessionFrame::from_dataset(ds, 4);
+        assert_eq!(base.len(), split, "the source frame is untouched");
+        assert_eq!(extended.len(), rebuilt.len());
+        for m in NetworkMetric::ALL {
+            assert_eq!(extended.net_mean(m), rebuilt.net_mean(m));
+            assert_eq!(extended.net_p95(m), rebuilt.net_p95(m));
+        }
+        for m in EngagementMetric::ALL {
+            assert_eq!(extended.engagement(m), rebuilt.engagement(m));
+        }
+        assert_eq!(extended.platform(), rebuilt.platform());
+        assert_eq!(extended.access(), rebuilt.access());
+        assert_eq!(extended.date(), rebuilt.date());
+        assert_eq!(extended.rating(), rebuilt.rating());
+        assert_eq!(extended.rated_indices(), rebuilt.rated_indices());
+        // An empty delta still yields a standalone, equal frame.
+        let unchanged = rebuilt.extended_by(&[], 4);
+        assert_eq!(unchanged.len(), rebuilt.len());
+        assert_eq!(unchanged.rating(), rebuilt.rating());
+    }
+
+    #[test]
     fn empty_dataset_yields_empty_frame() {
         let frame = SessionFrame::from_dataset(&CallDataset::default(), 4);
         assert_eq!(frame.len(), 0);
@@ -521,12 +624,17 @@ mod tests {
         let parts = par_map_ranges(100, 7, |r| r.clone());
         let flat: Vec<usize> = parts.into_iter().flatten().collect();
         assert_eq!(flat, (0..100).collect::<Vec<_>>());
+        // The spawned multi-chunk path keeps the same order, regardless of
+        // how many cores this machine has.
+        let parts = par_map_on(chunk_ranges(100, 7), |r| r.clone());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn par_map_propagates_worker_panics() {
         let result = std::panic::catch_unwind(|| {
-            par_map_ranges(10, 4, |r| {
+            par_map_on(chunk_ranges(10, 4), |r| {
                 if r.start == 0 {
                     panic!("chunk worker exploded");
                 }
@@ -536,5 +644,53 @@ mod tests {
         let payload = result.expect_err("worker panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "chunk worker exploded");
+    }
+
+    #[test]
+    fn adaptive_split_falls_back_to_sequential_on_small_inputs() {
+        // Below the per-chunk floor the whole input runs as one inline
+        // chunk, whatever was requested.
+        assert_eq!(adaptive_chunks(0, 8), 1);
+        assert_eq!(adaptive_chunks(MIN_CHUNK_ELEMENTS - 1, 8), 1);
+        assert_eq!(adaptive_chunks(MIN_CHUNK_ELEMENTS * 2, 1), 1);
+        // Large inputs split, but never beyond the requested workers or
+        // what the machine can run.
+        let cap = available_cores() * CHUNKS_PER_CORE;
+        let big = MIN_CHUNK_ELEMENTS * 64;
+        assert_eq!(adaptive_chunks(big, 4), 4.min(cap));
+        assert!(adaptive_chunks(big, 1024) <= cap);
+        // The element floor bounds the chunk count even for huge worker
+        // requests.
+        assert!(adaptive_chunks(MIN_CHUNK_ELEMENTS * 3, 1024) <= 3);
+    }
+
+    #[test]
+    fn adaptive_split_is_bit_identical_to_forced_chunks() {
+        // The policy only changes how many chunks run, never what they
+        // compute: frame columns built through the adaptive path equal a
+        // forced multi-chunk build element-for-element.
+        let ds = dataset();
+        let adaptive = SessionFrame::from_dataset(ds, 4);
+        let mut forced = SessionFrame::default();
+        let parts = par_map_on(chunk_ranges(ds.len(), 4), |range| {
+            let mut part = SessionFrame::with_capacity(range.len());
+            for s in &ds.sessions[range] {
+                part.push(s);
+            }
+            part
+        });
+        for part in parts {
+            forced.append(part);
+        }
+        assert_eq!(adaptive.len(), forced.len());
+        for m in NetworkMetric::ALL {
+            assert_eq!(adaptive.net_mean(m), forced.net_mean(m));
+            assert_eq!(adaptive.net_p95(m), forced.net_p95(m));
+        }
+        for m in EngagementMetric::ALL {
+            assert_eq!(adaptive.engagement(m), forced.engagement(m));
+        }
+        assert_eq!(adaptive.rating(), forced.rating());
+        assert_eq!(adaptive.ref_mask, forced.ref_mask);
     }
 }

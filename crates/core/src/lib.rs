@@ -30,6 +30,7 @@ pub mod service;
 pub mod signals;
 pub mod source;
 pub mod store;
+pub mod views;
 
 pub use advisor::{Intervention, TrafficAdvisor};
 pub use annotate::{AnnotatedPeak, PeakAnnotator};
@@ -57,8 +58,10 @@ pub use predict::{
     train_and_evaluate, train_and_evaluate_frame, Evaluation, FeatureSet, MosPredictor,
 };
 pub use service::{
-    Answer, CrossNetworkReport, Generation, Query, ServiceHealth, UsaasError, UsaasService,
+    Answer, CrossNetworkReport, Generation, Query, ServiceHealth, SessionChunks, UsaasError,
+    UsaasService,
 };
 pub use signals::{NetworkHint, Payload, Signal, SignalKind};
 pub use source::{ItemSource, PostSource, RawItem, SessionSource, Source, SourceError};
 pub use store::SignalStore;
+pub use views::{View, ViewKey, ViewSet};

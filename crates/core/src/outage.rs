@@ -124,27 +124,8 @@ impl OutageDetector {
         let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
         let mut series = DailySeries::zeros(start, end)?;
         let dict = CompiledDict::compile(&self.dictionary, corpus.vocab());
-        let vocab = corpus.vocab();
         let parts = sentiment::corpus::par_map_ranges(corpus.docs(), workers, |range| {
-            let mut scratch = Vec::new();
-            range
-                .map(|doc| {
-                    let ids = corpus.doc(doc);
-                    let hits = dict.count_ids_with(ids, &mut scratch);
-                    if hits == 0 {
-                        return 0;
-                    }
-                    if self.negative_filter {
-                        let scores = self.analyzer.score_ids(ids, vocab);
-                        // "Threads with positive or neutral sentiments have
-                        // been filtered out."
-                        if scores.negative <= scores.positive || scores.negative <= scores.neutral {
-                            return 0;
-                        }
-                    }
-                    hits
-                })
-                .collect::<Vec<usize>>()
+            self.doc_hits_range(&dict, corpus, range)
         });
         let hits_per_post = sentiment::corpus::flatten_chunks(parts);
         for (post, hits) in forum.posts.iter().zip(hits_per_post) {
@@ -153,6 +134,41 @@ impl OutageDetector {
             }
         }
         Ok(series)
+    }
+
+    /// Filtered keyword hits for one contiguous document range: dictionary
+    /// occurrences, zeroed when the negative-sentiment filter rejects the
+    /// post. Per-document and independent of every other document, so the
+    /// incremental outage view computes this for appended documents only
+    /// and gets counts identical to a full sweep. (Vocabulary growth never
+    /// changes old documents' counts: a dictionary entry that newly
+    /// compiles maps to ids no old document contains.)
+    pub(crate) fn doc_hits_range(
+        &self,
+        dict: &CompiledDict,
+        corpus: &TokenCorpus,
+        range: std::ops::Range<usize>,
+    ) -> Vec<usize> {
+        let vocab = corpus.vocab();
+        let mut scratch = Vec::new();
+        range
+            .map(|doc| {
+                let ids = corpus.doc(doc);
+                let hits = dict.count_ids_with(ids, &mut scratch);
+                if hits == 0 {
+                    return 0;
+                }
+                if self.negative_filter {
+                    let scores = self.analyzer.score_ids(ids, vocab);
+                    // "Threads with positive or neutral sentiments have
+                    // been filtered out."
+                    if scores.negative <= scores.positive || scores.negative <= scores.neutral {
+                        return 0;
+                    }
+                }
+                hits
+            })
+            .collect()
     }
 
     /// Detect outage days: spikes of the keyword series.
@@ -176,7 +192,7 @@ impl OutageDetector {
         ))
     }
 
-    fn peaks_to_detections(peaks: Vec<Peak>) -> Vec<DetectedOutage> {
+    pub(crate) fn peaks_to_detections(peaks: Vec<Peak>) -> Vec<DetectedOutage> {
         peaks
             .into_iter()
             .map(|Peak { date, value, score }| DetectedOutage {

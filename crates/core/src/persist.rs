@@ -36,11 +36,14 @@
 
 use crate::frame::SessionFrame;
 use crate::ingest::{QuarantineEntry, QuarantineReason};
+use crate::predict::FeatureSet;
+use crate::service::SessionChunks;
 use crate::signals::{ExplicitSignal, ImplicitSignal, NetworkHint, Payload, Signal, SocialSignal};
 use crate::store::SignalStore;
+use crate::views::ViewKey;
 use analytics::time::Date;
 use conference::platform::Platform;
-use conference::records::SessionRecord;
+use conference::records::{EngagementMetric, NetworkMetric, SessionRecord};
 use netsim::access::AccessType;
 use netsim::sampler::SessionNetworkStats;
 use ocr::report::Provider;
@@ -67,8 +70,10 @@ const SNAPSHOTS_KEPT: usize = 2;
 
 /// Magic leading every snapshot file.
 const SNAPSHOT_MAGIC: &[u8; 8] = b"USAASNP\x01";
-/// Snapshot format version.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format version. v2 appends the materialized-view key list
+/// ([`crate::views::ViewKey`]) after the signal store; v1 snapshots (no
+/// key list) still load, recovering with an empty view set.
+const SNAPSHOT_VERSION: u32 = 2;
 /// Magic leading every journal record frame ("UJRL", little-endian).
 const RECORD_MAGIC: u32 = 0x4C52_4A55;
 /// Bytes of a journal record frame header: magic u32 + len u64 + crc u32.
@@ -158,6 +163,125 @@ pub(crate) fn access_from_tag(tag: u8) -> Result<AccessType, bin::Error> {
         5 => AccessType::SatelliteLeo,
         6 => AccessType::LongHaul,
         _ => return Err(bin::Error::Corrupt("unknown access tag")),
+    })
+}
+
+fn net_metric_tag(m: NetworkMetric) -> u8 {
+    match m {
+        NetworkMetric::LatencyMs => 0,
+        NetworkMetric::LossPct => 1,
+        NetworkMetric::JitterMs => 2,
+        NetworkMetric::BandwidthMbps => 3,
+    }
+}
+
+fn net_metric_from_tag(tag: u8) -> Result<NetworkMetric, bin::Error> {
+    Ok(match tag {
+        0 => NetworkMetric::LatencyMs,
+        1 => NetworkMetric::LossPct,
+        2 => NetworkMetric::JitterMs,
+        3 => NetworkMetric::BandwidthMbps,
+        _ => return Err(bin::Error::Corrupt("unknown network-metric tag")),
+    })
+}
+
+fn eng_metric_tag(m: EngagementMetric) -> u8 {
+    match m {
+        EngagementMetric::Presence => 0,
+        EngagementMetric::MicOn => 1,
+        EngagementMetric::CamOn => 2,
+    }
+}
+
+fn eng_metric_from_tag(tag: u8) -> Result<EngagementMetric, bin::Error> {
+    Ok(match tag {
+        0 => EngagementMetric::Presence,
+        1 => EngagementMetric::MicOn,
+        2 => EngagementMetric::CamOn,
+        _ => return Err(bin::Error::Corrupt("unknown engagement-metric tag")),
+    })
+}
+
+fn feature_set_tag(f: FeatureSet) -> u8 {
+    match f {
+        FeatureSet::NetworkOnly => 0,
+        FeatureSet::EngagementOnly => 1,
+        FeatureSet::Full => 2,
+    }
+}
+
+fn feature_set_from_tag(tag: u8) -> Result<FeatureSet, bin::Error> {
+    Ok(match tag {
+        0 => FeatureSet::NetworkOnly,
+        1 => FeatureSet::EngagementOnly,
+        2 => FeatureSet::Full,
+        _ => return Err(bin::Error::Corrupt("unknown feature-set tag")),
+    })
+}
+
+/// Encode one materialized-view key (snapshot v2). Snapshots persist the
+/// *keys* only — a view's accumulator is a deterministic function of
+/// (key, corpus), so recovery rebuilds it instead of trusting a serialized
+/// copy to match replayed state.
+fn put_view_key(w: &mut Writer, key: ViewKey) {
+    match key {
+        ViewKey::Curve {
+            sweep,
+            engagement,
+            bins,
+        } => {
+            w.put_u8(1);
+            w.put_u8(net_metric_tag(sweep));
+            w.put_u8(eng_metric_tag(engagement));
+            w.put_u64(bins as u64);
+        }
+        ViewKey::Grid { engagement, bins } => {
+            w.put_u8(2);
+            w.put_u8(eng_metric_tag(engagement));
+            w.put_u64(bins as u64);
+        }
+        ViewKey::Platform { sweep, engagement } => {
+            w.put_u8(3);
+            w.put_u8(net_metric_tag(sweep));
+            w.put_u8(eng_metric_tag(engagement));
+        }
+        ViewKey::Mos => w.put_u8(4),
+        ViewKey::Predict { features } => {
+            w.put_u8(5);
+            w.put_u8(feature_set_tag(features));
+        }
+        ViewKey::Sentiment => w.put_u8(6),
+        ViewKey::Outage => w.put_u8(7),
+        ViewKey::Deployment => w.put_u8(8),
+    }
+}
+
+fn get_view_key(r: &mut Reader<'_>) -> Result<ViewKey, bin::Error> {
+    Ok(match r.get_u8()? {
+        // `bins` is a query parameter, not a collection length, so it is
+        // read with `get_usize` — the `get_len` remaining-bytes guard does
+        // not apply.
+        1 => ViewKey::Curve {
+            sweep: net_metric_from_tag(r.get_u8()?)?,
+            engagement: eng_metric_from_tag(r.get_u8()?)?,
+            bins: r.get_usize()?,
+        },
+        2 => ViewKey::Grid {
+            engagement: eng_metric_from_tag(r.get_u8()?)?,
+            bins: r.get_usize()?,
+        },
+        3 => ViewKey::Platform {
+            sweep: net_metric_from_tag(r.get_u8()?)?,
+            engagement: eng_metric_from_tag(r.get_u8()?)?,
+        },
+        4 => ViewKey::Mos,
+        5 => ViewKey::Predict {
+            features: feature_set_from_tag(r.get_u8()?)?,
+        },
+        6 => ViewKey::Sentiment,
+        7 => ViewKey::Outage,
+        8 => ViewKey::Deployment,
+        _ => return Err(bin::Error::Corrupt("unknown view-key tag")),
     })
 }
 
@@ -604,12 +728,15 @@ pub(crate) struct SnapshotContents<'a> {
     /// Journal sequence of the last record already folded into this
     /// snapshot; replay skips records with `seq <=` this.
     pub(crate) journal_seq: u64,
-    pub(crate) sessions: &'a [SessionRecord],
+    pub(crate) sessions: &'a SessionChunks,
     pub(crate) posts: &'a [Post],
     pub(crate) frame: &'a SessionFrame,
     pub(crate) corpus: Option<&'a TokenCorpus>,
     pub(crate) store: &'a SignalStore,
     pub(crate) health: &'a PersistedHealth,
+    /// Keys of the materialized views installed at checkpoint time, in
+    /// canonical order; recovery rebuilds them deterministically.
+    pub(crate) view_keys: &'a [ViewKey],
 }
 
 /// Owned, decoded snapshot — what recovery starts from.
@@ -622,6 +749,7 @@ pub(crate) struct SnapshotState {
     pub(crate) corpus: Option<TokenCorpus>,
     pub(crate) store: SignalStore,
     pub(crate) health: PersistedHealth,
+    pub(crate) view_keys: Vec<ViewKey>,
 }
 
 fn encode_snapshot(c: &SnapshotContents<'_>) -> Vec<u8> {
@@ -630,7 +758,7 @@ fn encode_snapshot(c: &SnapshotContents<'_>) -> Vec<u8> {
     w.put_u64(c.journal_seq);
     c.health.encode(&mut w);
     w.put_u64(c.sessions.len() as u64);
-    for s in c.sessions {
+    for s in c.sessions.iter() {
         put_session(&mut w, s);
     }
     w.put_u64(c.posts.len() as u64);
@@ -653,10 +781,16 @@ fn encode_snapshot(c: &SnapshotContents<'_>) -> Vec<u8> {
             put_signal(&mut w, s);
         }
     });
+    // v2 tail: the materialized-view key list. Appended last so the v1
+    // prefix of the payload is unchanged.
+    w.put_u64(c.view_keys.len() as u64);
+    for &key in c.view_keys {
+        put_view_key(&mut w, key);
+    }
     w.into_bytes()
 }
 
-fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, bin::Error> {
+fn decode_snapshot(payload: &[u8], version: u32) -> Result<SnapshotState, bin::Error> {
     let mut r = Reader::new(payload);
     let epoch = r.get_u64()?;
     let journal_seq = r.get_u64()?;
@@ -691,6 +825,13 @@ fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, bin::Error> {
         }
         store.insert_batch(batch);
     }
+    let mut view_keys = Vec::new();
+    if version >= 2 {
+        let n_keys = r.get_len()?;
+        for _ in 0..n_keys {
+            view_keys.push(get_view_key(&mut r)?);
+        }
+    }
     if !r.is_exhausted() {
         return Err(bin::Error::Corrupt("trailing bytes after snapshot"));
     }
@@ -703,6 +844,7 @@ fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, bin::Error> {
         corpus,
         store,
         health,
+        view_keys,
     })
 }
 
@@ -772,7 +914,9 @@ fn load_snapshot(path: &Path) -> Result<SnapshotState, PersistError> {
         return Err(corrupt("bad magic or truncated header".to_string()));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != SNAPSHOT_VERSION {
+    // v1 readable for upgrade-in-place: same payload minus the view-key
+    // tail, which decodes to an empty view set.
+    if version == 0 || version > SNAPSHOT_VERSION {
         return Err(corrupt(format!("unsupported snapshot version {version}")));
     }
     let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
@@ -787,7 +931,7 @@ fn load_snapshot(path: &Path) -> Result<SnapshotState, PersistError> {
     if bin::crc32(payload) != crc {
         return Err(corrupt("checksum mismatch".to_string()));
     }
-    decode_snapshot(payload).map_err(|e| corrupt(e.to_string()))
+    decode_snapshot(payload, version).map_err(|e| corrupt(e.to_string()))
 }
 
 /// Load the newest valid snapshot, falling back to older ones on
@@ -1276,15 +1420,29 @@ mod tests {
                 item: "session 17".to_string(),
             }],
         };
+        let view_keys = [
+            ViewKey::Curve {
+                sweep: NetworkMetric::LatencyMs,
+                engagement: EngagementMetric::Presence,
+                bins: 6,
+            },
+            ViewKey::Mos,
+            ViewKey::Predict {
+                features: FeatureSet::Full,
+            },
+            ViewKey::Outage,
+        ];
+        let session_chunks = SessionChunks::from_vec(sessions.clone());
         let contents = SnapshotContents {
             epoch: 4,
             journal_seq: 9,
-            sessions: &sessions,
+            sessions: &session_chunks,
             posts: &posts,
             frame: &frame,
             corpus: None,
             store: &store,
             health: &health,
+            view_keys: &view_keys,
         };
         let path = write_snapshot(&dir, &contents).unwrap();
         assert!(path.ends_with("snapshot-9.snap"));
@@ -1299,6 +1457,7 @@ mod tests {
         assert_eq!(state.store.len(), store.len());
         assert_eq!(state.health.dead_letters, health.dead_letters);
         assert_eq!(state.health.open_breakers, health.open_breakers);
+        assert_eq!(state.view_keys, view_keys);
 
         // Write a second snapshot, corrupt it, and watch recovery fall
         // back to the first with a warning instead of dying.
@@ -1329,18 +1488,20 @@ mod tests {
         );
         let store = SignalStore::new();
         let health = PersistedHealth::default();
+        let session_chunks = SessionChunks::from_vec(sessions);
         for seq in [1u64, 2, 3, 4] {
             write_snapshot(
                 &dir,
                 &SnapshotContents {
                     epoch: seq,
                     journal_seq: seq,
-                    sessions: &sessions,
+                    sessions: &session_chunks,
                     posts: &[],
                     frame: &frame,
                     corpus: None,
                     store: &store,
                     health: &health,
+                    view_keys: &[],
                 },
             )
             .unwrap();

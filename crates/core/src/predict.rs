@@ -16,7 +16,7 @@ use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionR
 use serde::{Deserialize, Serialize};
 
 /// Feature sets the predictor can use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FeatureSet {
     /// Network means only.
     NetworkOnly,
@@ -26,7 +26,7 @@ pub enum FeatureSet {
     Full,
 }
 
-fn features(session: &SessionRecord, set: FeatureSet) -> Vec<f64> {
+pub(crate) fn features(session: &SessionRecord, set: FeatureSet) -> Vec<f64> {
     let mut out = Vec::with_capacity(7);
     if matches!(set, FeatureSet::EngagementOnly | FeatureSet::Full) {
         for m in EngagementMetric::ALL {
@@ -172,21 +172,65 @@ pub fn train_and_evaluate_frame(
     set: FeatureSet,
     holdout: usize,
 ) -> Result<(MosPredictor, Evaluation), AnalyticsError> {
+    train_and_evaluate_on(frame, &frame.rated_indices(), set, holdout)
+}
+
+/// [`train_and_evaluate_frame`] over a caller-supplied rated-index list (in
+/// ascending session order — the order `SessionFrame::rated_indices`
+/// produces). The incremental MOS view carries this list across epochs:
+/// appends extend it at the end, which keeps every existing row's
+/// train/test assignment (`k % holdout` over the rated enumeration) stable,
+/// so the result is bit-identical to a cold rebuild.
+pub(crate) fn train_and_evaluate_on(
+    frame: &SessionFrame,
+    rated: &[usize],
+    set: FeatureSet,
+    holdout: usize,
+) -> Result<(MosPredictor, Evaluation), AnalyticsError> {
+    let (feats, ratings) = rated_features(frame, rated, set);
+    train_and_evaluate_vals(&feats, &ratings, set, holdout)
+}
+
+/// Gather the rated rows' feature vectors and ratings from frame columns, in
+/// rated-row order — the incremental predictor view carries these values
+/// across epochs so its finishing pass never touches the frame.
+pub(crate) fn rated_features(
+    frame: &SessionFrame,
+    rated: &[usize],
+    set: FeatureSet,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let ratings_col = frame.rating();
+    let feats = rated.iter().map(|&i| features_at(frame, i, set)).collect();
+    let ratings = rated
+        .iter()
+        .map(|&i| f64::from(ratings_col[i].expect("rated")))
+        .collect();
+    (feats, ratings)
+}
+
+/// [`train_and_evaluate_on`] over pre-gathered rated-row values. The
+/// deterministic split runs over positions in the rated enumeration, so
+/// appending new rated rows at the end keeps every existing row's train/test
+/// assignment stable and the result bit-identical to a cold rebuild.
+pub(crate) fn train_and_evaluate_vals(
+    feats: &[Vec<f64>],
+    ratings: &[f64],
+    set: FeatureSet,
+    holdout: usize,
+) -> Result<(MosPredictor, Evaluation), AnalyticsError> {
     let holdout = holdout.max(2);
-    let rated = frame.rated_indices();
-    if rated.len() < 2 * holdout {
+    if feats.len() < 2 * holdout {
         return Err(AnalyticsError::Empty);
     }
-    let ratings = frame.rating();
     let mut train_x = Vec::new();
     let mut train_y = Vec::new();
     let mut test: Vec<usize> = Vec::new();
-    for (k, &i) in rated.iter().enumerate() {
+    for (k, f) in feats.iter().enumerate() {
         if k % holdout == 0 {
-            test.push(i);
+            test.push(k);
         } else {
-            train_x.push(features_at(frame, i, set));
-            train_y.push(f64::from(ratings[i].expect("rated")));
+            train_x.push(f.clone());
+            train_y.push(ratings[k]);
         }
     }
     let model = LinearModel::fit(&train_x, &train_y, 1e-4)?;
@@ -195,16 +239,13 @@ pub fn train_and_evaluate_frame(
         model,
     };
 
-    let truth: Vec<f64> = test
-        .iter()
-        .map(|&i| f64::from(ratings[i].expect("rated")))
-        .collect();
+    let truth: Vec<f64> = test.iter().map(|&k| ratings[k]).collect();
     let preds: Vec<f64> = test
         .iter()
-        .map(|&i| {
+        .map(|&k| {
             predictor
                 .model
-                .predict(&features_at(frame, i, set))
+                .predict(&feats[k])
                 .map(|p| p.clamp(1.0, 5.0))
         })
         .collect::<Result<_, _>>()?;

@@ -28,6 +28,10 @@ use crate::predict::{self, Evaluation, FeatureSet};
 use crate::signals::{Signal, SignalKind};
 use crate::source::{ItemSource, RawItem, Source};
 use crate::store::SignalStore;
+use crate::views::{
+    CurveView, DeploymentView, GridView, MosView, OutageView, PlatformView, PredictView,
+    SentimentView, View, ViewDelta, ViewKey, ViewSet,
+};
 use analytics::binning::BinnedCurve;
 use analytics::AnalyticsError;
 use conference::platform::Platform;
@@ -247,10 +251,91 @@ impl QueryKey {
     }
 }
 
-/// One immutable epoch of the service's materialised state: the dataset
-/// and forum as of the last committed append, the columnar frame and
-/// interned corpus mirroring them, and the answer cache for exactly this
-/// epoch.
+/// Which materialized view (if any) backs a query. `OutageTimeline` and
+/// `CrossNetwork` return `None` here but still share the
+/// [`ViewKey::Outage`] view through [`Generation::outage_detections`];
+/// `SpeedTrend` and `EmergingTopics` have no incremental form yet and
+/// always take the full compute path.
+fn view_key_of(query: &Query) -> Option<ViewKey> {
+    match *query {
+        Query::EngagementCurve {
+            sweep,
+            engagement,
+            bins,
+        } => Some(ViewKey::Curve {
+            sweep,
+            engagement,
+            bins,
+        }),
+        Query::CompoundingGrid { engagement, bins } => Some(ViewKey::Grid { engagement, bins }),
+        Query::PlatformSensitivity { sweep, engagement } => {
+            Some(ViewKey::Platform { sweep, engagement })
+        }
+        Query::MosCorrelation => Some(ViewKey::Mos),
+        Query::PredictMos { features } => Some(ViewKey::Predict { features }),
+        Query::SentimentPeaks { .. } => Some(ViewKey::Sentiment),
+        Query::DeploymentAdvice => Some(ViewKey::Deployment),
+        Query::OutageTimeline
+        | Query::SpeedTrend
+        | Query::EmergingTopics
+        | Query::CrossNetwork { .. } => None,
+    }
+}
+
+/// Structurally-shared session storage: an immutable chain of `Arc`'d
+/// chunks — the build-time corpus plus one chunk per committed append.
+/// Epoch rollover clones only the chunk *list* (one `Arc` per past
+/// append), never the records themselves, so carrying a 100k-session
+/// corpus into the next generation costs O(appends) instead of an
+/// O(corpus) record copy. Iteration order is chunk order, which is
+/// exactly the append order the columnar frame mirrors.
+#[derive(Clone, Default)]
+pub struct SessionChunks {
+    chunks: Vec<Arc<Vec<SessionRecord>>>,
+    len: usize,
+}
+
+impl SessionChunks {
+    /// Wrap an initial session corpus as the first chunk.
+    pub fn from_vec(sessions: Vec<SessionRecord>) -> SessionChunks {
+        let len = sessions.len();
+        SessionChunks {
+            chunks: vec![Arc::new(sessions)],
+            len,
+        }
+    }
+
+    /// A new chain sharing every existing chunk, with `delta` appended as
+    /// one new chunk (skipped when empty).
+    fn extended(&self, delta: Vec<SessionRecord>) -> SessionChunks {
+        let mut next = self.clone();
+        if !delta.is_empty() {
+            next.len += delta.len();
+            next.chunks.push(Arc::new(delta));
+        }
+        next
+    }
+
+    /// Total sessions across all chunks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no sessions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate every session in append order.
+    pub fn iter(&self) -> impl Iterator<Item = &SessionRecord> {
+        self.chunks.iter().flat_map(|chunk| chunk.iter())
+    }
+}
+
+/// One immutable epoch of the service's materialised state: the session
+/// corpus and forum as of the last committed append, the columnar frame
+/// and interned corpus mirroring them, and the answer cache for exactly
+/// this epoch.
 ///
 /// Queries pin an `Arc<Generation>` via [`UsaasService::snapshot`] and
 /// compute against it, so an append committing mid-query swaps the
@@ -261,11 +346,18 @@ impl QueryKey {
 pub struct Generation {
     /// 0 for the build-time generation; +1 per committed append.
     epoch: u64,
-    dataset: CallDataset,
+    /// Structurally-shared session records: appends push one chunk instead
+    /// of copying the corpus.
+    sessions: SessionChunks,
     forum: Forum,
-    /// Columnar mirror of `dataset.sessions`; appends extend it with delta
-    /// columns instead of re-materialising from scratch.
-    frame: SessionFrame,
+    /// Columnar mirror of the session chunks, materialised lazily on the
+    /// first query that actually scans columns. Commits never build it:
+    /// view-backed answers finish carried accumulators fed straight from
+    /// the delta records, so the steady-state append+hot-query path stays
+    /// O(delta) instead of paying an O(corpus) column copy per epoch. The
+    /// build-time and recovered generations pre-fill the cell (their frame
+    /// already exists), so cold full-scan queries there pay nothing extra.
+    frame: OnceLock<SessionFrame>,
     /// Worker-thread budget; frame aggregation and corpus builds reuse it.
     workers: usize,
     /// Tokenize-once interned mirror of the forum, built lazily on the
@@ -281,26 +373,34 @@ pub struct Generation {
     /// generation's immutable corpus, so each distinct query computes once
     /// per epoch and repeats are cloned from the cache.
     answers: MemoCache<QueryKey, Result<Answer, UsaasError>>,
+    /// Materialized views carried forward from the previous generation
+    /// (advanced by O(delta) at commit) or installed on first use. Routed
+    /// ahead of `answer_uncached`: a view-backed answer is a cheap
+    /// finishing pass over the carried accumulator instead of a full
+    /// recompute over the corpus.
+    views: ViewSet,
 }
 
 impl Generation {
     fn new(
         epoch: u64,
-        dataset: CallDataset,
+        sessions: SessionChunks,
         forum: Forum,
-        frame: SessionFrame,
+        frame: OnceLock<SessionFrame>,
         workers: usize,
         social_corpus: OnceLock<TokenCorpus>,
+        views: ViewSet,
     ) -> Generation {
         Generation {
             epoch,
-            dataset,
+            sessions,
             forum,
             frame,
             workers,
             social_corpus,
             outage_cache: OnceLock::new(),
             answers: MemoCache::default(),
+            views,
         }
     }
 
@@ -310,15 +410,25 @@ impl Generation {
         self.epoch
     }
 
-    /// The columnar session frame (read access for custom analyses).
+    /// The columnar session frame, materialised from the session chunks on
+    /// first use. Chunks are appended in commit order and
+    /// `extend_from_sessions` preserves record order, so the lazy build is
+    /// bit-identical to materialising eagerly at every commit (asserted by
+    /// the service tests and the parity suite).
     pub fn frame(&self) -> &SessionFrame {
-        &self.frame
+        self.frame.get_or_init(|| {
+            let mut frame = SessionFrame::with_capacity(self.sessions.len());
+            for chunk in &self.sessions.chunks {
+                frame.extend_from_sessions(chunk, self.workers);
+            }
+            frame
+        })
     }
 
-    /// The raw per-record dataset the frame mirrors (read access for
+    /// The raw per-record sessions the frame mirrors (read access for
     /// analyses that need full [`conference::records::SessionRecord`]s).
-    pub fn dataset(&self) -> &CallDataset {
-        &self.dataset
+    pub fn sessions(&self) -> &SessionChunks {
+        &self.sessions
     }
 
     /// The forum corpus of this generation (read access for custom
@@ -335,18 +445,42 @@ impl Generation {
             .get_or_init(|| self.forum.token_corpus(self.workers))
     }
 
-    /// The shared default-detector outage detections, computed on first use.
+    /// The shared default-detector outage detections, computed on first use
+    /// as the finishing pass of the [`ViewKey::Outage`] view (installed
+    /// here when absent, so appends carry the keyword series forward
+    /// instead of re-scanning the corpus).
     fn outage_detections(&self) -> Result<&[DetectedOutage], UsaasError> {
         match self.outage_cache.get_or_init(|| {
-            OutageDetector::default().detect_interned(
-                &self.forum,
-                self.social_corpus(),
-                self.workers,
-            )
+            let view = match self.views.get(&ViewKey::Outage) {
+                Some(view) => view,
+                None => self.views.install(
+                    ViewKey::Outage,
+                    View::Outage(OutageView::rebuild(
+                        &self.forum,
+                        self.social_corpus(),
+                        self.workers,
+                    )),
+                ),
+            };
+            if let View::Outage(v) = &*view {
+                v.finish()
+            } else {
+                OutageDetector::default().detect_interned(
+                    &self.forum,
+                    self.social_corpus(),
+                    self.workers,
+                )
+            }
         }) {
             Ok(d) => Ok(d),
             Err(e) => Err(UsaasError::Analytics(e.clone())),
         }
+    }
+
+    /// The materialized views installed on this generation (read access —
+    /// `keys()` is what persistence snapshots).
+    pub fn views(&self) -> &ViewSet {
+        &self.views
     }
 
     /// Answer-cache lookups that found an existing entry (this epoch).
@@ -365,7 +499,122 @@ impl Generation {
     /// the cached answer.
     pub fn query(&self, query: &Query) -> Result<Answer, UsaasError> {
         self.answers
-            .get_or_compute(QueryKey::of(query), || self.answer_uncached(query))
+            .get_or_compute(QueryKey::of(query), || self.answer_routed(query))
+    }
+
+    /// Route one query: view-backed families finish their materialized
+    /// accumulator (rebuilding and installing the view first if this
+    /// generation does not carry it); everything else takes the full
+    /// compute path. Routing sits *under* the [`MemoCache`], so repeats of
+    /// the same query never re-run even the finishing pass.
+    fn answer_routed(&self, query: &Query) -> Result<Answer, UsaasError> {
+        match view_key_of(query) {
+            Some(key) => self.answer_view_backed(query, key),
+            None => self.answer_uncached(query),
+        }
+    }
+
+    /// The installed view for `key`, rebuilding and installing it when this
+    /// generation does not carry one.
+    fn view(&self, key: ViewKey) -> Result<Arc<View>, UsaasError> {
+        if let Some(view) = self.views.get(&key) {
+            return Ok(view);
+        }
+        let built = self.materialize_view(key)?;
+        Ok(self.views.install(key, built))
+    }
+
+    /// Cold-rebuild one view from this generation's corpus. The
+    /// construction parameters (bin counts, min-count thresholds) match
+    /// [`Generation::answer_fresh`] exactly, and errors (e.g. a zero bin
+    /// count) surface as the same [`AnalyticsError`] the full compute
+    /// raises, so routing through views never changes an answer — only the
+    /// cost of producing it.
+    fn materialize_view(&self, key: ViewKey) -> Result<View, UsaasError> {
+        Ok(match key {
+            ViewKey::Curve {
+                sweep,
+                engagement,
+                bins,
+            } => View::Curve(CurveView::rebuild(
+                self.frame(),
+                sweep,
+                engagement,
+                bins,
+                self.workers,
+            )?),
+            ViewKey::Grid { engagement, bins } => View::Grid(GridView::rebuild(
+                self.frame(),
+                engagement,
+                bins,
+                self.workers,
+            )?),
+            ViewKey::Platform { sweep, engagement } => View::Platform(PlatformView::rebuild(
+                self.frame(),
+                sweep,
+                engagement,
+                4,
+                self.workers,
+            )?),
+            ViewKey::Mos => View::Mos(MosView::rebuild(self.frame())),
+            ViewKey::Predict { features } => {
+                View::Predict(PredictView::rebuild(self.frame(), features))
+            }
+            ViewKey::Sentiment => View::Sentiment(SentimentView::rebuild(
+                &self.forum,
+                self.social_corpus(),
+                self.workers,
+            )),
+            ViewKey::Outage => View::Outage(OutageView::rebuild(
+                &self.forum,
+                self.social_corpus(),
+                self.workers,
+            )),
+            ViewKey::Deployment => View::Deployment(DeploymentView::rebuild(
+                &self.forum,
+                self.social_corpus(),
+                self.workers,
+            )),
+        })
+    }
+
+    /// Answer a view-backed query family by finishing its view. The
+    /// wildcard arm is unreachable for a well-formed `view_key_of` mapping
+    /// but falls back to the full compute rather than panicking.
+    fn answer_view_backed(&self, query: &Query, key: ViewKey) -> Result<Answer, UsaasError> {
+        let view = self.view(key)?;
+        match (&*view, query) {
+            (View::Curve(v), Query::EngagementCurve { .. }) => Ok(Answer::Curve(v.finish(8))),
+            (View::Grid(v), Query::CompoundingGrid { .. }) => Ok(Answer::Grid(v.finish(5))),
+            (View::Platform(v), Query::PlatformSensitivity { .. }) => {
+                Ok(Answer::PlatformCurves(v.finish(5)))
+            }
+            (View::Mos(v), Query::MosCorrelation) => {
+                let (curves, ranking) = v.finish()?;
+                Ok(Answer::Mos { curves, ranking })
+            }
+            (View::Predict(v), Query::PredictMos { .. }) => Ok(Answer::Prediction(v.finish()?)),
+            (View::Sentiment(v), Query::SentimentPeaks { k }) => Ok(Answer::Peaks(v.finish(
+                &self.forum,
+                self.social_corpus(),
+                *k,
+            )?)),
+            (View::Deployment(v), Query::DeploymentAdvice) => {
+                let demand = v
+                    .finish()
+                    .ok_or(UsaasError::NoData("no strong-negative social signals"))?;
+                Ok(Answer::Deployment(DeploymentPlanner::gen1().rank(&demand)))
+            }
+            _ => self.answer_uncached(query),
+        }
+    }
+
+    /// The full-recompute reference path: answer `query` from the raw
+    /// corpus, bypassing both the answer cache and the materialized views.
+    /// This is what the views are asserted bit-identical against (parity
+    /// suite) and benchmarked against (`views_incremental`).
+    pub fn answer_fresh(&self, query: &Query) -> Result<Answer, UsaasError> {
+        self.answer_uncached(query)
     }
 
     /// The actual per-query compute, bypassing the answer cache.
@@ -376,7 +625,7 @@ impl Generation {
                 engagement,
                 bins,
             } => Ok(Answer::Curve(correlate::engagement_curve_frame(
-                &self.frame,
+                self.frame(),
                 *sweep,
                 *engagement,
                 *bins,
@@ -385,7 +634,7 @@ impl Generation {
             )?)),
             Query::CompoundingGrid { engagement, bins } => {
                 Ok(Answer::Grid(correlate::compounding_grid_frame(
-                    &self.frame,
+                    self.frame(),
                     *engagement,
                     *bins,
                     5,
@@ -394,7 +643,7 @@ impl Generation {
             }
             Query::PlatformSensitivity { sweep, engagement } => {
                 Ok(Answer::PlatformCurves(correlate::platform_curves_frame(
-                    &self.frame,
+                    self.frame(),
                     *sweep,
                     *engagement,
                     4,
@@ -405,15 +654,18 @@ impl Generation {
             Query::MosCorrelation => {
                 let mut curves = Vec::new();
                 for m in EngagementMetric::ALL {
-                    curves.push((m, correlate::mos_by_engagement_frame(&self.frame, m, 4, 3)?));
+                    curves.push((
+                        m,
+                        correlate::mos_by_engagement_frame(self.frame(), m, 4, 3)?,
+                    ));
                 }
                 Ok(Answer::Mos {
                     curves,
-                    ranking: correlate::mos_correlations_frame(&self.frame)?,
+                    ranking: correlate::mos_correlations_frame(self.frame())?,
                 })
             }
             Query::PredictMos { features } => {
-                let (_, eval) = predict::train_and_evaluate_frame(&self.frame, *features, 4)?;
+                let (_, eval) = predict::train_and_evaluate_frame(self.frame(), *features, 4)?;
                 Ok(Answer::Prediction(eval))
             }
             Query::OutageTimeline => Ok(Answer::Outages(self.outage_detections()?.to_vec())),
@@ -459,25 +711,26 @@ impl Generation {
     /// statistic gathers from the relevant dense column in session order
     /// (identical values and order to the per-record walk it replaced).
     fn cross_network(&self, access: AccessType) -> Result<CrossNetworkReport, UsaasError> {
-        let target: Vec<usize> = (0..self.frame.len())
-            .filter(|&i| self.frame.access()[i] == access)
+        let frame = self.frame();
+        let target: Vec<usize> = (0..frame.len())
+            .filter(|&i| frame.access()[i] == access)
             .collect();
         if target.is_empty() {
             return Err(UsaasError::NoData("no sessions on the requested network"));
         }
-        let presence_col = self.frame.engagement(EngagementMetric::Presence);
-        let others: Vec<f64> = (0..self.frame.len())
-            .filter(|&i| self.frame.access()[i] != access)
+        let presence_col = frame.engagement(EngagementMetric::Presence);
+        let others: Vec<f64> = (0..frame.len())
+            .filter(|&i| frame.access()[i] != access)
             .map(|i| presence_col[i])
             .collect();
         let presence: Vec<f64> = target.iter().map(|&i| presence_col[i]).collect();
-        let mic_col = self.frame.engagement(EngagementMetric::MicOn);
+        let mic_col = frame.engagement(EngagementMetric::MicOn);
         let mic: Vec<f64> = target.iter().map(|&i| mic_col[i]).collect();
-        let cam_col = self.frame.engagement(EngagementMetric::CamOn);
+        let cam_col = frame.engagement(EngagementMetric::CamOn);
         let cam: Vec<f64> = target.iter().map(|&i| cam_col[i]).collect();
         let ratings: Vec<f64> = target
             .iter()
-            .filter_map(|&i| self.frame.rating()[i])
+            .filter_map(|&i| frame.rating()[i])
             .map(f64::from)
             .collect();
 
@@ -491,7 +744,7 @@ impl Generation {
             .filter(|d| d.score >= 10.0)
             .copied()
             .collect();
-        let dates = self.frame.date();
+        let dates = frame.date();
         let outage_presence: Vec<f64> = target
             .iter()
             .filter(|&&i| detections.iter().any(|d| d.date == dates[i]))
@@ -639,8 +892,19 @@ impl UsaasService {
     pub fn build(dataset: CallDataset, forum: Forum, workers: usize) -> UsaasService {
         let store = SignalStore::new();
         crate::ingest::ingest_all(&store, &dataset, &forum, workers);
-        let frame = SessionFrame::from_dataset(&dataset, workers);
-        let generation = Generation::new(0, dataset, forum, frame, workers, OnceLock::new());
+        // The build-time frame is materialised eagerly (it is needed by the
+        // first cold query anyway) and pre-fills the lazy cell.
+        let frame_cell = OnceLock::new();
+        let _ = frame_cell.set(SessionFrame::from_dataset(&dataset, workers));
+        let generation = Generation::new(
+            0,
+            SessionChunks::from_vec(dataset.sessions),
+            forum,
+            frame_cell,
+            workers,
+            OnceLock::new(),
+            ViewSet::default(),
+        );
         UsaasService {
             store: Arc::new(store),
             current: RwLock::new(Arc::new(generation)),
@@ -696,21 +960,23 @@ impl UsaasService {
         let state = persist::load_latest_snapshot(dir, &mut warnings)?;
         let records = persist::read_and_repair_journal(&dir.join(JOURNAL_FILE), &mut warnings)?;
 
-        let dataset = CallDataset {
-            sessions: state.sessions,
-        };
         let forum = Forum { posts: state.posts };
         let corpus_cell = OnceLock::new();
         if let Some(corpus) = state.corpus {
             let _ = corpus_cell.set(corpus);
         }
+        // The snapshot carries the frame; pre-fill the lazy cell so queries
+        // on the recovered generation never re-materialise it.
+        let frame_cell = OnceLock::new();
+        let _ = frame_cell.set(state.frame);
         let generation = Generation::new(
             state.epoch,
-            dataset,
+            SessionChunks::from_vec(state.sessions),
             forum,
-            state.frame,
+            frame_cell,
             workers,
             corpus_cell,
+            ViewSet::default(),
         );
         let svc = UsaasService {
             store: Arc::new(state.store),
@@ -775,6 +1041,27 @@ impl UsaasService {
             last_seq = record.seq;
         }
 
+        // The recovered state carries its views: every key the snapshot
+        // recorded is rebuilt deterministically on the post-replay
+        // generation. (Replay re-extends the corpus, so a cold rebuild —
+        // not a deserialized accumulator that could drift from replayed
+        // state — is the correct recovery; the parity suite asserts the
+        // rebuilt views answer bit-identically to an uncrashed service.)
+        {
+            let generation = svc.snapshot();
+            for key in state.view_keys.iter().copied() {
+                if generation.views.get(&key).is_none() {
+                    match generation.materialize_view(key) {
+                        Ok(view) => {
+                            generation.views.install(key, view);
+                        }
+                        Err(e) => warnings
+                            .push(format!("persisted view {key:?} could not be rebuilt: {e}")),
+                    }
+                }
+            }
+        }
+
         let journal = Journal::open_append(&dir.join(JOURNAL_FILE))?;
         svc.health.lock().recovery_warnings = warnings;
         let mut svc = svc;
@@ -811,18 +1098,20 @@ impl UsaasService {
                 dead_letters: totals.dead_letters.clone(),
             }
         };
+        let view_keys = generation.views.keys();
         let state = persist.lock();
         persist::write_snapshot(
             &state.dir,
             &SnapshotContents {
                 epoch: generation.epoch,
                 journal_seq: state.last_seq,
-                sessions: &generation.dataset.sessions,
+                sessions: &generation.sessions,
                 posts: &generation.forum.posts,
-                frame: &generation.frame,
+                frame: generation.frame(),
                 corpus: generation.social_corpus.get(),
                 store: &self.store,
                 health: &health,
+                view_keys: &view_keys,
             },
         )
     }
@@ -943,9 +1232,11 @@ impl UsaasService {
     /// in-memory commit — one durable record carrying the accepted items,
     /// the quarantined dead-letters, and the health deltas — so a crash at
     /// any later point replays the batch on the next open. A journal-write
-    /// failure does not block serving: the batch still commits in memory
-    /// and the failure is reported through
-    /// `ServiceHealth::recovery_warnings`.
+    /// failure **aborts the commit**: the prior generation (with its
+    /// answer cache and materialized views) keeps serving, memory and disk
+    /// stay consistent, and the failure is reported through
+    /// `ServiceHealth::recovery_warnings` so the caller can retry the
+    /// batch once the journal is writable again.
     pub fn ingest_append(
         &self,
         sources: Vec<Box<dyn Source + '_>>,
@@ -966,7 +1257,7 @@ impl UsaasService {
                 RawItem::Poison(_) => {}
             }
         }
-        let will_commit = !sessions.is_empty() || !posts.is_empty();
+        let mut will_commit = !sessions.is_empty() || !posts.is_empty();
         if let Some(persist) = &self.persist {
             let mut state = persist.lock();
             let record = JournalRecord {
@@ -981,10 +1272,19 @@ impl UsaasService {
             };
             match state.journal.append(&record) {
                 Ok(()) => state.last_seq = record.seq,
-                Err(e) => self.health.lock().recovery_warnings.push(format!(
-                    "journal append for seq {} failed; this batch will not survive a restart: {e}",
-                    record.seq
-                )),
+                Err(e) => {
+                    // No durable record → no in-memory commit. Committing
+                    // anyway would serve answers from state a restart
+                    // cannot reproduce; aborting keeps the prior epoch's
+                    // generation — views, answer cache and all — live and
+                    // consistent with disk.
+                    will_commit = false;
+                    self.health.lock().recovery_warnings.push(format!(
+                        "journal append for seq {} failed; batch not committed so memory matches \
+                         disk — retry after the journal recovers: {e}",
+                        record.seq
+                    ));
+                }
             }
             sessions = record.sessions;
             posts = record.posts;
@@ -1024,8 +1324,6 @@ impl UsaasService {
     /// one delta, and the journal order matches the commit order.
     fn commit_locked(&self, sessions: Vec<SessionRecord>, posts: Vec<Post>) {
         let base = self.snapshot();
-        let mut frame = base.frame.clone();
-        frame.extend_from_sessions(&sessions, self.workers);
         // Re-materialise the corpus only if this generation ever built
         // one; extension preserves existing ids, so it is bit-identical to
         // rebuilding over the grown forum.
@@ -1039,17 +1337,34 @@ impl UsaasService {
             });
             let _ = corpus_cell.set(corpus);
         }
-        let mut dataset = base.dataset.clone();
-        dataset.sessions.extend(sessions);
         let mut forum = base.forum.clone();
         forum.posts.extend(posts);
+        // Carry the base generation's materialized views forward, advanced
+        // by exactly this batch — an O(delta) fold per view instead of the
+        // full-corpus recompute a fresh generation would otherwise pay on
+        // first query. Views are fed the raw delta records, so the commit
+        // never touches the columnar frame: the successor's frame cell
+        // starts empty and materialises from the shared chunks only if a
+        // full-scan query actually needs it.
+        let views = base.views.advanced(&ViewDelta {
+            sessions: &sessions,
+            rows_before: base.sessions.len(),
+            forum: &forum,
+            posts_before: base.forum.len(),
+            corpus: corpus_cell.get(),
+        });
+        // Structural sharing: the session records themselves are never
+        // copied — the new generation holds the same Arc'd chunks plus one
+        // chunk for this batch.
+        let session_chunks = base.sessions.extended(sessions);
         let next = Generation::new(
             base.epoch + 1,
-            dataset,
+            session_chunks,
             forum,
-            frame,
+            OnceLock::new(),
             self.workers,
             corpus_cell,
+            views,
         );
         *self.current.write() = Arc::new(next);
     }
@@ -1409,7 +1724,7 @@ mod tests {
     #[test]
     fn append_bumps_the_epoch_and_serves_new_data() {
         let s = fresh_service();
-        let baseline_sessions = s.snapshot().dataset().len();
+        let baseline_sessions = s.snapshot().sessions().len();
         let q = Query::EngagementCurve {
             sweep: NetworkMetric::LatencyMs,
             engagement: EngagementMetric::Presence,
@@ -1424,7 +1739,7 @@ mod tests {
         assert!(!report.is_degraded());
         assert_eq!(s.epoch(), 1, "a committed append bumps the epoch");
         let generation = s.snapshot();
-        assert_eq!(generation.dataset().len(), baseline_sessions + added);
+        assert_eq!(generation.sessions().len(), baseline_sessions + added);
         assert_eq!(generation.frame().len(), baseline_sessions + added);
         let after = s.query(&q).unwrap();
         assert_ne!(

@@ -1,0 +1,748 @@
+//! Incrementally-maintained materialized views for the hot answer set.
+//!
+//! Every analytical answer the service serves is a *finishing pass* over an
+//! accumulator that grows monotonically with the data: per-bin observation
+//! lists for the Fig. 1/2/3 curves and grids, the rated-index list for the
+//! MOS analyses and the predictor, per-post sentiment scores and day series
+//! for the Fig. 5/6 social answers, latitude-band counts for the §6 planner.
+//! A [`View`] carries exactly that accumulator across epochs. When an
+//! append commits, [`ViewSet::advanced`] folds the batch into each carried
+//! accumulator as an **O(delta)** update — instead of the old
+//! epoch-invalidation discipline where every answer recomputed from scratch
+//! over the full corpus.
+//!
+//! The contract, pinned by `tests/views_parity.rs`: advancing a view by any
+//! append schedule and then finishing it is **bit-identical** to rebuilding
+//! the view cold over the final corpus, for every worker count. The designs
+//! below make that hold by construction:
+//!
+//! - Curve/grid/platform accumulators are compressed per-bin
+//!   `(running sum, count)` pairs ([`SumBinner`]) — O(bins) state, O(bins)
+//!   clone per epoch. The cold finishing pass computes each bin mean as a
+//!   sequential left fold over the bin's observations in row order; the
+//!   running sum replays that exact addition sequence, provided rows are
+//!   folded **sequentially in row order** — so rebuilds here ignore the
+//!   worker count (partial sums from disjoint chunks cannot be merged:
+//!   float addition is not associative), which also makes the result
+//!   trivially identical across workers. Delta rows continue the same
+//!   fold.
+//! - The MOS/predictor views carry the rated-index list. Appends only ever
+//!   extend it, so every existing row keeps its `k % holdout` train/test
+//!   assignment.
+//! - Sentiment/outage views carry per-post scores and integer-valued day
+//!   series. Posts are scored independently, and vocabulary growth never
+//!   changes an old document's token ids, so delta scoring matches a full
+//!   rescan; day series are re-embedded into the widened date range
+//!   ([`DailySeries::embedded`]) and new posts added — exact integer
+//!   arithmetic, so the sums match a cold build.
+
+use crate::annotate::{AnnotatedPeak, PeakAnnotator, SentimentSeries};
+use crate::correlate;
+use crate::frame::SessionFrame;
+use crate::outage::{DetectedOutage, OutageDetector};
+use crate::predict::{self, Evaluation, FeatureSet};
+use analytics::binning::{BinSpec, BinnedCurve, SumBinner};
+use analytics::timeseries::DailySeries;
+use analytics::AnalyticsError;
+use conference::platform::Platform;
+use conference::records::{EngagementMetric, NetworkMetric, SessionRecord};
+use parking_lot::RwLock;
+use sentiment::analyzer::SentimentScores;
+use sentiment::corpus::{CompiledDict, TokenCorpus};
+use social::post::Forum;
+use starlink::constellation::RegionalDemand;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of one materialized view: which answer family it backs, plus
+/// the parameters that shape its accumulator. Everything needed to rebuild
+/// the view from a generation's corpus is in the key, which is why
+/// persistence stores only keys ([`crate::persist`]) — recovery rebuilds
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewKey {
+    /// Fig. 1 engagement-vs-network curve.
+    Curve {
+        /// Swept network metric.
+        sweep: NetworkMetric,
+        /// Engagement metric reported.
+        engagement: EngagementMetric,
+        /// Bin count.
+        bins: usize,
+    },
+    /// Fig. 2 latency × loss grid.
+    Grid {
+        /// Engagement metric aggregated per cell.
+        engagement: EngagementMetric,
+        /// Per-axis bin count.
+        bins: usize,
+    },
+    /// Fig. 3 per-platform curves.
+    Platform {
+        /// Swept network metric.
+        sweep: NetworkMetric,
+        /// Engagement metric reported.
+        engagement: EngagementMetric,
+    },
+    /// Fig. 4 MOS curves + correlation ranking (rated-index list).
+    Mos,
+    /// §5 MOS predictor for one feature set.
+    Predict {
+        /// Feature set the predictor trains on.
+        features: FeatureSet,
+    },
+    /// Fig. 5 sentiment day-series and per-post scores.
+    Sentiment,
+    /// Fig. 6 outage keyword day-series.
+    Outage,
+    /// §6 latitude-band demand weights.
+    Deployment,
+}
+
+/// One committed batch. `sessions` is the delta itself — session-backed
+/// views fold the records directly, which is what lets the successor
+/// generation skip materialising its column frame at commit time entirely
+/// (frame columns mirror the records value-for-value, so record-fed
+/// accumulators are bit-identical to column-fed ones). `forum` is the
+/// already-extended post collection with `posts_before` marking where its
+/// delta starts; `rows_before` is the base generation's session count.
+/// `corpus` is the successor's interned corpus when the base generation had
+/// built one (`None` otherwise — corpus-backed views are dropped and lazily
+/// rebuilt).
+pub(crate) struct ViewDelta<'a> {
+    pub sessions: &'a [SessionRecord],
+    pub rows_before: usize,
+    pub forum: &'a Forum,
+    pub posts_before: usize,
+    pub corpus: Option<&'a TokenCorpus>,
+}
+
+/// Fig. 1 view: the compressed per-bin `(sum, count)` accumulator behind
+/// one engagement curve.
+#[derive(Clone)]
+pub struct CurveView {
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    rows_seen: usize,
+    binner: SumBinner,
+}
+
+impl CurveView {
+    /// Cold rebuild over the full frame — a sequential row-order fold
+    /// (`workers` is deliberately unused: the running sums must replay the
+    /// finishing pass's addition sequence, which chunk-merged partial sums
+    /// cannot; sequential folding also makes the result identical at every
+    /// worker count by construction).
+    pub(crate) fn rebuild(
+        frame: &SessionFrame,
+        sweep: NetworkMetric,
+        engagement: EngagementMetric,
+        bins: usize,
+        _workers: usize,
+    ) -> Result<CurveView, AnalyticsError> {
+        let (lo, hi) = sweep.sweep_range();
+        let mut binner = SumBinner::new(BinSpec::new(lo, hi, bins)?);
+        correlate::record_curve_sums(frame, sweep, engagement, &mut binner, 0..frame.len());
+        Ok(CurveView {
+            sweep,
+            engagement,
+            rows_seen: frame.len(),
+            binner,
+        })
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<CurveView> {
+        if self.rows_seen != delta.rows_before {
+            return None;
+        }
+        let mut next = self.clone();
+        correlate::record_curve_sums_records(
+            delta.sessions,
+            self.sweep,
+            self.engagement,
+            &mut next.binner,
+        );
+        next.rows_seen = delta.rows_before + delta.sessions.len();
+        Some(next)
+    }
+
+    /// Finishing pass: mean-per-bin, best bin normalised to 100.
+    pub(crate) fn finish(&self, min_count: usize) -> BinnedCurve {
+        self.binner.curve_mean(min_count).normalized_to_max(100.0)
+    }
+}
+
+/// Fig. 2 view: compressed per-cell `(sum, count)` accumulators
+/// (flat-indexed `yi * bins + xi`).
+#[derive(Clone)]
+pub struct GridView {
+    engagement: EngagementMetric,
+    bins: usize,
+    x: BinSpec,
+    y: BinSpec,
+    rows_seen: usize,
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl GridView {
+    /// Cold rebuild over the full frame — a sequential row-order fold (see
+    /// [`CurveView::rebuild`] for why `workers` is unused).
+    pub(crate) fn rebuild(
+        frame: &SessionFrame,
+        engagement: EngagementMetric,
+        bins: usize,
+        _workers: usize,
+    ) -> Result<GridView, AnalyticsError> {
+        let (x, y) = correlate::grid_specs(bins)?;
+        let mut sums = vec![0.0f64; bins * bins];
+        let mut counts = vec![0usize; bins * bins];
+        correlate::record_grid_sums(
+            frame,
+            engagement,
+            x,
+            y,
+            bins,
+            0..frame.len(),
+            &mut sums,
+            &mut counts,
+        );
+        Ok(GridView {
+            engagement,
+            bins,
+            x,
+            y,
+            rows_seen: frame.len(),
+            sums,
+            counts,
+        })
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<GridView> {
+        if self.rows_seen != delta.rows_before {
+            return None;
+        }
+        let mut next = self.clone();
+        correlate::record_grid_sums_records(
+            delta.sessions,
+            self.engagement,
+            self.x,
+            self.y,
+            self.bins,
+            &mut next.sums,
+            &mut next.counts,
+        );
+        next.rows_seen = delta.rows_before + delta.sessions.len();
+        Some(next)
+    }
+
+    /// Finishing pass: thin-cell suppression and best-cell normalisation
+    /// over the carried sums.
+    pub(crate) fn finish(&self, min_count: usize) -> correlate::Grid2d {
+        correlate::grid_from_sums(
+            self.x,
+            self.y,
+            self.bins,
+            &self.sums,
+            &self.counts,
+            min_count,
+        )
+    }
+}
+
+/// Fig. 3 view: one compressed accumulator per [`Platform::ALL`] slot.
+#[derive(Clone)]
+pub struct PlatformView {
+    sweep: NetworkMetric,
+    engagement: EngagementMetric,
+    rows_seen: usize,
+    binners: Vec<SumBinner>,
+}
+
+impl PlatformView {
+    /// Cold rebuild over the full frame — a sequential row-order fold (see
+    /// [`CurveView::rebuild`] for why `workers` is unused).
+    pub(crate) fn rebuild(
+        frame: &SessionFrame,
+        sweep: NetworkMetric,
+        engagement: EngagementMetric,
+        bins: usize,
+        _workers: usize,
+    ) -> Result<PlatformView, AnalyticsError> {
+        let (lo, hi) = sweep.sweep_range();
+        let spec = BinSpec::new(lo, hi, bins)?;
+        let mut binners: Vec<SumBinner> =
+            Platform::ALL.iter().map(|_| SumBinner::new(spec)).collect();
+        correlate::record_platform_sums(frame, sweep, engagement, &mut binners, 0..frame.len());
+        Ok(PlatformView {
+            sweep,
+            engagement,
+            rows_seen: frame.len(),
+            binners,
+        })
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<PlatformView> {
+        if self.rows_seen != delta.rows_before {
+            return None;
+        }
+        let mut next = self.clone();
+        correlate::record_platform_sums_records(
+            delta.sessions,
+            self.sweep,
+            self.engagement,
+            &mut next.binners,
+        );
+        next.rows_seen = delta.rows_before + delta.sessions.len();
+        Some(next)
+    }
+
+    /// Finishing pass: per-platform mean curves, jointly normalised.
+    pub(crate) fn finish(&self, min_count: usize) -> Vec<(Platform, BinnedCurve)> {
+        correlate::platform_curves_from_sums(&self.binners, min_count)
+    }
+}
+
+/// Fig. 4 view: the rated sliver's values — one rating vector plus one
+/// engagement vector per metric, all in rated-row order. Carrying the
+/// values (not frame indices) means the finishing pass never touches the
+/// column frame, so serving `MosCorrelation` after an append does not force
+/// the successor generation to materialise its frame. Appends extend the
+/// vectors at the end, preserving every existing row's position in the
+/// rated enumeration.
+#[derive(Clone)]
+pub struct MosView {
+    rows_seen: usize,
+    ratings: Vec<f64>,
+    /// `eng[k]` holds `EngagementMetric::ALL[k]`'s values for rated rows.
+    eng: Vec<Vec<f64>>,
+}
+
+impl MosView {
+    /// Cold rebuild over the full frame.
+    pub(crate) fn rebuild(frame: &SessionFrame) -> MosView {
+        let rated = frame.rated_indices();
+        let ratings_col = frame.rating();
+        let ratings = rated
+            .iter()
+            .map(|&i| f64::from(ratings_col[i].expect("rated index carries a rating")))
+            .collect();
+        let eng = EngagementMetric::ALL
+            .iter()
+            .map(|&m| {
+                let col = frame.engagement(m);
+                rated.iter().map(|&i| col[i]).collect()
+            })
+            .collect();
+        MosView {
+            rows_seen: frame.len(),
+            ratings,
+            eng,
+        }
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<MosView> {
+        if self.rows_seen != delta.rows_before {
+            return None;
+        }
+        let mut next = self.clone();
+        for s in delta.sessions {
+            if let Some(r) = s.rating {
+                next.ratings.push(f64::from(r));
+                for (k, &m) in EngagementMetric::ALL.iter().enumerate() {
+                    next.eng[k].push(s.engagement(m));
+                }
+            }
+        }
+        next.rows_seen = delta.rows_before + delta.sessions.len();
+        Some(next)
+    }
+
+    /// Finishing pass: per-metric MOS curves plus the Pearson ranking.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn finish(
+        &self,
+    ) -> Result<
+        (
+            Vec<(EngagementMetric, BinnedCurve)>,
+            Vec<(EngagementMetric, f64)>,
+        ),
+        AnalyticsError,
+    > {
+        let mut curves = Vec::new();
+        for (k, &m) in EngagementMetric::ALL.iter().enumerate() {
+            curves.push((
+                m,
+                correlate::mos_curve_from_vals(&self.eng[k], &self.ratings, 4, 3)?,
+            ));
+        }
+        Ok((
+            curves,
+            correlate::mos_correlations_vals(&self.eng, &self.ratings)?,
+        ))
+    }
+}
+
+/// §5 predictor view: the rated rows' feature vectors and ratings for one
+/// feature set, in rated-row order. As with [`MosView`], carrying the
+/// values keeps the finishing pass off the column frame entirely.
+#[derive(Clone)]
+pub struct PredictView {
+    features: FeatureSet,
+    rows_seen: usize,
+    feats: Vec<Vec<f64>>,
+    ratings: Vec<f64>,
+}
+
+impl PredictView {
+    /// Cold rebuild over the full frame.
+    pub(crate) fn rebuild(frame: &SessionFrame, features: FeatureSet) -> PredictView {
+        let rated = frame.rated_indices();
+        let (feats, ratings) = predict::rated_features(frame, &rated, features);
+        PredictView {
+            features,
+            rows_seen: frame.len(),
+            feats,
+            ratings,
+        }
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<PredictView> {
+        if self.rows_seen != delta.rows_before {
+            return None;
+        }
+        let mut next = self.clone();
+        for s in delta.sessions {
+            if let Some(r) = s.rating {
+                next.feats.push(predict::features(s, self.features));
+                next.ratings.push(f64::from(r));
+            }
+        }
+        next.rows_seen = delta.rows_before + delta.sessions.len();
+        Some(next)
+    }
+
+    /// Finishing pass: train on the deterministic holdout split, evaluate.
+    pub(crate) fn finish(&self) -> Result<Evaluation, AnalyticsError> {
+        let (_, eval) =
+            predict::train_and_evaluate_vals(&self.feats, &self.ratings, self.features, 4)?;
+        Ok(eval)
+    }
+}
+
+/// Fig. 5 view: per-post sentiment scores plus the strong-sentiment day
+/// series. The carried `series` is a `Result` because an empty forum has no
+/// date range ([`AnalyticsError::Empty`]) — exactly what a cold build
+/// returns, so error answers stay bit-identical too.
+#[derive(Clone)]
+pub struct SentimentView {
+    docs_seen: usize,
+    scores: Vec<SentimentScores>,
+    series: Result<SentimentSeries, AnalyticsError>,
+}
+
+impl SentimentView {
+    /// Cold rebuild over the full forum/corpus.
+    pub(crate) fn rebuild(forum: &Forum, corpus: &TokenCorpus, workers: usize) -> SentimentView {
+        let annotator = PeakAnnotator::default();
+        let scores = annotator.score_posts(forum, corpus, workers);
+        let series = annotator.series_from_scores(forum, &scores);
+        SentimentView {
+            docs_seen: forum.len(),
+            scores,
+            series,
+        }
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<SentimentView> {
+        let corpus = delta.corpus?;
+        if self.docs_seen != delta.posts_before || corpus.docs() != delta.forum.len() {
+            return None;
+        }
+        let annotator = PeakAnnotator::default();
+        let vocab = corpus.vocab();
+        let mut scores = self.scores.clone();
+        for doc in delta.posts_before..corpus.docs() {
+            scores.push(annotator.analyzer.score_ids(corpus.doc(doc), vocab));
+        }
+        let series = match (&self.series, delta.forum.date_range()) {
+            (_, None) => Err(AnalyticsError::Empty),
+            // Previously empty forum: everything is delta, build whole.
+            (Err(_), Some(_)) => annotator.series_from_scores(delta.forum, &scores),
+            (Ok(prior), Some((start, end))) => embed_sentiment(
+                prior,
+                start,
+                end,
+                &delta.forum.posts[delta.posts_before..],
+                &scores[delta.posts_before..],
+            ),
+        };
+        Some(SentimentView {
+            docs_seen: delta.forum.len(),
+            scores,
+            series,
+        })
+    }
+
+    /// Finishing pass: the Fig. 5 annotation tail over carried scores.
+    pub(crate) fn finish(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+        k: usize,
+    ) -> Result<Vec<AnnotatedPeak>, AnalyticsError> {
+        let series = self.series.clone()?;
+        PeakAnnotator::default().annotate_from_scores(forum, corpus, k, &self.scores, series)
+    }
+}
+
+/// Re-embed a carried sentiment series into the widened date range and add
+/// the delta posts — exact integer arithmetic, so the per-day counts equal
+/// a cold build over the full forum.
+fn embed_sentiment(
+    prior: &SentimentSeries,
+    start: analytics::time::Date,
+    end: analytics::time::Date,
+    new_posts: &[social::post::Post],
+    new_scores: &[SentimentScores],
+) -> Result<SentimentSeries, AnalyticsError> {
+    let mut pos = prior.strong_positive.embedded(start, end)?;
+    let mut neg = prior.strong_negative.embedded(start, end)?;
+    for (post, s) in new_posts.iter().zip(new_scores) {
+        if s.is_strong_positive() {
+            pos.add(post.date, 1.0);
+        } else if s.is_strong_negative() {
+            neg.add(post.date, 1.0);
+        }
+    }
+    Ok(SentimentSeries {
+        strong_positive: pos,
+        strong_negative: neg,
+    })
+}
+
+/// Fig. 6 view: the keyword-occurrence day series behind outage detection.
+#[derive(Clone)]
+pub struct OutageView {
+    docs_seen: usize,
+    series: Result<DailySeries, AnalyticsError>,
+}
+
+impl OutageView {
+    /// Cold rebuild over the full forum/corpus.
+    pub(crate) fn rebuild(forum: &Forum, corpus: &TokenCorpus, workers: usize) -> OutageView {
+        OutageView {
+            docs_seen: forum.len(),
+            series: OutageDetector::default().keyword_series_interned(forum, corpus, workers),
+        }
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<OutageView> {
+        let corpus = delta.corpus?;
+        if self.docs_seen != delta.posts_before || corpus.docs() != delta.forum.len() {
+            return None;
+        }
+        let detector = OutageDetector::default();
+        let series = match (&self.series, delta.forum.date_range()) {
+            (_, None) => Err(AnalyticsError::Empty),
+            (prior, Some((start, end))) => {
+                let embedded = match prior {
+                    Ok(s) => s.embedded(start, end),
+                    // Previously empty forum: start from zeros, the delta
+                    // below covers every post.
+                    Err(_) => DailySeries::zeros(start, end),
+                };
+                embedded.map(|mut series| {
+                    let dict = CompiledDict::compile(&detector.dictionary, corpus.vocab());
+                    let hits =
+                        detector.doc_hits_range(&dict, corpus, delta.posts_before..corpus.docs());
+                    for (post, h) in delta.forum.posts[delta.posts_before..].iter().zip(hits) {
+                        if h > 0 {
+                            series.add(post.date, h as f64);
+                        }
+                    }
+                    series
+                })
+            }
+        };
+        Some(OutageView {
+            docs_seen: delta.forum.len(),
+            series,
+        })
+    }
+
+    /// Finishing pass: robust-z peaks of the carried series, mapped to
+    /// detections with the default detector's thresholds.
+    pub(crate) fn finish(&self) -> Result<Vec<DetectedOutage>, AnalyticsError> {
+        let series = self.series.as_ref().map_err(Clone::clone)?;
+        let detector = OutageDetector::default();
+        Ok(OutageDetector::peaks_to_detections(
+            series.peaks(detector.min_peak_score, detector.refractory_days),
+        ))
+    }
+}
+
+/// §6 view: strong-negative post counts per 10° latitude band
+/// (unnormalised; the finishing pass divides by the total).
+#[derive(Clone)]
+pub struct DeploymentView {
+    docs_seen: usize,
+    weights: [f64; 9],
+}
+
+impl DeploymentView {
+    /// Cold rebuild over the full forum/corpus.
+    pub(crate) fn rebuild(forum: &Forum, corpus: &TokenCorpus, workers: usize) -> DeploymentView {
+        let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
+        let scores = analyzer.score_corpus(corpus, workers);
+        let mut weights = [0.0f64; 9];
+        for (post, s) in forum.posts.iter().zip(scores) {
+            if s.is_strong_negative() {
+                weights[crate::service::country_lat_band(post.country)] += 1.0;
+            }
+        }
+        DeploymentView {
+            docs_seen: forum.len(),
+            weights,
+        }
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<DeploymentView> {
+        let corpus = delta.corpus?;
+        if self.docs_seen != delta.posts_before || corpus.docs() != delta.forum.len() {
+            return None;
+        }
+        let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
+        let vocab = corpus.vocab();
+        let mut next = self.clone();
+        for (doc, post) in
+            (delta.posts_before..corpus.docs()).zip(&delta.forum.posts[delta.posts_before..])
+        {
+            if analyzer
+                .score_ids(corpus.doc(doc), vocab)
+                .is_strong_negative()
+            {
+                next.weights[crate::service::country_lat_band(post.country)] += 1.0;
+            }
+        }
+        next.docs_seen = delta.forum.len();
+        Some(next)
+    }
+
+    /// Finishing pass: normalise band counts into the planner's demand
+    /// vector; `None` when no strong-negative signal exists (the service
+    /// maps this to its `NoData` answer).
+    pub(crate) fn finish(&self) -> Option<RegionalDemand> {
+        let total: f64 = self.weights.iter().sum();
+        if total == 0.0 {
+            return None;
+        }
+        let mut weights = self.weights;
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
+        Some(RegionalDemand {
+            band_weights: weights,
+        })
+    }
+}
+
+/// One materialized view, tagged by answer family. Construction and
+/// finishing are dispatched by the service (which owns the per-query
+/// parameters); this enum owns the carry-forward.
+#[derive(Clone)]
+pub enum View {
+    /// Fig. 1 curve accumulator.
+    Curve(CurveView),
+    /// Fig. 2 grid accumulator.
+    Grid(GridView),
+    /// Fig. 3 per-platform accumulator.
+    Platform(PlatformView),
+    /// Fig. 4 rated-index list.
+    Mos(MosView),
+    /// §5 predictor rated-index list.
+    Predict(PredictView),
+    /// Fig. 5 scores + day series.
+    Sentiment(SentimentView),
+    /// Fig. 6 keyword day series.
+    Outage(OutageView),
+    /// §6 band counts.
+    Deployment(DeploymentView),
+}
+
+impl View {
+    /// The view advanced by one committed batch, or `None` when it cannot
+    /// be carried (corpus-backed view with no corpus built, or a
+    /// generation mismatch) — dropping is always safe because a later
+    /// query rebuilds the view cold with identical answers.
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<View> {
+        match self {
+            View::Curve(v) => v.advanced(delta).map(View::Curve),
+            View::Grid(v) => v.advanced(delta).map(View::Grid),
+            View::Platform(v) => v.advanced(delta).map(View::Platform),
+            View::Mos(v) => v.advanced(delta).map(View::Mos),
+            View::Predict(v) => v.advanced(delta).map(View::Predict),
+            View::Sentiment(v) => v.advanced(delta).map(View::Sentiment),
+            View::Outage(v) => v.advanced(delta).map(View::Outage),
+            View::Deployment(v) => v.advanced(delta).map(View::Deployment),
+        }
+    }
+}
+
+/// The set of materialized views one generation carries. Shared-read,
+/// install-on-first-use: racing queries may both rebuild the same view, but
+/// installation is first-wins and both candidates are pure functions of the
+/// generation's immutable corpus, so the outcome is deterministic.
+#[derive(Default)]
+pub struct ViewSet {
+    views: RwLock<HashMap<ViewKey, Arc<View>>>,
+}
+
+impl ViewSet {
+    /// The installed view for `key`, if any.
+    pub(crate) fn get(&self, key: &ViewKey) -> Option<Arc<View>> {
+        self.views.read().get(key).cloned()
+    }
+
+    /// Install `view` under `key` unless one is already installed
+    /// (first-wins), returning the view that ends up installed.
+    pub(crate) fn install(&self, key: ViewKey, view: View) -> Arc<View> {
+        self.views
+            .write()
+            .entry(key)
+            .or_insert_with(|| Arc::new(view))
+            .clone()
+    }
+
+    /// Keys of every installed view, in a canonical (sorted) order — the
+    /// order persistence snapshots them in.
+    pub fn keys(&self) -> Vec<ViewKey> {
+        let mut keys: Vec<ViewKey> = self.views.read().keys().copied().collect();
+        keys.sort_by_key(|k| format!("{k:?}"));
+        keys
+    }
+
+    /// Number of installed views.
+    pub fn len(&self) -> usize {
+        self.views.read().len()
+    }
+
+    /// True when no view is installed.
+    pub fn is_empty(&self) -> bool {
+        self.views.read().is_empty()
+    }
+
+    /// The successor generation's view set: every carried view advanced by
+    /// the committed batch in O(delta); views that cannot be carried are
+    /// dropped (and lazily rebuilt on next use, with identical answers).
+    pub(crate) fn advanced(&self, delta: &ViewDelta<'_>) -> ViewSet {
+        let views = self.views.read();
+        let next: HashMap<ViewKey, Arc<View>> = views
+            .iter()
+            .filter_map(|(k, v)| v.advanced(delta).map(|nv| (*k, Arc::new(nv))))
+            .collect();
+        ViewSet {
+            views: RwLock::new(next),
+        }
+    }
+}

@@ -229,6 +229,13 @@ impl TokenCorpus {
         F: Fn(usize, &mut dyn FnMut(&str)) + Sync,
     {
         let chunks = par_map_ranges(docs, workers, |range| Chunk::build(range, &parts_of));
+        TokenCorpus::from_chunks(chunks)
+    }
+
+    /// Merge per-chunk builds in chunk order into one corpus — the
+    /// single-assignment vocab-merge discipline that makes every chunk
+    /// count produce the same bytes.
+    fn from_chunks(chunks: Vec<Chunk>) -> TokenCorpus {
         let mut iter = chunks.into_iter();
         // The first chunk's local ids are the global ids: interning its
         // words in order into the empty global vocab reproduces 0..k.
@@ -286,6 +293,12 @@ impl TokenCorpus {
             self.offsets.push(0);
         }
         let chunks = par_map_ranges(new_docs, workers, |range| Chunk::build(range, &parts_of));
+        self.absorb_chunks(chunks);
+    }
+
+    /// Merge appended per-chunk builds in chunk order onto the existing
+    /// vocab/tokens/offsets (the tail of [`TokenCorpus::extend_with`]).
+    fn absorb_chunks(&mut self, chunks: Vec<Chunk>) {
         for chunk in chunks {
             // Same merge as `build_with`: remap chunk-local ids through the
             // (now non-empty) global vocab, preserving first-appearance
@@ -598,15 +611,63 @@ fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Fewest documents a chunk must hold before a thread spawn pays for
+/// itself. Tokenizing is far more expensive per element than a column
+/// push, so the floor sits well below the session frame's 4096-element
+/// threshold.
+const MIN_CHUNK_DOCS: usize = 512;
+
+/// Chunks handed to each available core. One keeps every merge step a
+/// straight chunk-order append; raising it only helps with work stealing,
+/// which the scoped-spawn pool does not do.
+const CHUNKS_PER_CORE: usize = 1;
+
+/// Cores the OS will actually run us on, probed once.
+fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Chunk count that keeps per-chunk work above [`MIN_CHUNK_DOCS`] and the
+/// fan-out no wider than the cores that can actually run it. Any count
+/// yields the same bytes (chunk-order vocab merge), so this only moves the
+/// speed dial.
+fn adaptive_chunks(len: usize, workers: usize) -> usize {
+    workers
+        .min(available_cores() * CHUNKS_PER_CORE)
+        .min(len / MIN_CHUNK_DOCS)
+        .max(1)
+}
+
 /// Map `f` over the chunk ranges of `[0, len)` on scoped worker threads,
 /// returning per-chunk results in chunk order; a single chunk runs inline.
 /// Re-raises the original panic of any worker that died.
+///
+/// `workers` is a ceiling, not a demand: small inputs collapse to a single
+/// inline chunk and the fan-out never exceeds the machine's available
+/// cores, so callers can pass their configured worker count unconditionally
+/// without paying the parallel setup tax on small corpora. Results are
+/// bit-identical for every worker count because chunks merge in order.
 pub fn par_map_ranges<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let ranges = chunk_ranges(len, workers);
+    par_map_on(chunk_ranges(len, adaptive_chunks(len, workers)), f)
+}
+
+/// [`par_map_ranges`] over explicit pre-split ranges — the spawn machinery
+/// without the adaptive sizing, so tests can pin multi-chunk merge
+/// behaviour regardless of the host's core count.
+fn par_map_on<T, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
     if ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
     }
@@ -664,6 +725,48 @@ mod tests {
             corpus.total_tokens(),
             texts.iter().map(|t| tokenize(t).len()).sum()
         );
+    }
+
+    #[test]
+    fn adaptive_split_falls_back_to_sequential_on_small_inputs() {
+        let cap = available_cores() * CHUNKS_PER_CORE;
+        assert_eq!(adaptive_chunks(0, 8), 1);
+        assert_eq!(adaptive_chunks(MIN_CHUNK_DOCS - 1, 8), 1);
+        assert_eq!(adaptive_chunks(2 * MIN_CHUNK_DOCS, 1), 1);
+        assert_eq!(adaptive_chunks(64 * MIN_CHUNK_DOCS, 4), 4.min(cap));
+        assert!(adaptive_chunks(usize::MAX, 1024) <= cap);
+        // Never more chunks than the per-chunk floor allows.
+        assert!(adaptive_chunks(3 * MIN_CHUNK_DOCS, 1024) <= 3);
+    }
+
+    #[test]
+    fn forced_multi_chunk_merge_is_bit_identical_to_adaptive_build() {
+        // Shared suffix vocabulary across chunk boundaries so the remap
+        // path (chunk-local id != global id) is actually exercised.
+        let texts: Vec<String> = (0..97)
+            .map(|i| format!("doc {i} outage slow speeds überlastet {}", i % 7))
+            .collect();
+        let parts_of = |i: usize, emit: &mut dyn FnMut(&str)| emit(texts[i].as_ref());
+        let adaptive = TokenCorpus::from_texts(&texts, 4);
+        for chunks in [2, 5, 8] {
+            let forced =
+                TokenCorpus::from_chunks(par_map_on(chunk_ranges(texts.len(), chunks), |range| {
+                    Chunk::build(range, &parts_of)
+                }));
+            assert_eq!(forced.tokens, adaptive.tokens, "chunks {chunks}");
+            assert_eq!(forced.offsets, adaptive.offsets, "chunks {chunks}");
+            assert_eq!(forced.vocab.words, adaptive.vocab.words, "chunks {chunks}");
+        }
+        // Extending via forced multi-chunk absorb matches the adaptive
+        // extend and the cold rebuild.
+        let split = 41;
+        let mut forced_ext = TokenCorpus::from_texts(&texts[..split], 4);
+        forced_ext.absorb_chunks(par_map_on(chunk_ranges(texts.len() - split, 3), |range| {
+            Chunk::build(range, &|i, emit| emit(texts[split + i].as_ref()))
+        }));
+        assert_eq!(forced_ext.tokens, adaptive.tokens);
+        assert_eq!(forced_ext.offsets, adaptive.offsets);
+        assert_eq!(forced_ext.vocab.words, adaptive.vocab.words);
     }
 
     #[test]

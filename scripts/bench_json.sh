@@ -13,6 +13,9 @@
 #                        breaker-open streaming ingestion)
 #   persist_roundtrip -> results/BENCH_persist.json (checkpoint write vs
 #                        snapshot-only recovery vs journal-replay recovery)
+#   views_incremental -> results/BENCH_views.json (fresh full recompute vs
+#                        materialized-view O(delta) maintenance of the hot
+#                        answer set at 1k/10k/100k-call corpora)
 #
 # Usage: scripts/bench_json.sh [extra `cargo bench` args...]
 set -euo pipefail
@@ -39,3 +42,4 @@ run_bench frame_scan results/BENCH_frame.json "$@"
 run_bench social_pipeline results/BENCH_social.json "$@"
 run_bench ingest_resilience results/BENCH_ingest.json "$@"
 run_bench persist_roundtrip results/BENCH_persist.json "$@"
+run_bench views_incremental results/BENCH_views.json "$@"

@@ -331,7 +331,7 @@ fn append_invalidates_cache_by_epoch_and_snapshots_keep_serving() {
 
     // Pin the pre-append world.
     let pinned = svc.snapshot();
-    let pinned_sessions = pinned.dataset().len();
+    let pinned_sessions = pinned.sessions().len();
 
     let delta = generate(&DatasetConfig::small(120, 43));
     let added = delta.len();
@@ -352,7 +352,7 @@ fn append_invalidates_cache_by_epoch_and_snapshots_keep_serving() {
 
     // The pinned snapshot still serves the old epoch, bit-for-bit.
     assert_eq!(pinned.epoch(), 0);
-    assert_eq!(pinned.dataset().len(), pinned_sessions);
+    assert_eq!(pinned.sessions().len(), pinned_sessions);
     let replay = pinned.query(&q).unwrap();
     assert_eq!(
         format!("{before:?}"),
@@ -362,6 +362,6 @@ fn append_invalidates_cache_by_epoch_and_snapshots_keep_serving() {
 
     // New signals reached the shared store while the snapshot served.
     let snap = svc.snapshot();
-    assert_eq!(snap.dataset().len(), pinned_sessions + added);
+    assert_eq!(snap.sessions().len(), pinned_sessions + added);
     assert_eq!(snap.frame().len(), pinned_sessions + added);
 }

@@ -1,0 +1,320 @@
+//! Incremental-view parity suite.
+//!
+//! The materialized-view layer ([`usaas::views`]) promises that carrying
+//! an accumulator across epochs and absorbing each appended batch as an
+//! O(delta) update produces **bit-identical** answers to rebuilding from
+//! the full corpus. These tests pin that contract three ways:
+//!
+//! 1. A property sweep over random append schedules — sessions-only,
+//!    posts-only, mixed, *empty*, and *fully-quarantined* batches in
+//!    arbitrary order — asserting after every schedule that the
+//!    view-served answer equals [`usaas::Generation::answer_fresh`] (the
+//!    cold full-recompute reference) for every view-backed query, across
+//!    worker counts 1/4/8.
+//! 2. A targeted no-op test: empty and fully-quarantined batches must
+//!    neither bump the epoch nor disturb carried views.
+//! 3. A persist kill-point round trip: checkpoint a service with live
+//!    views, crash it at a journal boundary, and prove the recovered
+//!    service rebuilds those views to answers bit-identical to both a
+//!    cold rebuild and a never-crashed reference.
+
+use analytics::time::Date;
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
+use netsim::access::AccessType;
+use social::generator::{generate as gen_forum, ForumConfig};
+use social::post::{Forum, Post};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use usaas::{
+    journal_record_offsets, FeatureSet, IngestConfig, ItemSource, Query, RawItem, Source,
+    UsaasService, JOURNAL_FILE,
+};
+
+/// Worker counts exercised by every parity check: the inline single-chunk
+/// path, the fixture default, and an over-subscribed fan-out.
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn base_dataset() -> &'static CallDataset {
+    static D: OnceLock<CallDataset> = OnceLock::new();
+    D.get_or_init(|| generate(&DatasetConfig::small(300, 33)))
+}
+
+fn base_forum() -> &'static Forum {
+    static F: OnceLock<Forum> = OnceLock::new();
+    F.get_or_init(|| {
+        gen_forum(&ForumConfig {
+            authors: 120,
+            end: Date::from_ymd(2021, 6, 30).unwrap(),
+            ..ForumConfig::default()
+        })
+    })
+}
+
+fn extra_sessions_a() -> &'static Vec<SessionRecord> {
+    static S: OnceLock<Vec<SessionRecord>> = OnceLock::new();
+    S.get_or_init(|| generate(&DatasetConfig::small(40, 77)).sessions)
+}
+
+fn extra_sessions_b() -> &'static Vec<SessionRecord> {
+    static S: OnceLock<Vec<SessionRecord>> = OnceLock::new();
+    S.get_or_init(|| generate(&DatasetConfig::small(25, 5)).sessions)
+}
+
+fn extra_posts() -> &'static Vec<Post> {
+    static P: OnceLock<Vec<Post>> = OnceLock::new();
+    P.get_or_init(|| {
+        gen_forum(&ForumConfig {
+            seed: 9,
+            authors: 60,
+            end: Date::from_ymd(2021, 3, 31).unwrap(),
+            ..ForumConfig::default()
+        })
+        .posts
+    })
+}
+
+/// Every query the view layer serves, plus the two outage-derived queries
+/// (`OutageTimeline`, `CrossNetwork`) that share the outage view through
+/// the detection cache.
+fn hot_queries() -> Vec<Query> {
+    vec![
+        Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            bins: 5,
+        },
+        Query::EngagementCurve {
+            sweep: NetworkMetric::LossPct,
+            engagement: EngagementMetric::CamOn,
+            bins: 4,
+        },
+        Query::CompoundingGrid {
+            engagement: EngagementMetric::Presence,
+            bins: 4,
+        },
+        Query::PlatformSensitivity {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+        },
+        Query::MosCorrelation,
+        Query::PredictMos {
+            features: FeatureSet::Full,
+        },
+        Query::SentimentPeaks { k: 2 },
+        Query::DeploymentAdvice,
+        Query::OutageTimeline,
+        Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        },
+    ]
+}
+
+/// Apply append op `tag` to a service. The pool covers every batch shape
+/// the views must absorb: sessions-only, posts-only, mixed, empty, and
+/// fully-quarantined (every item a poison pill, nothing committed).
+fn apply_op(svc: &UsaasService, tag: u8) {
+    let posts = extra_posts();
+    match tag {
+        0 => {
+            svc.append_batch(Vec::new(), Vec::new());
+        }
+        1 => {
+            svc.append_batch(extra_sessions_a().clone(), Vec::new());
+        }
+        2 => {
+            svc.append_batch(Vec::new(), posts[..15.min(posts.len())].to_vec());
+        }
+        3 => {
+            svc.append_batch(
+                extra_sessions_b().clone(),
+                posts[15..30.min(posts.len())].to_vec(),
+            );
+        }
+        4 => {
+            let items = vec![
+                RawItem::Poison("bad upstream frame"),
+                RawItem::Poison("double-freed buffer"),
+            ];
+            let sources: Vec<Box<dyn Source>> =
+                vec![Box::new(ItemSource::new("poison-only", items))];
+            svc.ingest_append(sources, &IngestConfig::with_workers(1));
+        }
+        5 => {
+            svc.append_batch(Vec::new(), posts[30..40.min(posts.len())].to_vec());
+        }
+        _ => panic!("unknown op {tag}"),
+    }
+}
+
+/// Build a service, install the hot views by querying once, run the
+/// schedule (querying after each op so intermediate epochs are served by
+/// carried views too), and return the final debug-formatted answers.
+fn run_schedule(schedule: &[u8], workers: usize) -> (UsaasService, Vec<String>) {
+    let svc = UsaasService::build(base_dataset().clone(), base_forum().clone(), workers);
+    let queries = hot_queries();
+    for q in &queries {
+        let _ = svc.query(q);
+    }
+    assert!(
+        !svc.snapshot().views().is_empty(),
+        "hot queries must install materialized views"
+    );
+    for &op in schedule {
+        apply_op(&svc, op);
+        for q in &queries {
+            let _ = svc.query(q);
+        }
+    }
+    let answers = queries
+        .iter()
+        .map(|q| format!("{q:?} => {:?}", svc.query(q)))
+        .collect();
+    (svc, answers)
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random append schedules: the view-served answer equals the
+        /// cold full recompute for every hot query, and worker counts
+        /// 1/4/8 agree to the bit (Debug formatting shows every float
+        /// exactly, so string equality is bit equality).
+        #[test]
+        fn incremental_views_match_cold_rebuild(
+            schedule in prop::collection::vec(0u8..6, 0..5),
+        ) {
+            let mut per_worker = Vec::new();
+            for workers in WORKER_COUNTS {
+                let (svc, answers) = run_schedule(&schedule, workers);
+                let generation = svc.snapshot();
+                for (q, served) in hot_queries().iter().zip(&answers) {
+                    let fresh = format!("{q:?} => {:?}", generation.answer_fresh(q));
+                    prop_assert_eq!(
+                        served, &fresh,
+                        "schedule {:?} workers {}: view answer diverged from cold rebuild",
+                        schedule, workers
+                    );
+                }
+                per_worker.push(answers);
+            }
+            for answers in &per_worker[1..] {
+                prop_assert_eq!(
+                    &per_worker[0], answers,
+                    "schedule {:?}: workers {:?} disagree", schedule, WORKER_COUNTS
+                );
+            }
+        }
+    }
+}
+
+/// Empty and fully-quarantined batches are no-ops: no epoch bump, views
+/// untouched, answers unchanged and still equal to a cold rebuild.
+#[test]
+fn noop_batches_leave_views_intact() {
+    for workers in WORKER_COUNTS {
+        let (svc, before) = run_schedule(&[1], workers);
+        let epoch = svc.epoch();
+        let views_before = svc.snapshot().views().len();
+        apply_op(&svc, 0); // empty
+        apply_op(&svc, 4); // fully quarantined
+        assert_eq!(svc.epoch(), epoch, "no-op batches must not bump the epoch");
+        assert_eq!(svc.snapshot().views().len(), views_before);
+        let generation = svc.snapshot();
+        for (q, served) in hot_queries().iter().zip(&before) {
+            assert_eq!(
+                *served,
+                format!("{q:?} => {:?}", svc.query(q)),
+                "answers changed across no-op batches (workers {workers})"
+            );
+            assert_eq!(
+                *served,
+                format!("{q:?} => {:?}", generation.answer_fresh(q)),
+                "no-op batches left views out of sync with a cold rebuild"
+            );
+        }
+    }
+}
+
+/// Fresh scratch directory under the system temp dir, emptied first.
+fn tmp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("usaas-views-{}-{test}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Persist round trip across a kill point: a checkpointed service with
+/// live views crashes right after a journaled append; recovery must
+/// materialize the persisted view keys and serve answers bit-identical to
+/// both its own cold rebuild and a never-crashed reference.
+#[test]
+fn recovered_views_match_cold_rebuild_across_kill_point() {
+    let dir = tmp_dir("kill-point");
+    let queries = hot_queries();
+
+    // Live run: install views, checkpoint (persists the view keys), then
+    // two more journaled appends the snapshot does not cover.
+    {
+        let svc =
+            UsaasService::build_persistent(base_dataset().clone(), base_forum().clone(), 2, &dir)
+                .unwrap();
+        for q in &queries {
+            let _ = svc.query(q);
+        }
+        apply_op(&svc, 1);
+        svc.checkpoint().unwrap();
+        apply_op(&svc, 2);
+        apply_op(&svc, 3);
+    }
+
+    // Crash between the second and third post-checkpoint appends: cut the
+    // journal at the boundary after append 2.
+    let offsets = journal_record_offsets(&dir.join(JOURNAL_FILE)).unwrap();
+    assert!(offsets.len() >= 3, "three appends journal three records");
+    fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(JOURNAL_FILE))
+        .unwrap()
+        .set_len(offsets[2])
+        .unwrap();
+
+    for workers in WORKER_COUNTS {
+        let recovered = UsaasService::open_or_recover(&dir, workers).unwrap();
+        assert!(
+            recovered.health().recovery_warnings.is_empty(),
+            "clean boundary cut must not warn"
+        );
+        let generation = recovered.snapshot();
+        assert!(
+            !generation.views().is_empty(),
+            "recovery must rebuild the checkpointed view keys"
+        );
+
+        let reference = UsaasService::build(base_dataset().clone(), base_forum().clone(), workers);
+        for q in &queries {
+            let _ = reference.query(q);
+        }
+        apply_op(&reference, 1);
+        apply_op(&reference, 2);
+
+        let ref_generation = reference.snapshot();
+        for q in &queries {
+            let served = format!("{:?}", recovered.query(q));
+            assert_eq!(
+                served,
+                format!("{:?}", generation.answer_fresh(q)),
+                "recovered view answer diverged from cold rebuild ({q:?}, workers {workers})"
+            );
+            assert_eq!(
+                served,
+                format!("{:?}", ref_generation.answer_fresh(q)),
+                "recovered view answer diverged from never-crashed reference ({q:?})"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
