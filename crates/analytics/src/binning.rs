@@ -181,6 +181,30 @@ impl SumBinner {
         }
     }
 
+    /// Adopt per-bin accumulators computed elsewhere — the branchless
+    /// kernels (`kernels::masked_binned_sum_count`) produce exactly the
+    /// running-sum state a `SumBinner` fed the same selected rows in the
+    /// same order would hold, so the finishing passes stay shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accumulator lengths disagree with `spec.bins`.
+    pub fn from_parts(
+        spec: BinSpec,
+        sums: Vec<f64>,
+        counts: Vec<usize>,
+        dropped: usize,
+    ) -> SumBinner {
+        assert_eq!(sums.len(), spec.bins, "one running sum per bin");
+        assert_eq!(counts.len(), spec.bins, "one count per bin");
+        SumBinner {
+            spec,
+            sums,
+            counts,
+            dropped,
+        }
+    }
+
     /// Record one pair; out-of-range x is counted in [`SumBinner::dropped`].
     pub fn record(&mut self, x: f64, y: f64) {
         match self.spec.index(x) {

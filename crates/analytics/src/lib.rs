@@ -25,6 +25,7 @@ pub mod descriptive;
 pub mod dist;
 pub mod error;
 pub mod histogram;
+pub mod kernels;
 pub mod matrix;
 pub mod regression;
 pub mod sampling;
@@ -39,6 +40,7 @@ pub use descriptive::{desc_nan_last, mean, median, percentile, stddev, variance,
 pub use dist::{Dist, Sampler};
 pub use error::AnalyticsError;
 pub use histogram::Histogram;
+pub use kernels::{BinAccum, RowMask};
 pub use matrix::Matrix;
 pub use regression::{LinearModel, LogisticModel};
 pub use sampling::{bootstrap_ci, subsample};

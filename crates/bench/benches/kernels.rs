@@ -1,0 +1,123 @@
+//! Branchless-kernel microbench: branchy row loops vs the predicated
+//! columnar kernels ([`analytics::kernels`]) on a §3-shaped workload —
+//! a ~1M-row latency/presence column pair under a reference-population
+//! mask (~85% selected, the §3 confounder filter shape).
+//!
+//! Both flavours of every aggregate produce bit-identical results (the
+//! kernel module's proptests pin that); this bench prices only the
+//! control-flow style: data-dependent branches vs mask words + select.
+//!
+//! * `masked_sum` — one predicated running sum over the column.
+//! * `min_max` — branchless lane min/max vs compare-and-swap.
+//! * `binned` — the Fig. 1 engagement-curve accumulate: clamp x into 8
+//!   latency bins, sum/count y per bin.
+//! * `mask_build` — packing the predicate into `RowMask` words, the
+//!   one-off cost the kernel paths pay.
+//!
+//! Run with `BENCH_JSON=results/BENCH_kernels.json` (or via
+//! `scripts/bench_json.sh`) to export the medians.
+
+use analytics::kernels::{self, RowMask};
+use analytics::BinSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Rows in the synthetic column pair.
+const N: usize = 1 << 20;
+/// Fig. 1 latency bins.
+const BINS: usize = 8;
+
+/// Deterministic xorshift stream — no RNG dependency in the bench crate.
+fn xorshift(mut s: u64) -> impl FnMut() -> u64 {
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// The §3-shaped workload: latency-like x, presence-like y, and the
+/// reference-population mask keeping ~85% of rows.
+fn workload() -> (Vec<f64>, Vec<f64>, RowMask) {
+    let mut next = xorshift(0x9E3779B97F4A7C15);
+    let xs: Vec<f64> = (0..N).map(|_| (next() % 4000) as f64 / 10.0).collect();
+    let ys: Vec<f64> = (0..N).map(|_| (next() % 1000) as f64 / 10.0).collect();
+    let keep: Vec<bool> = (0..N).map(|_| next() % 100 < 85).collect();
+    let mask = RowMask::from_fn(N, |i| keep[i]);
+    (xs, ys, mask)
+}
+
+/// Branchy reference: data-dependent `if` per row.
+fn branchy_sum(values: &[f64], mask: &RowMask) -> f64 {
+    let mut sum = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        if mask.get(i) {
+            sum += v;
+        }
+    }
+    sum
+}
+
+fn branchy_min_max(values: &[f64], mask: &RowMask) -> Option<(f64, f64)> {
+    let mut out: Option<(f64, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if mask.get(i) {
+            let (lo, hi) = out.get_or_insert((v, v));
+            if v < *lo {
+                *lo = v;
+            }
+            if v > *hi {
+                *hi = v;
+            }
+        }
+    }
+    out
+}
+
+fn branchy_binned(xs: &[f64], ys: &[f64], mask: &RowMask, spec: BinSpec) -> (Vec<f64>, Vec<usize>) {
+    let mut sums = vec![0.0; spec.bins];
+    let mut counts = vec![0usize; spec.bins];
+    for i in 0..xs.len() {
+        if mask.get(i) {
+            if let Some(b) = spec.index(xs[i]) {
+                sums[b] += ys[i];
+                counts[b] += 1;
+            }
+        }
+    }
+    (sums, counts)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (xs, ys, mask) = workload();
+    let spec = BinSpec::new(0.0, 400.0, BINS).unwrap();
+    let keep: Vec<bool> = (0..N).map(|i| mask.get(i)).collect();
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("masked_sum_branchy", |b| {
+        b.iter(|| black_box(branchy_sum(&xs, &mask)))
+    });
+    group.bench_function("masked_sum_kernel", |b| {
+        b.iter(|| black_box(kernels::masked_sum(&xs, &mask)))
+    });
+    group.bench_function("min_max_branchy", |b| {
+        b.iter(|| black_box(branchy_min_max(&xs, &mask)))
+    });
+    group.bench_function("min_max_kernel", |b| {
+        b.iter(|| black_box(kernels::masked_min_max(&xs, &mask)))
+    });
+    group.bench_function("binned_branchy", |b| {
+        b.iter(|| black_box(branchy_binned(&xs, &ys, &mask, spec)))
+    });
+    group.bench_function("binned_kernel", |b| {
+        b.iter(|| black_box(kernels::masked_binned_sum_count(&xs, &ys, &mask, spec)))
+    });
+    group.bench_function("mask_build", |b| {
+        b.iter(|| black_box(RowMask::from_fn(N, |i| keep[i])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

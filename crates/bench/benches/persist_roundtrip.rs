@@ -10,6 +10,15 @@
 //!   epoch-0 snapshot plus a journaled append: decode plus the journal
 //!   replay path (re-normalise, extend the frame, commit).
 //!
+//! The `persist_differential` group prices the dirty-column checkpoint
+//! against those full snapshots, over the same service shape:
+//!
+//! * `checkpoint_full` — the forced full snapshot (the old behaviour).
+//! * `checkpoint_diff` — the differential snapshot: only the session/post
+//!   suffixes dirtied since the base, plus health and view keys.
+//! * `recover_diff` — `open_or_recover` through the diff fast path: base
+//!   decode + suffix apply instead of a full journal replay.
+//!
 //! Run with `BENCH_JSON=results/BENCH_persist.json` (or via
 //! `scripts/bench_json.sh`) to export the medians.
 
@@ -60,7 +69,7 @@ fn bench_persist_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("persist_roundtrip");
     group.sample_size(10);
     group.bench_function("checkpoint", |b| {
-        b.iter(|| black_box(svc.checkpoint().unwrap()))
+        b.iter(|| black_box(svc.checkpoint_full().unwrap()))
     });
     group.bench_function("recover_snapshot", |b| {
         b.iter(|| {
@@ -81,5 +90,51 @@ fn bench_persist_roundtrip(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&replay_dir);
 }
 
-criterion_group!(benches, bench_persist_roundtrip);
+fn bench_persist_differential(c: &mut Criterion) {
+    // A service whose full base snapshot covers the build, with one
+    // appended delta dirtying a session suffix: the checkpoint choice
+    // point the differential path exists for.
+    let diff_dir = persisted_dir("diff", false);
+    let svc = UsaasService::open_or_recover(&diff_dir, WORKERS).unwrap();
+    svc.checkpoint_full().unwrap();
+    let delta = generate(&DatasetConfig::small(N / 4, 123));
+    svc.append_batch(delta.sessions, Vec::new());
+
+    let mut group = c.benchmark_group("persist_differential");
+    // The diff write is small and fsync-dominated — extra samples keep
+    // its min/median stable enough for the bench regression gate.
+    group.sample_size(30);
+    group.bench_function("checkpoint_full", |b| {
+        b.iter(|| black_box(svc.checkpoint_full().unwrap()))
+    });
+    // Re-arm the diff base: the forced fulls above moved it to the
+    // current sequence, so dirty it again before timing the diff.
+    svc.checkpoint_full().unwrap();
+    let delta = generate(&DatasetConfig::small(N / 4, 124));
+    svc.append_batch(delta.sessions, Vec::new());
+    group.bench_function("checkpoint_diff", |b| {
+        b.iter(|| {
+            let path = svc.checkpoint().unwrap();
+            debug_assert!(path
+                .file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .starts_with("diff-"));
+            black_box(path)
+        })
+    });
+    group.bench_function("recover_diff", |b| {
+        b.iter(|| {
+            let recovered = UsaasService::open_or_recover(&diff_dir, WORKERS).unwrap();
+            black_box(recovered.epoch())
+        })
+    });
+    group.finish();
+
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&diff_dir);
+}
+
+criterion_group!(benches, bench_persist_roundtrip, bench_persist_differential);
 criterion_main!(benches);

@@ -7,9 +7,10 @@
 //! resulting per-bin engagement means are normalised so the best bin reads
 //! 100 — exactly how Fig. 1 is drawn.
 
-use crate::frame::{par_map_ranges, SessionFrame};
+use crate::frame::SessionFrame;
 use analytics::binning::{BinSpec, BinnedCurve, Binner, SumBinner};
 use analytics::correlation::pearson;
+use analytics::kernels;
 use analytics::AnalyticsError;
 use conference::platform::Platform;
 use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
@@ -53,104 +54,62 @@ pub fn engagement_curve(
     Ok(binner.curve_mean(min_count).normalized_to_max(100.0))
 }
 
-/// [`engagement_curve`] over frame columns: the sweep metric's mean column
-/// and the engagement column stream contiguously, the confounder filter is
-/// one precomputed mask compare, and chunks of the columns are binned on
-/// `workers` scoped threads. Chunk-local binners are merged in chunk order,
-/// so per-bin observation sequences — and the resulting curve — are
-/// bit-identical to the per-record reference.
+/// [`engagement_curve`] over frame columns — the kernel-routed hot path.
+/// The §3.2 confounder filter is the frame's precomputed packed bitmask
+/// ([`SessionFrame::ref_row_mask`]) and the bin/accumulate pass is the
+/// branchless [`kernels::masked_binned_sum_count`], which streams the sweep
+/// and engagement columns once with no per-row branch. The kernel feeds one
+/// running-sum accumulator per bin in row order — the exact addition
+/// sequence of the per-record reference — so the curve is bit-identical to
+/// [`engagement_curve`] (asserted by the parity suite). Sequential by
+/// construction, the result is independent of `workers`; the knob is
+/// accepted for API stability and ignored, the same rule the view rebuilds
+/// follow.
 pub fn engagement_curve_frame(
     frame: &SessionFrame,
     sweep: NetworkMetric,
     engagement: EngagementMetric,
     bins: usize,
     min_count: usize,
-    workers: usize,
+    _workers: usize,
 ) -> Result<BinnedCurve, AnalyticsError> {
-    let binner = engagement_binner_frame(frame, sweep, engagement, bins, workers)?;
+    let binner = engagement_sums_frame(frame, sweep, engagement, bins)?;
     Ok(binner.curve_mean(min_count).normalized_to_max(100.0))
 }
 
-/// The accumulation stage of [`engagement_curve_frame`]: the fully-fed
-/// binner before the finishing pass. (The incremental curve view carries
-/// the compressed [`SumBinner`] twin instead, fed through
-/// [`record_curve_sums`] — same rows, same order, O(bins) state.)
-pub(crate) fn engagement_binner_frame(
+/// The accumulation stage of [`engagement_curve_frame`]: the Fig. 1 sweep's
+/// per-bin running sums, produced by the branchless kernel and adopted into
+/// the compressed [`SumBinner`] the incremental curve view carries —
+/// identical state to recording every selected row in row order.
+pub(crate) fn engagement_sums_frame(
     frame: &SessionFrame,
     sweep: NetworkMetric,
     engagement: EngagementMetric,
     bins: usize,
-    workers: usize,
-) -> Result<Binner, AnalyticsError> {
+) -> Result<SumBinner, AnalyticsError> {
     let (lo, hi) = sweep.sweep_range();
     let spec = BinSpec::new(lo, hi, bins)?;
-    let parts = par_map_ranges(frame.len(), workers, |range| {
-        let mut binner = Binner::new(spec);
-        record_curve_rows(frame, sweep, engagement, &mut binner, range);
-        binner
-    });
-    let mut iter = parts.into_iter();
-    let mut binner = iter.next().expect("at least one chunk");
-    for part in iter {
-        binner.merge(part)?;
-    }
-    Ok(binner)
+    let acc = kernels::masked_binned_sum_count(
+        frame.net_mean(sweep),
+        frame.engagement(engagement),
+        frame.ref_row_mask(sweep),
+        spec,
+    );
+    Ok(SumBinner::from_parts(
+        spec,
+        acc.sums,
+        acc.counts,
+        acc.dropped,
+    ))
 }
 
-/// The Fig. 1 row walk — the single predicate/column path every curve
-/// recorder funnels through, so observation sequences cannot diverge
-/// between the chunked rebuild, the list-based delta, and the compressed
-/// incremental view.
-fn for_curve_rows(
-    frame: &SessionFrame,
-    sweep: NetworkMetric,
-    engagement: EngagementMetric,
-    rows: std::ops::Range<usize>,
-    mut record: impl FnMut(f64, f64),
-) {
-    let xs = frame.net_mean(sweep);
-    let ys = frame.engagement(engagement);
-    for i in rows {
-        if frame.in_reference_except(i, sweep) {
-            record(xs[i], ys[i]);
-        }
-    }
-}
-
-/// Record one contiguous row range of the Fig. 1 sweep into `binner` —
-/// used by the chunked cold rebuild, whose chunk-local binners merge in
-/// chunk order.
-pub(crate) fn record_curve_rows(
-    frame: &SessionFrame,
-    sweep: NetworkMetric,
-    engagement: EngagementMetric,
-    binner: &mut Binner,
-    rows: std::ops::Range<usize>,
-) {
-    for_curve_rows(frame, sweep, engagement, rows, |x, y| binner.record(x, y));
-}
-
-/// Record one contiguous row range of the Fig. 1 sweep into the compressed
-/// accumulator the incremental curve view carries. Must be fed rows in row
-/// order — [`SumBinner`]'s running sums replay `mean`'s addition sequence,
-/// which is what makes the finished curve bit-identical to the list path.
-pub(crate) fn record_curve_sums(
-    frame: &SessionFrame,
-    sweep: NetworkMetric,
-    engagement: EngagementMetric,
-    binner: &mut SumBinner,
-    rows: std::ops::Range<usize>,
-) {
-    for_curve_rows(frame, sweep, engagement, rows, |x, y| binner.record(x, y));
-}
-
-/// [`record_curve_sums`] fed raw session records instead of frame rows —
+/// The Fig. 1 accumulator fed raw session records instead of frame rows —
 /// the O(delta) append path, which lets a commit advance the curve view
 /// without materialising the successor frame. A record's frame row stores
 /// its values verbatim ([`SessionFrame`]'s `push`) and the reference mask
 /// mirrors [`in_reference_except`], so recording records in batch order
-/// produces the same observation sequence the row walk would over the
-/// materialised rows.
+/// produces the same observation sequence a row walk over the materialised
+/// rows would.
 pub(crate) fn record_curve_sums_records(
     sessions: &[SessionRecord],
     sweep: NetworkMetric,
@@ -257,19 +216,21 @@ pub fn compounding_grid(
     Ok(finish_grid(x, y, sums, counts, min_count))
 }
 
-/// [`compounding_grid`] over frame columns, the cell partition fanned out
-/// across `workers` scoped threads. Each chunk collects per-cell observation
-/// lists; merged in chunk order and summed sequentially they reproduce the
-/// reference pass's accumulation order exactly, so the grid is bit-identical.
+/// [`compounding_grid`] over frame columns — the kernel-routed hot path:
+/// the branchless [`kernels::grid_sum_count`] streams the latency, loss,
+/// and engagement columns once, scattering masked running sums onto the
+/// flat cell grid in row order — the reference pass's exact accumulation
+/// order, so the grid is bit-identical to [`compounding_grid`]. Sequential
+/// by construction; `workers` is accepted and ignored.
 pub fn compounding_grid_frame(
     frame: &SessionFrame,
     engagement: EngagementMetric,
     bins: usize,
     min_count: usize,
-    workers: usize,
+    _workers: usize,
 ) -> Result<Grid2d, AnalyticsError> {
-    let (x, y, cells) = grid_cells_frame(frame, engagement, bins, workers)?;
-    Ok(grid_from_cells(x, y, bins, &cells, min_count))
+    let (x, y, sums, counts) = grid_sums_frame(frame, engagement, bins)?;
+    Ok(grid_from_sums(x, y, bins, &sums, &counts, min_count))
 }
 
 /// The Fig. 2 axis specs: latency ms × loss %.
@@ -280,95 +241,31 @@ pub(crate) fn grid_specs(bins: usize) -> Result<(BinSpec, BinSpec), AnalyticsErr
     ))
 }
 
-/// The accumulation stage of [`compounding_grid_frame`]: per-cell
-/// observation lists (`cells[yi * bins + xi]`), merged in chunk order. (The
-/// incremental grid view carries the compressed per-cell `(sum, count)`
-/// twin instead, fed through [`record_grid_sums`].)
-pub(crate) fn grid_cells_frame(
+/// The accumulation stage of [`compounding_grid_frame`]: the flat per-cell
+/// `(sum, count)` accumulators (`yi * bins + xi`), produced by the
+/// branchless kernel in row order — identical state to recording every
+/// in-range row sequentially, which is what the incremental grid view
+/// carries across epochs.
+pub(crate) fn grid_sums_frame(
     frame: &SessionFrame,
     engagement: EngagementMetric,
     bins: usize,
-    workers: usize,
-) -> Result<(BinSpec, BinSpec, Vec<Vec<f64>>), AnalyticsError> {
+) -> Result<(BinSpec, BinSpec, Vec<f64>, Vec<usize>), AnalyticsError> {
     let (x, y) = grid_specs(bins)?;
-    let parts = par_map_ranges(frame.len(), workers, |range| {
-        let mut cells: Vec<Vec<f64>> = vec![Vec::new(); bins * bins];
-        record_grid_rows(frame, engagement, x, y, bins, range, &mut cells);
-        cells
-    });
-    let mut cells: Vec<Vec<f64>> = vec![Vec::new(); bins * bins];
-    for part in parts {
-        for (cell, chunk) in cells.iter_mut().zip(part) {
-            cell.extend(chunk);
-        }
-    }
-    Ok((x, y, cells))
+    let (sums, counts) = kernels::grid_sum_count(
+        frame.net_mean(NetworkMetric::LatencyMs),
+        frame.net_mean(NetworkMetric::LossPct),
+        frame.engagement(engagement),
+        x,
+        y,
+    );
+    Ok((x, y, sums, counts))
 }
 
-/// The Fig. 2 row walk — the single cell-indexing path every grid recorder
-/// funnels through; `record` receives the flat cell index and the
-/// engagement value.
-fn for_grid_rows(
-    frame: &SessionFrame,
-    engagement: EngagementMetric,
-    x: BinSpec,
-    y: BinSpec,
-    bins: usize,
-    rows: std::ops::Range<usize>,
-    mut record: impl FnMut(usize, f64),
-) {
-    let lat = frame.net_mean(NetworkMetric::LatencyMs);
-    let loss = frame.net_mean(NetworkMetric::LossPct);
-    let eng = frame.engagement(engagement);
-    for i in rows {
-        let (Some(xi), Some(yi)) = (x.index(lat[i]), y.index(loss[i])) else {
-            continue;
-        };
-        record(yi * bins + xi, eng[i]);
-    }
-}
-
-/// Record one contiguous row range into the grid's per-cell observation
-/// lists — used by the chunked cold rebuild.
-pub(crate) fn record_grid_rows(
-    frame: &SessionFrame,
-    engagement: EngagementMetric,
-    x: BinSpec,
-    y: BinSpec,
-    bins: usize,
-    rows: std::ops::Range<usize>,
-    cells: &mut [Vec<f64>],
-) {
-    for_grid_rows(frame, engagement, x, y, bins, rows, |cell, v| {
-        cells[cell].push(v)
-    });
-}
-
-/// Record one contiguous row range into the compressed per-cell
-/// `(sum, count)` accumulators the incremental grid view carries. Must be
-/// fed rows in row order: [`grid_from_cells`] (and the per-record
-/// [`compounding_grid`]) sum each cell's observations sequentially from
-/// zero, and these running sums replay that exact addition sequence.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn record_grid_sums(
-    frame: &SessionFrame,
-    engagement: EngagementMetric,
-    x: BinSpec,
-    y: BinSpec,
-    bins: usize,
-    rows: std::ops::Range<usize>,
-    sums: &mut [f64],
-    counts: &mut [usize],
-) {
-    for_grid_rows(frame, engagement, x, y, bins, rows, |cell, v| {
-        sums[cell] += v;
-        counts[cell] += 1;
-    });
-}
-
-/// [`record_grid_sums`] fed raw session records — the O(delta) append path.
-/// The cell index comes from the same per-record reads the frame columns
-/// store verbatim, so the accumulation sequence matches the row walk.
+/// The Fig. 2 accumulators fed raw session records — the O(delta) append
+/// path. The cell index comes from the same per-record reads the frame
+/// columns store verbatim, so the accumulation sequence matches a row walk
+/// over the materialised rows.
 pub(crate) fn record_grid_sums_records(
     sessions: &[SessionRecord],
     engagement: EngagementMetric,
@@ -390,34 +287,10 @@ pub(crate) fn record_grid_sums_records(
     }
 }
 
-/// Finishing pass from per-cell observation lists: sequential per-cell sums
-/// (the reference accumulation order), then [`finish_grid`]'s thin-cell
-/// suppression and best-cell normalisation.
-pub(crate) fn grid_from_cells(
-    x: BinSpec,
-    y: BinSpec,
-    bins: usize,
-    cells: &[Vec<f64>],
-    min_count: usize,
-) -> Grid2d {
-    let mut sums = vec![vec![0.0f64; bins]; bins];
-    let mut counts = vec![vec![0usize; bins]; bins];
-    for yi in 0..bins {
-        for xi in 0..bins {
-            let cell = &cells[yi * bins + xi];
-            for v in cell {
-                sums[yi][xi] += v;
-            }
-            counts[yi][xi] = cell.len();
-        }
-    }
-    finish_grid(x, y, sums, counts, min_count)
-}
-
 /// Finishing pass from the compressed flat `(sum, count)` accumulators the
-/// incremental grid view carries — un-flattens and feeds the same
-/// [`finish_grid`] the list path feeds, so identical sums give an
-/// identical grid.
+/// kernel scan produces and the incremental grid view carries — un-flattens
+/// and feeds the same [`finish_grid`] the per-record reference feeds, so
+/// identical sums give an identical grid.
 pub(crate) fn grid_from_sums(
     x: BinSpec,
     y: BinSpec,
@@ -513,103 +386,60 @@ pub fn platform_curves(
     Ok(normalize_platforms_jointly(raw))
 }
 
-/// [`platform_curves`] over frame columns: each chunk keeps one binner per
-/// platform, merged per platform in chunk order, then normalised through the
-/// same joint pass as the per-record reference — bit-identical output.
+/// [`platform_curves`] over frame columns — the kernel-routed hot path:
+/// the branchless [`kernels::masked_slot_binned_sum_count`] scatters masked
+/// running sums onto one flat accumulator row per `Platform::ALL` slot in
+/// row order, then the same joint normalisation as the per-record reference
+/// finishes — bit-identical output. Sequential by construction; `workers`
+/// is accepted and ignored.
 pub fn platform_curves_frame(
     frame: &SessionFrame,
     sweep: NetworkMetric,
     engagement: EngagementMetric,
     bins: usize,
     min_count: usize,
-    workers: usize,
+    _workers: usize,
 ) -> Result<Vec<(Platform, BinnedCurve)>, AnalyticsError> {
-    let binners = platform_binners_frame(frame, sweep, engagement, bins, workers)?;
-    Ok(platform_curves_from_binners(binners, min_count))
+    let binners = platform_sums_frame(frame, sweep, engagement, bins)?;
+    Ok(platform_curves_from_sums(&binners, min_count))
 }
 
-/// The accumulation stage of [`platform_curves_frame`]: one fully-fed
-/// binner per `Platform::ALL` slot. (The incremental platform view carries
-/// one compressed [`SumBinner`] per slot instead, fed through
-/// [`record_platform_sums`].)
-pub(crate) fn platform_binners_frame(
+/// The accumulation stage of [`platform_curves_frame`]: one compressed
+/// [`SumBinner`] per `Platform::ALL` slot, produced by the branchless slot
+/// kernel — identical state to recording each platform's selected rows in
+/// row order, which is what the incremental platform view carries.
+pub(crate) fn platform_sums_frame(
     frame: &SessionFrame,
     sweep: NetworkMetric,
     engagement: EngagementMetric,
     bins: usize,
-    workers: usize,
-) -> Result<Vec<Binner>, AnalyticsError> {
+) -> Result<Vec<SumBinner>, AnalyticsError> {
     let (lo, hi) = sweep.sweep_range();
     let spec = BinSpec::new(lo, hi, bins)?;
-    let parts = par_map_ranges(frame.len(), workers, |range| {
-        let mut binners: Vec<Binner> = Platform::ALL.iter().map(|_| Binner::new(spec)).collect();
-        record_platform_rows(frame, sweep, engagement, &mut binners, range);
-        binners
-    });
-    let mut iter = parts.into_iter();
-    let mut merged = iter.next().expect("at least one chunk");
-    for part in iter {
-        for (mine, theirs) in merged.iter_mut().zip(part) {
-            mine.merge(theirs)?;
-        }
-    }
-    Ok(merged)
+    let slots = Platform::ALL.len();
+    let (sums, counts, dropped) = kernels::masked_slot_binned_sum_count(
+        frame.net_mean(sweep),
+        frame.engagement(engagement),
+        frame.platform_slots(),
+        slots,
+        frame.ref_row_mask(sweep),
+        spec,
+    );
+    Ok((0..slots)
+        .map(|s| {
+            SumBinner::from_parts(
+                spec,
+                sums[s * bins..(s + 1) * bins].to_vec(),
+                counts[s * bins..(s + 1) * bins].to_vec(),
+                dropped[s],
+            )
+        })
+        .collect())
 }
 
-/// The Fig. 3 row walk — the single platform-partition path every platform
-/// recorder funnels through; `record` receives the `Platform::ALL` slot and
-/// the `(x, y)` pair.
-fn for_platform_rows(
-    frame: &SessionFrame,
-    sweep: NetworkMetric,
-    engagement: EngagementMetric,
-    rows: std::ops::Range<usize>,
-    mut record: impl FnMut(usize, f64, f64),
-) {
-    let xs = frame.net_mean(sweep);
-    let ys = frame.engagement(engagement);
-    let platforms = frame.platform();
-    for i in rows {
-        if !frame.in_reference_except(i, sweep) {
-            continue;
-        }
-        if let Some(slot) = Platform::ALL.iter().position(|p| *p == platforms[i]) {
-            record(slot, xs[i], ys[i]);
-        }
-    }
-}
-
-/// Record one contiguous row range into the per-platform binners — used by
-/// the chunked cold rebuild.
-pub(crate) fn record_platform_rows(
-    frame: &SessionFrame,
-    sweep: NetworkMetric,
-    engagement: EngagementMetric,
-    binners: &mut [Binner],
-    rows: std::ops::Range<usize>,
-) {
-    for_platform_rows(frame, sweep, engagement, rows, |slot, x, y| {
-        binners[slot].record(x, y)
-    });
-}
-
-/// Record one contiguous row range into the compressed per-platform
-/// accumulators the incremental platform view carries. Row-order feeding
-/// required, as for [`record_curve_sums`].
-pub(crate) fn record_platform_sums(
-    frame: &SessionFrame,
-    sweep: NetworkMetric,
-    engagement: EngagementMetric,
-    binners: &mut [SumBinner],
-    rows: std::ops::Range<usize>,
-) {
-    for_platform_rows(frame, sweep, engagement, rows, |slot, x, y| {
-        binners[slot].record(x, y)
-    });
-}
-
-/// [`record_platform_sums`] fed raw session records — the O(delta) append
-/// path, same reference-filter and platform-slot logic as the row walk.
+/// The Fig. 3 accumulators fed raw session records — the O(delta) append
+/// path, same reference-filter and platform-slot logic as the columnar
+/// scan.
 pub(crate) fn record_platform_sums_records(
     sessions: &[SessionRecord],
     sweep: NetworkMetric,
@@ -626,24 +456,9 @@ pub(crate) fn record_platform_sums_records(
     }
 }
 
-/// Finishing pass from per-platform binners: per-platform mean curves, then
-/// the joint normalisation.
-pub(crate) fn platform_curves_from_binners(
-    binners: Vec<Binner>,
-    min_count: usize,
-) -> Vec<(Platform, BinnedCurve)> {
-    let raw: Vec<(Platform, BinnedCurve)> = Platform::ALL
-        .iter()
-        .zip(binners)
-        .map(|(p, b)| (*p, b.curve_mean(min_count)))
-        .collect();
-    normalize_platforms_jointly(raw)
-}
-
-/// [`platform_curves_from_binners`] for the compressed per-platform
-/// accumulators: per-platform mean curves (bit-identical to the list path
-/// when fed the same rows in the same order), then the same joint
-/// normalisation.
+/// Finishing pass for the compressed per-platform accumulators:
+/// per-platform mean curves (bit-identical to the per-record reference when
+/// fed the same rows in the same order), then the same joint normalisation.
 pub(crate) fn platform_curves_from_sums(
     binners: &[SumBinner],
     min_count: usize,
@@ -767,7 +582,7 @@ pub fn mos_by_engagement_frame(
     bins: usize,
     min_count: usize,
 ) -> Result<BinnedCurve, AnalyticsError> {
-    mos_by_engagement_on(frame, &frame.rated_indices(), engagement, bins, min_count)
+    mos_by_engagement_on(frame, frame.rated_indices(), engagement, bins, min_count)
 }
 
 /// [`mos_by_engagement_frame`] over a caller-supplied rated-index list (in
@@ -781,8 +596,7 @@ pub(crate) fn mos_by_engagement_on(
     bins: usize,
     min_count: usize,
 ) -> Result<BinnedCurve, AnalyticsError> {
-    let col = frame.engagement(engagement);
-    let eng: Vec<f64> = rated.iter().map(|&i| col[i]).collect();
+    let eng = kernels::gather(frame.engagement(engagement), rated);
     let ratings = gather_ratings(frame, rated);
     mos_curve_from_vals(&eng, &ratings, bins, min_count)
 }
@@ -819,7 +633,7 @@ fn gather_ratings(frame: &SessionFrame, rated: &[usize]) -> Vec<f64> {
 pub fn mos_correlations_frame(
     frame: &SessionFrame,
 ) -> Result<Vec<(EngagementMetric, f64)>, AnalyticsError> {
-    mos_correlations_on(frame, &frame.rated_indices())
+    mos_correlations_on(frame, frame.rated_indices())
 }
 
 /// [`mos_correlations_frame`] over a caller-supplied rated-index list (in
@@ -830,10 +644,7 @@ pub(crate) fn mos_correlations_on(
 ) -> Result<Vec<(EngagementMetric, f64)>, AnalyticsError> {
     let eng: Vec<Vec<f64>> = EngagementMetric::ALL
         .iter()
-        .map(|&m| {
-            let col = frame.engagement(m);
-            rated.iter().map(|&i| col[i]).collect()
-        })
+        .map(|&m| kernels::gather(frame.engagement(m), rated))
         .collect();
     mos_correlations_vals(&eng, &gather_ratings(frame, rated))
 }

@@ -137,7 +137,7 @@ impl EmergingTopicMiner {
             cursor = cursor.offset(self.step_days);
         }
         let mut out: Vec<EmergingTopic> = detected.into_values().collect();
-        out.sort_by_key(|t| t.first_flagged);
+        sort_detections(&mut out);
         Ok(out)
     }
 
@@ -146,61 +146,88 @@ impl EmergingTopicMiner {
     /// `HashMap<u32, f64>`, and polarity scoring runs on token ids. All
     /// window/history weights are sums of integer-valued engagement
     /// weights, so every share and novelty ratio is computed on exactly
-    /// the same values as the string path; detections are identical up to
-    /// the (already unspecified) order of same-day flags.
+    /// the same values as the string path; detections are identical, and
+    /// same-day flags are ordered by term (both paths sort with
+    /// [`sort_detections`]).
+    ///
+    /// Implemented as [`EmergingTopicMiner::mine_start`] +
+    /// [`EmergingTopicMiner::mine_run`] — the resumable core the
+    /// incremental [`crate::views::EmergingTopicsView`] carries across
+    /// epochs.
     pub fn mine_interned(
         &self,
         forum: &Forum,
         corpus: &TokenCorpus,
     ) -> Result<Vec<EmergingTopic>, AnalyticsError> {
-        assert_eq!(
-            corpus.docs(),
-            forum.len(),
-            "corpus must tokenize exactly this forum"
-        );
+        let mut state = self.mine_start(forum, corpus)?;
+        self.mine_run(forum, corpus, &mut state);
+        Ok(state.detections())
+    }
+
+    /// Initialise a [`MineState`] for the interned miner: validate the
+    /// corpus, fix the forum's date range, and pre-load history with the
+    /// first window. No windows are evaluated yet.
+    pub(crate) fn mine_start(
+        &self,
+        forum: &Forum,
+        corpus: &TokenCorpus,
+    ) -> Result<MineState, AnalyticsError> {
+        if corpus.docs() != forum.len() {
+            return Err(AnalyticsError::LengthMismatch {
+                left: corpus.docs(),
+                right: forum.len(),
+            });
+        }
         let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
-        let analyzer = SentimentAnalyzer::default();
-        let vocab = corpus.vocab();
-        let mut history: HashMap<u32, f64> = HashMap::new();
-        let mut history_total = 0.0f64;
-        let mut detected: HashMap<u32, EmergingTopic> = HashMap::new();
-        /// Share floor: the share a never-seen term is treated as having had.
-        const SHARE_FLOOR: f64 = 0.002;
-
-        // `Forum::between` by document index, so windows address the corpus.
-        let between = |from: Date, to: Date| {
-            forum
-                .posts
-                .iter()
-                .enumerate()
-                .filter(move |(_, p)| p.date >= from && p.date <= to)
+        let mut state = MineState {
+            start,
+            end,
+            cursor: start.offset(self.window_days),
+            history: HashMap::new(),
+            history_total: 0.0,
+            detected: HashMap::new(),
         };
-
-        let mut cursor = start.offset(self.window_days);
         // Pre-load history with the first window.
         let mut pre = IdNgramCounts::new();
-        for (i, p) in between(start, cursor.offset(-1)) {
+        for (i, p) in between(forum, start, state.cursor.offset(-1)) {
             pre.add_unigrams(corpus, i, p.engagement_weight());
         }
         for (id, w) in pre.iter_unigrams() {
-            *history.entry(id).or_insert(0.0) += w;
-            history_total += w;
+            *state.history.entry(id).or_insert(0.0) += w;
+            state.history_total += w;
         }
+        Ok(state)
+    }
 
-        while cursor.offset(self.window_days - 1) <= end {
-            let win_start = cursor;
-            let win_end = cursor.offset(self.window_days - 1);
+    /// Evaluate every window from `state.cursor` through `state.end`,
+    /// updating the carried history/detections and leaving the cursor at
+    /// the first unevaluated window. Because the loop only ever reads
+    /// posts dated `<= state.end`, a state paused here and resumed after
+    /// an append of strictly-later posts (with `state.end` raised to the
+    /// new maximum) walks exactly the windows a cold run over the full
+    /// forum would — the incremental contract of
+    /// [`crate::views::EmergingTopicsView`].
+    pub(crate) fn mine_run(&self, forum: &Forum, corpus: &TokenCorpus, state: &mut MineState) {
+        let analyzer = SentimentAnalyzer::default();
+        let vocab = corpus.vocab();
+        /// Share floor: the share a never-seen term is treated as having had.
+        const SHARE_FLOOR: f64 = 0.002;
+
+        while state.cursor.offset(self.window_days - 1) <= state.end {
+            let win_start = state.cursor;
+            let win_end = state.cursor.offset(self.window_days - 1);
             let mut counts = IdNgramCounts::new();
-            let posts: Vec<(usize, &Post)> = between(win_start, win_end).collect();
+            let posts: Vec<(usize, &Post)> = between(forum, win_start, win_end).collect();
             for &(i, p) in &posts {
                 counts.add_unigrams(corpus, i, p.engagement_weight());
             }
             let window_total: f64 = counts.iter_unigrams().map(|(_, w)| w).sum::<f64>().max(1.0);
             for (id, weight) in counts.iter_unigrams() {
-                if weight < self.min_weight || detected.contains_key(&id) {
+                if weight < self.min_weight || state.detected.contains_key(&id) {
                     continue;
                 }
-                let hist_share = history.get(&id).copied().unwrap_or(0.0) / history_total.max(1.0);
+                let hist_share =
+                    state.history.get(&id).copied().unwrap_or(0.0) / state.history_total.max(1.0);
                 let window_share = weight / window_total;
                 let novelty = window_share / (hist_share + SHARE_FLOOR);
                 if novelty >= self.min_novelty {
@@ -218,7 +245,7 @@ impl EmergingTopicMiner {
                         .map(|&(i, _)| analyzer.score_ids(corpus.doc(i), vocab).polarity())
                         .collect();
                     let polarity = analytics::mean(&polarities).unwrap_or(0.0);
-                    detected.insert(
+                    state.detected.insert(
                         id,
                         EmergingTopic {
                             term: term.to_string(),
@@ -232,18 +259,15 @@ impl EmergingTopicMiner {
             }
             // Roll the oldest step into history.
             let mut rolled = IdNgramCounts::new();
-            for (i, p) in between(win_start, win_start.offset(self.step_days - 1)) {
+            for (i, p) in between(forum, win_start, win_start.offset(self.step_days - 1)) {
                 rolled.add_unigrams(corpus, i, p.engagement_weight());
             }
             for (id, w) in rolled.iter_unigrams() {
-                *history.entry(id).or_insert(0.0) += w;
-                history_total += w;
+                *state.history.entry(id).or_insert(0.0) += w;
+                state.history_total += w;
             }
-            cursor = cursor.offset(self.step_days);
+            state.cursor = state.cursor.offset(self.step_days);
         }
-        let mut out: Vec<EmergingTopic> = detected.into_values().collect();
-        out.sort_by_key(|t| t.first_flagged);
-        Ok(out)
     }
 
     /// Convenience: the first detection of one term, if any.
@@ -254,6 +278,58 @@ impl EmergingTopicMiner {
     ) -> Result<Option<EmergingTopic>, AnalyticsError> {
         Ok(self.mine(forum)?.into_iter().find(|t| t.term == term))
     }
+}
+
+/// The interned miner's resumable position: everything
+/// [`EmergingTopicMiner::mine_run`] needs to evaluate the next window.
+/// Dates strictly after `end` have not influenced any of it, which is what
+/// lets [`crate::views::EmergingTopicsView`] carry one of these across an
+/// append of later-dated posts and resume instead of re-mining history.
+#[derive(Debug, Clone)]
+pub(crate) struct MineState {
+    /// First forum day (fixed; an earlier-dated append invalidates the
+    /// state, because the pre-load window would have differed).
+    pub start: Date,
+    /// Last forum day covered; windows end at or before it.
+    pub end: Date,
+    /// Start of the first window not yet evaluated.
+    pub cursor: Date,
+    /// Historical cumulative engagement weight per term id.
+    pub history: HashMap<u32, f64>,
+    /// Total historical engagement weight.
+    pub history_total: f64,
+    /// First detection per term id.
+    pub detected: HashMap<u32, EmergingTopic>,
+}
+
+impl MineState {
+    /// The detections so far, in the output order of
+    /// [`EmergingTopicMiner::mine_interned`].
+    pub fn detections(&self) -> Vec<EmergingTopic> {
+        let mut out: Vec<EmergingTopic> = self.detected.values().cloned().collect();
+        sort_detections(&mut out);
+        out
+    }
+}
+
+/// `Forum::between` by document index, so windows address the corpus.
+fn between(forum: &Forum, from: Date, to: Date) -> impl Iterator<Item = (usize, &Post)> {
+    forum
+        .posts
+        .iter()
+        .enumerate()
+        .filter(move |(_, p)| p.date >= from && p.date <= to)
+}
+
+/// Canonical detection order: flag date, then term. Pinning the tie order
+/// (the maps above iterate in hash order) keeps every producer —
+/// string-path mine, interned mine, carried view — byte-identical.
+fn sort_detections(out: &mut [EmergingTopic]) {
+    out.sort_by(|a, b| {
+        a.first_flagged
+            .cmp(&b.first_flagged)
+            .then_with(|| a.term.cmp(&b.term))
+    });
 }
 
 #[cfg(test)]

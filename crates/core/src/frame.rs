@@ -18,11 +18,13 @@
 //! are bit-identical to the array-of-structs reference implementations
 //! (asserted by the `frame_parity` suite).
 
+use analytics::kernels::RowMask;
 use analytics::time::Date;
 use conference::platform::Platform;
 use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
 use netsim::access::AccessType;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 /// Column slot of a network metric.
 pub const fn net_index(metric: NetworkMetric) -> usize {
@@ -46,6 +48,23 @@ pub const fn eng_index(metric: EngagementMetric) -> usize {
 /// Bitmask with every network metric's reference bit set.
 const ALL_IN_REFERENCE: u8 = 0b1111;
 
+/// Lazily-derived columns memoized on the frame. Everything here is a pure
+/// function of the row columns, recomputed on first use after any mutation
+/// (`push`/`append` replace the whole struct with a fresh one), so a cache
+/// can never outlive the rows it was derived from. Cloning a frame clones
+/// whatever was already materialised — still valid, same rows.
+#[derive(Debug, Clone, Default)]
+struct FrameCaches {
+    /// Ascending indices of the rated sliver (the MOS/predictor queries'
+    /// gather list).
+    rated_indices: OnceLock<Vec<usize>>,
+    /// Packed per-row §3.2 confounder masks, one per sweep metric — the
+    /// filter the branchless kernels consume lane-wise.
+    ref_masks: [OnceLock<RowMask>; 4],
+    /// Per-row `Platform::ALL` slot, dense for the Fig. 3 slot kernel.
+    platform_slots: OnceLock<Vec<u32>>,
+}
+
 /// Struct-of-arrays index over a call dataset: one dense column per
 /// network-metric mean and P95, per engagement metric, plus the
 /// platform/access/rating/date columns the service queries consume.
@@ -63,6 +82,8 @@ pub struct SessionFrame {
     /// the paper's reference range — the §3.2 confounder filter reduced to
     /// one mask compare per session.
     ref_mask: Vec<u8>,
+    /// Memoized derived columns; reset on every mutation.
+    caches: FrameCaches,
 }
 
 impl SessionFrame {
@@ -137,6 +158,7 @@ impl SessionFrame {
             date: Vec::with_capacity(n),
             rating: Vec::with_capacity(n),
             ref_mask: Vec::with_capacity(n),
+            caches: FrameCaches::default(),
         }
     }
 
@@ -162,6 +184,7 @@ impl SessionFrame {
         self.rating.push(s.rating);
         self.ref_mask.push(mask);
         self.len += 1;
+        self.caches = FrameCaches::default();
     }
 
     /// Concatenate another frame's columns after this one's.
@@ -181,6 +204,7 @@ impl SessionFrame {
         self.rating.extend(other.rating);
         self.ref_mask.extend(other.ref_mask);
         self.len += other.len;
+        self.caches = FrameCaches::default();
     }
 
     /// Number of sessions indexed.
@@ -236,11 +260,41 @@ impl SessionFrame {
         self.ref_mask[i] | (1 << net_index(sweep)) == ALL_IN_REFERENCE
     }
 
-    /// Indices of the rated sessions, ascending.
-    pub fn rated_indices(&self) -> Vec<usize> {
-        (0..self.len)
-            .filter(|&i| self.rating[i].is_some())
-            .collect()
+    /// Indices of the rated sessions, ascending. Memoized: the MOS and
+    /// predictor queries gather against this list on every call, so the
+    /// frame materialises it once per generation instead of re-scanning
+    /// the rating column per query.
+    pub fn rated_indices(&self) -> &[usize] {
+        self.caches.rated_indices.get_or_init(|| {
+            (0..self.len)
+                .filter(|&i| self.rating[i].is_some())
+                .collect()
+        })
+    }
+
+    /// Packed §3.2 confounder bitmask for a sweep metric: bit `i` is set iff
+    /// [`SessionFrame::in_reference_except`]`(i, sweep)`. Memoized per sweep
+    /// metric; the branchless kernels consume it word-wise instead of
+    /// re-evaluating the mask compare per row per query.
+    pub fn ref_row_mask(&self, sweep: NetworkMetric) -> &RowMask {
+        self.caches.ref_masks[net_index(sweep)]
+            .get_or_init(|| RowMask::from_fn(self.len, |i| self.in_reference_except(i, sweep)))
+    }
+
+    /// Dense per-row platform slot (position in [`Platform::ALL`]), the
+    /// Fig. 3 slot-binned kernel's slot column. Memoized.
+    pub fn platform_slots(&self) -> &[u32] {
+        self.caches.platform_slots.get_or_init(|| {
+            self.platform
+                .iter()
+                .map(|p| {
+                    Platform::ALL
+                        .iter()
+                        .position(|q| q == p)
+                        .expect("Platform::ALL covers every variant") as u32
+                })
+                .collect()
+        })
     }
 
     /// Serialise every column into `w` (snapshot format). Floats are

@@ -74,6 +74,41 @@ impl Default for FulcrumAnalysis {
     }
 }
 
+/// The memoizable per-post work of the Fig. 7 pipeline: what the OCR
+/// extractor recovered from a screenshot post plus its strong-sentiment
+/// class (`+1` strong positive, `-1` strong negative, `0` neither). Posts
+/// without a screenshot have no `DocShot` — the month loop skips them
+/// before any extraction or scoring, so `None` carries that skip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct DocShot {
+    /// OCR-recovered downlink (Mbps), when legible.
+    pub down: Option<f64>,
+    /// Strong-sentiment class of the post.
+    pub class: i8,
+}
+
+impl DocShot {
+    /// Evaluate one post: OCR extraction first, then sentiment — the same
+    /// order [`FulcrumAnalysis::analyze_with`] used inline, kept so the
+    /// memoized and direct paths do identical work per post.
+    pub(crate) fn eval(
+        post: &social::post::Post,
+        score: impl FnOnce() -> sentiment::SentimentScores,
+    ) -> Option<DocShot> {
+        let shot = post.screenshot.as_ref()?;
+        let down = ocr::extract::extract(&shot.ocr_text).downlink_mbps;
+        let s = score();
+        let class = if s.is_strong_positive() {
+            1
+        } else if s.is_strong_negative() {
+            -1
+        } else {
+            0
+        };
+        Some(DocShot { down, class })
+    }
+}
+
 impl FulcrumAnalysis {
     /// Run the pipeline over `[start, end]` months.
     pub fn analyze(
@@ -121,6 +156,24 @@ impl FulcrumAnalysis {
         end: Month,
         score: impl Fn(usize, &social::post::Post) -> sentiment::SentimentScores,
     ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
+        self.analyze_shots(forum, start, end, |i, post| {
+            DocShot::eval(post, || score(i, post))
+        })
+    }
+
+    /// The month loop over pre-evaluated per-post work: `shot_of` hands back
+    /// the [`DocShot`] for a post (or `None` for non-screenshot posts). The
+    /// loop structure — including which months advance the subsample RNG —
+    /// depends only on the shots, so running this over memoized shots
+    /// ([`crate::views::SpeedTrendView`]) is bit-identical to the inline
+    /// extraction path.
+    pub(crate) fn analyze_shots(
+        &self,
+        forum: &Forum,
+        start: Month,
+        end: Month,
+        shot_of: impl Fn(usize, &social::post::Post) -> Option<DocShot>,
+    ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
         if forum.is_empty() {
             return Err(AnalyticsError::Empty);
         }
@@ -138,17 +191,16 @@ impl FulcrumAnalysis {
                 .enumerate()
                 .filter(|(_, p)| p.date >= from && p.date <= to)
             {
-                let Some(shot) = &post.screenshot else {
+                let Some(shot) = shot_of(i, post) else {
                     continue;
                 };
-                if let Some(d) = ocr::extract::extract(&shot.ocr_text).downlink_mbps {
+                if let Some(d) = shot.down {
                     downs.push(d);
                 }
-                let s = score(i, post);
-                if s.is_strong_positive() {
-                    strong_pos += 1;
-                } else if s.is_strong_negative() {
-                    strong_neg += 1;
+                match shot.class {
+                    1.. => strong_pos += 1,
+                    ..=-1 => strong_neg += 1,
+                    0 => {}
                 }
             }
             let (median_down, median_down_95, median_down_90) = if downs.len() >= self.min_reports {

@@ -68,8 +68,22 @@ pub const JOURNAL_FILE: &str = "journal.log";
 /// How many snapshots to keep; older ones are pruned after a checkpoint.
 const SNAPSHOTS_KEPT: usize = 2;
 
+/// File-name prefix of differential snapshot files
+/// (`diff-<base_seq>-<seq>.snap`): the delta between journal sequence
+/// `base_seq` (a **full** snapshot that must exist to apply it) and `seq`.
+const DIFF_PREFIX: &str = "diff-";
+/// Temp name a differential snapshot is encoded under before the rename.
+const DIFF_TMP: &str = "diff.tmp";
+/// How many differential snapshots to keep.
+const DIFFS_KEPT: usize = 2;
+
 /// Magic leading every snapshot file.
 const SNAPSHOT_MAGIC: &[u8; 8] = b"USAASNP\x01";
+/// Magic leading every differential snapshot file.
+const DIFF_MAGIC: &[u8; 8] = b"USAASDF\x01";
+/// Differential snapshot format version. A reader that does not know the
+/// version skips the diff and falls back to the full snapshot chain.
+const DIFF_VERSION: u32 = 1;
 /// Snapshot format version. v2 appends the materialized-view key list
 /// ([`crate::views::ViewKey`]) after the signal store; v1 snapshots (no
 /// key list) still load, recovering with an empty view set.
@@ -253,6 +267,8 @@ fn put_view_key(w: &mut Writer, key: ViewKey) {
         ViewKey::Sentiment => w.put_u8(6),
         ViewKey::Outage => w.put_u8(7),
         ViewKey::Deployment => w.put_u8(8),
+        ViewKey::SpeedTrend => w.put_u8(9),
+        ViewKey::EmergingTopics => w.put_u8(10),
     }
 }
 
@@ -281,6 +297,8 @@ fn get_view_key(r: &mut Reader<'_>) -> Result<ViewKey, bin::Error> {
         6 => ViewKey::Sentiment,
         7 => ViewKey::Outage,
         8 => ViewKey::Deployment,
+        9 => ViewKey::SpeedTrend,
+        10 => ViewKey::EmergingTopics,
         _ => return Err(bin::Error::Corrupt("unknown view-key tag")),
     })
 }
@@ -872,33 +890,52 @@ pub(crate) fn snapshot_seqs(dir: &Path) -> std::io::Result<Vec<u64>> {
     Ok(seqs)
 }
 
+/// Assemble a checksummed snapshot-family file: magic + version + payload
+/// length + CRC-32 + payload.
+fn frame_file(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut file_bytes = Vec::with_capacity(payload.len() + 24);
+    file_bytes.extend_from_slice(magic);
+    file_bytes.extend_from_slice(&version.to_le_bytes());
+    file_bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file_bytes.extend_from_slice(&bin::crc32(payload).to_le_bytes());
+    file_bytes.extend_from_slice(payload);
+    file_bytes
+}
+
+/// Write `file_bytes` with the atomic tmp → fsync → rename → fsync-dir
+/// protocol.
+fn write_atomic(dir: &Path, tmp_name: &str, path: &Path, file_bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(tmp_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(file_bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_dir(dir)
+}
+
 /// Write a snapshot with the atomic tmp → fsync → rename → fsync-dir
-/// protocol, then prune snapshots beyond the retention count. Returns the
-/// final path.
+/// protocol, then prune snapshots beyond the retention count (and any
+/// differential snapshot whose base full snapshot was just pruned — such a
+/// diff could never be applied again). Returns the final path.
 pub(crate) fn write_snapshot(
     dir: &Path,
     contents: &SnapshotContents<'_>,
 ) -> Result<PathBuf, PersistError> {
     let payload = encode_snapshot(contents);
-    let mut file_bytes = Vec::with_capacity(payload.len() + 24);
-    file_bytes.extend_from_slice(SNAPSHOT_MAGIC);
-    file_bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-    file_bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    file_bytes.extend_from_slice(&bin::crc32(&payload).to_le_bytes());
-    file_bytes.extend_from_slice(&payload);
-
-    let tmp = dir.join(SNAPSHOT_TMP);
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&file_bytes)?;
-        f.sync_all()?;
-    }
+    let file_bytes = frame_file(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &payload);
     let path = snapshot_path(dir, contents.journal_seq);
-    fs::rename(&tmp, &path)?;
-    sync_dir(dir)?;
+    write_atomic(dir, SNAPSHOT_TMP, &path, &file_bytes)?;
 
     for stale in snapshot_seqs(dir)?.into_iter().skip(SNAPSHOTS_KEPT) {
         let _ = fs::remove_file(snapshot_path(dir, stale));
+    }
+    let kept: Vec<u64> = snapshot_seqs(dir)?;
+    for (base_seq, seq) in diff_seqs(dir)? {
+        if !kept.contains(&base_seq) {
+            let _ = fs::remove_file(diff_path(dir, base_seq, seq));
+        }
     }
     Ok(path)
 }
@@ -934,23 +971,310 @@ fn load_snapshot(path: &Path) -> Result<SnapshotState, PersistError> {
     decode_snapshot(payload, version).map_err(|e| corrupt(e.to_string()))
 }
 
-/// Load the newest valid snapshot, falling back to older ones on
-/// corruption; every skipped snapshot becomes a warning. Errors only when
-/// no snapshot loads at all.
-pub(crate) fn load_latest_snapshot(
+// ---------------------------------------------------------------------------
+// Differential snapshots.
+//
+// All persisted state grows append-only — sessions, posts, and every frame
+// column only ever extend, and the store/health/view-key bits are either
+// derivable from the tails or small. So the dirty range since the last
+// full snapshot is a *suffix* per column, and a differential checkpoint
+// writes exactly that: the session and post tails past the base full
+// snapshot's watermarks, plus the (small) full health and view-key list.
+// Applying a diff re-derives the rest the same way journal replay does:
+// the frame extends from the session tail (bit-identical to a rebuild —
+// the frame-extension invariant), the corpus extends from the post tail
+// (id-stable), and the store inserts the tails' signals. The journal is
+// never truncated by a diff, so a diff that fails to apply — missing or
+// corrupt base, unknown version, watermark mismatch — degrades to the
+// full-snapshot chain plus journal replay, never to data loss.
+// ---------------------------------------------------------------------------
+
+/// Borrowed view of a differential checkpoint — encode-side twin of
+/// [`DiffState`]. `sessions`/`posts` are the *full* live collections; the
+/// encoder writes only the suffixes past `base_rows`/`base_posts`.
+pub(crate) struct DiffContents<'a> {
+    pub(crate) epoch: u64,
+    /// Journal sequence of the last record folded into this diff.
+    pub(crate) journal_seq: u64,
+    /// Journal sequence of the full base snapshot this diff extends.
+    pub(crate) base_seq: u64,
+    /// Session count of the base snapshot (start of the dirty suffix).
+    pub(crate) base_rows: usize,
+    /// Post count of the base snapshot (start of the dirty suffix).
+    pub(crate) base_posts: usize,
+    pub(crate) sessions: &'a SessionChunks,
+    pub(crate) posts: &'a [Post],
+    pub(crate) health: &'a PersistedHealth,
+    pub(crate) view_keys: &'a [ViewKey],
+}
+
+/// Owned, decoded differential snapshot.
+struct DiffState {
+    epoch: u64,
+    journal_seq: u64,
+    base_seq: u64,
+    base_rows: usize,
+    base_posts: usize,
+    sessions_tail: Vec<SessionRecord>,
+    posts_tail: Vec<Post>,
+    health: PersistedHealth,
+    view_keys: Vec<ViewKey>,
+}
+
+fn encode_diff(c: &DiffContents<'_>) -> Vec<u8> {
+    let mut w = Writer::with_capacity(1 << 16);
+    w.put_u64(c.epoch);
+    w.put_u64(c.journal_seq);
+    w.put_u64(c.base_seq);
+    w.put_u64(c.base_rows as u64);
+    w.put_u64(c.base_posts as u64);
+    c.health.encode(&mut w);
+    let tail_rows = c.sessions.len() - c.base_rows;
+    w.put_u64(tail_rows as u64);
+    for s in c.sessions.iter().skip(c.base_rows) {
+        put_session(&mut w, s);
+    }
+    let posts_tail = &c.posts[c.base_posts..];
+    w.put_u64(posts_tail.len() as u64);
+    for p in posts_tail {
+        put_post(&mut w, p);
+    }
+    w.put_u64(c.view_keys.len() as u64);
+    for &key in c.view_keys {
+        put_view_key(&mut w, key);
+    }
+    w.into_bytes()
+}
+
+fn decode_diff(payload: &[u8]) -> Result<DiffState, bin::Error> {
+    let mut r = Reader::new(payload);
+    let epoch = r.get_u64()?;
+    let journal_seq = r.get_u64()?;
+    let base_seq = r.get_u64()?;
+    let base_rows = r.get_usize()?;
+    let base_posts = r.get_usize()?;
+    let health = PersistedHealth::decode(&mut r)?;
+    let n_sessions = r.get_len()?;
+    let mut sessions_tail = Vec::with_capacity(n_sessions);
+    for _ in 0..n_sessions {
+        sessions_tail.push(get_session(&mut r)?);
+    }
+    let n_posts = r.get_len()?;
+    let mut posts_tail = Vec::with_capacity(n_posts);
+    for _ in 0..n_posts {
+        posts_tail.push(get_post(&mut r)?);
+    }
+    let n_keys = r.get_len()?;
+    let mut view_keys = Vec::with_capacity(n_keys.min(64));
+    for _ in 0..n_keys {
+        view_keys.push(get_view_key(&mut r)?);
+    }
+    if !r.is_exhausted() {
+        return Err(bin::Error::Corrupt("trailing bytes after diff snapshot"));
+    }
+    Ok(DiffState {
+        epoch,
+        journal_seq,
+        base_seq,
+        base_rows,
+        base_posts,
+        sessions_tail,
+        posts_tail,
+        health,
+        view_keys,
+    })
+}
+
+/// Path of the diff extending full snapshot `base_seq` through `seq`.
+fn diff_path(dir: &Path, base_seq: u64, seq: u64) -> PathBuf {
+    dir.join(format!("{DIFF_PREFIX}{base_seq}-{seq}{SNAPSHOT_SUFFIX}"))
+}
+
+/// `(base_seq, seq)` of every differential snapshot present, descending by
+/// `seq` (newest first).
+pub(crate) fn diff_seqs(dir: &Path) -> std::io::Result<Vec<(u64, u64)>> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(mid) = name
+            .strip_prefix(DIFF_PREFIX)
+            .and_then(|rest| rest.strip_suffix(SNAPSHOT_SUFFIX))
+        {
+            if let Some((base, seq)) = mid.split_once('-') {
+                if let (Ok(base), Ok(seq)) = (base.parse::<u64>(), seq.parse::<u64>()) {
+                    seqs.push((base, seq));
+                }
+            }
+        }
+    }
+    seqs.sort_unstable_by_key(|s| std::cmp::Reverse(s.1));
+    Ok(seqs)
+}
+
+/// Write a differential snapshot atomically, then prune diffs beyond the
+/// retention count. Returns the final path.
+pub(crate) fn write_diff_snapshot(
     dir: &Path,
+    contents: &DiffContents<'_>,
+) -> Result<PathBuf, PersistError> {
+    let payload = encode_diff(contents);
+    let file_bytes = frame_file(DIFF_MAGIC, DIFF_VERSION, &payload);
+    let path = diff_path(dir, contents.base_seq, contents.journal_seq);
+    write_atomic(dir, DIFF_TMP, &path, &file_bytes)?;
+
+    for (base, seq) in diff_seqs(dir)?.into_iter().skip(DIFFS_KEPT) {
+        let _ = fs::remove_file(diff_path(dir, base, seq));
+    }
+    Ok(path)
+}
+
+/// Decode one differential snapshot file.
+fn load_diff(path: &Path) -> Result<DiffState, PersistError> {
+    let corrupt = |detail: String| PersistError::Corrupt {
+        file: path.display().to_string(),
+        detail,
+    };
+    let bytes = fs::read(path)?;
+    if bytes.len() < 24 || &bytes[..8] != DIFF_MAGIC {
+        return Err(corrupt("bad magic or truncated header".to_string()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version == 0 || version > DIFF_VERSION {
+        return Err(corrupt(format!("unsupported diff version {version}")));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let payload = &bytes[24..];
+    if payload.len() != len {
+        return Err(corrupt(format!(
+            "payload length {} disagrees with header {len}",
+            payload.len()
+        )));
+    }
+    if bin::crc32(payload) != crc {
+        return Err(corrupt("checksum mismatch".to_string()));
+    }
+    decode_diff(payload).map_err(|e| corrupt(e.to_string()))
+}
+
+/// Apply a decoded diff on top of its base full snapshot, re-deriving the
+/// frame, corpus, and store exactly as journal replay would: the frame
+/// extends from the session tail (bit-identical to a rebuild over the
+/// concatenated dataset), the corpus — when the base carried one —
+/// extends from the post tail (extension preserves existing token ids),
+/// and the store inserts the tails' signals. Errors when the base does not
+/// match the watermarks the diff was encoded against.
+fn apply_diff(
+    mut base: SnapshotState,
+    diff: DiffState,
+    workers: usize,
+) -> Result<SnapshotState, PersistError> {
+    let mismatch = |detail: String| PersistError::Corrupt {
+        file: format!("diff over base seq {}", diff.base_seq),
+        detail,
+    };
+    if base.journal_seq != diff.base_seq {
+        return Err(mismatch(format!(
+            "base journal seq {} != expected {}",
+            base.journal_seq, diff.base_seq
+        )));
+    }
+    if base.sessions.len() != diff.base_rows || base.posts.len() != diff.base_posts {
+        return Err(mismatch(format!(
+            "base watermarks ({} sessions, {} posts) != expected ({}, {})",
+            base.sessions.len(),
+            base.posts.len(),
+            diff.base_rows,
+            diff.base_posts
+        )));
+    }
+
+    base.frame
+        .extend_from_sessions(&diff.sessions_tail, workers);
+    if let Some(corpus) = &mut base.corpus {
+        let posts_tail = &diff.posts_tail;
+        corpus.extend_with(posts_tail.len(), workers, |i, emit| {
+            for part in posts_tail[i].text_parts() {
+                emit(part);
+            }
+        });
+    }
+    let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
+    let mut signals: Vec<Signal> = Vec::new();
+    for s in &diff.sessions_tail {
+        signals.extend(Signal::from_session(s));
+    }
+    for p in &diff.posts_tail {
+        signals.push(Signal::from_post(p, &analyzer));
+    }
+    if !signals.is_empty() {
+        base.store.insert_batch(signals);
+    }
+    base.sessions.extend(diff.sessions_tail);
+    base.posts.extend(diff.posts_tail);
+    base.epoch = diff.epoch;
+    base.journal_seq = diff.journal_seq;
+    base.health = diff.health;
+    base.view_keys = diff.view_keys;
+    Ok(base)
+}
+
+/// One recoverable on-disk state, newest first: either a full snapshot or
+/// a differential one (with the base it needs).
+enum StateCandidate {
+    Full(u64),
+    Diff { base_seq: u64, seq: u64 },
+}
+
+/// Load the newest valid persisted state — full or differential —
+/// falling back candidate by candidate on corruption, an unknown diff
+/// version, a missing diff base, or a watermark mismatch. Every skipped
+/// candidate becomes a warning. Errors only when nothing loads at all.
+pub(crate) fn load_latest_state(
+    dir: &Path,
+    workers: usize,
     warnings: &mut Vec<String>,
 ) -> Result<SnapshotState, PersistError> {
-    let seqs = snapshot_seqs(dir)?;
-    if seqs.is_empty() {
+    let mut candidates: Vec<StateCandidate> = snapshot_seqs(dir)?
+        .into_iter()
+        .map(StateCandidate::Full)
+        .chain(
+            diff_seqs(dir)?
+                .into_iter()
+                .map(|(base_seq, seq)| StateCandidate::Diff { base_seq, seq }),
+        )
+        .collect();
+    if candidates.is_empty() {
         return Err(PersistError::NoSnapshot);
     }
-    for seq in seqs {
-        match load_snapshot(&snapshot_path(dir, seq)) {
-            Ok(state) => return Ok(state),
-            Err(e) => warnings.push(format!(
-                "snapshot seq {seq} unusable, falling back to the previous one: {e}"
-            )),
+    // Newest journal coverage first; on a tie the full snapshot wins (no
+    // base dependency).
+    candidates.sort_by_key(|c| match *c {
+        StateCandidate::Full(seq) => (std::cmp::Reverse(seq), 0),
+        StateCandidate::Diff { seq, .. } => (std::cmp::Reverse(seq), 1),
+    });
+    for candidate in candidates {
+        match candidate {
+            StateCandidate::Full(seq) => match load_snapshot(&snapshot_path(dir, seq)) {
+                Ok(state) => return Ok(state),
+                Err(e) => warnings.push(format!(
+                    "snapshot seq {seq} unusable, falling back to the previous one: {e}"
+                )),
+            },
+            StateCandidate::Diff { base_seq, seq } => {
+                let applied = load_diff(&diff_path(dir, base_seq, seq))
+                    .and_then(|diff| {
+                        load_snapshot(&snapshot_path(dir, base_seq)).map(|base| (base, diff))
+                    })
+                    .and_then(|(base, diff)| apply_diff(base, diff, workers));
+                match applied {
+                    Ok(state) => return Ok(state),
+                    Err(e) => warnings.push(format!(
+                        "diff seq {seq} (base {base_seq}) unusable, falling back: {e}"
+                    )),
+                }
+            }
         }
     }
     Err(PersistError::NoSnapshot)
@@ -1447,7 +1771,7 @@ mod tests {
         let path = write_snapshot(&dir, &contents).unwrap();
         assert!(path.ends_with("snapshot-9.snap"));
         let mut warnings = Vec::new();
-        let state = load_latest_snapshot(&dir, &mut warnings).unwrap();
+        let state = load_latest_state(&dir, 4, &mut warnings).unwrap();
         assert!(warnings.is_empty());
         assert_eq!(state.epoch, 4);
         assert_eq!(state.journal_seq, 9);
@@ -1469,7 +1793,7 @@ mod tests {
         let newer_path = write_snapshot(&dir, &newer).unwrap();
         flip_byte(&newer_path, 200).unwrap();
         let mut warnings = Vec::new();
-        let state = load_latest_snapshot(&dir, &mut warnings).unwrap();
+        let state = load_latest_state(&dir, 4, &mut warnings).unwrap();
         assert_eq!(state.journal_seq, 9, "fell back to the older snapshot");
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("seq 11"), "{warnings:?}");

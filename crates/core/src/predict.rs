@@ -10,6 +10,7 @@
 //! network metrics.
 
 use crate::frame::SessionFrame;
+use analytics::kernels;
 use analytics::regression::{mae, rmse, LinearModel};
 use analytics::AnalyticsError;
 use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
@@ -43,23 +44,36 @@ pub(crate) fn features(session: &SessionRecord, set: FeatureSet) -> Vec<f64> {
     out
 }
 
-/// [`features`] read from frame columns — same values, same order, same
-/// scaling, so frame-trained models are bit-identical to record-trained
+/// The rated sliver's feature columns, gathered and scaled column-wise:
+/// one [`kernels::gather`] per feature column (a pure bit move), then one
+/// streaming division over the gathered sliver where [`features`] scales.
+/// Same values, same per-element operations, same order as the row-wise
+/// record walk, so frame-trained models are bit-identical to record-trained
 /// ones.
-fn features_at(frame: &SessionFrame, i: usize, set: FeatureSet) -> Vec<f64> {
-    let mut out = Vec::with_capacity(7);
+fn feature_columns(frame: &SessionFrame, rated: &[usize], set: FeatureSet) -> Vec<Vec<f64>> {
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(7);
+    let mut gather_scaled = |col: &[f64], scale: Option<f64>| {
+        let mut out = kernels::gather(col, rated);
+        if let Some(d) = scale {
+            for v in &mut out {
+                *v /= d;
+            }
+        }
+        cols.push(out);
+    };
     if matches!(set, FeatureSet::EngagementOnly | FeatureSet::Full) {
         for m in EngagementMetric::ALL {
-            out.push(frame.engagement(m)[i] / 100.0);
+            gather_scaled(frame.engagement(m), Some(100.0));
         }
     }
     if matches!(set, FeatureSet::NetworkOnly | FeatureSet::Full) {
-        out.push(frame.net_mean(NetworkMetric::LatencyMs)[i] / 100.0);
-        out.push(frame.net_mean(NetworkMetric::LossPct)[i]);
-        out.push(frame.net_mean(NetworkMetric::JitterMs)[i] / 10.0);
-        out.push(frame.net_mean(NetworkMetric::BandwidthMbps)[i]);
+        // Scale features to comparable magnitudes (matching [`features`]).
+        gather_scaled(frame.net_mean(NetworkMetric::LatencyMs), Some(100.0));
+        gather_scaled(frame.net_mean(NetworkMetric::LossPct), None);
+        gather_scaled(frame.net_mean(NetworkMetric::JitterMs), Some(10.0));
+        gather_scaled(frame.net_mean(NetworkMetric::BandwidthMbps), None);
     }
-    out
+    cols
 }
 
 /// Evaluation of one trained predictor on held-out data.
@@ -172,7 +186,7 @@ pub fn train_and_evaluate_frame(
     set: FeatureSet,
     holdout: usize,
 ) -> Result<(MosPredictor, Evaluation), AnalyticsError> {
-    train_and_evaluate_on(frame, &frame.rated_indices(), set, holdout)
+    train_and_evaluate_on(frame, frame.rated_indices(), set, holdout)
 }
 
 /// [`train_and_evaluate_frame`] over a caller-supplied rated-index list (in
@@ -199,8 +213,11 @@ pub(crate) fn rated_features(
     rated: &[usize],
     set: FeatureSet,
 ) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let cols = feature_columns(frame, rated, set);
+    let feats = (0..rated.len())
+        .map(|k| cols.iter().map(|c| c[k]).collect())
+        .collect();
     let ratings_col = frame.rating();
-    let feats = rated.iter().map(|&i| features_at(frame, i, set)).collect();
     let ratings = rated
         .iter()
         .map(|&i| f64::from(ratings_col[i].expect("rated")))

@@ -29,11 +29,11 @@ use crate::signals::{Signal, SignalKind};
 use crate::source::{ItemSource, RawItem, Source};
 use crate::store::SignalStore;
 use crate::views::{
-    CurveView, DeploymentView, GridView, MosView, OutageView, PlatformView, PredictView,
-    SentimentView, View, ViewDelta, ViewKey, ViewSet,
+    CurveView, DeploymentView, EmergingTopicsView, GridView, MosView, OutageView, PlatformView,
+    PredictView, SentimentView, SpeedTrendView, View, ViewDelta, ViewKey, ViewSet,
 };
 use analytics::binning::BinnedCurve;
-use analytics::AnalyticsError;
+use analytics::{kernels, AnalyticsError};
 use conference::platform::Platform;
 use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
 use netsim::access::AccessType;
@@ -253,9 +253,7 @@ impl QueryKey {
 
 /// Which materialized view (if any) backs a query. `OutageTimeline` and
 /// `CrossNetwork` return `None` here but still share the
-/// [`ViewKey::Outage`] view through [`Generation::outage_detections`];
-/// `SpeedTrend` and `EmergingTopics` have no incremental form yet and
-/// always take the full compute path.
+/// [`ViewKey::Outage`] view through [`Generation::outage_detections`].
 fn view_key_of(query: &Query) -> Option<ViewKey> {
     match *query {
         Query::EngagementCurve {
@@ -275,10 +273,9 @@ fn view_key_of(query: &Query) -> Option<ViewKey> {
         Query::PredictMos { features } => Some(ViewKey::Predict { features }),
         Query::SentimentPeaks { .. } => Some(ViewKey::Sentiment),
         Query::DeploymentAdvice => Some(ViewKey::Deployment),
-        Query::OutageTimeline
-        | Query::SpeedTrend
-        | Query::EmergingTopics
-        | Query::CrossNetwork { .. } => None,
+        Query::SpeedTrend => Some(ViewKey::SpeedTrend),
+        Query::EmergingTopics => Some(ViewKey::EmergingTopics),
+        Query::OutageTimeline | Query::CrossNetwork { .. } => None,
     }
 }
 
@@ -575,6 +572,13 @@ impl Generation {
                 self.social_corpus(),
                 self.workers,
             )),
+            ViewKey::SpeedTrend => {
+                View::SpeedTrend(SpeedTrendView::rebuild(&self.forum, self.social_corpus()))
+            }
+            ViewKey::EmergingTopics => View::EmergingTopics(EmergingTopicsView::rebuild(
+                &self.forum,
+                self.social_corpus(),
+            )),
         })
     }
 
@@ -605,6 +609,17 @@ impl Generation {
                     .ok_or(UsaasError::NoData("no strong-negative social signals"))?;
                 Ok(Answer::Deployment(DeploymentPlanner::gen1().rank(&demand)))
             }
+            (View::SpeedTrend(v), Query::SpeedTrend) => {
+                // Same month-range derivation (and empty-forum error) as
+                // the full compute path.
+                let (first, last) = self
+                    .forum
+                    .date_range()
+                    .map(|(a, b)| (a.month(), b.month()))
+                    .ok_or(UsaasError::NoData("empty forum"))?;
+                Ok(Answer::Speeds(v.finish(&self.forum, first, last)?))
+            }
+            (View::EmergingTopics(v), Query::EmergingTopics) => Ok(Answer::Topics(v.finish()?)),
             _ => self.answer_uncached(query),
         }
     }
@@ -707,27 +722,22 @@ impl Generation {
     }
 
     /// §5 flagship query implementation, aggregated over frame columns:
-    /// one pass over the access column selects target indices, then each
-    /// statistic gathers from the relevant dense column in session order
-    /// (identical values and order to the per-record walk it replaced).
+    /// the access column compiles to a packed row mask, and the per-column
+    /// means run branchless over it (`kernels::masked_mean` is bit-identical
+    /// to gathering the selected rows in session order and folding — see the
+    /// `analytics::kernels` module docs), so the report matches the
+    /// per-record walk it replaced to the bit.
     fn cross_network(&self, access: AccessType) -> Result<CrossNetworkReport, UsaasError> {
         let frame = self.frame();
-        let target: Vec<usize> = (0..frame.len())
-            .filter(|&i| frame.access()[i] == access)
-            .collect();
-        if target.is_empty() {
+        let target_mask = kernels::RowMask::from_fn(frame.len(), |i| frame.access()[i] == access);
+        if target_mask.count() == 0 {
             return Err(UsaasError::NoData("no sessions on the requested network"));
         }
+        let others_mask = kernels::RowMask::from_fn(frame.len(), |i| frame.access()[i] != access);
+        let target: Vec<usize> = (0..frame.len()).filter(|&i| target_mask.get(i)).collect();
         let presence_col = frame.engagement(EngagementMetric::Presence);
-        let others: Vec<f64> = (0..frame.len())
-            .filter(|&i| frame.access()[i] != access)
-            .map(|i| presence_col[i])
-            .collect();
-        let presence: Vec<f64> = target.iter().map(|&i| presence_col[i]).collect();
         let mic_col = frame.engagement(EngagementMetric::MicOn);
-        let mic: Vec<f64> = target.iter().map(|&i| mic_col[i]).collect();
         let cam_col = frame.engagement(EngagementMetric::CamOn);
-        let cam: Vec<f64> = target.iter().map(|&i| cam_col[i]).collect();
         let ratings: Vec<f64> = target
             .iter()
             .filter_map(|&i| frame.rating()[i])
@@ -755,12 +765,15 @@ impl Generation {
             .filter(|d| target.iter().any(|&i| dates[i] == d.date))
             .count();
 
+        let masked_mean = |col: &[f64], mask: &kernels::RowMask| {
+            kernels::masked_mean(col, mask).ok_or(AnalyticsError::Empty)
+        };
         Ok(CrossNetworkReport {
             sessions: target.len(),
-            mean_presence: analytics::mean(&presence)?,
-            others_presence: analytics::mean(&others).unwrap_or(f64::NAN),
-            mean_mic_on: analytics::mean(&mic)?,
-            mean_cam_on: analytics::mean(&cam)?,
+            mean_presence: masked_mean(presence_col, &target_mask)?,
+            others_presence: masked_mean(presence_col, &others_mask).unwrap_or(f64::NAN),
+            mean_mic_on: masked_mean(mic_col, &target_mask)?,
+            mean_cam_on: masked_mean(cam_col, &target_mask)?,
             mos: analytics::mean(&ratings).ok(),
             outage_day_presence: analytics::mean(&outage_presence).ok(),
             outage_days_joined,
@@ -855,6 +868,18 @@ impl ServiceHealth {
     }
 }
 
+/// Watermarks of the newest full snapshot this process wrote — what a
+/// differential checkpoint encodes its dirty suffixes against.
+#[derive(Debug, Clone, Copy)]
+struct DiffBase {
+    /// Journal sequence the full snapshot covers.
+    seq: u64,
+    /// Session count at that snapshot.
+    rows: usize,
+    /// Post count at that snapshot.
+    posts: usize,
+}
+
 /// Mutable persistence state: where the service lives on disk, the open
 /// journal handle, and the last journal sequence durably written.
 struct PersistState {
@@ -864,6 +889,11 @@ struct PersistState {
     /// append). Monotonic and independent of the epoch: a run that
     /// quarantined everything journals without committing a generation.
     last_seq: u64,
+    /// Base of the next differential checkpoint: set whenever this process
+    /// writes a full snapshot, `None` before the first one (a reopened
+    /// service starts with a full checkpoint rather than trusting a base
+    /// it did not write).
+    diff_base: Option<DiffBase>,
 }
 
 /// The service: a shared append-only [`SignalStore`] plus a swappable
@@ -940,16 +970,19 @@ impl UsaasService {
             dir: dir.to_path_buf(),
             journal,
             last_seq: 0,
+            diff_base: None,
         }));
         svc.checkpoint()?;
         Ok(svc)
     }
 
-    /// Reopen a persisted service: load the newest valid snapshot, replay
-    /// the journal tail, and resume appending. Every repair along the way
-    /// — a corrupt snapshot skipped, a torn journal tail truncated — lands
-    /// in `ServiceHealth::recovery_warnings` instead of failing the open;
-    /// the open only errors when no snapshot loads at all.
+    /// Reopen a persisted service: load the newest valid persisted state —
+    /// a differential snapshot applied over its full base, or a full
+    /// snapshot — replay the journal tail, and resume appending. Every
+    /// repair along the way — a corrupt snapshot or diff skipped, a torn
+    /// journal tail truncated — lands in
+    /// `ServiceHealth::recovery_warnings` instead of failing the open; the
+    /// open only errors when no snapshot loads at all.
     ///
     /// The recovery invariant (pinned by `tests/persist_recovery.rs`): the
     /// recovered service answers every query **bit-identically** to a
@@ -957,7 +990,7 @@ impl UsaasService {
     /// any worker count.
     pub fn open_or_recover(dir: &Path, workers: usize) -> Result<UsaasService, PersistError> {
         let mut warnings = Vec::new();
-        let state = persist::load_latest_snapshot(dir, &mut warnings)?;
+        let state = persist::load_latest_state(dir, workers, &mut warnings)?;
         let records = persist::read_and_repair_journal(&dir.join(JOURNAL_FILE), &mut warnings)?;
 
         let forum = Forum { posts: state.posts };
@@ -1069,18 +1102,23 @@ impl UsaasService {
             dir: dir.to_path_buf(),
             journal,
             last_seq,
+            diff_base: None,
         }));
         Ok(svc)
     }
 
-    /// Write a snapshot of the current state (atomic tmp → fsync → rename)
-    /// covering everything journaled so far, then prune old snapshots down
-    /// to the retention count. Returns the snapshot's path. Errors with
+    /// Durably checkpoint the current state, choosing the cheapest safe
+    /// form: a **differential** snapshot — only the session/post suffixes
+    /// dirtied since the last full snapshot this process wrote — when such
+    /// a base exists and the dirty suffix is still smaller than the base;
+    /// a **full** snapshot otherwise ([`UsaasService::checkpoint_full`]).
+    /// Returns the written file's path. Errors with
     /// [`PersistError::NotPersistent`] on an in-memory service.
     ///
     /// The journal is deliberately **not** truncated here: recovery may
-    /// still fall back to the previous snapshot if this one is later
-    /// damaged, and that fallback needs the older journal tail intact.
+    /// still fall back to an older snapshot (or from a diff to its base
+    /// plus replay) if this file is later damaged, and that fallback needs
+    /// the older journal tail intact.
     pub fn checkpoint(&self) -> Result<PathBuf, PersistError> {
         let Some(persist) = &self.persist else {
             return Err(PersistError::NotPersistent);
@@ -1088,19 +1126,62 @@ impl UsaasService {
         // Holding the append lock freezes epoch/journal-seq/store together.
         let _appending = self.append_lock.lock();
         let generation = self.snapshot();
-        let health = {
-            let totals = self.health.lock();
-            PersistedHealth {
-                quarantined: totals.quarantined,
-                unfed: totals.unfed,
-                breaker_trips: totals.breaker_trips,
-                open_breakers: totals.open_breakers.clone(),
-                dead_letters: totals.dead_letters.clone(),
-            }
-        };
+        let health = self.persisted_health();
         let view_keys = generation.views.keys();
-        let state = persist.lock();
-        persist::write_snapshot(
+        let mut state = persist.lock();
+        if let Some(base) = state.diff_base {
+            let rows = generation.sessions.len();
+            let posts = generation.forum.len();
+            // Diff while the dirty suffix stays smaller than the base; a
+            // tail that has outgrown it means a full snapshot is no more
+            // expensive to write and makes recovery one file again.
+            let small =
+                rows - base.rows <= base.rows.max(1) && posts - base.posts <= base.posts.max(1);
+            if small {
+                return persist::write_diff_snapshot(
+                    &state.dir,
+                    &persist::DiffContents {
+                        epoch: generation.epoch,
+                        journal_seq: state.last_seq,
+                        base_seq: base.seq,
+                        base_rows: base.rows,
+                        base_posts: base.posts,
+                        sessions: &generation.sessions,
+                        posts: &generation.forum.posts,
+                        health: &health,
+                        view_keys: &view_keys,
+                    },
+                );
+            }
+        }
+        Self::write_full_locked(&mut state, &generation, &self.store, &health, &view_keys)
+    }
+
+    /// Write a full snapshot unconditionally (atomic tmp → fsync →
+    /// rename), prune old snapshots to the retention count, and make this
+    /// snapshot the base for subsequent differential checkpoints. Returns
+    /// the snapshot's path.
+    pub fn checkpoint_full(&self) -> Result<PathBuf, PersistError> {
+        let Some(persist) = &self.persist else {
+            return Err(PersistError::NotPersistent);
+        };
+        let _appending = self.append_lock.lock();
+        let generation = self.snapshot();
+        let health = self.persisted_health();
+        let view_keys = generation.views.keys();
+        let mut state = persist.lock();
+        Self::write_full_locked(&mut state, &generation, &self.store, &health, &view_keys)
+    }
+
+    /// Shared full-snapshot write: records the new diff base on success.
+    fn write_full_locked(
+        state: &mut PersistState,
+        generation: &Generation,
+        store: &SignalStore,
+        health: &PersistedHealth,
+        view_keys: &[ViewKey],
+    ) -> Result<PathBuf, PersistError> {
+        let path = persist::write_snapshot(
             &state.dir,
             &SnapshotContents {
                 epoch: generation.epoch,
@@ -1109,11 +1190,29 @@ impl UsaasService {
                 posts: &generation.forum.posts,
                 frame: generation.frame(),
                 corpus: generation.social_corpus.get(),
-                store: &self.store,
-                health: &health,
-                view_keys: &view_keys,
+                store,
+                health,
+                view_keys,
             },
-        )
+        )?;
+        state.diff_base = Some(DiffBase {
+            seq: state.last_seq,
+            rows: generation.sessions.len(),
+            posts: generation.forum.len(),
+        });
+        Ok(path)
+    }
+
+    /// The current health totals in their persisted form.
+    fn persisted_health(&self) -> PersistedHealth {
+        let totals = self.health.lock();
+        PersistedHealth {
+            quarantined: totals.quarantined,
+            unfed: totals.unfed,
+            breaker_trips: totals.breaker_trips,
+            open_breakers: totals.open_breakers.clone(),
+            dead_letters: totals.dead_letters.clone(),
+        }
     }
 
     /// The durable dead-letter queue: every quarantined item across all

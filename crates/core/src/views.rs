@@ -38,7 +38,9 @@
 
 use crate::annotate::{AnnotatedPeak, PeakAnnotator, SentimentSeries};
 use crate::correlate;
+use crate::emerging::{EmergingTopic, EmergingTopicMiner, MineState};
 use crate::frame::SessionFrame;
+use crate::fulcrum::{self, FulcrumAnalysis, MonthlyPoint};
 use crate::outage::{DetectedOutage, OutageDetector};
 use crate::predict::{self, Evaluation, FeatureSet};
 use analytics::binning::{BinSpec, BinnedCurve, SumBinner};
@@ -97,6 +99,10 @@ pub enum ViewKey {
     Outage,
     /// §6 latitude-band demand weights.
     Deployment,
+    /// Fig. 7 per-post OCR + strong-sentiment memo.
+    SpeedTrend,
+    /// §4.1 resumable emerging-topic miner state.
+    EmergingTopics,
 }
 
 /// One committed batch. `sessions` is the delta itself — session-backed
@@ -128,11 +134,12 @@ pub struct CurveView {
 }
 
 impl CurveView {
-    /// Cold rebuild over the full frame — a sequential row-order fold
-    /// (`workers` is deliberately unused: the running sums must replay the
-    /// finishing pass's addition sequence, which chunk-merged partial sums
-    /// cannot; sequential folding also makes the result identical at every
-    /// worker count by construction).
+    /// Cold rebuild over the full frame — the branchless kernel scan
+    /// ([`correlate::engagement_sums_frame`]), whose row-order running sums
+    /// replay the finishing pass's addition sequence exactly. `workers` is
+    /// deliberately unused: the scan is sequential, which also makes the
+    /// result identical at every worker count by construction (chunk-merged
+    /// partial sums cannot be, float addition being non-associative).
     pub(crate) fn rebuild(
         frame: &SessionFrame,
         sweep: NetworkMetric,
@@ -140,14 +147,11 @@ impl CurveView {
         bins: usize,
         _workers: usize,
     ) -> Result<CurveView, AnalyticsError> {
-        let (lo, hi) = sweep.sweep_range();
-        let mut binner = SumBinner::new(BinSpec::new(lo, hi, bins)?);
-        correlate::record_curve_sums(frame, sweep, engagement, &mut binner, 0..frame.len());
         Ok(CurveView {
             sweep,
             engagement,
             rows_seen: frame.len(),
-            binner,
+            binner: correlate::engagement_sums_frame(frame, sweep, engagement, bins)?,
         })
     }
 
@@ -186,7 +190,7 @@ pub struct GridView {
 }
 
 impl GridView {
-    /// Cold rebuild over the full frame — a sequential row-order fold (see
+    /// Cold rebuild over the full frame — the branchless kernel scan (see
     /// [`CurveView::rebuild`] for why `workers` is unused).
     pub(crate) fn rebuild(
         frame: &SessionFrame,
@@ -194,19 +198,7 @@ impl GridView {
         bins: usize,
         _workers: usize,
     ) -> Result<GridView, AnalyticsError> {
-        let (x, y) = correlate::grid_specs(bins)?;
-        let mut sums = vec![0.0f64; bins * bins];
-        let mut counts = vec![0usize; bins * bins];
-        correlate::record_grid_sums(
-            frame,
-            engagement,
-            x,
-            y,
-            bins,
-            0..frame.len(),
-            &mut sums,
-            &mut counts,
-        );
+        let (x, y, sums, counts) = correlate::grid_sums_frame(frame, engagement, bins)?;
         Ok(GridView {
             engagement,
             bins,
@@ -260,7 +252,7 @@ pub struct PlatformView {
 }
 
 impl PlatformView {
-    /// Cold rebuild over the full frame — a sequential row-order fold (see
+    /// Cold rebuild over the full frame — the branchless kernel scan (see
     /// [`CurveView::rebuild`] for why `workers` is unused).
     pub(crate) fn rebuild(
         frame: &SessionFrame,
@@ -269,16 +261,11 @@ impl PlatformView {
         bins: usize,
         _workers: usize,
     ) -> Result<PlatformView, AnalyticsError> {
-        let (lo, hi) = sweep.sweep_range();
-        let spec = BinSpec::new(lo, hi, bins)?;
-        let mut binners: Vec<SumBinner> =
-            Platform::ALL.iter().map(|_| SumBinner::new(spec)).collect();
-        correlate::record_platform_sums(frame, sweep, engagement, &mut binners, 0..frame.len());
         Ok(PlatformView {
             sweep,
             engagement,
             rows_seen: frame.len(),
-            binners,
+            binners: correlate::platform_sums_frame(frame, sweep, engagement, bins)?,
         })
     }
 
@@ -329,10 +316,7 @@ impl MosView {
             .collect();
         let eng = EngagementMetric::ALL
             .iter()
-            .map(|&m| {
-                let col = frame.engagement(m);
-                rated.iter().map(|&i| col[i]).collect()
-            })
+            .map(|&m| analytics::kernels::gather(frame.engagement(m), rated))
             .collect();
         MosView {
             rows_seen: frame.len(),
@@ -398,7 +382,7 @@ impl PredictView {
     /// Cold rebuild over the full frame.
     pub(crate) fn rebuild(frame: &SessionFrame, features: FeatureSet) -> PredictView {
         let rated = frame.rated_indices();
-        let (feats, ratings) = predict::rated_features(frame, &rated, features);
+        let (feats, ratings) = predict::rated_features(frame, rated, features);
         PredictView {
             features,
             rows_seen: frame.len(),
@@ -647,6 +631,137 @@ impl DeploymentView {
     }
 }
 
+/// Fig. 7 view: the memoized per-post work of the speed-trend pipeline —
+/// OCR downlink extraction and strong-sentiment classification
+/// ([`fulcrum::DocShot`]), indexed by document. The month loop itself
+/// (medians, subsample RNG, annotations) is cheap and order-sensitive, so
+/// the finishing pass re-runs it over the memo
+/// ([`FulcrumAnalysis::analyze_shots`]): the loop structure — including
+/// which months advance the subsample RNG — depends only on the shots, so
+/// the replay is bit-identical to the cold inline-extraction path.
+#[derive(Clone)]
+pub struct SpeedTrendView {
+    docs_seen: usize,
+    shots: Vec<Option<fulcrum::DocShot>>,
+}
+
+impl SpeedTrendView {
+    /// Cold rebuild: evaluate every post once. The forum's month range
+    /// spans every post date, so the cold path evaluates exactly this set.
+    pub(crate) fn rebuild(forum: &Forum, corpus: &TokenCorpus) -> SpeedTrendView {
+        let analysis = FulcrumAnalysis::default();
+        let vocab = corpus.vocab();
+        let shots = forum
+            .posts
+            .iter()
+            .enumerate()
+            .map(|(i, post)| {
+                fulcrum::DocShot::eval(post, || analysis.analyzer.score_ids(corpus.doc(i), vocab))
+            })
+            .collect();
+        SpeedTrendView {
+            docs_seen: forum.len(),
+            shots,
+        }
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<SpeedTrendView> {
+        let corpus = delta.corpus?;
+        if self.docs_seen != delta.posts_before || corpus.docs() != delta.forum.len() {
+            return None;
+        }
+        let analysis = FulcrumAnalysis::default();
+        let vocab = corpus.vocab();
+        let mut next = self.clone();
+        for (doc, post) in
+            (delta.posts_before..corpus.docs()).zip(&delta.forum.posts[delta.posts_before..])
+        {
+            next.shots.push(fulcrum::DocShot::eval(post, || {
+                analysis.analyzer.score_ids(corpus.doc(doc), vocab)
+            }));
+        }
+        next.docs_seen = delta.forum.len();
+        Some(next)
+    }
+
+    /// Finishing pass: the month loop over memoized shots.
+    pub(crate) fn finish(
+        &self,
+        forum: &Forum,
+        start: analytics::time::Month,
+        end: analytics::time::Month,
+    ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
+        FulcrumAnalysis::default().analyze_shots(forum, start, end, |i, _| self.shots[i])
+    }
+}
+
+/// §4.1 view: the emerging-topic miner paused at its cursor. The carried
+/// [`MineState`] depends only on posts dated at or before `state.end`, so
+/// an append whose posts are all strictly later resumes the window loop
+/// where it stopped — O(new windows) instead of re-mining from day one. An
+/// out-of-order (backdated) post would have changed already-evaluated
+/// windows, so it drops the view for a cold relazy rebuild. The carried
+/// `Result` mirrors the cold path's empty-forum error, keeping error
+/// answers bit-identical too.
+#[derive(Clone)]
+pub struct EmergingTopicsView {
+    docs_seen: usize,
+    state: Result<MineState, AnalyticsError>,
+}
+
+impl EmergingTopicsView {
+    /// Cold rebuild: run the miner to the end of the forum and keep its
+    /// state.
+    pub(crate) fn rebuild(forum: &Forum, corpus: &TokenCorpus) -> EmergingTopicsView {
+        let miner = EmergingTopicMiner::default();
+        let state = miner.mine_start(forum, corpus).map(|mut s| {
+            miner.mine_run(forum, corpus, &mut s);
+            s
+        });
+        EmergingTopicsView {
+            docs_seen: forum.len(),
+            state,
+        }
+    }
+
+    fn advanced(&self, delta: &ViewDelta<'_>) -> Option<EmergingTopicsView> {
+        let corpus = delta.corpus?;
+        if self.docs_seen != delta.posts_before || corpus.docs() != delta.forum.len() {
+            return None;
+        }
+        let new_posts = &delta.forum.posts[delta.posts_before..];
+        let state = match &self.state {
+            // Previously empty forum: everything is delta, mine whole.
+            Err(_) => return Some(EmergingTopicsView::rebuild(delta.forum, corpus)),
+            Ok(prior) => {
+                // A post dated at or before the mined range would have
+                // changed already-evaluated windows (or the history
+                // pre-load): drop and rebuild lazily.
+                if new_posts.iter().any(|p| p.date <= prior.end) {
+                    return None;
+                }
+                let mut next = prior.clone();
+                if let Some((start, end)) = delta.forum.date_range() {
+                    debug_assert_eq!(start, next.start, "later-dated posts keep the range start");
+                    next.end = end;
+                    EmergingTopicMiner::default().mine_run(delta.forum, corpus, &mut next);
+                }
+                Ok(next)
+            }
+        };
+        Some(EmergingTopicsView {
+            docs_seen: delta.forum.len(),
+            state,
+        })
+    }
+
+    /// Finishing pass: the canonical detection ordering over the carried
+    /// state.
+    pub(crate) fn finish(&self) -> Result<Vec<EmergingTopic>, AnalyticsError> {
+        Ok(self.state.as_ref().map_err(Clone::clone)?.detections())
+    }
+}
+
 /// One materialized view, tagged by answer family. Construction and
 /// finishing are dispatched by the service (which owns the per-query
 /// parameters); this enum owns the carry-forward.
@@ -668,6 +783,10 @@ pub enum View {
     Outage(OutageView),
     /// §6 band counts.
     Deployment(DeploymentView),
+    /// Fig. 7 per-post memo.
+    SpeedTrend(SpeedTrendView),
+    /// §4.1 paused miner.
+    EmergingTopics(EmergingTopicsView),
 }
 
 impl View {
@@ -685,6 +804,8 @@ impl View {
             View::Sentiment(v) => v.advanced(delta).map(View::Sentiment),
             View::Outage(v) => v.advanced(delta).map(View::Outage),
             View::Deployment(v) => v.advanced(delta).map(View::Deployment),
+            View::SpeedTrend(v) => v.advanced(delta).map(View::SpeedTrend),
+            View::EmergingTopics(v) => v.advanced(delta).map(View::EmergingTopics),
         }
     }
 }

@@ -456,17 +456,24 @@ impl CompiledDict {
     /// tokens exactly like [`KeywordDictionary::count_matches`]. `consumed`
     /// is caller-provided scratch so corpus sweeps allocate nothing per
     /// document.
+    ///
+    /// A bigram-free dictionary never consumes a token, so its tally is the
+    /// branchless membership kernel
+    /// ([`analytics::kernels::count_members_u32`]) over the whole slice —
+    /// no per-token branch, no scratch writes. Dictionaries with bigrams
+    /// take the consuming walk.
     pub fn count_ids_with(&self, ids: &[u32], consumed: &mut Vec<bool>) -> usize {
+        if self.bigrams.is_empty() {
+            return analytics::kernels::count_members_u32(ids, &self.unigrams);
+        }
         let mut matches = 0usize;
         consumed.clear();
         consumed.resize(ids.len(), false);
-        if !self.bigrams.is_empty() {
-            for i in 0..ids.len().saturating_sub(1) {
-                if self.bigrams.binary_search(&(ids[i], ids[i + 1])).is_ok() {
-                    matches += 1;
-                    consumed[i] = true;
-                    consumed[i + 1] = true;
-                }
+        for i in 0..ids.len().saturating_sub(1) {
+            if self.bigrams.binary_search(&(ids[i], ids[i + 1])).is_ok() {
+                matches += 1;
+                consumed[i] = true;
+                consumed[i + 1] = true;
             }
         }
         for (i, &id) in ids.iter().enumerate() {

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Bench regression gate: re-run the JSON-exporting benches and fail if
+# any benchmark's median regresses more than THRESHOLD_PCT (default 25%)
+# against the committed baseline under results/.
+#
+# The committed results/BENCH_*.json files are the baseline; fresh runs
+# land in a scratch directory and are compared id-by-id. The comparison
+# is the fresh run's *minimum* against the baseline *median*: the min is
+# the least load-sensitive statistic a timing run produces, so transient
+# CI noise (especially on the fsync-heavy persistence benches) doesn't
+# flake the gate, while a real slowdown — which shifts the whole
+# distribution, min included — still trips it. A bench target that
+# fails is re-run once and only a *repeated* failure fails the gate: a
+# noise spike won't reproduce, a real regression will. Ids present in
+# only one side are reported but do not fail the gate (new benches have
+# no baseline yet; retired ones keep their history). Faster-than-
+# baseline runs never fail.
+#
+# Usage: scripts/bench_check.sh [threshold-pct]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT="${1:-25}"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+BENCHES=(
+    "frame_scan BENCH_frame.json"
+    "social_pipeline BENCH_social.json"
+    "ingest_resilience BENCH_ingest.json"
+    "persist_roundtrip BENCH_persist.json"
+    "views_incremental BENCH_views.json"
+    "kernels BENCH_kernels.json"
+)
+
+# Flatten a bench JSON array (one record per line, see compat/criterion)
+# into "id<TAB>min_ns<TAB>median_ns" triples.
+stats() {
+    sed -n 's/.*"id": "\([^"]*\)".*"min_ns": \([0-9]*\).*"median_ns": \([0-9]*\).*/\1\t\2\t\3/p' "$1"
+}
+
+# run_and_compare <bench> <baseline> <current>: run the bench, print the
+# per-id verdicts, and return the gate status for this target.
+run_and_compare() {
+    local bench="$1" baseline="$2" current="$3"
+    rm -f "$current"
+    BENCH_JSON="$current" cargo bench -p bench --bench "$bench" >/dev/null
+    stats "$baseline" >"$SCRATCH/base.tsv"
+    stats "$current" >"$SCRATCH/cur.tsv"
+    # Join on id: fresh min vs baseline median.
+    awk -F'\t' -v pct="$THRESHOLD_PCT" '
+        NR == FNR { base[$1] = $3; next }
+        {
+            if (!($1 in base)) { printf "NEW   %s (no baseline)\n", $1; next }
+            b = base[$1]; c = $2; seen[$1] = 1
+            limit = b * (1 + pct / 100)
+            if (c > limit) {
+                printf "FAIL  %s: min %d ns vs baseline median %d ns (>+%s%%)\n", $1, c, b, pct
+                bad = 1
+            } else {
+                printf "OK    %s: min %d ns vs baseline median %d ns\n", $1, c, b
+            }
+        }
+        END {
+            for (id in base) if (!(id in seen)) printf "GONE  %s (baseline only)\n", id
+            exit bad
+        }
+    ' "$SCRATCH/base.tsv" "$SCRATCH/cur.tsv"
+}
+
+fail=0
+for entry in "${BENCHES[@]}"; do
+    read -r bench json <<<"$entry"
+    baseline="results/$json"
+    if [[ ! -f "$baseline" ]]; then
+        echo "SKIP $bench: no committed baseline $baseline"
+        continue
+    fi
+    current="$SCRATCH/$json"
+    echo "== $bench =="
+    if verdict=$(run_and_compare "$bench" "$baseline" "$current"); then
+        echo "$verdict"
+    else
+        echo "$verdict"
+        echo "-- retrying $bench to separate noise from regression --"
+        if verdict=$(run_and_compare "$bench" "$baseline" "$current"); then
+            echo "$verdict"
+        else
+            echo "$verdict"
+            fail=1
+        fi
+    fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "bench regression gate: FAILED (threshold +${THRESHOLD_PCT}%)" >&2
+    exit 1
+fi
+echo "bench regression gate: OK (threshold +${THRESHOLD_PCT}%)"

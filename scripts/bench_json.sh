@@ -12,10 +12,16 @@
 #   ingest_resilience -> results/BENCH_ingest.json (healthy vs 1%-fault vs
 #                        breaker-open streaming ingestion)
 #   persist_roundtrip -> results/BENCH_persist.json (checkpoint write vs
-#                        snapshot-only recovery vs journal-replay recovery)
+#                        snapshot-only recovery vs journal-replay recovery,
+#                        plus the persist_differential group: full vs
+#                        dirty-column differential checkpoints and the
+#                        diff-fast-path recovery)
 #   views_incremental -> results/BENCH_views.json (fresh full recompute vs
 #                        materialized-view O(delta) maintenance of the hot
 #                        answer set at 1k/10k/100k-call corpora)
+#   kernels           -> results/BENCH_kernels.json (branchy row loops vs
+#                        the branchless predicated kernels on a §3-shaped
+#                        masked column workload)
 #
 # Usage: scripts/bench_json.sh [extra `cargo bench` args...]
 set -euo pipefail
@@ -43,3 +49,4 @@ run_bench social_pipeline results/BENCH_social.json "$@"
 run_bench ingest_resilience results/BENCH_ingest.json "$@"
 run_bench persist_roundtrip results/BENCH_persist.json "$@"
 run_bench views_incremental results/BENCH_views.json "$@"
+run_bench kernels results/BENCH_kernels.json "$@"

@@ -30,8 +30,8 @@ fn frame() -> &'static SessionFrame {
 }
 
 /// Worker counts exercised for every parallel aggregate: the inline
-/// single-chunk path and a multi-chunk fan-out.
-const WORKER_COUNTS: [usize; 2] = [1, 4];
+/// single-chunk path, a multi-chunk fan-out, and an over-subscribed one.
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 
 #[test]
 fn engagement_curves_are_bit_identical() {

@@ -44,18 +44,26 @@ fn flip_byte(path: &Path, offset: usize) {
     fs::write(path, bytes).unwrap();
 }
 
-/// Remove snapshots that would not have existed at a crash after journal
-/// record `k` (every snapshot covering a later sequence).
+/// The journal sequence a persisted file covers: `snapshot-<seq>.snap`
+/// or `diff-<base>-<seq>.snap`.
+fn persisted_seq(name: &str) -> Option<u64> {
+    let mid = name.strip_suffix(".snap")?;
+    if let Some(seq) = mid.strip_prefix("snapshot-") {
+        return seq.parse().ok();
+    }
+    let (_base, seq) = mid.strip_prefix("diff-")?.split_once('-')?;
+    seq.parse().ok()
+}
+
+/// Remove snapshots (full or differential) that would not have existed
+/// at a crash after journal record `k` (every file covering a later
+/// sequence).
 fn drop_snapshots_after(dir: &Path, k: u64) {
     for entry in fs::read_dir(dir).unwrap() {
         let entry = entry.unwrap();
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if let Some(seq) = name
-            .strip_prefix("snapshot-")
-            .and_then(|rest| rest.strip_suffix(".snap"))
-            .and_then(|mid| mid.parse::<u64>().ok())
-        {
+        if let Some(seq) = persisted_seq(name) {
             if seq > k {
                 fs::remove_file(entry.path()).unwrap();
             }
@@ -181,13 +189,15 @@ fn fingerprint(svc: &UsaasService) -> Vec<String> {
 
 /// Run the full persisted workload in `dir`; returns the service. The
 /// checkpoint lands between ops 2 and 3, with the social corpus already
-/// built so the snapshot carries it.
+/// built so the snapshot carries it. Forced full so this family pins the
+/// full-snapshot recovery path; `run_workload_diff` covers the
+/// differential one.
 fn run_workload(fx: &Fixture, dir: &Path) -> UsaasService {
     let svc = UsaasService::build_persistent(fx.dataset.clone(), fx.forum.clone(), 2, dir).unwrap();
     fx.apply(&svc, 1);
     fx.apply(&svc, 2);
     let _ = svc.query(&Query::SpeedTrend);
-    svc.checkpoint().unwrap();
+    svc.checkpoint_full().unwrap();
     fx.apply(&svc, 3);
     svc
 }
@@ -312,6 +322,123 @@ fn every_snapshot_corrupt_is_an_error_not_a_panic() {
     flip_byte(&dir.join("snapshot-2.snap"), 100);
     let err = UsaasService::open_or_recover(&dir, 2);
     assert!(err.is_err(), "no loadable snapshot must be a typed error");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The differential workload: a forced **full** checkpoint after op 1
+/// seeds the diff base, the checkpoint after op 2 then lands as a
+/// `diff-1-2.snap` carrying only the dirtied suffixes, and op 3 stays
+/// journal-only. The corpus is built before the base so the diff's
+/// corpus extension path is exercised too.
+fn run_workload_diff(fx: &Fixture, dir: &Path) -> UsaasService {
+    let svc = UsaasService::build_persistent(fx.dataset.clone(), fx.forum.clone(), 2, dir).unwrap();
+    fx.apply(&svc, 1);
+    let _ = svc.query(&Query::SpeedTrend);
+    let full = svc.checkpoint_full().unwrap();
+    assert!(
+        full.file_name().unwrap().to_str().unwrap() == "snapshot-1.snap",
+        "forced checkpoint must be a full snapshot: {full:?}"
+    );
+    fx.apply(&svc, 2);
+    let diff = svc.checkpoint().unwrap();
+    assert!(
+        diff.file_name().unwrap().to_str().unwrap() == "diff-1-2.snap",
+        "small dirty suffix must produce a differential snapshot: {diff:?}"
+    );
+    fx.apply(&svc, 3);
+    svc
+}
+
+#[test]
+fn differential_kill_point_matrix_recovers_bit_identically() {
+    let fx = Fixture::new();
+    let dir = tmp_dir("diff-matrix");
+    let live = run_workload_diff(&fx, &dir);
+    let live_print = fingerprint(&live);
+    drop(live);
+
+    let offsets = journal_record_offsets(&dir.join(JOURNAL_FILE)).unwrap();
+    assert_eq!(offsets.len(), 4, "three journaled appends plus offset 0");
+
+    for (k, &cut_at) in offsets.iter().enumerate() {
+        for workers in [1usize, 4, 8] {
+            let crash = tmp_dir(&format!("diff-matrix-k{k}-w{workers}"));
+            copy_dir(&dir, &crash);
+            let journal = crash.join(JOURNAL_FILE);
+            fs::OpenOptions::new()
+                .write(true)
+                .open(&journal)
+                .unwrap()
+                .set_len(cut_at)
+                .unwrap();
+            drop_snapshots_after(&crash, k as u64);
+
+            let recovered = UsaasService::open_or_recover(&crash, workers).unwrap();
+            let health = recovered.health();
+            assert!(
+                health.recovery_warnings.is_empty(),
+                "clean boundary cut k={k} must not warn: {:?}",
+                health.recovery_warnings
+            );
+            let reference = fx.reference(k, workers);
+            assert_eq!(
+                fingerprint(&recovered),
+                fingerprint(&reference),
+                "diff-recovered at k={k} workers={workers} must match the never-crashed service"
+            );
+            let _ = fs::remove_dir_all(&crash);
+        }
+    }
+
+    // The uncut directory recovers through the diff to the full state.
+    let recovered = UsaasService::open_or_recover(&dir, 2).unwrap();
+    assert_eq!(fingerprint(&recovered), live_print);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn differential_recovery_matches_full_recovery_exactly() {
+    let fx = Fixture::new();
+    let dir = tmp_dir("diff-vs-full");
+    drop(run_workload_diff(&fx, &dir));
+
+    // Recover once through the diff fast path, once with the diff file
+    // removed (base + full journal replay). Both must land on the same
+    // fingerprint — the diff is pure acceleration, never a state change.
+    let via_diff = tmp_dir("diff-vs-full-d");
+    let via_replay = tmp_dir("diff-vs-full-r");
+    copy_dir(&dir, &via_diff);
+    copy_dir(&dir, &via_replay);
+    fs::remove_file(via_replay.join("diff-1-2.snap")).unwrap();
+
+    let a = UsaasService::open_or_recover(&via_diff, 2).unwrap();
+    let b = UsaasService::open_or_recover(&via_replay, 2).unwrap();
+    assert!(a.health().recovery_warnings.is_empty());
+    assert!(b.health().recovery_warnings.is_empty());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(fingerprint(&a), fingerprint(&fx.reference(3, 2)));
+    for d in [dir, via_diff, via_replay] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn corrupt_diff_falls_back_to_base_and_replays() {
+    let fx = Fixture::new();
+    let dir = tmp_dir("diff-flip");
+    drop(run_workload_diff(&fx, &dir));
+
+    // Flip a payload byte in the diff: its checksum fails, recovery
+    // falls back to the seq-1 full snapshot and replays the journal
+    // tail — ending bit-identical to the never-crashed service.
+    flip_byte(&dir.join("diff-1-2.snap"), 60);
+    let recovered = UsaasService::open_or_recover(&dir, 2).unwrap();
+    let health = recovered.health();
+    assert!(
+        !health.recovery_warnings.is_empty(),
+        "the skipped diff must be reported"
+    );
+    assert_eq!(fingerprint(&recovered), fingerprint(&fx.reference(3, 2)));
     let _ = fs::remove_dir_all(&dir);
 }
 

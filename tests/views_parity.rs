@@ -75,6 +75,23 @@ fn extra_posts() -> &'static Vec<Post> {
     })
 }
 
+/// Posts dated strictly after the base forum's last day, so the
+/// emerging-topics view can absorb them incrementally instead of
+/// falling back to a rebuild (backdated appends force the rebuild).
+fn later_posts() -> &'static Vec<Post> {
+    static P: OnceLock<Vec<Post>> = OnceLock::new();
+    P.get_or_init(|| {
+        gen_forum(&ForumConfig {
+            seed: 11,
+            authors: 40,
+            start: Date::from_ymd(2021, 7, 1).unwrap(),
+            end: Date::from_ymd(2021, 8, 31).unwrap(),
+            ..ForumConfig::default()
+        })
+        .posts
+    })
+}
+
 /// Every query the view layer serves, plus the two outage-derived queries
 /// (`OutageTimeline`, `CrossNetwork`) that share the outage view through
 /// the detection cache.
@@ -108,12 +125,15 @@ fn hot_queries() -> Vec<Query> {
         Query::CrossNetwork {
             access: AccessType::SatelliteLeo,
         },
+        Query::SpeedTrend,
+        Query::EmergingTopics,
     ]
 }
 
 /// Apply append op `tag` to a service. The pool covers every batch shape
-/// the views must absorb: sessions-only, posts-only, mixed, empty, and
-/// fully-quarantined (every item a poison pill, nothing committed).
+/// the views must absorb: sessions-only, posts-only (backdated and
+/// strictly-later), mixed, empty, and fully-quarantined (every item a
+/// poison pill, nothing committed).
 fn apply_op(svc: &UsaasService, tag: u8) {
     let posts = extra_posts();
     match tag {
@@ -143,6 +163,10 @@ fn apply_op(svc: &UsaasService, tag: u8) {
         }
         5 => {
             svc.append_batch(Vec::new(), posts[30..40.min(posts.len())].to_vec());
+        }
+        6 => {
+            let later = later_posts();
+            svc.append_batch(Vec::new(), later[..25.min(later.len())].to_vec());
         }
         _ => panic!("unknown op {tag}"),
     }
@@ -185,7 +209,7 @@ mod properties {
         /// exactly, so string equality is bit equality).
         #[test]
         fn incremental_views_match_cold_rebuild(
-            schedule in prop::collection::vec(0u8..6, 0..5),
+            schedule in prop::collection::vec(0u8..7, 0..5),
         ) {
             let mut per_worker = Vec::new();
             for workers in WORKER_COUNTS {
