@@ -427,6 +427,35 @@ pub fn masked_slot_binned_sum_count_ref(
     (sums, counts, dropped)
 }
 
+/// Masked per-slot tally: `out[slots[i]] += 1` for every selected row —
+/// the integer-count core of the §4 text tallies (strong-sentiment posts
+/// per day, strong-negative posts per latitude band). Counts are integer
+/// adds, so the accumulation is order-insensitive and the loop body is a
+/// branchless scatter: the mask bit itself is the addend.
+pub fn masked_slot_counts(slots: &[u32], slot_count: usize, mask: &RowMask) -> Vec<usize> {
+    assert_eq!(slots.len(), mask.len(), "mask must cover every row");
+    let mut counts = vec![0usize; slot_count];
+    for (w, block) in slots.chunks(64).enumerate() {
+        let word = mask.word(w);
+        for (j, &slot) in block.iter().enumerate() {
+            counts[slot as usize] += ((word >> j) & 1) as usize;
+        }
+    }
+    counts
+}
+
+/// The branchy reference for [`masked_slot_counts`].
+pub fn masked_slot_counts_ref(slots: &[u32], slot_count: usize, mask: &RowMask) -> Vec<usize> {
+    assert_eq!(slots.len(), mask.len(), "mask must cover every row");
+    let mut counts = vec![0usize; slot_count];
+    for (i, &slot) in slots.iter().enumerate() {
+        if mask.get(i) {
+            counts[slot as usize] += 1;
+        }
+    }
+    counts
+}
+
 /// Indexed gather: `out[k] = values[idx[k]]`. A pure data movement — the
 /// predictor's feature assembly gathers each column once instead of
 /// striding row-wise, and the moved bits are untouched so downstream
@@ -605,6 +634,21 @@ mod tests {
             for (a, b) in s1.iter().zip(&s2) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
             }
+        }
+
+        #[test]
+        fn slot_count_kernel_matches_the_branchy_tally(
+            len in 0usize..300,
+            seed in 0u64..u64::MAX,
+        ) {
+            let slots: Vec<u32> = (0..len)
+                .map(|i| ((seed.rotate_left(i as u32) ^ i as u64) % 9) as u32)
+                .collect();
+            let mask = mask_from_seed(len, seed);
+            prop_assert_eq!(
+                masked_slot_counts(&slots, 9, &mask),
+                masked_slot_counts_ref(&slots, 9, &mask)
+            );
         }
 
         #[test]

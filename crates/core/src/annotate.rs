@@ -8,6 +8,7 @@
 //! Apr 22 '22 outage being the paper's showcase, corroborated instead by
 //! the number of distinct poster countries.
 
+use analytics::kernels::{self, RowMask};
 use analytics::time::Date;
 use analytics::timeseries::DailySeries;
 use analytics::AnalyticsError;
@@ -19,7 +20,7 @@ use serde::Serialize;
 use social::post::{Forum, Post};
 
 /// Word-cloud size used when annotating a peak day.
-const CLOUD_WORDS: usize = 30;
+pub(crate) const CLOUD_WORDS: usize = 30;
 
 /// Daily strong-sentiment counts (the two Fig. 5a series).
 #[derive(Debug, Clone)]
@@ -150,24 +151,35 @@ impl PeakAnnotator {
         self.analyzer.score_corpus(corpus, workers)
     }
 
+    /// Bin precomputed per-post scores into the two daily series through
+    /// the branchless [`kernels::masked_slot_counts`] tally: the day offset
+    /// is the slot, the strong-sentiment predicates compile to row masks,
+    /// and the per-day additions are integer-valued — identical counts to
+    /// the retained per-post `DailySeries::add` walk at any scan order.
     pub(crate) fn series_from_scores(
         &self,
         forum: &Forum,
         scores: &[SentimentScores],
     ) -> Result<SentimentSeries, AnalyticsError> {
         let (start, end) = forum.date_range().ok_or(AnalyticsError::Empty)?;
-        let mut pos = DailySeries::zeros(start, end)?;
-        let mut neg = DailySeries::zeros(start, end)?;
-        for (post, s) in forum.posts.iter().zip(scores) {
-            if s.is_strong_positive() {
-                pos.add(post.date, 1.0);
-            } else if s.is_strong_negative() {
-                neg.add(post.date, 1.0);
-            }
-        }
+        let days = (end.days_since(start) + 1) as usize;
+        let slots: Vec<u32> = forum
+            .posts
+            .iter()
+            .map(|p| p.date.days_since(start) as u32)
+            .collect();
+        let pos_mask = RowMask::from_fn(slots.len(), |i| scores[i].is_strong_positive());
+        // The reference walk's `else if`: a strong-positive post never
+        // also counts as strong-negative.
+        let neg_mask = RowMask::from_fn(slots.len(), |i| {
+            !scores[i].is_strong_positive() && scores[i].is_strong_negative()
+        });
+        let to_series = |counts: Vec<usize>| {
+            DailySeries::from_values(start, counts.into_iter().map(|c| c as f64).collect())
+        };
         Ok(SentimentSeries {
-            strong_positive: pos,
-            strong_negative: neg,
+            strong_positive: to_series(kernels::masked_slot_counts(&slots, days, &pos_mask))?,
+            strong_negative: to_series(kernels::masked_slot_counts(&slots, days, &neg_mask))?,
         })
     }
 

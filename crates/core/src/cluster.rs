@@ -1,0 +1,1441 @@
+//! Partitioned scatter-gather serving: a consistent-hash sharded
+//! [`UsaasService`] cluster behind a merging query router (§5 at scale).
+//!
+//! [`PartitionedService`] consistent-hashes sessions (by `user_id`) and
+//! posts (by `author_id`) across N independent [`UsaasService`] partitions,
+//! fans each query out to every partition in parallel, and merges the
+//! partial answers at the router into answers **bit-identical** to the
+//! single-partition service over the same data — at every partition and
+//! worker count (pinned by `tests/cluster_parity.rs`).
+//!
+//! The merge discipline that makes bit-identity possible: partitions never
+//! ship partially-reduced floats. Each partition returns *rows* (per-session
+//! or per-post values, tagged by local index), the router reassembles the
+//! global-order columns through the order maps recorded at split time, and
+//! then replays the exact sequential kernels and finishing passes the
+//! single service runs ([`kernels::masked_binned_sum_count`],
+//! [`correlate::grid_from_sums`], [`correlate::mos_correlations_vals`], …).
+//! Cross-partition map merges (§4 text scans) are additive only where the
+//! addends are integer-valued (engagement weights, day counts, keyword
+//! hits), where f64 addition is exact and therefore order-free.
+
+use crate::annotate::{AnnotatedPeak, PeakAnnotator, SentimentSeries, CLOUD_WORDS};
+use crate::cache::MemoCache;
+use crate::correlate;
+use crate::emerging::{sort_detections, EmergingTopic, EmergingTopicMiner};
+use crate::fulcrum::{DocShot, FulcrumAnalysis};
+use crate::ingest::{self, IngestConfig, IngestReport, QuarantineEntry};
+use crate::outage::{DetectedOutage, OutageDetector};
+use crate::persist::{read_and_repair_journal, Journal, JournalRecord, PersistError, JOURNAL_FILE};
+use crate::predict;
+use crate::service::{
+    country_lat_band, Answer, CrossNetworkReport, Generation, Query, QueryKey, ServiceHealth,
+    UsaasError, UsaasService,
+};
+use crate::source::{ItemSource, RawItem, Source};
+use crate::store::SignalStore;
+use analytics::binning::{BinSpec, SumBinner};
+use analytics::time::Date;
+use analytics::timeseries::DailySeries;
+use analytics::{kernels, AnalyticsError};
+use conference::records::{CallDataset, EngagementMetric, SessionRecord};
+use netsim::access::AccessType;
+use parking_lot::{Mutex, RwLock};
+use sentiment::analyzer::SentimentAnalyzer;
+use sentiment::corpus::{CompiledDict, IdNgramCounts};
+use social::post::{Forum, Post};
+use starlink::constellation::{DeploymentPlanner, RegionalDemand};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+/// Virtual nodes per partition on the hash ring — enough that the keyspace
+/// split stays within a few percent of even at 2–8 partitions.
+const VNODES: usize = 64;
+
+/// Cluster metadata file (partition count), sibling of the cluster journal.
+const CLUSTER_META: &str = "cluster.meta";
+
+/// `"USCL"` little-endian: the metadata file magic.
+const META_MAGIC: u32 = 0x4C43_5355;
+
+/// SplitMix64 — the ring's stateless mixer. A bijection on `u64`, so
+/// distinct vnode seeds can never collide on the ring.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over `partitions` shards, `VNODES` points each.
+/// The ring is a pure function of the partition count, so every router
+/// instance (including one reopened after a crash) routes identically.
+#[derive(Debug, Clone)]
+struct HashRing {
+    /// Sorted `(ring point, partition)` pairs.
+    points: Vec<(u64, u32)>,
+    partitions: usize,
+}
+
+impl HashRing {
+    fn new(partitions: usize) -> HashRing {
+        let partitions = partitions.max(1);
+        let mut points: Vec<(u64, u32)> = (0..partitions)
+            .flat_map(|p| {
+                (0..VNODES).map(move |v| (splitmix64(((p as u64) << 16) | v as u64), p as u32))
+            })
+            .collect();
+        points.sort_unstable();
+        HashRing { points, partitions }
+    }
+
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The partition owning `id`: first ring point at or after the id's
+    /// hash, wrapping.
+    fn partition_of(&self, id: u64) -> usize {
+        let h = splitmix64(id);
+        let i = self.points.partition_point(|&(point, _)| point < h);
+        self.points[i % self.points.len()].1 as usize
+    }
+
+    /// Route a batch to per-partition sub-batches, recording each item's
+    /// global arrival index in `maps` so the router can later reassemble
+    /// global-order columns from partition-local rows. Items keep their
+    /// relative order inside each partition (stable single pass), which is
+    /// what makes the order maps strictly increasing per partition.
+    fn split(
+        &self,
+        sessions: Vec<SessionRecord>,
+        posts: Vec<Post>,
+        maps: &mut OrderMaps,
+    ) -> Vec<PartitionBatch> {
+        let mut out: Vec<PartitionBatch> = (0..self.partitions)
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for s in sessions {
+            let p = self.partition_of(s.user_id);
+            maps.sessions[p].push(maps.total_sessions);
+            maps.total_sessions += 1;
+            out[p].0.push(s);
+        }
+        for post in posts {
+            let p = self.partition_of(post.author_id);
+            maps.posts[p].push(maps.total_posts);
+            maps.total_posts += 1;
+            out[p].1.push(post);
+        }
+        out
+    }
+}
+
+/// One partition's slice of an ingest batch.
+type PartitionBatch = (Vec<SessionRecord>, Vec<Post>);
+
+/// Per-partition local-index → global-arrival-index maps, maintained by
+/// [`HashRing::split`] across the build and every committed append.
+/// `maps.sessions[p][i]` is the global position of partition `p`'s session
+/// row `i`; likewise for posts. These are what let the router replay the
+/// single service's exact row order without materialising a merged frame.
+#[derive(Debug, Clone)]
+struct OrderMaps {
+    sessions: Vec<Vec<usize>>,
+    posts: Vec<Vec<usize>>,
+    total_sessions: usize,
+    total_posts: usize,
+}
+
+impl OrderMaps {
+    fn new(partitions: usize) -> OrderMaps {
+        OrderMaps {
+            sessions: vec![Vec::new(); partitions],
+            posts: vec![Vec::new(); partitions],
+            total_sessions: 0,
+            total_posts: 0,
+        }
+    }
+}
+
+/// Reassemble one global-order column from per-partition rows: partition
+/// `p`'s row `i` lands at global index `maps[p][i]`. Rows a lagging
+/// partition has not produced yet (shorter `parts[p]` than its map) are
+/// simply absent — the surviving rows keep their global relative order, so
+/// a degraded cluster still answers deterministically.
+fn merged<T>(maps: &[Vec<usize>], parts: Vec<Vec<T>>) -> Vec<T> {
+    let total = maps.iter().map(Vec::len).sum();
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(total, || None);
+    for (map, vals) in maps.iter().zip(parts) {
+        for (&g, v) in map.iter().zip(vals) {
+            out[g] = Some(v);
+        }
+    }
+    out.into_iter().flatten().collect()
+}
+
+/// [`merged`] for sparse per-partition rows tagged with their local index
+/// (e.g. rated sessions only): partition `p`'s `(local, value)` pairs land
+/// at `maps[p][local]`, and the flattened result is the values in ascending
+/// global order — the single frame's `rated_indices()` enumeration order.
+fn merged_sparse<T>(maps: &[Vec<usize>], parts: Vec<(Vec<usize>, Vec<T>)>) -> Vec<T> {
+    let total = maps.iter().map(Vec::len).sum();
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(total, || None);
+    for (map, (locals, vals)) in maps.iter().zip(parts) {
+        for (local, v) in locals.into_iter().zip(vals) {
+            if let Some(&g) = map.get(local) {
+                out[g] = Some(v);
+            }
+        }
+    }
+    out.into_iter().flatten().collect()
+}
+
+/// Merge per-partition date ranges into the global `(min, max)` — the same
+/// min/max fold [`Forum::date_range`] runs over the merged forum.
+fn merged_range(ranges: impl IntoIterator<Item = Option<(Date, Date)>>) -> Option<(Date, Date)> {
+    ranges
+        .into_iter()
+        .flatten()
+        .reduce(|(lo, hi), (a, b)| (lo.min(a), hi.max(b)))
+}
+
+/// Scatter a closure across every partition's pinned generation, one scoped
+/// thread per partition; results come back in partition order. A panic in
+/// any worker is re-raised with its original payload.
+fn scatter<T, F>(parts: &[Arc<Generation>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &Generation) -> T + Sync,
+{
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(parts.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (p, (slot, generation)) in results.iter_mut().zip(parts).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(p, generation));
+            });
+        }
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every spawned worker fills its slot"))
+        .collect()
+}
+
+/// One session row for the Fig. 1/3 sweeps: `(sweep value, engagement,
+/// in-reference)`.
+type CurveRow = (f64, f64, bool);
+/// One session row for the Fig. 2 grid: `(latency, loss, engagement)`.
+type GridRow = (f64, f64, f64);
+/// One rated-session row for Fig. 4 / §5: per-metric engagement values (in
+/// `EngagementMetric::ALL` order) plus the rating.
+type MosRow = (Vec<f64>, f64);
+/// One post row for Fig. 7: date plus the screenshot extraction (downlink,
+/// sentiment class) when the post carries one.
+type ShotRow = (Date, Option<(Option<f64>, i8)>);
+/// One session row for the §5 cross-network join.
+type CnRow = (AccessType, f64, f64, f64, Date, Option<u8>);
+/// One partition's rated sliver: local rated indices plus each rated
+/// session's feature row and rating.
+type RatedPartial = (Vec<usize>, Vec<(Vec<f64>, f64)>);
+/// One partition's outage partial: its forum date range plus the local
+/// indices and `(date, hits)` adds of keyword-bearing posts.
+type OutagePartial = (Option<(Date, Date)>, Vec<usize>, Vec<(Date, f64)>);
+
+/// An immutable cluster epoch: the pinned partition generations, the order
+/// maps that describe how their rows interleave globally, and this epoch's
+/// merged-answer cache. Queries pin one of these, so an append committing
+/// mid-query never disturbs a running merge.
+struct ClusterSnapshot {
+    epoch: u64,
+    parts: Vec<Arc<Generation>>,
+    order: Arc<OrderMaps>,
+    workers: usize,
+    answers: MemoCache<QueryKey, Result<Answer, UsaasError>>,
+    /// Outage detections shared by `OutageTimeline` and `CrossNetwork` —
+    /// the router-side analogue of the generation's shared detection pass.
+    outages: OnceLock<Result<Vec<DetectedOutage>, UsaasError>>,
+}
+
+impl ClusterSnapshot {
+    fn new(
+        epoch: u64,
+        parts: Vec<Arc<Generation>>,
+        order: Arc<OrderMaps>,
+        workers: usize,
+    ) -> ClusterSnapshot {
+        ClusterSnapshot {
+            epoch,
+            parts,
+            order,
+            workers,
+            answers: MemoCache::default(),
+            outages: OnceLock::new(),
+        }
+    }
+
+    fn query(&self, query: &Query) -> Result<Answer, UsaasError> {
+        self.answers
+            .get_or_compute(QueryKey::of(query), || self.answer_merged(query))
+    }
+
+    /// Scatter `query` to every partition and merge the partials — the
+    /// uncached path behind [`ClusterSnapshot::query`].
+    fn answer_merged(&self, query: &Query) -> Result<Answer, UsaasError> {
+        match query {
+            Query::EngagementCurve {
+                sweep,
+                engagement,
+                bins,
+            } => {
+                let rows: Vec<Vec<CurveRow>> = scatter(&self.parts, |_, g| {
+                    let frame = g.frame();
+                    let xs = frame.net_mean(*sweep);
+                    let ys = frame.engagement(*engagement);
+                    let mask = frame.ref_row_mask(*sweep);
+                    (0..frame.len())
+                        .map(|i| (xs[i], ys[i], mask.get(i)))
+                        .collect()
+                });
+                let rows = merged(&self.order.sessions, rows);
+                let (lo, hi) = sweep.sweep_range();
+                let spec = BinSpec::new(lo, hi, *bins)?;
+                let xs: Vec<f64> = rows.iter().map(|r| r.0).collect();
+                let ys: Vec<f64> = rows.iter().map(|r| r.1).collect();
+                let mask = kernels::RowMask::from_fn(rows.len(), |i| rows[i].2);
+                let acc = kernels::masked_binned_sum_count(&xs, &ys, &mask, spec);
+                let binner = SumBinner::from_parts(spec, acc.sums, acc.counts, acc.dropped);
+                Ok(Answer::Curve(binner.curve_mean(8).normalized_to_max(100.0)))
+            }
+            Query::CompoundingGrid { engagement, bins } => {
+                let rows: Vec<Vec<GridRow>> = scatter(&self.parts, |_, g| {
+                    let frame = g.frame();
+                    let xs = frame.net_mean(conference::records::NetworkMetric::LatencyMs);
+                    let ys = frame.net_mean(conference::records::NetworkMetric::LossPct);
+                    let vs = frame.engagement(*engagement);
+                    (0..frame.len()).map(|i| (xs[i], ys[i], vs[i])).collect()
+                });
+                let rows = merged(&self.order.sessions, rows);
+                let (x, y) = correlate::grid_specs(*bins)?;
+                let xs: Vec<f64> = rows.iter().map(|r| r.0).collect();
+                let ys: Vec<f64> = rows.iter().map(|r| r.1).collect();
+                let vs: Vec<f64> = rows.iter().map(|r| r.2).collect();
+                let (sums, counts) = kernels::grid_sum_count(&xs, &ys, &vs, x, y);
+                Ok(Answer::Grid(correlate::grid_from_sums(
+                    x, y, *bins, &sums, &counts, 5,
+                )))
+            }
+            Query::PlatformSensitivity { sweep, engagement } => {
+                let bins = 4usize;
+                let rows: Vec<Vec<(f64, f64, u32, bool)>> = scatter(&self.parts, |_, g| {
+                    let frame = g.frame();
+                    let xs = frame.net_mean(*sweep);
+                    let ys = frame.engagement(*engagement);
+                    let slots = frame.platform_slots();
+                    let mask = frame.ref_row_mask(*sweep);
+                    (0..frame.len())
+                        .map(|i| (xs[i], ys[i], slots[i], mask.get(i)))
+                        .collect()
+                });
+                let rows = merged(&self.order.sessions, rows);
+                let (lo, hi) = sweep.sweep_range();
+                let spec = BinSpec::new(lo, hi, bins)?;
+                let xs: Vec<f64> = rows.iter().map(|r| r.0).collect();
+                let ys: Vec<f64> = rows.iter().map(|r| r.1).collect();
+                let slots: Vec<u32> = rows.iter().map(|r| r.2).collect();
+                let mask = kernels::RowMask::from_fn(rows.len(), |i| rows[i].3);
+                let slot_count = conference::platform::Platform::ALL.len();
+                let (sums, counts, dropped) = kernels::masked_slot_binned_sum_count(
+                    &xs, &ys, &slots, slot_count, &mask, spec,
+                );
+                let binners: Vec<SumBinner> = (0..slot_count)
+                    .map(|s| {
+                        SumBinner::from_parts(
+                            spec,
+                            sums[s * bins..(s + 1) * bins].to_vec(),
+                            counts[s * bins..(s + 1) * bins].to_vec(),
+                            dropped[s],
+                        )
+                    })
+                    .collect();
+                Ok(Answer::PlatformCurves(
+                    correlate::platform_curves_from_sums(&binners, 5),
+                ))
+            }
+            Query::MosCorrelation => {
+                let rated = self.merged_mos_rows();
+                let metrics = EngagementMetric::ALL.len();
+                let ratings: Vec<f64> = rated.iter().map(|r| r.1).collect();
+                let eng: Vec<Vec<f64>> = (0..metrics)
+                    .map(|k| rated.iter().map(|r| r.0[k]).collect())
+                    .collect();
+                let mut curves = Vec::new();
+                for (k, m) in EngagementMetric::ALL.iter().enumerate() {
+                    curves.push((*m, correlate::mos_curve_from_vals(&eng[k], &ratings, 4, 3)?));
+                }
+                Ok(Answer::Mos {
+                    curves,
+                    ranking: correlate::mos_correlations_vals(&eng, &ratings)?,
+                })
+            }
+            Query::PredictMos { features } => {
+                let rows: Vec<RatedPartial> = scatter(&self.parts, |_, g| {
+                    let frame = g.frame();
+                    let rated = frame.rated_indices().to_vec();
+                    let (feats, ratings) = predict::rated_features(frame, &rated, *features);
+                    (rated, feats.into_iter().zip(ratings).collect())
+                });
+                let rows = merged_sparse(&self.order.sessions, rows);
+                let (feats, ratings): (Vec<Vec<f64>>, Vec<f64>) = rows.into_iter().unzip();
+                let (_, eval) = predict::train_and_evaluate_vals(&feats, &ratings, *features, 4)?;
+                Ok(Answer::Prediction(eval))
+            }
+            Query::OutageTimeline => Ok(Answer::Outages(self.merged_outages()?)),
+            Query::SentimentPeaks { k } => self.sentiment_peaks(*k),
+            Query::SpeedTrend => self.speed_trend(),
+            Query::EmergingTopics => self.emerging_topics(),
+            Query::CrossNetwork { access } => self.cross_network(*access),
+            Query::DeploymentAdvice => self.deployment_advice(),
+        }
+    }
+
+    /// Gather every partition's rated rows (per-metric engagement values
+    /// plus the rating) in global rated order — Fig. 4's input columns.
+    fn merged_mos_rows(&self) -> Vec<MosRow> {
+        let rows: Vec<(Vec<usize>, Vec<MosRow>)> = scatter(&self.parts, |_, g| {
+            let frame = g.frame();
+            let rated = frame.rated_indices().to_vec();
+            let cols: Vec<&[f64]> = EngagementMetric::ALL
+                .iter()
+                .map(|&m| frame.engagement(m))
+                .collect();
+            let ratings = frame.rating();
+            let vals: Vec<MosRow> = rated
+                .iter()
+                .map(|&i| {
+                    (
+                        cols.iter().map(|c| c[i]).collect(),
+                        f64::from(ratings[i].expect("rated index carries a rating")),
+                    )
+                })
+                .collect();
+            (rated, vals)
+        });
+        merged_sparse(&self.order.sessions, rows)
+    }
+
+    /// The shared outage-detection pass: per-partition filtered keyword
+    /// hits (per-document, so partitioning cannot change them), merged into
+    /// one daily series in global post order, peaks found once at the
+    /// router with the single detector's thresholds.
+    fn merged_outages(&self) -> Result<Vec<DetectedOutage>, UsaasError> {
+        self.outages
+            .get_or_init(|| {
+                let det = OutageDetector::default();
+                let det = &det;
+                let parts: Vec<OutagePartial> = scatter(&self.parts, |_, g| {
+                    let corpus = g.social_corpus();
+                    let dict = CompiledDict::compile(&det.dictionary, corpus.vocab());
+                    let hits = det.doc_hits_range(&dict, corpus, 0..corpus.docs());
+                    let mut locals = Vec::new();
+                    let mut adds = Vec::new();
+                    for (i, (post, h)) in g.forum().posts.iter().zip(hits).enumerate() {
+                        if h > 0 {
+                            locals.push(i);
+                            adds.push((post.date, h as f64));
+                        }
+                    }
+                    (g.forum().date_range(), locals, adds)
+                });
+                let (start, end) = match merged_range(parts.iter().map(|p| p.0)) {
+                    Some(r) => r,
+                    None => return Err(UsaasError::Analytics(AnalyticsError::Empty)),
+                };
+                let mut series = match DailySeries::zeros(start, end) {
+                    Ok(s) => s,
+                    Err(e) => return Err(UsaasError::Analytics(e)),
+                };
+                let adds = merged_sparse(
+                    &self.order.posts,
+                    parts.into_iter().map(|p| (p.1, p.2)).collect(),
+                );
+                for (date, amount) in adds {
+                    series.add(date, amount);
+                }
+                Ok(OutageDetector::peaks_to_detections(
+                    series.peaks(det.min_peak_score, det.refractory_days),
+                ))
+            })
+            .clone()
+    }
+
+    /// §5 cross-network: gather the session columns in global order and
+    /// replay the single service's join verbatim.
+    fn cross_network(&self, access: AccessType) -> Result<Answer, UsaasError> {
+        let rows: Vec<Vec<CnRow>> = scatter(&self.parts, |_, g| {
+            let frame = g.frame();
+            let acc = frame.access();
+            let presence = frame.engagement(EngagementMetric::Presence);
+            let mic = frame.engagement(EngagementMetric::MicOn);
+            let cam = frame.engagement(EngagementMetric::CamOn);
+            let dates = frame.date();
+            let ratings = frame.rating();
+            (0..frame.len())
+                .map(|i| (acc[i], presence[i], mic[i], cam[i], dates[i], ratings[i]))
+                .collect()
+        });
+        let rows = merged(&self.order.sessions, rows);
+        let target_mask = kernels::RowMask::from_fn(rows.len(), |i| rows[i].0 == access);
+        if target_mask.count() == 0 {
+            return Err(UsaasError::NoData("no sessions on the requested network"));
+        }
+        let others_mask = kernels::RowMask::from_fn(rows.len(), |i| rows[i].0 != access);
+        let target: Vec<usize> = (0..rows.len()).filter(|&i| target_mask.get(i)).collect();
+        let presence_col: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let mic_col: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        let cam_col: Vec<f64> = rows.iter().map(|r| r.3).collect();
+        let dates: Vec<Date> = rows.iter().map(|r| r.4).collect();
+        let ratings: Vec<f64> = target
+            .iter()
+            .filter_map(|&i| rows[i].5)
+            .map(f64::from)
+            .collect();
+        let detections: Vec<DetectedOutage> = self
+            .merged_outages()?
+            .iter()
+            .filter(|d| d.score >= 10.0)
+            .copied()
+            .collect();
+        let outage_presence: Vec<f64> = target
+            .iter()
+            .filter(|&&i| detections.iter().any(|d| d.date == dates[i]))
+            .map(|&i| presence_col[i])
+            .collect();
+        let outage_days_joined = detections
+            .iter()
+            .filter(|d| target.iter().any(|&i| dates[i] == d.date))
+            .count();
+        let masked_mean = |col: &[f64], mask: &kernels::RowMask| {
+            kernels::masked_mean(col, mask).ok_or(AnalyticsError::Empty)
+        };
+        Ok(Answer::CrossNetwork(CrossNetworkReport {
+            sessions: target.len(),
+            mean_presence: masked_mean(&presence_col, &target_mask)?,
+            others_presence: masked_mean(&presence_col, &others_mask).unwrap_or(f64::NAN),
+            mean_mic_on: masked_mean(&mic_col, &target_mask)?,
+            mean_cam_on: masked_mean(&cam_col, &target_mask)?,
+            mos: analytics::mean(&ratings).ok(),
+            outage_day_presence: analytics::mean(&outage_presence).ok(),
+            outage_days_joined,
+        }))
+    }
+
+    /// §6 deployment advice: per-partition strong-negative band tallies are
+    /// integer counts, so the cross-partition sum is exact.
+    fn deployment_advice(&self) -> Result<Answer, UsaasError> {
+        let workers = self.workers;
+        let counts: Vec<Vec<usize>> = scatter(&self.parts, |_, g| {
+            let analyzer = SentimentAnalyzer::default();
+            let scores = analyzer.score_corpus(g.social_corpus(), workers);
+            let slots: Vec<u32> = g
+                .forum()
+                .posts
+                .iter()
+                .map(|p| country_lat_band(p.country) as u32)
+                .collect();
+            let neg = kernels::RowMask::from_fn(slots.len(), |i| scores[i].is_strong_negative());
+            kernels::masked_slot_counts(&slots, 9, &neg)
+        });
+        let mut weights = [0.0f64; 9];
+        for part in counts {
+            for (w, c) in weights.iter_mut().zip(part) {
+                *w += c as f64;
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            return Err(UsaasError::NoData("no strong-negative social signals"));
+        }
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
+        Ok(Answer::Deployment(DeploymentPlanner::gen1().rank(
+            &RegionalDemand {
+                band_weights: weights,
+            },
+        )))
+    }
+
+    /// Fig. 5 annotated sentiment peaks. Phase 1 scores every post at its
+    /// partition and ships `(date, sentiment class, country)` rows; the
+    /// router rebuilds the daily series (per-post 1.0 additions — integer
+    /// counts, order-free) and finds peaks once. Phase 2 scatters the day
+    /// clouds: each partition counts its day's unigrams at full resolution
+    /// and the router merges word tables additively (integer counts) before
+    /// applying the single-path truncation and comparator.
+    fn sentiment_peaks(&self, k: usize) -> Result<Answer, UsaasError> {
+        let annot = PeakAnnotator::default();
+        let annot = &annot;
+        let workers = self.workers;
+        let part_rows: Vec<Vec<(Date, i8, &'static str)>> = scatter(&self.parts, |_, g| {
+            let corpus = g.social_corpus();
+            let scores = annot.score_posts(g.forum(), corpus, workers);
+            g.forum()
+                .posts
+                .iter()
+                .zip(scores)
+                .map(|(p, s)| {
+                    // The reference walk's `else if`: strong-positive wins.
+                    let class = if s.is_strong_positive() {
+                        1
+                    } else if s.is_strong_negative() {
+                        -1
+                    } else {
+                        0
+                    };
+                    (p.date, class, p.country)
+                })
+                .collect()
+        });
+        let rows = merged(&self.order.posts, part_rows);
+        let (start, end) = rows
+            .iter()
+            .map(|r| r.0)
+            .fold(None, |acc: Option<(Date, Date)>, d| match acc {
+                Some((lo, hi)) => Some((lo.min(d), hi.max(d))),
+                None => Some((d, d)),
+            })
+            .ok_or(UsaasError::Analytics(AnalyticsError::Empty))?;
+        let mut pos = DailySeries::zeros(start, end).map_err(UsaasError::Analytics)?;
+        let mut neg = DailySeries::zeros(start, end).map_err(UsaasError::Analytics)?;
+        for &(date, class, _) in &rows {
+            match class {
+                1 => pos.add(date, 1.0),
+                -1 => neg.add(date, 1.0),
+                _ => {}
+            }
+        }
+        let series = SentimentSeries {
+            strong_positive: pos,
+            strong_negative: neg,
+        };
+        let combined = series.combined();
+        let peaks = combined.peaks(annot.min_peak_score, annot.refractory_days);
+        let peak_dates: Vec<Date> = peaks.iter().take(k).map(|p| p.date).collect();
+        // Phase 2: full-resolution per-partition day clouds for the peaks.
+        let clouds: Vec<Vec<Vec<(String, f64)>>> = scatter(&self.parts, |_, g| {
+            let corpus = g.social_corpus();
+            peak_dates
+                .iter()
+                .map(|&date| {
+                    let mut counts = IdNgramCounts::new();
+                    for (i, p) in g.forum().posts.iter().enumerate() {
+                        if p.date == date {
+                            counts.add_unigrams(corpus, i, 1.0);
+                        }
+                    }
+                    // Full table — truncating here would corrupt the merge.
+                    counts.top_k(corpus.vocab(), usize::MAX)
+                })
+                .collect()
+        });
+        let lexicon = sentiment::lexicon::Lexicon::global();
+        let mut out = Vec::new();
+        for (pi, peak) in peaks.into_iter().take(k).enumerate() {
+            let mut table: HashMap<String, f64> = HashMap::new();
+            for part in &clouds {
+                for (word, w) in &part[pi] {
+                    *table.entry(word.clone()).or_insert(0.0) += w;
+                }
+            }
+            let mut entries: Vec<(String, f64)> = table.into_iter().collect();
+            // The word cloud's comparator: weight desc, then word asc.
+            entries.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            entries.truncate(CLOUD_WORDS);
+            let top_words: Vec<String> = entries
+                .iter()
+                .map(|(w, _)| w.clone())
+                .filter(|w| lexicon.valence(w).is_none())
+                .take(annot.query_words)
+                .collect();
+            let mut query: Vec<&str> = top_words.iter().map(String::as_str).collect();
+            query.push("starlink"); // the paper appends 'Starlink' to every query
+            let headlines = annot
+                .news
+                .search(&query, peak.date, annot.news_window_days)
+                .into_iter()
+                .map(|a| a.headline.clone())
+                .collect();
+            let pos_v = series.strong_positive.get(peak.date).unwrap_or(0.0);
+            let neg_v = series.strong_negative.get(peak.date).unwrap_or(0.0);
+            let countries: HashSet<&str> = rows
+                .iter()
+                .filter(|(date, class, _)| *date == peak.date && *class != 0)
+                .map(|(_, _, country)| *country)
+                .collect();
+            out.push(AnnotatedPeak {
+                date: peak.date,
+                strong_posts: peak.value,
+                positive_dominated: pos_v >= neg_v,
+                top_words,
+                headlines,
+                countries: countries.len(),
+            });
+        }
+        Ok(Answer::Peaks(out))
+    }
+
+    /// Fig. 7 speed trend: partitions evaluate every screenshot post's
+    /// [`DocShot`] (per-post, partition-independent); the router replays
+    /// the month loop — including its RNG stream — over the global-order
+    /// date column.
+    fn speed_trend(&self) -> Result<Answer, UsaasError> {
+        let fa = FulcrumAnalysis::default();
+        let fa = &fa;
+        let part_rows: Vec<Vec<ShotRow>> = scatter(&self.parts, |_, g| {
+            let corpus = g.social_corpus();
+            let vocab = corpus.vocab();
+            g.forum()
+                .posts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let shot = DocShot::eval(p, || fa.analyzer.score_ids(corpus.doc(i), vocab));
+                    (p.date, shot.map(|s| (s.down, s.class)))
+                })
+                .collect()
+        });
+        let rows = merged(&self.order.posts, part_rows);
+        if rows.is_empty() {
+            return Err(UsaasError::NoData("empty forum"));
+        }
+        let dates: Vec<Date> = rows.iter().map(|r| r.0).collect();
+        let (lo, hi) = dates
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<(Date, Date)>, d| match acc {
+                Some((a, b)) => Some((a.min(d), b.max(d))),
+                None => Some((d, d)),
+            })
+            .expect("non-empty rows have a date range");
+        let points = fa.analyze_dated_shots(&dates, lo.month(), hi.month(), |i| {
+            rows[i].1.map(|(down, class)| DocShot { down, class })
+        })?;
+        Ok(Answer::Speeds(points))
+    }
+
+    /// §4.1 emerging topics. Partitions ship per-day engagement-weighted
+    /// word tables (integer-valued weights — additive merges are exact);
+    /// the router replays the miner's sliding window over the merged
+    /// tables, then scatters the polarity scan for flagged terms back to
+    /// the partitions and averages in global post order.
+    fn emerging_topics(&self) -> Result<Answer, UsaasError> {
+        let miner = EmergingTopicMiner::default();
+        type DayTerms = BTreeMap<i32, HashMap<String, f64>>;
+        let parts: Vec<(Option<(Date, Date)>, DayTerms)> = scatter(&self.parts, |_, g| {
+            let corpus = g.social_corpus();
+            let vocab = corpus.vocab();
+            let mut days: DayTerms = BTreeMap::new();
+            for (i, p) in g.forum().posts.iter().enumerate() {
+                let mut counts = IdNgramCounts::new();
+                counts.add_unigrams(corpus, i, p.engagement_weight());
+                let day = days.entry(p.date.days()).or_default();
+                for (id, w) in counts.iter_unigrams() {
+                    *day.entry(vocab.word(id).to_string()).or_insert(0.0) += w;
+                }
+            }
+            (g.forum().date_range(), days)
+        });
+        let (start, end) = merged_range(parts.iter().map(|p| p.0))
+            .ok_or(UsaasError::Analytics(AnalyticsError::Empty))?;
+        let mut day_terms: DayTerms = BTreeMap::new();
+        for (_, days) in parts {
+            for (day, terms) in days {
+                let slot = day_terms.entry(day).or_default();
+                for (term, w) in terms {
+                    *slot.entry(term).or_insert(0.0) += w;
+                }
+            }
+        }
+        /// Share floor: the share a never-seen term is treated as having had.
+        const SHARE_FLOOR: f64 = 0.002;
+        let sum_days = |from: Date, to: Date| -> HashMap<String, f64> {
+            let mut out: HashMap<String, f64> = HashMap::new();
+            for (_, terms) in day_terms.range(from.days()..=to.days()) {
+                for (term, w) in terms {
+                    *out.entry(term.clone()).or_insert(0.0) += w;
+                }
+            }
+            out
+        };
+        let mut history: HashMap<String, f64> = HashMap::new();
+        let mut history_total = 0.0f64;
+        let mut detected: HashSet<String> = HashSet::new();
+        // (term, window start, window end, weight, novelty) per first flag.
+        let mut flagged: Vec<(String, Date, Date, f64, f64)> = Vec::new();
+        let mut cursor = start.offset(miner.window_days);
+        for (term, w) in sum_days(start, cursor.offset(-1)) {
+            *history.entry(term).or_insert(0.0) += w;
+            history_total += w;
+        }
+        while cursor.offset(miner.window_days - 1) <= end {
+            let win_start = cursor;
+            let win_end = cursor.offset(miner.window_days - 1);
+            let counts = sum_days(win_start, win_end);
+            let window_total: f64 = counts.values().sum::<f64>().max(1.0);
+            for (term, &weight) in &counts {
+                if weight < miner.min_weight || detected.contains(term) {
+                    continue;
+                }
+                let hist_share = history.get(term).copied().unwrap_or(0.0) / history_total.max(1.0);
+                let window_share = weight / window_total;
+                let novelty = window_share / (hist_share + SHARE_FLOOR);
+                if novelty >= miner.min_novelty {
+                    detected.insert(term.clone());
+                    flagged.push((term.clone(), win_start, win_end, weight, novelty));
+                }
+            }
+            for (term, w) in sum_days(win_start, win_start.offset(miner.step_days - 1)) {
+                *history.entry(term).or_insert(0.0) += w;
+                history_total += w;
+            }
+            cursor = cursor.offset(miner.step_days);
+        }
+        // Polarity scan for the flagged terms, back at the partitions.
+        let flagged = &flagged;
+        let pol_parts: Vec<Vec<(Vec<usize>, Vec<f64>)>> = scatter(&self.parts, |_, g| {
+            let corpus = g.social_corpus();
+            let vocab = corpus.vocab();
+            let analyzer = SentimentAnalyzer::default();
+            flagged
+                .iter()
+                .map(|(term, from, to, _, _)| {
+                    let mut locals = Vec::new();
+                    let mut pols = Vec::new();
+                    for (i, p) in g.forum().posts.iter().enumerate() {
+                        if p.date >= *from
+                            && p.date <= *to
+                            && (p.title.to_lowercase().contains(term)
+                                || p.body.to_lowercase().contains(term))
+                        {
+                            locals.push(i);
+                            pols.push(analyzer.score_ids(corpus.doc(i), vocab).polarity());
+                        }
+                    }
+                    (locals, pols)
+                })
+                .collect()
+        });
+        let mut topics: Vec<EmergingTopic> = flagged
+            .iter()
+            .enumerate()
+            .map(|(fi, (term, _, win_end, weight, novelty))| {
+                let per_part: Vec<(Vec<usize>, Vec<f64>)> = pol_parts
+                    .iter()
+                    .map(|part| part.get(fi).cloned().unwrap_or_default())
+                    .collect();
+                let pols = merged_sparse(&self.order.posts, per_part);
+                EmergingTopic {
+                    term: term.clone(),
+                    first_flagged: *win_end,
+                    window_weight: *weight,
+                    novelty: *novelty,
+                    polarity: analytics::mean(&pols).unwrap_or(0.0),
+                }
+            })
+            .collect();
+        sort_detections(&mut topics);
+        Ok(Answer::Topics(topics))
+    }
+}
+
+/// Router-side health totals: ingest damage the cluster log recorded plus
+/// anything cluster recovery had to repair. Partition-side totals live in
+/// the partitions and are aggregated on demand by
+/// [`PartitionedService::health`].
+#[derive(Debug, Default)]
+struct RouterTotals {
+    quarantined: usize,
+    unfed: usize,
+    breaker_trips: usize,
+    open_breakers: Vec<String>,
+    dead_letters: Vec<QuarantineEntry>,
+    recovery_warnings: Vec<String>,
+}
+
+/// Aggregated cluster health: the per-partition [`ServiceHealth`] reports
+/// plus router-level totals, so a degraded partition is never silently
+/// dropped from the cluster's health signal.
+#[derive(Debug, Clone)]
+pub struct ClusterHealth {
+    /// Cluster epoch (committed cluster-wide appends).
+    pub epoch: u64,
+    /// Each partition's own health, in partition order.
+    pub partitions: Vec<ServiceHealth>,
+    /// Open breakers across the router and every partition, prefixed
+    /// `part-N/` for partition-side sources.
+    pub open_breakers: Vec<String>,
+    /// Dead-lettered items across the router and every partition.
+    pub quarantined_total: usize,
+    /// Items that never reached a worker pool, cluster-wide.
+    pub unfed_total: usize,
+    /// Breaker trips cluster-wide.
+    pub breaker_trips_total: usize,
+    /// Recovery repairs across the cluster log and every partition,
+    /// prefixed `part-N:` for partition-side warnings.
+    pub recovery_warnings: Vec<String>,
+}
+
+impl ClusterHealth {
+    /// True when any source's breaker ended the last run open — somewhere
+    /// in the cluster — so answers may be stale.
+    pub fn is_stale(&self) -> bool {
+        !self.open_breakers.is_empty()
+    }
+
+    /// True when anything, anywhere in the cluster, has degraded ingestion
+    /// or durability. The aggregate fields already fold in every
+    /// partition, so one degraded partition degrades the cluster.
+    pub fn is_degraded(&self) -> bool {
+        self.is_stale()
+            || self.quarantined_total > 0
+            || self.unfed_total > 0
+            || !self.recovery_warnings.is_empty()
+    }
+}
+
+/// The cluster's durable state: the root journal ("cluster log") every
+/// accepted batch is recorded in before any partition commits it.
+struct ClusterPersist {
+    journal: Journal,
+    last_seq: u64,
+}
+
+/// A consistent-hash sharded [`UsaasService`] cluster behind a merging
+/// query router.
+///
+/// Sessions shard by `user_id`, posts by `author_id`; queries fan out to
+/// every partition in parallel and the router merges the partials into
+/// answers bit-identical to a single [`UsaasService`] over the same data,
+/// at every partition and worker count.
+pub struct PartitionedService {
+    parts: Vec<UsaasService>,
+    ring: HashRing,
+    workers: usize,
+    current: RwLock<Arc<ClusterSnapshot>>,
+    append_lock: Mutex<()>,
+    totals: Mutex<RouterTotals>,
+    persist: Option<Mutex<ClusterPersist>>,
+}
+
+impl PartitionedService {
+    /// Build an in-memory cluster of `partitions` shards, `workers` threads
+    /// per partition (and per router scatter).
+    pub fn build(
+        dataset: CallDataset,
+        forum: Forum,
+        partitions: usize,
+        workers: usize,
+    ) -> PartitionedService {
+        let ring = HashRing::new(partitions);
+        let mut order = OrderMaps::new(ring.partitions());
+        let batches = ring.split(dataset.sessions, forum.posts, &mut order);
+        let parts = Self::build_partitions(batches, workers);
+        Self::assemble(parts, ring, order, workers, None)
+    }
+
+    /// Build a *durable* cluster in `dir`: the cluster log and metadata at
+    /// the root, one `part-N/` persisted service per partition. Refuses a
+    /// directory that already holds a persisted cluster — that is what
+    /// [`PartitionedService::open_or_recover`] is for.
+    pub fn build_persistent(
+        dataset: CallDataset,
+        forum: Forum,
+        partitions: usize,
+        workers: usize,
+        dir: &Path,
+    ) -> Result<PartitionedService, PersistError> {
+        std::fs::create_dir_all(dir)?;
+        if dir.join(JOURNAL_FILE).exists() || dir.join(CLUSTER_META).exists() {
+            return Err(PersistError::Corrupt {
+                file: dir.display().to_string(),
+                detail: "directory already holds a persisted cluster; open_or_recover it instead"
+                    .to_string(),
+            });
+        }
+        let ring = HashRing::new(partitions);
+        write_meta(dir, ring.partitions())?;
+        let mut journal = Journal::open_append(&dir.join(JOURNAL_FILE))?;
+        // The base record (always seq 1) carries the full build dataset, so
+        // recovery can re-derive the order maps before any partition opens.
+        journal.append(&JournalRecord {
+            seq: 1,
+            epoch_after: 0,
+            sessions: dataset.sessions.clone(),
+            posts: forum.posts.clone(),
+            ..JournalRecord::default()
+        })?;
+        let mut order = OrderMaps::new(ring.partitions());
+        let batches = ring.split(dataset.sessions, forum.posts, &mut order);
+        let mut parts = Vec::new();
+        for (p, (sessions, posts)) in batches.into_iter().enumerate() {
+            parts.push(UsaasService::build_persistent(
+                CallDataset { sessions },
+                Forum { posts },
+                workers,
+                &dir.join(format!("part-{p}")),
+            )?);
+        }
+        let persist = Some(Mutex::new(ClusterPersist {
+            journal,
+            last_seq: 1,
+        }));
+        Ok(Self::assemble(parts, ring, order, workers, persist))
+    }
+
+    /// Reopen a persisted cluster: recover every partition, re-derive the
+    /// order maps by replaying the cluster log through the ring, and roll
+    /// forward any partition that persisted fewer committed batches than
+    /// the log records (per-partition crash recovery). Repairs land in
+    /// [`ClusterHealth::recovery_warnings`] instead of failing the open.
+    pub fn open_or_recover(dir: &Path, workers: usize) -> Result<PartitionedService, PersistError> {
+        let partitions = read_meta(dir)?;
+        let ring = HashRing::new(partitions);
+        let mut warnings = Vec::new();
+        let records = read_and_repair_journal(&dir.join(JOURNAL_FILE), &mut warnings)?;
+        if records.first().map(|r| r.seq) != Some(1) {
+            warnings
+                .push("cluster log lost its base record; query merges may drop rows".to_string());
+        }
+        let mut parts = Vec::new();
+        for p in 0..partitions {
+            parts.push(UsaasService::open_or_recover(
+                &dir.join(format!("part-{p}")),
+                workers,
+            )?);
+        }
+        let mut order = OrderMaps::new(partitions);
+        let mut totals = RouterTotals::default();
+        let mut cluster_epoch = 0u64;
+        let mut last_seq = 0u64;
+        // Committed non-empty sub-batches per partition, in log order —
+        // what each partition's epoch should have reached.
+        let mut expected = vec![0u64; partitions];
+        let mut pending: Vec<Vec<PartitionBatch>> = vec![Vec::new(); partitions];
+        for rec in records {
+            let is_base = rec.seq == 1;
+            let batches = ring.split(rec.sessions, rec.posts, &mut order);
+            if !is_base {
+                for (p, batch) in batches.into_iter().enumerate() {
+                    if !batch.0.is_empty() || !batch.1.is_empty() {
+                        expected[p] += 1;
+                        pending[p].push(batch);
+                    }
+                }
+            }
+            totals.quarantined += rec.quarantined.len();
+            totals.unfed += rec.unfed;
+            totals.breaker_trips += rec.breaker_trips;
+            totals.open_breakers = rec.open_breakers;
+            totals.dead_letters.extend(rec.quarantined);
+            cluster_epoch = rec.epoch_after;
+            last_seq = rec.seq;
+        }
+        // Roll forward partitions that crashed before persisting batches
+        // the cluster log committed.
+        for (p, part) in parts.iter().enumerate() {
+            let have = part.epoch();
+            let want = expected[p];
+            if have > want {
+                warnings.push(format!(
+                    "part-{p} is ahead of the cluster log (epoch {have}, expected {want})"
+                ));
+            } else if have < want {
+                warnings.push(format!(
+                    "part-{p} recovered at epoch {have}, cluster log expects {want}; \
+                     replaying {} batch(es)",
+                    want - have
+                ));
+                for (sessions, posts) in pending[p].iter().skip(have as usize) {
+                    let _ = part.append_batch(sessions.clone(), posts.clone());
+                }
+            }
+        }
+        totals.recovery_warnings = warnings;
+        let journal = Journal::open_append(&dir.join(JOURNAL_FILE))?;
+        let snapshots: Vec<Arc<Generation>> = parts.iter().map(UsaasService::snapshot).collect();
+        let snapshot = ClusterSnapshot::new(cluster_epoch, snapshots, Arc::new(order), workers);
+        Ok(PartitionedService {
+            parts,
+            ring,
+            workers,
+            current: RwLock::new(Arc::new(snapshot)),
+            append_lock: Mutex::new(()),
+            totals: Mutex::new(totals),
+            persist: Some(Mutex::new(ClusterPersist { journal, last_seq })),
+        })
+    }
+
+    fn build_partitions(batches: Vec<PartitionBatch>, workers: usize) -> Vec<UsaasService> {
+        let mut slots: Vec<Option<UsaasService>> = Vec::new();
+        slots.resize_with(batches.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot, (sessions, posts)) in slots.iter_mut().zip(batches) {
+                scope.spawn(move |_| {
+                    *slot = Some(UsaasService::build(
+                        CallDataset { sessions },
+                        Forum { posts },
+                        workers,
+                    ));
+                });
+            }
+        })
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every spawned builder fills its slot"))
+            .collect()
+    }
+
+    fn assemble(
+        parts: Vec<UsaasService>,
+        ring: HashRing,
+        order: OrderMaps,
+        workers: usize,
+        persist: Option<Mutex<ClusterPersist>>,
+    ) -> PartitionedService {
+        let snapshots: Vec<Arc<Generation>> = parts.iter().map(UsaasService::snapshot).collect();
+        let snapshot = ClusterSnapshot::new(0, snapshots, Arc::new(order), workers);
+        PartitionedService {
+            parts,
+            ring,
+            workers,
+            current: RwLock::new(Arc::new(snapshot)),
+            append_lock: Mutex::new(()),
+            totals: Mutex::new(RouterTotals::default()),
+            persist,
+        }
+    }
+
+    /// Pin the current cluster snapshot — a cheap `Arc` clone.
+    fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// Number of partitions in the cluster.
+    pub fn partitions(&self) -> usize {
+        self.ring.partitions()
+    }
+
+    /// Cluster epoch: committed cluster-wide appends since the build.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Signal counts `(implicit, explicit, social)` summed over partitions.
+    pub fn signal_counts(&self) -> (usize, usize, usize) {
+        self.parts
+            .iter()
+            .map(UsaasService::signal_counts)
+            .fold((0, 0, 0), |acc, c| (acc.0 + c.0, acc.1 + c.1, acc.2 + c.2))
+    }
+
+    /// Merged-answer cache hits of the current cluster epoch.
+    pub fn cache_hits(&self) -> usize {
+        self.snapshot().answers.hits()
+    }
+
+    /// Merged-answer cache misses of the current cluster epoch (distinct
+    /// queries merged this epoch).
+    pub fn cache_misses(&self) -> usize {
+        self.snapshot().answers.misses()
+    }
+
+    /// Answer one query by scattering it to every partition and merging the
+    /// partials — bit-identical to a single [`UsaasService`] over the same
+    /// data. Merged answers are memoized per cluster epoch.
+    pub fn query(&self, query: &Query) -> Result<Answer, UsaasError> {
+        self.snapshot().query(query)
+    }
+
+    /// [`PartitionedService::query`] bypassing the cluster's merged-answer
+    /// cache — every partition scatter recomputes (partition-generation
+    /// caches still apply). This is the scaling-measurement path.
+    pub fn answer_fresh(&self, query: &Query) -> Result<Answer, UsaasError> {
+        self.snapshot().answer_merged(query)
+    }
+
+    /// Answer one query and annotate it with the cluster's health — the
+    /// degraded-serving contract extended cluster-wide.
+    pub fn query_with_health(&self, query: &Query) -> (Result<Answer, UsaasError>, ClusterHealth) {
+        (self.query(query), self.health())
+    }
+
+    /// Answer a batch of queries concurrently, one scoped worker per query;
+    /// results come back in input order. The whole batch pins **one**
+    /// cluster snapshot, so its answers are mutually consistent even if an
+    /// append commits mid-batch, and the workers share the epoch's merged
+    /// caches.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Answer, UsaasError>> {
+        let snapshot = self.snapshot();
+        let mut results: Vec<Option<Result<Answer, UsaasError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot, query) in results.iter_mut().zip(queries) {
+                let snapshot = &snapshot;
+                scope.spawn(move |_| {
+                    *slot = Some(snapshot.query(query));
+                });
+            }
+        })
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every spawned worker fills its slot"))
+            .collect()
+    }
+
+    /// Ingest `sources` through the resilient streaming engine at the
+    /// router, journal the accepted batch in the cluster log, then split it
+    /// across partitions and commit them in parallel. Per-partition ingest
+    /// damage comes back in the report with `part-N/`-prefixed source
+    /// names. A cluster-log write failure aborts the commit cluster-wide —
+    /// memory matches disk, and the failure lands in
+    /// [`ClusterHealth::recovery_warnings`].
+    pub fn ingest_append(
+        &self,
+        sources: Vec<Box<dyn Source + '_>>,
+        cfg: &IngestConfig,
+    ) -> IngestReport {
+        let _appending = self.append_lock.lock();
+        // Router-side validation store: quarantine/breaker bookkeeping
+        // happens here; the accepted items' signals are (re-)derived by the
+        // partitions' own stores on append.
+        let scratch = SignalStore::new();
+        let (mut report, accepted) = ingest::ingest_stream_collect(&scratch, sources, cfg);
+        let mut sessions: Vec<SessionRecord> = Vec::new();
+        let mut posts: Vec<Post> = Vec::new();
+        for item in accepted {
+            match item {
+                RawItem::Session(s) => sessions.push(*s),
+                RawItem::Post(p) => posts.push(*p),
+                RawItem::Poison(_) => {}
+            }
+        }
+        let mut will_commit = !sessions.is_empty() || !posts.is_empty();
+        let base = self.snapshot();
+        if let Some(persist) = &self.persist {
+            let mut state = persist.lock();
+            let record = JournalRecord {
+                seq: state.last_seq + 1,
+                epoch_after: base.epoch + u64::from(will_commit),
+                sessions,
+                posts,
+                quarantined: report.quarantined.clone(),
+                unfed: report.unfed,
+                breaker_trips: report.breaker_trips,
+                open_breakers: report.open_breakers(),
+            };
+            match state.journal.append(&record) {
+                Ok(()) => state.last_seq = record.seq,
+                Err(e) => {
+                    will_commit = false;
+                    self.totals.lock().recovery_warnings.push(format!(
+                        "cluster log append for seq {} failed; batch not committed so memory \
+                         matches disk — retry after the journal recovers: {e}",
+                        record.seq
+                    ));
+                }
+            }
+            sessions = record.sessions;
+            posts = record.posts;
+        }
+        self.note_report(&report);
+        if will_commit {
+            let mut order = (*base.order).clone();
+            let batches = self.ring.split(sessions, posts, &mut order);
+            let part_reports: Vec<Option<IngestReport>> = {
+                let mut slots: Vec<Option<Option<IngestReport>>> = Vec::new();
+                slots.resize_with(self.parts.len(), || None);
+                crossbeam::thread::scope(|scope| {
+                    for ((slot, part), (sessions, posts)) in
+                        slots.iter_mut().zip(&self.parts).zip(batches)
+                    {
+                        scope.spawn(move |_| {
+                            // Empty sub-batches are skipped so the
+                            // partition's epoch advances only on batches
+                            // the recovery roll-forward will count.
+                            *slot = Some(if sessions.is_empty() && posts.is_empty() {
+                                None
+                            } else {
+                                Some(part.append_batch(sessions, posts))
+                            });
+                        });
+                    }
+                })
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every spawned appender fills its slot"))
+                    .collect()
+            };
+            for (p, part_report) in part_reports.into_iter().enumerate() {
+                let Some(mut pr) = part_report else { continue };
+                report.stored += pr.stored;
+                report.fed += pr.fed;
+                report.unfed += pr.unfed;
+                report.retries += pr.retries;
+                report.breaker_trips += pr.breaker_trips;
+                for q in &mut pr.quarantined {
+                    q.source = format!("part-{p}/{}", q.source);
+                }
+                report.quarantined.extend(pr.quarantined);
+                for s in &mut pr.sources {
+                    s.name = format!("part-{p}/{}", s.name);
+                }
+                report.sources.extend(pr.sources);
+            }
+            let snapshots: Vec<Arc<Generation>> =
+                self.parts.iter().map(UsaasService::snapshot).collect();
+            let next =
+                ClusterSnapshot::new(base.epoch + 1, snapshots, Arc::new(order), self.workers);
+            *self.current.write() = Arc::new(next);
+        }
+        report
+    }
+
+    /// Append trusted in-memory batches — the convenience path over
+    /// [`PartitionedService::ingest_append`].
+    pub fn append_batch(&self, sessions: Vec<SessionRecord>, posts: Vec<Post>) -> IngestReport {
+        let cfg = IngestConfig::with_workers(self.workers);
+        let mut sources: Vec<Box<dyn Source>> = Vec::new();
+        if !sessions.is_empty() {
+            let items: Vec<RawItem> = sessions
+                .into_iter()
+                .map(|s| RawItem::Session(Box::new(s)))
+                .collect();
+            sources.push(Box::new(ItemSource::new("append-sessions", items)));
+        }
+        if !posts.is_empty() {
+            let items: Vec<RawItem> = posts
+                .into_iter()
+                .map(|p| RawItem::Post(Box::new(p)))
+                .collect();
+            sources.push(Box::new(ItemSource::new("append-posts", items)));
+        }
+        self.ingest_append(sources, &cfg)
+    }
+
+    fn note_report(&self, report: &IngestReport) {
+        let mut totals = self.totals.lock();
+        totals.quarantined += report.quarantined.len();
+        totals.unfed += report.unfed;
+        totals.breaker_trips += report.breaker_trips;
+        totals.open_breakers = report.open_breakers();
+        totals
+            .dead_letters
+            .extend(report.quarantined.iter().cloned());
+    }
+
+    /// Aggregated cluster health: router totals folded with every
+    /// partition's live [`ServiceHealth`], so a degraded partition always
+    /// degrades the cluster's aggregate.
+    pub fn health(&self) -> ClusterHealth {
+        let epoch = self.epoch();
+        let partitions: Vec<ServiceHealth> = self.parts.iter().map(UsaasService::health).collect();
+        let totals = self.totals.lock();
+        let mut open_breakers = totals.open_breakers.clone();
+        let mut quarantined_total = totals.quarantined;
+        let mut unfed_total = totals.unfed;
+        let mut breaker_trips_total = totals.breaker_trips;
+        let mut recovery_warnings = totals.recovery_warnings.clone();
+        for (p, h) in partitions.iter().enumerate() {
+            open_breakers.extend(h.open_breakers.iter().map(|b| format!("part-{p}/{b}")));
+            quarantined_total += h.quarantined_total;
+            unfed_total += h.unfed_total;
+            breaker_trips_total += h.breaker_trips_total;
+            recovery_warnings.extend(h.recovery_warnings.iter().map(|w| format!("part-{p}: {w}")));
+        }
+        ClusterHealth {
+            epoch,
+            partitions,
+            open_breakers,
+            quarantined_total,
+            unfed_total,
+            breaker_trips_total,
+            recovery_warnings,
+        }
+    }
+
+    /// The cluster's dead-letter queue: router-quarantined items plus every
+    /// partition's, with partition sources prefixed `part-N/`.
+    pub fn dead_letters(&self) -> Vec<QuarantineEntry> {
+        let mut out = self.totals.lock().dead_letters.clone();
+        for (p, part) in self.parts.iter().enumerate() {
+            out.extend(part.dead_letters().into_iter().map(|mut q| {
+                q.source = format!("part-{p}/{}", q.source);
+                q
+            }));
+        }
+        out
+    }
+
+    /// Durably checkpoint every partition; returns the written snapshot
+    /// paths in partition order. Errors with
+    /// [`PersistError::NotPersistent`] on an in-memory cluster.
+    pub fn checkpoint(&self) -> Result<Vec<PathBuf>, PersistError> {
+        if self.persist.is_none() {
+            return Err(PersistError::NotPersistent);
+        }
+        let _appending = self.append_lock.lock();
+        self.parts.iter().map(UsaasService::checkpoint).collect()
+    }
+}
+
+/// Write the cluster metadata file (atomically, via a tmp-file rename):
+/// magic, format version, partition count.
+fn write_meta(dir: &Path, partitions: usize) -> Result<(), PersistError> {
+    let mut bytes = Vec::with_capacity(12);
+    bytes.extend_from_slice(&META_MAGIC.to_le_bytes());
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&(partitions as u32).to_le_bytes());
+    let tmp = dir.join(format!("{CLUSTER_META}.tmp"));
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, dir.join(CLUSTER_META))?;
+    Ok(())
+}
+
+/// Read back the partition count from the cluster metadata file.
+fn read_meta(dir: &Path) -> Result<usize, PersistError> {
+    let path = dir.join(CLUSTER_META);
+    let corrupt = |detail: &str| PersistError::Corrupt {
+        file: path.display().to_string(),
+        detail: detail.to_string(),
+    };
+    let bytes = std::fs::read(&path)?;
+    if bytes.len() != 12 {
+        return Err(corrupt("cluster metadata has the wrong length"));
+    }
+    let word = |i: usize| u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    if word(0) != META_MAGIC {
+        return Err(corrupt("cluster metadata magic mismatch"));
+    }
+    if word(1) != 1 {
+        return Err(corrupt("unsupported cluster metadata version"));
+    }
+    let partitions = word(2) as usize;
+    if partitions == 0 || partitions > 4096 {
+        return Err(corrupt("implausible partition count"));
+    }
+    Ok(partitions)
+}

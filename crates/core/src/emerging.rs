@@ -324,7 +324,7 @@ fn between(forum: &Forum, from: Date, to: Date) -> impl Iterator<Item = (usize, 
 /// Canonical detection order: flag date, then term. Pinning the tie order
 /// (the maps above iterate in hash order) keeps every producer —
 /// string-path mine, interned mine, carried view — byte-identical.
-fn sort_detections(out: &mut [EmergingTopic]) {
+pub(crate) fn sort_detections(out: &mut [EmergingTopic]) {
     out.sort_by(|a, b| {
         a.first_flagged
             .cmp(&b.first_flagged)

@@ -174,7 +174,25 @@ impl FulcrumAnalysis {
         end: Month,
         shot_of: impl Fn(usize, &social::post::Post) -> Option<DocShot>,
     ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
-        if forum.is_empty() {
+        let dates: Vec<Date> = forum.posts.iter().map(|p| p.date).collect();
+        self.analyze_dated_shots(&dates, start, end, |i| shot_of(i, &forum.posts[i]))
+    }
+
+    /// The [`FulcrumAnalysis::analyze_shots`] month loop driven by a bare
+    /// per-post date column — the loop never reads anything else of a
+    /// post, so a caller holding only dates and per-doc [`DocShot`]s (the
+    /// cluster router merging partition partials in global post order) can
+    /// replay it bit-identically without materialising a merged forum.
+    /// `shot_at` is invoked lazily, only for posts inside the analysed
+    /// month range — the same evaluation set as the forum-driven path.
+    pub(crate) fn analyze_dated_shots(
+        &self,
+        dates: &[Date],
+        start: Month,
+        end: Month,
+        shot_at: impl Fn(usize) -> Option<DocShot>,
+    ) -> Result<Vec<MonthlyPoint>, AnalyticsError> {
+        if dates.is_empty() {
             return Err(AnalyticsError::Empty);
         }
         let mut rng = StdRng::seed_from_u64(self.subsample_seed);
@@ -185,13 +203,12 @@ impl FulcrumAnalysis {
             let mut downs: Vec<f64> = Vec::new();
             let mut strong_pos = 0usize;
             let mut strong_neg = 0usize;
-            for (i, post) in forum
-                .posts
+            for (i, _date) in dates
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| p.date >= from && p.date <= to)
+                .filter(|(_, d)| **d >= from && **d <= to)
             {
-                let Some(shot) = shot_of(i, post) else {
+                let Some(shot) = shot_at(i) else {
                     continue;
                 };
                 if let Some(d) = shot.down {

@@ -14,6 +14,7 @@ pub mod annotate;
 pub mod bias;
 pub mod breaker;
 pub mod cache;
+pub mod cluster;
 pub mod correlate;
 pub mod digest;
 pub mod early;
@@ -37,6 +38,7 @@ pub use annotate::{AnnotatedPeak, PeakAnnotator};
 pub use bias::{extremity_bias, extremity_bias_signals, geo_corrected_polarity, ExtremityBias};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use cache::MemoCache;
+pub use cluster::{ClusterHealth, PartitionedService};
 pub use correlate::{
     compounding_grid, compounding_grid_frame, confounder_report, engagement_curve,
     engagement_curve_frame, mos_by_engagement, mos_by_engagement_frame, mos_correlations,

@@ -182,10 +182,11 @@ pub enum Answer {
 
 /// Memoization key of a [`Query`]: same variants, but `Eq + Hash` (the
 /// parameter types all hash; `FeatureSet` is folded to its variant tag).
-/// Private on purpose — callers keep the ergonomic `Query` surface and the
-/// cache keying stays an implementation detail.
+/// Crate-private on purpose — callers keep the ergonomic `Query` surface
+/// and the cache keying stays an implementation detail shared by the
+/// single-service and cluster answer caches.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum QueryKey {
+pub(crate) enum QueryKey {
     EngagementCurve {
         sweep: NetworkMetric,
         engagement: EngagementMetric,
@@ -216,7 +217,7 @@ enum QueryKey {
 }
 
 impl QueryKey {
-    fn of(query: &Query) -> QueryKey {
+    pub(crate) fn of(query: &Query) -> QueryKey {
         match *query {
             Query::EngagementCurve {
                 sweep,
@@ -782,19 +783,24 @@ impl Generation {
 
     /// Convert per-country strong-negative social volume into the planner's
     /// latitude-band demand signal (§6). Scores every post once over the
-    /// interned corpus (chunk-parallel), then bins by country band in post
-    /// order — band weights are integer counts, so the demand vector is
-    /// identical to the per-post string walk it replaced.
+    /// interned corpus (chunk-parallel), then tallies country bands through
+    /// the branchless [`kernels::masked_slot_counts`] scatter — band
+    /// weights are integer counts, so the demand vector is identical to
+    /// the per-post string walk it replaced.
     fn sentiment_demand(&self) -> Result<RegionalDemand, UsaasError> {
         let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
         let scores = analyzer.score_corpus(self.social_corpus(), self.workers);
+        let slots: Vec<u32> = self
+            .forum
+            .posts
+            .iter()
+            .map(|p| country_lat_band(p.country) as u32)
+            .collect();
+        let neg = kernels::RowMask::from_fn(slots.len(), |i| scores[i].is_strong_negative());
+        let counts = kernels::masked_slot_counts(&slots, 9, &neg);
         let mut weights = [0.0f64; 9];
-        for (post, s) in self.forum.posts.iter().zip(scores) {
-            if !s.is_strong_negative() {
-                continue;
-            }
-            let band = country_lat_band(post.country);
-            weights[band] += 1.0;
+        for (w, c) in weights.iter_mut().zip(counts) {
+            *w = c as f64;
         }
         let total: f64 = weights.iter().sum();
         if total == 0.0 {

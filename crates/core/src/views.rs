@@ -44,6 +44,7 @@ use crate::fulcrum::{self, FulcrumAnalysis, MonthlyPoint};
 use crate::outage::{DetectedOutage, OutageDetector};
 use crate::predict::{self, Evaluation, FeatureSet};
 use analytics::binning::{BinSpec, BinnedCurve, SumBinner};
+use analytics::kernels;
 use analytics::timeseries::DailySeries;
 use analytics::AnalyticsError;
 use conference::platform::Platform;
@@ -575,15 +576,24 @@ pub struct DeploymentView {
 }
 
 impl DeploymentView {
-    /// Cold rebuild over the full forum/corpus.
+    /// Cold rebuild over the full forum/corpus: one scoring pass, then the
+    /// branchless [`kernels::masked_slot_counts`] band tally — integer
+    /// counts, so identical to the per-post walk it replaced.
     pub(crate) fn rebuild(forum: &Forum, corpus: &TokenCorpus, workers: usize) -> DeploymentView {
         let analyzer = sentiment::analyzer::SentimentAnalyzer::default();
         let scores = analyzer.score_corpus(corpus, workers);
+        let slots: Vec<u32> = forum
+            .posts
+            .iter()
+            .map(|p| crate::service::country_lat_band(p.country) as u32)
+            .collect();
+        let neg = kernels::RowMask::from_fn(slots.len(), |i| scores[i].is_strong_negative());
         let mut weights = [0.0f64; 9];
-        for (post, s) in forum.posts.iter().zip(scores) {
-            if s.is_strong_negative() {
-                weights[crate::service::country_lat_band(post.country)] += 1.0;
-            }
+        for (w, c) in weights
+            .iter_mut()
+            .zip(kernels::masked_slot_counts(&slots, 9, &neg))
+        {
+            *w = c as f64;
         }
         DeploymentView {
             docs_seen: forum.len(),

@@ -32,6 +32,7 @@ BENCHES=(
     "persist_roundtrip BENCH_persist.json"
     "views_incremental BENCH_views.json"
     "kernels BENCH_kernels.json"
+    "service_scaleout BENCH_scaleout.json"
 )
 
 # Flatten a bench JSON array (one record per line, see compat/criterion)

@@ -22,6 +22,10 @@
 #   kernels           -> results/BENCH_kernels.json (branchy row loops vs
 #                        the branchless predicated kernels on a §3-shaped
 #                        masked column workload)
+#   service_scaleout  -> results/BENCH_scaleout.json (consistent-hash
+#                        partitioned serving: cached query_batch routing
+#                        overhead and uncached text-scan scatter-gather at
+#                        partitions 1/2/4/8)
 #
 # Usage: scripts/bench_json.sh [extra `cargo bench` args...]
 set -euo pipefail
@@ -50,3 +54,4 @@ run_bench ingest_resilience results/BENCH_ingest.json "$@"
 run_bench persist_roundtrip results/BENCH_persist.json "$@"
 run_bench views_incremental results/BENCH_views.json "$@"
 run_bench kernels results/BENCH_kernels.json "$@"
+run_bench service_scaleout results/BENCH_scaleout.json "$@"

@@ -1,0 +1,508 @@
+//! Cluster scatter-gather parity suite.
+//!
+//! [`usaas::PartitionedService`] promises answers **bit-identical** to a
+//! single [`usaas::UsaasService`] over the same data — at every partition
+//! count and worker count, across appends, and through per-partition crash
+//! recovery. These tests pin that contract four ways:
+//!
+//! 1. A static matrix: partitions 1/2/4/8 × workers 1/4/8 all answer the
+//!    full hot query set byte-for-byte like the single service.
+//! 2. A property sweep over random append/query schedules (sessions-only,
+//!    posts-only, mixed, empty, and fully-quarantined batches) asserting
+//!    the cluster tracks the single reference after every schedule.
+//! 3. A per-partition kill-point matrix: truncate one partition's journal
+//!    tail (a partition that crashed before persisting a cluster-committed
+//!    batch) and prove `open_or_recover` rolls it forward to answers
+//!    bit-identical to a never-crashed cluster — and that the repair is
+//!    reported, not swallowed.
+//! 4. Degraded-partition serving: a poisoned ingest leaves the cluster
+//!    answering while `ClusterHealth` aggregates the damage.
+
+use analytics::time::Date;
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
+use netsim::access::AccessType;
+use social::generator::{generate as gen_forum, ForumConfig};
+use social::post::{Forum, Post};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use usaas::{
+    journal_record_offsets, FeatureSet, IngestConfig, ItemSource, PartitionedService, Query,
+    RawItem, Source, UsaasService, JOURNAL_FILE,
+};
+
+const PARTITION_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn base_dataset() -> &'static CallDataset {
+    static D: OnceLock<CallDataset> = OnceLock::new();
+    D.get_or_init(|| generate(&DatasetConfig::small(300, 33)))
+}
+
+fn base_forum() -> &'static Forum {
+    static F: OnceLock<Forum> = OnceLock::new();
+    F.get_or_init(|| {
+        gen_forum(&ForumConfig {
+            authors: 120,
+            end: Date::from_ymd(2021, 6, 30).unwrap(),
+            ..ForumConfig::default()
+        })
+    })
+}
+
+fn extra_sessions_a() -> &'static Vec<SessionRecord> {
+    static S: OnceLock<Vec<SessionRecord>> = OnceLock::new();
+    S.get_or_init(|| generate(&DatasetConfig::small(40, 77)).sessions)
+}
+
+fn extra_sessions_b() -> &'static Vec<SessionRecord> {
+    static S: OnceLock<Vec<SessionRecord>> = OnceLock::new();
+    S.get_or_init(|| generate(&DatasetConfig::small(25, 5)).sessions)
+}
+
+fn extra_posts() -> &'static Vec<Post> {
+    static P: OnceLock<Vec<Post>> = OnceLock::new();
+    P.get_or_init(|| {
+        gen_forum(&ForumConfig {
+            seed: 9,
+            authors: 60,
+            end: Date::from_ymd(2021, 3, 31).unwrap(),
+            ..ForumConfig::default()
+        })
+        .posts
+    })
+}
+
+/// Every query family the router merges.
+fn hot_queries() -> Vec<Query> {
+    vec![
+        Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            bins: 5,
+        },
+        Query::EngagementCurve {
+            sweep: NetworkMetric::LossPct,
+            engagement: EngagementMetric::CamOn,
+            bins: 4,
+        },
+        Query::CompoundingGrid {
+            engagement: EngagementMetric::Presence,
+            bins: 4,
+        },
+        Query::PlatformSensitivity {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+        },
+        Query::MosCorrelation,
+        Query::PredictMos {
+            features: FeatureSet::Full,
+        },
+        Query::SentimentPeaks { k: 2 },
+        Query::DeploymentAdvice,
+        Query::OutageTimeline,
+        Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        },
+        Query::SpeedTrend,
+        Query::EmergingTopics,
+    ]
+}
+
+fn single_answers(svc: &UsaasService, queries: &[Query]) -> Vec<String> {
+    queries
+        .iter()
+        .map(|q| format!("{q:?} => {:?}", svc.query(q)))
+        .collect()
+}
+
+fn cluster_answers(cluster: &PartitionedService, queries: &[Query]) -> Vec<String> {
+    queries
+        .iter()
+        .map(|q| format!("{q:?} => {:?}", cluster.query(q)))
+        .collect()
+}
+
+/// Partitions 1/2/4/8 × workers 1/4/8 all answer the full hot query set
+/// byte-for-byte like the single service — Debug formatting renders every
+/// float exactly, so string equality is bit equality.
+#[test]
+fn cluster_matrix_matches_single_service() {
+    let queries = hot_queries();
+    let reference = UsaasService::build(base_dataset().clone(), base_forum().clone(), 4);
+    let expected = single_answers(&reference, &queries);
+    let expected_signals = reference.signal_counts();
+    for partitions in PARTITION_COUNTS {
+        for workers in WORKER_COUNTS {
+            let cluster = PartitionedService::build(
+                base_dataset().clone(),
+                base_forum().clone(),
+                partitions,
+                workers,
+            );
+            assert_eq!(cluster.partitions(), partitions);
+            assert_eq!(
+                cluster.signal_counts(),
+                expected_signals,
+                "partitions {partitions} workers {workers}: store counts diverged"
+            );
+            assert_eq!(
+                expected,
+                cluster_answers(&cluster, &queries),
+                "partitions {partitions} workers {workers}: merged answers diverged"
+            );
+        }
+    }
+}
+
+/// The merged-answer cache serves repeat queries, and `query_batch` pins
+/// one snapshot whose answers equal the sequential ones.
+#[test]
+fn cluster_caching_and_batch_are_consistent() {
+    let queries = hot_queries();
+    let cluster = PartitionedService::build(base_dataset().clone(), base_forum().clone(), 3, 4);
+    let first = cluster_answers(&cluster, &queries);
+    let misses = cluster.cache_misses();
+    let again = cluster_answers(&cluster, &queries);
+    assert_eq!(first, again, "cached answers diverged from first serve");
+    assert_eq!(
+        cluster.cache_misses(),
+        misses,
+        "repeat queries must hit the merged-answer cache"
+    );
+    assert!(cluster.cache_hits() >= queries.len());
+    let batch: Vec<String> = cluster
+        .query_batch(&queries)
+        .into_iter()
+        .zip(&queries)
+        .map(|(a, q)| format!("{q:?} => {a:?}"))
+        .collect();
+    assert_eq!(first, batch, "query_batch diverged from sequential queries");
+    // The uncached path recomputes the same merged answers.
+    for (q, served) in queries.iter().zip(&first) {
+        assert_eq!(
+            *served,
+            format!("{q:?} => {:?}", cluster.answer_fresh(q)),
+            "answer_fresh diverged from the cached merge"
+        );
+    }
+}
+
+/// Apply append op `tag` to both sides of a parity pair.
+fn apply_op_single(svc: &UsaasService, tag: u8) {
+    match tag {
+        0 => {
+            svc.append_batch(Vec::new(), Vec::new());
+        }
+        1 => {
+            svc.append_batch(extra_sessions_a().clone(), Vec::new());
+        }
+        2 => {
+            let posts = extra_posts();
+            svc.append_batch(Vec::new(), posts[..15.min(posts.len())].to_vec());
+        }
+        3 => {
+            let posts = extra_posts();
+            svc.append_batch(
+                extra_sessions_b().clone(),
+                posts[15..30.min(posts.len())].to_vec(),
+            );
+        }
+        4 => {
+            let items = vec![
+                RawItem::Poison("bad upstream frame"),
+                RawItem::Poison("double-freed buffer"),
+            ];
+            let sources: Vec<Box<dyn Source>> =
+                vec![Box::new(ItemSource::new("poison-only", items))];
+            svc.ingest_append(sources, &IngestConfig::with_workers(1));
+        }
+        _ => panic!("unknown op {tag}"),
+    }
+}
+
+fn apply_op_cluster(cluster: &PartitionedService, tag: u8) {
+    match tag {
+        0 => {
+            cluster.append_batch(Vec::new(), Vec::new());
+        }
+        1 => {
+            cluster.append_batch(extra_sessions_a().clone(), Vec::new());
+        }
+        2 => {
+            let posts = extra_posts();
+            cluster.append_batch(Vec::new(), posts[..15.min(posts.len())].to_vec());
+        }
+        3 => {
+            let posts = extra_posts();
+            cluster.append_batch(
+                extra_sessions_b().clone(),
+                posts[15..30.min(posts.len())].to_vec(),
+            );
+        }
+        4 => {
+            let items = vec![
+                RawItem::Poison("bad upstream frame"),
+                RawItem::Poison("double-freed buffer"),
+            ];
+            let sources: Vec<Box<dyn Source>> =
+                vec![Box::new(ItemSource::new("poison-only", items))];
+            cluster.ingest_append(sources, &IngestConfig::with_workers(1));
+        }
+        _ => panic!("unknown op {tag}"),
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random append/query schedules: after every schedule the cluster
+        /// answers every hot query bit-identically to a single service
+        /// that lived through the same appends, and the no-op/poison
+        /// batches leave both epochs in lockstep.
+        #[test]
+        fn cluster_tracks_single_service_across_appends(
+            schedule in prop::collection::vec(0u8..5, 0..4),
+            partitions in 2usize..5,
+        ) {
+            let queries = hot_queries();
+            let single =
+                UsaasService::build(base_dataset().clone(), base_forum().clone(), 4);
+            let cluster = PartitionedService::build(
+                base_dataset().clone(),
+                base_forum().clone(),
+                partitions,
+                4,
+            );
+            for &op in &schedule {
+                apply_op_single(&single, op);
+                apply_op_cluster(&cluster, op);
+                prop_assert_eq!(
+                    single.epoch(), cluster.epoch(),
+                    "schedule {:?} partitions {}: epochs diverged", schedule, partitions
+                );
+            }
+            prop_assert_eq!(
+                single_answers(&single, &queries),
+                cluster_answers(&cluster, &queries),
+                "schedule {:?} partitions {}: answers diverged", schedule, partitions
+            );
+        }
+    }
+}
+
+/// Fresh scratch directory under the system temp dir, emptied first.
+fn tmp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("usaas-cluster-{}-{test}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Copy a cluster persistence tree (root files plus `part-N/` dirs).
+fn copy_tree(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), to).unwrap();
+        }
+    }
+}
+
+/// Truncate `path`'s journal to its first `keep` records.
+fn truncate_journal(path: &Path, keep: usize) {
+    let offsets = journal_record_offsets(path).unwrap();
+    if keep < offsets.len() {
+        let bytes = fs::read(path).unwrap();
+        fs::write(path, &bytes[..offsets[keep] as usize]).unwrap();
+    }
+}
+
+/// The recovery fingerprint: epoch, store counts, durable health (minus
+/// recovery warnings, which legitimately differ), dead-letters, and the
+/// debug-formatted answer to every query.
+fn cluster_fingerprint(cluster: &PartitionedService) -> Vec<String> {
+    let health = cluster.health();
+    let mut out = vec![
+        format!("epoch={}", cluster.epoch()),
+        format!("signals={:?}", cluster.signal_counts()),
+        format!(
+            "health q={} u={} t={} open={:?}",
+            health.quarantined_total,
+            health.unfed_total,
+            health.breaker_trips_total,
+            health.open_breakers
+        ),
+        format!("dead_letters={:?}", cluster.dead_letters()),
+    ];
+    out.extend(cluster_answers(cluster, &recovery_queries()));
+    out
+}
+
+/// A lean query set covering every merge family the recovery must get
+/// bit-right (order-map replay, rated gathers, text scans, the join).
+fn recovery_queries() -> Vec<Query> {
+    vec![
+        Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            bins: 5,
+        },
+        Query::MosCorrelation,
+        Query::OutageTimeline,
+        Query::SentimentPeaks { k: 2 },
+        Query::SpeedTrend,
+        Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        },
+    ]
+}
+
+/// Run the durable workload in `dir`: build 3 partitions, append a
+/// sessions-only, a poisoned, and a mixed batch.
+fn run_cluster_workload(dir: &Path) -> PartitionedService {
+    let cluster = PartitionedService::build_persistent(
+        base_dataset().clone(),
+        base_forum().clone(),
+        3,
+        2,
+        dir,
+    )
+    .unwrap();
+    apply_op_cluster(&cluster, 1);
+    {
+        // A poisoned batch alongside accepted posts, so dead-letters ride
+        // the cluster log; one worker keeps quarantine order deterministic.
+        let posts = extra_posts();
+        let mut items: Vec<RawItem> = vec![RawItem::Poison("bad upstream frame")];
+        items.extend(
+            posts[..15.min(posts.len())]
+                .iter()
+                .map(|p| RawItem::Post(Box::new(p.clone()))),
+        );
+        let sources: Vec<Box<dyn Source>> = vec![Box::new(ItemSource::new("flaky-feed", items))];
+        cluster.ingest_append(sources, &IngestConfig::with_workers(1));
+    }
+    apply_op_cluster(&cluster, 3);
+    cluster
+}
+
+/// Per-partition kill points: for every partition, crash it one committed
+/// batch early (truncate its journal tail) and prove `open_or_recover`
+/// rolls it forward to a fingerprint bit-identical to the never-crashed
+/// cluster — with the repair reported in `recovery_warnings` and the
+/// degraded cluster still serving every query.
+#[test]
+fn partition_kill_points_recover_bit_identically() {
+    let dir = tmp_dir("killpoints");
+    let live = run_cluster_workload(&dir);
+    let live_print = cluster_fingerprint(&live);
+    let partitions = live.partitions();
+    drop(live);
+    for victim in 0..partitions {
+        for workers in [1, 4] {
+            let case = tmp_dir(&format!("killpoints-p{victim}-w{workers}"));
+            copy_tree(&dir, &case);
+            let part_journal = case.join(format!("part-{victim}")).join(JOURNAL_FILE);
+            // `offsets[0] == 0` plus one end offset per record.
+            let records = journal_record_offsets(&part_journal).unwrap().len() - 1;
+            if records == 0 {
+                continue; // this partition never saw a non-empty batch
+            }
+            truncate_journal(&part_journal, records - 1);
+            let recovered = PartitionedService::open_or_recover(&case, workers).unwrap();
+            let health = recovered.health();
+            assert!(
+                health
+                    .recovery_warnings
+                    .iter()
+                    .any(|w| w.contains(&format!("part-{victim}"))),
+                "victim {victim}: the roll-forward must be reported, got {:?}",
+                health.recovery_warnings
+            );
+            assert_eq!(
+                live_print,
+                cluster_fingerprint(&recovered),
+                "victim {victim} workers {workers}: recovered cluster diverged"
+            );
+        }
+    }
+}
+
+/// A clean reopen (no crash) is also bit-identical and reports no
+/// partition roll-forwards.
+#[test]
+fn clean_reopen_is_bit_identical() {
+    let dir = tmp_dir("clean-reopen");
+    let live = run_cluster_workload(&dir);
+    let live_print = cluster_fingerprint(&live);
+    drop(live);
+    let reopened = PartitionedService::open_or_recover(&dir, 2).unwrap();
+    assert_eq!(live_print, cluster_fingerprint(&reopened));
+    let health = reopened.health();
+    assert!(
+        !health
+            .recovery_warnings
+            .iter()
+            .any(|w| w.contains("replaying")),
+        "clean reopen must not roll anything forward: {:?}",
+        health.recovery_warnings
+    );
+}
+
+/// Degraded-partition serving: a poisoned ingest leaves the cluster
+/// answering every query while `ClusterHealth` aggregates the quarantine
+/// instead of silently dropping it.
+#[test]
+fn degraded_cluster_keeps_serving_and_reports_health() {
+    let cluster = PartitionedService::build(base_dataset().clone(), base_forum().clone(), 2, 2);
+    let before = cluster_answers(&cluster, &recovery_queries());
+    assert!(!cluster.health().is_degraded(), "clean build must be clean");
+    apply_op_cluster(&cluster, 4); // poison-only: nothing committed
+    let health = cluster.health();
+    assert_eq!(health.partitions.len(), 2);
+    assert!(health.quarantined_total >= 2, "quarantine must aggregate");
+    assert!(health.is_degraded());
+    assert_eq!(cluster.dead_letters().len(), health.quarantined_total);
+    assert_eq!(
+        before,
+        cluster_answers(&cluster, &recovery_queries()),
+        "a fully-quarantined batch must not disturb answers"
+    );
+    let (answer, annotated) = cluster.query_with_health(&Query::MosCorrelation);
+    assert!(answer.is_ok(), "degraded cluster must keep serving");
+    assert!(annotated.is_degraded());
+}
+
+/// `build_persistent` refuses a directory that already holds a cluster.
+#[test]
+fn build_persistent_refuses_existing_cluster() {
+    let dir = tmp_dir("refuse");
+    let first = PartitionedService::build_persistent(
+        base_dataset().clone(),
+        base_forum().clone(),
+        2,
+        2,
+        &dir,
+    );
+    assert!(first.is_ok());
+    drop(first);
+    let second = PartitionedService::build_persistent(
+        base_dataset().clone(),
+        base_forum().clone(),
+        2,
+        2,
+        &dir,
+    );
+    assert!(
+        second.is_err(),
+        "a second build over a persisted cluster must be refused"
+    );
+}

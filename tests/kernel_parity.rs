@@ -10,13 +10,18 @@
 //! to the degenerate single-session and no-match edges.
 
 use analytics::time::Date;
+use analytics::timeseries::DailySeries;
 use conference::dataset::{generate, DatasetConfig};
 use conference::records::{CallDataset, EngagementMetric, NetworkMetric};
 use netsim::access::AccessType;
+use sentiment::analyzer::SentimentAnalyzer;
+use sentiment::corpus::TokenCorpus;
 use social::generator::{generate as gen_forum, ForumConfig};
 use social::post::Forum;
+use starlink::constellation::{DeploymentPlanner, RegionalDemand};
 use std::sync::OnceLock;
-use usaas::{Answer, FeatureSet, Query, UsaasService};
+use usaas::service::country_lat_band;
+use usaas::{Answer, FeatureSet, PeakAnnotator, Query, UsaasService};
 
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 
@@ -181,5 +186,144 @@ fn single_session_edges_are_consistent() {
     assert!(
         prints.windows(2).all(|w| w[0] == w[1]),
         "single-session report must not depend on the worker count"
+    );
+}
+
+/// The sentiment-peak daily series is tallied through the branchless
+/// `masked_slot_counts` kernel (`series_from_scores`): the day offset is
+/// the slot and the strong-sentiment predicates compile to row masks.
+/// Pin it against the retained array-of-structs walk — score each post's
+/// text, then `DailySeries::add` in post order with the reference
+/// `else if` (a strong-positive post never also counts negative) — and
+/// against the string-path `sentiment_series`, at every worker count.
+#[test]
+fn sentiment_series_kernel_matches_aos_walk() {
+    let forum = forum();
+    let (start, end) = forum.date_range().expect("fixture forum is non-empty");
+    let analyzer = SentimentAnalyzer::default();
+    let mut pos = DailySeries::zeros(start, end).unwrap();
+    let mut neg = DailySeries::zeros(start, end).unwrap();
+    for post in &forum.posts {
+        let s = analyzer.score(&post.text());
+        if s.is_strong_positive() {
+            pos.add(post.date, 1.0);
+        } else if s.is_strong_negative() {
+            neg.add(post.date, 1.0);
+        }
+    }
+    let aos = format!("pos={pos:?} neg={neg:?}");
+    let annotator = PeakAnnotator::default();
+    let string_path = annotator.sentiment_series(forum).unwrap();
+    assert_eq!(
+        aos,
+        format!(
+            "pos={:?} neg={:?}",
+            string_path.strong_positive, string_path.strong_negative
+        ),
+        "string-path series diverged from the AoS walk"
+    );
+    for workers in WORKER_COUNTS {
+        let texts: Vec<String> = forum.posts.iter().map(|p| p.text()).collect();
+        let corpus = TokenCorpus::from_texts(&texts, workers);
+        let series = annotator
+            .sentiment_series_interned(forum, &corpus, workers)
+            .unwrap();
+        assert_eq!(
+            aos,
+            format!(
+                "pos={:?} neg={:?}",
+                series.strong_positive, series.strong_negative
+            ),
+            "workers {workers}: kernel series diverged from the AoS walk"
+        );
+    }
+}
+
+/// Deployment advice converts per-country strong-negative volume into the
+/// planner's latitude-band demand through the `masked_slot_counts`
+/// scatter (`sentiment_demand`), and the incremental `DeploymentView`
+/// carries the same band counts across epochs. Pin both the view-served
+/// and the cold fresh answer against the array-of-structs walk: score
+/// each post's text, bump the country's band on strong-negative,
+/// normalise, rank.
+#[test]
+fn deployment_demand_kernel_matches_aos_walk() {
+    let forum = forum();
+    let analyzer = SentimentAnalyzer::default();
+    let mut weights = [0.0f64; 9];
+    for post in &forum.posts {
+        if analyzer.score(&post.text()).is_strong_negative() {
+            weights[country_lat_band(post.country)] += 1.0;
+        }
+    }
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "fixture must carry strong-negative posts");
+    for w in weights.iter_mut() {
+        *w /= total;
+    }
+    let demand = RegionalDemand {
+        band_weights: weights,
+    };
+    let expected = format!(
+        "{:?}",
+        Answer::Deployment(DeploymentPlanner::gen1().rank(&demand))
+    );
+    for workers in WORKER_COUNTS {
+        let svc = UsaasService::build(dataset().clone(), forum.clone(), workers);
+        let served = svc.query(&Query::DeploymentAdvice).unwrap();
+        assert_eq!(
+            expected,
+            format!("{served:?}"),
+            "workers {workers}: view-served advice diverged from the AoS walk"
+        );
+        let fresh = svc
+            .snapshot()
+            .answer_fresh(&Query::DeploymentAdvice)
+            .unwrap();
+        assert_eq!(
+            expected,
+            format!("{fresh:?}"),
+            "workers {workers}: fresh advice diverged from the AoS walk"
+        );
+    }
+}
+
+/// The `DeploymentView` band counts survive appends: after a posts append
+/// the O(delta) view update must answer identically to the AoS walk over
+/// the *combined* forum.
+#[test]
+fn deployment_view_absorbs_appends_like_the_aos_walk() {
+    let extra = gen_forum(&ForumConfig {
+        seed: 9,
+        authors: 40,
+        end: Date::from_ymd(2021, 3, 31).unwrap(),
+        ..ForumConfig::default()
+    })
+    .posts;
+    let svc = UsaasService::build(dataset().clone(), forum().clone(), 4);
+    svc.append_batch(Vec::new(), extra.clone());
+    let analyzer = SentimentAnalyzer::default();
+    let mut weights = [0.0f64; 9];
+    for post in forum().posts.iter().chain(&extra) {
+        if analyzer.score(&post.text()).is_strong_negative() {
+            weights[country_lat_band(post.country)] += 1.0;
+        }
+    }
+    let total: f64 = weights.iter().sum();
+    for w in weights.iter_mut() {
+        *w /= total;
+    }
+    let demand = RegionalDemand {
+        band_weights: weights,
+    };
+    let expected = format!(
+        "{:?}",
+        Answer::Deployment(DeploymentPlanner::gen1().rank(&demand))
+    );
+    let served = svc.query(&Query::DeploymentAdvice).unwrap();
+    assert_eq!(
+        expected,
+        format!("{served:?}"),
+        "post-append view advice diverged from the combined AoS walk"
     );
 }
