@@ -1,0 +1,121 @@
+//! Daemon steady-state throughput: what the tick loop costs.
+//!
+//! The continuous-serving daemon funnels its submit queue and feed
+//! windows through one `ingest_append` per tick. This bench drives a
+//! full feed through the tick loop on an in-memory service (no fsync
+//! noise) and a virtual clock (sleeps are atomic adds), in three
+//! regimes:
+//!
+//! * `healthy` — a clean trickle feed consumed in tick windows: the
+//!   daemon machinery's overhead over raw ingestion.
+//! * `fault1pct` — the same feed behind ~1% drops plus ~1% single-shot
+//!   transient failures: the steady-state price of realistic flakiness.
+//! * `submit_burst` — the same items arriving as queued submit batches
+//!   instead of a registered feed: the admission/queue path.
+//!
+//! Run with `BENCH_JSON=results/BENCH_daemon.json` (or via
+//! `scripts/bench_json.sh`) to export the medians.
+
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::CallDataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use social::post::Forum;
+use std::hint::black_box;
+use std::sync::Arc;
+use usaas::{
+    Clock, Daemon, DaemonConfig, FaultInjector, FaultPlan, IngestConfig, ItemSource, RawItem,
+    UsaasService, VirtualClock,
+};
+
+/// Feed size per iteration.
+const N: usize = 2_000;
+/// Items pulled per feed per tick.
+const WINDOW: usize = 256;
+/// Normalisation workers.
+const WORKERS: usize = 4;
+
+fn feed_items() -> Vec<RawItem> {
+    generate(&DatasetConfig::small(N, 17))
+        .sessions
+        .into_iter()
+        .take(N)
+        .map(|s| RawItem::Session(Box::new(s)))
+        .collect()
+}
+
+fn base() -> CallDataset {
+    generate(&DatasetConfig::small(200, 3))
+}
+
+fn daemon(base: &CallDataset, clock: Arc<VirtualClock>) -> Daemon {
+    let svc = Arc::new(UsaasService::build(
+        base.clone(),
+        Forum { posts: Vec::new() },
+        WORKERS,
+    ));
+    let mut cfg = DaemonConfig::with_workers(WORKERS);
+    cfg.ingest = IngestConfig::with_workers(WORKERS).with_clock(clock);
+    cfg.tick_ms = 1_000;
+    cfg.max_items_per_tick = WINDOW;
+    cfg.checkpoint_every_ms = 0; // in-memory: no checkpoint cadence
+    Daemon::new(svc, cfg)
+}
+
+/// Tick the daemon until every feed retires; returns total items fed so
+/// the optimiser cannot elide the run.
+fn run_feed(base: &CallDataset, items: &[RawItem], plan: Option<&FaultPlan>) -> usize {
+    let clock = Arc::new(VirtualClock::new());
+    let daemon = daemon(base, Arc::clone(&clock));
+    let src = ItemSource::new("bench-feed", items.to_vec());
+    match plan {
+        Some(plan) => daemon.register_feed(Box::new(FaultInjector::new(
+            src,
+            plan.clone(),
+            clock.clone() as Arc<dyn Clock>,
+        ))),
+        None => daemon.register_feed(Box::new(src)),
+    }
+    let mut fed = 0;
+    while !daemon.health().feeds.iter().all(|f| f.done) {
+        fed += daemon.tick().fed;
+        clock.sleep_ms(1_000);
+    }
+    fed
+}
+
+/// Submit the feed as queued batches, then tick until the queue drains.
+fn run_submit(base: &CallDataset, items: &[RawItem]) -> usize {
+    let clock = Arc::new(VirtualClock::new());
+    let daemon = daemon(base, Arc::clone(&clock));
+    let mut fed = 0;
+    for batch in items.chunks(WINDOW) {
+        daemon.submit(batch.to_vec());
+        fed += daemon.tick().fed;
+        clock.sleep_ms(1_000);
+    }
+    fed
+}
+
+fn bench_daemon_steady_state(c: &mut Criterion) {
+    let base = base();
+    let items = feed_items();
+    let fault1pct = FaultPlan::seeded(23)
+        .with_drops(0.01)
+        .with_transient(0.01, 1);
+
+    let mut group = c.benchmark_group("daemon_steady_state");
+    group.sample_size(10);
+    group.bench_function("healthy", |b| {
+        b.iter(|| black_box(run_feed(&base, &items, None)))
+    });
+    group.bench_function("fault1pct", |b| {
+        b.iter(|| black_box(run_feed(&base, &items, Some(&fault1pct))))
+    });
+    group.bench_function("submit_burst", |b| {
+        b.iter(|| black_box(run_submit(&base, &items)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_daemon_steady_state);
+criterion_main!(benches);

@@ -22,6 +22,16 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
 /// Circuit-breaker tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct BreakerConfig {

@@ -26,11 +26,14 @@ use crate::emerging::{sort_detections, EmergingTopic, EmergingTopicMiner};
 use crate::fulcrum::{DocShot, FulcrumAnalysis};
 use crate::ingest::{self, IngestConfig, IngestReport, QuarantineEntry};
 use crate::outage::{DetectedOutage, OutageDetector};
-use crate::persist::{read_and_repair_journal, Journal, JournalRecord, PersistError, JOURNAL_FILE};
+use crate::persist::{
+    read_and_repair_journal, CompactionReport, Journal, JournalRecord, JournalStats, PersistError,
+    JOURNAL_FILE,
+};
 use crate::predict;
 use crate::service::{
-    country_lat_band, Answer, CrossNetworkReport, Generation, Query, QueryKey, ServiceHealth,
-    UsaasError, UsaasService,
+    country_lat_band, Answer, BoundedLog, CrossNetworkReport, Generation, Query, QueryKey,
+    ServiceHealth, UsaasError, UsaasService, DEAD_LETTER_CAP, RECOVERY_WARNING_CAP,
 };
 use crate::source::{ItemSource, RawItem, Source};
 use crate::store::SignalStore;
@@ -863,14 +866,30 @@ impl ClusterSnapshot {
 /// anything cluster recovery had to repair. Partition-side totals live in
 /// the partitions and are aggregated on demand by
 /// [`PartitionedService::health`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RouterTotals {
     quarantined: usize,
     unfed: usize,
     breaker_trips: usize,
     open_breakers: Vec<String>,
-    dead_letters: Vec<QuarantineEntry>,
-    recovery_warnings: Vec<String>,
+    /// Bounded ring of the most recent router-side dead letters; the
+    /// `quarantined` total stays exact while old entries are evicted.
+    dead_letters: BoundedLog<QuarantineEntry>,
+    /// Bounded ring of the most recent router-side recovery warnings.
+    recovery_warnings: BoundedLog<String>,
+}
+
+impl Default for RouterTotals {
+    fn default() -> RouterTotals {
+        RouterTotals {
+            quarantined: 0,
+            unfed: 0,
+            breaker_trips: 0,
+            open_breakers: Vec::new(),
+            dead_letters: BoundedLog::new(DEAD_LETTER_CAP),
+            recovery_warnings: BoundedLog::new(RECOVERY_WARNING_CAP),
+        }
+    }
 }
 
 /// Aggregated cluster health: the per-partition [`ServiceHealth`] reports
@@ -894,6 +913,15 @@ pub struct ClusterHealth {
     /// Recovery repairs across the cluster log and every partition,
     /// prefixed `part-N:` for partition-side warnings.
     pub recovery_warnings: Vec<String>,
+    /// Dead-letter entries evicted from bounded rings cluster-wide (still
+    /// counted in `quarantined_total`).
+    pub dead_letters_dropped: usize,
+    /// Recovery warnings evicted from bounded rings cluster-wide.
+    pub recovery_warnings_dropped: usize,
+    /// Merged journal observability — the root cluster log plus every
+    /// partition's journal ([`JournalStats::merge`] semantics); `None` for
+    /// an in-memory cluster.
+    pub journal: Option<JournalStats>,
 }
 
 impl ClusterHealth {
@@ -917,8 +945,16 @@ impl ClusterHealth {
 /// The cluster's durable state: the root journal ("cluster log") every
 /// accepted batch is recorded in before any partition commits it.
 struct ClusterPersist {
+    dir: PathBuf,
     journal: Journal,
     last_seq: u64,
+    /// Records currently live in the cluster log (the log is never
+    /// compacted — its base record and batch history re-derive the order
+    /// maps on recovery — so this only grows with appends).
+    live_records: u64,
+    /// Seq of the oldest record in the cluster log (1 once the base
+    /// record exists).
+    oldest_live_seq: u64,
 }
 
 /// A consistent-hash sharded [`UsaasService`] cluster behind a merging
@@ -997,8 +1033,11 @@ impl PartitionedService {
             )?);
         }
         let persist = Some(Mutex::new(ClusterPersist {
+            dir: dir.to_path_buf(),
             journal,
             last_seq: 1,
+            live_records: 1,
+            oldest_live_seq: 1,
         }));
         Ok(Self::assemble(parts, ring, order, workers, persist))
     }
@@ -1032,6 +1071,8 @@ impl PartitionedService {
         // what each partition's epoch should have reached.
         let mut expected = vec![0u64; partitions];
         let mut pending: Vec<Vec<PartitionBatch>> = vec![Vec::new(); partitions];
+        let live_records = records.len() as u64;
+        let oldest_live_seq = records.first().map(|r| r.seq).unwrap_or(0);
         for rec in records {
             let is_base = rec.seq == 1;
             let batches = ring.split(rec.sessions, rec.posts, &mut order);
@@ -1071,7 +1112,7 @@ impl PartitionedService {
                 }
             }
         }
-        totals.recovery_warnings = warnings;
+        totals.recovery_warnings.replace(warnings);
         let journal = Journal::open_append(&dir.join(JOURNAL_FILE))?;
         let snapshots: Vec<Arc<Generation>> = parts.iter().map(UsaasService::snapshot).collect();
         let snapshot = ClusterSnapshot::new(cluster_epoch, snapshots, Arc::new(order), workers);
@@ -1082,7 +1123,13 @@ impl PartitionedService {
             current: RwLock::new(Arc::new(snapshot)),
             append_lock: Mutex::new(()),
             totals: Mutex::new(totals),
-            persist: Some(Mutex::new(ClusterPersist { journal, last_seq })),
+            persist: Some(Mutex::new(ClusterPersist {
+                dir: dir.to_path_buf(),
+                journal,
+                last_seq,
+                live_records,
+                oldest_live_seq,
+            })),
         })
     }
 
@@ -1247,7 +1294,13 @@ impl PartitionedService {
                 open_breakers: report.open_breakers(),
             };
             match state.journal.append(&record) {
-                Ok(()) => state.last_seq = record.seq,
+                Ok(()) => {
+                    state.last_seq = record.seq;
+                    state.live_records += 1;
+                    if state.oldest_live_seq == 0 {
+                        state.oldest_live_seq = record.seq;
+                    }
+                }
                 Err(e) => {
                     will_commit = false;
                     self.totals.lock().recovery_warnings.push(format!(
@@ -1353,18 +1406,32 @@ impl PartitionedService {
     pub fn health(&self) -> ClusterHealth {
         let epoch = self.epoch();
         let partitions: Vec<ServiceHealth> = self.parts.iter().map(UsaasService::health).collect();
+        // Root journal stats take the cluster persist lock; like the
+        // single-service path, grab them before the totals lock
+        // (`ingest_append` pushes into totals while holding persist).
+        let mut journal = self.root_journal_stats();
+        for part in partitions.iter().filter_map(|h| h.journal.as_ref()) {
+            match &mut journal {
+                Some(j) => j.merge(part),
+                None => journal = Some(*part),
+            }
+        }
         let totals = self.totals.lock();
         let mut open_breakers = totals.open_breakers.clone();
         let mut quarantined_total = totals.quarantined;
         let mut unfed_total = totals.unfed;
         let mut breaker_trips_total = totals.breaker_trips;
-        let mut recovery_warnings = totals.recovery_warnings.clone();
+        let mut recovery_warnings = totals.recovery_warnings.to_vec();
+        let mut dead_letters_dropped = totals.dead_letters.dropped();
+        let mut recovery_warnings_dropped = totals.recovery_warnings.dropped();
         for (p, h) in partitions.iter().enumerate() {
             open_breakers.extend(h.open_breakers.iter().map(|b| format!("part-{p}/{b}")));
             quarantined_total += h.quarantined_total;
             unfed_total += h.unfed_total;
             breaker_trips_total += h.breaker_trips_total;
             recovery_warnings.extend(h.recovery_warnings.iter().map(|w| format!("part-{p}: {w}")));
+            dead_letters_dropped += h.dead_letters_dropped;
+            recovery_warnings_dropped += h.recovery_warnings_dropped;
         }
         ClusterHealth {
             epoch,
@@ -1374,13 +1441,34 @@ impl PartitionedService {
             unfed_total,
             breaker_trips_total,
             recovery_warnings,
+            dead_letters_dropped,
+            recovery_warnings_dropped,
+            journal,
         }
+    }
+
+    /// Journal stats of the root cluster log alone (no compaction counters
+    /// — the log is never compacted; see [`ClusterPersist`]).
+    fn root_journal_stats(&self) -> Option<JournalStats> {
+        let persist = self.persist.as_ref()?;
+        let state = persist.lock();
+        let bytes = std::fs::metadata(state.dir.join(JOURNAL_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        Some(JournalStats {
+            bytes,
+            records: state.live_records,
+            oldest_live_seq: state.oldest_live_seq,
+            last_seq: state.last_seq,
+            compactions: 0,
+            records_compacted: 0,
+        })
     }
 
     /// The cluster's dead-letter queue: router-quarantined items plus every
     /// partition's, with partition sources prefixed `part-N/`.
     pub fn dead_letters(&self) -> Vec<QuarantineEntry> {
-        let mut out = self.totals.lock().dead_letters.clone();
+        let mut out = self.totals.lock().dead_letters.to_vec();
         for (p, part) in self.parts.iter().enumerate() {
             out.extend(part.dead_letters().into_iter().map(|mut q| {
                 q.source = format!("part-{p}/{}", q.source);
@@ -1399,6 +1487,23 @@ impl PartitionedService {
         }
         let _appending = self.append_lock.lock();
         self.parts.iter().map(UsaasService::checkpoint).collect()
+    }
+
+    /// Compact every partition's write-ahead journal (see
+    /// [`UsaasService::compact_journal`]); returns the per-partition
+    /// reports in partition order. The root cluster log is **not**
+    /// compacted: its base record and batch history are what recovery
+    /// replays to re-derive the order maps and partition roll-forward
+    /// targets, so every record stays live.
+    pub fn compact_journals(&self) -> Result<Vec<CompactionReport>, PersistError> {
+        if self.persist.is_none() {
+            return Err(PersistError::NotPersistent);
+        }
+        let _appending = self.append_lock.lock();
+        self.parts
+            .iter()
+            .map(UsaasService::compact_journal)
+            .collect()
     }
 }
 

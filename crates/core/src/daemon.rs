@@ -1,0 +1,925 @@
+//! The continuous-serving daemon: an always-on loop around
+//! [`UsaasService`] (§5's "service" read literally).
+//!
+//! The paper's USaaS is not a batch job — it continuously folds user
+//! signals into operator-facing answers. This module supplies the missing
+//! runtime: registered [`Source`] feeds are pulled through the resilient
+//! ingest engine a bounded window per tick, callers push ad-hoc batches
+//! through a **bounded submit queue** with explicit admission control
+//! (block / shed / reject), a periodic checkpointer reuses
+//! [`UsaasService::checkpoint`]'s full/diff auto-choice and then runs
+//! [`UsaasService::compact_journal`] so disk stays bounded, and
+//! [`Daemon::shutdown`] drains the queue to a final checkpoint and
+//! reports a structured [`DrainReport`].
+//!
+//! Every time decision runs on the [`Clock`] carried by the ingest
+//! config — [`crate::fault::WallClock`] in production, a
+//! [`crate::fault::VirtualClock`] in tests — so the whole lifecycle
+//! (ticks, checkpoint cadence, block-admission timeouts) is
+//! deterministically testable under the existing `FaultPlan` injectors.
+//! The daemon adds no parallelism of its own: each tick funnels all work
+//! through one `ingest_append` call, so the workers-1/4/8 bit-identity
+//! invariant holds exactly as it does for manual appends
+//! (`tests/daemon_lifecycle.rs` pins daemon runs against equivalent
+//! manual schedules).
+
+use crate::ingest::IngestConfig;
+use crate::persist::{CompactionReport, JournalStats};
+use crate::service::{BoundedLog, ServiceHealth, UsaasService};
+use crate::source::{ItemSource, RawItem, Source, SourceError};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Most recent daemon-side errors (failed checkpoints/compactions) kept
+/// in [`DaemonHealth::errors`]; older ones are evicted with a count.
+const DAEMON_ERROR_CAP: usize = 64;
+
+/// What [`Daemon::submit`] does when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Wait (on the daemon's clock) for space, up to
+    /// [`DaemonConfig::block_timeout_ms`]; reject after that.
+    Block,
+    /// Drop the batch, count it, and remember it in the daemon's shed
+    /// ring — load-shedding that never stalls the caller.
+    Shed,
+    /// Refuse immediately; the caller keeps the batch and decides.
+    Reject,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue had no room (and the policy does not wait or shed).
+    QueueFull,
+    /// The daemon is draining; admission is closed for good.
+    Draining,
+    /// A [`AdmissionPolicy::Block`] submission waited out
+    /// [`DaemonConfig::block_timeout_ms`] without space appearing.
+    BlockTimeout,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RejectReason::QueueFull => "queue full",
+            RejectReason::Draining => "daemon draining",
+            RejectReason::BlockTimeout => "block timeout",
+        })
+    }
+}
+
+/// Outcome of one [`Daemon::submit`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted; the queue now holds `depth` pending items.
+    Queued {
+        /// Queued items after this batch was enqueued.
+        depth: usize,
+    },
+    /// The shed policy dropped the whole batch (`items` of them).
+    Shed {
+        /// Items dropped.
+        items: usize,
+    },
+    /// The batch was refused; the caller still owns nothing — submitted
+    /// items are consumed either way, so a rejecting daemon returns the
+    /// reason and drops the batch.
+    Rejected {
+        /// Why admission refused the batch.
+        reason: RejectReason,
+    },
+}
+
+/// Daemon tuning. All durations are on the ingest config's [`Clock`].
+#[derive(Clone)]
+pub struct DaemonConfig {
+    /// Sleep between ticks in [`Daemon::run`]/[`Daemon::run_ticks`].
+    pub tick_ms: u64,
+    /// Per-feed pull window: at most this many items are consumed from
+    /// each registered feed per tick (transient errors retry within the
+    /// window without counting against it).
+    pub max_items_per_tick: usize,
+    /// Submit-queue capacity in items. A single batch larger than this
+    /// can never be admitted and is refused (or shed) immediately.
+    pub queue_capacity: usize,
+    /// What [`Daemon::submit`] does when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// How long a [`AdmissionPolicy::Block`] submission waits before
+    /// giving up.
+    pub block_timeout_ms: u64,
+    /// Polling step for blocked submissions (clamped to ≥ 1 ms).
+    pub block_poll_ms: u64,
+    /// Checkpoint when this much clock time has passed since the last
+    /// one; `0` disables periodic checkpointing.
+    pub checkpoint_every_ms: u64,
+    /// Run journal compaction after each periodic checkpoint.
+    pub compact_journal: bool,
+    /// Engine config for every tick's ingest run: worker count,
+    /// retry/breaker policy, and — crucially — the clock the whole daemon
+    /// runs on.
+    pub ingest: IngestConfig,
+}
+
+impl std::fmt::Debug for DaemonConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonConfig")
+            .field("tick_ms", &self.tick_ms)
+            .field("max_items_per_tick", &self.max_items_per_tick)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("admission", &self.admission)
+            .field("block_timeout_ms", &self.block_timeout_ms)
+            .field("block_poll_ms", &self.block_poll_ms)
+            .field("checkpoint_every_ms", &self.checkpoint_every_ms)
+            .field("compact_journal", &self.compact_journal)
+            .field("ingest", &self.ingest)
+            .finish()
+    }
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            tick_ms: 1_000,
+            max_items_per_tick: 1_024,
+            queue_capacity: 8_192,
+            admission: AdmissionPolicy::Block,
+            block_timeout_ms: 5_000,
+            block_poll_ms: 10,
+            checkpoint_every_ms: 60_000,
+            compact_journal: true,
+            ingest: IngestConfig::default(),
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// A config with `workers` ingest threads and defaults everywhere
+    /// else.
+    pub fn with_workers(workers: usize) -> DaemonConfig {
+        DaemonConfig {
+            ingest: IngestConfig::with_workers(workers),
+            ..DaemonConfig::default()
+        }
+    }
+}
+
+/// A per-tick window over a long-lived source: passes through at most
+/// `budget` consumed items (accepted pulls and permanent errors), then
+/// reports end-of-stream without touching the inner source further.
+/// Transient errors pass through *without* counting against the budget so
+/// the engine's retry/backoff machinery sees them exactly as it would on
+/// the bare source.
+///
+/// Public so tests can mirror a daemon's tick schedule manually: pulling
+/// the same source through the same sequence of `TakeSource` windows is,
+/// by construction, the same item stream the daemon fed the engine.
+pub struct TakeSource<'a> {
+    inner: &'a mut dyn Source,
+    left: usize,
+    /// `inner.dropped()` accumulates across ticks; the engine reads it
+    /// once per run, so this window reports only the delta.
+    base_dropped: usize,
+}
+
+impl<'a> TakeSource<'a> {
+    /// Wrap `inner`, allowing at most `budget` consumed items.
+    pub fn new(inner: &'a mut dyn Source, budget: usize) -> TakeSource<'a> {
+        let base_dropped = inner.dropped();
+        TakeSource {
+            inner,
+            left: budget,
+            base_dropped,
+        }
+    }
+}
+
+impl Source for TakeSource<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn next_item(&mut self) -> Option<Result<RawItem, SourceError>> {
+        if self.left == 0 {
+            return None;
+        }
+        let item = self.inner.next_item()?;
+        match &item {
+            Ok(_) | Err(SourceError::Permanent { .. }) => self.left -= 1,
+            Err(_) => {}
+        }
+        Some(item)
+    }
+
+    fn take_pending(&mut self) -> Option<RawItem> {
+        self.inner.take_pending()
+    }
+
+    fn dropped(&self) -> usize {
+        self.inner.dropped() - self.base_dropped
+    }
+
+    fn remaining_hint(&self) -> usize {
+        self.inner.remaining_hint().min(self.left)
+    }
+}
+
+/// One registered feed's slot in the daemon.
+struct FeedSlot {
+    source: Box<dyn Source>,
+    done: bool,
+    fed_total: usize,
+    quarantined_total: usize,
+}
+
+/// The bounded submit queue: whole batches in arrival order, plus the
+/// running item count the capacity check is against.
+#[derive(Default)]
+struct SubmitQueue {
+    batches: VecDeque<Vec<RawItem>>,
+    items: usize,
+}
+
+/// Counters and rings the watchdog folds into [`DaemonHealth`].
+struct DaemonStats {
+    ticks: u64,
+    submitted_items: usize,
+    shed_items: usize,
+    shed_batches: usize,
+    rejected_batches: usize,
+    checkpoints: u64,
+    /// Clock time of the last periodic checkpoint; `None` until the
+    /// first (cadence then counts from `started_ms`).
+    last_checkpoint_ms: Option<u64>,
+    started_ms: u64,
+    last_compaction: Option<CompactionReport>,
+    /// Failed checkpoints/compactions — the daemon degrades rather than
+    /// dying, and the failures surface here.
+    errors: BoundedLog<String>,
+}
+
+/// Status of one registered feed, surfaced in [`DaemonHealth`].
+#[derive(Debug, Clone)]
+pub struct FeedStatus {
+    /// The source's name.
+    pub name: String,
+    /// True once the feed disconnected or went a whole tick without any
+    /// activity — the daemon stops polling it.
+    pub done: bool,
+    /// Items this feed contributed across all ticks.
+    pub fed_total: usize,
+    /// Items from this feed that were quarantined across all ticks.
+    pub quarantined_total: usize,
+}
+
+/// What one [`Daemon::tick`] did.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// 1-based tick number.
+    pub tick: u64,
+    /// Submitted batches drained from the queue this tick.
+    pub queued_batches: usize,
+    /// Items those batches held.
+    pub queued_items: usize,
+    /// Live feeds polled this tick.
+    pub feeds_polled: usize,
+    /// Items the ingest run accepted (queue + feeds).
+    pub fed: usize,
+    /// Items the ingest run quarantined.
+    pub quarantined: usize,
+    /// True when the run committed a new generation (epoch advanced).
+    pub committed: bool,
+    /// Path of the periodic checkpoint, when one was due and succeeded.
+    pub checkpointed: Option<PathBuf>,
+    /// Compaction report, when compaction ran after the checkpoint.
+    pub compaction: Option<CompactionReport>,
+    /// Checkpoint/compaction failures this tick (also accumulated into
+    /// [`DaemonHealth::errors`]).
+    pub errors: Vec<String>,
+}
+
+/// The daemon's own health, embedding the wrapped service's
+/// [`ServiceHealth`] — the watchdog view an operator polls.
+#[derive(Debug, Clone)]
+pub struct DaemonHealth {
+    /// Ticks executed so far.
+    pub ticks: u64,
+    /// Items currently waiting in the submit queue.
+    pub queue_depth: usize,
+    /// Submit-queue capacity in items.
+    pub queue_capacity: usize,
+    /// Items admitted through [`Daemon::submit`] across the run.
+    pub submitted_items_total: usize,
+    /// Items dropped by the shed policy across the run.
+    pub shed_items_total: usize,
+    /// Batches refused outright across the run.
+    pub rejected_batches_total: usize,
+    /// True once [`Daemon::shutdown`] closed admission.
+    pub draining: bool,
+    /// Periodic checkpoints written.
+    pub checkpoints: u64,
+    /// The most recent compaction pass, if any ran.
+    pub last_compaction: Option<CompactionReport>,
+    /// Per-feed status in registration order.
+    pub feeds: Vec<FeedStatus>,
+    /// Recent daemon-side errors (failed checkpoints/compactions).
+    pub errors: Vec<String>,
+    /// Errors evicted from the bounded ring.
+    pub errors_dropped: usize,
+    /// The wrapped service's health (breakers, quarantine, recovery
+    /// warnings, journal stats).
+    pub service: ServiceHealth,
+}
+
+/// Structured result of a graceful shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Batches drained from the submit queue after admission closed.
+    pub drained_batches: usize,
+    /// Items those batches held.
+    pub drained_items: usize,
+    /// Items the final ingest run accepted.
+    pub fed: usize,
+    /// Items the final ingest run quarantined.
+    pub quarantined: usize,
+    /// Service epoch after the drain.
+    pub final_epoch: u64,
+    /// Journal seq after the drain (0 for an in-memory service).
+    pub final_seq: u64,
+    /// Path of the final checkpoint (None for an in-memory service or if
+    /// the write failed — see `errors`).
+    pub checkpoint: Option<PathBuf>,
+    /// Final compaction pass, when enabled and it ran.
+    pub compaction: Option<CompactionReport>,
+    /// Journal stats after the final checkpoint.
+    pub journal: Option<JournalStats>,
+    /// Ticks the daemon executed before draining.
+    pub ticks: u64,
+    /// Items shed over the daemon's lifetime.
+    pub shed_items_total: usize,
+    /// Failures during the drain (final checkpoint/compaction).
+    pub errors: Vec<String>,
+}
+
+/// The always-on serving loop around an `Arc<UsaasService>`. All methods
+/// take `&self`; share the daemon behind an `Arc` to run
+/// [`Daemon::run`] on a background thread while other threads submit
+/// batches and poll health.
+pub struct Daemon {
+    svc: Arc<UsaasService>,
+    cfg: DaemonConfig,
+    feeds: Mutex<Vec<FeedSlot>>,
+    queue: Mutex<SubmitQueue>,
+    stats: Mutex<DaemonStats>,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+}
+
+impl Daemon {
+    /// Wrap `svc` with the given config. No threads start here — drive
+    /// ticks with [`Daemon::run`], [`Daemon::run_ticks`], or
+    /// [`Daemon::tick`] directly.
+    pub fn new(svc: Arc<UsaasService>, cfg: DaemonConfig) -> Daemon {
+        let started_ms = cfg.ingest.clock.now_ms();
+        Daemon {
+            svc,
+            cfg,
+            feeds: Mutex::new(Vec::new()),
+            queue: Mutex::new(SubmitQueue::default()),
+            stats: Mutex::new(DaemonStats {
+                ticks: 0,
+                submitted_items: 0,
+                shed_items: 0,
+                shed_batches: 0,
+                rejected_batches: 0,
+                checkpoints: 0,
+                last_checkpoint_ms: None,
+                started_ms,
+                last_compaction: None,
+                errors: BoundedLog::new(DAEMON_ERROR_CAP),
+            }),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Arc<UsaasService> {
+        &self.svc
+    }
+
+    /// Register a long-lived feed. Each tick pulls at most
+    /// [`DaemonConfig::max_items_per_tick`] items from it through the
+    /// resilient engine (retry/backoff/breaker semantics apply per tick);
+    /// the feed is retired once it disconnects or goes a whole tick
+    /// without activity.
+    pub fn register_feed(&self, source: Box<dyn Source>) {
+        self.feeds.lock().push(FeedSlot {
+            source,
+            done: false,
+            fed_total: 0,
+            quarantined_total: 0,
+        });
+    }
+
+    /// Try to put `items` on the queue; `None` when capacity is exceeded.
+    fn try_enqueue(&self, items: &mut Option<Vec<RawItem>>) -> Option<usize> {
+        let batch = items.take().expect("batch present until enqueued");
+        let mut queue = self.queue.lock();
+        if queue.items + batch.len() > self.cfg.queue_capacity {
+            *items = Some(batch);
+            return None;
+        }
+        queue.items += batch.len();
+        queue.batches.push_back(batch);
+        Some(queue.items)
+    }
+
+    /// Submit a batch through admission control. Admitted batches are
+    /// ingested (in submission order) by the next [`Daemon::tick`].
+    pub fn submit(&self, items: Vec<RawItem>) -> SubmitOutcome {
+        let n = items.len();
+        if self.draining.load(Ordering::SeqCst) {
+            self.stats.lock().rejected_batches += 1;
+            return SubmitOutcome::Rejected {
+                reason: RejectReason::Draining,
+            };
+        }
+        if n == 0 {
+            return SubmitOutcome::Queued {
+                depth: self.queue.lock().items,
+            };
+        }
+        // A batch that exceeds total capacity can never fit; blocking on
+        // it would never return.
+        let oversized = n > self.cfg.queue_capacity;
+        let mut pending = Some(items);
+        if !oversized {
+            if let Some(depth) = self.try_enqueue(&mut pending) {
+                self.stats.lock().submitted_items += n;
+                return SubmitOutcome::Queued { depth };
+            }
+        }
+        match self.cfg.admission {
+            AdmissionPolicy::Shed => {
+                let mut stats = self.stats.lock();
+                stats.shed_items += n;
+                stats.shed_batches += 1;
+                SubmitOutcome::Shed { items: n }
+            }
+            AdmissionPolicy::Reject => {
+                self.stats.lock().rejected_batches += 1;
+                SubmitOutcome::Rejected {
+                    reason: RejectReason::QueueFull,
+                }
+            }
+            AdmissionPolicy::Block => {
+                if oversized {
+                    self.stats.lock().rejected_batches += 1;
+                    return SubmitOutcome::Rejected {
+                        reason: RejectReason::QueueFull,
+                    };
+                }
+                let clock = &self.cfg.ingest.clock;
+                let step = self.cfg.block_poll_ms.max(1);
+                let mut waited = 0u64;
+                loop {
+                    if waited >= self.cfg.block_timeout_ms {
+                        self.stats.lock().rejected_batches += 1;
+                        return SubmitOutcome::Rejected {
+                            reason: RejectReason::BlockTimeout,
+                        };
+                    }
+                    clock.sleep_ms(step);
+                    waited += step;
+                    if self.draining.load(Ordering::SeqCst) {
+                        self.stats.lock().rejected_batches += 1;
+                        return SubmitOutcome::Rejected {
+                            reason: RejectReason::Draining,
+                        };
+                    }
+                    if let Some(depth) = self.try_enqueue(&mut pending) {
+                        self.stats.lock().submitted_items += n;
+                        return SubmitOutcome::Queued { depth };
+                    }
+                }
+            }
+        }
+    }
+
+    /// One daemon tick: drain the submit queue and poll every live feed
+    /// through **one** `ingest_append` run (one journal record, one
+    /// commit), then checkpoint + compact if the cadence says so.
+    /// Infallible by design — persistence failures degrade into
+    /// [`TickReport::errors`] / [`DaemonHealth::errors`] while serving
+    /// continues on the last good generation.
+    pub fn tick(&self) -> TickReport {
+        let tick = {
+            let mut stats = self.stats.lock();
+            stats.ticks += 1;
+            stats.ticks
+        };
+        let mut report = TickReport {
+            tick,
+            ..TickReport::default()
+        };
+
+        let batches: Vec<Vec<RawItem>> = {
+            let mut queue = self.queue.lock();
+            queue.items = 0;
+            queue.batches.drain(..).collect()
+        };
+        report.queued_batches = batches.len();
+        report.queued_items = batches.iter().map(Vec::len).sum();
+
+        let epoch_before = self.svc.epoch();
+        {
+            let mut feeds = self.feeds.lock();
+            let mut sources: Vec<Box<dyn Source + '_>> = Vec::new();
+            for batch in batches {
+                sources.push(Box::new(ItemSource::new("daemon-submit", batch)));
+            }
+            let queue_sources = sources.len();
+            let mut polled: Vec<usize> = Vec::new();
+            for (i, slot) in feeds.iter_mut().enumerate() {
+                if slot.done {
+                    continue;
+                }
+                polled.push(i);
+                sources.push(Box::new(TakeSource::new(
+                    slot.source.as_mut(),
+                    self.cfg.max_items_per_tick,
+                )));
+            }
+            report.feeds_polled = polled.len();
+            if !sources.is_empty() {
+                let ingest = self.svc.ingest_append(sources, &self.cfg.ingest);
+                report.fed = ingest.fed;
+                report.quarantined = ingest.quarantined.len();
+                for (k, &i) in polled.iter().enumerate() {
+                    let health = &ingest.sources[queue_sources + k];
+                    let slot = &mut feeds[i];
+                    slot.fed_total += health.fed;
+                    slot.quarantined_total += health.quarantined;
+                    let active = health.fed
+                        + health.quarantined
+                        + health.retries
+                        + health.dropped
+                        + health.skipped
+                        > 0;
+                    if health.disconnected || !active {
+                        slot.done = true;
+                    }
+                }
+            }
+        }
+        report.committed = self.svc.epoch() != epoch_before;
+
+        self.maybe_checkpoint(&mut report);
+        if !report.errors.is_empty() {
+            let mut stats = self.stats.lock();
+            for e in &report.errors {
+                stats.errors.push(e.clone());
+            }
+        }
+        report
+    }
+
+    /// Periodic checkpoint + compaction, when due on the clock.
+    fn maybe_checkpoint(&self, report: &mut TickReport) {
+        if self.cfg.checkpoint_every_ms == 0 || !self.svc.is_persistent() {
+            return;
+        }
+        let now = self.cfg.ingest.clock.now_ms();
+        let last = {
+            let stats = self.stats.lock();
+            stats.last_checkpoint_ms.unwrap_or(stats.started_ms)
+        };
+        if now.saturating_sub(last) < self.cfg.checkpoint_every_ms {
+            return;
+        }
+        match self.svc.checkpoint() {
+            Ok(path) => {
+                let mut stats = self.stats.lock();
+                stats.checkpoints += 1;
+                stats.last_checkpoint_ms = Some(now);
+                drop(stats);
+                report.checkpointed = Some(path);
+            }
+            Err(e) => {
+                report
+                    .errors
+                    .push(format!("periodic checkpoint failed: {e}"));
+                return;
+            }
+        }
+        if self.cfg.compact_journal {
+            match self.svc.compact_journal() {
+                Ok(compaction) => {
+                    if compaction.dropped_records > 0 {
+                        self.stats.lock().last_compaction = Some(compaction);
+                    }
+                    report.compaction = Some(compaction);
+                }
+                Err(e) => report
+                    .errors
+                    .push(format!("journal compaction failed: {e}")),
+            }
+        }
+    }
+
+    /// Run `n` ticks, sleeping [`DaemonConfig::tick_ms`] on the daemon's
+    /// clock after each — the deterministic test harness's entry point (a
+    /// `VirtualClock` makes the sleeps instant but still advances the
+    /// checkpoint cadence). Stops early if [`Daemon::stop`] was called.
+    pub fn run_ticks(&self, n: u64) -> Vec<TickReport> {
+        let mut reports = Vec::new();
+        for _ in 0..n {
+            if self.stopped.load(Ordering::SeqCst) {
+                break;
+            }
+            reports.push(self.tick());
+            self.cfg.ingest.clock.sleep_ms(self.cfg.tick_ms);
+        }
+        reports
+    }
+
+    /// Run until [`Daemon::stop`] (or [`Daemon::shutdown`]) — the
+    /// production loop for a `WallClock` daemon on a background thread.
+    pub fn run(&self) {
+        while !self.stopped.load(Ordering::SeqCst) {
+            self.tick();
+            if self.stopped.load(Ordering::SeqCst) {
+                break;
+            }
+            self.cfg.ingest.clock.sleep_ms(self.cfg.tick_ms);
+        }
+    }
+
+    /// Spawn [`Daemon::run`] on a background thread.
+    pub fn spawn(self: &Arc<Daemon>) -> std::thread::JoinHandle<()> {
+        let daemon = Arc::clone(self);
+        std::thread::spawn(move || daemon.run())
+    }
+
+    /// Ask the run loop to exit after its current tick (does not drain;
+    /// use [`Daemon::shutdown`] for the graceful path).
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: close admission (subsequent [`Daemon::submit`]
+    /// calls are rejected with [`RejectReason::Draining`]), stop the run
+    /// loop, ingest everything still queued in one final run, write a
+    /// final checkpoint (+ compaction when enabled), and report what
+    /// happened. Registered feeds are left wherever they are — a drain
+    /// flushes accepted work, it does not chase open-ended streams.
+    pub fn shutdown(&self) -> DrainReport {
+        self.draining.store(true, Ordering::SeqCst);
+        self.stopped.store(true, Ordering::SeqCst);
+        let mut report = DrainReport::default();
+
+        let batches: Vec<Vec<RawItem>> = {
+            let mut queue = self.queue.lock();
+            queue.items = 0;
+            queue.batches.drain(..).collect()
+        };
+        report.drained_batches = batches.len();
+        report.drained_items = batches.iter().map(Vec::len).sum();
+        if !batches.is_empty() {
+            let sources: Vec<Box<dyn Source + '_>> = batches
+                .into_iter()
+                .map(|batch| {
+                    Box::new(ItemSource::new("daemon-drain", batch)) as Box<dyn Source + '_>
+                })
+                .collect();
+            let ingest = self.svc.ingest_append(sources, &self.cfg.ingest);
+            report.fed = ingest.fed;
+            report.quarantined = ingest.quarantined.len();
+        }
+
+        if self.svc.is_persistent() {
+            match self.svc.checkpoint() {
+                Ok(path) => {
+                    self.stats.lock().checkpoints += 1;
+                    report.checkpoint = Some(path);
+                }
+                Err(e) => report.errors.push(format!("final checkpoint failed: {e}")),
+            }
+            if self.cfg.compact_journal {
+                match self.svc.compact_journal() {
+                    Ok(compaction) => report.compaction = Some(compaction),
+                    Err(e) => report.errors.push(format!("final compaction failed: {e}")),
+                }
+            }
+        }
+
+        let journal = self.svc.journal_stats();
+        report.final_seq = journal.map(|j| j.last_seq).unwrap_or(0);
+        report.journal = journal;
+        report.final_epoch = self.svc.epoch();
+        let mut stats = self.stats.lock();
+        report.ticks = stats.ticks;
+        report.shed_items_total = stats.shed_items;
+        for e in &report.errors {
+            stats.errors.push(e.clone());
+        }
+        report
+    }
+
+    /// The watchdog view: daemon queue/admission/feed state folded with
+    /// the wrapped service's [`ServiceHealth`] (which carries breaker,
+    /// quarantine, recovery-warning, and journal state).
+    pub fn health(&self) -> DaemonHealth {
+        let service = self.svc.health();
+        let queue_depth = self.queue.lock().items;
+        let feeds = self
+            .feeds
+            .lock()
+            .iter()
+            .map(|slot| FeedStatus {
+                name: slot.source.name().to_string(),
+                done: slot.done,
+                fed_total: slot.fed_total,
+                quarantined_total: slot.quarantined_total,
+            })
+            .collect();
+        let stats = self.stats.lock();
+        DaemonHealth {
+            ticks: stats.ticks,
+            queue_depth,
+            queue_capacity: self.cfg.queue_capacity,
+            submitted_items_total: stats.submitted_items,
+            shed_items_total: stats.shed_items,
+            rejected_batches_total: stats.rejected_batches,
+            draining: self.draining.load(Ordering::SeqCst),
+            checkpoints: stats.checkpoints,
+            last_compaction: stats.last_compaction,
+            feeds,
+            errors: stats.errors.to_vec(),
+            errors_dropped: stats.errors.dropped(),
+            service,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Clock, VirtualClock};
+    use conference::dataset::{generate, DatasetConfig};
+    use social::post::Forum;
+
+    fn small_service(workers: usize) -> Arc<UsaasService> {
+        let dataset = generate(&DatasetConfig::small(40, 7));
+        Arc::new(UsaasService::build(
+            dataset,
+            Forum { posts: Vec::new() },
+            workers,
+        ))
+    }
+
+    fn session_items(n: usize) -> Vec<RawItem> {
+        generate(&DatasetConfig::small(n.max(4), 11))
+            .sessions
+            .into_iter()
+            .take(n)
+            .map(|s| RawItem::Session(Box::new(s)))
+            .collect()
+    }
+
+    fn virtual_config(workers: usize, clock: Arc<VirtualClock>) -> DaemonConfig {
+        let mut cfg = DaemonConfig::with_workers(workers);
+        cfg.ingest = cfg.ingest.with_clock(clock);
+        cfg.checkpoint_every_ms = 0;
+        cfg
+    }
+
+    #[test]
+    fn reject_policy_refuses_when_full() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut cfg = virtual_config(2, clock);
+        cfg.queue_capacity = 10;
+        cfg.admission = AdmissionPolicy::Reject;
+        let daemon = Daemon::new(small_service(2), cfg);
+        assert!(matches!(
+            daemon.submit(session_items(8)),
+            SubmitOutcome::Queued { depth: 8 }
+        ));
+        assert_eq!(
+            daemon.submit(session_items(4)),
+            SubmitOutcome::Rejected {
+                reason: RejectReason::QueueFull
+            }
+        );
+        let health = daemon.health();
+        assert_eq!(health.queue_depth, 8);
+        assert_eq!(health.rejected_batches_total, 1);
+        // The next tick drains the queue and commits.
+        let report = daemon.tick();
+        assert_eq!(report.queued_items, 8);
+        assert!(report.committed);
+        assert_eq!(daemon.health().queue_depth, 0);
+    }
+
+    #[test]
+    fn shed_policy_drops_and_counts() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut cfg = virtual_config(2, clock);
+        cfg.queue_capacity = 6;
+        cfg.admission = AdmissionPolicy::Shed;
+        let daemon = Daemon::new(small_service(2), cfg);
+        assert!(matches!(
+            daemon.submit(session_items(6)),
+            SubmitOutcome::Queued { .. }
+        ));
+        assert_eq!(
+            daemon.submit(session_items(5)),
+            SubmitOutcome::Shed { items: 5 }
+        );
+        let health = daemon.health();
+        assert_eq!(health.shed_items_total, 5);
+        assert_eq!(health.queue_depth, 6, "the queued batch is untouched");
+    }
+
+    #[test]
+    fn block_policy_times_out_deterministically_on_the_virtual_clock() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut cfg = virtual_config(2, Arc::clone(&clock));
+        cfg.queue_capacity = 4;
+        cfg.admission = AdmissionPolicy::Block;
+        cfg.block_timeout_ms = 100;
+        cfg.block_poll_ms = 10;
+        let daemon = Daemon::new(small_service(2), cfg);
+        assert!(matches!(
+            daemon.submit(session_items(4)),
+            SubmitOutcome::Queued { .. }
+        ));
+        let before = clock.now_ms();
+        assert_eq!(
+            daemon.submit(session_items(4)),
+            SubmitOutcome::Rejected {
+                reason: RejectReason::BlockTimeout
+            }
+        );
+        assert_eq!(
+            clock.now_ms() - before,
+            100,
+            "blocked exactly the configured timeout on the virtual clock"
+        );
+    }
+
+    #[test]
+    fn draining_daemon_rejects_submissions() {
+        let clock = Arc::new(VirtualClock::new());
+        let daemon = Daemon::new(small_service(2), virtual_config(2, clock));
+        assert!(matches!(
+            daemon.submit(session_items(4)),
+            SubmitOutcome::Queued { .. }
+        ));
+        let drain = daemon.shutdown();
+        assert_eq!(drain.drained_items, 4);
+        assert_eq!(drain.fed, 4);
+        assert_eq!(
+            daemon.submit(session_items(1)),
+            SubmitOutcome::Rejected {
+                reason: RejectReason::Draining
+            }
+        );
+        assert!(daemon.health().draining);
+    }
+
+    #[test]
+    fn take_source_windows_a_long_stream() {
+        let mut inner = ItemSource::new("feed", session_items(10));
+        for expected in [4usize, 4, 2, 0] {
+            let mut window = TakeSource::new(&mut inner, 4);
+            let mut got = 0;
+            while let Some(item) = window.next_item() {
+                assert!(item.is_ok());
+                got += 1;
+            }
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_not_blocked() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut cfg = virtual_config(2, Arc::clone(&clock));
+        cfg.queue_capacity = 4;
+        cfg.admission = AdmissionPolicy::Block;
+        let daemon = Daemon::new(small_service(2), cfg);
+        let before = clock.now_ms();
+        assert_eq!(
+            daemon.submit(session_items(5)),
+            SubmitOutcome::Rejected {
+                reason: RejectReason::QueueFull
+            }
+        );
+        assert_eq!(clock.now_ms(), before, "no blocking on an impossible fit");
+    }
+}

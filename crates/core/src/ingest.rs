@@ -118,6 +118,14 @@ impl IngestConfig {
             ..IngestConfig::default()
         }
     }
+
+    /// The same config driven by a different clock — how a daemon shares
+    /// its tick clock with the engine's retry/backoff/breaker timing
+    /// (`WallClock` in production, a `VirtualClock` in tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> IngestConfig {
+        self.clock = clock;
+        self
+    }
 }
 
 /// Why an item was dead-lettered.

@@ -16,6 +16,7 @@ pub mod breaker;
 pub mod cache;
 pub mod cluster;
 pub mod correlate;
+pub mod daemon;
 pub mod digest;
 pub mod early;
 pub mod emerging;
@@ -44,6 +45,10 @@ pub use correlate::{
     engagement_curve_frame, mos_by_engagement, mos_by_engagement_frame, mos_correlations,
     mos_correlations_frame, platform_curves, platform_curves_frame, ConfounderReport, Grid2d,
 };
+pub use daemon::{
+    AdmissionPolicy, Daemon, DaemonConfig, DaemonHealth, DrainReport, FeedStatus, RejectReason,
+    SubmitOutcome, TakeSource, TickReport,
+};
 pub use digest::{Digest, DigestBuilder, RegimeChange, TestedGap};
 pub use early::{EarlyQualityMonitor, EarlyScoreWeights, HorizonSkill};
 pub use emerging::{EmergingTopic, EmergingTopicMiner};
@@ -55,13 +60,15 @@ pub use ingest::{
     QuarantineReason, SourceHealth,
 };
 pub use outage::{DetectedOutage, DetectionScore, OutageDetector};
-pub use persist::{journal_record_offsets, PersistError, JOURNAL_FILE};
+pub use persist::{
+    journal_record_offsets, CompactionReport, JournalStats, PersistError, JOURNAL_FILE,
+};
 pub use predict::{
     train_and_evaluate, train_and_evaluate_frame, Evaluation, FeatureSet, MosPredictor,
 };
 pub use service::{
     Answer, CrossNetworkReport, Generation, Query, ServiceHealth, SessionChunks, UsaasError,
-    UsaasService,
+    UsaasService, DEAD_LETTER_CAP, RECOVERY_WARNING_CAP,
 };
 pub use signals::{NetworkHint, Payload, Signal, SignalKind};
 pub use source::{ItemSource, PostSource, RawItem, SessionSource, Source, SourceError};

@@ -65,6 +65,12 @@ const SNAPSHOT_SUFFIX: &str = ".snap";
 const SNAPSHOT_TMP: &str = "snapshot.tmp";
 /// Journal file name inside a persist directory.
 pub const JOURNAL_FILE: &str = "journal.log";
+
+/// Scratch name compaction rewrites the journal under before the atomic
+/// rename onto [`JOURNAL_FILE`]. Recovery never reads this name, so a
+/// crash mid-compaction leaves at worst a stray tmp next to an intact
+/// journal.
+const JOURNAL_TMP: &str = "journal.tmp";
 /// How many snapshots to keep; older ones are pruned after a checkpoint.
 const SNAPSHOTS_KEPT: usize = 2;
 
@@ -1505,6 +1511,144 @@ pub fn journal_record_offsets(path: &Path) -> Result<Vec<u64>, PersistError> {
     }
 }
 
+/// Live-journal observability: how much disk the write-ahead log holds
+/// and which records are still replayable. Surfaced through
+/// `ServiceHealth`/`ClusterHealth` so compaction is testable from the
+/// outside ("did `oldest_live_seq` advance? are `bytes` bounded?").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Bytes the journal file currently occupies on disk.
+    pub bytes: u64,
+    /// Records currently live in the file (replayed on recovery).
+    pub records: u64,
+    /// Sequence of the oldest record still in the file (0 when empty).
+    pub oldest_live_seq: u64,
+    /// Sequence of the most recently appended record (0 before the first).
+    pub last_seq: u64,
+    /// Compaction passes that actually dropped records.
+    pub compactions: u64,
+    /// Total records dropped across all compaction passes.
+    pub records_compacted: u64,
+}
+
+impl JournalStats {
+    /// Fold another journal's stats into this one (cluster aggregation):
+    /// byte/record/compaction counters add, `oldest_live_seq` takes the
+    /// minimum non-zero seq, `last_seq` the maximum.
+    pub fn merge(&mut self, other: &JournalStats) {
+        self.bytes += other.bytes;
+        self.records += other.records;
+        self.compactions += other.compactions;
+        self.records_compacted += other.records_compacted;
+        self.last_seq = self.last_seq.max(other.last_seq);
+        if other.oldest_live_seq != 0
+            && (self.oldest_live_seq == 0 || other.oldest_live_seq < self.oldest_live_seq)
+        {
+            self.oldest_live_seq = other.oldest_live_seq;
+        }
+    }
+}
+
+/// Outcome of one journal compaction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The safety bound: records with `seq <= safe_seq` were eligible to
+    /// drop because every surviving recovery candidate already covers them.
+    pub safe_seq: u64,
+    /// Records kept (all with `seq > safe_seq`).
+    pub kept_records: u64,
+    /// Records dropped by this pass.
+    pub dropped_records: u64,
+    /// Sequence of the oldest surviving record (0 when none survive).
+    pub oldest_live_seq: u64,
+    /// Journal bytes before the pass.
+    pub bytes_before: u64,
+    /// Journal bytes after the pass.
+    pub bytes_after: u64,
+}
+
+/// Compact the journal in `dir`: drop every record with `seq <=
+/// keep_after`, keeping the survivors **byte-verbatim** (raw frames are
+/// copied, never re-encoded, so record checksums and kill-point cut
+/// offsets stay exactly as the original appends wrote them).
+///
+/// Crash safety mirrors snapshot writes: survivors are written to
+/// [`JOURNAL_TMP`], fsynced, renamed over [`JOURNAL_FILE`], and the
+/// directory is fsynced. A crash before the rename leaves the old journal
+/// intact (plus a stray tmp recovery ignores); a crash after leaves the
+/// fully-formed compacted journal. There is no in-between state.
+///
+/// The caller must hold the append lock: the rename replaces the inode
+/// under any open append handle, so the handle must be reopened before
+/// the next append.
+pub(crate) fn compact_journal_file(
+    dir: &Path,
+    keep_after: u64,
+) -> Result<CompactionReport, PersistError> {
+    let path = dir.join(JOURNAL_FILE);
+    let mut report = CompactionReport {
+        safe_seq: keep_after,
+        ..CompactionReport::default()
+    };
+    if !path.exists() {
+        return Ok(report);
+    }
+    let bytes = fs::read(&path)?;
+    report.bytes_before = bytes.len() as u64;
+    // Frame-level scan: validate magic/len/crc and read each record's seq
+    // (first payload field) without decoding bodies.
+    let mut frames: Vec<(u64, std::ops::Range<usize>)> = Vec::new();
+    let mut pos: usize = 0;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining < RECORD_HEADER as usize {
+            break;
+        }
+        let magic = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if magic != RECORD_MAGIC {
+            break;
+        }
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4 bytes"));
+        let body_start = pos + RECORD_HEADER as usize;
+        let Some(body_end) = (len as usize)
+            .checked_add(body_start)
+            .filter(|end| *end <= bytes.len())
+        else {
+            break;
+        };
+        if len < 8 || bin::crc32(&bytes[body_start..body_end]) != crc {
+            break;
+        }
+        let seq = u64::from_le_bytes(bytes[body_start..body_start + 8].try_into().expect("seq"));
+        frames.push((seq, pos..body_end));
+        pos = body_end;
+    }
+    let total = frames.len() as u64;
+    report.kept_records = frames.iter().filter(|(seq, _)| *seq > keep_after).count() as u64;
+    report.dropped_records = total - report.kept_records;
+    report.oldest_live_seq = frames
+        .iter()
+        .find(|(seq, _)| *seq > keep_after)
+        .map(|(seq, _)| *seq)
+        .unwrap_or(0);
+    if report.dropped_records == 0 {
+        // Nothing to drop: leave the file untouched (a torn tail, if any,
+        // stays for the usual recovery-time repair).
+        report.bytes_after = report.bytes_before;
+        return Ok(report);
+    }
+    let mut out = Vec::new();
+    for (seq, range) in &frames {
+        if *seq > keep_after {
+            out.extend_from_slice(&bytes[range.clone()]);
+        }
+    }
+    report.bytes_after = out.len() as u64;
+    write_atomic(dir, JOURNAL_TMP, &path, &out)?;
+    Ok(report)
+}
+
 /// `fsync` a directory so a completed rename is durable (no-op where the
 /// platform won't open directories).
 fn sync_dir(dir: &Path) -> std::io::Result<()> {
@@ -1637,6 +1781,109 @@ mod tests {
             fs::metadata(&path).unwrap().len(),
             "last boundary is the file end"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_covered_records_byte_verbatim() {
+        let dir = tmp_dir("journal-compact");
+        let path = dir.join(JOURNAL_FILE);
+        let sessions = sample_sessions(10);
+        let mut journal = Journal::open_append(&path).unwrap();
+        for (i, chunk) in sessions.chunks(2).enumerate() {
+            journal
+                .append(&JournalRecord {
+                    seq: i as u64 + 1,
+                    epoch_after: i as u64 + 1,
+                    sessions: chunk.to_vec(),
+                    ..JournalRecord::default()
+                })
+                .unwrap();
+        }
+        let before = fs::read(&path).unwrap();
+        let offsets = journal_record_offsets(&path).unwrap();
+        assert_eq!(offsets.len(), 6);
+
+        let report = compact_journal_file(&dir, 2).unwrap();
+        assert_eq!(report.safe_seq, 2);
+        assert_eq!(report.dropped_records, 2);
+        assert_eq!(report.kept_records, 3);
+        assert_eq!(report.oldest_live_seq, 3);
+        assert_eq!(report.bytes_before, before.len() as u64);
+
+        // Survivors are the original frames byte-for-byte.
+        let after = fs::read(&path).unwrap();
+        assert_eq!(after, before[offsets[2] as usize..].to_vec());
+        assert_eq!(report.bytes_after, after.len() as u64);
+        assert!(!dir.join(JOURNAL_TMP).exists(), "tmp is consumed by rename");
+
+        // The compacted journal reads back clean: records 3..=5, no repair.
+        let mut warnings = Vec::new();
+        let records = read_and_repair_journal(&path, &mut warnings).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+
+        // Same bound again: nothing further to drop, file untouched.
+        let again = compact_journal_file(&dir, 2).unwrap();
+        assert_eq!(again.dropped_records, 0);
+        assert_eq!(again.bytes_after, after.len() as u64);
+        assert_eq!(fs::read(&path).unwrap(), after);
+
+        // A reopened append handle extends the compacted file.
+        let mut reopened = Journal::open_append(&path).unwrap();
+        reopened
+            .append(&JournalRecord {
+                seq: 6,
+                epoch_after: 6,
+                ..JournalRecord::default()
+            })
+            .unwrap();
+        let mut warnings = Vec::new();
+        let records = read_and_repair_journal(&path, &mut warnings).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(records.last().unwrap().seq, 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_edge_cases_are_noops_or_clean() {
+        let dir = tmp_dir("journal-compact-edge");
+        // No journal at all: a zeroed report, no file created.
+        let report = compact_journal_file(&dir, 7).unwrap();
+        assert_eq!(report.dropped_records, 0);
+        assert!(!dir.join(JOURNAL_FILE).exists());
+
+        // A torn tail behind a droppable prefix is cut by the rewrite.
+        let path = dir.join(JOURNAL_FILE);
+        let sessions = sample_sessions(6);
+        let mut journal = Journal::open_append(&path).unwrap();
+        for (i, chunk) in sessions.chunks(2).enumerate() {
+            journal
+                .append(&JournalRecord {
+                    seq: i as u64 + 1,
+                    epoch_after: i as u64 + 1,
+                    sessions: chunk.to_vec(),
+                    ..JournalRecord::default()
+                })
+                .unwrap();
+        }
+        let offsets = journal_record_offsets(&path).unwrap();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len((offsets[2] + offsets[3]) / 2)
+            .unwrap();
+        let report = compact_journal_file(&dir, 1).unwrap();
+        assert_eq!(report.dropped_records, 1);
+        assert_eq!(report.kept_records, 1, "torn record 3 does not survive");
+        let mut warnings = Vec::new();
+        let records = read_and_repair_journal(&path, &mut warnings).unwrap();
+        assert!(warnings.is_empty(), "rewrite leaves no torn tail");
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2]);
         let _ = fs::remove_dir_all(&dir);
     }
 

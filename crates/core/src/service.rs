@@ -22,7 +22,8 @@ use crate::fulcrum::{FulcrumAnalysis, MonthlyPoint};
 use crate::ingest::{self, IngestConfig, IngestReport, QuarantineEntry};
 use crate::outage::{DetectedOutage, OutageDetector};
 use crate::persist::{
-    self, Journal, JournalRecord, PersistError, PersistedHealth, SnapshotContents, JOURNAL_FILE,
+    self, CompactionReport, Journal, JournalRecord, JournalStats, PersistError, PersistedHealth,
+    SnapshotContents, JOURNAL_FILE,
 };
 use crate::predict::{self, Evaluation, FeatureSet};
 use crate::signals::{Signal, SignalKind};
@@ -42,6 +43,7 @@ use sentiment::corpus::TokenCorpus;
 use serde::Serialize;
 use social::post::{Forum, Post};
 use starlink::constellation::{DeploymentPlanner, Recommendation, RegionalDemand};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
@@ -815,21 +817,100 @@ impl Generation {
     }
 }
 
+/// Most recent dead-letter entries a service keeps in memory; older ones
+/// are evicted (the totals keep counting). Sized so a long-running daemon
+/// under a lossy source cannot grow without bound while an operator still
+/// sees a useful tail of what was dropped.
+pub const DEAD_LETTER_CAP: usize = 1024;
+
+/// Most recent recovery warnings kept in memory (same eviction story).
+pub const RECOVERY_WARNING_CAP: usize = 256;
+
+/// A bounded ring of the most recent entries plus a count of how many
+/// older entries were evicted. Backs the dead-letter queue and the
+/// recovery-warning log so a long-running daemon holds O(cap) memory while
+/// the running totals stay exact.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundedLog<T> {
+    items: VecDeque<T>,
+    cap: usize,
+    dropped: usize,
+}
+
+impl<T: Clone> BoundedLog<T> {
+    pub(crate) fn new(cap: usize) -> BoundedLog<T> {
+        BoundedLog {
+            items: VecDeque::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, item: T) {
+        if self.items.len() == self.cap {
+            self.items.pop_front();
+            self.dropped += 1;
+        }
+        self.items.push_back(item);
+    }
+
+    pub(crate) fn extend(&mut self, items: impl IntoIterator<Item = T>) {
+        for item in items {
+            self.push(item);
+        }
+    }
+
+    /// Replace the contents wholesale (recovery installs its warning list
+    /// this way); overflow beyond the cap counts as evictions.
+    pub(crate) fn replace(&mut self, items: Vec<T>) {
+        self.items.clear();
+        self.dropped = items.len().saturating_sub(self.cap);
+        self.items.extend(items.into_iter().skip(self.dropped));
+    }
+
+    pub(crate) fn to_vec(&self) -> Vec<T> {
+        self.items.iter().cloned().collect()
+    }
+
+    pub(crate) fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    pub(crate) fn set_dropped(&mut self, dropped: usize) {
+        self.dropped = dropped;
+    }
+}
+
 /// Running health totals accumulated across ingestion runs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct HealthTotals {
     quarantined: usize,
     unfed: usize,
     breaker_trips: usize,
     /// Sources whose breaker ended the *most recent* run open.
     open_breakers: Vec<String>,
-    /// Every quarantined item across all runs — the durable dead-letter
-    /// queue, journaled and snapshotted so it survives restarts.
-    dead_letters: Vec<QuarantineEntry>,
+    /// The most recent quarantined items — the dead-letter queue,
+    /// journaled and snapshotted so it survives restarts. Bounded:
+    /// `quarantined` keeps the exact total while entries beyond
+    /// [`DEAD_LETTER_CAP`] are evicted oldest-first.
+    dead_letters: BoundedLog<QuarantineEntry>,
     /// What recovery had to repair or skip (truncated journal tail,
     /// corrupt snapshot fallback, journal-write failures). Empty on a
-    /// clean open.
-    recovery_warnings: Vec<String>,
+    /// clean open; bounded by [`RECOVERY_WARNING_CAP`].
+    recovery_warnings: BoundedLog<String>,
+}
+
+impl Default for HealthTotals {
+    fn default() -> HealthTotals {
+        HealthTotals {
+            quarantined: 0,
+            unfed: 0,
+            breaker_trips: 0,
+            open_breakers: Vec::new(),
+            dead_letters: BoundedLog::new(DEAD_LETTER_CAP),
+            recovery_warnings: BoundedLog::new(RECOVERY_WARNING_CAP),
+        }
+    }
 }
 
 /// The service's health/staleness annotation, returned alongside answers
@@ -851,8 +932,18 @@ pub struct ServiceHealth {
     /// What persistence had to repair or could not do: journal tails
     /// truncated after a torn write, snapshot fallbacks after a checksum
     /// mismatch, journal appends that failed. Empty for a service that
-    /// opened clean (or was never persisted).
+    /// opened clean (or was never persisted). Bounded to the most recent
+    /// [`RECOVERY_WARNING_CAP`] entries; see `recovery_warnings_dropped`.
     pub recovery_warnings: Vec<String>,
+    /// Dead-letter entries evicted from the bounded in-memory ring. The
+    /// evicted items still count in `quarantined_total`.
+    pub dead_letters_dropped: usize,
+    /// Recovery warnings evicted from the bounded in-memory ring.
+    pub recovery_warnings_dropped: usize,
+    /// Write-ahead-journal observability on a persisted service (bytes on
+    /// disk, live record count, oldest live seq, compaction counters);
+    /// `None` for an in-memory service.
+    pub journal: Option<JournalStats>,
 }
 
 impl ServiceHealth {
@@ -900,6 +991,15 @@ struct PersistState {
     /// service starts with a full checkpoint rather than trusting a base
     /// it did not write).
     diff_base: Option<DiffBase>,
+    /// Records currently live in the journal file (appends increment,
+    /// compaction resets to the survivor count).
+    live_records: u64,
+    /// Seq of the oldest record still in the journal file (0 when empty).
+    oldest_live_seq: u64,
+    /// Compaction passes that actually dropped records.
+    compactions: u64,
+    /// Total records dropped across all compaction passes.
+    records_compacted: u64,
 }
 
 /// The service: a shared append-only [`SignalStore`] plus a swappable
@@ -977,6 +1077,10 @@ impl UsaasService {
             journal,
             last_seq: 0,
             diff_base: None,
+            live_records: 0,
+            oldest_live_seq: 0,
+            compactions: 0,
+            records_compacted: 0,
         }));
         svc.checkpoint()?;
         Ok(svc)
@@ -998,6 +1102,9 @@ impl UsaasService {
         let mut warnings = Vec::new();
         let state = persist::load_latest_state(dir, workers, &mut warnings)?;
         let records = persist::read_and_repair_journal(&dir.join(JOURNAL_FILE), &mut warnings)?;
+        // Journal stats before the replay loop consumes the records.
+        let live_records = records.len() as u64;
+        let oldest_live_seq = records.first().map(|r| r.seq).unwrap_or(0);
 
         let forum = Forum { posts: state.posts };
         let corpus_cell = OnceLock::new();
@@ -1022,13 +1129,23 @@ impl UsaasService {
             current: RwLock::new(Arc::new(generation)),
             workers,
             append_lock: Mutex::new(()),
-            health: Mutex::new(HealthTotals {
-                quarantined: state.health.quarantined,
-                unfed: state.health.unfed,
-                breaker_trips: state.health.breaker_trips,
-                open_breakers: state.health.open_breakers,
-                dead_letters: state.health.dead_letters,
-                recovery_warnings: Vec::new(),
+            health: Mutex::new({
+                let mut totals = HealthTotals {
+                    quarantined: state.health.quarantined,
+                    unfed: state.health.unfed,
+                    breaker_trips: state.health.breaker_trips,
+                    open_breakers: state.health.open_breakers,
+                    ..HealthTotals::default()
+                };
+                let persisted = state.health.dead_letters.len();
+                totals.dead_letters.extend(state.health.dead_letters);
+                // Every quarantined item was once pushed into the ring, so
+                // the pre-crash eviction count is derivable: total minus
+                // what the snapshot still carried.
+                totals
+                    .dead_letters
+                    .set_dropped(state.health.quarantined.saturating_sub(persisted));
+                totals
             }),
             persist: None,
         };
@@ -1102,13 +1219,17 @@ impl UsaasService {
         }
 
         let journal = Journal::open_append(&dir.join(JOURNAL_FILE))?;
-        svc.health.lock().recovery_warnings = warnings;
+        svc.health.lock().recovery_warnings.replace(warnings);
         let mut svc = svc;
         svc.persist = Some(Mutex::new(PersistState {
             dir: dir.to_path_buf(),
             journal,
             last_seq,
             diff_base: None,
+            live_records,
+            oldest_live_seq,
+            compactions: 0,
+            records_compacted: 0,
         }));
         Ok(svc)
     }
@@ -1217,14 +1338,15 @@ impl UsaasService {
             unfed: totals.unfed,
             breaker_trips: totals.breaker_trips,
             open_breakers: totals.open_breakers.clone(),
-            dead_letters: totals.dead_letters.clone(),
+            dead_letters: totals.dead_letters.to_vec(),
         }
     }
 
-    /// The durable dead-letter queue: every quarantined item across all
-    /// ingestion runs, surviving restarts on a persisted service.
+    /// The dead-letter queue: the most recent quarantined items (bounded
+    /// ring; `ServiceHealth::quarantined_total` keeps the exact count),
+    /// surviving restarts on a persisted service.
     pub fn dead_letters(&self) -> Vec<QuarantineEntry> {
-        self.health.lock().dead_letters.clone()
+        self.health.lock().dead_letters.to_vec()
     }
 
     /// Pin the current generation — a cheap `Arc` clone. Hold it to read a
@@ -1282,6 +1404,11 @@ impl UsaasService {
 
     /// Current health/staleness annotation.
     pub fn health(&self) -> ServiceHealth {
+        // Journal stats take the persist lock; grab them (and release)
+        // before the health lock. `ingest_append` holds persist while
+        // pushing a journal-failure warning into health, so taking them in
+        // the other order here could deadlock.
+        let journal = self.journal_stats();
         let epoch = self.epoch();
         let totals = self.health.lock();
         ServiceHealth {
@@ -1290,8 +1417,74 @@ impl UsaasService {
             quarantined_total: totals.quarantined,
             unfed_total: totals.unfed,
             breaker_trips_total: totals.breaker_trips,
-            recovery_warnings: totals.recovery_warnings.clone(),
+            recovery_warnings: totals.recovery_warnings.to_vec(),
+            dead_letters_dropped: totals.dead_letters.dropped(),
+            recovery_warnings_dropped: totals.recovery_warnings.dropped(),
+            journal,
         }
+    }
+
+    /// True when the service is backed by a snapshot + journal directory.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Write-ahead-journal observability: bytes on disk, live record
+    /// count, oldest live seq, and compaction counters. `None` on an
+    /// in-memory service.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        let persist = self.persist.as_ref()?;
+        let state = persist.lock();
+        let bytes = std::fs::metadata(state.dir.join(JOURNAL_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        Some(JournalStats {
+            bytes,
+            records: state.live_records,
+            oldest_live_seq: state.oldest_live_seq,
+            last_seq: state.last_seq,
+            compactions: state.compactions,
+            records_compacted: state.records_compacted,
+        })
+    }
+
+    /// Compact the write-ahead journal: drop every record already covered
+    /// by the **oldest retained full snapshot** and rewrite the survivors
+    /// byte-verbatim (atomic tmp → fsync → rename). Recovery stays exactly
+    /// as safe as before the pass — every snapshot/diff candidate that can
+    /// still be loaded replays only records newer than its own coverage,
+    /// and the oldest retained full is the floor of that set, so nothing a
+    /// fallback could ever need is dropped. A no-op report when there is no
+    /// snapshot yet or nothing qualifies.
+    ///
+    /// Holds the append lock for the duration (same order as
+    /// [`UsaasService::checkpoint`]): the rewrite replaces the journal
+    /// inode, so the append handle is reopened before the lock is
+    /// released — a concurrent append can never write into the unlinked
+    /// file.
+    pub fn compact_journal(&self) -> Result<CompactionReport, PersistError> {
+        let Some(persist) = &self.persist else {
+            return Err(PersistError::NotPersistent);
+        };
+        let _appending = self.append_lock.lock();
+        let mut state = persist.lock();
+        let seqs = persist::snapshot_seqs(&state.dir)?;
+        // `snapshot_seqs` is descending: the last entry is the oldest
+        // retained full snapshot — the compaction safety bound.
+        let Some(&safe_seq) = seqs.last() else {
+            return Ok(CompactionReport::default());
+        };
+        let report = persist::compact_journal_file(&state.dir, safe_seq)?;
+        if report.dropped_records > 0 {
+            // The old handle points at the replaced (unlinked) inode;
+            // reopen on the compacted file before any further append.
+            state.journal = Journal::open_append(&state.dir.join(JOURNAL_FILE))?;
+            state.live_records = report.kept_records;
+            state.oldest_live_seq = report.oldest_live_seq;
+            state.compactions += 1;
+            state.records_compacted += report.dropped_records;
+        }
+        Ok(report)
     }
 
     /// Answer a batch of queries concurrently, one scoped worker per query;
@@ -1376,7 +1569,13 @@ impl UsaasService {
                 open_breakers: report.open_breakers(),
             };
             match state.journal.append(&record) {
-                Ok(()) => state.last_seq = record.seq,
+                Ok(()) => {
+                    state.last_seq = record.seq;
+                    state.live_records += 1;
+                    if state.oldest_live_seq == 0 {
+                        state.oldest_live_seq = record.seq;
+                    }
+                }
                 Err(e) => {
                     // No durable record → no in-memory commit. Committing
                     // anyway would serve answers from state a restart
@@ -1853,5 +2052,47 @@ mod tests {
             "the appended sessions must change the answer"
         );
         assert!(!s.health().is_degraded());
+    }
+
+    #[test]
+    fn bounded_log_evicts_oldest_and_counts_drops() {
+        let mut log: BoundedLog<usize> = BoundedLog::new(3);
+        for i in 0..5 {
+            log.push(i);
+        }
+        assert_eq!(log.to_vec(), vec![2, 3, 4], "oldest entries evicted");
+        assert_eq!(log.dropped(), 2);
+        log.extend(vec![5, 6]);
+        assert_eq!(log.to_vec(), vec![4, 5, 6]);
+        assert_eq!(log.dropped(), 4);
+        // replace() keeps the tail and counts the overflow as drops.
+        log.replace((0..10).collect());
+        assert_eq!(log.to_vec(), vec![7, 8, 9]);
+        assert_eq!(log.dropped(), 7);
+        log.set_dropped(42);
+        assert_eq!(log.dropped(), 42);
+    }
+
+    #[test]
+    fn dead_letter_ring_is_bounded_while_totals_stay_exact() {
+        let s = fresh_service();
+        let pills = DEAD_LETTER_CAP + 137;
+        let items: Vec<RawItem> = (0..pills).map(|_| RawItem::Poison("pill")).collect();
+        let report = s.ingest_append(
+            vec![Box::new(ItemSource::new("pill-feed", items))],
+            &IngestConfig::with_workers(2),
+        );
+        assert_eq!(report.quarantined.len(), pills);
+        let health = s.health();
+        assert_eq!(
+            health.quarantined_total, pills,
+            "the total keeps exact count past the ring cap"
+        );
+        assert_eq!(
+            s.dead_letters().len(),
+            DEAD_LETTER_CAP,
+            "the retained ring is capped"
+        );
+        assert_eq!(health.dead_letters_dropped, pills - DEAD_LETTER_CAP);
     }
 }

@@ -33,6 +33,7 @@ BENCHES=(
     "views_incremental BENCH_views.json"
     "kernels BENCH_kernels.json"
     "service_scaleout BENCH_scaleout.json"
+    "daemon_steady_state BENCH_daemon.json"
 )
 
 # Flatten a bench JSON array (one record per line, see compat/criterion)

@@ -26,6 +26,9 @@
 #                        partitioned serving: cached query_batch routing
 #                        overhead and uncached text-scan scatter-gather at
 #                        partitions 1/2/4/8)
+#   daemon_steady_state -> results/BENCH_daemon.json (the continuous-serving
+#                        daemon's tick loop: healthy feed vs 1%-fault feed
+#                        vs the submit-queue admission path)
 #
 # Usage: scripts/bench_json.sh [extra `cargo bench` args...]
 set -euo pipefail
@@ -55,3 +58,4 @@ run_bench persist_roundtrip results/BENCH_persist.json "$@"
 run_bench views_incremental results/BENCH_views.json "$@"
 run_bench kernels results/BENCH_kernels.json "$@"
 run_bench service_scaleout results/BENCH_scaleout.json "$@"
+run_bench daemon_steady_state results/BENCH_daemon.json "$@"

@@ -5,6 +5,7 @@
 //! usaas simulate-forum  [--seed S] [--out posts.csv]
 //! usaas digest          [--calls N]
 //! usaas early           [--calls N]
+//! usaas serve           [--dir D] [--ticks N] [--tick-ms MS] …
 //! usaas help
 //! ```
 //!
@@ -186,6 +187,116 @@ fn cmd_early(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
+    use std::sync::Arc;
+    use usaas::{Daemon, DaemonConfig, IngestConfig, ItemSource, RawItem, UsaasService, WallClock};
+
+    let dir = flags
+        .get("dir")
+        .cloned()
+        .unwrap_or_else(|| "usaas-data".to_string());
+    let ticks = flag_u64(&flags, "ticks", 10)?;
+    let tick_ms = flag_u64(&flags, "tick-ms", 100)?;
+    let checkpoint_ms = flag_u64(&flags, "checkpoint-ms", 400)?;
+    let window = flag_usize(&flags, "window", 256)?;
+    let calls = flag_usize(&flags, "calls", 300)?;
+    let seed = flag_u64(&flags, "seed", 0xDAE)?;
+    let workers = flag_usize(&flags, "workers", 4)?;
+
+    let path = std::path::Path::new(&dir);
+    let svc = if path.join(usaas::JOURNAL_FILE).exists() {
+        eprintln!("recovering service from {dir}…");
+        let svc = UsaasService::open_or_recover(path, workers)
+            .map_err(|e| format!("recovering {dir}: {e}"))?;
+        for warning in &svc.health().recovery_warnings {
+            eprintln!("  recovery warning: {warning}");
+        }
+        svc
+    } else {
+        eprintln!("bootstrapping a fresh service in {dir} ({calls} calls, seed {seed})…");
+        std::fs::create_dir_all(path).map_err(|e| format!("creating {dir}: {e}"))?;
+        let ds = generate(&DatasetConfig {
+            calls,
+            seed,
+            ..DatasetConfig::default()
+        });
+        let forum = gen_forum(&ForumConfig {
+            seed,
+            ..ForumConfig::default()
+        });
+        UsaasService::build_persistent(ds, forum, workers, path)
+            .map_err(|e| format!("bootstrapping {dir}: {e}"))?
+    };
+    let svc = Arc::new(svc);
+    eprintln!("serving at epoch {}", svc.epoch());
+
+    // A demo telemetry feed: fresh sessions trickled in over the run.
+    let feed: Vec<RawItem> = generate(&DatasetConfig {
+        calls: calls / 2,
+        seed: seed ^ 0xFEED,
+        ..DatasetConfig::default()
+    })
+    .sessions
+    .into_iter()
+    .map(|s| RawItem::Session(Box::new(s)))
+    .collect();
+    eprintln!("registering a demo feed of {} sessions", feed.len());
+
+    let mut cfg = DaemonConfig::with_workers(workers);
+    cfg.ingest = IngestConfig::with_workers(workers).with_clock(Arc::new(WallClock::new()));
+    cfg.tick_ms = tick_ms;
+    cfg.checkpoint_every_ms = checkpoint_ms;
+    cfg.max_items_per_tick = window;
+    let daemon = Daemon::new(Arc::clone(&svc), cfg);
+    daemon.register_feed(Box::new(ItemSource::new("demo-telemetry", feed)));
+
+    for report in daemon.run_ticks(ticks) {
+        let mut line = format!(
+            "tick {:>3}: fed {:>4}, quarantined {:>2}, committed {}",
+            report.tick, report.fed, report.quarantined, report.committed,
+        );
+        if report.checkpointed.is_some() {
+            line.push_str(", checkpointed");
+        }
+        if let Some(c) = report.compaction {
+            let _ = write!(line, ", compacted {} records", c.dropped_records);
+        }
+        eprintln!("{line}");
+        for e in &report.errors {
+            eprintln!("  tick error: {e}");
+        }
+    }
+
+    let drain = daemon.shutdown();
+    eprintln!(
+        "drained: {} queued items fed ({} quarantined), final epoch {}, final seq {}",
+        drain.fed, drain.quarantined, drain.final_epoch, drain.final_seq,
+    );
+    if let Some(stats) = drain.journal {
+        eprintln!(
+            "journal: {} live records ({} bytes), oldest seq {}, {} compactions dropped {}",
+            stats.records,
+            stats.bytes,
+            stats.oldest_live_seq,
+            stats.compactions,
+            stats.records_compacted,
+        );
+    }
+    for e in &drain.errors {
+        eprintln!("drain error: {e}");
+    }
+    let health = svc.health();
+    eprintln!(
+        "health: {} quarantined, {} breaker trips, open breakers {:?}",
+        health.quarantined_total, health.breaker_trips_total, health.open_breakers,
+    );
+    if drain.errors.is_empty() {
+        Ok(())
+    } else {
+        Err("drain finished with errors".to_string())
+    }
+}
+
 const HELP: &str = "\
 usaas — User Signals as-a-Service (reproduction CLI)
 
@@ -194,6 +305,12 @@ USAGE:
   usaas simulate-forum  [--seed S] [--out posts.csv]
   usaas digest          [--calls N]       print the USaaS insights digest
   usaas early           [--calls N]       early-quality indication skill
+  usaas serve           [--dir D] [--ticks N] [--tick-ms MS] [--checkpoint-ms MS]
+                        [--window N] [--calls N] [--seed S] [--workers N]
+                        run the continuous-serving daemon against directory D:
+                        bootstrap (or crash-recover) the store, trickle a demo
+                        feed in tick windows, checkpoint + compact the journal
+                        on a cadence, then drain to a final checkpoint
   usaas help
 ";
 
@@ -209,6 +326,7 @@ fn main() -> ExitCode {
         "simulate-forum" => parse_flags(&rest).and_then(cmd_simulate_forum),
         "digest" => parse_flags(&rest).and_then(cmd_digest),
         "early" => parse_flags(&rest).and_then(cmd_early),
+        "serve" => parse_flags(&rest).and_then(cmd_serve),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())

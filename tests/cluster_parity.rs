@@ -506,3 +506,62 @@ fn build_persistent_refuses_existing_cluster() {
         "a second build over a persisted cluster must be refused"
     );
 }
+
+/// Per-partition journal compaction: the root cluster log is never
+/// compacted (it is the roll-forward source of truth), while each
+/// partition's journal drops records covered by its oldest retained full
+/// snapshot — and the compacted cluster still recovers bit-identically.
+#[test]
+fn partition_journals_compact_but_the_root_log_survives() {
+    let dir = tmp_dir("compaction");
+    let mut base = generate(&DatasetConfig::small(40, 11));
+    base.sessions.truncate(30);
+    let cluster =
+        PartitionedService::build_persistent(base, Forum { posts: Vec::new() }, 3, 2, &dir)
+            .unwrap();
+    // Rounds of appends big enough to outgrow every partition's base,
+    // each followed by a checkpoint: every partition accumulates full
+    // snapshots (with diffs in between while the tail trails the grown
+    // base), retention prunes its initial snapshot-0, and the compaction
+    // bound advances past the first journal record.
+    for round in 0..3u64 {
+        let delta = generate(&DatasetConfig::small(220, 100 + round));
+        cluster.append_batch(delta.sessions, Vec::new());
+        cluster.checkpoint().unwrap();
+    }
+    let reports = cluster.compact_journals().unwrap();
+    assert_eq!(reports.len(), 3, "one report per partition");
+    for (p, report) in reports.iter().enumerate() {
+        assert!(
+            report.dropped_records >= 1,
+            "part-{p}: expected a dropped prefix, got {report:?}"
+        );
+        assert!(report.bytes_after < report.bytes_before, "part-{p}");
+    }
+
+    let health = cluster.health();
+    let stats = health.journal.expect("persistent cluster reports stats");
+    assert_eq!(
+        stats.oldest_live_seq, 1,
+        "the root log keeps its base record — it is never compacted"
+    );
+    assert_eq!(stats.compactions, 3);
+    assert!(stats.records_compacted >= 3);
+    // Root log intact on disk: base record + one record per append round.
+    let root_records = journal_record_offsets(&dir.join(JOURNAL_FILE))
+        .unwrap()
+        .len()
+        - 1;
+    assert_eq!(root_records, 4);
+
+    let live_print = cluster_fingerprint(&cluster);
+    drop(cluster);
+    let recovered = PartitionedService::open_or_recover(&dir, 2).unwrap();
+    assert!(
+        recovered.health().recovery_warnings.is_empty(),
+        "compaction must not force repairs: {:?}",
+        recovered.health().recovery_warnings
+    );
+    assert_eq!(cluster_fingerprint(&recovered), live_print);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,683 @@
+//! Daemon lifecycle contract suite, all on a virtual clock.
+//!
+//! Four promises are pinned here:
+//!
+//! 1. **Trusted soak** — a daemon run (tick-windowed feed pulls + submit
+//!    queue + periodic checkpoints + journal compaction + drain) answers
+//!    every query **bit-identically** to the equivalent manual
+//!    `append_batch` schedule, at workers 1/4/8, and a restart of the
+//!    drained directory reproduces the same state.
+//! 2. **Faulty soak** — the same bit-identity under seeded `FaultPlan`
+//!    injectors (drops, transient flakiness, a burst-fail window, a
+//!    poison pill, corruption), swept over fault seeds × workers 1/4/8
+//!    against a manual `TakeSource` mirror of the daemon's tick schedule.
+//!    Seeds extend via the `INGEST_FAULT_SEEDS` env knob CI sweeps.
+//! 3. **Bounded journal** — across ≥ 3 compaction passes the journal's
+//!    live record count stays pinned to `last_seq - oldest_live_seq + 1`,
+//!    each pass shrinks the file, and the drained directory still
+//!    recovers bit-identically with zero warnings.
+//! 4. **Mid-compaction kill points** — a crash before the compaction
+//!    rename (stray `journal.tmp`), after it, or at any surviving record
+//!    boundary recovers through the existing `open_or_recover` with no
+//!    warnings and worker-invariant answers.
+
+use analytics::time::Date;
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::{CallDataset, EngagementMetric, NetworkMetric, SessionRecord};
+use netsim::access::AccessType;
+use social::generator::{generate as gen_forum, ForumConfig};
+use social::post::{Forum, Post};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use usaas::{
+    journal_record_offsets, Clock, Daemon, DaemonConfig, FaultInjector, FaultPlan, IngestConfig,
+    ItemSource, Query, RawItem, Source, TakeSource, UsaasService, VirtualClock, JOURNAL_FILE,
+};
+
+/// Fresh scratch directory under the system temp dir, emptied first.
+fn tmp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("usaas-daemon-{}-{test}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Copy every regular file of `src` into `dst` (the persist layout is
+/// flat, so one level is enough).
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+}
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query::EngagementCurve {
+            sweep: NetworkMetric::LatencyMs,
+            engagement: EngagementMetric::Presence,
+            bins: 5,
+        },
+        Query::MosCorrelation,
+        Query::OutageTimeline,
+        Query::SpeedTrend,
+        Query::CrossNetwork {
+            access: AccessType::SatelliteLeo,
+        },
+    ]
+}
+
+/// The bit-identity fingerprint: epoch, store counts, durable health
+/// (minus recovery warnings and journal stats, which legitimately differ
+/// between a persisted daemon and an in-memory reference), dead-letters,
+/// and the debug-formatted answer to every query.
+fn fingerprint(svc: &UsaasService) -> Vec<String> {
+    let health = svc.health();
+    let mut out = vec![
+        format!("epoch={}", svc.epoch()),
+        format!("signals={:?}", svc.signal_counts()),
+        format!(
+            "health q={} u={} t={} open={:?} dropped={}",
+            health.quarantined_total,
+            health.unfed_total,
+            health.breaker_trips_total,
+            health.open_breakers,
+            health.dead_letters_dropped,
+        ),
+        format!("dead_letters={:?}", svc.dead_letters()),
+    ];
+    for q in queries() {
+        out.push(format!("{q:?} => {:?}", svc.query(&q)));
+    }
+    out
+}
+
+/// Seeds for the faulty soak: `INGEST_FAULT_SEEDS=1,2,3` overrides the
+/// default single seed (CI sweeps three).
+fn fault_seeds() -> Vec<u64> {
+    std::env::var("INGEST_FAULT_SEEDS")
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|tok| tok.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|seeds| !seeds.is_empty())
+        .unwrap_or_else(|| vec![7])
+}
+
+fn split_kinds(items: &[RawItem]) -> (Vec<SessionRecord>, Vec<Post>) {
+    let mut sessions = Vec::new();
+    let mut posts = Vec::new();
+    for item in items {
+        match item {
+            RawItem::Session(s) => sessions.push((**s).clone()),
+            RawItem::Post(p) => posts.push((**p).clone()),
+            RawItem::Poison(_) => {}
+        }
+    }
+    (sessions, posts)
+}
+
+fn daemon_config(workers: usize, clock: Arc<VirtualClock>, window: usize) -> DaemonConfig {
+    let mut cfg = DaemonConfig::with_workers(workers);
+    cfg.ingest = IngestConfig::with_workers(workers).with_clock(clock);
+    cfg.tick_ms = 1_000;
+    cfg.max_items_per_tick = window;
+    cfg.checkpoint_every_ms = 2_500;
+    cfg.compact_journal = true;
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// 1. Trusted soak: daemon ticks == manual append_batch schedule.
+// ---------------------------------------------------------------------
+
+struct TrustedFixture {
+    dataset: CallDataset,
+    forum: Forum,
+    /// The long-lived feed's interleaved item stream.
+    feed_items: Vec<RawItem>,
+    /// Ad-hoc batches submitted before ticks 1 and 3 (0-based).
+    submits: Vec<(usize, Vec<RawItem>)>,
+}
+
+impl TrustedFixture {
+    fn new() -> TrustedFixture {
+        let dataset = generate(&DatasetConfig::small(80, 33));
+        let forum = gen_forum(&ForumConfig {
+            authors: 150,
+            end: Date::from_ymd(2021, 4, 30).unwrap(),
+            ..ForumConfig::default()
+        });
+        let feed_sessions = generate(&DatasetConfig::small(70, 77)).sessions;
+        let feed_posts = gen_forum(&ForumConfig {
+            seed: 9,
+            authors: 60,
+            end: Date::from_ymd(2021, 2, 28).unwrap(),
+            ..ForumConfig::default()
+        })
+        .posts;
+        // Interleave sessions and posts so every tick window mixes kinds.
+        let mut feed_items = Vec::new();
+        let mut posts_iter = feed_posts.iter().take(40).cloned();
+        for (i, s) in feed_sessions.into_iter().take(60).enumerate() {
+            feed_items.push(RawItem::Session(Box::new(s)));
+            if i % 3 == 0 {
+                if let Some(p) = posts_iter.next() {
+                    feed_items.push(RawItem::Post(Box::new(p)));
+                }
+            }
+        }
+        let submit_a: Vec<RawItem> = generate(&DatasetConfig::small(20, 5))
+            .sessions
+            .into_iter()
+            .take(12)
+            .map(|s| RawItem::Session(Box::new(s)))
+            .collect();
+        let submit_b: Vec<RawItem> = feed_posts
+            .iter()
+            .skip(40)
+            .take(8)
+            .cloned()
+            .map(|p| RawItem::Post(Box::new(p)))
+            .collect();
+        TrustedFixture {
+            dataset,
+            forum,
+            feed_items,
+            submits: vec![(1, submit_a), (3, submit_b)],
+        }
+    }
+
+    /// The manual schedule the daemon must match: for each tick, one
+    /// `append_batch` carrying that tick's submitted items followed by
+    /// that tick's feed window (submit sources are fed before the feed
+    /// inside one daemon tick, so relative per-kind order is submit-first).
+    fn reference(&self, window: usize, ticks: usize, workers: usize) -> UsaasService {
+        let svc = UsaasService::build(self.dataset.clone(), self.forum.clone(), workers);
+        let mut offset = 0usize;
+        for tick in 0..ticks {
+            let submitted = self
+                .submits
+                .iter()
+                .find(|(at, _)| *at == tick)
+                .map(|(_, items)| items.as_slice())
+                .unwrap_or(&[]);
+            let take = window.min(self.feed_items.len() - offset);
+            let window_items = &self.feed_items[offset..offset + take];
+            offset += take;
+            let (mut sessions, mut posts) = split_kinds(submitted);
+            let (ws, wp) = split_kinds(window_items);
+            sessions.extend(ws);
+            posts.extend(wp);
+            svc.append_batch(sessions, posts);
+        }
+        svc
+    }
+}
+
+#[test]
+fn trusted_soak_matches_manual_schedule_bit_identically() {
+    let fx = TrustedFixture::new();
+    let window = 16usize;
+    // Ticks with feed activity, one trailing tick that retires the feed
+    // (zero activity — the reference mirrors it with an empty append), and
+    // a few idle ticks so the 2.5s checkpoint cadence fires twice on the
+    // 1s virtual tick clock.
+    let active_ticks = fx.feed_items.len().div_ceil(window);
+    let ticks = active_ticks + 4;
+
+    let mut prints: Vec<Vec<String>> = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let dir = tmp_dir(&format!("trusted-w{workers}"));
+        let clock = Arc::new(VirtualClock::new());
+        let svc = Arc::new(
+            UsaasService::build_persistent(fx.dataset.clone(), fx.forum.clone(), workers, &dir)
+                .unwrap(),
+        );
+        let daemon = Daemon::new(
+            Arc::clone(&svc),
+            daemon_config(workers, clock.clone(), window),
+        );
+        daemon.register_feed(Box::new(ItemSource::new(
+            "telemetry-feed",
+            fx.feed_items.clone(),
+        )));
+        let mut checkpoints = 0usize;
+        let mut compactions = 0usize;
+        for tick in 0..ticks {
+            if let Some((_, items)) = fx.submits.iter().find(|(at, _)| *at == tick) {
+                assert!(matches!(
+                    daemon.submit(items.clone()),
+                    usaas::SubmitOutcome::Queued { .. }
+                ));
+            }
+            let report = daemon.tick();
+            assert!(report.errors.is_empty(), "{:?}", report.errors);
+            checkpoints += usize::from(report.checkpointed.is_some());
+            compactions += usize::from(report.compaction.is_some());
+            clock.sleep_ms(1_000);
+        }
+        assert!(checkpoints >= 2, "periodic checkpointing never fired");
+        assert!(compactions >= 1, "compaction never ran after a checkpoint");
+        assert!(
+            daemon.health().feeds[0].done,
+            "the exhausted feed must be retired"
+        );
+
+        let drain = daemon.shutdown();
+        assert!(drain.errors.is_empty(), "{:?}", drain.errors);
+        assert!(
+            drain.checkpoint.is_some(),
+            "drain writes a final checkpoint"
+        );
+
+        let reference = fx.reference(window, ticks, workers);
+        let live = fingerprint(&svc);
+        assert_eq!(
+            live,
+            fingerprint(&reference),
+            "daemon workers={workers} diverged from the manual schedule"
+        );
+
+        // Restart continuity: the drained directory reproduces the state.
+        drop(daemon);
+        drop(svc);
+        let reopened = UsaasService::open_or_recover(&dir, workers).unwrap();
+        assert!(
+            reopened.health().recovery_warnings.is_empty(),
+            "drained dir must reopen clean: {:?}",
+            reopened.health().recovery_warnings
+        );
+        assert_eq!(fingerprint(&reopened), live);
+        prints.push(live);
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert_eq!(prints[0], prints[1], "workers 1 vs 4 diverged");
+    assert_eq!(prints[0], prints[2], "workers 1 vs 8 diverged");
+}
+
+// ---------------------------------------------------------------------
+// 2. Faulty soak: seeded injectors, daemon vs a manual TakeSource mirror.
+// ---------------------------------------------------------------------
+
+fn faulty_session_items(seed: u64) -> Vec<RawItem> {
+    generate(&DatasetConfig::small(110, seed))
+        .sessions
+        .into_iter()
+        .take(100)
+        .map(|s| RawItem::Session(Box::new(s)))
+        .collect()
+}
+
+fn faulty_post_items() -> Vec<RawItem> {
+    gen_forum(&ForumConfig {
+        authors: 250,
+        ..ForumConfig::default()
+    })
+    .posts
+    .into_iter()
+    .take(120)
+    .map(|p| RawItem::Post(Box::new(p)))
+    .collect()
+}
+
+/// The two faulty feeds, freshly constructed on the given clock (the
+/// fault decisions are pure in `hash(seed, item index)`, so daemon and
+/// mirror see identical streams even though their clocks advance
+/// differently).
+fn faulty_feeds(seed: u64, clock: Arc<dyn Clock>) -> Vec<Box<dyn Source>> {
+    let session_plan = FaultPlan::seeded(seed)
+        .with_drops(0.03)
+        .with_transient(0.05, 1)
+        .with_burst(40..46)
+        .with_poison(10);
+    let post_plan = FaultPlan::seeded(seed ^ 0x9E37_79B9)
+        .with_drops(0.02)
+        .with_corruption(0.03);
+    vec![
+        Box::new(FaultInjector::new(
+            ItemSource::new("conference-telemetry", faulty_session_items(seed)),
+            session_plan,
+            Arc::clone(&clock),
+        )),
+        Box::new(FaultInjector::new(
+            ItemSource::new("forum-crawl", faulty_post_items()),
+            post_plan,
+            clock,
+        )),
+    ]
+}
+
+/// Manual mirror of the daemon's tick loop: window every live feed with
+/// `TakeSource`, run one ingest per tick, retire feeds by the daemon's
+/// rule (disconnected, or a tick with zero activity).
+fn faulty_reference(fx_base: &(CallDataset, Forum), seed: u64, workers: usize) -> UsaasService {
+    let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
+    let svc = UsaasService::build(fx_base.0.clone(), fx_base.1.clone(), workers);
+    let cfg = IngestConfig::with_workers(workers).with_clock(clock.clone());
+    let mut feeds = faulty_feeds(seed, clock.clone());
+    let mut done = vec![false; feeds.len()];
+    for _ in 0..MAX_FAULTY_TICKS {
+        if done.iter().all(|d| *d) {
+            break;
+        }
+        let mut polled = Vec::new();
+        let mut sources: Vec<Box<dyn Source + '_>> = Vec::new();
+        for (i, feed) in feeds.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            polled.push(i);
+            sources.push(Box::new(TakeSource::new(feed.as_mut(), FAULTY_WINDOW)));
+        }
+        let report = svc.ingest_append(sources, &cfg);
+        for (k, &i) in polled.iter().enumerate() {
+            let health = &report.sources[k];
+            let active =
+                health.fed + health.quarantined + health.retries + health.dropped + health.skipped
+                    > 0;
+            if health.disconnected || !active {
+                done[i] = true;
+            }
+        }
+        clock.sleep_ms(1_000);
+    }
+    svc
+}
+
+const FAULTY_WINDOW: usize = 25;
+const MAX_FAULTY_TICKS: usize = 40;
+
+#[test]
+fn faulty_soak_is_worker_invariant_and_matches_the_mirror() {
+    let base = (
+        generate(&DatasetConfig::small(60, 21)),
+        Forum { posts: Vec::new() },
+    );
+    for seed in fault_seeds() {
+        let mut prints: Vec<Vec<String>> = Vec::new();
+        for workers in [1usize, 4, 8] {
+            let dir = tmp_dir(&format!("faulty-s{seed}-w{workers}"));
+            let clock = Arc::new(VirtualClock::new());
+            let svc = Arc::new(
+                UsaasService::build_persistent(base.0.clone(), base.1.clone(), workers, &dir)
+                    .unwrap(),
+            );
+            let daemon = Daemon::new(
+                Arc::clone(&svc),
+                daemon_config(workers, clock.clone(), FAULTY_WINDOW),
+            );
+            for feed in faulty_feeds(seed, clock.clone()) {
+                daemon.register_feed(feed);
+            }
+            for _ in 0..MAX_FAULTY_TICKS {
+                if daemon.health().feeds.iter().all(|f| f.done) {
+                    break;
+                }
+                let report = daemon.tick();
+                assert!(report.errors.is_empty(), "{:?}", report.errors);
+                clock.sleep_ms(1_000);
+            }
+            assert!(
+                daemon.health().feeds.iter().all(|f| f.done),
+                "seed {seed}: feeds never drained"
+            );
+            let health = svc.health();
+            assert!(
+                health.quarantined_total > 0,
+                "seed {seed}: the fault plan produced no dead letters — vacuous"
+            );
+
+            let reference = faulty_reference(&base, seed, workers);
+            let live = fingerprint(&svc);
+            assert_eq!(
+                live,
+                fingerprint(&reference),
+                "seed {seed} workers={workers}: daemon diverged from the mirror"
+            );
+            prints.push(live);
+            let _ = fs::remove_dir_all(&dir);
+        }
+        assert_eq!(prints[0], prints[1], "seed {seed}: workers 1 vs 4");
+        assert_eq!(prints[0], prints[2], "seed {seed}: workers 1 vs 8");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Bounded journal across ≥ 3 compaction cycles.
+// ---------------------------------------------------------------------
+
+/// A tiny base plus a long trickle feed: appends outgrow the full-snapshot
+/// base repeatedly, so the auto-chooser keeps writing fulls, retention
+/// keeps aging out old ones, and compaction keeps finding records to drop.
+fn bounded_fixture() -> (CallDataset, Vec<RawItem>) {
+    let mut base = generate(&DatasetConfig::small(24, 3));
+    base.sessions.truncate(20);
+    let feed: Vec<RawItem> = generate(&DatasetConfig::small(420, 13))
+        .sessions
+        .into_iter()
+        .take(400)
+        .map(|s| RawItem::Session(Box::new(s)))
+        .collect();
+    (base, feed)
+}
+
+#[test]
+fn journal_stays_bounded_across_compaction_cycles() {
+    let (base, feed) = bounded_fixture();
+    let total_items = feed.len();
+    let window = 8usize;
+    let ticks = total_items / window + 2;
+    let dir = tmp_dir("bounded");
+    let clock = Arc::new(VirtualClock::new());
+    let svc = Arc::new(
+        UsaasService::build_persistent(base, Forum { posts: Vec::new() }, 4, &dir).unwrap(),
+    );
+    let mut cfg = daemon_config(4, clock.clone(), window);
+    cfg.checkpoint_every_ms = 1_500; // checkpoint (and compact) every other tick
+    let daemon = Daemon::new(Arc::clone(&svc), cfg);
+    daemon.register_feed(Box::new(ItemSource::new("trickle", feed)));
+
+    let mut compaction_passes = Vec::new();
+    for _ in 0..ticks {
+        let report = daemon.tick();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        if let Some(c) = report.compaction {
+            if c.dropped_records > 0 {
+                assert!(
+                    c.bytes_after < c.bytes_before,
+                    "a dropping pass must shrink the file: {c:?}"
+                );
+                compaction_passes.push(c);
+            }
+        }
+        clock.sleep_ms(1_000);
+    }
+    assert!(
+        compaction_passes.len() >= 3,
+        "need ≥ 3 compaction cycles, got {}",
+        compaction_passes.len()
+    );
+    for pair in compaction_passes.windows(2) {
+        assert!(
+            pair[1].safe_seq > pair[0].safe_seq,
+            "the safety bound must advance: {pair:?}"
+        );
+    }
+
+    let stats = svc.health().journal.expect("persistent service has stats");
+    assert_eq!(stats.compactions, compaction_passes.len() as u64);
+    assert!(stats.records_compacted > 0);
+    assert!(stats.oldest_live_seq > 1, "old records were dropped");
+    assert_eq!(
+        stats.records,
+        stats.last_seq - stats.oldest_live_seq + 1,
+        "live records pinned to the seq range"
+    );
+    assert!(
+        stats.last_seq >= 40,
+        "the workload appended a long history (got {})",
+        stats.last_seq
+    );
+    // Bounded: the tail the journal keeps is pinned behind the newest
+    // retained full snapshot, so a majority of the history is gone. (The
+    // auto-chooser's full-snapshot cadence is geometric in dataset size,
+    // so the tail is a fraction of the history, not a fixed constant.)
+    assert!(
+        stats.records_compacted >= 15,
+        "compaction dropped a real share of the history: {stats:?}"
+    );
+    assert!(
+        stats.oldest_live_seq > stats.last_seq / 3,
+        "the live tail starts well past the oldest history: {stats:?}"
+    );
+    assert!(
+        stats.records <= 32,
+        "the journal holds a bounded tail, not the history: {} records",
+        stats.records
+    );
+
+    // Boundedness did not cost recoverability: the drained directory
+    // reopens clean and bit-identical, at two worker counts.
+    let drain = daemon.shutdown();
+    assert!(drain.errors.is_empty(), "{:?}", drain.errors);
+    let live = fingerprint(&svc);
+    drop(daemon);
+    drop(svc);
+    for workers in [1usize, 4] {
+        let reopened = UsaasService::open_or_recover(&dir, workers).unwrap();
+        assert!(
+            reopened.health().recovery_warnings.is_empty(),
+            "{:?}",
+            reopened.health().recovery_warnings
+        );
+        assert_eq!(fingerprint(&reopened), live, "workers={workers}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 4. Mid-compaction kill points.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mid_compaction_kill_points_recover_clean() {
+    let (base, feed) = bounded_fixture();
+    let dir = tmp_dir("killpoints");
+    let clock = Arc::new(VirtualClock::new());
+    let svc = Arc::new(
+        UsaasService::build_persistent(base, Forum { posts: Vec::new() }, 4, &dir).unwrap(),
+    );
+    let mut cfg = daemon_config(4, clock.clone(), 8);
+    cfg.checkpoint_every_ms = 1_500;
+    let daemon = Daemon::new(Arc::clone(&svc), cfg);
+    daemon.register_feed(Box::new(ItemSource::new("trickle", feed)));
+    let mut compacted = 0;
+    for _ in 0..60 {
+        let report = daemon.tick();
+        if report.compaction.map(|c| c.dropped_records > 0) == Some(true) {
+            compacted += 1;
+        }
+        clock.sleep_ms(1_000);
+        if compacted >= 2 {
+            break;
+        }
+    }
+    assert!(compacted >= 2, "workload never compacted twice");
+    let stats = svc.health().journal.unwrap();
+    assert!(stats.oldest_live_seq > 1);
+    let live = fingerprint(&svc);
+    drop(daemon);
+    drop(svc);
+
+    // Kill point A: crash *before* the compaction rename — the old journal
+    // is intact and a stray half-written journal.tmp sits next to it.
+    // Recovery must ignore the tmp entirely.
+    {
+        let crash = tmp_dir("killpoints-prerename");
+        copy_dir(&dir, &crash);
+        let journal_bytes = fs::read(crash.join(JOURNAL_FILE)).unwrap();
+        let mut tmp = journal_bytes[..journal_bytes.len() / 2].to_vec();
+        tmp.extend_from_slice(b"\xDE\xAD\xBE\xEF torn compaction scratch");
+        fs::write(crash.join("journal.tmp"), tmp).unwrap();
+        let recovered = UsaasService::open_or_recover(&crash, 4).unwrap();
+        assert!(
+            recovered.health().recovery_warnings.is_empty(),
+            "a stray journal.tmp must not surface: {:?}",
+            recovered.health().recovery_warnings
+        );
+        assert_eq!(fingerprint(&recovered), live, "pre-rename crash state");
+        let _ = fs::remove_dir_all(&crash);
+    }
+
+    // Kill point B: crash *after* the rename — the live directory IS that
+    // state (its journal is the compacted file). Then cut the compacted
+    // journal at every surviving record boundary: each prefix must
+    // recover with zero warnings (in particular no "journal gap" — the
+    // compaction bound guarantees every loadable snapshot covers the
+    // dropped records) and answer worker-invariantly.
+    let offsets = journal_record_offsets(&dir.join(JOURNAL_FILE)).unwrap();
+    assert!(offsets.len() > 2, "compacted journal still has a tail");
+    let oldest = stats.oldest_live_seq;
+    for (k, &cut_at) in offsets.iter().enumerate() {
+        let crash = tmp_dir(&format!("killpoints-cut{k}"));
+        copy_dir(&dir, &crash);
+        fs::OpenOptions::new()
+            .write(true)
+            .open(crash.join(JOURNAL_FILE))
+            .unwrap()
+            .set_len(cut_at)
+            .unwrap();
+        // A crash at this boundary predates snapshots covering later seqs.
+        let cut_seq = oldest + k as u64 - u64::from(k > 0);
+        drop_snapshots_after(&crash, if k == 0 { oldest - 1 } else { cut_seq });
+
+        let a = UsaasService::open_or_recover(&crash, 1).unwrap();
+        let wa = a.health().recovery_warnings;
+        assert!(wa.is_empty(), "cut {k}: unexpected warnings {wa:?}");
+        let b = UsaasService::open_or_recover(&crash, 4).unwrap();
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "cut {k}: recovery must be worker-invariant"
+        );
+        let _ = fs::remove_dir_all(&crash);
+    }
+
+    // The uncut directory still recovers to the live state.
+    let recovered = UsaasService::open_or_recover(&dir, 4).unwrap();
+    assert_eq!(fingerprint(&recovered), live);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The journal sequence a persisted file covers: `snapshot-<seq>.snap`
+/// or `diff-<base>-<seq>.snap`.
+fn persisted_seq(name: &str) -> Option<u64> {
+    let mid = name.strip_suffix(".snap")?;
+    if let Some(seq) = mid.strip_prefix("snapshot-") {
+        return seq.parse().ok();
+    }
+    let (_base, seq) = mid.strip_prefix("diff-")?.split_once('-')?;
+    seq.parse().ok()
+}
+
+/// Remove snapshots (full or differential) that would not have existed at
+/// a crash after journal seq `k`.
+fn drop_snapshots_after(dir: &Path, k: u64) {
+    for entry in fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = persisted_seq(name) {
+            if seq > k {
+                fs::remove_file(entry.path()).unwrap();
+            }
+        }
+    }
+}

@@ -456,3 +456,52 @@ fn build_persistent_refuses_an_existing_directory() {
     assert_eq!(reopened.epoch(), 0);
     let _ = fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn dead_letter_ring_cap_survives_recovery_with_derived_drop_count() {
+    use usaas::DEAD_LETTER_CAP;
+    let dir = tmp_dir("dead-letter-cap");
+    let mut base = generate(&DatasetConfig::small(40, 9));
+    base.sessions.truncate(30);
+    let svc = UsaasService::build_persistent(base, Forum { posts: Vec::new() }, 2, &dir).unwrap();
+    // Quarantine more than the ring holds: the journal and snapshot carry
+    // only the capped tail, but the exact total persists in the health
+    // counters, so recovery derives the evicted count.
+    let pills = DEAD_LETTER_CAP + 137;
+    let items: Vec<RawItem> = (0..pills).map(|_| RawItem::Poison("pill")).collect();
+    let report = svc.ingest_append(
+        vec![Box::new(ItemSource::new("pill-feed", items))],
+        &IngestConfig::with_workers(2),
+    );
+    assert_eq!(report.quarantined.len(), pills);
+    let live = svc.health();
+    assert_eq!(live.quarantined_total, pills);
+    assert_eq!(live.dead_letters_dropped, pills - DEAD_LETTER_CAP);
+    let live_ring = svc.dead_letters();
+    drop(svc);
+
+    let recovered = UsaasService::open_or_recover(&dir, 2).unwrap();
+    let health = recovered.health();
+    assert!(
+        health.recovery_warnings.is_empty(),
+        "{:?}",
+        health.recovery_warnings
+    );
+    assert_eq!(health.quarantined_total, pills, "exact total survives");
+    assert_eq!(
+        recovered.dead_letters().len(),
+        DEAD_LETTER_CAP,
+        "the ring reloads capped"
+    );
+    assert_eq!(
+        health.dead_letters_dropped,
+        pills - DEAD_LETTER_CAP,
+        "the evicted count is re-derived on recovery"
+    );
+    assert_eq!(
+        format!("{:?}", recovered.dead_letters()),
+        format!("{live_ring:?}"),
+        "the retained tail is bit-identical"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
