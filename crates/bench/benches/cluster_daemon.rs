@@ -1,0 +1,108 @@
+//! Cluster daemon steady-state: the generic tick loop over a partition set.
+//!
+//! The daemon is generic over `ServeTarget`, so the same tick loop that
+//! drives a single `UsaasService` can drive a `PartitionedService`
+//! cluster — feeds and submit batches flow through the router's
+//! partitioning ingest instead of a single engine. This bench measures
+//! that path on an in-memory two-partition cluster (no fsync noise) and
+//! a virtual clock (sleeps are atomic adds):
+//!
+//! * `healthy` — a clean trickle feed consumed in tick windows: the
+//!   cluster daemon machinery's overhead over raw partitioned ingestion.
+//! * `submit_burst` — the same items arriving as queued submit batches:
+//!   the admission/queue path in front of the router.
+//!
+//! Run with `BENCH_JSON=results/BENCH_daemon.json` (or via
+//! `scripts/bench_json.sh`) to export the medians alongside the
+//! single-service daemon numbers.
+
+use conference::dataset::{generate, DatasetConfig};
+use conference::records::CallDataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use social::post::Forum;
+use std::hint::black_box;
+use std::sync::Arc;
+use usaas::{
+    Clock, ClusterDaemon, DaemonConfig, IngestConfig, ItemSource, PartitionedService, RawItem,
+    VirtualClock,
+};
+
+/// Feed size per iteration.
+const N: usize = 2_000;
+/// Items pulled per feed per tick.
+const WINDOW: usize = 256;
+/// Normalisation workers per partition batch.
+const WORKERS: usize = 4;
+/// Cluster width.
+const PARTITIONS: usize = 2;
+
+fn feed_items() -> Vec<RawItem> {
+    generate(&DatasetConfig::small(N, 17))
+        .sessions
+        .into_iter()
+        .take(N)
+        .map(|s| RawItem::Session(Box::new(s)))
+        .collect()
+}
+
+fn base() -> CallDataset {
+    generate(&DatasetConfig::small(200, 3))
+}
+
+fn daemon(base: &CallDataset, clock: Arc<VirtualClock>) -> ClusterDaemon {
+    let svc = Arc::new(PartitionedService::build(
+        base.clone(),
+        Forum { posts: Vec::new() },
+        PARTITIONS,
+        WORKERS,
+    ));
+    let mut cfg = DaemonConfig::with_workers(WORKERS);
+    cfg.ingest = IngestConfig::with_workers(WORKERS).with_clock(clock);
+    cfg.tick_ms = 1_000;
+    cfg.max_items_per_tick = WINDOW;
+    cfg.checkpoint_every_ms = 0; // in-memory: no checkpoint cadence
+    ClusterDaemon::new(svc, cfg)
+}
+
+/// Tick the daemon until every feed retires; returns total items fed so
+/// the optimiser cannot elide the run.
+fn run_feed(base: &CallDataset, items: &[RawItem]) -> usize {
+    let clock = Arc::new(VirtualClock::new());
+    let daemon = daemon(base, Arc::clone(&clock));
+    daemon.register_feed(Box::new(ItemSource::new("bench-feed", items.to_vec())));
+    let mut fed = 0;
+    while !daemon.health().feeds.iter().all(|f| f.done) {
+        fed += daemon.tick().fed;
+        clock.sleep_ms(1_000);
+    }
+    fed
+}
+
+/// Submit the feed as queued batches, then tick until the queue drains.
+fn run_submit(base: &CallDataset, items: &[RawItem]) -> usize {
+    let clock = Arc::new(VirtualClock::new());
+    let daemon = daemon(base, Arc::clone(&clock));
+    let mut fed = 0;
+    for batch in items.chunks(WINDOW) {
+        daemon.submit(batch.to_vec());
+        fed += daemon.tick().fed;
+        clock.sleep_ms(1_000);
+    }
+    fed
+}
+
+fn bench_cluster_daemon(c: &mut Criterion) {
+    let base = base();
+    let items = feed_items();
+
+    let mut group = c.benchmark_group("cluster_daemon");
+    group.sample_size(10);
+    group.bench_function("healthy", |b| b.iter(|| black_box(run_feed(&base, &items))));
+    group.bench_function("submit_burst", |b| {
+        b.iter(|| black_box(run_submit(&base, &items)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_daemon);
+criterion_main!(benches);

@@ -27,8 +27,9 @@ use crate::fulcrum::{DocShot, FulcrumAnalysis};
 use crate::ingest::{self, IngestConfig, IngestReport, QuarantineEntry};
 use crate::outage::{DetectedOutage, OutageDetector};
 use crate::persist::{
-    read_and_repair_journal, CompactionReport, Journal, JournalRecord, JournalStats, PersistError,
-    JOURNAL_FILE,
+    cluster_snapshot_seqs, compact_journal_file, load_latest_cluster_snapshot,
+    read_and_repair_journal, snapshot_seqs, write_cluster_snapshot, ClusterSnapContents,
+    CompactionReport, Journal, JournalRecord, JournalStats, PersistError, JOURNAL_FILE,
 };
 use crate::predict;
 use crate::service::{
@@ -48,7 +49,7 @@ use sentiment::analyzer::SentimentAnalyzer;
 use sentiment::corpus::{CompiledDict, IdNgramCounts};
 use social::post::{Forum, Post};
 use starlink::constellation::{DeploymentPlanner, RegionalDemand};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
@@ -57,7 +58,10 @@ use std::sync::{Arc, OnceLock};
 const VNODES: usize = 64;
 
 /// Cluster metadata file (partition count), sibling of the cluster journal.
-const CLUSTER_META: &str = "cluster.meta";
+/// Cluster metadata file name inside a cluster persist directory — its
+/// presence is how callers (and the `usaas serve` CLI) distinguish a
+/// cluster directory from a single-service one.
+pub const CLUSTER_META: &str = "cluster.meta";
 
 /// `"USCL"` little-endian: the metadata file magic.
 const META_MAGIC: u32 = 0x4C43_5355;
@@ -943,18 +947,31 @@ impl ClusterHealth {
 }
 
 /// The cluster's durable state: the root journal ("cluster log") every
-/// accepted batch is recorded in before any partition commits it.
+/// accepted batch is recorded in before any partition commits it, plus the
+/// bookkeeping [`PartitionedService::compact_root_log`] needs to drop the
+/// log's absorbed prefix safely.
 struct ClusterPersist {
     dir: PathBuf,
     journal: Journal,
     last_seq: u64,
-    /// Records currently live in the cluster log (the log is never
-    /// compacted — its base record and batch history re-derive the order
-    /// maps on recovery — so this only grows with appends).
+    /// Records currently live in the cluster log.
     live_records: u64,
-    /// Seq of the oldest record in the cluster log (1 once the base
-    /// record exists).
+    /// Seq of the oldest record in the cluster log (0 when the live prefix
+    /// was fully compacted away and nothing has been appended since).
     oldest_live_seq: u64,
+    /// One entry per live record, in seq order: `(seq, per-partition
+    /// non-empty flags)`. The flags are what
+    /// [`PartitionedService::compact_root_log`] folds to decide how many
+    /// committed batches each record contributes per partition.
+    ledger: VecDeque<(u64, Vec<bool>)>,
+    /// Committed non-empty sub-batches per partition *before* the first
+    /// ledger entry — the indexing origin compaction advances as it drops
+    /// records.
+    base_count: Vec<u64>,
+    /// Root-log compaction passes that actually dropped records.
+    compactions: u64,
+    /// Root-log records dropped across all compaction passes.
+    records_compacted: u64,
 }
 
 /// A consistent-hash sharded [`UsaasService`] cluster behind a merging
@@ -1032,29 +1049,63 @@ impl PartitionedService {
                 &dir.join(format!("part-{p}")),
             )?);
         }
+        let mut ledger = VecDeque::new();
+        // The base record commits through the partitions' own builds, not
+        // through roll-forward, so its ledger flags are all-false.
+        ledger.push_back((1, vec![false; ring.partitions()]));
         let persist = Some(Mutex::new(ClusterPersist {
             dir: dir.to_path_buf(),
             journal,
             last_seq: 1,
             live_records: 1,
             oldest_live_seq: 1,
+            ledger,
+            base_count: vec![0; ring.partitions()],
+            compactions: 0,
+            records_compacted: 0,
         }));
         Ok(Self::assemble(parts, ring, order, workers, persist))
     }
 
     /// Reopen a persisted cluster: recover every partition, re-derive the
-    /// order maps by replaying the cluster log through the ring, and roll
-    /// forward any partition that persisted fewer committed batches than
-    /// the log records (per-partition crash recovery). Repairs land in
+    /// order maps from the newest cluster root snapshot (when one exists)
+    /// plus a replay of the cluster log through the ring, and roll forward
+    /// any partition that persisted fewer committed batches than the log
+    /// records (per-partition crash recovery). Repairs land in
     /// [`ClusterHealth::recovery_warnings`] instead of failing the open.
     pub fn open_or_recover(dir: &Path, workers: usize) -> Result<PartitionedService, PersistError> {
         let partitions = read_meta(dir)?;
         let ring = HashRing::new(partitions);
         let mut warnings = Vec::new();
+        // Newest loadable cluster root snapshot: the order maps, router
+        // totals, and per-partition batch counts through `covered_seq`,
+        // written by `compact_root_log` before it drops the absorbed log
+        // prefix. `None` on a never-compacted cluster — the legacy path,
+        // where the full log (base record included) re-derives everything.
+        let snap = match load_latest_cluster_snapshot(dir, &mut warnings) {
+            Some(s) if s.partitions != partitions => {
+                warnings.push(format!(
+                    "cluster snapshot was built for {} partition(s) but cluster.meta says \
+                     {partitions}; ignoring it",
+                    s.partitions
+                ));
+                None
+            }
+            other => other,
+        };
+        let covered = snap.as_ref().map(|s| s.covered_seq).unwrap_or(0);
         let records = read_and_repair_journal(&dir.join(JOURNAL_FILE), &mut warnings)?;
-        if records.first().map(|r| r.seq) != Some(1) {
+        if snap.is_none() && records.first().map(|r| r.seq) != Some(1) {
             warnings
                 .push("cluster log lost its base record; query merges may drop rows".to_string());
+        }
+        if let Some(first) = records.first().map(|r| r.seq) {
+            if covered > 0 && first > covered + 1 {
+                warnings.push(format!(
+                    "cluster log starts at seq {first} but the newest cluster snapshot covers \
+                     only seq {covered}; records in between are lost"
+                ));
+            }
         }
         let mut parts = Vec::new();
         for p in 0..partitions {
@@ -1067,47 +1118,109 @@ impl PartitionedService {
         let mut totals = RouterTotals::default();
         let mut cluster_epoch = 0u64;
         let mut last_seq = 0u64;
-        // Committed non-empty sub-batches per partition, in log order —
-        // what each partition's epoch should have reached.
-        let mut expected = vec![0u64; partitions];
+        if let Some(s) = &snap {
+            order.sessions = s.session_maps.clone();
+            order.posts = s.post_maps.clone();
+            order.total_sessions = s.total_sessions;
+            order.total_posts = s.total_posts;
+            totals.quarantined = s.quarantined;
+            totals.unfed = s.unfed;
+            totals.breaker_trips = s.breaker_trips;
+            totals.open_breakers = s.open_breakers.clone();
+            totals.dead_letters.replace(s.dead_letters.clone());
+            totals.dead_letters.set_dropped(s.dead_letters_dropped);
+            cluster_epoch = s.epoch;
+            last_seq = s.covered_seq;
+        }
+        // Every surviving record contributes roll-forward batches, but only
+        // records *past* the snapshot's coverage contribute to the maps,
+        // totals, and epoch — pre-covered survivors (a compaction that
+        // crashed between snapshot write and journal rewrite) split into a
+        // scratch map so their batches can still index correctly.
+        let mut scratch = OrderMaps::new(partitions);
         let mut pending: Vec<Vec<PartitionBatch>> = vec![Vec::new(); partitions];
+        // Pre-covered pending batches per partition — subtracted from the
+        // snapshot's cumulative counts to find the indexing origin of
+        // `pending` (`base_count`).
+        let mut cnt_pre = vec![0u64; partitions];
+        let mut ledger: VecDeque<(u64, Vec<bool>)> = VecDeque::new();
         let live_records = records.len() as u64;
         let oldest_live_seq = records.first().map(|r| r.seq).unwrap_or(0);
         for rec in records {
             let is_base = rec.seq == 1;
-            let batches = ring.split(rec.sessions, rec.posts, &mut order);
+            let seq = rec.seq;
+            let pre_covered = seq <= covered;
+            let maps = if pre_covered {
+                &mut scratch
+            } else {
+                &mut order
+            };
+            let batches = ring.split(rec.sessions, rec.posts, maps);
+            let mut flags = vec![false; partitions];
             if !is_base {
                 for (p, batch) in batches.into_iter().enumerate() {
                     if !batch.0.is_empty() || !batch.1.is_empty() {
-                        expected[p] += 1;
+                        flags[p] = true;
+                        if pre_covered {
+                            cnt_pre[p] += 1;
+                        }
                         pending[p].push(batch);
                     }
                 }
             }
-            totals.quarantined += rec.quarantined.len();
-            totals.unfed += rec.unfed;
-            totals.breaker_trips += rec.breaker_trips;
-            totals.open_breakers = rec.open_breakers;
-            totals.dead_letters.extend(rec.quarantined);
-            cluster_epoch = rec.epoch_after;
-            last_seq = rec.seq;
+            if !pre_covered {
+                totals.quarantined += rec.quarantined.len();
+                totals.unfed += rec.unfed;
+                totals.breaker_trips += rec.breaker_trips;
+                totals.open_breakers = rec.open_breakers;
+                totals.dead_letters.extend(rec.quarantined);
+                cluster_epoch = rec.epoch_after;
+            }
+            last_seq = last_seq.max(seq);
+            ledger.push_back((seq, flags));
         }
+        // Committed batches per partition *before* the first entry of
+        // `pending` — zero without a snapshot (the log starts at the base
+        // record), else the snapshot's cumulative count minus the
+        // pre-covered survivors that also landed in `pending`.
+        let base_count: Vec<u64> = match &snap {
+            Some(s) => s
+                .batch_counts
+                .iter()
+                .zip(&cnt_pre)
+                .map(|(c, pre)| c.saturating_sub(*pre))
+                .collect(),
+            None => vec![0; partitions],
+        };
         // Roll forward partitions that crashed before persisting batches
         // the cluster log committed.
         for (p, part) in parts.iter().enumerate() {
             let have = part.epoch();
-            let want = expected[p];
+            let base = base_count[p];
+            let want = base + pending[p].len() as u64;
             if have > want {
                 warnings.push(format!(
                     "part-{p} is ahead of the cluster log (epoch {have}, expected {want})"
                 ));
+            } else if have < base {
+                // The partition fell behind the compacted prefix — batches
+                // (have, base] left the log, so full repair is impossible.
+                // Replay what remains and flag the gap.
+                warnings.push(format!(
+                    "part-{p} recovered at epoch {have}, below the compacted cluster log's \
+                     floor {base}; replaying only the {} retained batch(es)",
+                    pending[p].len()
+                ));
+                for (sessions, posts) in pending[p].iter() {
+                    let _ = part.append_batch(sessions.clone(), posts.clone());
+                }
             } else if have < want {
                 warnings.push(format!(
                     "part-{p} recovered at epoch {have}, cluster log expects {want}; \
                      replaying {} batch(es)",
                     want - have
                 ));
-                for (sessions, posts) in pending[p].iter().skip(have as usize) {
+                for (sessions, posts) in pending[p].iter().skip((have - base) as usize) {
                     let _ = part.append_batch(sessions.clone(), posts.clone());
                 }
             }
@@ -1129,6 +1242,10 @@ impl PartitionedService {
                 last_seq,
                 live_records,
                 oldest_live_seq,
+                ledger,
+                base_count,
+                compactions: 0,
+                records_compacted: 0,
             })),
         })
     }
@@ -1182,6 +1299,11 @@ impl PartitionedService {
     /// Number of partitions in the cluster.
     pub fn partitions(&self) -> usize {
         self.ring.partitions()
+    }
+
+    /// True when the cluster was opened on a persist directory.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
     }
 
     /// Cluster epoch: committed cluster-wide appends since the build.
@@ -1282,6 +1404,16 @@ impl PartitionedService {
         let mut will_commit = !sessions.is_empty() || !posts.is_empty();
         let base = self.snapshot();
         if let Some(persist) = &self.persist {
+            // Ledger flags for compaction bookkeeping: which partitions
+            // this record hands a non-empty sub-batch (computed before the
+            // lock — routing is a pure ring lookup, no split needed yet).
+            let mut flags = vec![false; self.ring.partitions()];
+            for s in &sessions {
+                flags[self.ring.partition_of(s.user_id)] = true;
+            }
+            for p in &posts {
+                flags[self.ring.partition_of(p.author_id)] = true;
+            }
             let mut state = persist.lock();
             let record = JournalRecord {
                 seq: state.last_seq + 1,
@@ -1300,6 +1432,7 @@ impl PartitionedService {
                     if state.oldest_live_seq == 0 {
                         state.oldest_live_seq = record.seq;
                     }
+                    state.ledger.push_back((record.seq, flags));
                 }
                 Err(e) => {
                     will_commit = false;
@@ -1447,9 +1580,11 @@ impl PartitionedService {
         }
     }
 
-    /// Journal stats of the root cluster log alone (no compaction counters
-    /// — the log is never compacted; see [`ClusterPersist`]).
-    fn root_journal_stats(&self) -> Option<JournalStats> {
+    /// Journal stats of the root cluster log alone; `None` for an
+    /// in-memory cluster. Compaction counters count
+    /// [`PartitionedService::compact_root_log`] passes that dropped
+    /// records since this handle opened.
+    pub fn root_journal_stats(&self) -> Option<JournalStats> {
         let persist = self.persist.as_ref()?;
         let state = persist.lock();
         let bytes = std::fs::metadata(state.dir.join(JOURNAL_FILE))
@@ -1460,9 +1595,25 @@ impl PartitionedService {
             records: state.live_records,
             oldest_live_seq: state.oldest_live_seq,
             last_seq: state.last_seq,
-            compactions: 0,
-            records_compacted: 0,
+            compactions: state.compactions,
+            records_compacted: state.records_compacted,
         })
+    }
+
+    /// Merged journal observability — the root cluster log folded with
+    /// every partition's journal ([`JournalStats::merge`] semantics);
+    /// `None` for an in-memory cluster.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        let mut journal = self.root_journal_stats();
+        for part in &self.parts {
+            if let Some(stats) = part.journal_stats() {
+                match &mut journal {
+                    Some(j) => j.merge(&stats),
+                    None => journal = Some(stats),
+                }
+            }
+        }
+        journal
     }
 
     /// The cluster's dead-letter queue: router-quarantined items plus every
@@ -1489,12 +1640,53 @@ impl PartitionedService {
         self.parts.iter().map(UsaasService::checkpoint).collect()
     }
 
+    /// Durably write a **full** snapshot of every partition (see
+    /// [`UsaasService::checkpoint_full`]); returns the written paths in
+    /// partition order. Rolling fulls advances each partition's
+    /// oldest-retained-full floor, which is exactly what lets
+    /// [`PartitionedService::compact_root_log`] drop more of the cluster
+    /// log — the operator-maintenance lever for a long-lived cluster.
+    pub fn checkpoint_full(&self) -> Result<Vec<PathBuf>, PersistError> {
+        if self.persist.is_none() {
+            return Err(PersistError::NotPersistent);
+        }
+        let _appending = self.append_lock.lock();
+        self.parts
+            .iter()
+            .map(UsaasService::checkpoint_full)
+            .collect()
+    }
+
+    /// Durably checkpoint one partition (see [`UsaasService::checkpoint`])
+    /// — the staggered-cadence unit the cluster daemon drives so N
+    /// fsync-heavy checkpoints never align on one tick.
+    pub fn checkpoint_partition(&self, partition: usize) -> Result<PathBuf, PersistError> {
+        if self.persist.is_none() {
+            return Err(PersistError::NotPersistent);
+        }
+        let _appending = self.append_lock.lock();
+        self.parts[partition].checkpoint()
+    }
+
+    /// Compact one partition's write-ahead journal (see
+    /// [`UsaasService::compact_journal`]).
+    pub fn compact_partition_journal(
+        &self,
+        partition: usize,
+    ) -> Result<CompactionReport, PersistError> {
+        if self.persist.is_none() {
+            return Err(PersistError::NotPersistent);
+        }
+        let _appending = self.append_lock.lock();
+        self.parts[partition].compact_journal()
+    }
+
     /// Compact every partition's write-ahead journal (see
     /// [`UsaasService::compact_journal`]); returns the per-partition
-    /// reports in partition order. The root cluster log is **not**
-    /// compacted: its base record and batch history are what recovery
-    /// replays to re-derive the order maps and partition roll-forward
-    /// targets, so every record stays live.
+    /// reports in partition order. The root cluster log compacts
+    /// separately through [`PartitionedService::compact_root_log`], which
+    /// first checkpoints the recovery state the dropped records would have
+    /// re-derived.
     pub fn compact_journals(&self) -> Result<Vec<CompactionReport>, PersistError> {
         if self.persist.is_none() {
             return Err(PersistError::NotPersistent);
@@ -1504,6 +1696,180 @@ impl PartitionedService {
             .iter()
             .map(UsaasService::compact_journal)
             .collect()
+    }
+
+    /// Compact the root cluster log: write a cluster root snapshot (order
+    /// maps, router totals, per-partition batch counts through `last_seq`),
+    /// then drop the log prefix that every recovery path has durably
+    /// absorbed, byte-verbatim via the same atomic rewrite the partition
+    /// journals use.
+    ///
+    /// The safety bound is the *minimum* over two floors, walked record by
+    /// record from the front of the log:
+    ///
+    /// 1. the **oldest retained** cluster root snapshot's `covered_seq` —
+    ///    so even if the newest snapshot is corrupt at rest, the fallback
+    ///    snapshot still covers everything the log no longer holds;
+    /// 2. for every partition, the cumulative batch count a record brings
+    ///    partition `p` to must stay ≤ the seq of `p`'s **oldest retained
+    ///    full snapshot** — the worst state `p` can legally recover to.
+    ///    Roll-forward then only ever needs batches *newer* than the
+    ///    dropped prefix, which are exactly the records kept.
+    ///
+    /// A pass that finds nothing droppable returns a no-op report
+    /// (`dropped_records == 0`) without touching the journal file.
+    pub fn compact_root_log(&self) -> Result<CompactionReport, PersistError> {
+        let Some(persist) = &self.persist else {
+            return Err(PersistError::NotPersistent);
+        };
+        let _appending = self.append_lock.lock();
+        let snapshot = self.snapshot();
+        let partitions = self.ring.partitions();
+        let mut state = persist.lock();
+        // Cumulative per-partition batch counts through last_seq: the
+        // pre-ledger origin plus every live record's flags.
+        let mut batch_counts = state.base_count.clone();
+        for (_, flags) in &state.ledger {
+            for (count, &hit) in batch_counts.iter_mut().zip(flags) {
+                *count += u64::from(hit);
+            }
+        }
+        let contents = {
+            // persist → totals is the established lock order (ingest_append
+            // pushes append-failure warnings into totals under persist).
+            let totals = self.totals.lock();
+            ClusterSnapContents {
+                covered_seq: state.last_seq,
+                epoch: snapshot.epoch,
+                partitions,
+                batch_counts,
+                session_maps: snapshot.order.sessions.clone(),
+                post_maps: snapshot.order.posts.clone(),
+                total_sessions: snapshot.order.total_sessions,
+                total_posts: snapshot.order.total_posts,
+                quarantined: totals.quarantined,
+                unfed: totals.unfed,
+                breaker_trips: totals.breaker_trips,
+                open_breakers: totals.open_breakers.clone(),
+                dead_letters: totals.dead_letters.to_vec(),
+                dead_letters_dropped: totals.dead_letters.dropped(),
+            }
+        };
+        write_cluster_snapshot(&state.dir, &contents)?;
+        // Floor 1: the oldest retained cluster snapshot's coverage.
+        let snap_bound = cluster_snapshot_seqs(&state.dir)?
+            .last()
+            .copied()
+            .unwrap_or(0);
+        // Floor 2: every partition's oldest retained full snapshot seq
+        // (always present — a persisted partition writes snapshot-0 at
+        // build time).
+        let mut floors = Vec::with_capacity(partitions);
+        for p in 0..partitions {
+            let floor = snapshot_seqs(&state.dir.join(format!("part-{p}")))?
+                .last()
+                .copied()
+                .unwrap_or(0);
+            floors.push(floor);
+        }
+        let mut tentative = state.base_count.clone();
+        let mut safe_seq = 0u64;
+        for (seq, flags) in &state.ledger {
+            let mut next = tentative.clone();
+            for (count, &hit) in next.iter_mut().zip(flags) {
+                *count += u64::from(hit);
+            }
+            let absorbed = next
+                .iter()
+                .zip(&floors)
+                .all(|(count, &floor)| *count <= floor);
+            if *seq <= snap_bound && absorbed {
+                safe_seq = *seq;
+                tentative = next;
+            } else {
+                break;
+            }
+        }
+        if safe_seq == 0 {
+            let bytes = std::fs::metadata(state.dir.join(JOURNAL_FILE))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            return Ok(CompactionReport {
+                safe_seq: 0,
+                kept_records: state.live_records,
+                dropped_records: 0,
+                oldest_live_seq: state.oldest_live_seq,
+                bytes_before: bytes,
+                bytes_after: bytes,
+            });
+        }
+        let report = compact_journal_file(&state.dir, safe_seq)?;
+        if report.dropped_records > 0 {
+            // The rewrite replaced the inode the append handle points at.
+            state.journal = Journal::open_append(&state.dir.join(JOURNAL_FILE))?;
+            state.live_records = report.kept_records;
+            state.oldest_live_seq = report.oldest_live_seq;
+            while let Some(&(seq, _)) = state.ledger.front() {
+                if seq > safe_seq {
+                    break;
+                }
+                let (_, flags) = state.ledger.pop_front().expect("front checked above");
+                for (count, &hit) in state.base_count.iter_mut().zip(&flags) {
+                    *count += u64::from(hit);
+                }
+            }
+            state.compactions += 1;
+            state.records_compacted += report.dropped_records;
+        }
+        Ok(report)
+    }
+}
+
+/// The cluster behind the daemon: each partition is an independently
+/// checkpointable persist unit (the daemon staggers their cadences), and
+/// the shared root cluster log compacts through
+/// [`PartitionedService::compact_root_log`].
+impl crate::daemon::ServeTarget for PartitionedService {
+    type Health = ClusterHealth;
+
+    fn ingest_append<'a>(
+        &self,
+        sources: Vec<Box<dyn Source + 'a>>,
+        cfg: &IngestConfig,
+    ) -> IngestReport {
+        PartitionedService::ingest_append(self, sources, cfg)
+    }
+
+    fn epoch(&self) -> u64 {
+        PartitionedService::epoch(self)
+    }
+
+    fn is_persistent(&self) -> bool {
+        PartitionedService::is_persistent(self)
+    }
+
+    fn health(&self) -> ClusterHealth {
+        PartitionedService::health(self)
+    }
+
+    fn journal_stats(&self) -> Option<JournalStats> {
+        PartitionedService::journal_stats(self)
+    }
+
+    fn persist_units(&self) -> usize {
+        self.partitions()
+    }
+
+    fn checkpoint_unit(&self, unit: usize) -> Result<PathBuf, PersistError> {
+        self.checkpoint_partition(unit)
+    }
+
+    fn compact_unit(&self, unit: usize) -> Result<CompactionReport, PersistError> {
+        self.compact_partition_journal(unit)
+    }
+
+    fn compact_root(&self) -> Option<Result<CompactionReport, PersistError>> {
+        Some(self.compact_root_log())
     }
 }
 

@@ -1,30 +1,35 @@
-//! The continuous-serving daemon: an always-on loop around
-//! [`UsaasService`] (§5's "service" read literally).
+//! The continuous-serving daemon: an always-on loop around a
+//! [`ServeTarget`] — a single [`UsaasService`] or a whole
+//! [`PartitionedService`](crate::cluster::PartitionedService) cluster
+//! (§5's "service" read literally, at either scale).
 //!
 //! The paper's USaaS is not a batch job — it continuously folds user
 //! signals into operator-facing answers. This module supplies the missing
 //! runtime: registered [`Source`] feeds are pulled through the resilient
 //! ingest engine a bounded window per tick, callers push ad-hoc batches
 //! through a **bounded submit queue** with explicit admission control
-//! (block / shed / reject), a periodic checkpointer reuses
-//! [`UsaasService::checkpoint`]'s full/diff auto-choice and then runs
-//! [`UsaasService::compact_journal`] so disk stays bounded, and
-//! [`Daemon::shutdown`] drains the queue to a final checkpoint and
-//! reports a structured [`DrainReport`].
+//! (block / shed / reject), a periodic checkpointer drives each persist
+//! unit (the single service, or every partition on a **staggered
+//! cadence** so N fsync-heavy checkpoints never align on one tick) and
+//! then compacts that unit's journal — plus, for a cluster, the root
+//! cluster log via
+//! [`PartitionedService::compact_root_log`](crate::cluster::PartitionedService::compact_root_log)
+//! — so disk stays bounded, and [`Daemon::shutdown`] drains the queue to
+//! a final checkpoint and reports a structured [`DrainReport`].
 //!
-//! Every time decision runs on the [`Clock`] carried by the ingest
-//! config — [`crate::fault::WallClock`] in production, a
+//! Every time decision runs on the [`Clock`](crate::fault::Clock) carried
+//! by the ingest config — [`crate::fault::WallClock`] in production, a
 //! [`crate::fault::VirtualClock`] in tests — so the whole lifecycle
-//! (ticks, checkpoint cadence, block-admission timeouts) is
-//! deterministically testable under the existing `FaultPlan` injectors.
-//! The daemon adds no parallelism of its own: each tick funnels all work
-//! through one `ingest_append` call, so the workers-1/4/8 bit-identity
-//! invariant holds exactly as it does for manual appends
-//! (`tests/daemon_lifecycle.rs` pins daemon runs against equivalent
-//! manual schedules).
+//! (ticks, checkpoint cadences, block-admission timeouts, the adaptive
+//! tick's latency EWMA) is deterministically testable under the existing
+//! `FaultPlan` injectors. The daemon adds no parallelism of its own: each
+//! tick funnels all work through one `ingest_append` call, so the
+//! workers-1/4/8 (and partitions-1/2/4/8) bit-identity invariant holds
+//! exactly as it does for manual appends (`tests/daemon_lifecycle.rs`
+//! pins daemon runs against equivalent manual schedules).
 
-use crate::ingest::IngestConfig;
-use crate::persist::{CompactionReport, JournalStats};
+use crate::ingest::{IngestConfig, IngestReport};
+use crate::persist::{CompactionReport, JournalStats, PersistError};
 use crate::service::{BoundedLog, ServiceHealth, UsaasService};
 use crate::source::{ItemSource, RawItem, Source, SourceError};
 use parking_lot::Mutex;
@@ -36,6 +41,53 @@ use std::sync::Arc;
 /// Most recent daemon-side errors (failed checkpoints/compactions) kept
 /// in [`DaemonHealth::errors`]; older ones are evicted with a count.
 const DAEMON_ERROR_CAP: usize = 64;
+
+/// What the daemon needs from the thing it serves. Implemented by
+/// [`UsaasService`] (one persist unit) and
+/// [`PartitionedService`](crate::cluster::PartitionedService) (one unit
+/// per partition, plus a root log), so one daemon implementation runs the
+/// full lifecycle — feeds, submit queue, staggered checkpoints, journal
+/// and root-log compaction, graceful drain — over either.
+pub trait ServeTarget: Send + Sync + 'static {
+    /// The health report the daemon embeds in [`DaemonHealth::service`].
+    type Health: std::fmt::Debug + Clone + Send;
+
+    /// Ingest `sources` through the resilient streaming engine as one
+    /// atomic batch (one journal record, one commit).
+    fn ingest_append<'a>(
+        &self,
+        sources: Vec<Box<dyn Source + 'a>>,
+        cfg: &IngestConfig,
+    ) -> IngestReport;
+
+    /// Committed appends since the build.
+    fn epoch(&self) -> u64;
+
+    /// True when the target persists to disk (checkpoints/compactions
+    /// are meaningful).
+    fn is_persistent(&self) -> bool;
+
+    /// The target's own health report.
+    fn health(&self) -> Self::Health;
+
+    /// Aggregate journal stats (`None` for an in-memory target).
+    fn journal_stats(&self) -> Option<JournalStats>;
+
+    /// Independently checkpointable units: 1 for a single service, the
+    /// partition count for a cluster. The daemon staggers one cadence
+    /// offset per unit.
+    fn persist_units(&self) -> usize;
+
+    /// Durably checkpoint one unit; returns the snapshot path.
+    fn checkpoint_unit(&self, unit: usize) -> Result<PathBuf, PersistError>;
+
+    /// Compact one unit's write-ahead journal.
+    fn compact_unit(&self, unit: usize) -> Result<CompactionReport, PersistError>;
+
+    /// Compact the shared root log, when the target has one (`None` for a
+    /// single service — its only journal is already per-unit).
+    fn compact_root(&self) -> Option<Result<CompactionReport, PersistError>>;
+}
 
 /// What [`Daemon::submit`] does when the bounded queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,14 +146,77 @@ pub enum SubmitOutcome {
     },
 }
 
-/// Daemon tuning. All durations are on the ingest config's [`Clock`].
+/// Adaptive tick sizing: scale the per-feed pull window so the observed
+/// per-tick ingest latency converges on `target_ms`.
+///
+/// The controller is a pure function of daemon-clock samples — see
+/// [`ewma_ms`] and [`adaptive_budget`] — so it is exactly reproducible on
+/// a [`crate::fault::VirtualClock`] (where in-tick latency is whatever
+/// the test's fault plan makes the engine sleep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveTick {
+    /// Ingest latency the controller steers toward, per tick.
+    pub target_ms: u64,
+    /// EWMA smoothing factor in percent (0–100): weight of the newest
+    /// sample. 100 tracks the last tick only; small values smooth hard.
+    pub alpha_pct: u32,
+    /// Floor for the adapted window (clamped to ≥ 1).
+    pub min_items: usize,
+    /// Ceiling for the adapted window.
+    pub max_items: usize,
+}
+
+impl Default for AdaptiveTick {
+    fn default() -> AdaptiveTick {
+        AdaptiveTick {
+            target_ms: 500,
+            alpha_pct: 20,
+            min_items: 64,
+            max_items: 16_384,
+        }
+    }
+}
+
+/// One EWMA step: `alpha_pct`% of `sample_ms` plus the rest of `prev`
+/// (`sample_ms` itself when there is no history). Integer arithmetic,
+/// widened internally, so the result is identical on every platform.
+pub fn ewma_ms(alpha_pct: u32, prev: Option<u64>, sample_ms: u64) -> u64 {
+    let a = u128::from(alpha_pct.min(100));
+    match prev {
+        None => sample_ms,
+        Some(p) => {
+            let num = a * u128::from(sample_ms) + (100 - a) * u128::from(p);
+            (num / 100) as u64
+        }
+    }
+}
+
+/// The next per-tick item budget: scale `current` by
+/// `target_ms / ewma_ms` (double it while the EWMA still reads zero — an
+/// idle or instant-clock tick carries no latency signal), clamped to
+/// `[min_items, max_items]`.
+pub fn adaptive_budget(cfg: &AdaptiveTick, ewma_ms: u64, current: usize) -> usize {
+    let lo = cfg.min_items.max(1);
+    let hi = cfg.max_items.max(lo);
+    let next = if ewma_ms == 0 {
+        current.saturating_mul(2)
+    } else {
+        let scaled = u128::from(current as u64) * u128::from(cfg.target_ms) / u128::from(ewma_ms);
+        usize::try_from(scaled).unwrap_or(usize::MAX)
+    };
+    next.clamp(lo, hi)
+}
+
+/// Daemon tuning. All durations are on the ingest config's
+/// [`Clock`](crate::fault::Clock).
 #[derive(Clone)]
 pub struct DaemonConfig {
     /// Sleep between ticks in [`Daemon::run`]/[`Daemon::run_ticks`].
     pub tick_ms: u64,
     /// Per-feed pull window: at most this many items are consumed from
     /// each registered feed per tick (transient errors retry within the
-    /// window without counting against it).
+    /// window without counting against it). The starting value when
+    /// [`DaemonConfig::adaptive`] is set.
     pub max_items_per_tick: usize,
     /// Submit-queue capacity in items. A single batch larger than this
     /// can never be admitted and is refused (or shed) immediately.
@@ -111,13 +226,26 @@ pub struct DaemonConfig {
     /// How long a [`AdmissionPolicy::Block`] submission waits before
     /// giving up.
     pub block_timeout_ms: u64,
-    /// Polling step for blocked submissions (clamped to ≥ 1 ms).
+    /// Polling step for blocked submissions (clamped to ≥ 1 ms); the
+    /// final poll is clamped to the remaining budget so the timeout is
+    /// exact.
     pub block_poll_ms: u64,
-    /// Checkpoint when this much clock time has passed since the last
-    /// one; `0` disables periodic checkpointing.
+    /// Granularity of the run loop's between-tick sleep (clamped to
+    /// ≥ 1 ms): [`Daemon::stop`]/[`Daemon::shutdown`] latency is bounded
+    /// by this step, not by a whole [`DaemonConfig::tick_ms`].
+    pub stop_poll_ms: u64,
+    /// Checkpoint each persist unit when this much clock time has passed
+    /// since its last one; `0` disables periodic checkpointing. Units
+    /// start on staggered offsets (unit `k` of `n` first fires at
+    /// `(k+1)/n` of the cadence) so multi-unit targets never fsync every
+    /// unit on the same tick.
     pub checkpoint_every_ms: u64,
-    /// Run journal compaction after each periodic checkpoint.
+    /// Run journal compaction (and, for targets that have one, root-log
+    /// compaction) after periodic checkpoints.
     pub compact_journal: bool,
+    /// Adaptive per-tick item budget; `None` keeps the fixed
+    /// [`DaemonConfig::max_items_per_tick`] window.
+    pub adaptive: Option<AdaptiveTick>,
     /// Engine config for every tick's ingest run: worker count,
     /// retry/breaker policy, and — crucially — the clock the whole daemon
     /// runs on.
@@ -133,8 +261,10 @@ impl std::fmt::Debug for DaemonConfig {
             .field("admission", &self.admission)
             .field("block_timeout_ms", &self.block_timeout_ms)
             .field("block_poll_ms", &self.block_poll_ms)
+            .field("stop_poll_ms", &self.stop_poll_ms)
             .field("checkpoint_every_ms", &self.checkpoint_every_ms)
             .field("compact_journal", &self.compact_journal)
+            .field("adaptive", &self.adaptive)
             .field("ingest", &self.ingest)
             .finish()
     }
@@ -149,8 +279,10 @@ impl Default for DaemonConfig {
             admission: AdmissionPolicy::Block,
             block_timeout_ms: 5_000,
             block_poll_ms: 10,
+            stop_poll_ms: 10,
             checkpoint_every_ms: 60_000,
             compact_journal: true,
+            adaptive: None,
             ingest: IngestConfig::default(),
         }
     }
@@ -219,7 +351,10 @@ impl Source for TakeSource<'_> {
     }
 
     fn dropped(&self) -> usize {
-        self.inner.dropped() - self.base_dropped
+        // Saturating: a re-registered or reconnecting feed may reset its
+        // cumulative counter below the window's baseline, which must read
+        // as "no new drops", not a debug-build underflow panic.
+        self.inner.dropped().saturating_sub(self.base_dropped)
     }
 
     fn remaining_hint(&self) -> usize {
@@ -243,6 +378,15 @@ struct SubmitQueue {
     items: usize,
 }
 
+/// One persist unit's checkpoint schedule.
+struct UnitCadence {
+    /// Clock time the unit's next periodic checkpoint is due.
+    next_due_ms: u64,
+    /// Consecutive failed checkpoint attempts; drives the capped
+    /// exponential backoff and resets on success.
+    failures: u32,
+}
+
 /// Counters and rings the watchdog folds into [`DaemonHealth`].
 struct DaemonStats {
     ticks: u64,
@@ -251,11 +395,16 @@ struct DaemonStats {
     shed_batches: usize,
     rejected_batches: usize,
     checkpoints: u64,
-    /// Clock time of the last periodic checkpoint; `None` until the
-    /// first (cadence then counts from `started_ms`).
-    last_checkpoint_ms: Option<u64>,
-    started_ms: u64,
+    /// Per-unit checkpoint schedules, staggered at construction.
+    cadences: Vec<UnitCadence>,
     last_compaction: Option<CompactionReport>,
+    last_root_compaction: Option<CompactionReport>,
+    /// The live per-feed pull window (equals `cfg.max_items_per_tick`
+    /// until the adaptive controller moves it).
+    items_per_tick: usize,
+    /// EWMA of observed per-tick ingest latency; `None` until the first
+    /// tick that actually ingested.
+    ewma_tick_ms: Option<u64>,
     /// Failed checkpoints/compactions — the daemon degrades rather than
     /// dying, and the failures surface here.
     errors: BoundedLog<String>,
@@ -292,19 +441,27 @@ pub struct TickReport {
     pub quarantined: usize,
     /// True when the run committed a new generation (epoch advanced).
     pub committed: bool,
-    /// Path of the periodic checkpoint, when one was due and succeeded.
+    /// Path of the last periodic checkpoint this tick, when any unit was
+    /// due and succeeded.
     pub checkpointed: Option<PathBuf>,
-    /// Compaction report, when compaction ran after the checkpoint.
+    /// Persist units that checkpointed this tick, in unit order.
+    pub checkpointed_units: Vec<usize>,
+    /// Compaction report of the last unit compacted this tick.
     pub compaction: Option<CompactionReport>,
+    /// Root-log compaction report, when the target has a root log and a
+    /// pass ran this tick.
+    pub root_compaction: Option<CompactionReport>,
     /// Checkpoint/compaction failures this tick (also accumulated into
     /// [`DaemonHealth::errors`]).
     pub errors: Vec<String>,
 }
 
-/// The daemon's own health, embedding the wrapped service's
-/// [`ServiceHealth`] — the watchdog view an operator polls.
+/// The daemon's own health, embedding the wrapped target's report — the
+/// watchdog view an operator polls. `H` is [`ServiceHealth`] for a single
+/// service, [`ClusterHealth`](crate::cluster::ClusterHealth) for a
+/// cluster.
 #[derive(Debug, Clone)]
-pub struct DaemonHealth {
+pub struct DaemonHealth<H = ServiceHealth> {
     /// Ticks executed so far.
     pub ticks: u64,
     /// Items currently waiting in the submit queue.
@@ -319,19 +476,27 @@ pub struct DaemonHealth {
     pub rejected_batches_total: usize,
     /// True once [`Daemon::shutdown`] closed admission.
     pub draining: bool,
-    /// Periodic checkpoints written.
+    /// Periodic checkpoints written (unit checkpoints, for a cluster).
     pub checkpoints: u64,
-    /// The most recent compaction pass, if any ran.
+    /// The most recent unit compaction pass that dropped records.
     pub last_compaction: Option<CompactionReport>,
+    /// The most recent root-log compaction pass that dropped records.
+    pub last_root_compaction: Option<CompactionReport>,
+    /// The live per-feed pull window (moves under
+    /// [`DaemonConfig::adaptive`]).
+    pub items_per_tick: usize,
+    /// EWMA of per-tick ingest latency; `None` until the first ingesting
+    /// tick.
+    pub ewma_tick_ms: Option<u64>,
     /// Per-feed status in registration order.
     pub feeds: Vec<FeedStatus>,
     /// Recent daemon-side errors (failed checkpoints/compactions).
     pub errors: Vec<String>,
     /// Errors evicted from the bounded ring.
     pub errors_dropped: usize,
-    /// The wrapped service's health (breakers, quarantine, recovery
+    /// The wrapped target's health (breakers, quarantine, recovery
     /// warnings, journal stats).
-    pub service: ServiceHealth,
+    pub service: H,
 }
 
 /// Structured result of a graceful shutdown.
@@ -349,11 +514,14 @@ pub struct DrainReport {
     pub final_epoch: u64,
     /// Journal seq after the drain (0 for an in-memory service).
     pub final_seq: u64,
-    /// Path of the final checkpoint (None for an in-memory service or if
-    /// the write failed — see `errors`).
+    /// Path of the final checkpoint — the last unit's, for a cluster
+    /// (`None` for an in-memory target or if every write failed — see
+    /// `errors`).
     pub checkpoint: Option<PathBuf>,
-    /// Final compaction pass, when enabled and it ran.
+    /// Final compaction pass of the last unit, when enabled and it ran.
     pub compaction: Option<CompactionReport>,
+    /// Final root-log compaction pass, when the target has a root log.
+    pub root_compaction: Option<CompactionReport>,
     /// Journal stats after the final checkpoint.
     pub journal: Option<JournalStats>,
     /// Ticks the daemon executed before draining.
@@ -364,12 +532,18 @@ pub struct DrainReport {
     pub errors: Vec<String>,
 }
 
-/// The always-on serving loop around an `Arc<UsaasService>`. All methods
-/// take `&self`; share the daemon behind an `Arc` to run
+/// A daemon serving a durable partitioned cluster.
+pub type ClusterDaemon = Daemon<crate::cluster::PartitionedService>;
+
+/// [`DaemonHealth`] as a cluster daemon reports it.
+pub type ClusterDaemonHealth = DaemonHealth<crate::cluster::ClusterHealth>;
+
+/// The always-on serving loop around an `Arc<T: ServeTarget>`. All
+/// methods take `&self`; share the daemon behind an `Arc` to run
 /// [`Daemon::run`] on a background thread while other threads submit
 /// batches and poll health.
-pub struct Daemon {
-    svc: Arc<UsaasService>,
+pub struct Daemon<T: ServeTarget = UsaasService> {
+    svc: Arc<T>,
     cfg: DaemonConfig,
     feeds: Mutex<Vec<FeedSlot>>,
     queue: Mutex<SubmitQueue>,
@@ -378,15 +552,26 @@ pub struct Daemon {
     stopped: AtomicBool,
 }
 
-impl Daemon {
+impl<T: ServeTarget> Daemon<T> {
     /// Wrap `svc` with the given config. No threads start here — drive
     /// ticks with [`Daemon::run`], [`Daemon::run_ticks`], or
     /// [`Daemon::tick`] directly.
-    pub fn new(svc: Arc<UsaasService>, cfg: DaemonConfig) -> Daemon {
+    pub fn new(svc: Arc<T>, cfg: DaemonConfig) -> Daemon<T> {
         let started_ms = cfg.ingest.clock.now_ms();
+        let units = svc.persist_units().max(1);
+        let period = cfg.checkpoint_every_ms;
+        // Stagger unit k of n to (k+1)/n of the cadence: unit n-1 lands a
+        // full period out (identical to the single-unit schedule), the
+        // rest spread evenly ahead of it, and the spacing persists because
+        // every success re-arms exactly one period later.
+        let cadences = (0..units)
+            .map(|k| UnitCadence {
+                next_due_ms: started_ms + period * (k as u64 + 1) / units as u64,
+                failures: 0,
+            })
+            .collect();
         Daemon {
-            svc,
-            cfg,
+            cfg: cfg.clone(),
             feeds: Mutex::new(Vec::new()),
             queue: Mutex::new(SubmitQueue::default()),
             stats: Mutex::new(DaemonStats {
@@ -396,23 +581,27 @@ impl Daemon {
                 shed_batches: 0,
                 rejected_batches: 0,
                 checkpoints: 0,
-                last_checkpoint_ms: None,
-                started_ms,
+                cadences,
                 last_compaction: None,
+                last_root_compaction: None,
+                items_per_tick: cfg.max_items_per_tick,
+                ewma_tick_ms: None,
                 errors: BoundedLog::new(DAEMON_ERROR_CAP),
             }),
+            svc,
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
         }
     }
 
-    /// The wrapped service.
-    pub fn service(&self) -> &Arc<UsaasService> {
+    /// The wrapped target.
+    pub fn service(&self) -> &Arc<T> {
         &self.svc
     }
 
-    /// Register a long-lived feed. Each tick pulls at most
-    /// [`DaemonConfig::max_items_per_tick`] items from it through the
+    /// Register a long-lived feed. Each tick pulls at most the live
+    /// per-tick window ([`DaemonConfig::max_items_per_tick`], moved by
+    /// the adaptive controller when configured) from it through the
     /// resilient engine (retry/backoff/breaker semantics apply per tick);
     /// the feed is retired once it disconnects or goes a whole tick
     /// without activity.
@@ -493,8 +682,12 @@ impl Daemon {
                             reason: RejectReason::BlockTimeout,
                         };
                     }
-                    clock.sleep_ms(step);
-                    waited += step;
+                    // Clamp the final poll to the remaining budget so the
+                    // deadline is exact (a 10 ms step must not stretch a
+                    // 5 ms timeout to 10).
+                    let sleep = step.min(self.cfg.block_timeout_ms - waited);
+                    clock.sleep_ms(sleep);
+                    waited += sleep;
                     if self.draining.load(Ordering::SeqCst) {
                         self.stats.lock().rejected_batches += 1;
                         return SubmitOutcome::Rejected {
@@ -512,15 +705,15 @@ impl Daemon {
 
     /// One daemon tick: drain the submit queue and poll every live feed
     /// through **one** `ingest_append` run (one journal record, one
-    /// commit), then checkpoint + compact if the cadence says so.
-    /// Infallible by design — persistence failures degrade into
-    /// [`TickReport::errors`] / [`DaemonHealth::errors`] while serving
-    /// continues on the last good generation.
+    /// commit), then checkpoint + compact whichever persist units'
+    /// cadences say so. Infallible by design — persistence failures
+    /// degrade into [`TickReport::errors`] / [`DaemonHealth::errors`]
+    /// while serving continues on the last good generation.
     pub fn tick(&self) -> TickReport {
-        let tick = {
+        let (tick, budget) = {
             let mut stats = self.stats.lock();
             stats.ticks += 1;
-            stats.ticks
+            (stats.ticks, stats.items_per_tick)
         };
         let mut report = TickReport {
             tick,
@@ -549,14 +742,14 @@ impl Daemon {
                     continue;
                 }
                 polled.push(i);
-                sources.push(Box::new(TakeSource::new(
-                    slot.source.as_mut(),
-                    self.cfg.max_items_per_tick,
-                )));
+                sources.push(Box::new(TakeSource::new(slot.source.as_mut(), budget)));
             }
             report.feeds_polled = polled.len();
             if !sources.is_empty() {
+                let clock = &self.cfg.ingest.clock;
+                let ingest_started = clock.now_ms();
                 let ingest = self.svc.ingest_append(sources, &self.cfg.ingest);
+                let ingest_ms = clock.now_ms().saturating_sub(ingest_started);
                 report.fed = ingest.fed;
                 report.quarantined = ingest.quarantined.len();
                 for (k, &i) in polled.iter().enumerate() {
@@ -574,6 +767,12 @@ impl Daemon {
                         slot.done = true;
                     }
                 }
+                if let Some(adaptive) = &self.cfg.adaptive {
+                    let mut stats = self.stats.lock();
+                    let ewma = ewma_ms(adaptive.alpha_pct, stats.ewma_tick_ms, ingest_ms);
+                    stats.ewma_tick_ms = Some(ewma);
+                    stats.items_per_tick = adaptive_budget(adaptive, ewma, budget);
+                }
             }
         }
         report.committed = self.svc.epoch() != epoch_before;
@@ -588,46 +787,115 @@ impl Daemon {
         report
     }
 
-    /// Periodic checkpoint + compaction, when due on the clock.
+    /// Periodic per-unit checkpoints + compactions, for every unit whose
+    /// cadence is due on the clock; after any unit succeeds, a root-log
+    /// compaction pass for targets that have one. A failed unit re-arms
+    /// with a capped exponential backoff (1×, 2×, 4×, then 8× the
+    /// cadence) instead of retrying the fsync-heavy work every tick.
     fn maybe_checkpoint(&self, report: &mut TickReport) {
         if self.cfg.checkpoint_every_ms == 0 || !self.svc.is_persistent() {
             return;
         }
+        let period = self.cfg.checkpoint_every_ms;
         let now = self.cfg.ingest.clock.now_ms();
-        let last = {
+        let due: Vec<usize> = {
             let stats = self.stats.lock();
-            stats.last_checkpoint_ms.unwrap_or(stats.started_ms)
+            stats
+                .cadences
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| now >= c.next_due_ms)
+                .map(|(k, _)| k)
+                .collect()
         };
-        if now.saturating_sub(last) < self.cfg.checkpoint_every_ms {
+        if due.is_empty() {
             return;
         }
-        match self.svc.checkpoint() {
-            Ok(path) => {
-                let mut stats = self.stats.lock();
-                stats.checkpoints += 1;
-                stats.last_checkpoint_ms = Some(now);
-                drop(stats);
-                report.checkpointed = Some(path);
+        let units = self.svc.persist_units().max(1);
+        let unit_label = |unit: usize, what: &str, e: &dyn std::fmt::Display| {
+            if units == 1 {
+                format!("{what} failed: {e}")
+            } else {
+                format!("{what} (part-{unit}) failed: {e}")
             }
-            Err(e) => {
-                report
-                    .errors
-                    .push(format!("periodic checkpoint failed: {e}"));
-                return;
+        };
+        let mut any_success = false;
+        for unit in due {
+            match self.svc.checkpoint_unit(unit) {
+                Ok(path) => {
+                    any_success = true;
+                    {
+                        let mut stats = self.stats.lock();
+                        stats.checkpoints += 1;
+                        stats.cadences[unit] = UnitCadence {
+                            next_due_ms: now + period,
+                            failures: 0,
+                        };
+                    }
+                    report.checkpointed = Some(path);
+                    report.checkpointed_units.push(unit);
+                    if self.cfg.compact_journal {
+                        match self.svc.compact_unit(unit) {
+                            Ok(compaction) => {
+                                if compaction.dropped_records > 0 {
+                                    self.stats.lock().last_compaction = Some(compaction);
+                                }
+                                report.compaction = Some(compaction);
+                            }
+                            Err(e) => {
+                                report
+                                    .errors
+                                    .push(unit_label(unit, "journal compaction", &e))
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    {
+                        let mut stats = self.stats.lock();
+                        let cadence = &mut stats.cadences[unit];
+                        cadence.failures += 1;
+                        let backoff = period.saturating_mul(1u64 << (cadence.failures - 1).min(3));
+                        cadence.next_due_ms = now + backoff;
+                    }
+                    report
+                        .errors
+                        .push(unit_label(unit, "periodic checkpoint", &e));
+                }
             }
         }
-        if self.cfg.compact_journal {
-            match self.svc.compact_journal() {
-                Ok(compaction) => {
-                    if compaction.dropped_records > 0 {
-                        self.stats.lock().last_compaction = Some(compaction);
+        if any_success && self.cfg.compact_journal {
+            if let Some(result) = self.svc.compact_root() {
+                match result {
+                    Ok(compaction) => {
+                        if compaction.dropped_records > 0 {
+                            self.stats.lock().last_root_compaction = Some(compaction);
+                        }
+                        report.root_compaction = Some(compaction);
                     }
-                    report.compaction = Some(compaction);
+                    Err(e) => report
+                        .errors
+                        .push(format!("root-log compaction failed: {e}")),
                 }
-                Err(e) => report
-                    .errors
-                    .push(format!("journal compaction failed: {e}")),
             }
+        }
+    }
+
+    /// Sleep `total_ms` on the daemon's clock in
+    /// [`DaemonConfig::stop_poll_ms`] slices, returning early once
+    /// [`Daemon::stop`] is observed — so stop/shutdown latency is bounded
+    /// by the poll step, not a whole tick.
+    fn sleep_interruptible(&self, total_ms: u64) {
+        let step = self.cfg.stop_poll_ms.max(1);
+        let clock = &self.cfg.ingest.clock;
+        let mut slept = 0u64;
+        while slept < total_ms {
+            if self.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            let chunk = step.min(total_ms - slept);
+            clock.sleep_ms(chunk);
+            slept += chunk;
         }
     }
 
@@ -642,7 +910,7 @@ impl Daemon {
                 break;
             }
             reports.push(self.tick());
-            self.cfg.ingest.clock.sleep_ms(self.cfg.tick_ms);
+            self.sleep_interruptible(self.cfg.tick_ms);
         }
         reports
     }
@@ -655,18 +923,20 @@ impl Daemon {
             if self.stopped.load(Ordering::SeqCst) {
                 break;
             }
-            self.cfg.ingest.clock.sleep_ms(self.cfg.tick_ms);
+            self.sleep_interruptible(self.cfg.tick_ms);
         }
     }
 
     /// Spawn [`Daemon::run`] on a background thread.
-    pub fn spawn(self: &Arc<Daemon>) -> std::thread::JoinHandle<()> {
+    pub fn spawn(self: &Arc<Daemon<T>>) -> std::thread::JoinHandle<()> {
         let daemon = Arc::clone(self);
         std::thread::spawn(move || daemon.run())
     }
 
     /// Ask the run loop to exit after its current tick (does not drain;
-    /// use [`Daemon::shutdown`] for the graceful path).
+    /// use [`Daemon::shutdown`] for the graceful path). A loop parked in
+    /// its between-tick sleep wakes within
+    /// [`DaemonConfig::stop_poll_ms`].
     pub fn stop(&self) {
         self.stopped.store(true, Ordering::SeqCst);
     }
@@ -674,9 +944,10 @@ impl Daemon {
     /// Graceful shutdown: close admission (subsequent [`Daemon::submit`]
     /// calls are rejected with [`RejectReason::Draining`]), stop the run
     /// loop, ingest everything still queued in one final run, write a
-    /// final checkpoint (+ compaction when enabled), and report what
-    /// happened. Registered feeds are left wherever they are — a drain
-    /// flushes accepted work, it does not chase open-ended streams.
+    /// final checkpoint of every persist unit (+ compaction and root-log
+    /// compaction when enabled), and report what happened. Registered
+    /// feeds are left wherever they are — a drain flushes accepted work,
+    /// it does not chase open-ended streams.
     pub fn shutdown(&self) -> DrainReport {
         self.draining.store(true, Ordering::SeqCst);
         self.stopped.store(true, Ordering::SeqCst);
@@ -702,17 +973,29 @@ impl Daemon {
         }
 
         if self.svc.is_persistent() {
-            match self.svc.checkpoint() {
-                Ok(path) => {
-                    self.stats.lock().checkpoints += 1;
-                    report.checkpoint = Some(path);
+            for unit in 0..self.svc.persist_units() {
+                match self.svc.checkpoint_unit(unit) {
+                    Ok(path) => {
+                        self.stats.lock().checkpoints += 1;
+                        report.checkpoint = Some(path);
+                    }
+                    Err(e) => report.errors.push(format!("final checkpoint failed: {e}")),
                 }
-                Err(e) => report.errors.push(format!("final checkpoint failed: {e}")),
+                if self.cfg.compact_journal {
+                    match self.svc.compact_unit(unit) {
+                        Ok(compaction) => report.compaction = Some(compaction),
+                        Err(e) => report.errors.push(format!("final compaction failed: {e}")),
+                    }
+                }
             }
             if self.cfg.compact_journal {
-                match self.svc.compact_journal() {
-                    Ok(compaction) => report.compaction = Some(compaction),
-                    Err(e) => report.errors.push(format!("final compaction failed: {e}")),
+                if let Some(result) = self.svc.compact_root() {
+                    match result {
+                        Ok(compaction) => report.root_compaction = Some(compaction),
+                        Err(e) => report
+                            .errors
+                            .push(format!("final root-log compaction failed: {e}")),
+                    }
                 }
             }
         }
@@ -731,9 +1014,9 @@ impl Daemon {
     }
 
     /// The watchdog view: daemon queue/admission/feed state folded with
-    /// the wrapped service's [`ServiceHealth`] (which carries breaker,
+    /// the wrapped target's health report (which carries breaker,
     /// quarantine, recovery-warning, and journal state).
-    pub fn health(&self) -> DaemonHealth {
+    pub fn health(&self) -> DaemonHealth<T::Health> {
         let service = self.svc.health();
         let queue_depth = self.queue.lock().items;
         let feeds = self
@@ -758,6 +1041,9 @@ impl Daemon {
             draining: self.draining.load(Ordering::SeqCst),
             checkpoints: stats.checkpoints,
             last_compaction: stats.last_compaction,
+            last_root_compaction: stats.last_root_compaction,
+            items_per_tick: stats.items_per_tick,
+            ewma_tick_ms: stats.ewma_tick_ms,
             feeds,
             errors: stats.errors.to_vec(),
             errors_dropped: stats.errors.dropped(),
@@ -873,6 +1159,33 @@ mod tests {
     }
 
     #[test]
+    fn block_timeout_shorter_than_poll_step_is_exact() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut cfg = virtual_config(2, Arc::clone(&clock));
+        cfg.queue_capacity = 4;
+        cfg.admission = AdmissionPolicy::Block;
+        cfg.block_timeout_ms = 5;
+        cfg.block_poll_ms = 10;
+        let daemon = Daemon::new(small_service(2), cfg);
+        assert!(matches!(
+            daemon.submit(session_items(4)),
+            SubmitOutcome::Queued { .. }
+        ));
+        let before = clock.now_ms();
+        assert_eq!(
+            daemon.submit(session_items(4)),
+            SubmitOutcome::Rejected {
+                reason: RejectReason::BlockTimeout
+            }
+        );
+        assert_eq!(
+            clock.now_ms() - before,
+            5,
+            "the final poll is clamped to the remaining budget"
+        );
+    }
+
+    #[test]
     fn draining_daemon_rejects_submissions() {
         let clock = Arc::new(VirtualClock::new());
         let daemon = Daemon::new(small_service(2), virtual_config(2, clock));
@@ -906,6 +1219,52 @@ mod tests {
         }
     }
 
+    /// A source whose cumulative `dropped()` counter resets mid-stream,
+    /// like a feed that reconnects and re-registers its internals.
+    struct ResettingSource {
+        drops: usize,
+    }
+
+    impl Source for ResettingSource {
+        fn name(&self) -> &str {
+            "resetting"
+        }
+
+        fn next_item(&mut self) -> Option<Result<RawItem, SourceError>> {
+            None
+        }
+
+        fn dropped(&self) -> usize {
+            self.drops
+        }
+    }
+
+    #[test]
+    fn take_source_dropped_survives_a_counter_reset() {
+        let mut inner = ResettingSource { drops: 7 };
+        let window_baseline = {
+            let window = TakeSource::new(&mut inner, 4);
+            assert_eq!(window.dropped(), 0, "no new drops since the window opened");
+            window.base_dropped
+        };
+        assert_eq!(window_baseline, 7);
+        // The feed reconnects and its counter resets below the baseline.
+        inner.drops = 2;
+        let window = TakeSource::new(&mut inner, 4);
+        assert_eq!(window.base_dropped, 2);
+        inner.drops = 0; // resets again while a window is... simulated via a fresh window
+        let stale_window = TakeSource {
+            inner: &mut inner,
+            left: 4,
+            base_dropped: 5,
+        };
+        assert_eq!(
+            stale_window.dropped(),
+            0,
+            "a reset below the baseline reads as zero, not an underflow"
+        );
+    }
+
     #[test]
     fn oversized_batch_is_rejected_not_blocked() {
         let clock = Arc::new(VirtualClock::new());
@@ -921,5 +1280,78 @@ mod tests {
             }
         );
         assert_eq!(clock.now_ms(), before, "no blocking on an impossible fit");
+    }
+
+    #[test]
+    fn ewma_tracks_and_smooths() {
+        assert_eq!(ewma_ms(20, None, 400), 400, "first sample seeds the EWMA");
+        assert_eq!(ewma_ms(20, Some(400), 400), 400, "steady state is stable");
+        // 20% of 900 + 80% of 400 = 180 + 320.
+        assert_eq!(ewma_ms(20, Some(400), 900), 500);
+        assert_eq!(ewma_ms(100, Some(400), 900), 900, "alpha=100 tracks");
+        assert_eq!(ewma_ms(0, Some(400), 900), 400, "alpha=0 freezes");
+        assert_eq!(
+            ewma_ms(50, Some(u64::MAX), u64::MAX),
+            u64::MAX,
+            "widened arithmetic cannot overflow"
+        );
+    }
+
+    #[test]
+    fn adaptive_budget_steers_toward_target() {
+        let cfg = AdaptiveTick {
+            target_ms: 500,
+            alpha_pct: 20,
+            min_items: 64,
+            max_items: 16_384,
+        };
+        assert_eq!(
+            adaptive_budget(&cfg, 1_000, 1_024),
+            512,
+            "a tick twice as slow as target halves the window"
+        );
+        assert_eq!(
+            adaptive_budget(&cfg, 250, 1_024),
+            2_048,
+            "a tick twice as fast doubles it"
+        );
+        assert_eq!(adaptive_budget(&cfg, 0, 1_024), 2_048, "idle ticks ramp up");
+        assert_eq!(adaptive_budget(&cfg, 500_000, 1_024), 64, "floor clamps");
+        assert_eq!(adaptive_budget(&cfg, 1, 16_000), 16_384, "ceiling clamps");
+        let degenerate = AdaptiveTick {
+            min_items: 0,
+            max_items: 0,
+            ..cfg
+        };
+        assert_eq!(
+            adaptive_budget(&degenerate, 500, 10),
+            1,
+            "a zero floor still leaves one item per tick"
+        );
+    }
+
+    #[test]
+    fn adaptive_daemon_ramps_on_instant_ticks() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut cfg = virtual_config(2, clock);
+        cfg.max_items_per_tick = 4;
+        cfg.adaptive = Some(AdaptiveTick {
+            target_ms: 100,
+            alpha_pct: 50,
+            min_items: 2,
+            max_items: 16,
+        });
+        let daemon = Daemon::new(small_service(2), cfg);
+        daemon.register_feed(Box::new(ItemSource::new("feed", session_items(40))));
+        assert_eq!(daemon.health().items_per_tick, 4);
+        daemon.tick();
+        // VirtualClock ingest takes zero clock time, so every tick reads
+        // as instant and the budget doubles until the ceiling.
+        assert_eq!(daemon.health().items_per_tick, 8);
+        daemon.tick();
+        assert_eq!(daemon.health().items_per_tick, 16);
+        daemon.tick();
+        assert_eq!(daemon.health().items_per_tick, 16, "clamped at max_items");
+        assert_eq!(daemon.health().ewma_tick_ms, Some(0));
     }
 }

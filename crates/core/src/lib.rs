@@ -39,14 +39,15 @@ pub use annotate::{AnnotatedPeak, PeakAnnotator};
 pub use bias::{extremity_bias, extremity_bias_signals, geo_corrected_polarity, ExtremityBias};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use cache::MemoCache;
-pub use cluster::{ClusterHealth, PartitionedService};
+pub use cluster::{ClusterHealth, PartitionedService, CLUSTER_META};
 pub use correlate::{
     compounding_grid, compounding_grid_frame, confounder_report, engagement_curve,
     engagement_curve_frame, mos_by_engagement, mos_by_engagement_frame, mos_correlations,
     mos_correlations_frame, platform_curves, platform_curves_frame, ConfounderReport, Grid2d,
 };
 pub use daemon::{
-    AdmissionPolicy, Daemon, DaemonConfig, DaemonHealth, DrainReport, FeedStatus, RejectReason,
+    adaptive_budget, ewma_ms, AdaptiveTick, AdmissionPolicy, ClusterDaemon, ClusterDaemonHealth,
+    Daemon, DaemonConfig, DaemonHealth, DrainReport, FeedStatus, RejectReason, ServeTarget,
     SubmitOutcome, TakeSource, TickReport,
 };
 pub use digest::{Digest, DigestBuilder, RegimeChange, TestedGap};

@@ -660,7 +660,7 @@ fn get_signal(r: &mut Reader<'_>) -> Result<Signal, bin::Error> {
     })
 }
 
-fn put_quarantine_entry(w: &mut Writer, q: &QuarantineEntry) {
+pub(crate) fn put_quarantine_entry(w: &mut Writer, q: &QuarantineEntry) {
     w.put_usize(q.source_id);
     w.put_str(&q.source);
     w.put_usize(q.seq);
@@ -669,7 +669,7 @@ fn put_quarantine_entry(w: &mut Writer, q: &QuarantineEntry) {
     w.put_str(&q.item);
 }
 
-fn get_quarantine_entry(r: &mut Reader<'_>) -> Result<QuarantineEntry, bin::Error> {
+pub(crate) fn get_quarantine_entry(r: &mut Reader<'_>) -> Result<QuarantineEntry, bin::Error> {
     Ok(QuarantineEntry {
         source_id: r.get_usize()?,
         source: r.get_str()?.to_string(),
@@ -681,14 +681,14 @@ fn get_quarantine_entry(r: &mut Reader<'_>) -> Result<QuarantineEntry, bin::Erro
     })
 }
 
-fn put_string_list(w: &mut Writer, xs: &[String]) {
+pub(crate) fn put_string_list(w: &mut Writer, xs: &[String]) {
     w.put_u64(xs.len() as u64);
     for x in xs {
         w.put_str(x);
     }
 }
 
-fn get_string_list(r: &mut Reader<'_>) -> Result<Vec<String>, bin::Error> {
+pub(crate) fn get_string_list(r: &mut Reader<'_>) -> Result<Vec<String>, bin::Error> {
     let n = r.get_len()?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -898,7 +898,7 @@ pub(crate) fn snapshot_seqs(dir: &Path) -> std::io::Result<Vec<u64>> {
 
 /// Assemble a checksummed snapshot-family file: magic + version + payload
 /// length + CRC-32 + payload.
-fn frame_file(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+pub(crate) fn frame_file(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
     let mut file_bytes = Vec::with_capacity(payload.len() + 24);
     file_bytes.extend_from_slice(magic);
     file_bytes.extend_from_slice(&version.to_le_bytes());
@@ -910,7 +910,12 @@ fn frame_file(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
 
 /// Write `file_bytes` with the atomic tmp → fsync → rename → fsync-dir
 /// protocol.
-fn write_atomic(dir: &Path, tmp_name: &str, path: &Path, file_bytes: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_atomic(
+    dir: &Path,
+    tmp_name: &str,
+    path: &Path,
+    file_bytes: &[u8],
+) -> std::io::Result<()> {
     let tmp = dir.join(tmp_name);
     {
         let mut f = fs::File::create(&tmp)?;
@@ -1647,6 +1652,274 @@ pub(crate) fn compact_journal_file(
     report.bytes_after = out.len() as u64;
     write_atomic(dir, JOURNAL_TMP, &path, &out)?;
     Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster root snapshots.
+//
+// The cluster root log re-derives two things on recovery that no partition
+// holds: the global order maps (how partition-local rows interleave into
+// single-service row order) and the router-side health totals. Compacting
+// the root log is therefore only safe once that derived state is checkpointed
+// somewhere else — which is exactly what a cluster root snapshot is: the
+// order maps, the per-partition committed-batch counts, and the router
+// totals as of a covered root-log sequence. Recovery loads the newest
+// loadable one, replays only the journal records past its coverage into the
+// maps, and uses the batch counts to index roll-forward batches for lagging
+// partitions. Retention mirrors the single-service snapshots: the newest
+// CLUSTER_SNAPSHOTS_KEPT are kept, and the *oldest retained* one is the
+// compaction safety bound, so a corrupt newest snapshot can always fall back
+// to an older one whose journal tail is still fully present.
+// ---------------------------------------------------------------------------
+
+/// File-name prefix of cluster root snapshots
+/// (`cluster-<covered_seq>.snap`), written at the cluster directory root
+/// next to `journal.log` and `cluster.meta`.
+const CLUSTER_SNAP_PREFIX: &str = "cluster-";
+/// Cluster root snapshot extension.
+const CLUSTER_SNAP_SUFFIX: &str = ".snap";
+/// Temp name a cluster root snapshot is encoded under before the atomic
+/// rename. Recovery never reads this name (and the scan requires the
+/// `cluster-` prefix, which `cluster.tmp` lacks), so a crash mid-write
+/// leaves at worst a stray tmp.
+const CLUSTER_SNAP_TMP: &str = "cluster.tmp";
+/// Magic leading every cluster root snapshot.
+const CLUSTER_SNAP_MAGIC: &[u8; 8] = b"USAASCL\x01";
+/// Cluster root snapshot format version.
+const CLUSTER_SNAP_VERSION: u32 = 1;
+/// How many cluster root snapshots to keep.
+const CLUSTER_SNAPSHOTS_KEPT: usize = 2;
+
+/// One cluster root snapshot: the router-derived state as of
+/// `covered_seq`, everything cluster recovery would otherwise re-derive by
+/// replaying the root log from its base record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ClusterSnapContents {
+    /// Last root-log sequence folded into this snapshot. Journal records
+    /// with `seq <= covered_seq` contribute nothing to the maps or totals
+    /// on recovery (they are only replayed for partition roll-forward).
+    pub(crate) covered_seq: u64,
+    /// Cluster epoch at `covered_seq`.
+    pub(crate) epoch: u64,
+    /// Partition count the maps were built for (must match `cluster.meta`).
+    pub(crate) partitions: usize,
+    /// Committed non-empty sub-batches per partition through
+    /// `covered_seq` — the roll-forward indexing origin.
+    pub(crate) batch_counts: Vec<u64>,
+    /// Per-partition session order maps (local index → global index).
+    pub(crate) session_maps: Vec<Vec<usize>>,
+    /// Per-partition post order maps.
+    pub(crate) post_maps: Vec<Vec<usize>>,
+    /// Global session count the maps cover.
+    pub(crate) total_sessions: usize,
+    /// Global post count the maps cover.
+    pub(crate) total_posts: usize,
+    /// Router-side quarantined total.
+    pub(crate) quarantined: usize,
+    /// Router-side unfed total.
+    pub(crate) unfed: usize,
+    /// Router-side breaker-trip total.
+    pub(crate) breaker_trips: usize,
+    /// Breakers the last run before `covered_seq` left open.
+    pub(crate) open_breakers: Vec<String>,
+    /// The router's bounded dead-letter ring at `covered_seq`.
+    pub(crate) dead_letters: Vec<QuarantineEntry>,
+    /// Dead letters already evicted from the ring at `covered_seq`.
+    pub(crate) dead_letters_dropped: usize,
+}
+
+impl ClusterSnapContents {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.covered_seq);
+        w.put_u64(self.epoch);
+        w.put_usize(self.partitions);
+        for c in &self.batch_counts {
+            w.put_u64(*c);
+        }
+        let put_maps = |w: &mut Writer, maps: &[Vec<usize>]| {
+            for map in maps {
+                w.put_u64(map.len() as u64);
+                for &g in map {
+                    w.put_usize(g);
+                }
+            }
+        };
+        put_maps(&mut w, &self.session_maps);
+        put_maps(&mut w, &self.post_maps);
+        w.put_usize(self.total_sessions);
+        w.put_usize(self.total_posts);
+        w.put_usize(self.quarantined);
+        w.put_usize(self.unfed);
+        w.put_usize(self.breaker_trips);
+        put_string_list(&mut w, &self.open_breakers);
+        w.put_u64(self.dead_letters.len() as u64);
+        for q in &self.dead_letters {
+            put_quarantine_entry(&mut w, q);
+        }
+        w.put_usize(self.dead_letters_dropped);
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<ClusterSnapContents, bin::Error> {
+        let mut r = Reader::new(payload);
+        let covered_seq = r.get_u64()?;
+        let epoch = r.get_u64()?;
+        let partitions = r.get_usize()?;
+        if partitions == 0 || partitions > 4096 {
+            return Err(bin::Error::Corrupt("implausible partition count"));
+        }
+        let mut batch_counts = Vec::with_capacity(partitions);
+        for _ in 0..partitions {
+            batch_counts.push(r.get_u64()?);
+        }
+        let get_maps = |r: &mut Reader<'_>| -> Result<Vec<Vec<usize>>, bin::Error> {
+            let mut maps = Vec::with_capacity(partitions);
+            for _ in 0..partitions {
+                let n = r.get_len()?;
+                let mut map = Vec::with_capacity(n);
+                for _ in 0..n {
+                    map.push(r.get_usize()?);
+                }
+                maps.push(map);
+            }
+            Ok(maps)
+        };
+        let session_maps = get_maps(&mut r)?;
+        let post_maps = get_maps(&mut r)?;
+        let total_sessions = r.get_usize()?;
+        let total_posts = r.get_usize()?;
+        if session_maps.iter().map(Vec::len).sum::<usize>() != total_sessions
+            || post_maps.iter().map(Vec::len).sum::<usize>() != total_posts
+        {
+            return Err(bin::Error::Corrupt("order maps disagree with totals"));
+        }
+        let quarantined = r.get_usize()?;
+        let unfed = r.get_usize()?;
+        let breaker_trips = r.get_usize()?;
+        let open_breakers = get_string_list(&mut r)?;
+        let n = r.get_len()?;
+        let mut dead_letters = Vec::with_capacity(n);
+        for _ in 0..n {
+            dead_letters.push(get_quarantine_entry(&mut r)?);
+        }
+        let dead_letters_dropped = r.get_usize()?;
+        if !r.is_exhausted() {
+            return Err(bin::Error::Corrupt("trailing bytes after cluster snapshot"));
+        }
+        Ok(ClusterSnapContents {
+            covered_seq,
+            epoch,
+            partitions,
+            batch_counts,
+            session_maps,
+            post_maps,
+            total_sessions,
+            total_posts,
+            quarantined,
+            unfed,
+            breaker_trips,
+            open_breakers,
+            dead_letters,
+            dead_letters_dropped,
+        })
+    }
+}
+
+/// Path of the cluster root snapshot covering root-log sequence `seq`.
+fn cluster_snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{CLUSTER_SNAP_PREFIX}{seq}{CLUSTER_SNAP_SUFFIX}"))
+}
+
+/// Covered sequences of every cluster root snapshot present, descending
+/// (newest first).
+pub(crate) fn cluster_snapshot_seqs(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(mid) = name
+            .strip_prefix(CLUSTER_SNAP_PREFIX)
+            .and_then(|rest| rest.strip_suffix(CLUSTER_SNAP_SUFFIX))
+        {
+            if let Ok(seq) = mid.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(seqs)
+}
+
+/// Write a cluster root snapshot with the atomic tmp → fsync → rename →
+/// fsync-dir protocol, then prune beyond the retention count. Returns the
+/// final path.
+pub(crate) fn write_cluster_snapshot(
+    dir: &Path,
+    contents: &ClusterSnapContents,
+) -> Result<PathBuf, PersistError> {
+    let payload = contents.encode();
+    let file_bytes = frame_file(CLUSTER_SNAP_MAGIC, CLUSTER_SNAP_VERSION, &payload);
+    let path = cluster_snapshot_path(dir, contents.covered_seq);
+    write_atomic(dir, CLUSTER_SNAP_TMP, &path, &file_bytes)?;
+    for stale in cluster_snapshot_seqs(dir)?
+        .into_iter()
+        .skip(CLUSTER_SNAPSHOTS_KEPT)
+    {
+        let _ = fs::remove_file(cluster_snapshot_path(dir, stale));
+    }
+    Ok(path)
+}
+
+/// Decode one cluster root snapshot file.
+fn load_cluster_snapshot(path: &Path) -> Result<ClusterSnapContents, PersistError> {
+    let corrupt = |detail: String| PersistError::Corrupt {
+        file: path.display().to_string(),
+        detail,
+    };
+    let bytes = fs::read(path)?;
+    if bytes.len() < 24 || &bytes[..8] != CLUSTER_SNAP_MAGIC {
+        return Err(corrupt("bad magic or truncated header".to_string()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != CLUSTER_SNAP_VERSION {
+        return Err(corrupt(format!(
+            "unsupported cluster snapshot version {version}"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let payload = &bytes[24..];
+    if payload.len() != len {
+        return Err(corrupt(format!(
+            "payload length {} disagrees with header {len}",
+            payload.len()
+        )));
+    }
+    if bin::crc32(payload) != crc {
+        return Err(corrupt("checksum mismatch".to_string()));
+    }
+    ClusterSnapContents::decode(payload).map_err(|e| corrupt(e.to_string()))
+}
+
+/// Load the newest loadable cluster root snapshot, falling back to older
+/// ones (with a warning per skip) when the newest is corrupt at rest.
+/// `None` when the directory holds no loadable cluster snapshot — the
+/// caller then recovers the legacy way, replaying the whole root log.
+pub(crate) fn load_latest_cluster_snapshot(
+    dir: &Path,
+    warnings: &mut Vec<String>,
+) -> Option<ClusterSnapContents> {
+    let seqs = cluster_snapshot_seqs(dir).ok()?;
+    for seq in seqs {
+        match load_cluster_snapshot(&cluster_snapshot_path(dir, seq)) {
+            Ok(snap) => return Some(snap),
+            Err(e) => warnings.push(format!(
+                "cluster snapshot covering seq {seq} unusable, falling back: {e}"
+            )),
+        }
+    }
+    None
 }
 
 /// `fsync` a directory so a completed rename is durable (no-op where the

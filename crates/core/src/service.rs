@@ -1686,6 +1686,52 @@ impl UsaasService {
     }
 }
 
+/// A single service behind the daemon: one persist unit (its own
+/// snapshot + journal), no separate root log.
+impl crate::daemon::ServeTarget for UsaasService {
+    type Health = ServiceHealth;
+
+    fn ingest_append<'a>(
+        &self,
+        sources: Vec<Box<dyn Source + 'a>>,
+        cfg: &IngestConfig,
+    ) -> IngestReport {
+        UsaasService::ingest_append(self, sources, cfg)
+    }
+
+    fn epoch(&self) -> u64 {
+        UsaasService::epoch(self)
+    }
+
+    fn is_persistent(&self) -> bool {
+        UsaasService::is_persistent(self)
+    }
+
+    fn health(&self) -> ServiceHealth {
+        UsaasService::health(self)
+    }
+
+    fn journal_stats(&self) -> Option<JournalStats> {
+        UsaasService::journal_stats(self)
+    }
+
+    fn persist_units(&self) -> usize {
+        1
+    }
+
+    fn checkpoint_unit(&self, _unit: usize) -> Result<PathBuf, PersistError> {
+        self.checkpoint()
+    }
+
+    fn compact_unit(&self, _unit: usize) -> Result<CompactionReport, PersistError> {
+        self.compact_journal()
+    }
+
+    fn compact_root(&self) -> Option<Result<CompactionReport, PersistError>> {
+        None
+    }
+}
+
 /// Rough 10°-latitude band of a country's population centre.
 pub fn country_lat_band(country: &str) -> usize {
     match country {

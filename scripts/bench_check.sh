@@ -33,23 +33,57 @@ BENCHES=(
     "views_incremental BENCH_views.json"
     "kernels BENCH_kernels.json"
     "service_scaleout BENCH_scaleout.json"
-    "daemon_steady_state BENCH_daemon.json"
+    "daemon_steady_state,cluster_daemon BENCH_daemon.json"
 )
 
 # Flatten a bench JSON array (one record per line, see compat/criterion)
-# into "id<TAB>min_ns<TAB>median_ns" triples.
+# into "id<TAB>min_ns<TAB>median_ns" triples. Each field is matched by
+# name wherever it sits in the record, so reordering or inserting fields
+# in the exporter cannot silently produce garbage; a file that yields no
+# complete triples is a loud error, not an empty (vacuously passing)
+# comparison.
 stats() {
-    sed -n 's/.*"id": "\([^"]*\)".*"min_ns": \([0-9]*\).*"median_ns": \([0-9]*\).*/\1\t\2\t\3/p' "$1"
+    awk '
+        /"id"/ {
+            id = ""; min = ""; med = ""
+            if (match($0, /"id": *"[^"]*"/)) {
+                id = substr($0, RSTART, RLENGTH)
+                sub(/^"id": *"/, "", id); sub(/"$/, "", id)
+            }
+            if (match($0, /"min_ns": *[0-9]+/)) {
+                min = substr($0, RSTART, RLENGTH)
+                sub(/^"min_ns": */, "", min)
+            }
+            if (match($0, /"median_ns": *[0-9]+/)) {
+                med = substr($0, RSTART, RLENGTH)
+                sub(/^"median_ns": */, "", med)
+            }
+            if (id != "" && min != "" && med != "") {
+                printf "%s\t%s\t%s\n", id, min, med
+                n++
+            }
+        }
+        END {
+            if (n == 0) {
+                printf "stats: no benchmark records parsed from %s\n", FILENAME > "/dev/stderr"
+                exit 1
+            }
+        }
+    ' "$1"
 }
 
-# run_and_compare <bench> <baseline> <current>: run the bench, print the
-# per-id verdicts, and return the gate status for this target.
+# run_and_compare <bench[,bench...]> <baseline> <current>: run every
+# listed bench target into one fresh JSON (the exporter appends, so
+# targets sharing a results file accumulate into a single array), print
+# the per-id verdicts, and return the gate status for this entry.
 run_and_compare() {
-    local bench="$1" baseline="$2" current="$3"
+    local benches="$1" baseline="$2" current="$3" bench
     rm -f "$current"
-    BENCH_JSON="$current" cargo bench -p bench --bench "$bench" >/dev/null
-    stats "$baseline" >"$SCRATCH/base.tsv"
-    stats "$current" >"$SCRATCH/cur.tsv"
+    for bench in ${benches//,/ }; do
+        BENCH_JSON="$current" cargo bench -p bench --bench "$bench" >/dev/null
+    done
+    stats "$baseline" >"$SCRATCH/base.tsv" || return 1
+    stats "$current" >"$SCRATCH/cur.tsv" || return 1
     # Join on id: fresh min vs baseline median.
     awk -F'\t' -v pct="$THRESHOLD_PCT" '
         NR == FNR { base[$1] = $3; next }

@@ -29,6 +29,9 @@
 #   daemon_steady_state -> results/BENCH_daemon.json (the continuous-serving
 #                        daemon's tick loop: healthy feed vs 1%-fault feed
 #                        vs the submit-queue admission path)
+#   cluster_daemon    -> results/BENCH_daemon.json (appended: the same
+#                        tick loop driving a two-partition cluster through
+#                        the router's partitioning ingest)
 #
 # Usage: scripts/bench_json.sh [extra `cargo bench` args...]
 set -euo pipefail
@@ -51,6 +54,19 @@ run_bench() {
     echo
 }
 
+# append_bench <bench target> <output json> [extra args...]: like
+# run_bench but without the clean slate — for targets that share one
+# results file (the exporter appends to an existing array).
+append_bench() {
+    local bench="$1" out="$2"
+    shift 2
+    BENCH_JSON="$(pwd)/$out" cargo bench -p bench --bench "$bench" "$@"
+    echo
+    echo "appended to $out:"
+    cat "$out"
+    echo
+}
+
 run_bench frame_scan results/BENCH_frame.json "$@"
 run_bench social_pipeline results/BENCH_social.json "$@"
 run_bench ingest_resilience results/BENCH_ingest.json "$@"
@@ -59,3 +75,4 @@ run_bench views_incremental results/BENCH_views.json "$@"
 run_bench kernels results/BENCH_kernels.json "$@"
 run_bench service_scaleout results/BENCH_scaleout.json "$@"
 run_bench daemon_steady_state results/BENCH_daemon.json "$@"
+append_bench cluster_daemon results/BENCH_daemon.json "$@"

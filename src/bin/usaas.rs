@@ -187,79 +187,26 @@ fn cmd_early(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
-    use std::sync::Arc;
-    use usaas::{Daemon, DaemonConfig, IngestConfig, ItemSource, RawItem, UsaasService, WallClock};
-
-    let dir = flags
-        .get("dir")
-        .cloned()
-        .unwrap_or_else(|| "usaas-data".to_string());
-    let ticks = flag_u64(&flags, "ticks", 10)?;
-    let tick_ms = flag_u64(&flags, "tick-ms", 100)?;
-    let checkpoint_ms = flag_u64(&flags, "checkpoint-ms", 400)?;
-    let window = flag_usize(&flags, "window", 256)?;
-    let calls = flag_usize(&flags, "calls", 300)?;
-    let seed = flag_u64(&flags, "seed", 0xDAE)?;
-    let workers = flag_usize(&flags, "workers", 4)?;
-
-    let path = std::path::Path::new(&dir);
-    let svc = if path.join(usaas::JOURNAL_FILE).exists() {
-        eprintln!("recovering service from {dir}…");
-        let svc = UsaasService::open_or_recover(path, workers)
-            .map_err(|e| format!("recovering {dir}: {e}"))?;
-        for warning in &svc.health().recovery_warnings {
-            eprintln!("  recovery warning: {warning}");
-        }
-        svc
-    } else {
-        eprintln!("bootstrapping a fresh service in {dir} ({calls} calls, seed {seed})…");
-        std::fs::create_dir_all(path).map_err(|e| format!("creating {dir}: {e}"))?;
-        let ds = generate(&DatasetConfig {
-            calls,
-            seed,
-            ..DatasetConfig::default()
-        });
-        let forum = gen_forum(&ForumConfig {
-            seed,
-            ..ForumConfig::default()
-        });
-        UsaasService::build_persistent(ds, forum, workers, path)
-            .map_err(|e| format!("bootstrapping {dir}: {e}"))?
-    };
-    let svc = Arc::new(svc);
-    eprintln!("serving at epoch {}", svc.epoch());
-
-    // A demo telemetry feed: fresh sessions trickled in over the run.
-    let feed: Vec<RawItem> = generate(&DatasetConfig {
-        calls: calls / 2,
-        seed: seed ^ 0xFEED,
-        ..DatasetConfig::default()
-    })
-    .sessions
-    .into_iter()
-    .map(|s| RawItem::Session(Box::new(s)))
-    .collect();
-    eprintln!("registering a demo feed of {} sessions", feed.len());
-
-    let mut cfg = DaemonConfig::with_workers(workers);
-    cfg.ingest = IngestConfig::with_workers(workers).with_clock(Arc::new(WallClock::new()));
-    cfg.tick_ms = tick_ms;
-    cfg.checkpoint_every_ms = checkpoint_ms;
-    cfg.max_items_per_tick = window;
-    let daemon = Daemon::new(Arc::clone(&svc), cfg);
-    daemon.register_feed(Box::new(ItemSource::new("demo-telemetry", feed)));
-
+/// Run `ticks` daemon ticks, print per-tick progress, then drain to a
+/// final checkpoint — the serve loop shared by the single-service and
+/// cluster paths.
+fn drive_daemon<T: usaas::ServeTarget>(
+    daemon: &usaas::Daemon<T>,
+    ticks: u64,
+) -> Result<(), String> {
     for report in daemon.run_ticks(ticks) {
         let mut line = format!(
             "tick {:>3}: fed {:>4}, quarantined {:>2}, committed {}",
             report.tick, report.fed, report.quarantined, report.committed,
         );
-        if report.checkpointed.is_some() {
-            line.push_str(", checkpointed");
+        if !report.checkpointed_units.is_empty() {
+            let _ = write!(line, ", checkpointed {:?}", report.checkpointed_units);
         }
         if let Some(c) = report.compaction {
             let _ = write!(line, ", compacted {} records", c.dropped_records);
+        }
+        if let Some(c) = report.root_compaction {
+            let _ = write!(line, ", root-compacted {} records", c.dropped_records);
         }
         eprintln!("{line}");
         for e in &report.errors {
@@ -272,6 +219,12 @@ fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
         "drained: {} queued items fed ({} quarantined), final epoch {}, final seq {}",
         drain.fed, drain.quarantined, drain.final_epoch, drain.final_seq,
     );
+    if let Some(c) = drain.root_compaction {
+        eprintln!(
+            "root log: final compaction dropped {} records",
+            c.dropped_records
+        );
+    }
     if let Some(stats) = drain.journal {
         eprintln!(
             "journal: {} live records ({} bytes), oldest seq {}, {} compactions dropped {}",
@@ -285,16 +238,133 @@ fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
     for e in &drain.errors {
         eprintln!("drain error: {e}");
     }
-    let health = svc.health();
-    eprintln!(
-        "health: {} quarantined, {} breaker trips, open breakers {:?}",
-        health.quarantined_total, health.breaker_trips_total, health.open_breakers,
-    );
     if drain.errors.is_empty() {
         Ok(())
     } else {
         Err("drain finished with errors".to_string())
     }
+}
+
+fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
+    use std::sync::Arc;
+    use usaas::{
+        Daemon, DaemonConfig, IngestConfig, ItemSource, PartitionedService, RawItem, UsaasService,
+        WallClock,
+    };
+
+    let dir = flags
+        .get("dir")
+        .cloned()
+        .unwrap_or_else(|| "usaas-data".to_string());
+    let ticks = flag_u64(&flags, "ticks", 10)?;
+    let tick_ms = flag_u64(&flags, "tick-ms", 100)?;
+    let checkpoint_ms = flag_u64(&flags, "checkpoint-ms", 400)?;
+    let window = flag_usize(&flags, "window", 256)?;
+    let calls = flag_usize(&flags, "calls", 300)?;
+    let seed = flag_u64(&flags, "seed", 0xDAE)?;
+    let workers = flag_usize(&flags, "workers", 4)?;
+    let partitions = flag_usize(&flags, "partitions", 1)?;
+    if partitions == 0 {
+        return Err("--partitions must be at least 1".to_string());
+    }
+
+    let path = std::path::Path::new(&dir);
+    let fresh_data = || {
+        let ds = generate(&DatasetConfig {
+            calls,
+            seed,
+            ..DatasetConfig::default()
+        });
+        let forum = gen_forum(&ForumConfig {
+            seed,
+            ..ForumConfig::default()
+        });
+        (ds, forum)
+    };
+    // A demo telemetry feed: fresh sessions trickled in over the run.
+    let feed: Vec<RawItem> = generate(&DatasetConfig {
+        calls: calls / 2,
+        seed: seed ^ 0xFEED,
+        ..DatasetConfig::default()
+    })
+    .sessions
+    .into_iter()
+    .map(|s| RawItem::Session(Box::new(s)))
+    .collect();
+
+    let mut cfg = DaemonConfig::with_workers(workers);
+    cfg.ingest = IngestConfig::with_workers(workers).with_clock(Arc::new(WallClock::new()));
+    cfg.tick_ms = tick_ms;
+    cfg.checkpoint_every_ms = checkpoint_ms;
+    cfg.max_items_per_tick = window;
+
+    // An existing cluster directory always reopens as a cluster (its
+    // partition count comes from cluster.meta, not the flag).
+    if path.join(usaas::CLUSTER_META).exists() || partitions > 1 {
+        let svc = if path.join(usaas::CLUSTER_META).exists() {
+            eprintln!("recovering cluster from {dir}…");
+            let svc = PartitionedService::open_or_recover(path, workers)
+                .map_err(|e| format!("recovering {dir}: {e}"))?;
+            for warning in &svc.health().recovery_warnings {
+                eprintln!("  recovery warning: {warning}");
+            }
+            svc
+        } else {
+            eprintln!(
+                "bootstrapping a fresh {partitions}-partition cluster in {dir} \
+                 ({calls} calls, seed {seed})…"
+            );
+            std::fs::create_dir_all(path).map_err(|e| format!("creating {dir}: {e}"))?;
+            let (ds, forum) = fresh_data();
+            PartitionedService::build_persistent(ds, forum, partitions, workers, path)
+                .map_err(|e| format!("bootstrapping {dir}: {e}"))?
+        };
+        let svc = Arc::new(svc);
+        eprintln!(
+            "serving {} partition(s) at epoch {}",
+            svc.partitions(),
+            svc.epoch()
+        );
+        eprintln!("registering a demo feed of {} sessions", feed.len());
+        let daemon = Daemon::new(Arc::clone(&svc), cfg);
+        daemon.register_feed(Box::new(ItemSource::new("demo-telemetry", feed)));
+        let result = drive_daemon(&daemon, ticks);
+        let health = svc.health();
+        eprintln!(
+            "health: {} quarantined, {} breaker trips, open breakers {:?}",
+            health.quarantined_total, health.breaker_trips_total, health.open_breakers,
+        );
+        return result;
+    }
+
+    let svc = if path.join(usaas::JOURNAL_FILE).exists() {
+        eprintln!("recovering service from {dir}…");
+        let svc = UsaasService::open_or_recover(path, workers)
+            .map_err(|e| format!("recovering {dir}: {e}"))?;
+        for warning in &svc.health().recovery_warnings {
+            eprintln!("  recovery warning: {warning}");
+        }
+        svc
+    } else {
+        eprintln!("bootstrapping a fresh service in {dir} ({calls} calls, seed {seed})…");
+        std::fs::create_dir_all(path).map_err(|e| format!("creating {dir}: {e}"))?;
+        let (ds, forum) = fresh_data();
+        UsaasService::build_persistent(ds, forum, workers, path)
+            .map_err(|e| format!("bootstrapping {dir}: {e}"))?
+    };
+    let svc = Arc::new(svc);
+    eprintln!("serving at epoch {}", svc.epoch());
+    eprintln!("registering a demo feed of {} sessions", feed.len());
+
+    let daemon = Daemon::new(Arc::clone(&svc), cfg);
+    daemon.register_feed(Box::new(ItemSource::new("demo-telemetry", feed)));
+    let result = drive_daemon(&daemon, ticks);
+    let health = svc.health();
+    eprintln!(
+        "health: {} quarantined, {} breaker trips, open breakers {:?}",
+        health.quarantined_total, health.breaker_trips_total, health.open_breakers,
+    );
+    result
 }
 
 const HELP: &str = "\
@@ -307,10 +377,15 @@ USAGE:
   usaas early           [--calls N]       early-quality indication skill
   usaas serve           [--dir D] [--ticks N] [--tick-ms MS] [--checkpoint-ms MS]
                         [--window N] [--calls N] [--seed S] [--workers N]
+                        [--partitions P]
                         run the continuous-serving daemon against directory D:
                         bootstrap (or crash-recover) the store, trickle a demo
                         feed in tick windows, checkpoint + compact the journal
-                        on a cadence, then drain to a final checkpoint
+                        on a cadence, then drain to a final checkpoint.
+                        --partitions P > 1 serves a durable partitioned
+                        cluster: per-partition checkpoints on staggered
+                        cadences plus root-log compaction (an existing
+                        cluster directory reopens with its own count)
   usaas help
 ";
 

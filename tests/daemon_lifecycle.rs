@@ -20,6 +20,18 @@
 //!    rename (stray `journal.tmp`), after it, or at any surviving record
 //!    boundary recovers through the existing `open_or_recover` with no
 //!    warnings and worker-invariant answers.
+//!
+//! The cluster-daemon section extends the same four promises to a
+//! durable `PartitionedService` behind the generic daemon: trusted and
+//! faulty soaks bit-identical to a manually scheduled cluster at
+//! partitions 1/2/4 × workers 1/4/8, the **root cluster log** bounded
+//! across ≥ 3 root-compaction passes under seeded faults, and
+//! mid-root-compaction kill points (stray tmp files, snapshot written
+//! but log uncompacted, compaction complete, newest cluster snapshot
+//! corrupt at rest) recovering bit-identical to the uncompacted
+//! reference. A final sweep pins the four daemon timing/admission
+//! bugfixes: checkpoint-failure backoff, the exact Block deadline,
+//! bounded stop latency, and `TakeSource::dropped` under counter resets.
 
 use analytics::time::Date;
 use conference::dataset::{generate, DatasetConfig};
@@ -32,7 +44,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use usaas::{
     journal_record_offsets, Clock, Daemon, DaemonConfig, FaultInjector, FaultPlan, IngestConfig,
-    ItemSource, Query, RawItem, Source, TakeSource, UsaasService, VirtualClock, JOURNAL_FILE,
+    ItemSource, PartitionedService, Query, RawItem, Source, TakeSource, UsaasService, VirtualClock,
+    JOURNAL_FILE,
 };
 
 /// Fresh scratch directory under the system temp dir, emptied first.
@@ -43,14 +56,17 @@ fn tmp_dir(test: &str) -> PathBuf {
     dir
 }
 
-/// Copy every regular file of `src` into `dst` (the persist layout is
-/// flat, so one level is enough).
+/// Copy `src` into `dst` recursively (a cluster directory nests one
+/// `part-N/` level; single-service layouts stay flat).
 fn copy_dir(src: &Path, dst: &Path) {
     fs::create_dir_all(dst).unwrap();
     for entry in fs::read_dir(src).unwrap() {
         let entry = entry.unwrap();
-        if entry.file_type().unwrap().is_file() {
-            fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).unwrap();
         }
     }
 }
@@ -680,4 +696,656 @@ fn drop_snapshots_after(dir: &Path, k: u64) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// 5. Cluster daemon: trusted + faulty soaks vs a manual cluster schedule.
+// ---------------------------------------------------------------------
+
+/// [`fingerprint`]'s cluster twin — same shape, so a cluster's print can
+/// be compared across partition counts as well as against a manually
+/// scheduled cluster.
+fn cluster_fingerprint(svc: &PartitionedService) -> Vec<String> {
+    let health = svc.health();
+    let mut out = vec![
+        format!("epoch={}", svc.epoch()),
+        format!("signals={:?}", svc.signal_counts()),
+        format!(
+            "health q={} u={} t={} open={:?} dropped={}",
+            health.quarantined_total,
+            health.unfed_total,
+            health.breaker_trips_total,
+            health.open_breakers,
+            health.dead_letters_dropped,
+        ),
+        format!("dead_letters={:?}", svc.dead_letters()),
+    ];
+    for q in queries() {
+        out.push(format!("{q:?} => {:?}", svc.query(&q)));
+    }
+    out
+}
+
+impl TrustedFixture {
+    /// The manual *cluster* schedule the cluster daemon must match — the
+    /// same per-tick batches as [`TrustedFixture::reference`], appended
+    /// through the router.
+    fn cluster_reference(
+        &self,
+        window: usize,
+        ticks: usize,
+        partitions: usize,
+        workers: usize,
+    ) -> PartitionedService {
+        let svc = PartitionedService::build(
+            self.dataset.clone(),
+            self.forum.clone(),
+            partitions,
+            workers,
+        );
+        let mut offset = 0usize;
+        for tick in 0..ticks {
+            let submitted = self
+                .submits
+                .iter()
+                .find(|(at, _)| *at == tick)
+                .map(|(_, items)| items.as_slice())
+                .unwrap_or(&[]);
+            let take = window.min(self.feed_items.len() - offset);
+            let window_items = &self.feed_items[offset..offset + take];
+            offset += take;
+            let (mut sessions, mut posts) = split_kinds(submitted);
+            let (ws, wp) = split_kinds(window_items);
+            sessions.extend(ws);
+            posts.extend(wp);
+            svc.append_batch(sessions, posts);
+        }
+        svc
+    }
+}
+
+#[test]
+fn cluster_trusted_soak_matches_manual_schedule_bit_identically() {
+    let fx = TrustedFixture::new();
+    let window = 16usize;
+    let active_ticks = fx.feed_items.len().div_ceil(window);
+    let ticks = active_ticks + 4;
+
+    let mut prints: Vec<Vec<String>> = Vec::new();
+    for partitions in [1usize, 2, 4] {
+        for workers in [1usize, 4, 8] {
+            let dir = tmp_dir(&format!("cluster-trusted-p{partitions}-w{workers}"));
+            let clock = Arc::new(VirtualClock::new());
+            let svc = Arc::new(
+                PartitionedService::build_persistent(
+                    fx.dataset.clone(),
+                    fx.forum.clone(),
+                    partitions,
+                    workers,
+                    &dir,
+                )
+                .unwrap(),
+            );
+            let daemon = Daemon::new(
+                Arc::clone(&svc),
+                daemon_config(workers, clock.clone(), window),
+            );
+            daemon.register_feed(Box::new(ItemSource::new(
+                "telemetry-feed",
+                fx.feed_items.clone(),
+            )));
+            let mut unit_checkpoints = 0usize;
+            let mut root_passes = 0usize;
+            for tick in 0..ticks {
+                if let Some((_, items)) = fx.submits.iter().find(|(at, _)| *at == tick) {
+                    assert!(matches!(
+                        daemon.submit(items.clone()),
+                        usaas::SubmitOutcome::Queued { .. }
+                    ));
+                }
+                let report = daemon.tick();
+                assert!(report.errors.is_empty(), "{:?}", report.errors);
+                unit_checkpoints += report.checkpointed_units.len();
+                root_passes += usize::from(report.root_compaction.is_some());
+                clock.sleep_ms(1_000);
+            }
+            assert!(
+                unit_checkpoints >= 2 * partitions,
+                "p{partitions}: every partition must checkpoint on its cadence"
+            );
+            assert!(root_passes >= 1, "p{partitions}: root compaction never ran");
+
+            let drain = daemon.shutdown();
+            assert!(drain.errors.is_empty(), "{:?}", drain.errors);
+            assert!(drain.checkpoint.is_some());
+            assert!(drain.root_compaction.is_some());
+
+            let reference = fx.cluster_reference(window, ticks, partitions, workers);
+            let live = cluster_fingerprint(&svc);
+            assert_eq!(
+                live,
+                cluster_fingerprint(&reference),
+                "p{partitions} w{workers}: cluster daemon diverged from the manual schedule"
+            );
+
+            drop(daemon);
+            drop(svc);
+            let reopened = PartitionedService::open_or_recover(&dir, workers).unwrap();
+            assert!(
+                reopened.health().recovery_warnings.is_empty(),
+                "drained cluster must reopen clean: {:?}",
+                reopened.health().recovery_warnings
+            );
+            assert_eq!(cluster_fingerprint(&reopened), live);
+            prints.push(live);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+    for (i, print) in prints.iter().enumerate().skip(1) {
+        assert_eq!(&prints[0], print, "matrix entry {i} diverged");
+    }
+}
+
+/// Manual cluster mirror of the daemon's faulty tick loop — the cluster
+/// twin of [`faulty_reference`].
+fn cluster_faulty_reference(
+    fx_base: &(CallDataset, Forum),
+    seed: u64,
+    partitions: usize,
+    workers: usize,
+) -> PartitionedService {
+    let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
+    let svc = PartitionedService::build(fx_base.0.clone(), fx_base.1.clone(), partitions, workers);
+    let cfg = IngestConfig::with_workers(workers).with_clock(clock.clone());
+    let mut feeds = faulty_feeds(seed, clock.clone());
+    let mut done = vec![false; feeds.len()];
+    for _ in 0..MAX_FAULTY_TICKS {
+        if done.iter().all(|d| *d) {
+            break;
+        }
+        let mut polled = Vec::new();
+        let mut sources: Vec<Box<dyn Source + '_>> = Vec::new();
+        for (i, feed) in feeds.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            polled.push(i);
+            sources.push(Box::new(TakeSource::new(feed.as_mut(), FAULTY_WINDOW)));
+        }
+        let report = svc.ingest_append(sources, &cfg);
+        for (k, &i) in polled.iter().enumerate() {
+            let health = &report.sources[k];
+            let active =
+                health.fed + health.quarantined + health.retries + health.dropped + health.skipped
+                    > 0;
+            if health.disconnected || !active {
+                done[i] = true;
+            }
+        }
+        clock.sleep_ms(1_000);
+    }
+    svc
+}
+
+#[test]
+fn cluster_faulty_soak_is_partition_and_worker_invariant() {
+    let base = (
+        generate(&DatasetConfig::small(60, 21)),
+        Forum { posts: Vec::new() },
+    );
+    for seed in fault_seeds() {
+        let mut prints: Vec<Vec<String>> = Vec::new();
+        for partitions in [1usize, 2, 4] {
+            for workers in [1usize, 4, 8] {
+                let dir = tmp_dir(&format!("cluster-faulty-s{seed}-p{partitions}-w{workers}"));
+                let clock = Arc::new(VirtualClock::new());
+                let svc = Arc::new(
+                    PartitionedService::build_persistent(
+                        base.0.clone(),
+                        base.1.clone(),
+                        partitions,
+                        workers,
+                        &dir,
+                    )
+                    .unwrap(),
+                );
+                let daemon = Daemon::new(
+                    Arc::clone(&svc),
+                    daemon_config(workers, clock.clone(), FAULTY_WINDOW),
+                );
+                for feed in faulty_feeds(seed, clock.clone()) {
+                    daemon.register_feed(feed);
+                }
+                for _ in 0..MAX_FAULTY_TICKS {
+                    if daemon.health().feeds.iter().all(|f| f.done) {
+                        break;
+                    }
+                    let report = daemon.tick();
+                    assert!(report.errors.is_empty(), "{:?}", report.errors);
+                    clock.sleep_ms(1_000);
+                }
+                assert!(
+                    daemon.health().feeds.iter().all(|f| f.done),
+                    "seed {seed} p{partitions}: feeds never drained"
+                );
+                assert!(
+                    svc.health().quarantined_total > 0,
+                    "seed {seed}: the fault plan produced no dead letters — vacuous"
+                );
+
+                let reference = cluster_faulty_reference(&base, seed, partitions, workers);
+                let live = cluster_fingerprint(&svc);
+                assert_eq!(
+                    live,
+                    cluster_fingerprint(&reference),
+                    "seed {seed} p{partitions} w{workers}: diverged from the mirror"
+                );
+                prints.push(live);
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+        for (i, print) in prints.iter().enumerate().skip(1) {
+            assert_eq!(&prints[0], print, "seed {seed}: matrix entry {i} diverged");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 6. Cluster root log bounded across ≥ 3 root-compaction passes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cluster_root_log_stays_bounded_across_compaction_cycles() {
+    let (base, feed) = bounded_fixture();
+    let dir = tmp_dir("cluster-bounded");
+    let clock = Arc::new(VirtualClock::new());
+    let svc = Arc::new(
+        PartitionedService::build_persistent(base, Forum { posts: Vec::new() }, 2, 4, &dir)
+            .unwrap(),
+    );
+    let mut cfg = daemon_config(4, clock.clone(), 10);
+    cfg.checkpoint_every_ms = 1_500;
+    let daemon = Daemon::new(Arc::clone(&svc), cfg);
+    // A seeded faulty feed alongside the trickle, so the soak (and the
+    // state the root snapshot must carry — dead letters, breaker totals)
+    // is the degraded-serving path, not the happy path.
+    daemon.register_feed(Box::new(FaultInjector::new(
+        ItemSource::new("flaky-telemetry", faulty_session_items(5)),
+        FaultPlan::seeded(5)
+            .with_drops(0.03)
+            .with_transient(0.05, 1)
+            .with_poison(17),
+        clock.clone() as Arc<dyn Clock>,
+    )));
+    daemon.register_feed(Box::new(ItemSource::new("trickle", feed)));
+
+    let mut root_passes: Vec<usaas::CompactionReport> = Vec::new();
+    for tick in 0..60u64 {
+        // Periodic operator maintenance: roll every partition's full
+        // snapshot, so the oldest-retained-full floors (and with them the
+        // root log's safety bound) keep advancing through the soak.
+        if tick % 8 == 7 {
+            svc.checkpoint_full().unwrap();
+        }
+        let report = daemon.tick();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        if let Some(c) = report.root_compaction {
+            if c.dropped_records > 0 {
+                assert!(
+                    c.bytes_after < c.bytes_before,
+                    "a dropping root pass must shrink the log: {c:?}"
+                );
+                root_passes.push(c);
+            }
+        }
+        clock.sleep_ms(1_000);
+        if daemon.health().feeds.iter().all(|f| f.done) {
+            break;
+        }
+    }
+    assert!(
+        root_passes.len() >= 3,
+        "need ≥ 3 dropping root-compaction passes, got {}",
+        root_passes.len()
+    );
+    for pair in root_passes.windows(2) {
+        assert!(
+            pair[1].safe_seq > pair[0].safe_seq,
+            "the root safety bound must advance: {pair:?}"
+        );
+    }
+    assert!(
+        svc.health().quarantined_total > 0,
+        "the fault plan produced no dead letters — vacuous"
+    );
+
+    let mid_soak = svc.root_journal_stats().expect("persistent cluster");
+    assert_eq!(
+        mid_soak.records,
+        mid_soak.last_seq - mid_soak.oldest_live_seq + 1,
+        "root live records pinned to the seq range"
+    );
+    assert!(
+        mid_soak.oldest_live_seq > 1,
+        "the absorbed prefix was dropped"
+    );
+    assert_eq!(mid_soak.compactions, root_passes.len() as u64);
+    assert!(mid_soak.records_compacted as usize >= root_passes.len());
+
+    let drain = daemon.shutdown();
+    assert!(drain.errors.is_empty(), "{:?}", drain.errors);
+    // The drain checkpointed every partition and ran a final root pass, so
+    // the floors have caught up: the log now holds only the short tail
+    // behind the retained snapshots, not the appended history.
+    let stats = svc.root_journal_stats().unwrap();
+    assert_eq!(stats.records, stats.last_seq - stats.oldest_live_seq + 1);
+    assert!(
+        stats.oldest_live_seq > stats.last_seq / 2,
+        "the live tail starts well past the oldest history: {stats:?}"
+    );
+    assert!(
+        stats.records <= 24,
+        "the root log holds a bounded tail, not the history: {} of {} records",
+        stats.records,
+        stats.last_seq
+    );
+    // Cluster root snapshots are themselves bounded by retention.
+    let snaps = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .filter(|n| n.starts_with("cluster-") && n.ends_with(".snap"))
+        .count();
+    assert!(
+        snaps <= 2,
+        "cluster snapshot retention leaked: {snaps} files"
+    );
+    let live = cluster_fingerprint(&svc);
+    drop(daemon);
+    drop(svc);
+    for workers in [1usize, 4] {
+        let reopened = PartitionedService::open_or_recover(&dir, workers).unwrap();
+        assert!(
+            reopened.health().recovery_warnings.is_empty(),
+            "{:?}",
+            reopened.health().recovery_warnings
+        );
+        assert_eq!(cluster_fingerprint(&reopened), live, "workers={workers}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 7. Mid-root-compaction kill points.
+// ---------------------------------------------------------------------
+
+/// Newest `cluster-<seq>.snap` in a cluster directory.
+fn newest_cluster_snap(dir: &Path) -> Option<PathBuf> {
+    fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().ok()?;
+            let seq: u64 = name
+                .strip_prefix("cluster-")?
+                .strip_suffix(".snap")?
+                .parse()
+                .ok()?;
+            Some((seq, dir.join(name)))
+        })
+        .max_by_key(|(seq, _)| *seq)
+        .map(|(_, path)| path)
+}
+
+#[test]
+fn mid_root_compaction_kill_points_recover_bit_identical() {
+    for partitions in [1usize, 2, 4] {
+        let (base, feed) = bounded_fixture();
+        let dir = tmp_dir(&format!("cluster-killpoints-p{partitions}"));
+        let clock = Arc::new(VirtualClock::new());
+        let svc = Arc::new(
+            PartitionedService::build_persistent(
+                base,
+                Forum { posts: Vec::new() },
+                partitions,
+                4,
+                &dir,
+            )
+            .unwrap(),
+        );
+        let mut cfg = daemon_config(4, clock.clone(), 8);
+        // Checkpoints and root compaction are driven manually below: the
+        // kill states need directory copies immediately around one
+        // dropping compact_root_log call, which a daemon-scheduled pass
+        // cannot provide.
+        cfg.checkpoint_every_ms = 0;
+        let daemon = Daemon::new(Arc::clone(&svc), cfg);
+        daemon.register_feed(Box::new(ItemSource::new("trickle", feed)));
+
+        let tick = |n: usize| {
+            for _ in 0..n {
+                let report = daemon.tick();
+                assert!(report.errors.is_empty(), "{:?}", report.errors);
+                clock.sleep_ms(1_000);
+            }
+        };
+
+        // Warm-up: append a little, checkpoint everything, absorb the base
+        // record — this also seeds the cluster-snapshot retention so later
+        // passes always leave a fallback snapshot behind.
+        tick(3);
+        svc.checkpoint().unwrap();
+        svc.compact_root_log().unwrap();
+
+        // Drive until a root pass actually drops ingest records, keeping a
+        // directory copy from immediately before that pass.
+        let pre = tmp_dir(&format!("cluster-killpoints-p{partitions}-pre"));
+        let mut dropped = 0u64;
+        for _attempt in 0..16 {
+            tick(3);
+            svc.checkpoint().unwrap();
+            let _ = fs::remove_dir_all(&pre);
+            copy_dir(&dir, &pre);
+            let report = svc.compact_root_log().unwrap();
+            if report.dropped_records > 0 {
+                dropped = report.dropped_records;
+                break;
+            }
+        }
+        assert!(
+            dropped > 0,
+            "p{partitions}: no root pass ever dropped ingest records"
+        );
+        let live = cluster_fingerprint(&svc);
+        drop(daemon);
+        drop(svc);
+
+        // The uncompacted reference: recovery from the pre-pass copy.
+        let reference = {
+            let svc = PartitionedService::open_or_recover(&pre, 4).unwrap();
+            let warnings = svc.health().recovery_warnings;
+            assert!(warnings.is_empty(), "p{partitions} pre: {warnings:?}");
+            cluster_fingerprint(&svc)
+        };
+        assert_eq!(reference, live, "p{partitions}: reference != live state");
+
+        // Kill point A: crash before the root snapshot finished writing —
+        // stray cluster.tmp and journal.tmp scratch next to an intact log.
+        let kill_a = tmp_dir(&format!("cluster-killpoints-p{partitions}-a"));
+        copy_dir(&pre, &kill_a);
+        fs::write(
+            kill_a.join("cluster.tmp"),
+            b"\xDE\xAD torn cluster snapshot",
+        )
+        .unwrap();
+        let log = fs::read(kill_a.join(JOURNAL_FILE)).unwrap();
+        fs::write(kill_a.join("journal.tmp"), &log[..log.len() / 2]).unwrap();
+
+        // Kill point B: root snapshot durably written, log not yet
+        // compacted — the post-pass snapshot dropped into the pre-pass dir.
+        let kill_b = tmp_dir(&format!("cluster-killpoints-p{partitions}-b"));
+        copy_dir(&pre, &kill_b);
+        let snap = newest_cluster_snap(&dir).expect("the dropping pass wrote a snapshot");
+        fs::copy(&snap, kill_b.join(snap.file_name().unwrap())).unwrap();
+
+        // Kill point C: the completed pass (the live directory itself).
+        // Kill point D: completed pass, newest cluster snapshot corrupt at
+        // rest — recovery must fall back to the retained older snapshot
+        // (with a warning) and still reproduce the state.
+        let kill_d = tmp_dir(&format!("cluster-killpoints-p{partitions}-d"));
+        copy_dir(&dir, &kill_d);
+        let newest = newest_cluster_snap(&kill_d).unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newest, bytes).unwrap();
+
+        for workers in [1usize, 4, 8] {
+            for (label, state, warnings_ok) in [
+                ("A:pre-snapshot", &kill_a, false),
+                ("B:snapshot-no-compact", &kill_b, false),
+                ("C:complete", &dir, false),
+                ("D:corrupt-newest-snap", &kill_d, true),
+            ] {
+                let recovered = PartitionedService::open_or_recover(state, workers).unwrap();
+                let warnings = recovered.health().recovery_warnings;
+                if warnings_ok {
+                    assert!(
+                        warnings.iter().any(|w| w.contains("unusable")),
+                        "p{partitions} {label}: expected a fallback warning, got {warnings:?}"
+                    );
+                } else {
+                    assert!(
+                        warnings.is_empty(),
+                        "p{partitions} {label} w{workers}: {warnings:?}"
+                    );
+                }
+                assert_eq!(
+                    cluster_fingerprint(&recovered),
+                    reference,
+                    "p{partitions} {label} w{workers}: diverged from the uncompacted reference"
+                );
+            }
+        }
+        for d in [&pre, &kill_a, &kill_b, &kill_d, &dir] {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 8. Daemon timing/admission bugfix sweep.
+// ---------------------------------------------------------------------
+
+/// Failed periodic checkpoints must re-arm with a capped exponential
+/// backoff (1×, 2×, 4×, then 8× the cadence), not retry fsync-heavy work
+/// every tick.
+#[test]
+fn failed_checkpoints_back_off_instead_of_retrying_every_tick() {
+    let dir = tmp_dir("checkpoint-backoff");
+    let clock = Arc::new(VirtualClock::new());
+    let svc = Arc::new(
+        UsaasService::build_persistent(
+            generate(&DatasetConfig::small(24, 3)),
+            Forum { posts: Vec::new() },
+            2,
+            &dir,
+        )
+        .unwrap(),
+    );
+    let mut cfg = daemon_config(2, clock.clone(), 8);
+    cfg.checkpoint_every_ms = 2_000;
+    cfg.compact_journal = false;
+    let daemon = Daemon::new(Arc::clone(&svc), cfg);
+    // Sabotage the persist directory so every checkpoint attempt fails.
+    fs::remove_dir_all(&dir).unwrap();
+
+    let mut failure_times = Vec::new();
+    for _ in 0..33 {
+        let report = daemon.tick();
+        if !report.errors.is_empty() {
+            assert!(
+                report.errors[0].contains("periodic checkpoint failed"),
+                "{:?}",
+                report.errors
+            );
+            failure_times.push(clock.now_ms());
+        }
+        clock.sleep_ms(1_000);
+    }
+    assert_eq!(
+        failure_times,
+        vec![2_000, 4_000, 8_000, 16_000, 32_000],
+        "retries must follow the capped exponential backoff, not fire every tick"
+    );
+}
+
+/// The Block admission deadline is exact even when the poll step exceeds
+/// the remaining budget (`block_timeout_ms = 5, block_poll_ms = 10` must
+/// block 5 ms, not 10) or doesn't divide it.
+#[test]
+fn block_admission_deadline_is_exact_on_the_virtual_clock() {
+    for (timeout, poll) in [(5u64, 10u64), (100, 30), (25, 25)] {
+        let clock = Arc::new(VirtualClock::new());
+        let mut cfg = DaemonConfig::with_workers(2);
+        cfg.ingest = IngestConfig::with_workers(2).with_clock(clock.clone());
+        cfg.checkpoint_every_ms = 0;
+        cfg.queue_capacity = 2;
+        cfg.admission = usaas::AdmissionPolicy::Block;
+        cfg.block_timeout_ms = timeout;
+        cfg.block_poll_ms = poll;
+        let svc = Arc::new(UsaasService::build(
+            generate(&DatasetConfig::small(8, 3)),
+            Forum { posts: Vec::new() },
+            2,
+        ));
+        let daemon = Daemon::new(svc, cfg);
+        let items: Vec<RawItem> = generate(&DatasetConfig::small(8, 9))
+            .sessions
+            .into_iter()
+            .take(2)
+            .map(|s| RawItem::Session(Box::new(s)))
+            .collect();
+        assert!(matches!(
+            daemon.submit(items.clone()),
+            usaas::SubmitOutcome::Queued { .. }
+        ));
+        let before = clock.now_ms();
+        assert_eq!(
+            daemon.submit(items),
+            usaas::SubmitOutcome::Rejected {
+                reason: usaas::RejectReason::BlockTimeout
+            }
+        );
+        assert_eq!(
+            clock.now_ms() - before,
+            timeout,
+            "timeout={timeout} poll={poll}: the deadline must be exact"
+        );
+    }
+}
+
+/// `stop()` interrupts the between-tick sleep within the poll step — a
+/// run loop parked in a 5-second wall-clock sleep must join promptly.
+#[test]
+fn stop_interrupts_the_tick_sleep_quickly() {
+    use std::time::{Duration, Instant};
+    let svc = Arc::new(UsaasService::build(
+        generate(&DatasetConfig::small(8, 3)),
+        Forum { posts: Vec::new() },
+        2,
+    ));
+    let mut cfg = DaemonConfig::with_workers(2);
+    cfg.tick_ms = 5_000;
+    cfg.checkpoint_every_ms = 0;
+    let daemon = Arc::new(Daemon::new(svc, cfg));
+    let handle = daemon.spawn();
+    // Let the loop run its first tick and park in the tick sleep.
+    std::thread::sleep(Duration::from_millis(100));
+    let begun = Instant::now();
+    daemon.stop();
+    handle.join().unwrap();
+    let elapsed = begun.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(2_000),
+        "stop took {elapsed:?} against a 5s tick — the sleep was not interruptible"
+    );
 }
